@@ -1,0 +1,117 @@
+//! The two-tier attribute model of Ronin agents.
+//!
+//! "The first set of attributes, Agent Attributes, define the generic
+//! functionality of an agent in domain independent fashion. … The second
+//! set of attributes, Agent Domain Attributes, define the domain specific
+//! functionality of an agent. … The framework neither defines the Domain
+//! Attribute types nor their semantics." (§2)
+//!
+//! Agent attributes are therefore a closed enum whose semantics this crate
+//! owns; domain attributes are an open string map the framework merely
+//! transports. "While domain attributes will allow us to create agents that
+//! understand a domain specific ontology, agent attributes provide a common
+//! base from which interaction amongst agents from heterogeneous domains
+//! can be bootstrapped."
+
+use std::collections::BTreeMap;
+
+/// Framework-defined generic roles (types and semantics fixed here).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum AgentAttribute {
+    /// Matches requests to providers.
+    Broker,
+    /// Offers a service.
+    ServiceProvider,
+    /// Consumes services.
+    Client,
+    /// Wraps a physical sensor.
+    Sensor,
+    /// Plans task decompositions.
+    Planner,
+    /// Coordinates composite executions.
+    CompositionManager,
+    /// Fronts grid compute resources.
+    GridGateway,
+    /// Measures network QoS (the paper's "agents doing network bandwidth
+    /// measurements").
+    NetworkMonitor,
+}
+
+/// An agent's full self-description: identity-free profile of what it is.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AgentProfile {
+    agent_attrs: Vec<AgentAttribute>,
+    domain_attrs: BTreeMap<String, String>,
+}
+
+impl AgentProfile {
+    /// Empty profile.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builder: add a framework attribute (idempotent).
+    pub fn with_attr(mut self, a: AgentAttribute) -> Self {
+        if !self.agent_attrs.contains(&a) {
+            self.agent_attrs.push(a);
+        }
+        self
+    }
+
+    /// Builder: set a domain attribute.
+    pub fn with_domain(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
+        self.domain_attrs.insert(key.into(), value.into());
+        self
+    }
+
+    /// Does the profile carry the framework attribute `a`?
+    pub fn has(&self, a: AgentAttribute) -> bool {
+        self.agent_attrs.contains(&a)
+    }
+
+    /// Read a domain attribute.
+    pub fn domain(&self, key: &str) -> Option<&str> {
+        self.domain_attrs.get(key).map(String::as_str)
+    }
+
+    /// All framework attributes.
+    pub fn agent_attrs(&self) -> &[AgentAttribute] {
+        &self.agent_attrs
+    }
+
+    /// All domain attributes in key order.
+    pub fn domain_attrs(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.domain_attrs
+            .iter()
+            .map(|(k, v)| (k.as_str(), v.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_accumulates() {
+        let p = AgentProfile::new()
+            .with_attr(AgentAttribute::Broker)
+            .with_attr(AgentAttribute::Broker) // idempotent
+            .with_attr(AgentAttribute::ServiceProvider)
+            .with_domain("domain", "finance")
+            .with_domain("role", "stock-quote-server");
+        assert_eq!(p.agent_attrs().len(), 2);
+        assert!(p.has(AgentAttribute::Broker));
+        assert!(!p.has(AgentAttribute::Sensor));
+        assert_eq!(p.domain("role"), Some("stock-quote-server"));
+        assert_eq!(p.domain("missing"), None);
+    }
+
+    #[test]
+    fn domain_attrs_iterate_in_key_order() {
+        let p = AgentProfile::new()
+            .with_domain("z", "1")
+            .with_domain("a", "2");
+        let keys: Vec<&str> = p.domain_attrs().map(|(k, _)| k).collect();
+        assert_eq!(keys, vec!["a", "z"]);
+    }
+}

@@ -1,0 +1,363 @@
+//! The deterministic message bus: agents + deputies on the `pg-sim` kernel.
+//!
+//! An [`AgentSystem`] owns a set of agents, each fronted by a [`Deputy`].
+//! Envelopes are simulation events: when one fires, it is handed to the
+//! destination's deputy; if delivered, the agent handler runs and its
+//! outgoing envelopes are scheduled after the transport delay the deputy
+//! reported. Queued envelopes are re-examined whenever the system polls
+//! deputies (a periodic flush tick), reproducing disconnection tolerance.
+
+use crate::deputy::{DeliveryOutcome, Deputy};
+use crate::envelope::{AgentId, Envelope};
+use crate::profile::{AgentAttribute, AgentProfile};
+use pg_sim::metrics::Metrics;
+use pg_sim::{Duration, Model, Scheduler, SimTime, Simulation};
+use std::collections::BTreeMap;
+
+/// Upcast helper so concrete agents can be recovered from the registry
+/// (e.g. to read results out after a run). Blanket-implemented for every
+/// `'static` type.
+pub trait AsAny {
+    /// View as `Any` for downcasting.
+    fn as_any(&self) -> &dyn std::any::Any;
+
+    /// Mutable view as `Any`.
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any;
+}
+
+impl<T: std::any::Any> AsAny for T {
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+/// An agent: a service with a profile and a message handler.
+pub trait Agent: AsAny {
+    /// The agent's self-description.
+    fn profile(&self) -> &AgentProfile;
+
+    /// Handle one delivered envelope, returning any envelopes to send.
+    fn handle(&mut self, now: SimTime, env: Envelope) -> Vec<Envelope>;
+}
+
+impl dyn Agent {
+    /// Downcast to a concrete agent type.
+    pub fn downcast_ref<T: Agent + 'static>(&self) -> Option<&T> {
+        self.as_any().downcast_ref::<T>()
+    }
+
+    /// Mutable downcast to a concrete agent type.
+    pub fn downcast_mut<T: Agent + 'static>(&mut self) -> Option<&mut T> {
+        self.as_any_mut().downcast_mut::<T>()
+    }
+}
+
+/// Events inside the agent world.
+enum Ev {
+    /// An envelope in flight toward its destination deputy.
+    Inbound(Envelope),
+    /// Periodic deputy flush (releases disconnection queues).
+    FlushTick,
+}
+
+struct World {
+    agents: BTreeMap<AgentId, Box<dyn Agent>>,
+    deputies: BTreeMap<AgentId, Box<dyn Deputy>>,
+    metrics: Metrics,
+    flush_every: Duration,
+    idle_after: Option<SimTime>,
+}
+
+impl Model for World {
+    type Event = Ev;
+
+    fn handle(&mut self, now: SimTime, ev: Ev, sched: &mut Scheduler<Ev>) {
+        match ev {
+            Ev::Inbound(env) => self.route(now, env, sched),
+            Ev::FlushTick => {
+                let mut released = Vec::new();
+                for (&id, deputy) in self.deputies.iter_mut() {
+                    for (env, delay) in deputy.flush(now) {
+                        released.push((id, env, delay));
+                    }
+                }
+                for (_, env, delay) in released {
+                    self.metrics.count("deputy.flushed", 1);
+                    self.arrive(now + delay, env, sched);
+                }
+                // Keep ticking while anything might still be queued.
+                let queued: usize = self.deputies.values().map(|d| d.queued()).sum();
+                if queued > 0 {
+                    sched.schedule_in(self.flush_every, Ev::FlushTick);
+                }
+            }
+        }
+    }
+
+    fn finished(&self, now: SimTime) -> bool {
+        self.idle_after.is_some_and(|t| now >= t)
+    }
+}
+
+impl World {
+    fn route(&mut self, now: SimTime, env: Envelope, sched: &mut Scheduler<Ev>) {
+        let Some(deputy) = self.deputies.get_mut(&env.to) else {
+            self.metrics.count("route.unknown_agent", 1);
+            return;
+        };
+        self.metrics.count("route.sent", 1);
+        self.metrics.count("route.bytes", env.wire_bytes());
+        match deputy.deliver(env.clone(), now) {
+            DeliveryOutcome::Delivered(delay) => {
+                self.arrive(now + delay, env, sched);
+            }
+            DeliveryOutcome::Queued => {
+                self.metrics.count("deputy.queued", 1);
+                sched.schedule_in(self.flush_every, Ev::FlushTick);
+            }
+            DeliveryOutcome::Dropped(_) => {
+                self.metrics.count("deputy.dropped", 1);
+            }
+        }
+    }
+
+    /// The envelope physically arrives: run the agent handler and schedule
+    /// its responses.
+    fn arrive(&mut self, at: SimTime, env: Envelope, sched: &mut Scheduler<Ev>) {
+        let to = env.to;
+        let Some(agent) = self.agents.get_mut(&to) else {
+            return;
+        };
+        self.metrics.count("route.delivered", 1);
+        // Deliver as its own event so the handler runs at arrival time.
+        struct Pending(Vec<Envelope>);
+        let latency = at.since(env.sent_at);
+        self.metrics
+            .observe("route.latency_s", latency.as_secs_f64());
+        let outs = Pending(agent.handle(at, env));
+        for mut out in outs.0 {
+            out.sent_at = at;
+            sched.schedule_at(at, Ev::Inbound(out));
+        }
+    }
+}
+
+/// A running multi-agent world.
+pub struct AgentSystem {
+    sim: Simulation<World>,
+    next_id: u64,
+}
+
+impl Default for AgentSystem {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl AgentSystem {
+    /// An empty system with a 1-second deputy flush tick.
+    pub fn new() -> Self {
+        AgentSystem {
+            sim: Simulation::new(World {
+                agents: BTreeMap::new(),
+                deputies: BTreeMap::new(),
+                metrics: Metrics::new(),
+                flush_every: Duration::from_secs(1),
+                idle_after: None,
+            }),
+            next_id: 1,
+        }
+    }
+
+    /// Register an agent behind a deputy; returns its fresh id.
+    pub fn register(&mut self, agent: Box<dyn Agent>, deputy: Box<dyn Deputy>) -> AgentId {
+        let id = AgentId(self.next_id);
+        self.next_id += 1;
+        self.sim.model.agents.insert(id, agent);
+        self.sim.model.deputies.insert(id, deputy);
+        id
+    }
+
+    /// Ids of all agents whose profile carries `attr` — the bootstrapping
+    /// lookup the paper's agent attributes exist for.
+    pub fn find_by_attr(&self, attr: AgentAttribute) -> Vec<AgentId> {
+        self.sim
+            .model
+            .agents
+            .iter()
+            .filter(|(_, a)| a.profile().has(attr))
+            .map(|(&id, _)| id)
+            .collect()
+    }
+
+    /// Inject an envelope into the system at the current simulation time.
+    pub fn send(&mut self, mut env: Envelope) {
+        env.sent_at = self.sim.sched.now();
+        self.sim.sched.schedule_at(self.sim.sched.now(), Ev::Inbound(env));
+    }
+
+    /// Run until the event queue drains (all conversations finished).
+    pub fn run_to_quiescence(&mut self) {
+        self.sim.run();
+    }
+
+    /// Run for at most `span` of simulated time.
+    pub fn run_for(&mut self, span: Duration) {
+        self.sim.run_for(span);
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.sim.now()
+    }
+
+    /// Metrics collected so far.
+    pub fn metrics(&self) -> &Metrics {
+        &self.sim.model.metrics
+    }
+
+    /// Borrow an agent for inspection (tests, result extraction).
+    pub fn agent(&self, id: AgentId) -> Option<&(dyn Agent + 'static)> {
+        self.sim.model.agents.get(&id).map(|b| b.as_ref())
+    }
+
+    /// Run `f` with mutable access to an agent (post-registration wiring,
+    /// e.g. telling an initiator its own id).
+    pub fn with_agent_mut<R>(
+        &mut self,
+        id: AgentId,
+        f: impl FnOnce(&mut (dyn Agent + 'static)) -> R,
+    ) -> Option<R> {
+        self.sim.model.agents.get_mut(&id).map(|b| f(b.as_mut()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deputy::{DirectDeputy, DisconnectionDeputy};
+    use crate::envelope::Payload;
+    use pg_net::churn::ChurnSchedule;
+    use pg_net::link::LinkModel;
+
+    /// Replies to "acl/ping" with "acl/pong"; counts what it saw.
+    struct Ponger {
+        profile: AgentProfile,
+        pings: u32,
+    }
+
+    impl Ponger {
+        fn new() -> Self {
+            Ponger {
+                profile: AgentProfile::new().with_attr(AgentAttribute::ServiceProvider),
+                pings: 0,
+            }
+        }
+    }
+
+    impl Agent for Ponger {
+        fn profile(&self) -> &AgentProfile {
+            &self.profile
+        }
+        fn handle(&mut self, _now: SimTime, env: Envelope) -> Vec<Envelope> {
+            if env.content_type == "acl/ping" {
+                self.pings += 1;
+                vec![env.reply("acl/pong", Payload::Text("pong".into()))]
+            } else {
+                Vec::new()
+            }
+        }
+    }
+
+    /// Sends pings and counts pongs.
+    struct Pinger {
+        profile: AgentProfile,
+        pongs: u32,
+    }
+
+    impl Pinger {
+        fn new() -> Self {
+            Pinger {
+                profile: AgentProfile::new().with_attr(AgentAttribute::Client),
+                pongs: 0,
+            }
+        }
+    }
+
+    impl Agent for Pinger {
+        fn profile(&self) -> &AgentProfile {
+            &self.profile
+        }
+        fn handle(&mut self, _now: SimTime, env: Envelope) -> Vec<Envelope> {
+            if env.content_type == "acl/pong" {
+                self.pongs += 1;
+            }
+            Vec::new()
+        }
+    }
+
+    fn direct() -> Box<DirectDeputy> {
+        Box::new(DirectDeputy::new(LinkModel::wifi()))
+    }
+
+    #[test]
+    fn ping_pong_round_trip() {
+        let mut sys = AgentSystem::new();
+        let pinger = sys.register(Box::new(Pinger::new()), direct());
+        let ponger = sys.register(Box::new(Ponger::new()), direct());
+        sys.send(Envelope::text(pinger, ponger, "acl/ping", "ping"));
+        sys.run_to_quiescence();
+        assert_eq!(sys.metrics().counter("route.delivered"), 2); // ping + pong
+        assert!(sys.now() > SimTime::ZERO, "transport must take time");
+        let m = sys.metrics().summary("route.latency_s");
+        assert_eq!(m.count(), 2);
+        assert!(m.mean() > 0.0);
+    }
+
+    #[test]
+    fn attribute_lookup_finds_providers() {
+        let mut sys = AgentSystem::new();
+        let _c = sys.register(Box::new(Pinger::new()), direct());
+        let p1 = sys.register(Box::new(Ponger::new()), direct());
+        let p2 = sys.register(Box::new(Ponger::new()), direct());
+        let found = sys.find_by_attr(AgentAttribute::ServiceProvider);
+        assert_eq!(found, vec![p1, p2]);
+        assert_eq!(sys.find_by_attr(AgentAttribute::Broker), vec![]);
+    }
+
+    #[test]
+    fn unknown_destination_is_counted_not_fatal() {
+        let mut sys = AgentSystem::new();
+        let a = sys.register(Box::new(Pinger::new()), direct());
+        sys.send(Envelope::text(a, AgentId(999), "acl/ping", "?"));
+        sys.run_to_quiescence();
+        assert_eq!(sys.metrics().counter("route.unknown_agent"), 1);
+    }
+
+    #[test]
+    fn disconnection_deputy_delays_delivery_until_reconnect() {
+        let mut sys = AgentSystem::new();
+        let pinger = sys.register(Box::new(Pinger::new()), direct());
+        // Ponger offline from t=0, back at t=30.
+        let schedule =
+            ChurnSchedule::from_toggles(false, vec![SimTime::from_secs(30)]);
+        let ponger = sys.register(
+            Box::new(Ponger::new()),
+            Box::new(DisconnectionDeputy::new(LinkModel::wifi(), schedule, 16)),
+        );
+        sys.send(Envelope::text(pinger, ponger, "acl/ping", "ping"));
+        sys.run_to_quiescence();
+        assert_eq!(sys.metrics().counter("deputy.queued"), 1);
+        assert_eq!(sys.metrics().counter("deputy.flushed"), 1);
+        assert_eq!(sys.metrics().counter("route.delivered"), 2);
+        assert!(
+            sys.now() >= SimTime::from_secs(30),
+            "delivery waited for reconnection: now={}",
+            sys.now()
+        );
+    }
+}

@@ -1,0 +1,69 @@
+//! Microbenchmark: one epoch of each collection strategy.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pg_bench::standard_world;
+use pg_sensornet::aggregate::AggFn;
+use pg_sensornet::epoch::Strategy;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_epoch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("collection_epoch");
+    g.sample_size(20);
+    for &n in &[50usize, 200] {
+        for strategy in [
+            Strategy::Direct,
+            Strategy::Tree,
+            Strategy::Cluster { heads: 5 },
+        ] {
+            g.bench_with_input(
+                BenchmarkId::new(strategy.name(), n),
+                &n,
+                |b, &n| {
+                    b.iter_batched(
+                        || {
+                            let w = standard_world(n, 3);
+                            let members: Vec<_> = w
+                                .net
+                                .topology()
+                                .nodes()
+                                .filter(|&x| x != w.net.base())
+                                .collect();
+                            (w, members)
+                        },
+                        |(mut w, members)| {
+                            let mut rng = StdRng::seed_from_u64(9);
+                            strategy.run_epoch(
+                                &mut w.net,
+                                &members,
+                                &w.field,
+                                w.now,
+                                AggFn::Avg,
+                                &mut rng,
+                            )
+                        },
+                        criterion::BatchSize::LargeInput,
+                    );
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+fn bench_partial_merge(c: &mut Criterion) {
+    use pg_sensornet::aggregate::Partial;
+    let parts: Vec<Partial> = (0..1_000).map(|i| Partial::of(i as f64)).collect();
+    c.bench_function("partial_merge_1000", |b| {
+        b.iter(|| {
+            let mut acc = Partial::empty();
+            for p in &parts {
+                acc.merge(p);
+            }
+            acc.finalize(AggFn::StdDev)
+        });
+    });
+}
+
+criterion_group!(benches, bench_epoch, bench_partial_merge);
+criterion_main!(benches);

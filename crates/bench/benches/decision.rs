@@ -1,0 +1,67 @@
+//! Microbenchmark: decision-maker inference (k-NN prediction + choice)
+//! and the query front end (parse + classify).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pg_bench::standard_world;
+use pg_partition::decide::{DecisionMaker, Policy};
+use pg_partition::exec::ExecContext;
+use pg_partition::features::QueryFeatures;
+use pg_partition::model::{CostVector, SolutionModel};
+
+fn bench_parse_classify(c: &mut Criterion) {
+    let text = "SELECT {MAX(temp), temp} from sensors WHERE {region(floor2) AND temp > 40} \
+                COST {energy <= 0.5, time <= 2} EPOCH DURATION 500 ms";
+    c.bench_function("query_parse_classify", |b| {
+        b.iter(|| {
+            let q = pg_query::parse(text).unwrap();
+            pg_query::classify(&q)
+        });
+    });
+}
+
+fn bench_choose(c: &mut Criterion) {
+    let mut w = standard_world(100, 4);
+    let query = pg_query::parse("SELECT AVG(temp) FROM sensors").unwrap();
+    let features = {
+        let ctx = ExecContext {
+            net: &mut w.net,
+            grid: &w.grid,
+            field: &w.field,
+            regions: &w.regions,
+            now: w.now,
+        };
+        QueryFeatures::extract(&ctx, &query).unwrap()
+    };
+    let mut g = c.benchmark_group("decision_maker");
+    for &history in &[0usize, 100, 1_000] {
+        let mut dm = DecisionMaker::new(Policy::Adaptive, 5);
+        dm.epsilon = 0.0;
+        for i in 0..history {
+            let mut f = features;
+            f.members = 10 + (i % 90);
+            dm.record(
+                &w.net,
+                &w.grid,
+                f,
+                SolutionModel::candidates(f.members)[i % 4],
+                CostVector {
+                    energy_j: 0.001 * (i as f64 + 1.0),
+                    time_s: 0.1,
+                    bytes: 100.0,
+                    ops: 100.0,
+                },
+            );
+        }
+        g.bench_with_input(
+            BenchmarkId::new("choose_with_history", history),
+            &history,
+            |b, _| {
+                b.iter(|| dm.choose(&w.net, &w.grid, &query, &features).unwrap());
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_parse_classify, bench_choose);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Microbenchmark: DES kernel event-queue throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pg_sim::{Scheduler, SimTime};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_schedule_pop(c: &mut Criterion) {
+    let mut g = c.benchmark_group("event_queue");
+    for &n in &[1_000usize, 10_000, 100_000] {
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::new("schedule_then_drain", n), &n, |b, &n| {
+            let mut rng = StdRng::seed_from_u64(1);
+            let times: Vec<u64> = (0..n).map(|_| rng.gen_range(0..1_000_000)).collect();
+            b.iter(|| {
+                let mut s = Scheduler::new();
+                for (i, &t) in times.iter().enumerate() {
+                    s.schedule_at(SimTime::from_nanos(t), i);
+                }
+                let mut sum = 0usize;
+                while let Some((_, i)) = s.pop() {
+                    sum = sum.wrapping_add(i);
+                }
+                sum
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_schedule_pop);
+criterion_main!(benches);

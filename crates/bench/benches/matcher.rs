@@ -1,0 +1,43 @@
+//! Microbenchmark: semantic-match throughput vs registry size, and the
+//! syntactic baselines for perspective.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pg_discovery::baselines::jini_match;
+use pg_discovery::corpus::mixed_corpus;
+use pg_discovery::description::{Preference, ServiceRequest};
+use pg_discovery::matcher;
+use pg_discovery::ontology::Ontology;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_matcher(c: &mut Criterion) {
+    let onto = Ontology::pervasive_grid();
+    let solver = onto.class("SolverService").unwrap();
+    let mut g = c.benchmark_group("matcher");
+    for &n in &[100usize, 1_000, 10_000] {
+        let mut rng = StdRng::seed_from_u64(2);
+        let corpus = mixed_corpus(&onto, n, &mut rng);
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::new("semantic_ranked", n), &n, |b, _| {
+            let req = ServiceRequest::for_class(solver)
+                .with_preference(Preference::Minimize("cost".into()));
+            b.iter(|| matcher::rank(&onto, &req, &corpus).len());
+        });
+        g.bench_with_input(BenchmarkId::new("jini_interface", n), &n, |b, _| {
+            b.iter(|| jini_match(&corpus, "invoke").len());
+        });
+    }
+    g.finish();
+}
+
+fn bench_subsumption(c: &mut Criterion) {
+    let onto = Ontology::pervasive_grid();
+    let service = onto.class("Service").unwrap();
+    let leaf = onto.class("PdeSolverService").unwrap();
+    c.bench_function("ontology_subsumption", |b| {
+        b.iter(|| onto.up_distance(leaf, service));
+    });
+}
+
+criterion_group!(benches, bench_matcher, bench_subsumption);
+criterion_main!(benches);

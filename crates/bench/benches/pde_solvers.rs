@@ -1,0 +1,48 @@
+//! Microbenchmark: the three PDE solvers on the reconstruction problem.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pg_grid::pde::{Problem, Solver};
+use pg_net::geom::Point;
+
+fn make_problem(n: usize) -> Problem {
+    let mut p = Problem::new(n, n, n, Point::flat(0.0, 0.0), 1.0, 20.0);
+    let c = (n / 2) as f64;
+    p.add_constraint(&Point::new(c, c, c), 400.0);
+    p
+}
+
+fn bench_solvers(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pde");
+    g.sample_size(10);
+    for &n in &[16usize, 24] {
+        let p = make_problem(n);
+        for solver in [
+            Solver::Jacobi,
+            Solver::RedBlackGaussSeidel,
+            Solver::Sor { omega_x100: 185 },
+            Solver::ConjugateGradient,
+        ] {
+            g.bench_with_input(
+                BenchmarkId::new(solver.name(), format!("{n}^3")),
+                &n,
+                |b, _| {
+                    b.iter(|| {
+                        let (_, stats) = p.solve(solver, 1e-5, 20_000);
+                        assert!(stats.converged);
+                        stats.iterations
+                    });
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+fn bench_residual(c: &mut Criterion) {
+    let p = make_problem(32);
+    let (field, _) = p.solve(Solver::ConjugateGradient, 1e-4, 5_000);
+    c.bench_function("pde_residual_32", |b| b.iter(|| p.residual(&field)));
+}
+
+criterion_group!(benches, bench_solvers, bench_residual);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Microbenchmark: HTN decomposition and plan execution bookkeeping.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pg_compose::htn::MethodLibrary;
+use pg_compose::manager::{execute, ManagerKind, ServiceWorld};
+use pg_discovery::description::ServiceDescription;
+use pg_discovery::ontology::Ontology;
+use pg_net::churn::ChurnSchedule;
+use pg_sim::SimTime;
+
+fn bench_decompose(c: &mut Criterion) {
+    let lib = MethodLibrary::pervasive_grid();
+    c.bench_function("htn_decompose_temperature_distribution", |b| {
+        b.iter(|| lib.decompose("temperature-distribution").unwrap().len());
+    });
+    c.bench_function("htn_decompose_recursive_toxin", |b| {
+        b.iter(|| lib.decompose("toxin-correlation").unwrap().len());
+    });
+}
+
+fn bench_execute(c: &mut Criterion) {
+    let onto = Ontology::pervasive_grid();
+    let mut world = ServiceWorld::new();
+    for class in [
+        "TemperatureSensor",
+        "MapService",
+        "WeatherService",
+        "PdeSolverService",
+        "DisplayService",
+    ] {
+        for i in 0..4 {
+            world.add_service(
+                ServiceDescription::new(format!("{class}-{i}"), onto.class(class).unwrap()),
+                ChurnSchedule::always_up(),
+            );
+        }
+    }
+    let plan = MethodLibrary::pervasive_grid()
+        .decompose("temperature-distribution")
+        .unwrap();
+    c.bench_function("compose_execute_reactive_20_services", |b| {
+        b.iter(|| {
+            execute(
+                &world,
+                &onto,
+                &plan,
+                ManagerKind::DistributedReactive,
+                SimTime::ZERO,
+            )
+            .utility
+        });
+    });
+}
+
+criterion_group!(benches, bench_decompose, bench_execute);
+criterion_main!(benches);

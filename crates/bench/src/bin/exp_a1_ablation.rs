@@ -1,0 +1,112 @@
+//! **A1** — ablation of the adaptive decision maker's design choices
+//! (DESIGN.md §3): distance-weighted estimator blending and safe
+//! exploration, on the T3 query stream.
+//!
+//! ```sh
+//! cargo run --release -p pg-bench --bin exp_a1_ablation
+//! ```
+
+use pg_bench::{fmt, header, standard_world};
+use pg_partition::decide::{DecisionMaker, Policy};
+use pg_partition::exec::{execute_once, ExecContext};
+use pg_partition::features::QueryFeatures;
+use pg_partition::model::CostWeights;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const STREAM_LEN: usize = 400;
+const N: usize = 100;
+
+fn stream(seed: u64) -> Vec<String> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..STREAM_LEN)
+        .map(|_| match rng.gen_range(0..10) {
+            0..=3 => "SELECT AVG(temp) FROM sensors".to_string(),
+            4..=5 => format!(
+                "SELECT temp FROM sensors WHERE sensor_id = {}",
+                rng.gen_range(1..N as u32)
+            ),
+            6..=7 => "SELECT MAX(temp) FROM sensors WHERE region(room210)".to_string(),
+            _ => "SELECT temperature_distribution() FROM sensors WHERE region(room210)"
+                .to_string(),
+        })
+        .collect()
+}
+
+fn run(blend: bool, safe: bool, epsilon: f64, seed: u64) -> f64 {
+    let weights = CostWeights::default();
+    let mut w = standard_world(N, seed);
+    let mut dm = DecisionMaker::new(Policy::Adaptive, seed);
+    dm.blend = blend;
+    dm.safe_explore = safe;
+    dm.epsilon = epsilon;
+    let mut total = 0.0;
+    for (i, text) in stream(seed).iter().enumerate() {
+        let query = pg_query::parse(text).expect("valid query");
+        let features = {
+            let ctx = ExecContext {
+                net: &mut w.net,
+                grid: &w.grid,
+                field: &w.field,
+                regions: &w.regions,
+                now: w.now,
+            };
+            match QueryFeatures::extract(&ctx, &query) {
+                Some(f) => f,
+                None => continue,
+            }
+        };
+        let Ok(model) = dm.choose(&w.net, &w.grid, &query, &features) else {
+            continue;
+        };
+        let mut ctx = ExecContext {
+            net: &mut w.net,
+            grid: &w.grid,
+            field: &w.field,
+            regions: &w.regions,
+            now: w.now,
+        };
+        let mut rng = StdRng::seed_from_u64(i as u64);
+        let Ok(out) = execute_once(&mut ctx, &query, model, &mut rng) else {
+            continue;
+        };
+        total += weights.scalar(&out.cost);
+        dm.record(&w.net, &w.grid, features, model, out.cost);
+    }
+    total
+}
+
+fn main() {
+    println!("A1: decision-maker ablation on a {STREAM_LEN}-query stream ({N} sensors)");
+    header(
+        "mean total scalar cost over 3 seeds",
+        &[("variant", 38), ("total cost", 11), ("vs full", 9)],
+    );
+    let mean = |blend, safe, eps| {
+        (0..3u64).map(|s| run(blend, safe, eps, 11 + s)).sum::<f64>() / 3.0
+    };
+    let full = mean(true, true, 0.1);
+    let rows = [
+        ("full (blend + safe eps-greedy)", full),
+        ("no estimator blending (pure k-NN)", mean(false, true, 0.1)),
+        ("no safe exploration (uniform eps)", mean(true, false, 0.1)),
+        ("neither", mean(false, false, 0.1)),
+        ("no exploration at all (eps = 0)", mean(true, true, 0.0)),
+        ("heavy exploration (eps = 0.5)", mean(true, true, 0.5)),
+    ];
+    for (name, cost) in rows {
+        println!(
+            "{name:>38}  {:>11}  {:>9}",
+            fmt(cost),
+            format!("{:+.0}%", 100.0 * (cost - full) / full)
+        );
+    }
+    println!(
+        "\nshape to check: removing blending costs the most (the first \
+         Complex query is placed by extrapolated k-NN and lands in-network); \
+         removing safe exploration costs every exploratory complex query; \
+         eps = 0 is competitive here because the estimator's ranking is \
+         already correct for this workload — exploration buys robustness, \
+         not raw cost."
+    );
+}

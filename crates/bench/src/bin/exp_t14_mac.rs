@@ -1,0 +1,127 @@
+//! **T14** — packet-level MAC validation: the event-driven simulation
+//! (GloMoSim-class substrate) against the analytic link model it replaces
+//! at light load, and the contention behaviour only the packet level can
+//! show.
+//!
+//! ```sh
+//! cargo run --release -p pg-bench --bin exp_t14_mac
+//! ```
+
+use pg_bench::{fmt, header};
+use pg_net::energy::RadioModel;
+use pg_net::geom::Point;
+use pg_net::packetsim::{MacParams, PacketSim};
+use pg_net::topology::{NodeId, Topology};
+use pg_sim::SimTime;
+
+fn line(n: usize) -> Topology {
+    let pts = (0..n).map(|i| Point::flat(i as f64 * 10.0, 0.0)).collect();
+    Topology::from_positions(pts, 15.0)
+}
+
+fn main() {
+    let mac = MacParams::default();
+
+    // --- T14a: light-load agreement with the analytic model. ---
+    println!("T14a: packet level vs analytic at light load (single flow, idle channel)");
+    header(
+        "one 100-byte packet over h hops",
+        &[("hops", 5), ("analytic ms", 12), ("packet-level ms", 16)],
+    );
+    for hops in [1usize, 3, 6] {
+        let topo = line(hops + 1);
+        let mut sim = PacketSim::new(topo, RadioModel::mote(), mac, 1);
+        let route: Vec<NodeId> = (0..=hops as u32).map(NodeId).collect();
+        sim.inject(1, 100, route, SimTime::ZERO);
+        let r = sim.run();
+        let analytic_ms = mac.frame_time(100).as_secs_f64() * hops as f64 * 1e3;
+        let measured_ms = r.delivered[0].at.as_secs_f64() * 1e3;
+        println!(
+            "{hops:>5}  {:>12}  {:>16}",
+            fmt(analytic_ms),
+            fmt(measured_ms)
+        );
+    }
+
+    // --- T14b: contention around one sink. ---
+    println!("\nT14b: star of s senders, 4 packets each, to one sink");
+    header(
+        "channel efficiency = total airtime / completion time",
+        &[
+            ("senders", 8),
+            ("delivered", 10),
+            ("collisions", 11),
+            ("deferrals", 10),
+            ("complete ms", 12),
+            ("efficiency", 11),
+        ],
+    );
+    for senders in [2usize, 4, 8, 16] {
+        let mut pts = vec![Point::flat(0.0, 0.0)];
+        for i in 0..senders {
+            let a = i as f64 * std::f64::consts::TAU / senders as f64;
+            pts.push(Point::flat(10.0 * a.cos(), 10.0 * a.sin()));
+        }
+        // Mutual range: everyone hears everyone (no hidden terminals).
+        let topo = Topology::from_positions(pts, 25.0);
+        let mut sim = PacketSim::new(topo, RadioModel::mote(), mac, 2);
+        let mut id = 0;
+        for s in 1..=senders as u32 {
+            for k in 0..4u64 {
+                sim.inject(id, 100, vec![NodeId(s), NodeId(0)], SimTime::from_micros(k));
+                id += 1;
+            }
+        }
+        let r = sim.run();
+        let airtime = mac.frame_time(100).as_secs_f64() * (senders * 4) as f64;
+        println!(
+            "{senders:>8}  {:>10}  {:>11}  {:>10}  {:>12}  {:>11}",
+            r.delivered.len(),
+            r.metrics.counter("mac.collisions"),
+            r.metrics.counter("mac.deferrals"),
+            fmt(r.finished_at.as_secs_f64() * 1e3),
+            format!("{:.2}", airtime / r.finished_at.as_secs_f64()),
+        );
+    }
+
+    // --- T14c: hidden terminals. ---
+    println!("\nT14c: hidden terminals (A - sink - B line: A and B cannot hear each other)");
+    header(
+        "4 packets each from both ends, simultaneously",
+        &[("scenario", 18), ("collisions", 11), ("complete ms", 12)],
+    );
+    // Exposed: triangle, everyone in range (carrier sense works).
+    let tri = Topology::from_positions(
+        vec![
+            Point::flat(0.0, 0.0),
+            Point::flat(10.0, 0.0),
+            Point::flat(5.0, 8.0),
+        ],
+        15.0,
+    );
+    // Hidden: line, senders out of range of each other.
+    let hidden = line(3);
+    for (name, topo, a, b, sink) in [
+        ("mutual range", tri, NodeId(1), NodeId(2), NodeId(0)),
+        ("hidden terminals", hidden, NodeId(0), NodeId(2), NodeId(1)),
+    ] {
+        let mut sim = PacketSim::new(topo, RadioModel::mote(), mac, 3);
+        for k in 0..4u64 {
+            sim.inject(k, 150, vec![a, sink], SimTime::from_micros(k));
+            sim.inject(100 + k, 150, vec![b, sink], SimTime::from_micros(k));
+        }
+        let r = sim.run();
+        println!(
+            "{name:>18}  {:>11}  {:>12}",
+            r.metrics.counter("mac.collisions"),
+            fmt(r.finished_at.as_secs_f64() * 1e3),
+        );
+    }
+    println!(
+        "\nshape to check: light-load packet level matches the analytic hop \
+         product exactly; efficiency stays high as mutually-audible senders \
+         scale (carrier sense serializes them); hidden terminals collide \
+         where mutual-range senders do not — the classic CSMA story, which \
+         the expectation-based link model cannot express."
+    );
+}

@@ -1,0 +1,88 @@
+//! **T2** — in-network aggregation savings vs. network size (the TAG shape
+//! §4 builds on): energy per epoch for direct / cluster / tree collection
+//! as the network grows.
+//!
+//! ```sh
+//! cargo run --release -p pg-bench --bin exp_t2_aggregation
+//! ```
+
+use pg_bench::{fmt, header, replicate, standard_world};
+use pg_sensornet::aggregate::AggFn;
+use pg_sensornet::cluster::default_head_count;
+use pg_sensornet::epoch::Strategy;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const REPS: u64 = 10;
+
+fn main() {
+    println!("T2: aggregate-query energy vs network size (AVG over all sensors, one epoch)");
+    header(
+        "mean of 10 seeds",
+        &[
+            ("n", 5),
+            ("direct J", 11),
+            ("cluster J", 11),
+            ("tree J", 11),
+            ("tree/direct", 11),
+            ("direct B", 11),
+            ("tree B", 11),
+        ],
+    );
+    for n in [25usize, 50, 100, 200, 400] {
+        let run = |strategy: Strategy| {
+            move |seed: u64| {
+                let mut w = standard_world(n, seed);
+                let members: Vec<_> = w
+                    .net
+                    .topology()
+                    .nodes()
+                    .filter(|&x| x != w.net.base())
+                    .collect();
+                let mut rng = StdRng::seed_from_u64(seed ^ 0xAA);
+                let r = strategy.run_epoch(&mut w.net, &members, &w.field, w.now, AggFn::Avg, &mut rng);
+                r.energy_j
+            }
+        };
+        let bytes = |strategy: Strategy| {
+            move |seed: u64| {
+                let mut w = standard_world(n, seed);
+                let members: Vec<_> = w
+                    .net
+                    .topology()
+                    .nodes()
+                    .filter(|&x| x != w.net.base())
+                    .collect();
+                let mut rng = StdRng::seed_from_u64(seed ^ 0xAA);
+                let r = strategy.run_epoch(&mut w.net, &members, &w.field, w.now, AggFn::Avg, &mut rng);
+                r.total_bytes as f64
+            }
+        };
+        let direct = replicate(REPS, run(Strategy::Direct)).mean();
+        let cluster = replicate(
+            REPS,
+            run(Strategy::Cluster {
+                heads: default_head_count(n - 1),
+            }),
+        )
+        .mean();
+        let tree = replicate(REPS, run(Strategy::Tree)).mean();
+        let db = replicate(REPS, bytes(Strategy::Direct)).mean();
+        let tb = replicate(REPS, bytes(Strategy::Tree)).mean();
+        println!(
+            "{n:>5}  {:>11}  {:>11}  {:>11}  {:>11}  {:>11}  {:>11}",
+            fmt(direct),
+            fmt(cluster),
+            fmt(tree),
+            format!("{:.2}", tree / direct),
+            fmt(db),
+            fmt(tb),
+        );
+    }
+    println!(
+        "\nshape to check: tree/direct ratio falls as n grows (in-network \
+         aggregation pays off more the bigger the network — TAG's result); \
+         direct bytes grow superlinearly (hop count grows), tree bytes \
+         linearly (one partial per node)."
+    );
+}

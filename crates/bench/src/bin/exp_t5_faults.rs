@@ -1,0 +1,141 @@
+//! **T5** — composition fault tolerance: success rate and utility under
+//! rising service churn, centralized vs. distributed-reactive, with and
+//! without replicas (§3's fault-tolerance and graceful-degradation claims).
+//!
+//! ```sh
+//! cargo run --release -p pg-bench --bin exp_t5_faults
+//! ```
+
+use pg_bench::header;
+use pg_compose::htn::MethodLibrary;
+use pg_compose::manager::{execute, ManagerKind, ServiceWorld};
+use pg_discovery::description::ServiceDescription;
+use pg_discovery::ontology::Ontology;
+use pg_net::churn::{ChurnProcess, ChurnSchedule};
+use pg_sim::rng::RngStreams;
+use pg_sim::SimTime;
+
+const RUNS: u64 = 40;
+
+fn world(onto: &Ontology, replicas: usize, availability: f64, seed: u64) -> ServiceWorld {
+    let streams = RngStreams::new(seed);
+    let mut rng = streams.fork("churn");
+    let horizon = SimTime::from_secs(200_000);
+    let mut w = ServiceWorld::new();
+    for class in [
+        "TemperatureSensor",
+        "MapService",
+        "WeatherService",
+        "PdeSolverService",
+        "DisplayService",
+    ] {
+        for i in 0..replicas {
+            let sched = if availability >= 1.0 {
+                ChurnSchedule::always_up()
+            } else {
+                // mean_up/(mean_up+mean_down) = availability, cycle 120 s.
+                let up = 120.0 * availability;
+                ChurnProcess::new(up.max(1.0), (120.0 - up).max(1.0)).schedule(horizon, &mut rng)
+            };
+            w.add_service(
+                ServiceDescription::new(format!("{class}-{i}"), onto.class(class).unwrap()),
+                sched,
+            );
+        }
+    }
+    w
+}
+
+fn measure(w: &ServiceWorld, onto: &Ontology, kind: ManagerKind) -> (f64, f64, f64, f64) {
+    let plan = MethodLibrary::pervasive_grid()
+        .decompose("temperature-distribution")
+        .unwrap();
+    let mut ok = 0u64;
+    let mut utility = 0.0;
+    let mut rebinds = 0u64;
+    let mut latency = 0.0;
+    for i in 0..RUNS {
+        let r = execute(w, onto, &plan, kind, SimTime::from_secs(i * 900));
+        if r.success {
+            ok += 1;
+        }
+        utility += r.utility;
+        rebinds += r.rebinds as u64;
+        latency += r.latency.as_secs_f64();
+    }
+    (
+        ok as f64 / RUNS as f64,
+        utility / RUNS as f64,
+        rebinds as f64 / RUNS as f64,
+        latency / RUNS as f64,
+    )
+}
+
+fn main() {
+    let onto = Ontology::pervasive_grid();
+    println!("T5: composition under churn ({RUNS} runs per cell, 5-step plan)");
+    header(
+        "success rate / mean utility / rebinds per run",
+        &[
+            ("availability", 12),
+            ("replicas", 8),
+            ("manager", 22),
+            ("success", 8),
+            ("utility", 8),
+            ("rebinds", 8),
+        ],
+    );
+    for &avail in &[1.0, 0.9, 0.75, 0.5] {
+        for &replicas in &[1usize, 3] {
+            for kind in [ManagerKind::Centralized, ManagerKind::DistributedReactive] {
+                let w = world(&onto, replicas, avail, 17);
+                let (s, u, r, _) = measure(&w, &onto, kind);
+                println!(
+                    "{avail:>12.2}  {replicas:>8}  {:>22}  {s:>8.2}  {u:>8.2}  {r:>8.2}",
+                    kind.name()
+                );
+            }
+        }
+        println!();
+    }
+    println!(
+        "shape to check: success degrades gracefully (utility falls slower \
+         than success); replication recovers most of the loss; the two \
+         managers tie here because the center is up — T5b breaks that."
+    );
+
+    // --- T5b: the single point of failure. ---
+    println!("\nT5b: center outage sensitivity (service availability fixed at 0.9, 3 replicas)");
+    println!("(the centralized manager waits out center outages: the cost is latency)");
+    header(
+        "center availability sweep",
+        &[
+            ("center avail", 12),
+            ("manager", 22),
+            ("success", 8),
+            ("latency s", 10),
+        ],
+    );
+    for &center in &[1.0, 0.8, 0.5, 0.2] {
+        for kind in [ManagerKind::Centralized, ManagerKind::DistributedReactive] {
+            let mut w = world(&onto, 3, 0.9, 31);
+            if center < 1.0 {
+                let streams = RngStreams::new(31);
+                let up: f64 = 300.0 * center;
+                w.center_churn = ChurnProcess::new(up.max(1.0), (300.0 - up).max(1.0))
+                    .schedule(SimTime::from_secs(200_000), &mut streams.fork("center"));
+            }
+            let (s, _, _, lat) = measure(&w, &onto, kind);
+            println!(
+                "{center:>12.2}  {:>22}  {s:>8.2}  {:>10}",
+                kind.name(),
+                pg_bench::fmt(lat)
+            );
+        }
+    }
+    println!(
+        "\nshape to check: the distributed manager's latency is flat across \
+         the sweep; the centralized manager's latency blows up as its center \
+         spends more time down (every stalled step waits for the center)."
+    );
+}

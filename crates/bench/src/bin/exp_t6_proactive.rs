@@ -1,0 +1,80 @@
+//! **T6** — proactive vs. reactive composition: mean setup latency per
+//! request as request frequency varies; the crossover §3 predicts.
+//!
+//! ```sh
+//! cargo run --release -p pg-bench --bin exp_t6_proactive
+//! ```
+
+use pg_bench::{fmt, header};
+use pg_compose::htn::MethodLibrary;
+use pg_compose::proactive::{mean_setup_latency, CacheResult, ComposeCosts, PlanCache};
+use pg_sim::{Duration, SimTime};
+
+fn main() {
+    let costs = ComposeCosts::default();
+    let ttl = Duration::from_secs(60);
+
+    // --- Measured: drive a PlanCache with request streams. ---
+    println!("T6: proactive (plan cache, 60 s TTL) vs reactive composition setup latency");
+    header(
+        "500 requests per row",
+        &[
+            ("period s", 9),
+            ("hit rate", 9),
+            ("proactive ms", 13),
+            ("reactive ms", 12),
+            ("winner", 10),
+        ],
+    );
+    for period_s in [1.0f64, 5.0, 20.0, 60.0, 120.0, 600.0, 3_600.0] {
+        let mut cache = PlanCache::new(MethodLibrary::pervasive_grid(), ttl);
+        let mut total = Duration::ZERO;
+        let mut hits = 0u32;
+        const REQS: u32 = 500;
+        for i in 0..REQS {
+            let now = SimTime::from_secs_f64(period_s * i as f64);
+            let (_, res, lat) = cache
+                .request("temperature-distribution", now, &costs)
+                .expect("library task");
+            if res == CacheResult::Hit {
+                hits += 1;
+            }
+            total += lat;
+            // The proactive maintainer refreshes expired entries in the
+            // background; charge its amortized cost per request.
+            if period_s > ttl.as_secs_f64() {
+                total += costs.refresh_cost.mul_f64(period_s / ttl.as_secs_f64() - 1.0);
+            }
+        }
+        let pro_ms = total.as_secs_f64() * 1e3 / REQS as f64;
+        let re_ms = (costs.plan_time + costs.discovery_sweep).as_secs_f64() * 1e3;
+        println!(
+            "{period_s:>9}  {:>9}  {:>13}  {:>12}  {:>10}",
+            format!("{:.2}", hits as f64 / REQS as f64),
+            fmt(pro_ms),
+            fmt(re_ms),
+            if pro_ms < re_ms { "proactive" } else { "reactive" },
+        );
+    }
+
+    // --- Analytic crossover. ---
+    println!("\nT6b: analytic crossover (same cost model)");
+    header(
+        "mean setup latency per request",
+        &[("period s", 9), ("proactive ms", 13), ("reactive ms", 12)],
+    );
+    for period_s in [1.0f64, 10.0, 60.0, 300.0, 1_800.0] {
+        let p = mean_setup_latency(&costs, Duration::from_secs_f64(period_s), ttl, true);
+        let r = mean_setup_latency(&costs, Duration::from_secs_f64(period_s), ttl, false);
+        println!(
+            "{period_s:>9}  {:>13}  {:>12}",
+            fmt(p.as_secs_f64() * 1e3),
+            fmt(r.as_secs_f64() * 1e3)
+        );
+    }
+    println!(
+        "\nshape to check: proactive wins at high request frequency (cache \
+         hits amortize the refresh), reactive wins for rare requests — the \
+         crossover sits near the cache TTL."
+    );
+}

@@ -1,0 +1,161 @@
+//! **T8** — partition crossover: where each solution model wins as the
+//! computation intensity of the query grows (§4: "Some queries may involve
+//! performing a lot of computation … Such queries are best solved by [the
+//! grid]. Some very frequent queries may require less computation … The
+//! [in-network] approach would work best … Some queries which fall between
+//! … may be best solved by [the base station].").
+//!
+//! The sweep runs the Complex query over growing regions: the PDE problem
+//! (and hence ops) scales with region volume while the data volume scales
+//! with member count.
+//!
+//! ```sh
+//! cargo run --release -p pg-bench --bin exp_t8_crossover
+//! ```
+
+use pg_bench::{fmt, header, standard_world};
+use pg_partition::exec::{execute_once, ExecContext};
+use pg_partition::model::SolutionModel;
+use pg_sensornet::region::Region;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const N: usize = 200;
+
+fn main() {
+    println!("T8: response time per solution model as computation intensity grows");
+    println!("({} sensors; Complex query over growing regions of the arena)", N);
+    header(
+        "response time seconds (mean of 5 seeds)",
+        &[
+            ("region %", 9),
+            ("ops", 10),
+            ("in-net s", 10),
+            ("base s", 10),
+            ("grid s", 10),
+            ("winner", 8),
+        ],
+    );
+    for frac in [0.1f64, 0.25, 0.5, 0.75, 1.0] {
+        let mut times = [0.0f64; 3];
+        let mut ops = 0.0;
+        const REPS: u64 = 5;
+        for seed in 0..REPS {
+            for (i, model) in [
+                SolutionModel::InNetworkTree,
+                SolutionModel::BaseStation,
+                SolutionModel::GridOffload {
+                    reduction_cell_m: 0.0,
+                },
+            ]
+            .into_iter()
+            .enumerate()
+            {
+                let mut w = standard_world(N, seed);
+                let side = ((N as f64) * 100.0).sqrt();
+                w.regions.insert(
+                    "sweep".to_string(),
+                    Region::room(0.0, 0.0, side * frac, side * frac),
+                );
+                let query = pg_query::parse(
+                    "SELECT temperature_distribution() FROM sensors WHERE region(sweep)",
+                )
+                .expect("valid query");
+                let mut ctx = ExecContext {
+                    net: &mut w.net,
+                    grid: &w.grid,
+                    field: &w.field,
+                    regions: &w.regions,
+                    now: w.now,
+                };
+                let mut rng = StdRng::seed_from_u64(seed);
+                if let Ok(out) = execute_once(&mut ctx, &query, model, &mut rng) {
+                    times[i] += out.cost.time_s / REPS as f64;
+                    if i == 2 {
+                        ops += out.cost.ops / REPS as f64;
+                    }
+                }
+            }
+        }
+        let labels = ["in-net", "base", "grid"];
+        let winner = labels[times
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0];
+        println!(
+            "{:>9}  {:>10}  {:>10}  {:>10}  {:>10}  {:>8}",
+            format!("{:.0}%", frac * 100.0),
+            fmt(ops),
+            fmt(times[0]),
+            fmt(times[1]),
+            fmt(times[2]),
+            winner,
+        );
+    }
+
+    // The low end of the spectrum: a cheap aggregate over the same regions.
+    println!("\nT8b: the cheap end (Aggregate query, same regions)");
+    header(
+        "response time seconds (mean of 5 seeds)",
+        &[("region %", 9), ("in-net s", 10), ("base s", 10), ("grid s", 10), ("winner", 8)],
+    );
+    for frac in [0.25f64, 1.0] {
+        let mut times = [0.0f64; 3];
+        const REPS: u64 = 5;
+        for seed in 0..REPS {
+            for (i, model) in [
+                SolutionModel::InNetworkTree,
+                SolutionModel::BaseStation,
+                SolutionModel::GridOffload {
+                    reduction_cell_m: 0.0,
+                },
+            ]
+            .into_iter()
+            .enumerate()
+            {
+                let mut w = standard_world(N, seed);
+                let side = ((N as f64) * 100.0).sqrt();
+                w.regions.insert(
+                    "sweep".to_string(),
+                    Region::room(0.0, 0.0, side * frac, side * frac),
+                );
+                let query =
+                    pg_query::parse("SELECT AVG(temp) FROM sensors WHERE region(sweep)").unwrap();
+                let mut ctx = ExecContext {
+                    net: &mut w.net,
+                    grid: &w.grid,
+                    field: &w.field,
+                    regions: &w.regions,
+                    now: w.now,
+                };
+                let mut rng = StdRng::seed_from_u64(seed);
+                if let Ok(out) = execute_once(&mut ctx, &query, model, &mut rng) {
+                    times[i] += out.cost.time_s / REPS as f64;
+                }
+            }
+        }
+        let labels = ["in-net", "base", "grid"];
+        let winner = labels[times
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0];
+        println!(
+            "{:>9}  {:>10}  {:>10}  {:>10}  {:>8}",
+            format!("{:.0}%", frac * 100.0),
+            fmt(times[0]),
+            fmt(times[1]),
+            fmt(times[2]),
+            winner,
+        );
+    }
+    println!(
+        "\nshape to check: in-network wins the cheap aggregates; the grid \
+         pulls ahead of the base station as the PDE grows (its compute-time \
+         share shrinks while the PDA's explodes); in-network is never \
+         competitive for Complex queries."
+    );
+}

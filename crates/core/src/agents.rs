@@ -1,0 +1,240 @@
+//! The runtime behind the Ronin middleware: a handheld client agent talks
+//! to the query-processor agent over envelopes.
+//!
+//! This is the paper's Figure 1 wiring: the fire fighter's handheld does
+//! not touch the sensor network directly — it sends a query envelope to the
+//! base station's query-processor agent, whose deputy handles the wireless
+//! hop, and receives a result envelope back.
+
+use crate::runtime::PervasiveGrid;
+use pg_agent::deputy::DirectDeputy;
+use pg_agent::envelope::{AgentId, Envelope, Payload};
+use pg_agent::profile::{AgentAttribute, AgentProfile};
+use pg_agent::system::{Agent, AgentSystem};
+use pg_net::link::LinkModel;
+use pg_sim::SimTime;
+use shared::Shared;
+
+/// Content type of a query request envelope.
+pub const CT_QUERY: &str = "pg/query";
+/// Content type of a result envelope.
+pub const CT_RESULT: &str = "pg/result";
+/// Content type of an error envelope.
+pub const CT_ERROR: &str = "pg/error";
+
+/// Minimal shared-ownership shim (std `Rc<RefCell>` is not `Send`; the
+/// agent system is single-threaded, so a `RefCell` wrapper suffices).
+mod shared {
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    /// Shared mutable handle used to let two agents see one runtime.
+    #[derive(Debug)]
+    pub struct Shared<T>(Rc<RefCell<T>>);
+
+    impl<T> Clone for Shared<T> {
+        fn clone(&self) -> Self {
+            Shared(Rc::clone(&self.0))
+        }
+    }
+
+    impl<T> Shared<T> {
+        /// Wrap a value.
+        pub fn new(v: T) -> Self {
+            Shared(Rc::new(RefCell::new(v)))
+        }
+
+        /// Run `f` with mutable access.
+        pub fn with<R>(&self, f: impl FnOnce(&mut T) -> R) -> R {
+            f(&mut self.0.borrow_mut())
+        }
+    }
+}
+
+pub use shared::Shared as SharedRuntime;
+
+/// The base-station agent: parses/executes queries against the runtime.
+pub struct QueryProcessorAgent {
+    profile: AgentProfile,
+    runtime: Shared<PervasiveGrid>,
+    /// Queries served.
+    pub served: u32,
+}
+
+impl QueryProcessorAgent {
+    /// Wrap a shared runtime.
+    pub fn new(runtime: Shared<PervasiveGrid>) -> Self {
+        QueryProcessorAgent {
+            profile: AgentProfile::new()
+                .with_attr(AgentAttribute::ServiceProvider)
+                .with_attr(AgentAttribute::GridGateway)
+                .with_domain("role", "query-processor"),
+            runtime,
+            served: 0,
+        }
+    }
+}
+
+impl Agent for QueryProcessorAgent {
+    fn profile(&self) -> &AgentProfile {
+        &self.profile
+    }
+
+    fn handle(&mut self, now: SimTime, env: Envelope) -> Vec<Envelope> {
+        if env.content_type != CT_QUERY {
+            return Vec::new();
+        }
+        let Some(text) = env.payload.as_text().map(str::to_owned) else {
+            return vec![env.reply(CT_ERROR, Payload::Text("non-text query".into()))];
+        };
+        self.served += 1;
+        let result = self.runtime.with(|pg| {
+            pg.now = now; // the middleware clock drives the runtime clock
+            pg.submit(&text)
+        });
+        match result {
+            Ok(resp) => {
+                let body = resp.value.unwrap_or(f64::NAN);
+                vec![env.reply(CT_RESULT, Payload::Number(body))]
+            }
+            Err(e) => vec![env.reply(CT_ERROR, Payload::Text(e.to_string()))],
+        }
+    }
+}
+
+/// The fire fighter's handheld: fires queries, records answers.
+pub struct HandheldAgent {
+    profile: AgentProfile,
+    /// Results received, in arrival order.
+    pub results: Vec<f64>,
+    /// Errors received.
+    pub errors: Vec<String>,
+}
+
+impl Default for HandheldAgent {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl HandheldAgent {
+    /// A fresh handheld.
+    pub fn new() -> Self {
+        HandheldAgent {
+            profile: AgentProfile::new()
+                .with_attr(AgentAttribute::Client)
+                .with_domain("device", "handheld"),
+            results: Vec::new(),
+            errors: Vec::new(),
+        }
+    }
+}
+
+impl Agent for HandheldAgent {
+    fn profile(&self) -> &AgentProfile {
+        &self.profile
+    }
+
+    fn handle(&mut self, _now: SimTime, env: Envelope) -> Vec<Envelope> {
+        match env.content_type.as_str() {
+            CT_RESULT => {
+                if let Some(x) = env.payload.as_number() {
+                    self.results.push(x);
+                }
+            }
+            CT_ERROR => {
+                if let Some(s) = env.payload.as_text() {
+                    self.errors.push(s.to_string());
+                }
+            }
+            _ => {}
+        }
+        Vec::new()
+    }
+}
+
+/// Wire a runtime into an agent system; returns `(system, handheld id,
+/// processor id)`. The handheld's deputy rides the 802.11 hop, the
+/// processor's the wired base-station link.
+pub fn middleware(runtime: PervasiveGrid) -> (AgentSystem, AgentId, AgentId) {
+    let shared = Shared::new(runtime);
+    let mut sys = AgentSystem::new();
+    let handheld = sys.register(
+        Box::new(HandheldAgent::new()),
+        Box::new(DirectDeputy::new(LinkModel::wifi())),
+    );
+    let processor = sys.register(
+        Box::new(QueryProcessorAgent::new(shared)),
+        Box::new(DirectDeputy::new(LinkModel::wifi())),
+    );
+    (sys, handheld, processor)
+}
+
+/// Submit a query through the middleware and run to quiescence.
+pub fn submit_via_middleware(
+    sys: &mut AgentSystem,
+    handheld: AgentId,
+    processor: AgentId,
+    text: &str,
+) {
+    sys.send(Envelope::new(
+        handheld,
+        processor,
+        CT_QUERY,
+        "pg:sensor-queries",
+        Payload::Text(text.to_string()),
+    ));
+    sys.run_to_quiescence();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::PervasiveGrid;
+
+    fn mk() -> (AgentSystem, AgentId, AgentId) {
+        middleware(PervasiveGrid::building(1, 5, 3).build())
+    }
+
+    fn handheld_results(sys: &AgentSystem, id: AgentId) -> (Vec<f64>, Vec<String>) {
+        let h: &HandheldAgent = sys
+            .agent(id)
+            .expect("registered")
+            .downcast_ref()
+            .expect("a HandheldAgent lives at this id");
+        (h.results.clone(), h.errors.clone())
+    }
+
+    #[test]
+    fn query_round_trips_through_envelopes() {
+        let (mut sys, hh, qp) = mk();
+        submit_via_middleware(&mut sys, hh, qp, "SELECT AVG(temp) FROM sensors");
+        let (results, errors) = handheld_results(&sys, hh);
+        assert_eq!(results.len(), 1);
+        assert!(errors.is_empty());
+        assert!((results[0] - 21.0).abs() < 3.0);
+        // Two deliveries (query + result) with non-zero transport latency.
+        assert_eq!(sys.metrics().counter("route.delivered"), 2);
+        assert!(sys.now() > SimTime::ZERO);
+    }
+
+    #[test]
+    fn bad_queries_come_back_as_error_envelopes() {
+        let (mut sys, hh, qp) = mk();
+        submit_via_middleware(&mut sys, hh, qp, "BANANA");
+        let (results, errors) = handheld_results(&sys, hh);
+        assert!(results.is_empty());
+        assert_eq!(errors.len(), 1);
+        assert!(errors[0].contains("parse"));
+    }
+
+    #[test]
+    fn multiple_queries_accumulate() {
+        let (mut sys, hh, qp) = mk();
+        for _ in 0..3 {
+            submit_via_middleware(&mut sys, hh, qp, "SELECT MAX(temp) FROM sensors");
+        }
+        let (results, _) = handheld_results(&sys, hh);
+        assert_eq!(results.len(), 3);
+    }
+}

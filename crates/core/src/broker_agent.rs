@@ -1,0 +1,304 @@
+//! The broker agent: semantic discovery served over the middleware.
+//!
+//! §3: "We are investigating the creation of efficient broker agents to
+//! discover services at a semantic level." A [`BrokerAgent`] owns an
+//! ontology and a registry, carries the framework's `Broker` attribute
+//! (the bootstrap hook: any agent can find brokers via
+//! [`pg_agent::system::AgentSystem::find_by_attr`]), and answers
+//! `disc/query` envelopes with ranked matches.
+//!
+//! The query wire format is a tiny text encoding of a [`ServiceRequest`]
+//! (the ontology identifier in the envelope names the vocabulary, per the
+//! Ronin envelope design):
+//!
+//! ```text
+//! class=PrinterService;min=queue_length;le=cost_per_page:0.30
+//! ```
+//!
+//! Replies are `disc/results` with `name:score` pairs, ranked.
+
+use pg_agent::envelope::{Envelope, Payload};
+use pg_agent::profile::{AgentAttribute, AgentProfile};
+use pg_agent::system::Agent;
+use pg_discovery::description::{Constraint, Preference, ServiceDescription, ServiceRequest};
+use pg_discovery::ontology::Ontology;
+use pg_discovery::registry::Registry;
+use pg_sim::SimTime;
+
+/// Content type of a discovery query.
+pub const CT_DISC_QUERY: &str = "disc/query";
+/// Content type of a ranked result list.
+pub const CT_DISC_RESULTS: &str = "disc/results";
+/// Content type of a malformed-query error.
+pub const CT_DISC_ERROR: &str = "disc/error";
+
+/// Encode a request into the text wire format.
+pub fn encode_request(class: &str, req: &ServiceRequest) -> String {
+    let mut parts = vec![format!("class={class}")];
+    for p in &req.preferences {
+        match p {
+            Preference::Minimize(k) => parts.push(format!("min={k}")),
+            Preference::Maximize(k) => parts.push(format!("max={k}")),
+            Preference::Nearest(pt) => parts.push(format!("near={},{}", pt.x, pt.y)),
+        }
+    }
+    for c in &req.constraints {
+        match c {
+            Constraint::Le(k, v) => parts.push(format!("le={k}:{v}")),
+            Constraint::Ge(k, v) => parts.push(format!("ge={k}:{v}")),
+            // The remaining constraint forms are not needed on the wire yet.
+            _ => {}
+        }
+    }
+    parts.join(";")
+}
+
+/// Decode the wire format against an ontology.
+pub fn decode_request(onto: &Ontology, s: &str) -> Option<ServiceRequest> {
+    let mut class = None;
+    let mut req_parts: Vec<(String, String)> = Vec::new();
+    for part in s.split(';') {
+        let (key, value) = part.split_once('=')?;
+        if key == "class" {
+            class = onto.class(value);
+        } else {
+            req_parts.push((key.to_string(), value.to_string()));
+        }
+    }
+    let mut req = ServiceRequest::for_class(class?);
+    for (key, value) in req_parts {
+        match key.as_str() {
+            "min" => req = req.with_preference(Preference::Minimize(value)),
+            "max" => req = req.with_preference(Preference::Maximize(value)),
+            "near" => {
+                let (x, y) = value.split_once(',')?;
+                req = req.with_preference(Preference::Nearest(pg_net::geom::Point::flat(
+                    x.parse().ok()?,
+                    y.parse().ok()?,
+                )));
+            }
+            "le" => {
+                let (k, v) = value.split_once(':')?;
+                req = req.with_constraint(Constraint::Le(k.to_string(), v.parse().ok()?));
+            }
+            "ge" => {
+                let (k, v) = value.split_once(':')?;
+                req = req.with_constraint(Constraint::Ge(k.to_string(), v.parse().ok()?));
+            }
+            _ => return None,
+        }
+    }
+    Some(req)
+}
+
+/// A middleware agent fronting a semantic registry.
+pub struct BrokerAgent {
+    profile: AgentProfile,
+    onto: Ontology,
+    /// The registry this broker serves (public: services in the same
+    /// process register directly; remote registration would add a
+    /// `disc/register` codec).
+    pub registry: Registry,
+    /// Queries served.
+    pub served: u64,
+}
+
+impl BrokerAgent {
+    /// An empty broker over the standard ontology.
+    pub fn new() -> Self {
+        BrokerAgent {
+            profile: AgentProfile::new()
+                .with_attr(AgentAttribute::Broker)
+                .with_domain("role", "semantic-broker"),
+            onto: Ontology::pervasive_grid(),
+            registry: Registry::new(),
+            served: 0,
+        }
+    }
+
+    /// Register a service description directly.
+    pub fn register(&mut self, desc: ServiceDescription) {
+        self.registry.register(desc);
+    }
+}
+
+impl Default for BrokerAgent {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Agent for BrokerAgent {
+    fn profile(&self) -> &AgentProfile {
+        &self.profile
+    }
+
+    fn handle(&mut self, _now: SimTime, env: Envelope) -> Vec<Envelope> {
+        if env.content_type != CT_DISC_QUERY {
+            return Vec::new();
+        }
+        let Some(req) = env
+            .payload
+            .as_text()
+            .and_then(|s| decode_request(&self.onto, s))
+        else {
+            return vec![env.reply(CT_DISC_ERROR, Payload::Text("malformed query".into()))];
+        };
+        self.served += 1;
+        let hits = self.registry.query(&self.onto, &req);
+        let body = hits
+            .iter()
+            .map(|h| {
+                let name = &self.registry.get(h.id).expect("hit id valid").name;
+                format!("{name}:{:.3}", h.m.score)
+            })
+            .collect::<Vec<_>>()
+            .join(",");
+        vec![env.reply(CT_DISC_RESULTS, Payload::Text(body))]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pg_agent::deputy::DirectDeputy;
+    use pg_agent::envelope::AgentId;
+    use pg_agent::system::AgentSystem;
+    use pg_discovery::description::Value;
+    use pg_net::link::LinkModel;
+
+    /// Collects discovery replies.
+    struct Client {
+        profile: AgentProfile,
+        results: Vec<String>,
+        errors: u32,
+    }
+
+    impl Client {
+        fn new() -> Self {
+            Client {
+                profile: AgentProfile::new().with_attr(AgentAttribute::Client),
+                results: Vec::new(),
+                errors: 0,
+            }
+        }
+    }
+
+    impl Agent for Client {
+        fn profile(&self) -> &AgentProfile {
+            &self.profile
+        }
+        fn handle(&mut self, _now: SimTime, env: Envelope) -> Vec<Envelope> {
+            match env.content_type.as_str() {
+                CT_DISC_RESULTS => {
+                    if let Some(s) = env.payload.as_text() {
+                        self.results.push(s.to_string());
+                    }
+                }
+                CT_DISC_ERROR => self.errors += 1,
+                _ => {}
+            }
+            Vec::new()
+        }
+    }
+
+    fn setup() -> (AgentSystem, AgentId, AgentId) {
+        let onto = Ontology::pervasive_grid();
+        let mut broker = BrokerAgent::new();
+        broker.register(
+            ServiceDescription::new("fast-printer", onto.class("LaserPrinterService").unwrap())
+                .with_prop("queue_length", Value::Num(0.0))
+                .with_prop("cost_per_page", Value::Num(0.10)),
+        );
+        broker.register(
+            ServiceDescription::new("busy-printer", onto.class("ColorPrinterService").unwrap())
+                .with_prop("queue_length", Value::Num(9.0))
+                .with_prop("cost_per_page", Value::Num(0.05)),
+        );
+        let mut sys = AgentSystem::new();
+        let client = sys.register(
+            Box::new(Client::new()),
+            Box::new(DirectDeputy::new(LinkModel::wifi())),
+        );
+        let broker_id = sys.register(
+            Box::new(broker),
+            Box::new(DirectDeputy::new(LinkModel::wifi())),
+        );
+        (sys, client, broker_id)
+    }
+
+    #[test]
+    fn clients_find_brokers_by_attribute() {
+        let (sys, _, broker_id) = setup();
+        assert_eq!(sys.find_by_attr(AgentAttribute::Broker), vec![broker_id]);
+    }
+
+    #[test]
+    fn query_round_trip_returns_ranked_names() {
+        let (mut sys, client, broker_id) = setup();
+        sys.send(Envelope::new(
+            client,
+            broker_id,
+            CT_DISC_QUERY,
+            "pg:services",
+            Payload::Text("class=PrinterService;min=queue_length".into()),
+        ));
+        sys.run_to_quiescence();
+        let c: &Client = sys.agent(client).unwrap().downcast_ref().unwrap();
+        assert_eq!(c.results.len(), 1);
+        // The shortest-queue printer ranks first.
+        assert!(
+            c.results[0].starts_with("fast-printer:"),
+            "got {}",
+            c.results[0]
+        );
+        assert!(c.results[0].contains("busy-printer:"));
+    }
+
+    #[test]
+    fn constraints_travel_over_the_wire() {
+        let (mut sys, client, broker_id) = setup();
+        sys.send(Envelope::new(
+            client,
+            broker_id,
+            CT_DISC_QUERY,
+            "pg:services",
+            Payload::Text("class=PrinterService;le=cost_per_page:0.08".into()),
+        ));
+        sys.run_to_quiescence();
+        let c: &Client = sys.agent(client).unwrap().downcast_ref().unwrap();
+        assert_eq!(c.results.len(), 1);
+        assert!(c.results[0].contains("busy-printer"));
+        assert!(!c.results[0].contains("fast-printer"));
+    }
+
+    #[test]
+    fn malformed_queries_get_error_envelopes() {
+        let (mut sys, client, broker_id) = setup();
+        sys.send(Envelope::new(
+            client,
+            broker_id,
+            CT_DISC_QUERY,
+            "pg:services",
+            Payload::Text("not-a-query".into()),
+        ));
+        sys.run_to_quiescence();
+        let c: &Client = sys.agent(client).unwrap().downcast_ref().unwrap();
+        assert_eq!(c.errors, 1);
+    }
+
+    #[test]
+    fn codec_roundtrips() {
+        let onto = Ontology::pervasive_grid();
+        let class = onto.class("PrinterService").unwrap();
+        let req = ServiceRequest::for_class(class)
+            .with_constraint(Constraint::Le("cost_per_page".into(), 0.3))
+            .with_preference(Preference::Minimize("queue_length".into()))
+            .with_preference(Preference::Nearest(pg_net::geom::Point::flat(3.0, 4.0)));
+        let wire = encode_request("PrinterService", &req);
+        let back = decode_request(&onto, &wire).expect("valid wire form");
+        assert_eq!(back.class, class);
+        assert_eq!(back.constraints.len(), 1);
+        assert_eq!(back.preferences.len(), 2);
+    }
+}

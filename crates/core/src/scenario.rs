@@ -1,0 +1,220 @@
+//! The paper's Figure-1 scenario, end to end.
+//!
+//! "Consider a building with temperature sensors embedded at various
+//! locations … Suppose the building is on fire. Fire fighters with handheld
+//! devices arrive, and want to query the sensor network in the building to
+//! plan their response." (§4)
+//!
+//! [`FireScenario`] assembles the whole stack: a multi-floor sensor
+//! deployment over a spreading fire, the grid behind the base station, the
+//! service world for composition (sensors, floor plans, PDE solvers,
+//! displays — some of them churny proximity services), and the adaptive
+//! runtime. [`FireScenario::respond`] then runs the fire-response sequence:
+//! compose the `temperature-distribution` service chain, then answer the
+//! paper's four query archetypes.
+
+use crate::runtime::{PervasiveGrid, QueryResponse};
+use crate::PgError;
+use pg_compose::htn::MethodLibrary;
+use pg_compose::manager::{execute, ExecutionReport, ManagerKind, ServiceWorld};
+use pg_compose::plan::Plan;
+use pg_discovery::description::ServiceDescription;
+use pg_discovery::ontology::Ontology;
+use pg_net::churn::{ChurnProcess, ChurnSchedule};
+use pg_net::geom::Point;
+use pg_sensornet::region::Region;
+use pg_sim::rng::RngStreams;
+use pg_sim::SimTime;
+
+/// Everything measured by one scenario run.
+#[derive(Debug)]
+pub struct ScenarioReport {
+    /// The composition phase outcome.
+    pub composition: ExecutionReport,
+    /// Responses to the four §4 query archetypes, in order:
+    /// Simple, Aggregate, Complex, Continuous.
+    pub queries: Vec<(String, Result<QueryResponse, PgError>)>,
+    /// Sensor energy consumed across the whole response, joules.
+    pub energy_j: f64,
+    /// Sensors still alive at the end.
+    pub alive: usize,
+}
+
+/// The assembled burning-building world.
+#[derive(Debug)]
+pub struct FireScenario {
+    /// The query runtime over the sensor network + grid.
+    pub runtime: PervasiveGrid,
+    /// The shared ontology.
+    pub onto: Ontology,
+    /// The composition service world.
+    pub world: ServiceWorld,
+    /// The decomposed temperature-distribution plan.
+    pub plan: Plan,
+}
+
+impl FireScenario {
+    /// Build the scenario: `floors` floors of `side × side` sensors with a
+    /// fire that ignited ten minutes ago near the middle of floor 1.
+    pub fn new(floors: usize, side: usize, seed: u64) -> Self {
+        let streams = RngStreams::new(seed);
+        let mid = (side as f64 - 1.0) * 5.0 / 2.0;
+        let mut runtime = PervasiveGrid::building(floors, side, seed)
+            .region("room210", Region::room(0.0, 0.0, 20.0, 20.0))
+            .region(
+                "floor2",
+                Region::new(
+                    Point::new(f64::NEG_INFINITY, f64::NEG_INFINITY, 3.9),
+                    Point::new(f64::INFINITY, f64::INFINITY, 8.1),
+                ),
+            )
+            .build();
+        runtime.ignite(Point::new(mid, mid, 0.0), 450.0);
+        runtime.advance(pg_sim::Duration::from_secs(600));
+
+        // The service world: fixed grid services are stable; proximity
+        // services on responders' devices churn.
+        let onto = Ontology::pervasive_grid();
+        let mut world = ServiceWorld::new();
+        let horizon = SimTime::from_secs(4_000);
+        let mut churn_rng = streams.fork("service-churn");
+        let flaky = ChurnProcess::new(120.0, 30.0);
+        let class_of = |name: &str| onto.class(name).expect("standard ontology");
+
+        for (i, class) in ["TemperatureSensor", "TemperatureSensor", "MapService"]
+            .iter()
+            .enumerate()
+        {
+            world.add_service(
+                ServiceDescription::new(format!("{class}-{i}"), class_of(class)),
+                ChurnSchedule::always_up(),
+            );
+        }
+        // Two churny proximity services (a responder's handheld display and
+        // a van-mounted weather feed).
+        world.add_service(
+            ServiceDescription::new("van-weather", class_of("WeatherService")),
+            flaky.schedule(horizon, &mut churn_rng),
+        );
+        world.add_service(
+            ServiceDescription::new("handheld-display", class_of("DisplayService")),
+            flaky.schedule(horizon, &mut churn_rng),
+        );
+        // A stable backup display at the command post.
+        world.add_service(
+            ServiceDescription::new("commandpost-display", class_of("DisplayService")),
+            ChurnSchedule::always_up(),
+        );
+        // The grid-side solver.
+        world.add_service(
+            ServiceDescription::new("campus-pde-solver", class_of("PdeSolverService")),
+            ChurnSchedule::always_up(),
+        );
+
+        let plan = MethodLibrary::pervasive_grid()
+            .decompose("temperature-distribution")
+            .expect("standard library task");
+
+        FireScenario {
+            runtime,
+            onto,
+            world,
+            plan,
+        }
+    }
+
+    /// The four §4 query archetypes, instantiated for this building.
+    pub fn archetype_queries(&self) -> Vec<String> {
+        vec![
+            // "Return temperature at Sensor # 10"
+            "SELECT temp FROM sensors WHERE sensor_id = 10".to_string(),
+            // "Return Average Temperature in room # 210"
+            "SELECT AVG(temp) FROM sensors WHERE region(room210)".to_string(),
+            // "Find Temperature Distribution in room #210"
+            "SELECT temperature_distribution() FROM sensors WHERE region(room210)".to_string(),
+            // "Return temperature at Sensor #10 every 10 seconds"
+            "SELECT temp FROM sensors WHERE sensor_id = 10 EPOCH DURATION 10 s".to_string(),
+        ]
+    }
+
+    /// Run the fire response: compose the service chain, then answer the
+    /// archetype queries.
+    pub fn respond(&mut self) -> ScenarioReport {
+        let composition = execute(
+            &self.world,
+            &self.onto,
+            &self.plan,
+            ManagerKind::DistributedReactive,
+            self.runtime.now,
+        );
+        let before = self.runtime.energy_consumed();
+        let queries = self
+            .archetype_queries()
+            .into_iter()
+            .map(|q| {
+                let r = self.runtime.submit(&q);
+                (q, r)
+            })
+            .collect();
+        ScenarioReport {
+            composition,
+            queries,
+            energy_j: self.runtime.energy_consumed() - before,
+            alive: self.runtime.alive_sensors(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pg_query::classify::QueryKind;
+
+    #[test]
+    fn full_scenario_answers_all_archetypes() {
+        let mut s = FireScenario::new(2, 6, 11);
+        let report = s.respond();
+        assert!(report.composition.success, "composition must complete");
+        assert_eq!(report.queries.len(), 4);
+        let kinds: Vec<QueryKind> = report
+            .queries
+            .iter()
+            .map(|(_, r)| r.as_ref().expect("query answered").kind)
+            .collect();
+        assert_eq!(
+            kinds,
+            vec![
+                QueryKind::Simple,
+                QueryKind::Aggregate,
+                QueryKind::Complex,
+                QueryKind::Continuous
+            ]
+        );
+        assert!(report.energy_j > 0.0);
+        assert!(report.alive > 0);
+    }
+
+    #[test]
+    fn fire_is_visible_in_the_answers() {
+        let mut s = FireScenario::new(2, 6, 12);
+        let report = s.respond();
+        // The complex query reconstructs the distribution; its peak must be
+        // far above ambient after 10 minutes of fire.
+        let (_, complex) = &report.queries[2];
+        let peak = complex.as_ref().unwrap().value.unwrap();
+        assert!(peak > 100.0, "reconstructed peak {peak}");
+    }
+
+    #[test]
+    fn scenario_is_deterministic_per_seed() {
+        let run = |seed| {
+            let mut s = FireScenario::new(2, 6, seed);
+            let r = s.respond();
+            r.queries
+                .iter()
+                .map(|(_, q)| q.as_ref().unwrap().value)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(5), run(5));
+    }
+}

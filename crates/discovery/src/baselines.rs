@@ -1,0 +1,77 @@
+//! The syntactic baselines the paper compares against.
+//!
+//! "State of the art systems such as Jini, Salutation, UPnP, SLP, E-Speak,
+//! Ninja, and most recently UDDI … are either tied to a language, or
+//! describe services entirely in syntactic terms as interface descriptions
+//! … Moreover, they return 'exact' matches and can only handle equality
+//! constraints." And for short-range: "Bluetooth SDP relies on unique 128
+//! bit UUIDs to describe and match services. This is clearly inadequate."
+//!
+//! Both baselines are deliberately faithful to those limitations: no
+//! ranking, no non-equality constraints, no subsumption.
+
+use crate::description::ServiceDescription;
+
+/// Jini-style lookup: services implementing the named interface method.
+/// Returns indices in registration order — unranked, exact string match.
+pub fn jini_match(services: &[ServiceDescription], interface: &str) -> Vec<usize> {
+    services
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| s.interfaces.iter().any(|i| i == interface))
+        .map(|(i, _)| i)
+        .collect()
+}
+
+/// Bluetooth-SDP-style lookup: exact 128-bit UUID equality.
+pub fn sdp_match(services: &[ServiceDescription], uuid: u128) -> Vec<usize> {
+    services
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| s.uuid == uuid)
+        .map(|(i, _)| i)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ontology::ClassId;
+
+    fn corpus() -> Vec<ServiceDescription> {
+        vec![
+            ServiceDescription::new("a", ClassId(0))
+                .with_interface("printIt")
+                .with_uuid(0x1111),
+            ServiceDescription::new("b", ClassId(1))
+                .with_interface("printIt")
+                .with_interface("scanIt")
+                .with_uuid(0x2222),
+            ServiceDescription::new("c", ClassId(2))
+                .with_interface("senseIt")
+                .with_uuid(0x3333),
+        ]
+    }
+
+    #[test]
+    fn jini_finds_interface_implementors() {
+        let c = corpus();
+        assert_eq!(jini_match(&c, "printIt"), vec![0, 1]);
+        assert_eq!(jini_match(&c, "scanIt"), vec![1]);
+        assert_eq!(jini_match(&c, "faxIt"), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn jini_is_exact_string_match_only() {
+        let c = corpus();
+        // Case sensitivity and no fuzz: "printit" finds nothing.
+        assert!(jini_match(&c, "printit").is_empty());
+    }
+
+    #[test]
+    fn sdp_matches_uuid_exactly() {
+        let c = corpus();
+        assert_eq!(sdp_match(&c, 0x2222), vec![1]);
+        assert!(sdp_match(&c, 0x9999).is_empty());
+    }
+}

@@ -1,0 +1,182 @@
+//! Deterministic service corpora for the discovery experiments (T4).
+//!
+//! Two generators: the paper's printer scenario (with known ground-truth
+//! relevance, so precision/recall of semantic vs. syntactic matching can be
+//! measured) and a size-parameterized synthetic registry for throughput
+//! scaling.
+
+use crate::description::{ServiceDescription, Value};
+use crate::ontology::Ontology;
+use pg_net::geom::Point;
+use rand::Rng;
+
+/// A corpus with ground truth: which services *should* satisfy the
+/// benchmark request ("color printing under a cost cap, prefer close").
+#[derive(Debug)]
+pub struct PrinterCorpus {
+    /// The services.
+    pub services: Vec<ServiceDescription>,
+    /// Indices of services that are genuinely relevant to the benchmark
+    /// request (color AND cost ≤ cap).
+    pub relevant: Vec<usize>,
+    /// The cost cap used for ground truth.
+    pub cost_cap: f64,
+}
+
+/// Generate `n` printers with randomized queue/cost/color/location.
+/// Interfaces are realistic: *every* printer implements `printIt`, so the
+/// Jini baseline cannot distinguish them — precisely the paper's point.
+pub fn printer_corpus<R: Rng>(onto: &Ontology, n: usize, rng: &mut R) -> PrinterCorpus {
+    let color_class = onto
+        .class("ColorPrinterService")
+        .expect("standard ontology");
+    let laser_class = onto.class("LaserPrinterService").expect("standard ontology");
+    let cost_cap = 0.30;
+    let mut services = Vec::with_capacity(n);
+    let mut relevant = Vec::new();
+    for i in 0..n {
+        let is_color = rng.gen_bool(0.4);
+        let cost = 0.02 + rng.gen::<f64>() * 0.6;
+        let queue = rng.gen_range(0..20) as f64;
+        let class = if is_color { color_class } else { laser_class };
+        let svc = ServiceDescription::new(format!("printer-{i}"), class)
+            .with_prop("color", Value::Bool(is_color))
+            .with_prop("cost_per_page", Value::Num(cost))
+            .with_prop("queue_length", Value::Num(queue))
+            .with_interface("printIt")
+            .with_uuid(0x5000 + i as u128)
+            .with_location(Point::flat(
+                rng.gen::<f64>() * 100.0,
+                rng.gen::<f64>() * 100.0,
+            ));
+        if is_color && cost <= cost_cap {
+            relevant.push(i);
+        }
+        services.push(svc);
+    }
+    PrinterCorpus {
+        services,
+        relevant,
+        cost_cap,
+    }
+}
+
+/// Generate a mixed registry of `n` services drawn from the whole
+/// pervasive-grid taxonomy (for matcher throughput scaling).
+pub fn mixed_corpus<R: Rng>(onto: &Ontology, n: usize, rng: &mut R) -> Vec<ServiceDescription> {
+    let classes = [
+        "ColorPrinterService",
+        "LaserPrinterService",
+        "TemperatureSensor",
+        "ToxinSensor",
+        "PathogenSensor",
+        "HospitalReportService",
+        "WeatherService",
+        "MapService",
+        "PdeSolverService",
+        "LinearAlgebraService",
+        "ClusteringService",
+        "DecisionTreeService",
+        "StorageService",
+    ];
+    (0..n)
+        .map(|i| {
+            let cname = classes[rng.gen_range(0..classes.len())];
+            let class = onto.class(cname).expect("standard ontology");
+            ServiceDescription::new(format!("{cname}-{i}"), class)
+                .with_prop("cost", Value::Num(rng.gen::<f64>() * 10.0))
+                .with_prop("capacity", Value::Num(rng.gen::<f64>() * 100.0))
+                .with_prop("rate_hz", Value::Num(rng.gen::<f64>() * 50.0))
+                .with_interface("invoke")
+                .with_uuid(i as u128)
+                .with_location(Point::flat(
+                    rng.gen::<f64>() * 1000.0,
+                    rng.gen::<f64>() * 1000.0,
+                ))
+        })
+        .collect()
+}
+
+/// Precision/recall of a returned index set against ground truth.
+pub fn precision_recall(returned: &[usize], relevant: &[usize]) -> (f64, f64) {
+    if returned.is_empty() {
+        return (0.0, if relevant.is_empty() { 1.0 } else { 0.0 });
+    }
+    let hit = returned.iter().filter(|i| relevant.contains(i)).count() as f64;
+    let precision = hit / returned.len() as f64;
+    let recall = if relevant.is_empty() {
+        1.0
+    } else {
+        hit / relevant.len() as f64
+    };
+    (precision, recall)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baselines::jini_match;
+    use crate::description::{Constraint, ServiceRequest};
+    use crate::matcher;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn printer_corpus_ground_truth_is_consistent() {
+        let onto = Ontology::pervasive_grid();
+        let mut rng = StdRng::seed_from_u64(42);
+        let c = printer_corpus(&onto, 200, &mut rng);
+        assert_eq!(c.services.len(), 200);
+        assert!(!c.relevant.is_empty() && c.relevant.len() < 200);
+        for &i in &c.relevant {
+            let s = &c.services[i];
+            assert_eq!(s.prop("color"), Some(&Value::Bool(true)));
+            assert!(s.prop("cost_per_page").unwrap().as_num().unwrap() <= c.cost_cap);
+        }
+    }
+
+    /// The headline T4 claim in miniature: semantic matching achieves
+    /// perfect precision/recall on the constrained request, while Jini
+    /// returns every printer (low precision, cannot express the query).
+    #[test]
+    fn semantic_beats_jini_on_constrained_request() {
+        let onto = Ontology::pervasive_grid();
+        let mut rng = StdRng::seed_from_u64(7);
+        let c = printer_corpus(&onto, 100, &mut rng);
+        let printer = onto.class("PrinterService").unwrap();
+        let req = ServiceRequest::for_class(printer)
+            .with_constraint(Constraint::Eq("color".into(), Value::Bool(true)))
+            .with_constraint(Constraint::Le("cost_per_page".into(), c.cost_cap));
+        let semantic: Vec<usize> = matcher::rank(&onto, &req, &c.services)
+            .into_iter()
+            .map(|m| m.index)
+            .collect();
+        let (p_sem, r_sem) = precision_recall(&semantic, &c.relevant);
+        assert_eq!((p_sem, r_sem), (1.0, 1.0));
+
+        let jini = jini_match(&c.services, "printIt");
+        let (p_jini, r_jini) = precision_recall(&jini, &c.relevant);
+        assert_eq!(r_jini, 1.0, "jini returns everything, recall is trivial");
+        assert!(p_jini < 0.5, "jini precision {p_jini} should be poor");
+    }
+
+    #[test]
+    fn mixed_corpus_is_deterministic_per_seed() {
+        let onto = Ontology::pervasive_grid();
+        let a = mixed_corpus(&onto, 50, &mut StdRng::seed_from_u64(1));
+        let b = mixed_corpus(&onto, 50, &mut StdRng::seed_from_u64(1));
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.name, y.name);
+            assert_eq!(x.class, y.class);
+        }
+    }
+
+    #[test]
+    fn precision_recall_edge_cases() {
+        assert_eq!(precision_recall(&[], &[]), (0.0, 1.0));
+        assert_eq!(precision_recall(&[], &[1]), (0.0, 0.0));
+        assert_eq!(precision_recall(&[1, 2], &[1]), (0.5, 1.0));
+        assert_eq!(precision_recall(&[1], &[1, 2]), (1.0, 0.5));
+    }
+}

@@ -1,0 +1,239 @@
+//! Service descriptions and requests (the DAML-S stand-in).
+//!
+//! "Components register their capabilities (what services they can provide)
+//! and constraints/requirements (what software/hardware they need to run,
+//! how much is the cost to run them, what interfaces they provide)" (§3).
+//! A [`ServiceDescription`] carries a semantic class, typed properties, and
+//! — for the syntactic baselines — interface names and a 128-bit UUID.
+//! A [`ServiceRequest`] carries a requested class, hard [`Constraint`]s
+//! (which go beyond equality: ≤, ≥, ranges) and soft [`Preference`]s
+//! (shortest queue, geographically closest).
+
+use crate::ontology::ClassId;
+use pg_net::geom::Point;
+use std::collections::BTreeMap;
+
+/// A typed property value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Numeric property (queue length, cost, resolution, …).
+    Num(f64),
+    /// String property (paper size, vendor, …).
+    Str(String),
+    /// Boolean property (color, duplex, …).
+    Bool(bool),
+}
+
+impl Value {
+    /// Numeric view, if numeric.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Value::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+}
+
+/// A registered service's self-description.
+#[derive(Debug, Clone)]
+pub struct ServiceDescription {
+    /// Human-readable name.
+    pub name: String,
+    /// Semantic class in the shared ontology.
+    pub class: ClassId,
+    /// Typed properties.
+    pub properties: BTreeMap<String, Value>,
+    /// Syntactic interface names (what Jini lookup sees).
+    pub interfaces: Vec<String>,
+    /// Opaque 128-bit service UUID (what Bluetooth SDP sees).
+    pub uuid: u128,
+    /// Physical location, when the service is place-bound.
+    pub location: Option<Point>,
+}
+
+impl ServiceDescription {
+    /// Minimal description of `class` named `name`.
+    pub fn new(name: impl Into<String>, class: ClassId) -> Self {
+        ServiceDescription {
+            name: name.into(),
+            class,
+            properties: BTreeMap::new(),
+            interfaces: Vec::new(),
+            uuid: 0,
+            location: None,
+        }
+    }
+
+    /// Builder: set a property.
+    pub fn with_prop(mut self, key: impl Into<String>, v: Value) -> Self {
+        self.properties.insert(key.into(), v);
+        self
+    }
+
+    /// Builder: add an interface name.
+    pub fn with_interface(mut self, iface: impl Into<String>) -> Self {
+        self.interfaces.push(iface.into());
+        self
+    }
+
+    /// Builder: set the SDP UUID.
+    pub fn with_uuid(mut self, uuid: u128) -> Self {
+        self.uuid = uuid;
+        self
+    }
+
+    /// Builder: set the location.
+    pub fn with_location(mut self, p: Point) -> Self {
+        self.location = Some(p);
+        self
+    }
+
+    /// Read a property.
+    pub fn prop(&self, key: &str) -> Option<&Value> {
+        self.properties.get(key)
+    }
+}
+
+/// A hard requirement; services violating any constraint are excluded
+/// (these are exactly the forms §3 says Jini/SDP cannot express, plus
+/// plain equality).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Constraint {
+    /// Property equals the value exactly.
+    Eq(String, Value),
+    /// Numeric property ≤ bound (e.g. cost cap).
+    Le(String, f64),
+    /// Numeric property ≥ bound.
+    Ge(String, f64),
+    /// Numeric property within `[lo, hi]`.
+    Range(String, f64, f64),
+    /// Property merely present.
+    Has(String),
+    /// Service within `radius` metres of a point (location constraint).
+    Within(Point, f64),
+}
+
+impl Constraint {
+    /// Does `svc` satisfy this constraint? Missing properties fail closed.
+    pub fn satisfied_by(&self, svc: &ServiceDescription) -> bool {
+        match self {
+            Constraint::Eq(k, v) => svc.prop(k) == Some(v),
+            Constraint::Le(k, bound) => {
+                svc.prop(k).and_then(Value::as_num).is_some_and(|x| x <= *bound)
+            }
+            Constraint::Ge(k, bound) => {
+                svc.prop(k).and_then(Value::as_num).is_some_and(|x| x >= *bound)
+            }
+            Constraint::Range(k, lo, hi) => svc
+                .prop(k)
+                .and_then(Value::as_num)
+                .is_some_and(|x| x >= *lo && x <= *hi),
+            Constraint::Has(k) => svc.prop(k).is_some(),
+            Constraint::Within(p, radius) => svc
+                .location
+                .is_some_and(|loc| loc.distance(p) <= *radius),
+        }
+    }
+}
+
+/// A soft ranking criterion; candidates are scored relative to each other.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Preference {
+    /// Smaller is better (shortest print queue, lowest cost).
+    Minimize(String),
+    /// Larger is better (highest resolution, most free capacity).
+    Maximize(String),
+    /// Geographically closest to a point.
+    Nearest(Point),
+}
+
+/// A service request: semantic class + hard constraints + soft preferences.
+#[derive(Debug, Clone)]
+pub struct ServiceRequest {
+    /// The requested semantic class.
+    pub class: ClassId,
+    /// Hard requirements.
+    pub constraints: Vec<Constraint>,
+    /// Soft ranking criteria (earlier = more important).
+    pub preferences: Vec<Preference>,
+}
+
+impl ServiceRequest {
+    /// Request for any service of `class`.
+    pub fn for_class(class: ClassId) -> Self {
+        ServiceRequest {
+            class,
+            constraints: Vec::new(),
+            preferences: Vec::new(),
+        }
+    }
+
+    /// Builder: add a hard constraint.
+    pub fn with_constraint(mut self, c: Constraint) -> Self {
+        self.constraints.push(c);
+        self
+    }
+
+    /// Builder: add a soft preference.
+    pub fn with_preference(mut self, p: Preference) -> Self {
+        self.preferences.push(p);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn printer() -> ServiceDescription {
+        ServiceDescription::new("lobby-printer", ClassId(0))
+            .with_prop("queue_length", Value::Num(3.0))
+            .with_prop("cost_per_page", Value::Num(0.10))
+            .with_prop("color", Value::Bool(true))
+            .with_interface("printIt")
+            .with_uuid(0xABCD)
+            .with_location(Point::flat(5.0, 5.0))
+    }
+
+    #[test]
+    fn equality_constraint() {
+        let p = printer();
+        assert!(Constraint::Eq("color".into(), Value::Bool(true)).satisfied_by(&p));
+        assert!(!Constraint::Eq("color".into(), Value::Bool(false)).satisfied_by(&p));
+        assert!(!Constraint::Eq("missing".into(), Value::Num(1.0)).satisfied_by(&p));
+    }
+
+    #[test]
+    fn numeric_constraints() {
+        let p = printer();
+        assert!(Constraint::Le("cost_per_page".into(), 0.15).satisfied_by(&p));
+        assert!(!Constraint::Le("cost_per_page".into(), 0.05).satisfied_by(&p));
+        assert!(Constraint::Ge("queue_length".into(), 1.0).satisfied_by(&p));
+        assert!(Constraint::Range("queue_length".into(), 0.0, 5.0).satisfied_by(&p));
+        assert!(!Constraint::Range("queue_length".into(), 4.0, 5.0).satisfied_by(&p));
+    }
+
+    #[test]
+    fn non_numeric_property_fails_numeric_constraint() {
+        let p = printer();
+        assert!(!Constraint::Le("color".into(), 1.0).satisfied_by(&p));
+    }
+
+    #[test]
+    fn presence_and_location_constraints() {
+        let p = printer();
+        assert!(Constraint::Has("color".into()).satisfied_by(&p));
+        assert!(!Constraint::Has("duplex".into()).satisfied_by(&p));
+        assert!(Constraint::Within(Point::flat(0.0, 0.0), 10.0).satisfied_by(&p));
+        assert!(!Constraint::Within(Point::flat(0.0, 0.0), 5.0).satisfied_by(&p));
+    }
+
+    #[test]
+    fn request_builder_collects() {
+        let r = ServiceRequest::for_class(ClassId(3))
+            .with_constraint(Constraint::Has("color".into()))
+            .with_preference(Preference::Minimize("queue_length".into()));
+        assert_eq!(r.constraints.len(), 1);
+        assert_eq!(r.preferences.len(), 1);
+    }
+}

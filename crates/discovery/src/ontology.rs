@@ -1,0 +1,208 @@
+//! A small class ontology with subsumption (our DAML/OWL stand-in).
+//!
+//! Classes form a DAG (multiple inheritance allowed). The two queries the
+//! matcher needs are *subsumption* (`is D a kind of C?`) and *semantic
+//! distance* (how many specialization hops separate them) — enough to
+//! reproduce the exact/plug-in/subsume matching grades of the DAML-S
+//! matchmaking literature the paper builds on (DReggie [19, 4]).
+
+use std::collections::{HashMap, VecDeque};
+
+/// Index of a class within one [`Ontology`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ClassId(pub u32);
+
+#[derive(Debug, Clone)]
+struct ClassInfo {
+    name: String,
+    parents: Vec<ClassId>,
+}
+
+/// A class DAG.
+#[derive(Debug, Clone, Default)]
+pub struct Ontology {
+    classes: Vec<ClassInfo>,
+    by_name: HashMap<String, ClassId>,
+}
+
+impl Ontology {
+    /// An empty ontology.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a class under the given parents; returns its id.
+    ///
+    /// # Panics
+    /// Panics on a duplicate name or an unknown parent id (both are
+    /// authoring errors in a hand-built ontology).
+    pub fn add_class(&mut self, name: &str, parents: &[ClassId]) -> ClassId {
+        assert!(
+            !self.by_name.contains_key(name),
+            "duplicate class name: {name}"
+        );
+        for p in parents {
+            assert!(
+                (p.0 as usize) < self.classes.len(),
+                "unknown parent id {p:?}"
+            );
+        }
+        let id = ClassId(self.classes.len() as u32);
+        self.classes.push(ClassInfo {
+            name: name.to_string(),
+            parents: parents.to_vec(),
+        });
+        self.by_name.insert(name.to_string(), id);
+        id
+    }
+
+    /// Look a class up by name.
+    pub fn class(&self, name: &str) -> Option<ClassId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Name of a class.
+    pub fn name(&self, id: ClassId) -> &str {
+        &self.classes[id.0 as usize].name
+    }
+
+    /// Number of classes.
+    pub fn len(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Is the ontology empty?
+    pub fn is_empty(&self) -> bool {
+        self.classes.is_empty()
+    }
+
+    /// Minimum number of specialization hops from `descendant` up to
+    /// `ancestor`; `Some(0)` when equal, `None` when `ancestor` does not
+    /// subsume `descendant`.
+    pub fn up_distance(&self, descendant: ClassId, ancestor: ClassId) -> Option<u32> {
+        if descendant == ancestor {
+            return Some(0);
+        }
+        let mut seen = vec![false; self.classes.len()];
+        let mut q = VecDeque::from([(descendant, 0u32)]);
+        seen[descendant.0 as usize] = true;
+        while let Some((c, d)) = q.pop_front() {
+            for &p in &self.classes[c.0 as usize].parents {
+                if p == ancestor {
+                    return Some(d + 1);
+                }
+                if !seen[p.0 as usize] {
+                    seen[p.0 as usize] = true;
+                    q.push_back((p, d + 1));
+                }
+            }
+        }
+        None
+    }
+
+    /// Does `ancestor` subsume `descendant` (including equality)?
+    pub fn subsumes(&self, ancestor: ClassId, descendant: ClassId) -> bool {
+        self.up_distance(descendant, ancestor).is_some()
+    }
+
+    /// The standard pervasive-grid ontology used by examples and tests:
+    /// a service taxonomy covering the paper's printer example, the sensor
+    /// services of §4, and the grid-side compute services.
+    pub fn pervasive_grid() -> Self {
+        let mut o = Ontology::new();
+        let service = o.add_class("Service", &[]);
+
+        // Devices & peripherals (the §3 printer example).
+        let device = o.add_class("DeviceService", &[service]);
+        let printer = o.add_class("PrinterService", &[device]);
+        o.add_class("ColorPrinterService", &[printer]);
+        o.add_class("LaserPrinterService", &[printer]);
+        o.add_class("DisplayService", &[device]);
+
+        // Sensing (the §1/§4 scenarios).
+        let sensor = o.add_class("SensorService", &[service]);
+        let env = o.add_class("EnvironmentSensor", &[sensor]);
+        o.add_class("TemperatureSensor", &[env]);
+        o.add_class("ToxinSensor", &[env]);
+        o.add_class("PathogenSensor", &[env]);
+        o.add_class("LocationSensor", &[sensor]);
+
+        // Data (hospital reports, intelligence databases, …).
+        let data = o.add_class("DataService", &[service]);
+        o.add_class("HospitalReportService", &[data]);
+        o.add_class("WeatherService", &[data]);
+        o.add_class("MapService", &[data]);
+
+        // Computation (the wired grid).
+        let compute = o.add_class("ComputeService", &[service]);
+        let solver = o.add_class("SolverService", &[compute]);
+        o.add_class("PdeSolverService", &[solver]);
+        o.add_class("LinearAlgebraService", &[solver]);
+        let mining = o.add_class("MiningService", &[compute]);
+        o.add_class("ClusteringService", &[mining]);
+        o.add_class("DecisionTreeService", &[mining]);
+        o.add_class("StorageService", &[compute]);
+
+        // Infrastructure roles.
+        o.add_class("BrokerService", &[service]);
+        o.add_class("CompositionService", &[service]);
+        o
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn subsumption_and_distance() {
+        let o = Ontology::pervasive_grid();
+        let service = o.class("Service").unwrap();
+        let sensor = o.class("SensorService").unwrap();
+        let temp = o.class("TemperatureSensor").unwrap();
+        assert!(o.subsumes(service, temp));
+        assert!(o.subsumes(sensor, temp));
+        assert!(!o.subsumes(temp, sensor));
+        assert_eq!(o.up_distance(temp, sensor), Some(2)); // temp -> env -> sensor
+        assert_eq!(o.up_distance(temp, temp), Some(0));
+        assert_eq!(o.up_distance(sensor, temp), None);
+    }
+
+    #[test]
+    fn unrelated_classes_do_not_subsume() {
+        let o = Ontology::pervasive_grid();
+        let printer = o.class("PrinterService").unwrap();
+        let temp = o.class("TemperatureSensor").unwrap();
+        assert!(!o.subsumes(printer, temp));
+        assert!(!o.subsumes(temp, printer));
+    }
+
+    #[test]
+    fn multiple_inheritance_takes_shortest_path() {
+        let mut o = Ontology::new();
+        let a = o.add_class("A", &[]);
+        let b = o.add_class("B", &[a]);
+        let c = o.add_class("C", &[b]);
+        // D under both A (directly) and C (deep).
+        let d = o.add_class("D", &[c, a]);
+        assert_eq!(o.up_distance(d, a), Some(1)); // direct edge wins
+        assert_eq!(o.up_distance(d, b), Some(2));
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let o = Ontology::pervasive_grid();
+        assert!(o.class("PdeSolverService").is_some());
+        assert!(o.class("NoSuchService").is_none());
+        let id = o.class("MapService").unwrap();
+        assert_eq!(o.name(id), "MapService");
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate class")]
+    fn duplicate_names_rejected() {
+        let mut o = Ontology::new();
+        o.add_class("X", &[]);
+        o.add_class("X", &[]);
+    }
+}

@@ -1,0 +1,259 @@
+//! A single broker's service registry.
+//!
+//! Services register and deregister dynamically ("Services may be coming up
+//! and going down frequently", §3); queries run the semantic matcher over
+//! the live population.
+
+use crate::description::{ServiceDescription, ServiceRequest};
+use crate::matcher::{self, Match};
+use crate::ontology::Ontology;
+use pg_sim::SimTime;
+use std::collections::BTreeMap;
+
+/// Stable handle for a registered service (survives de/re-registration of
+/// other services).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ServiceId(pub u64);
+
+/// A live registry of service descriptions.
+///
+/// Registrations may carry a **lease** (the Jini mechanism the paper's
+/// Ronin framework inherits): a service that does not renew before its
+/// lease expires silently disappears from query results — exactly how
+/// "services coming up and going down frequently" (§3) are garbage-
+/// collected without explicit deregistration.
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    services: BTreeMap<ServiceId, ServiceDescription>,
+    leases: BTreeMap<ServiceId, SimTime>,
+    next: u64,
+}
+
+/// A match resolved to a stable service id.
+#[derive(Debug, Clone)]
+pub struct Hit {
+    /// The matched service.
+    pub id: ServiceId,
+    /// Match details (score, grade).
+    pub m: Match,
+}
+
+impl Registry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a service with an unbounded lease; returns its stable id.
+    pub fn register(&mut self, desc: ServiceDescription) -> ServiceId {
+        let id = ServiceId(self.next);
+        self.next += 1;
+        self.services.insert(id, desc);
+        id
+    }
+
+    /// Register with a lease expiring at `until`; absent renewal, the
+    /// service drops out of [`Registry::query_at`] results after that.
+    pub fn register_leased(&mut self, desc: ServiceDescription, until: SimTime) -> ServiceId {
+        let id = self.register(desc);
+        self.leases.insert(id, until);
+        id
+    }
+
+    /// Renew a lease to `until`. Returns false for unknown or unleased ids.
+    pub fn renew_lease(&mut self, id: ServiceId, until: SimTime) -> bool {
+        if !self.services.contains_key(&id) {
+            return false;
+        }
+        match self.leases.get_mut(&id) {
+            Some(t) => {
+                *t = until;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Is `id` visible at instant `now` (registered and lease unexpired)?
+    pub fn is_live_at(&self, id: ServiceId, now: SimTime) -> bool {
+        self.services.contains_key(&id)
+            && self.leases.get(&id).is_none_or(|&until| now < until)
+    }
+
+    /// Drop every registration whose lease expired by `now`; returns how
+    /// many were collected.
+    pub fn expire_leases(&mut self, now: SimTime) -> usize {
+        let dead: Vec<ServiceId> = self
+            .leases
+            .iter()
+            .filter(|&(_, &until)| now >= until)
+            .map(|(&id, _)| id)
+            .collect();
+        for id in &dead {
+            self.services.remove(id);
+            self.leases.remove(id);
+        }
+        dead.len()
+    }
+
+    /// Deregister; returns the description if it was present.
+    pub fn deregister(&mut self, id: ServiceId) -> Option<ServiceDescription> {
+        self.services.remove(&id)
+    }
+
+    /// Number of live services.
+    pub fn len(&self) -> usize {
+        self.services.len()
+    }
+
+    /// Is the registry empty?
+    pub fn is_empty(&self) -> bool {
+        self.services.is_empty()
+    }
+
+    /// Borrow a registered description.
+    pub fn get(&self, id: ServiceId) -> Option<&ServiceDescription> {
+        self.services.get(&id)
+    }
+
+    /// Mutably borrow a registered description (services update their own
+    /// advertisements, e.g. queue length).
+    pub fn get_mut(&mut self, id: ServiceId) -> Option<&mut ServiceDescription> {
+        self.services.get_mut(&id)
+    }
+
+    /// Iterate `(id, description)` in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (ServiceId, &ServiceDescription)> {
+        self.services.iter().map(|(&id, d)| (id, d))
+    }
+
+    /// Run the semantic matcher over every registration (leases ignored);
+    /// hits come back ranked.
+    pub fn query(&self, onto: &Ontology, request: &ServiceRequest) -> Vec<Hit> {
+        self.query_at(onto, request, SimTime::ZERO)
+    }
+
+    /// Run the semantic matcher over registrations whose lease is alive at
+    /// `now`; hits come back ranked.
+    pub fn query_at(&self, onto: &Ontology, request: &ServiceRequest, now: SimTime) -> Vec<Hit> {
+        let mut ids: Vec<ServiceId> = Vec::new();
+        let mut descs: Vec<ServiceDescription> = Vec::new();
+        for (&id, d) in &self.services {
+            if self.is_live_at(id, now) {
+                ids.push(id);
+                descs.push(d.clone());
+            }
+        }
+        matcher::rank(onto, request, &descs)
+            .into_iter()
+            .map(|m| Hit { id: ids[m.index], m })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::description::Value;
+
+    #[test]
+    fn register_query_deregister_cycle() {
+        let onto = Ontology::pervasive_grid();
+        let temp = onto.class("TemperatureSensor").unwrap();
+        let mut reg = Registry::new();
+        let a = reg.register(
+            ServiceDescription::new("s1", temp).with_prop("rate_hz", Value::Num(1.0)),
+        );
+        let b = reg.register(
+            ServiceDescription::new("s2", temp).with_prop("rate_hz", Value::Num(10.0)),
+        );
+        assert_eq!(reg.len(), 2);
+
+        let req = ServiceRequest::for_class(temp);
+        let hits = reg.query(&onto, &req);
+        assert_eq!(hits.len(), 2);
+        assert!(hits.iter().any(|h| h.id == a) && hits.iter().any(|h| h.id == b));
+
+        assert!(reg.deregister(a).is_some());
+        assert!(reg.deregister(a).is_none());
+        let hits = reg.query(&onto, &req);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].id, b);
+    }
+
+    #[test]
+    fn leases_expire_and_renew() {
+        let onto = Ontology::pervasive_grid();
+        let temp = onto.class("TemperatureSensor").unwrap();
+        let mut reg = Registry::new();
+        let forever = reg.register(ServiceDescription::new("fixed", temp));
+        let leased = reg.register_leased(
+            ServiceDescription::new("van", temp),
+            SimTime::from_secs(100),
+        );
+        let req = ServiceRequest::for_class(temp);
+        // Before expiry both are visible.
+        assert_eq!(reg.query_at(&onto, &req, SimTime::from_secs(50)).len(), 2);
+        assert!(reg.is_live_at(leased, SimTime::from_secs(99)));
+        // At/after expiry the leased one vanishes from results.
+        assert!(!reg.is_live_at(leased, SimTime::from_secs(100)));
+        let hits = reg.query_at(&onto, &req, SimTime::from_secs(150));
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].id, forever);
+        // Renewal brings it back.
+        assert!(reg.renew_lease(leased, SimTime::from_secs(300)));
+        assert_eq!(reg.query_at(&onto, &req, SimTime::from_secs(150)).len(), 2);
+        // Unleased or unknown ids cannot be renewed.
+        assert!(!reg.renew_lease(forever, SimTime::from_secs(1)));
+        assert!(!reg.renew_lease(ServiceId(999), SimTime::from_secs(1)));
+    }
+
+    #[test]
+    fn expired_leases_garbage_collect() {
+        let onto = Ontology::pervasive_grid();
+        let temp = onto.class("TemperatureSensor").unwrap();
+        let mut reg = Registry::new();
+        for i in 0..5u64 {
+            reg.register_leased(
+                ServiceDescription::new(format!("s{i}"), temp),
+                SimTime::from_secs(10 * (i + 1)),
+            );
+        }
+        reg.register(ServiceDescription::new("fixed", temp));
+        assert_eq!(reg.expire_leases(SimTime::from_secs(25)), 2);
+        assert_eq!(reg.len(), 4);
+        assert_eq!(reg.expire_leases(SimTime::from_secs(1_000)), 3);
+        assert_eq!(reg.len(), 1, "unleased registrations survive");
+    }
+
+    #[test]
+    fn ids_are_stable_across_churn() {
+        let onto = Ontology::pervasive_grid();
+        let c = onto.class("MapService").unwrap();
+        let mut reg = Registry::new();
+        let a = reg.register(ServiceDescription::new("a", c));
+        let b = reg.register(ServiceDescription::new("b", c));
+        reg.deregister(a);
+        let c2 = reg.register(ServiceDescription::new("c", c));
+        assert_ne!(c2, a, "ids are never recycled");
+        assert_eq!(reg.get(b).unwrap().name, "b");
+    }
+
+    #[test]
+    fn advertisement_updates_visible_to_queries() {
+        let onto = Ontology::pervasive_grid();
+        let printer = onto.class("PrinterService").unwrap();
+        let mut reg = Registry::new();
+        let id = reg.register(
+            ServiceDescription::new("p", printer).with_prop("queue_length", Value::Num(9.0)),
+        );
+        reg.get_mut(id)
+            .unwrap()
+            .properties
+            .insert("queue_length".into(), Value::Num(0.0));
+        let req = ServiceRequest::for_class(printer).with_constraint(
+            crate::description::Constraint::Le("queue_length".into(), 1.0),
+        );
+        assert_eq!(reg.query(&onto, &req).len(), 1);
+    }
+}

@@ -1,0 +1,644 @@
+//! Temperature-distribution reconstruction: the paper's Complex Query.
+//!
+//! The problem: given (a) wall/boundary temperatures and (b) a sparse set of
+//! interior sensor readings, reconstruct the full 3-D temperature field.
+//! We model it as the steady-state heat (Laplace) equation `∇²T = 0` on a
+//! uniform grid with **Dirichlet** conditions at the boundary *and* at every
+//! cell holding a sensor — "grid points populated by data from the sensors
+//! and static data about building material and boundary conditions" (§4).
+//! The discrete solution is the harmonic interpolant of the constraints.
+//!
+//! Three matrix-free solvers are provided, all parallelized with rayon:
+//!
+//! * [`Solver::Jacobi`] — two-buffer sweeps, embarrassingly parallel over
+//!   z-slabs (`par_chunks_mut`).
+//! * [`Solver::RedBlackGaussSeidel`] — in-place colored sweeps; same-color
+//!   cells are never stencil neighbours, so the two half-sweeps are data-
+//!   race-free by construction (see the `SAFETY` note).
+//! * [`Solver::ConjugateGradient`] — CG on the free-cell system (the masked
+//!   7-point Laplacian is symmetric positive definite); rayon dot products
+//!   and axpys.
+//!
+//! Every solver reports iterations, final residual, and an operation count
+//! that `pg-partition` feeds into its grid-compute-time estimates.
+
+use crate::field3::Field3;
+use pg_net::geom::Point;
+use rayon::prelude::*;
+
+/// Which numerical method solves the system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Solver {
+    /// Two-buffer weighted-average sweeps.
+    Jacobi,
+    /// In-place red/black colored Gauss–Seidel (converges ~2× faster than
+    /// Jacobi per sweep).
+    RedBlackGaussSeidel,
+    /// Conjugate gradient on the masked SPD system (fastest for tight
+    /// tolerances).
+    ConjugateGradient,
+    /// Red/black successive over-relaxation: RBGS with relaxation factor
+    /// `ω` — near-optimal ω turns O(n²) sweeps into O(n).
+    Sor {
+        /// Relaxation factor in `(0, 2)`; ~1.9 is near-optimal for these
+        /// grid sizes.
+        omega_x100: u32,
+    },
+}
+
+impl Solver {
+    /// Table-friendly name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Solver::Jacobi => "jacobi",
+            Solver::RedBlackGaussSeidel => "rbgs",
+            Solver::ConjugateGradient => "cg",
+            Solver::Sor { .. } => "sor",
+        }
+    }
+}
+
+/// Convergence report from a solve.
+#[derive(Debug, Clone, Copy)]
+pub struct SolveStats {
+    /// Sweeps (Jacobi/RBGS) or CG iterations performed.
+    pub iterations: u32,
+    /// Final max-norm Laplace residual over free cells.
+    pub residual: f64,
+    /// Did the residual reach the requested tolerance?
+    pub converged: bool,
+    /// Estimated floating-point operations performed (for cost models).
+    pub ops: u64,
+}
+
+/// The discretized reconstruction problem.
+#[derive(Debug, Clone)]
+pub struct Problem {
+    field: Field3,
+    fixed: Vec<bool>,
+    origin: Point,
+    spacing: f64,
+    constraints: usize,
+}
+
+impl Problem {
+    /// A `nx × ny × nz` box whose outer shell is held at `boundary_value`
+    /// (the building walls at ambient). `origin` is the physical position of
+    /// cell `(0,0,0)` and `spacing` the cell pitch in metres.
+    ///
+    /// # Panics
+    /// Panics when any dimension is < 3 (no interior) or spacing is not
+    /// positive.
+    pub fn new(
+        nx: usize,
+        ny: usize,
+        nz: usize,
+        origin: Point,
+        spacing: f64,
+        boundary_value: f64,
+    ) -> Self {
+        assert!(nx >= 3 && ny >= 3 && nz >= 3, "no interior cells");
+        assert!(spacing > 0.0, "spacing must be positive");
+        let field = Field3::new(nx, ny, nz, boundary_value);
+        let mut fixed = vec![false; field.len()];
+        for (i, f) in fixed.iter_mut().enumerate() {
+            let (x, y, z) = field.coords(i);
+            *f = field.on_boundary(x, y, z);
+        }
+        Problem {
+            field,
+            fixed,
+            origin,
+            spacing,
+            constraints: 0,
+        }
+    }
+
+    /// Shape of the computational grid.
+    pub fn shape(&self) -> (usize, usize, usize) {
+        self.field.shape()
+    }
+
+    /// Number of interior sensor constraints installed.
+    pub fn constraints(&self) -> usize {
+        self.constraints
+    }
+
+    /// Number of free (unknown) cells.
+    pub fn free_cells(&self) -> usize {
+        self.fixed.iter().filter(|&&f| !f).count()
+    }
+
+    /// Map a physical point to the nearest grid cell (clamped to the box).
+    pub fn cell_of(&self, p: &Point) -> (usize, usize, usize) {
+        let (nx, ny, nz) = self.field.shape();
+        let clamp = |v: f64, n: usize| -> usize {
+            let i = ((v).max(0.0) / self.spacing).round() as usize;
+            i.min(n - 1)
+        };
+        (
+            clamp(p.x - self.origin.x, nx),
+            clamp(p.y - self.origin.y, ny),
+            clamp(p.z - self.origin.z, nz),
+        )
+    }
+
+    /// Physical position of a cell centre.
+    pub fn position_of(&self, x: usize, y: usize, z: usize) -> Point {
+        Point::new(
+            self.origin.x + x as f64 * self.spacing,
+            self.origin.y + y as f64 * self.spacing,
+            self.origin.z + z as f64 * self.spacing,
+        )
+    }
+
+    /// Pin the cell nearest to `p` at `value` (a sensor reading). Pinning
+    /// the same cell twice keeps the latest value; pinning a boundary cell
+    /// overrides the wall value there.
+    pub fn add_constraint(&mut self, p: &Point, value: f64) {
+        let (x, y, z) = self.cell_of(p);
+        let i = self.field.idx(x, y, z);
+        if !self.fixed[i] {
+            self.constraints += 1;
+        }
+        self.fixed[i] = true;
+        self.field.set(x, y, z, value);
+    }
+
+    /// Estimated FLOPs for `iters` sweeps/iterations of `solver` — the
+    /// quantity §4 calls "the amount of computation required for a
+    /// particular query".
+    pub fn estimate_ops(&self, solver: Solver, iters: u32) -> u64 {
+        let free = self.free_cells() as u64;
+        let per_cell = match solver {
+            Solver::Jacobi | Solver::RedBlackGaussSeidel => 8,
+            Solver::Sor { .. } => 10, // stencil + relaxation blend
+            Solver::ConjugateGradient => 22, // stencil + 2 dots + 3 axpys
+        };
+        free * per_cell * iters as u64
+    }
+
+    /// Solve to max-norm residual `tol` or at most `max_iters`, returning
+    /// the reconstructed field and convergence stats.
+    pub fn solve(&self, solver: Solver, tol: f64, max_iters: u32) -> (Field3, SolveStats) {
+        match solver {
+            Solver::Jacobi => self.solve_jacobi(tol, max_iters),
+            Solver::RedBlackGaussSeidel => self.solve_colored(tol, max_iters, 1.0),
+            Solver::Sor { omega_x100 } => {
+                let omega = f64::from(omega_x100) / 100.0;
+                assert!(omega > 0.0 && omega < 2.0, "SOR requires 0 < omega < 2");
+                self.solve_colored(tol, max_iters, omega)
+            }
+            Solver::ConjugateGradient => self.solve_cg(tol, max_iters),
+        }
+    }
+
+    /// Max-norm Laplace residual over free cells of candidate solution `x`.
+    pub fn residual(&self, x: &Field3) -> f64 {
+        let (nx, ny, nz) = self.field.shape();
+        let data = x.raw();
+        let fixed = &self.fixed;
+        let plane = nx * ny;
+        (1..nz - 1)
+            .into_par_iter()
+            .map(|z| {
+                let mut worst = 0.0f64;
+                for y in 1..ny - 1 {
+                    for xx in 1..nx - 1 {
+                        let i = xx + nx * (y + ny * z);
+                        if fixed[i] {
+                            continue;
+                        }
+                        let s = data[i - 1]
+                            + data[i + 1]
+                            + data[i - nx]
+                            + data[i + nx]
+                            + data[i - plane]
+                            + data[i + plane];
+                        worst = worst.max((s - 6.0 * data[i]).abs());
+                    }
+                }
+                worst
+            })
+            .reduce(|| 0.0, f64::max)
+    }
+
+    fn solve_jacobi(&self, tol: f64, max_iters: u32) -> (Field3, SolveStats) {
+        let (nx, ny, _) = self.field.shape();
+        let plane = nx * ny;
+        let mut cur = self.field.clone();
+        let mut next = self.field.clone();
+        let fixed = &self.fixed;
+        let mut iters = 0;
+        while iters < max_iters {
+            {
+                let src = cur.raw();
+                // Parallel over z-slabs; slab z reads planes z-1 and z+1
+                // from the immutable source buffer.
+                next.raw_mut()
+                    .par_chunks_mut(plane)
+                    .enumerate()
+                    .for_each(|(z, slab)| {
+                        let base = z * plane;
+                        for (off, out) in slab.iter_mut().enumerate() {
+                            let i = base + off;
+                            if fixed[i] {
+                                continue;
+                            }
+                            let s = src[i - 1]
+                                + src[i + 1]
+                                + src[i - nx]
+                                + src[i + nx]
+                                + src[i - plane]
+                                + src[i + plane];
+                            *out = s / 6.0;
+                        }
+                    });
+            }
+            std::mem::swap(&mut cur, &mut next);
+            iters += 1;
+            if iters % 16 == 0 || iters == max_iters {
+                let r = self.residual(&cur);
+                if r <= tol {
+                    return (
+                        cur,
+                        SolveStats {
+                            iterations: iters,
+                            residual: r,
+                            converged: true,
+                            ops: self.estimate_ops(Solver::Jacobi, iters),
+                        },
+                    );
+                }
+            }
+        }
+        let r = self.residual(&cur);
+        (
+            cur,
+            SolveStats {
+                iterations: iters,
+                residual: r,
+                converged: r <= tol,
+                ops: self.estimate_ops(Solver::Jacobi, iters),
+            },
+        )
+    }
+
+    /// Colored (red/black) relaxation: plain Gauss–Seidel at `omega = 1`,
+    /// SOR otherwise.
+    fn solve_colored(&self, tol: f64, max_iters: u32, omega: f64) -> (Field3, SolveStats) {
+        let tag = if omega == 1.0 {
+            Solver::RedBlackGaussSeidel
+        } else {
+            Solver::Sor {
+                omega_x100: (omega * 100.0).round() as u32,
+            }
+        };
+        let (nx, ny, nz) = self.field.shape();
+        let plane = nx * ny;
+        let mut x = self.field.clone();
+        let fixed = &self.fixed;
+        let mut iters = 0;
+
+        // SAFETY rationale for the raw-pointer sweep below: within one
+        // colored half-sweep every updated cell has colour c = (x+y+z)%2,
+        // and all six stencil neighbours have colour 1-c. Writes therefore
+        // only touch colour-c cells while reads only touch colour-(1-c)
+        // cells: the write set and read set are disjoint, and distinct
+        // threads write distinct cells (each (y,z) line is visited once).
+        struct SyncPtr(*mut f64);
+        unsafe impl Send for SyncPtr {}
+        unsafe impl Sync for SyncPtr {}
+
+        while iters < max_iters {
+            for color in 0..2usize {
+                let ptr = SyncPtr(x.raw_mut().as_mut_ptr());
+                (1..nz - 1).into_par_iter().for_each(|z| {
+                    let p = &ptr;
+                    for y in 1..ny - 1 {
+                        let start = 1 + ((y + z + color) % 2);
+                        let mut xx = start;
+                        while xx < nx - 1 {
+                            let i = xx + nx * (y + ny * z);
+                            if !fixed[i] {
+                                // SAFETY: disjoint same-color writes; reads
+                                // are all opposite-color (see note above).
+                                unsafe {
+                                    let d = p.0;
+                                    let s = *d.add(i - 1)
+                                        + *d.add(i + 1)
+                                        + *d.add(i - nx)
+                                        + *d.add(i + nx)
+                                        + *d.add(i - plane)
+                                        + *d.add(i + plane);
+                                    let old = *d.add(i);
+                                    *d.add(i) = old + omega * (s / 6.0 - old);
+                                }
+                            }
+                            xx += 2;
+                        }
+                    }
+                });
+            }
+            iters += 1;
+            if iters % 8 == 0 || iters == max_iters {
+                let r = self.residual(&x);
+                if r <= tol {
+                    return (
+                        x,
+                        SolveStats {
+                            iterations: iters,
+                            residual: r,
+                            converged: true,
+                            ops: self.estimate_ops(tag, iters),
+                        },
+                    );
+                }
+            }
+        }
+        let r = self.residual(&x);
+        (
+            x,
+            SolveStats {
+                iterations: iters,
+                residual: r,
+                converged: r <= tol,
+                ops: self.estimate_ops(tag, iters),
+            },
+        )
+    }
+
+    /// Apply the free-cell operator `A u = 6u_i - Σ_{free nbr} u_j` into
+    /// `out` (fixed cells pass through as zero).
+    fn apply_a(&self, u: &[f64], out: &mut [f64]) {
+        let (nx, ny, _) = self.field.shape();
+        let plane = nx * ny;
+        let fixed = &self.fixed;
+        out.par_chunks_mut(plane).enumerate().for_each(|(z, slab)| {
+            let base = z * plane;
+            for (off, o) in slab.iter_mut().enumerate() {
+                let i = base + off;
+                if fixed[i] {
+                    *o = 0.0;
+                    continue;
+                }
+                // Free cells are strictly interior (boundary shell is
+                // fixed), so all six neighbours exist.
+                let mut s = 6.0 * u[i];
+                for j in [i - 1, i + 1, i - nx, i + nx, i - plane, i + plane] {
+                    if !fixed[j] {
+                        s -= u[j];
+                    }
+                }
+                *o = s;
+            }
+        });
+    }
+
+    fn solve_cg(&self, tol: f64, max_iters: u32) -> (Field3, SolveStats) {
+        let n = self.field.len();
+        let (nx, ny, _) = self.field.shape();
+        let plane = nx * ny;
+        let fixed = &self.fixed;
+        let vals = self.field.raw();
+
+        // b_i = Σ_{fixed nbr} value_j for free cells.
+        let mut b = vec![0.0f64; n];
+        b.par_chunks_mut(plane).enumerate().for_each(|(z, slab)| {
+            let base = z * plane;
+            for (off, o) in slab.iter_mut().enumerate() {
+                let i = base + off;
+                if fixed[i] {
+                    continue;
+                }
+                let mut s = 0.0;
+                for j in [i - 1, i + 1, i - nx, i + nx, i - plane, i + plane] {
+                    if fixed[j] {
+                        s += vals[j];
+                    }
+                }
+                *o = s;
+            }
+        });
+
+        let dot = |a: &[f64], c: &[f64]| -> f64 {
+            a.par_iter().zip(c.par_iter()).map(|(x, y)| x * y).sum()
+        };
+
+        // x starts at zero on free cells.
+        let mut x = vec![0.0f64; n];
+        let mut r = b.clone(); // r = b - A·0
+        let mut p = r.clone();
+        let mut ax = vec![0.0f64; n];
+        let mut rs_old = dot(&r, &r);
+        let mut iters = 0;
+        // CG works on the 2-norm; tol is a max-norm target, so iterate on a
+        // scaled 2-norm bound and confirm with the true residual at the end.
+        let two_norm_tol = tol * (self.free_cells() as f64).sqrt().max(1.0) * 1e-2;
+
+        while iters < max_iters && rs_old.sqrt() > two_norm_tol {
+            self.apply_a(&p, &mut ax);
+            let pap = dot(&p, &ax);
+            if pap <= 0.0 {
+                break; // numerical breakdown; bail with what we have
+            }
+            let alpha = rs_old / pap;
+            x.par_iter_mut()
+                .zip(p.par_iter())
+                .for_each(|(xi, pi)| *xi += alpha * pi);
+            r.par_iter_mut()
+                .zip(ax.par_iter())
+                .for_each(|(ri, ai)| *ri -= alpha * ai);
+            let rs_new = dot(&r, &r);
+            let beta = rs_new / rs_old;
+            p.par_iter_mut()
+                .zip(r.par_iter())
+                .for_each(|(pi, ri)| *pi = *ri + beta * *pi);
+            rs_old = rs_new;
+            iters += 1;
+        }
+
+        // Assemble: fixed cells keep their pinned values.
+        let mut out = self.field.clone();
+        {
+            let o = out.raw_mut();
+            o.par_iter_mut().enumerate().for_each(|(i, v)| {
+                if !fixed[i] {
+                    *v = x[i];
+                }
+            });
+        }
+        let res = self.residual(&out);
+        (
+            out,
+            SolveStats {
+                iterations: iters,
+                residual: res,
+                converged: res <= tol,
+                ops: self.estimate_ops(Solver::ConjugateGradient, iters),
+            },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Uniform boundary, no sensors: the harmonic solution is constant.
+    #[test]
+    fn constant_boundary_gives_constant_field() {
+        let p = Problem::new(10, 10, 10, Point::flat(0.0, 0.0), 1.0, 21.0);
+        for solver in [
+            Solver::Jacobi,
+            Solver::RedBlackGaussSeidel,
+            Solver::ConjugateGradient,
+        ] {
+            let (f, stats) = p.solve(solver, 1e-8, 2_000);
+            assert!(stats.converged, "{} did not converge", solver.name());
+            let exact = Field3::new(10, 10, 10, 21.0);
+            assert!(
+                f.max_abs_diff(&exact) < 1e-5,
+                "{}: max diff {}",
+                solver.name(),
+                f.max_abs_diff(&exact)
+            );
+        }
+    }
+
+    /// A linear profile x/(n-1) between two opposite walls is harmonic and
+    /// must be reproduced exactly (up to tolerance) by all solvers.
+    #[test]
+    fn linear_profile_is_reproduced() {
+        let n = 12;
+        let mut p = Problem::new(n, n, n, Point::flat(0.0, 0.0), 1.0, 0.0);
+        // Pin the two x-walls at 0 and 100 by constraining boundary cells.
+        for y in 0..n {
+            for z in 0..n {
+                p.add_constraint(&Point::new(0.0, y as f64, z as f64), 0.0);
+                p.add_constraint(&Point::new((n - 1) as f64, y as f64, z as f64), 100.0);
+                // Side walls follow the linear profile so the exact solution
+                // is globally linear.
+            }
+        }
+        for x in 0..n {
+            let v = 100.0 * x as f64 / (n - 1) as f64;
+            for other in 0..n {
+                p.add_constraint(&Point::new(x as f64, other as f64, 0.0), v);
+                p.add_constraint(&Point::new(x as f64, other as f64, (n - 1) as f64), v);
+                p.add_constraint(&Point::new(x as f64, 0.0, other as f64), v);
+                p.add_constraint(&Point::new(x as f64, (n - 1) as f64, other as f64), v);
+            }
+        }
+        for solver in [
+            Solver::Jacobi,
+            Solver::RedBlackGaussSeidel,
+            Solver::ConjugateGradient,
+        ] {
+            let (f, stats) = p.solve(solver, 1e-7, 4_000);
+            assert!(stats.converged, "{} did not converge", solver.name());
+            for x in 0..n {
+                let want = 100.0 * x as f64 / (n - 1) as f64;
+                let got = f.get(x, n / 2, n / 2);
+                assert!(
+                    (got - want).abs() < 1e-3,
+                    "{}: x={x} got {got} want {want}",
+                    solver.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn solvers_agree_with_interior_sensor() {
+        let mut p = Problem::new(14, 14, 14, Point::flat(0.0, 0.0), 1.0, 20.0);
+        p.add_constraint(&Point::new(6.0, 6.0, 6.0), 300.0); // a hot spot
+        assert_eq!(p.constraints(), 1);
+        let (fj, _) = p.solve(Solver::Jacobi, 1e-7, 6_000);
+        let (fg, _) = p.solve(Solver::RedBlackGaussSeidel, 1e-7, 6_000);
+        let (fc, _) = p.solve(Solver::ConjugateGradient, 1e-7, 6_000);
+        assert!(fj.max_abs_diff(&fg) < 1e-3, "J vs RBGS: {}", fj.max_abs_diff(&fg));
+        assert!(fj.max_abs_diff(&fc) < 1e-3, "J vs CG: {}", fj.max_abs_diff(&fc));
+        // Maximum principle: hottest point is the pinned sensor cell.
+        assert_eq!(fc.get(6, 6, 6), 300.0);
+        assert!(fc.get(7, 6, 6) < 300.0 && fc.get(7, 6, 6) > 20.0);
+    }
+
+    #[test]
+    fn maximum_principle_holds() {
+        let mut p = Problem::new(10, 10, 10, Point::flat(0.0, 0.0), 1.0, 15.0);
+        p.add_constraint(&Point::new(4.0, 4.0, 4.0), 99.0);
+        let (f, _) = p.solve(Solver::ConjugateGradient, 1e-8, 4_000);
+        for v in f.raw() {
+            assert!(
+                (15.0 - 1e-6..=99.0 + 1e-6).contains(v),
+                "harmonic value {v} escapes [15, 99]"
+            );
+        }
+    }
+
+    #[test]
+    fn cg_converges_fastest() {
+        let mut p = Problem::new(16, 16, 16, Point::flat(0.0, 0.0), 1.0, 20.0);
+        p.add_constraint(&Point::new(8.0, 8.0, 8.0), 200.0);
+        let (_, j) = p.solve(Solver::Jacobi, 1e-6, 10_000);
+        let (_, c) = p.solve(Solver::ConjugateGradient, 1e-6, 10_000);
+        assert!(j.converged && c.converged);
+        assert!(
+            c.iterations < j.iterations,
+            "CG {} iters vs Jacobi {}",
+            c.iterations,
+            j.iterations
+        );
+    }
+
+    #[test]
+    fn sor_converges_much_faster_than_rbgs() {
+        let mut p = Problem::new(20, 20, 20, Point::flat(0.0, 0.0), 1.0, 20.0);
+        p.add_constraint(&Point::new(10.0, 10.0, 10.0), 250.0);
+        let (_, gs) = p.solve(Solver::RedBlackGaussSeidel, 1e-6, 20_000);
+        let (_, sor) = p.solve(Solver::Sor { omega_x100: 185 }, 1e-6, 20_000);
+        assert!(gs.converged && sor.converged);
+        assert!(
+            sor.iterations * 3 < gs.iterations,
+            "SOR {} iters should be well under a third of RBGS {}",
+            sor.iterations,
+            gs.iterations
+        );
+    }
+
+    #[test]
+    fn sor_agrees_with_cg() {
+        let mut p = Problem::new(14, 14, 14, Point::flat(0.0, 0.0), 1.0, 20.0);
+        p.add_constraint(&Point::new(6.0, 6.0, 6.0), 300.0);
+        let (fs, ss) = p.solve(Solver::Sor { omega_x100: 185 }, 1e-7, 20_000);
+        let (fc, sc) = p.solve(Solver::ConjugateGradient, 1e-7, 20_000);
+        assert!(ss.converged && sc.converged);
+        assert!(fs.max_abs_diff(&fc) < 1e-3, "SOR vs CG: {}", fs.max_abs_diff(&fc));
+    }
+
+    #[test]
+    #[should_panic(expected = "SOR requires")]
+    fn sor_omega_bounds_enforced() {
+        let p = Problem::new(5, 5, 5, Point::flat(0.0, 0.0), 1.0, 0.0);
+        let _ = p.solve(Solver::Sor { omega_x100: 200 }, 1e-6, 10);
+    }
+
+    #[test]
+    fn cell_mapping_clamps_and_rounds() {
+        let p = Problem::new(10, 10, 10, Point::flat(0.0, 0.0), 2.0, 0.0);
+        assert_eq!(p.cell_of(&Point::new(3.1, 0.0, 0.0)), (2, 0, 0)); // 3.1/2 -> 2
+        assert_eq!(p.cell_of(&Point::new(1e9, 0.0, 0.0)), (9, 0, 0)); // clamped
+        assert_eq!(p.cell_of(&Point::new(-5.0, 0.0, 0.0)), (0, 0, 0));
+        assert_eq!(p.position_of(2, 0, 0), Point::new(4.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn ops_estimate_scales_with_free_cells_and_iters() {
+        let p = Problem::new(10, 10, 10, Point::flat(0.0, 0.0), 1.0, 0.0);
+        let e1 = p.estimate_ops(Solver::Jacobi, 100);
+        let e2 = p.estimate_ops(Solver::Jacobi, 200);
+        assert_eq!(e2, 2 * e1);
+        assert_eq!(e1, 8 * 8 * 8 * 8 * 100); // 8³ interior cells × 8 flops × 100
+    }
+}

@@ -1,0 +1,113 @@
+//! Region-averaging data reduction: the accuracy ↔ data-volume trade-off.
+//!
+//! §4: "depending upon the accuracy of results required, instead of sending
+//! each sensor reading to the grid, one might only send the average reading
+//! from a region (the size of the region depending on the level of accuracy
+//! needed)." [`reduce_readings`] bins sensor readings into cubic cells of a
+//! given factor and replaces each bin by its centroid + mean — fewer
+//! constraints shipped to the grid, coarser reconstruction.
+
+use pg_net::geom::Point;
+
+/// One (position, value) sensor reading.
+pub type Reading = (Point, f64);
+
+/// Bin readings into cubes of side `cell` metres; each non-empty cube is
+/// replaced by (centroid of members, mean of values). `cell <= 0` is the
+/// identity (no reduction).
+pub fn reduce_readings(readings: &[Reading], cell: f64) -> Vec<Reading> {
+    if cell <= 0.0 || readings.is_empty() {
+        return readings.to_vec();
+    }
+    // Deterministic binning: BTreeMap over integer cube coordinates.
+    use std::collections::BTreeMap;
+    #[derive(PartialEq, Eq, PartialOrd, Ord)]
+    struct Key(i64, i64, i64);
+    let mut bins: BTreeMap<Key, (Point, f64, usize)> = BTreeMap::new();
+    for (p, v) in readings {
+        let k = Key(
+            (p.x / cell).floor() as i64,
+            (p.y / cell).floor() as i64,
+            (p.z / cell).floor() as i64,
+        );
+        let e = bins.entry(k).or_insert((Point::flat(0.0, 0.0), 0.0, 0));
+        e.0.x += p.x;
+        e.0.y += p.y;
+        e.0.z += p.z;
+        e.1 += v;
+        e.2 += 1;
+    }
+    bins.into_values()
+        .map(|(sum_p, sum_v, n)| {
+            let n = n as f64;
+            (
+                Point::new(sum_p.x / n, sum_p.y / n, sum_p.z / n),
+                sum_v / n,
+            )
+        })
+        .collect()
+}
+
+/// Bytes on the backhaul for a set of readings (id dropped after reduction;
+/// 3 coords + value, 8 bytes each).
+pub fn wire_bytes(count: usize) -> u64 {
+    count as u64 * 32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_readings(n: usize, spacing: f64) -> Vec<Reading> {
+        let mut out = Vec::new();
+        for i in 0..n {
+            for j in 0..n {
+                out.push((
+                    Point::flat(i as f64 * spacing, j as f64 * spacing),
+                    (i + j) as f64,
+                ));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn zero_cell_is_identity() {
+        let rs = grid_readings(4, 1.0);
+        assert_eq!(reduce_readings(&rs, 0.0), rs);
+    }
+
+    #[test]
+    fn reduction_shrinks_count_monotonically() {
+        let rs = grid_readings(8, 1.0); // 64 readings over 7x7 m
+        let r2 = reduce_readings(&rs, 2.0);
+        let r4 = reduce_readings(&rs, 4.0);
+        let r100 = reduce_readings(&rs, 100.0);
+        assert!(r2.len() < rs.len());
+        assert!(r4.len() < r2.len());
+        assert_eq!(r100.len(), 1);
+        assert!(wire_bytes(r4.len()) < wire_bytes(rs.len()));
+    }
+
+    #[test]
+    fn global_mean_is_preserved_for_balanced_bins() {
+        // Cell size 2 on a unit grid of even side: every bin holds exactly
+        // 4 readings, so the mean of bin-means equals the global mean.
+        let rs = grid_readings(8, 1.0);
+        let reduced = reduce_readings(&rs, 2.0);
+        let mean = |v: &[Reading]| v.iter().map(|r| r.1).sum::<f64>() / v.len() as f64;
+        assert!((mean(&rs) - mean(&reduced)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn centroid_lies_inside_bin() {
+        let rs = vec![
+            (Point::flat(0.1, 0.1), 1.0),
+            (Point::flat(0.9, 0.9), 3.0),
+        ];
+        let r = reduce_readings(&rs, 1.0);
+        assert_eq!(r.len(), 1);
+        assert!((r[0].0.x - 0.5).abs() < 1e-12);
+        assert_eq!(r[0].1, 2.0);
+    }
+}

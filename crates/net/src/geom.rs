@@ -1,0 +1,87 @@
+//! Minimal 3-D geometry for node placement.
+
+use std::fmt;
+
+/// A point in metres. Sensors in the building scenario use all three axes;
+/// flat deployments leave `z = 0`.
+#[derive(Clone, Copy, PartialEq, Default)]
+pub struct Point {
+    /// East-west coordinate, metres.
+    pub x: f64,
+    /// North-south coordinate, metres.
+    pub y: f64,
+    /// Height, metres.
+    pub z: f64,
+}
+
+impl Point {
+    /// Construct a 3-D point.
+    pub const fn new(x: f64, y: f64, z: f64) -> Self {
+        Point { x, y, z }
+    }
+
+    /// Construct a point in the `z = 0` plane.
+    pub const fn flat(x: f64, y: f64) -> Self {
+        Point { x, y, z: 0.0 }
+    }
+
+    /// Euclidean distance to `other`, metres.
+    pub fn distance(&self, other: &Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        let dz = self.z - other.z;
+        (dx * dx + dy * dy + dz * dz).sqrt()
+    }
+
+    /// Squared Euclidean distance (avoids the sqrt for comparisons).
+    pub fn distance_sq(&self, other: &Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        let dz = self.z - other.z;
+        dx * dx + dy * dy + dz * dz
+    }
+
+    /// Linear interpolation from `self` toward `other` by `t ∈ [0, 1]`.
+    pub fn lerp(&self, other: &Point, t: f64) -> Point {
+        Point {
+            x: self.x + (other.x - self.x) * t,
+            y: self.y + (other.y - self.y) * t,
+            z: self.z + (other.z - self.z) * t,
+        }
+    }
+}
+
+impl fmt::Debug for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.2}, {:.2}, {:.2})", self.x, self.y, self.z)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_is_euclidean() {
+        let a = Point::flat(0.0, 0.0);
+        let b = Point::new(3.0, 4.0, 12.0);
+        assert!((a.distance(&b) - 13.0).abs() < 1e-12);
+        assert!((a.distance_sq(&b) - 169.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distance_is_symmetric() {
+        let a = Point::new(1.0, 2.0, 3.0);
+        let b = Point::new(-4.0, 0.5, 9.0);
+        assert_eq!(a.distance(&b), b.distance(&a));
+    }
+
+    #[test]
+    fn lerp_endpoints_and_midpoint() {
+        let a = Point::flat(0.0, 0.0);
+        let b = Point::flat(10.0, 20.0);
+        assert_eq!(a.lerp(&b, 0.0), a);
+        assert_eq!(a.lerp(&b, 1.0), b);
+        assert_eq!(a.lerp(&b, 0.5), Point::flat(5.0, 10.0));
+    }
+}

@@ -1,0 +1,55 @@
+//! `pg-net` — the wireless network substrate of the pervasive grid.
+//!
+//! The paper's runtime must "handle the transport level problems caused by
+//! low bandwidth, high latency, frequent disconnections and network topology
+//! changes" (§1) and its evaluation plan varies "the number of sensors …
+//! network topology … data routing technique (flooding … gossiping)" (§4).
+//! The paper used GloMoSim for this; `pg-net` is our substitute substrate:
+//!
+//! * [`geom`] — 3-D positions (sensors live in a building with floors).
+//! * [`energy`] — the first-order radio model used throughout the sensor-
+//!   network literature the paper cites (LEACH/TAG lineage), plus finite
+//!   batteries.
+//! * [`link`] — bandwidth/latency/loss link model; transmission timing.
+//! * [`topology`] — node placements (random geometric, grid, building) with
+//!   range-based adjacency and graph queries.
+//! * [`routing`] — flooding, gossiping, and shortest-path-tree routing with
+//!   per-protocol transmission accounting.
+//! * [`mobility`] — random-waypoint motion for mobile service nodes.
+//! * [`churn`] — on/off availability processes for "short-lived services
+//!   which stay in the vicinity for a finite amount of time and then
+//!   disappear" (§3).
+//!
+//! Everything is deterministic given an RNG handed in by the caller; nothing
+//! here reads ambient entropy.
+
+//! # Example
+//!
+//! ```
+//! use pg_net::topology::{NodeId, Topology};
+//! use pg_net::energy::RadioModel;
+//!
+//! // A 4x4 grid of sensors, 10 m pitch, 11 m radio range.
+//! let topo = Topology::grid(4, 4, 10.0, 11.0);
+//! assert!(topo.is_connected());
+//!
+//! // Energy to push 1 kB one hop vs across the diagonal.
+//! let radio = RadioModel::mote();
+//! let near = radio.tx_energy(8_000, 10.0);
+//! let far = radio.tx_energy(8_000, topo.distance(NodeId(0), NodeId(15)));
+//! assert!(far > near);
+//! ```
+
+pub mod churn;
+pub mod energy;
+pub mod geom;
+pub mod link;
+pub mod mobility;
+pub mod packetsim;
+pub mod routing;
+pub mod topology;
+
+pub use energy::{Battery, RadioModel};
+pub use geom::Point;
+pub use link::LinkModel;
+pub use topology::{NodeId, Topology};

@@ -1,0 +1,140 @@
+//! Link model: bandwidth, propagation latency, loss.
+//!
+//! §1 of the paper: the runtime must handle "low bandwidth, high latency,
+//! frequent disconnections". A [`LinkModel`] answers two questions: how long
+//! does a payload take to cross this link class, and did it arrive.
+
+use pg_sim::Duration;
+use rand::Rng;
+
+/// Parameters for one class of link (sensor radio, 802.11, Bluetooth,
+/// wired backhaul, …).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkModel {
+    /// Usable bandwidth, bits/second.
+    pub bandwidth_bps: f64,
+    /// Fixed per-hop latency (propagation + MAC overhead).
+    pub latency: Duration,
+    /// Independent per-transmission loss probability in `[0, 1)`.
+    pub loss_prob: f64,
+}
+
+impl LinkModel {
+    /// Construct a link model, validating parameters.
+    ///
+    /// # Panics
+    /// Panics on non-positive bandwidth or a loss probability outside
+    /// `[0, 1)` (a link that loses everything can never deliver and would
+    /// hang retry loops).
+    pub fn new(bandwidth_bps: f64, latency: Duration, loss_prob: f64) -> Self {
+        assert!(bandwidth_bps > 0.0, "bandwidth must be positive");
+        assert!(
+            (0.0..1.0).contains(&loss_prob),
+            "loss probability must be in [0, 1): {loss_prob}"
+        );
+        LinkModel {
+            bandwidth_bps,
+            latency,
+            loss_prob,
+        }
+    }
+
+    /// A sensor-mote radio: 250 kbit/s, 5 ms per hop, 2 % loss
+    /// (802.15.4-class).
+    pub fn sensor_radio() -> Self {
+        LinkModel::new(250e3, Duration::from_millis(5), 0.02)
+    }
+
+    /// An 802.11 link between handhelds/base station: 11 Mbit/s, 2 ms, 1 %.
+    pub fn wifi() -> Self {
+        LinkModel::new(11e6, Duration::from_millis(2), 0.01)
+    }
+
+    /// A Bluetooth proximity link: 700 kbit/s, 8 ms, 3 %.
+    pub fn bluetooth() -> Self {
+        LinkModel::new(700e3, Duration::from_millis(8), 0.03)
+    }
+
+    /// The wired backhaul from the base station into the grid:
+    /// 100 Mbit/s, 10 ms (WAN), lossless at this abstraction.
+    pub fn wired_backhaul() -> Self {
+        LinkModel::new(100e6, Duration::from_millis(10), 0.0)
+    }
+
+    /// Time for `bytes` to cross one hop of this link: serialization at the
+    /// link bandwidth plus the fixed latency.
+    pub fn tx_time(&self, bytes: u64) -> Duration {
+        let ser = (bytes as f64 * 8.0) / self.bandwidth_bps;
+        self.latency + Duration::from_secs_f64(ser)
+    }
+
+    /// Sample whether a single transmission attempt is delivered.
+    pub fn delivered<R: Rng>(&self, rng: &mut R) -> bool {
+        self.loss_prob == 0.0 || rng.gen::<f64>() >= self.loss_prob
+    }
+
+    /// Expected number of attempts until delivery under independent loss
+    /// (geometric distribution): `1 / (1 - p)`.
+    pub fn expected_attempts(&self) -> f64 {
+        1.0 / (1.0 - self.loss_prob)
+    }
+
+    /// Expected one-hop delivery time for `bytes` with retransmissions.
+    pub fn expected_tx_time(&self, bytes: u64) -> Duration {
+        self.tx_time(bytes).mul_f64(self.expected_attempts())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn tx_time_includes_serialization_and_latency() {
+        let l = LinkModel::new(8_000.0, Duration::from_millis(10), 0.0);
+        // 1000 bytes = 8000 bits at 8 kbit/s = 1 s + 10 ms latency.
+        assert_eq!(l.tx_time(1_000), Duration::from_millis(1_010));
+    }
+
+    #[test]
+    fn tx_time_monotone_in_size() {
+        let l = LinkModel::sensor_radio();
+        assert!(l.tx_time(100) < l.tx_time(1_000));
+        assert!(l.tx_time(1_000) < l.tx_time(10_000));
+    }
+
+    #[test]
+    fn lossless_link_always_delivers() {
+        let l = LinkModel::wired_backhaul();
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!((0..100).all(|_| l.delivered(&mut rng)));
+        assert_eq!(l.expected_attempts(), 1.0);
+    }
+
+    #[test]
+    fn loss_rate_matches_parameter() {
+        let l = LinkModel::new(1e6, Duration::ZERO, 0.25);
+        let mut rng = StdRng::seed_from_u64(7);
+        let delivered = (0..20_000).filter(|_| l.delivered(&mut rng)).count();
+        let rate = delivered as f64 / 20_000.0;
+        assert!((rate - 0.75).abs() < 0.02, "delivery rate {rate}");
+        assert!((l.expected_attempts() - 4.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn expected_tx_time_scales_with_loss() {
+        let lossy = LinkModel::new(1e6, Duration::from_millis(1), 0.5);
+        assert_eq!(
+            lossy.expected_tx_time(125).as_nanos(),
+            lossy.tx_time(125).mul_f64(2.0).as_nanos()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "loss probability")]
+    fn total_loss_rejected() {
+        LinkModel::new(1e6, Duration::ZERO, 1.0);
+    }
+}

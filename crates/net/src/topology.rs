@@ -1,0 +1,430 @@
+//! Node placements and range-based connectivity graphs.
+//!
+//! §4: "All networks may not be of the same size … Different networks would
+//! have different network topology." A [`Topology`] is an immutable set of
+//! node positions plus a communication range; adjacency is derived. Upper
+//! layers (clustering, aggregation trees, composition) are built on the
+//! graph queries here.
+
+use crate::geom::Point;
+use rand::Rng;
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Index of a node within one [`Topology`]. Dense `u32` indices keep
+/// adjacency lists compact (per the type-size guidance in the perf guides).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The index as a `usize` for slice access.
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// An immutable node placement with range-derived adjacency.
+#[derive(Debug, Clone)]
+pub struct Topology {
+    positions: Vec<Point>,
+    range: f64,
+    adj: Vec<Vec<NodeId>>,
+}
+
+impl Topology {
+    /// Build a topology from explicit positions and a communication range.
+    ///
+    /// # Panics
+    /// Panics on an empty placement or non-positive range.
+    pub fn from_positions(positions: Vec<Point>, range: f64) -> Self {
+        assert!(!positions.is_empty(), "topology needs at least one node");
+        assert!(range > 0.0, "communication range must be positive");
+        let n = positions.len();
+        let mut adj = vec![Vec::new(); n];
+        let range_sq = range * range;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if positions[i].distance_sq(&positions[j]) <= range_sq {
+                    adj[i].push(NodeId(j as u32));
+                    adj[j].push(NodeId(i as u32));
+                }
+            }
+        }
+        Topology {
+            positions,
+            range,
+            adj,
+        }
+    }
+
+    /// `n` nodes placed uniformly at random in a `width × height` metre
+    /// rectangle (the classic random geometric graph).
+    pub fn random_geometric<R: Rng>(
+        n: usize,
+        width: f64,
+        height: f64,
+        range: f64,
+        rng: &mut R,
+    ) -> Self {
+        let positions = (0..n)
+            .map(|_| Point::flat(rng.gen::<f64>() * width, rng.gen::<f64>() * height))
+            .collect();
+        Topology::from_positions(positions, range)
+    }
+
+    /// A regular `cols × rows` grid with `spacing` metres between neighbours.
+    pub fn grid(cols: usize, rows: usize, spacing: f64, range: f64) -> Self {
+        let positions = (0..rows)
+            .flat_map(|r| (0..cols).map(move |c| Point::flat(c as f64 * spacing, r as f64 * spacing)))
+            .collect();
+        Topology::from_positions(positions, range)
+    }
+
+    /// The paper's building scenario: `floors` floors of `cols × rows`
+    /// sensors, `spacing` metres apart in-plane, `floor_height` metres
+    /// between floors.
+    pub fn building(
+        floors: usize,
+        cols: usize,
+        rows: usize,
+        spacing: f64,
+        floor_height: f64,
+        range: f64,
+    ) -> Self {
+        let positions = (0..floors)
+            .flat_map(|f| {
+                (0..rows).flat_map(move |r| {
+                    (0..cols).map(move |c| {
+                        Point::new(
+                            c as f64 * spacing,
+                            r as f64 * spacing,
+                            f as f64 * floor_height,
+                        )
+                    })
+                })
+            })
+            .collect();
+        Topology::from_positions(positions, range)
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Always false — construction rejects empty placements.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Iterate over all node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.positions.len() as u32).map(NodeId)
+    }
+
+    /// The communication range, metres.
+    pub fn range(&self) -> f64 {
+        self.range
+    }
+
+    /// Position of `id`.
+    pub fn position(&self, id: NodeId) -> Point {
+        self.positions[id.idx()]
+    }
+
+    /// In-range neighbours of `id`.
+    pub fn neighbors(&self, id: NodeId) -> &[NodeId] {
+        &self.adj[id.idx()]
+    }
+
+    /// Euclidean distance between two nodes, metres.
+    pub fn distance(&self, a: NodeId, b: NodeId) -> f64 {
+        self.positions[a.idx()].distance(&self.positions[b.idx()])
+    }
+
+    /// Total number of undirected edges.
+    pub fn edge_count(&self) -> usize {
+        self.adj.iter().map(Vec::len).sum::<usize>() / 2
+    }
+
+    /// The node closest to `p` (ties broken by lowest id).
+    pub fn nearest_to(&self, p: Point) -> NodeId {
+        let mut best = NodeId(0);
+        let mut best_d = f64::INFINITY;
+        for (i, pos) in self.positions.iter().enumerate() {
+            let d = pos.distance_sq(&p);
+            if d < best_d {
+                best_d = d;
+                best = NodeId(i as u32);
+            }
+        }
+        best
+    }
+
+    /// Hop counts from `root` to every node by BFS (`None` = unreachable).
+    pub fn hops_from(&self, root: NodeId) -> Vec<Option<u32>> {
+        let mut hops = vec![None; self.len()];
+        hops[root.idx()] = Some(0);
+        let mut q = VecDeque::from([root]);
+        while let Some(u) = q.pop_front() {
+            let h = hops[u.idx()].expect("queued node has hops");
+            for &v in &self.adj[u.idx()] {
+                if hops[v.idx()].is_none() {
+                    hops[v.idx()] = Some(h + 1);
+                    q.push_back(v);
+                }
+            }
+        }
+        hops
+    }
+
+    /// True when every node can reach every other node.
+    pub fn is_connected(&self) -> bool {
+        self.hops_from(NodeId(0)).iter().all(Option::is_some)
+    }
+
+    /// Shortest hop path from `from` to `to` (inclusive of both endpoints),
+    /// or `None` when disconnected. Ties broken deterministically by
+    /// adjacency order.
+    pub fn shortest_path(&self, from: NodeId, to: NodeId) -> Option<Vec<NodeId>> {
+        if from == to {
+            return Some(vec![from]);
+        }
+        let mut prev: Vec<Option<NodeId>> = vec![None; self.len()];
+        let mut seen = vec![false; self.len()];
+        seen[from.idx()] = true;
+        let mut q = VecDeque::from([from]);
+        while let Some(u) = q.pop_front() {
+            for &v in &self.adj[u.idx()] {
+                if !seen[v.idx()] {
+                    seen[v.idx()] = true;
+                    prev[v.idx()] = Some(u);
+                    if v == to {
+                        let mut path = vec![to];
+                        let mut cur = to;
+                        while let Some(p) = prev[cur.idx()] {
+                            path.push(p);
+                            cur = p;
+                        }
+                        path.reverse();
+                        return Some(path);
+                    }
+                    q.push_back(v);
+                }
+            }
+        }
+        None
+    }
+
+    /// Build the BFS shortest-path tree rooted at `root` (the structure TAG
+    /// imposes on the network). Unreachable nodes have no parent and depth
+    /// `None`.
+    pub fn spanning_tree(&self, root: NodeId) -> RoutingTree {
+        let mut parent: Vec<Option<NodeId>> = vec![None; self.len()];
+        let mut depth: Vec<Option<u32>> = vec![None; self.len()];
+        depth[root.idx()] = Some(0);
+        let mut q = VecDeque::from([root]);
+        while let Some(u) = q.pop_front() {
+            let d = depth[u.idx()].expect("queued node has depth");
+            for &v in &self.adj[u.idx()] {
+                if depth[v.idx()].is_none() {
+                    depth[v.idx()] = Some(d + 1);
+                    parent[v.idx()] = Some(u);
+                    q.push_back(v);
+                }
+            }
+        }
+        let mut children = vec![Vec::new(); self.len()];
+        for (i, p) in parent.iter().enumerate() {
+            if let Some(p) = p {
+                children[p.idx()].push(NodeId(i as u32));
+            }
+        }
+        RoutingTree {
+            root,
+            parent,
+            children,
+            depth,
+        }
+    }
+}
+
+/// A rooted spanning tree over a [`Topology`] (aggregation/collection tree).
+#[derive(Debug, Clone)]
+pub struct RoutingTree {
+    /// The sink/base-station node.
+    pub root: NodeId,
+    /// Parent of each node (`None` for the root and unreachable nodes).
+    pub parent: Vec<Option<NodeId>>,
+    /// Children of each node.
+    pub children: Vec<Vec<NodeId>>,
+    /// Hop depth of each node (`None` = unreachable).
+    pub depth: Vec<Option<u32>>,
+}
+
+impl RoutingTree {
+    /// Number of nodes actually attached to the tree (root included).
+    pub fn covered(&self) -> usize {
+        self.depth.iter().filter(|d| d.is_some()).count()
+    }
+
+    /// Maximum depth over attached nodes.
+    pub fn height(&self) -> u32 {
+        self.depth.iter().flatten().copied().max().unwrap_or(0)
+    }
+
+    /// Nodes in leaves-first (deepest-first) order — the order in which
+    /// epoch-based in-network aggregation proceeds up the tree.
+    pub fn bottom_up_order(&self) -> Vec<NodeId> {
+        let mut ids: Vec<NodeId> = (0..self.parent.len() as u32)
+            .map(NodeId)
+            .filter(|n| self.depth[n.idx()].is_some())
+            .collect();
+        ids.sort_by_key(|n| std::cmp::Reverse(self.depth[n.idx()].expect("filtered")));
+        ids
+    }
+
+    /// Path from `node` up to the root (inclusive). `None` if unattached.
+    pub fn path_to_root(&self, node: NodeId) -> Option<Vec<NodeId>> {
+        self.depth[node.idx()]?;
+        let mut path = vec![node];
+        let mut cur = node;
+        while let Some(p) = self.parent[cur.idx()] {
+            path.push(p);
+            cur = p;
+        }
+        Some(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn line(n: usize) -> Topology {
+        // Nodes at x = 0, 10, 20, ... with range 15: a path graph.
+        let pts = (0..n).map(|i| Point::flat(i as f64 * 10.0, 0.0)).collect();
+        Topology::from_positions(pts, 15.0)
+    }
+
+    #[test]
+    fn adjacency_is_range_based_and_symmetric() {
+        let t = line(5);
+        assert_eq!(t.neighbors(NodeId(0)), &[NodeId(1)]);
+        assert_eq!(t.neighbors(NodeId(2)), &[NodeId(1), NodeId(3)]);
+        for a in t.nodes() {
+            for &b in t.neighbors(a) {
+                assert!(t.neighbors(b).contains(&a), "asymmetric edge {a}-{b}");
+            }
+        }
+        assert_eq!(t.edge_count(), 4);
+    }
+
+    #[test]
+    fn grid_topology_shape() {
+        let t = Topology::grid(4, 3, 10.0, 10.5);
+        assert_eq!(t.len(), 12);
+        // Inner nodes of a 4-wide grid have 4 neighbours at this range.
+        assert_eq!(t.neighbors(NodeId(5)).len(), 4);
+        assert!(t.is_connected());
+    }
+
+    #[test]
+    fn building_spans_floors() {
+        let t = Topology::building(3, 2, 2, 5.0, 4.0, 6.0);
+        assert_eq!(t.len(), 12);
+        assert!(t.is_connected());
+        // A node on floor 0 reaches its counterpart on floor 1 (4 m < 6 m).
+        assert!(t.neighbors(NodeId(0)).contains(&NodeId(4)));
+    }
+
+    #[test]
+    fn hops_and_paths_on_a_line() {
+        let t = line(6);
+        let hops = t.hops_from(NodeId(0));
+        assert_eq!(hops, (0..6).map(|i| Some(i as u32)).collect::<Vec<_>>());
+        let p = t.shortest_path(NodeId(0), NodeId(5)).unwrap();
+        assert_eq!(p.len(), 6);
+        assert_eq!(p[0], NodeId(0));
+        assert_eq!(p[5], NodeId(5));
+        assert_eq!(t.shortest_path(NodeId(3), NodeId(3)), Some(vec![NodeId(3)]));
+    }
+
+    #[test]
+    fn disconnected_components_detected() {
+        let pts = vec![
+            Point::flat(0.0, 0.0),
+            Point::flat(10.0, 0.0),
+            Point::flat(100.0, 0.0),
+        ];
+        let t = Topology::from_positions(pts, 15.0);
+        assert!(!t.is_connected());
+        assert_eq!(t.shortest_path(NodeId(0), NodeId(2)), None);
+        assert_eq!(t.hops_from(NodeId(0))[2], None);
+    }
+
+    #[test]
+    fn spanning_tree_structure() {
+        let t = line(5);
+        let tree = t.spanning_tree(NodeId(2));
+        assert_eq!(tree.covered(), 5);
+        assert_eq!(tree.height(), 2);
+        assert_eq!(tree.parent[0], Some(NodeId(1)));
+        assert_eq!(tree.parent[1], Some(NodeId(2)));
+        assert_eq!(tree.parent[2], None);
+        assert_eq!(tree.children[2 ], vec![NodeId(1), NodeId(3)]);
+        let order = tree.bottom_up_order();
+        // Deepest nodes (0 and 4, depth 2) come before depth-1 before root.
+        assert_eq!(tree.depth[order[0].idx()], Some(2));
+        assert_eq!(*order.last().unwrap(), NodeId(2));
+    }
+
+    #[test]
+    fn path_to_root_follows_parents() {
+        let t = line(4);
+        let tree = t.spanning_tree(NodeId(0));
+        assert_eq!(
+            tree.path_to_root(NodeId(3)).unwrap(),
+            vec![NodeId(3), NodeId(2), NodeId(1), NodeId(0)]
+        );
+    }
+
+    #[test]
+    fn nearest_to_picks_closest() {
+        let t = line(5);
+        assert_eq!(t.nearest_to(Point::flat(21.0, 3.0)), NodeId(2));
+        assert_eq!(t.nearest_to(Point::flat(-50.0, 0.0)), NodeId(0));
+    }
+
+    #[test]
+    fn random_geometric_is_deterministic_per_seed() {
+        let mut r1 = StdRng::seed_from_u64(9);
+        let mut r2 = StdRng::seed_from_u64(9);
+        let a = Topology::random_geometric(50, 100.0, 100.0, 20.0, &mut r1);
+        let b = Topology::random_geometric(50, 100.0, 100.0, 20.0, &mut r2);
+        for n in a.nodes() {
+            assert_eq!(a.position(n), b.position(n));
+        }
+        assert_eq!(a.edge_count(), b.edge_count());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn empty_topology_rejected() {
+        Topology::from_positions(vec![], 10.0);
+    }
+}

@@ -1,0 +1,443 @@
+//! The Decision Maker.
+//!
+//! §4: "Decision maker would decide the solution model to use based on type
+//! of query, historic data and known features of the network at hand. …
+//! The system will be made adaptive by comparing the estimates of energy
+//! consumption and response time with the actual values … during the
+//! execution of the query and the results would be incorporated into the
+//! learning technique."
+//!
+//! [`Policy::Adaptive`] predicts each candidate's cost from k-NN history
+//! (falling back to the analytic estimator while history is thin), applies
+//! the query's COST bounds as a hard filter, picks the cheapest under the
+//! scalarization weights, and explores ε-greedily. Static policies and a
+//! clairvoyant [`oracle_choice`] bound it from below and above.
+
+use crate::estimate::estimate;
+use crate::exec::{execute_once, ExecContext};
+use crate::features::QueryFeatures;
+use crate::knn::KnnRegressor;
+use crate::model::{within_bounds, CostVector, CostWeights, SolutionModel};
+use pg_grid::sched::GridCluster;
+use pg_query::ast::Query;
+use pg_sensornet::field::TemperatureField;
+use pg_sensornet::network::SensorNetwork;
+use pg_sensornet::region::Region;
+use pg_sim::SimTime;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+
+/// Strategy-selection policies for experiment T3.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Policy {
+    /// Always the given placement (the static baselines).
+    Static(SolutionModel),
+    /// Uniform-random placement (the floor).
+    Random,
+    /// k-NN history + analytic fallback + ε-greedy exploration.
+    Adaptive,
+}
+
+/// Why no model could be chosen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NoFeasibleModel;
+
+/// The adaptive decision maker.
+#[derive(Debug)]
+pub struct DecisionMaker {
+    /// The case memory.
+    pub knn: KnnRegressor,
+    /// Scalarization weights.
+    pub weights: CostWeights,
+    /// Exploration rate for the adaptive policy.
+    pub epsilon: f64,
+    /// Blend k-NN predictions with the analytic estimate by neighbour
+    /// distance (ablation A1 switches this off: pure k-NN once any history
+    /// exists).
+    pub blend: bool,
+    /// Restrict exploration to candidates predicted within 5× of the best
+    /// (ablation A1 switches this off: uniform ε-greedy).
+    pub safe_explore: bool,
+    policy: Policy,
+    rng: StdRng,
+    /// `(predicted, actual)` scalar-cost pairs, for calibration reporting.
+    pub calibration: Vec<(f64, f64)>,
+}
+
+impl DecisionMaker {
+    /// A decision maker with the given policy and RNG seed.
+    pub fn new(policy: Policy, seed: u64) -> Self {
+        DecisionMaker {
+            knn: KnnRegressor::new(),
+            weights: CostWeights::default(),
+            epsilon: 0.1,
+            blend: true,
+            safe_explore: true,
+            policy,
+            rng: StdRng::seed_from_u64(seed),
+            calibration: Vec::new(),
+        }
+    }
+
+    /// The policy in force.
+    pub fn policy(&self) -> Policy {
+        self.policy
+    }
+
+    /// Predicted cost of one candidate: a confidence-weighted blend of the
+    /// k-NN history and the analytic estimate. A replayed situation
+    /// (nearest case at distance ~0) trusts history fully; a novel
+    /// situation (e.g. the first Complex query after only Aggregates)
+    /// leans on the estimator, which already knows an in-network PDE solve
+    /// is ruinous.
+    pub fn predict(
+        &self,
+        net: &SensorNetwork,
+        grid: &GridCluster,
+        features: &QueryFeatures,
+        model: &SolutionModel,
+    ) -> CostVector {
+        let analytic = estimate(net, grid, features, model);
+        match self.knn.predict_detailed(features, model) {
+            None => analytic,
+            Some((learned, _)) if !self.blend => learned,
+            Some((learned, nearest)) => {
+                let w = 1.0 / (1.0 + nearest * nearest * 4.0);
+                learned.scale(w).add(&analytic.scale(1.0 - w))
+            }
+        }
+    }
+
+    /// Choose a placement for `query`. Returns `Err(NoFeasibleModel)` when
+    /// every candidate's *predicted* cost violates the query's COST bounds
+    /// — the cost-bounded rejection of experiment T10.
+    pub fn choose(
+        &mut self,
+        net: &SensorNetwork,
+        grid: &GridCluster,
+        query: &Query,
+        features: &QueryFeatures,
+    ) -> Result<SolutionModel, NoFeasibleModel> {
+        let candidates = SolutionModel::candidates(features.members);
+        match self.policy {
+            Policy::Static(m) => {
+                let predicted = self.predict(net, grid, features, &m);
+                if within_bounds(query, &predicted, None) {
+                    Ok(m)
+                } else {
+                    Err(NoFeasibleModel)
+                }
+            }
+            Policy::Random => {
+                let feasible: Vec<SolutionModel> = candidates
+                    .into_iter()
+                    .filter(|m| {
+                        within_bounds(query, &self.predict(net, grid, features, m), None)
+                    })
+                    .collect();
+                if feasible.is_empty() {
+                    return Err(NoFeasibleModel);
+                }
+                Ok(feasible[self.rng.gen_range(0..feasible.len())])
+            }
+            Policy::Adaptive => {
+                let scored: Vec<(SolutionModel, CostVector, f64)> = candidates
+                    .iter()
+                    .map(|m| {
+                        let c = self.predict(net, grid, features, m);
+                        let s = self.weights.scalar(&c);
+                        (*m, c, s)
+                    })
+                    .collect();
+                let feasible: Vec<&(SolutionModel, CostVector, f64)> = scored
+                    .iter()
+                    .filter(|(_, c, _)| within_bounds(query, c, None))
+                    .collect();
+                if feasible.is_empty() {
+                    return Err(NoFeasibleModel);
+                }
+                let best = feasible
+                    .iter()
+                    .min_by(|a, b| a.2.partial_cmp(&b.2).expect("scores are never NaN"))
+                    .expect("feasible set is non-empty");
+                // Safe ε-greedy: explore only among candidates predicted
+                // within 5× of the best (a placement already predicted to
+                // be 100× dearer — e.g. an in-network PDE solve — teaches
+                // nothing worth its price), and decay exploration as
+                // history accumulates.
+                let eps = self.epsilon / (1.0 + self.knn.len() as f64 / 25.0);
+                if self.rng.gen::<f64>() < eps {
+                    let near: Vec<_> = if self.safe_explore {
+                        feasible
+                            .iter()
+                            .filter(|(_, _, s)| *s <= 5.0 * best.2 + 1e-12)
+                            .collect()
+                    } else {
+                        feasible.iter().collect()
+                    };
+                    let pick = near[self.rng.gen_range(0..near.len())];
+                    return Ok(pick.0);
+                }
+                Ok(best.0)
+            }
+        }
+    }
+
+    /// Feed back the measured cost of an execution ("comparing the
+    /// estimates … with the actual values" — §4).
+    pub fn record(
+        &mut self,
+        net: &SensorNetwork,
+        grid: &GridCluster,
+        features: QueryFeatures,
+        model: SolutionModel,
+        actual: CostVector,
+    ) {
+        let predicted = self.predict(net, grid, &features, &model);
+        self.calibration
+            .push((self.weights.scalar(&predicted), self.weights.scalar(&actual)));
+        self.knn.record(features, model, actual);
+    }
+
+    /// Mean relative calibration error over the last `window` recordings —
+    /// drops as the learner absorbs actuals.
+    pub fn calibration_error(&self, window: usize) -> f64 {
+        let tail: Vec<&(f64, f64)> = self
+            .calibration
+            .iter()
+            .rev()
+            .take(window.max(1))
+            .collect();
+        if tail.is_empty() {
+            return 0.0;
+        }
+        tail.iter()
+            .map(|(p, a)| (p - a).abs() / a.abs().max(1e-9))
+            .sum::<f64>()
+            / tail.len() as f64
+    }
+}
+
+/// Clairvoyant baseline: execute every candidate on a clone of the world
+/// and return the truly cheapest placement with its measured cost.
+#[allow(clippy::too_many_arguments)]
+pub fn oracle_choice(
+    net: &SensorNetwork,
+    grid: &GridCluster,
+    field: &TemperatureField,
+    regions: &BTreeMap<String, Region>,
+    now: SimTime,
+    query: &Query,
+    weights: &CostWeights,
+    seed: u64,
+) -> Option<(SolutionModel, CostVector)> {
+    let members = crate::exec::members_of(
+        &ExecContext {
+            net: &mut net.clone(),
+            grid,
+            field,
+            regions,
+            now,
+        },
+        query,
+    )
+    .ok()?;
+    let mut best: Option<(SolutionModel, CostVector, f64)> = None;
+    for model in SolutionModel::candidates(members.len()) {
+        let mut trial = net.clone();
+        let mut ctx = ExecContext {
+            net: &mut trial,
+            grid,
+            field,
+            regions,
+            now,
+        };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let Ok(out) = execute_once(&mut ctx, query, model, &mut rng) else {
+            continue;
+        };
+        if !within_bounds(query, &out.cost, out.accuracy_err) {
+            continue;
+        }
+        let s = weights.scalar(&out.cost);
+        if best.as_ref().is_none_or(|(_, _, bs)| s < *bs) {
+            best = Some((model, out.cost, s));
+        }
+    }
+    best.map(|(m, c, _)| (m, c))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pg_net::energy::RadioModel;
+    use pg_net::geom::Point;
+    use pg_net::link::LinkModel;
+    use pg_net::topology::{NodeId, Topology};
+    use pg_query::parse;
+    use pg_sim::Duration;
+
+    fn world() -> (SensorNetwork, GridCluster, TemperatureField, BTreeMap<String, Region>) {
+        let topo = Topology::grid(6, 6, 10.0, 11.0);
+        let mut net = SensorNetwork::new(
+            topo,
+            NodeId(0),
+            RadioModel::mote(),
+            LinkModel::new(250e3, Duration::from_millis(5), 0.0),
+            100.0,
+        );
+        net.noise_sd = 0.0;
+        let mut regions = BTreeMap::new();
+        regions.insert("room210".into(), Region::room(0.0, 0.0, 30.0, 30.0));
+        (
+            net,
+            GridCluster::campus(),
+            TemperatureField::building_fire(Point::flat(25.0, 25.0), SimTime::ZERO, 300.0),
+            regions,
+        )
+    }
+
+    fn features(
+        net: &mut SensorNetwork,
+        grid: &GridCluster,
+        field: &TemperatureField,
+        regions: &BTreeMap<String, Region>,
+        q: &Query,
+    ) -> QueryFeatures {
+        let ctx = ExecContext {
+            net,
+            grid,
+            field,
+            regions,
+            now: SimTime::from_secs(600),
+        };
+        QueryFeatures::extract(&ctx, q).unwrap()
+    }
+
+    #[test]
+    fn static_policy_returns_its_model() {
+        let (mut net, grid, field, regions) = world();
+        let q = parse("SELECT AVG(temp) FROM sensors").unwrap();
+        let f = features(&mut net, &grid, &field, &regions, &q);
+        let mut dm = DecisionMaker::new(Policy::Static(SolutionModel::BaseStation), 1);
+        assert_eq!(
+            dm.choose(&net, &grid, &q, &f),
+            Ok(SolutionModel::BaseStation)
+        );
+    }
+
+    #[test]
+    fn adaptive_learns_to_avoid_a_bad_model() {
+        let (mut net, grid, field, regions) = world();
+        let q = parse("SELECT AVG(temp) FROM sensors").unwrap();
+        let f = features(&mut net, &grid, &field, &regions, &q);
+        let mut dm = DecisionMaker::new(Policy::Adaptive, 2);
+        dm.epsilon = 0.0; // pure exploitation for determinism
+        // Teach it that BaseStation is catastrophically expensive here.
+        let awful = CostVector {
+            energy_j: 100.0,
+            time_s: 1_000.0,
+            bytes: 1e9,
+            ops: 1e12,
+        };
+        let nice = CostVector {
+            energy_j: 1e-4,
+            time_s: 0.1,
+            bytes: 100.0,
+            ops: 100.0,
+        };
+        dm.record(&net, &grid, f, SolutionModel::BaseStation, awful);
+        dm.record(&net, &grid, f, SolutionModel::InNetworkTree, nice);
+        let choice = dm.choose(&net, &grid, &q, &f).unwrap();
+        assert_eq!(choice, SolutionModel::InNetworkTree);
+    }
+
+    #[test]
+    fn cost_bounds_reject_when_nothing_fits() {
+        let (mut net, grid, field, regions) = world();
+        // 1 nanojoule energy budget: nothing can run.
+        let q = parse("SELECT AVG(temp) FROM sensors COST energy 0.000000001").unwrap();
+        let f = features(&mut net, &grid, &field, &regions, &q);
+        let mut dm = DecisionMaker::new(Policy::Adaptive, 3);
+        assert_eq!(dm.choose(&net, &grid, &q, &f), Err(NoFeasibleModel));
+    }
+
+    #[test]
+    fn calibration_error_shrinks_with_history() {
+        let (mut net, grid, field, regions) = world();
+        let q = parse("SELECT AVG(temp) FROM sensors").unwrap();
+        let f = features(&mut net, &grid, &field, &regions, &q);
+        let mut dm = DecisionMaker::new(Policy::Adaptive, 4);
+        let actual = CostVector {
+            energy_j: 0.02,
+            time_s: 1.0,
+            bytes: 5_000.0,
+            ops: 3_000.0,
+        };
+        // First recording: prediction comes from the coarse estimator.
+        dm.record(&net, &grid, f, SolutionModel::BaseStation, actual);
+        let early = dm.calibration_error(1);
+        // Subsequent recordings: k-NN replays the actual, error collapses.
+        for _ in 0..5 {
+            dm.record(&net, &grid, f, SolutionModel::BaseStation, actual);
+        }
+        let late = dm.calibration_error(1);
+        assert!(
+            late < early.max(1e-12),
+            "calibration must improve: {early} -> {late}"
+        );
+        assert!(late < 1e-6);
+    }
+
+    #[test]
+    fn oracle_picks_the_truly_cheapest() {
+        let (net, grid, field, regions) = world();
+        let q = parse("SELECT AVG(temp) FROM sensors WHERE region(room210)").unwrap();
+        let (model, cost) = oracle_choice(
+            &net,
+            &grid,
+            &field,
+            &regions,
+            SimTime::from_secs(600),
+            &q,
+            &CostWeights::default(),
+            7,
+        )
+        .unwrap();
+        // Verify optimality by re-running every candidate.
+        let w = CostWeights::default();
+        for cand in SolutionModel::candidates(20) {
+            let mut trial = net.clone();
+            let mut ctx = ExecContext {
+                net: &mut trial,
+                grid: &grid,
+                field: &field,
+                regions: &regions,
+                now: SimTime::from_secs(600),
+            };
+            let mut rng = StdRng::seed_from_u64(7);
+            let out = execute_once(&mut ctx, &q, cand, &mut rng).unwrap();
+            assert!(
+                w.scalar(&cost) <= w.scalar(&out.cost) + 1e-12,
+                "oracle ({}) beaten by {}",
+                model.name(),
+                cand.name()
+            );
+        }
+    }
+
+    #[test]
+    fn random_policy_is_seeded_deterministic() {
+        let (mut net, grid, field, regions) = world();
+        let q = parse("SELECT AVG(temp) FROM sensors").unwrap();
+        let f = features(&mut net, &grid, &field, &regions, &q);
+        let run = |seed| {
+            let mut dm = DecisionMaker::new(Policy::Random, seed);
+            (0..10)
+                .map(|_| dm.choose(&net, &grid, &q, &f).unwrap().name())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(5), run(5));
+    }
+}

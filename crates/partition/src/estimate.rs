@@ -1,0 +1,209 @@
+//! Analytic a-priori cost estimates.
+//!
+//! Before any execution history exists, the decision maker needs the
+//! estimates §4 enumerates ("It is essential to know the amount of
+//! computation required … the amount of data transfer … energy consumption
+//! … response time"). These closed-form models are deliberately coarse —
+//! the adaptive loop's whole job is to correct them with measured actuals.
+
+use crate::exec::{BASE_FLOPS, RESULT_BYTES, SENSOR_FLOPS};
+use crate::features::QueryFeatures;
+use crate::model::{CostVector, SolutionModel};
+use pg_grid::sched::GridCluster;
+use pg_query::classify::QueryKind;
+use pg_sensornet::aggregate::{PARTIAL_WIRE_BYTES, READING_WIRE_BYTES};
+use pg_sensornet::network::SensorNetwork;
+
+/// Estimated CG iterations for the Complex-query PDE at the default
+/// resolution (used only until real history accumulates).
+const PDE_ITERS_EST: u64 = 60;
+/// Interior cells of the default reconstruction box.
+const PDE_CELLS_EST: u64 = 22 * 22 * 3;
+
+/// Estimate the cost of `model` for a query with `features`.
+pub fn estimate(
+    net: &SensorNetwork,
+    grid: &GridCluster,
+    features: &QueryFeatures,
+    model: &SolutionModel,
+) -> CostVector {
+    let m = features.members as f64;
+    let hops = features.mean_hops.max(1.0);
+    let range = net.topology().range();
+    let radio = net.radio();
+    let link = net.link();
+    let slot_r = link.expected_tx_time(READING_WIRE_BYTES).as_secs_f64();
+    let slot_p = link.expected_tx_time(PARTIAL_WIRE_BYTES).as_secs_f64();
+    let hop_energy = |bytes: u64| {
+        let bits = bytes * 8;
+        radio.tx_energy(bits, range * 0.8) + radio.rx_energy(bits)
+    };
+
+    // Transport phase per placement family.
+    let mut c = match model {
+        SolutionModel::BaseStation | SolutionModel::GridOffload { .. } => CostVector {
+            energy_j: m * hops * hop_energy(READING_WIRE_BYTES),
+            time_s: hops * slot_r + m * slot_r,
+            bytes: m * hops * READING_WIRE_BYTES as f64,
+            ops: m * 70.0,
+        },
+        SolutionModel::InNetworkTree => {
+            // Steiner overhead: forwarding non-members join the tree.
+            let participants = (m * 1.3).min(features.network_size as f64);
+            CostVector {
+                energy_j: participants * hop_energy(PARTIAL_WIRE_BYTES),
+                time_s: (hops + 1.0) * slot_p,
+                bytes: participants * PARTIAL_WIRE_BYTES as f64,
+                ops: m * 70.0 + participants * 20.0,
+            }
+        }
+        SolutionModel::InNetworkCluster { heads } | SolutionModel::Hybrid { heads } => {
+            let k = (*heads).max(1) as f64;
+            let to_base = hops * range * 0.7;
+            let bits_p = PARTIAL_WIRE_BYTES * 8;
+            let head_tx = radio.tx_energy(bits_p, to_base);
+            CostVector {
+                energy_j: m * hop_energy(READING_WIRE_BYTES) + k * head_tx,
+                time_s: (m / k) * slot_r + k * slot_p,
+                bytes: m * READING_WIRE_BYTES as f64 + k * PARTIAL_WIRE_BYTES as f64,
+                ops: m * 70.0 + k * 20.0,
+            }
+        }
+    };
+
+    // Compute phase by query class.
+    match features.kind {
+        QueryKind::Simple | QueryKind::Aggregate | QueryKind::Continuous => {
+            if let SolutionModel::GridOffload { .. } = model {
+                let bh = grid.backhaul();
+                let ship = (m as u64) * READING_WIRE_BYTES;
+                c.time_s += (bh.tx_time(ship) + bh.tx_time(RESULT_BYTES)).as_secs_f64();
+                c.bytes += (ship + RESULT_BYTES) as f64;
+            }
+        }
+        QueryKind::Complex => {
+            let pde_ops = (PDE_CELLS_EST * 22 * PDE_ITERS_EST) as f64;
+            c.ops += pde_ops;
+            match model {
+                SolutionModel::GridOffload { .. } => {
+                    let bh = grid.backhaul();
+                    let ship = (m as u64) * 32;
+                    c.time_s += (bh.tx_time(ship) + bh.tx_time(RESULT_BYTES)).as_secs_f64()
+                        + pde_ops / grid.nodes()[0].flops;
+                    c.bytes += (ship + RESULT_BYTES) as f64;
+                }
+                SolutionModel::Hybrid { heads } => {
+                    // Only k cluster summaries cross the backhaul; the grid
+                    // solves on them (same problem size, fewer constraints).
+                    let bh = grid.backhaul();
+                    let ship = (*heads).max(1) as u64 * 32;
+                    c.time_s += (bh.tx_time(ship) + bh.tx_time(RESULT_BYTES)).as_secs_f64()
+                        + pde_ops / grid.nodes()[0].flops;
+                    c.bytes += (ship + RESULT_BYTES) as f64;
+                }
+                SolutionModel::BaseStation => {
+                    c.time_s += pde_ops / BASE_FLOPS;
+                }
+                SolutionModel::InNetworkTree | SolutionModel::InNetworkCluster { .. } => {
+                    // Distributed sweeps: quadratic iteration blow-up plus
+                    // per-sweep radio exchange.
+                    let sweeps = (PDE_ITERS_EST * PDE_ITERS_EST) as f64;
+                    c.time_s += sweeps * slot_r + pde_ops / (SENSOR_FLOPS * m.max(1.0));
+                    c.energy_j += sweeps * m * hop_energy(READING_WIRE_BYTES);
+                    c.bytes += sweeps * m * 4.0 * READING_WIRE_BYTES as f64;
+                }
+            }
+        }
+    }
+
+    // Continuous queries pay idle listening per epoch.
+    if features.continuous && features.epoch_s > 0.0 {
+        c.energy_j +=
+            radio.idle_energy(features.epoch_s) * (features.network_size as f64 - 1.0);
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pg_net::energy::RadioModel;
+    use pg_net::link::LinkModel;
+    use pg_net::topology::{NodeId, Topology};
+
+    fn net() -> SensorNetwork {
+        SensorNetwork::new(
+            Topology::grid(10, 10, 10.0, 11.0),
+            NodeId(0),
+            RadioModel::mote(),
+            LinkModel::sensor_radio(),
+            50.0,
+        )
+    }
+
+    fn feats(kind: QueryKind, members: usize) -> QueryFeatures {
+        QueryFeatures {
+            kind,
+            continuous: false,
+            members,
+            mean_hops: 6.0,
+            network_size: 100,
+            epoch_s: 0.0,
+        }
+    }
+
+    #[test]
+    fn tree_cheaper_than_direct_for_large_aggregates() {
+        let n = net();
+        let g = GridCluster::campus();
+        let f = feats(QueryKind::Aggregate, 99);
+        let tree = estimate(&n, &g, &f, &SolutionModel::InNetworkTree);
+        let direct = estimate(&n, &g, &f, &SolutionModel::BaseStation);
+        assert!(tree.energy_j < direct.energy_j);
+        assert!(tree.bytes < direct.bytes);
+    }
+
+    #[test]
+    fn grid_wins_complex_queries_on_time() {
+        let n = net();
+        let g = GridCluster::campus();
+        let f = feats(QueryKind::Complex, 99);
+        let grid = estimate(
+            &n,
+            &g,
+            &f,
+            &SolutionModel::GridOffload { reduction_cell_m: 0.0 },
+        );
+        let base = estimate(&n, &g, &f, &SolutionModel::BaseStation);
+        let innet = estimate(&n, &g, &f, &SolutionModel::InNetworkTree);
+        assert!(grid.time_s < base.time_s, "{} !< {}", grid.time_s, base.time_s);
+        assert!(base.time_s < innet.time_s);
+        assert!(grid.energy_j < innet.energy_j);
+    }
+
+    #[test]
+    fn continuous_adds_idle_energy() {
+        let n = net();
+        let g = GridCluster::campus();
+        let mut f = feats(QueryKind::Aggregate, 50);
+        let one_shot = estimate(&n, &g, &f, &SolutionModel::InNetworkTree);
+        f.continuous = true;
+        f.epoch_s = 10.0;
+        let cont = estimate(&n, &g, &f, &SolutionModel::InNetworkTree);
+        assert!(cont.energy_j > one_shot.energy_j);
+    }
+
+    #[test]
+    fn estimates_are_finite_and_positive() {
+        let n = net();
+        let g = GridCluster::campus();
+        for kind in [QueryKind::Simple, QueryKind::Aggregate, QueryKind::Complex] {
+            for model in SolutionModel::candidates(50) {
+                let c = estimate(&n, &g, &feats(kind, 50), &model);
+                assert!(c.energy_j.is_finite() && c.energy_j > 0.0);
+                assert!(c.time_s.is_finite() && c.time_s > 0.0);
+                assert!(c.bytes > 0.0 && c.ops > 0.0);
+            }
+        }
+    }
+}

@@ -1,0 +1,200 @@
+//! A k-nearest-neighbour cost regressor over execution history.
+//!
+//! §4 commits to "standard machine learning techniques … on the data to
+//! select the right approach for a given query", with the estimate-vs-
+//! actual feedback loop making the system adaptive. Case-based regression
+//! (the Pythia approach [14]) fits exactly: each executed query deposits a
+//! `(features, model, actual cost)` case; predicting the cost of a model
+//! for a new query averages the k nearest cases of the same model family,
+//! weighted by inverse distance.
+
+use crate::features::QueryFeatures;
+use crate::model::{CostVector, SolutionModel};
+
+/// One remembered execution.
+#[derive(Debug, Clone)]
+pub struct Case {
+    /// Features of the executed query.
+    pub features: QueryFeatures,
+    /// The placement that ran.
+    pub model: SolutionModel,
+    /// The measured cost.
+    pub actual: CostVector,
+}
+
+/// The case memory.
+#[derive(Debug, Clone, Default)]
+pub struct KnnRegressor {
+    cases: Vec<Case>,
+    /// Neighbourhood size.
+    pub k: usize,
+}
+
+impl KnnRegressor {
+    /// Empty memory with `k = 5`.
+    pub fn new() -> Self {
+        KnnRegressor {
+            cases: Vec::new(),
+            k: 5,
+        }
+    }
+
+    /// Number of stored cases.
+    pub fn len(&self) -> usize {
+        self.cases.len()
+    }
+
+    /// Is the memory empty?
+    pub fn is_empty(&self) -> bool {
+        self.cases.is_empty()
+    }
+
+    /// Cases stored for one model family.
+    pub fn family_count(&self, model: &SolutionModel) -> usize {
+        self.cases
+            .iter()
+            .filter(|c| c.model.family() == model.family())
+            .count()
+    }
+
+    /// Deposit a case.
+    pub fn record(&mut self, features: QueryFeatures, model: SolutionModel, actual: CostVector) {
+        self.cases.push(Case {
+            features,
+            model,
+            actual,
+        });
+    }
+
+    /// Predict the cost of running `model` on a query with `features`:
+    /// inverse-distance-weighted mean of the k nearest same-family cases.
+    /// `None` when no history exists for the family.
+    pub fn predict(&self, features: &QueryFeatures, model: &SolutionModel) -> Option<CostVector> {
+        self.predict_detailed(features, model).map(|(c, _)| c)
+    }
+
+    /// [`KnnRegressor::predict`], additionally returning the distance of
+    /// the nearest case — the caller's confidence signal (a prediction
+    /// extrapolated from a far-away case should defer to the analytic
+    /// estimator).
+    pub fn predict_detailed(
+        &self,
+        features: &QueryFeatures,
+        model: &SolutionModel,
+    ) -> Option<(CostVector, f64)> {
+        let mut near: Vec<(f64, &Case)> = self
+            .cases
+            .iter()
+            .filter(|c| c.model.family() == model.family())
+            .map(|c| (features.distance(&c.features), c))
+            .collect();
+        if near.is_empty() {
+            return None;
+        }
+        near.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("distances are never NaN"));
+        near.truncate(self.k.max(1));
+        let nearest = near[0].0;
+        let mut acc = CostVector::default();
+        let mut wsum = 0.0;
+        for (d, c) in &near {
+            let w = 1.0 / (d + 1e-6);
+            acc = acc.add(&c.actual.scale(w));
+            wsum += w;
+        }
+        Some((acc.scale(1.0 / wsum), nearest))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pg_query::classify::QueryKind;
+
+    fn feats(members: usize, kind: QueryKind) -> QueryFeatures {
+        QueryFeatures {
+            kind,
+            continuous: false,
+            members,
+            mean_hops: 2.0,
+            network_size: 100,
+            epoch_s: 0.0,
+        }
+    }
+
+    fn cost(e: f64) -> CostVector {
+        CostVector {
+            energy_j: e,
+            time_s: e * 10.0,
+            bytes: e * 1000.0,
+            ops: e * 1e6,
+        }
+    }
+
+    #[test]
+    fn empty_memory_predicts_nothing() {
+        let knn = KnnRegressor::new();
+        assert_eq!(
+            knn.predict(&feats(10, QueryKind::Aggregate), &SolutionModel::BaseStation),
+            None
+        );
+    }
+
+    #[test]
+    fn exact_replay_returns_recorded_cost() {
+        let mut knn = KnnRegressor::new();
+        let f = feats(10, QueryKind::Aggregate);
+        knn.record(f, SolutionModel::BaseStation, cost(1.0));
+        let p = knn.predict(&f, &SolutionModel::BaseStation).unwrap();
+        assert!((p.energy_j - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn families_do_not_cross_contaminate() {
+        let mut knn = KnnRegressor::new();
+        let f = feats(10, QueryKind::Aggregate);
+        knn.record(f, SolutionModel::BaseStation, cost(1.0));
+        assert_eq!(knn.predict(&f, &SolutionModel::InNetworkTree), None);
+        assert_eq!(knn.family_count(&SolutionModel::BaseStation), 1);
+        assert_eq!(knn.family_count(&SolutionModel::InNetworkTree), 0);
+    }
+
+    #[test]
+    fn nearer_cases_dominate_the_prediction() {
+        let mut knn = KnnRegressor::new();
+        knn.k = 2;
+        // Near case (same member count) cheap; far case expensive.
+        knn.record(
+            feats(10, QueryKind::Aggregate),
+            SolutionModel::BaseStation,
+            cost(1.0),
+        );
+        knn.record(
+            feats(10_000, QueryKind::Aggregate),
+            SolutionModel::BaseStation,
+            cost(100.0),
+        );
+        let p = knn
+            .predict(&feats(11, QueryKind::Aggregate), &SolutionModel::BaseStation)
+            .unwrap();
+        assert!(
+            p.energy_j < 10.0,
+            "near case must dominate: {}",
+            p.energy_j
+        );
+    }
+
+    #[test]
+    fn k_limits_the_neighbourhood() {
+        let mut knn = KnnRegressor::new();
+        knn.k = 1;
+        let f = feats(10, QueryKind::Aggregate);
+        knn.record(f, SolutionModel::BaseStation, cost(1.0));
+        knn.record(
+            feats(500, QueryKind::Aggregate),
+            SolutionModel::BaseStation,
+            cost(50.0),
+        );
+        let p = knn.predict(&f, &SolutionModel::BaseStation).unwrap();
+        assert!((p.energy_j - 1.0).abs() < 1e-3, "k=1 uses only the nearest");
+    }
+}

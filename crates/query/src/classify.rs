@@ -1,0 +1,108 @@
+//! The four-way query taxonomy of §4.
+//!
+//! "To ease the process of making the various estimates described earlier,
+//! we have divided the possible queries into four different types":
+//! Simple, Aggregate, Complex, and Continuous/Windowed. The Query Processor
+//! component "analyzes the query and categorizes it into one of the types
+//! mentioned above" — that is [`classify`].
+
+use crate::ast::Query;
+
+/// The paper's query classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QueryKind {
+    /// "Queries targeted at a particular sensor."
+    Simple,
+    /// "Queries which involve aggregate functions like Max, Min, Avg, Sum."
+    Aggregate,
+    /// "Queries which involve performing computation over data from sensors
+    /// to return the result."
+    Complex,
+    /// "Any query which is continuous in nature."
+    Continuous,
+}
+
+impl QueryKind {
+    /// Table-friendly name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            QueryKind::Simple => "simple",
+            QueryKind::Aggregate => "aggregate",
+            QueryKind::Complex => "complex",
+            QueryKind::Continuous => "continuous",
+        }
+    }
+}
+
+/// Categorize a parsed query.
+///
+/// Precedence mirrors the paper's taxonomy: an EPOCH clause makes a query
+/// Continuous regardless of its body (the paper's continuous example is a
+/// repeated Simple query); otherwise an arbitrary function makes it
+/// Complex; otherwise an aggregate function makes it Aggregate; otherwise
+/// it is Simple.
+pub fn classify(q: &Query) -> QueryKind {
+    if q.epoch.is_some() {
+        QueryKind::Continuous
+    } else if q.has_complex_fn() {
+        QueryKind::Complex
+    } else if q.has_aggregate() {
+        QueryKind::Aggregate
+    } else {
+        QueryKind::Simple
+    }
+}
+
+/// For a Continuous query, the class of the repeated body.
+pub fn inner_kind(q: &Query) -> QueryKind {
+    if q.has_complex_fn() {
+        QueryKind::Complex
+    } else if q.has_aggregate() {
+        QueryKind::Aggregate
+    } else {
+        QueryKind::Simple
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    #[test]
+    fn the_four_paper_examples_classify_correctly() {
+        let simple = parse("SELECT temp FROM sensors WHERE sensor_id = 10").unwrap();
+        assert_eq!(classify(&simple), QueryKind::Simple);
+
+        let agg = parse("SELECT AVG(temp) FROM sensors WHERE region(room210)").unwrap();
+        assert_eq!(classify(&agg), QueryKind::Aggregate);
+
+        let complex =
+            parse("SELECT temperature_distribution() FROM sensors WHERE region(room210)").unwrap();
+        assert_eq!(classify(&complex), QueryKind::Complex);
+
+        let cont =
+            parse("SELECT temp FROM sensors WHERE sensor_id = 10 EPOCH DURATION 10").unwrap();
+        assert_eq!(classify(&cont), QueryKind::Continuous);
+        assert_eq!(inner_kind(&cont), QueryKind::Simple);
+    }
+
+    #[test]
+    fn continuous_takes_precedence() {
+        let q = parse("SELECT AVG(temp) FROM sensors EPOCH DURATION 5").unwrap();
+        assert_eq!(classify(&q), QueryKind::Continuous);
+        assert_eq!(inner_kind(&q), QueryKind::Aggregate);
+    }
+
+    #[test]
+    fn complex_takes_precedence_over_aggregate() {
+        let q = parse("SELECT AVG(temp), heat_map() FROM sensors").unwrap();
+        assert_eq!(classify(&q), QueryKind::Complex);
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(QueryKind::Simple.name(), "simple");
+        assert_eq!(QueryKind::Continuous.name(), "continuous");
+    }
+}

@@ -1,0 +1,208 @@
+//! Tokenizer for the query language.
+//!
+//! Keywords are case-insensitive; identifiers keep their case. Braces are
+//! accepted (and ignored structurally) around clause bodies since the paper
+//! writes `SELECT {func(), attrs}` / `WHERE { selPreds }`.
+
+use std::fmt;
+
+/// One lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Keyword or identifier (keywords resolved by the parser).
+    Ident(String),
+    /// Numeric literal.
+    Num(f64),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `=`
+    Eq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::Num(x) => write!(f, "{x}"),
+            Token::LParen => write!(f, "("),
+            Token::RParen => write!(f, ")"),
+            Token::Comma => write!(f, ","),
+            Token::Eq => write!(f, "="),
+            Token::Lt => write!(f, "<"),
+            Token::Le => write!(f, "<="),
+            Token::Gt => write!(f, ">"),
+            Token::Ge => write!(f, ">="),
+        }
+    }
+}
+
+/// A lexical error with byte position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LexError {
+    /// Byte offset of the offending character.
+    pub pos: usize,
+    /// What went wrong.
+    pub msg: String,
+}
+
+/// Tokenize query text. Braces `{`/`}` and `#` are skipped as decoration
+/// (the paper writes "Sensor # 10").
+pub fn lex(input: &str) -> Result<Vec<Token>, LexError> {
+    let bytes = input.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\r' | '\n' | '{' | '}' | '#' | ';' => i += 1,
+            '(' => {
+                out.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                out.push(Token::RParen);
+                i += 1;
+            }
+            ',' => {
+                out.push(Token::Comma);
+                i += 1;
+            }
+            '=' => {
+                out.push(Token::Eq);
+                i += 1;
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Token::Le);
+                    i += 2;
+                } else {
+                    out.push(Token::Lt);
+                    i += 1;
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Token::Ge);
+                    i += 2;
+                } else {
+                    out.push(Token::Gt);
+                    i += 1;
+                }
+            }
+            '0'..='9' | '.' | '-' => {
+                let start = i;
+                i += 1;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_digit() || bytes[i] == b'.' || bytes[i] == b'e')
+                {
+                    i += 1;
+                }
+                let text = &input[start..i];
+                let num = text.parse::<f64>().map_err(|_| LexError {
+                    pos: start,
+                    msg: format!("bad number literal '{text}'"),
+                })?;
+                out.push(Token::Num(num));
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                i += 1;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                out.push(Token::Ident(input[start..i].to_string()));
+            }
+            other => {
+                return Err(LexError {
+                    pos: i,
+                    msg: format!("unexpected character '{other}'"),
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_the_paper_query_shapes() {
+        let toks = lex("SELECT {AVG(temp)} from sensors WHERE {region(room210)}").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Ident("SELECT".into()),
+                Token::Ident("AVG".into()),
+                Token::LParen,
+                Token::Ident("temp".into()),
+                Token::RParen,
+                Token::Ident("from".into()),
+                Token::Ident("sensors".into()),
+                Token::Ident("WHERE".into()),
+                Token::Ident("region".into()),
+                Token::LParen,
+                Token::Ident("room210".into()),
+                Token::RParen,
+            ]
+        );
+    }
+
+    #[test]
+    fn operators_and_numbers() {
+        let toks = lex("cost <= 0.5, time >= 2").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Ident("cost".into()),
+                Token::Le,
+                Token::Num(0.5),
+                Token::Comma,
+                Token::Ident("time".into()),
+                Token::Ge,
+                Token::Num(2.0),
+            ]
+        );
+    }
+
+    #[test]
+    fn hash_decoration_is_skipped() {
+        let toks = lex("sensor_id = # 10").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Ident("sensor_id".into()),
+                Token::Eq,
+                Token::Num(10.0)
+            ]
+        );
+    }
+
+    #[test]
+    fn negative_and_scientific_numbers() {
+        assert_eq!(lex("-2.5").unwrap(), vec![Token::Num(-2.5)]);
+        assert_eq!(lex("1e3").unwrap(), vec![Token::Num(1000.0)]);
+    }
+
+    #[test]
+    fn bad_character_reports_position() {
+        let err = lex("SELECT @").unwrap_err();
+        assert_eq!(err.pos, 7);
+        assert!(err.msg.contains('@'));
+    }
+}

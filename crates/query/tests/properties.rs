@@ -1,0 +1,145 @@
+//! Property-based tests for the query language: total lexing, parser
+//! robustness, and classification determinism.
+
+use pg_query::ast::{CostBound, Pred, SelectItem};
+use pg_query::classify::{classify, inner_kind, QueryKind};
+use pg_query::lexer::lex;
+use pg_query::parse;
+use pg_sensornet::aggregate::AggFn;
+use proptest::prelude::*;
+
+/// Generate structurally valid query text along with the facts we expect
+/// the parser to recover.
+#[derive(Debug, Clone)]
+struct GenQuery {
+    text: String,
+    agg: Option<AggFn>,
+    complex: bool,
+    sensor_id: Option<u32>,
+    region: Option<String>,
+    epoch_s: Option<u32>,
+    energy: Option<f64>,
+}
+
+fn arb_query() -> impl Strategy<Value = GenQuery> {
+    let select = prop_oneof![
+        Just((None, false, "temp".to_string())),
+        prop_oneof![
+            Just(AggFn::Avg),
+            Just(AggFn::Max),
+            Just(AggFn::Min),
+            Just(AggFn::Sum),
+            Just(AggFn::Count),
+            Just(AggFn::StdDev)
+        ]
+        .prop_map(|a| (Some(a), false, format!("{}(temp)", a.name()))),
+        Just((None, true, "temperature_distribution()".to_string())),
+    ];
+    let wher = prop_oneof![
+        Just((None, None, String::new())),
+        (1u32..500).prop_map(|id| (Some(id), None, format!(" WHERE sensor_id = {id}"))),
+        "[a-z][a-z0-9]{0,8}".prop_map(|r| {
+            let clause = format!(" WHERE region({r})");
+            (None, Some(r), clause)
+        }),
+    ];
+    let epoch = prop_oneof![
+        Just((None, String::new())),
+        (1u32..1_000).prop_map(|s| (Some(s), format!(" EPOCH DURATION {s} s"))),
+    ];
+    let cost = prop_oneof![
+        Just((None, String::new())),
+        (0.001f64..100.0).prop_map(|e| (Some(e), format!(" COST energy {e}"))),
+    ];
+    (select, wher, cost, epoch).prop_map(|(sel, wh, co, ep)| GenQuery {
+        text: format!("SELECT {} FROM sensors{}{}{}", sel.2, wh.2, co.1, ep.1),
+        agg: sel.0,
+        complex: sel.1,
+        sensor_id: wh.0,
+        region: wh.1,
+        epoch_s: ep.0,
+        energy: co.0,
+    })
+}
+
+proptest! {
+    /// Generated well-formed queries always parse, and the parser recovers
+    /// exactly the facts that were generated.
+    #[test]
+    fn parser_recovers_generated_facts(g in arb_query()) {
+        let q = parse(&g.text).unwrap_or_else(|e| panic!("{}: {e}", g.text));
+        prop_assert_eq!(q.first_agg(), g.agg);
+        prop_assert_eq!(q.has_complex_fn(), g.complex);
+        prop_assert_eq!(q.target_sensor(), g.sensor_id);
+        prop_assert_eq!(q.region(), g.region.as_deref());
+        prop_assert_eq!(
+            q.epoch.map(|e| e.as_secs_f64().round() as u32),
+            g.epoch_s
+        );
+        match (q.energy_bound(), g.energy) {
+            (Some(a), Some(b)) => prop_assert!((a - b).abs() < 1e-9 * (1.0 + b.abs())),
+            (None, None) => {}
+            other => prop_assert!(false, "energy bound mismatch: {other:?}"),
+        }
+    }
+
+    /// Classification is a total function of the recovered structure.
+    #[test]
+    fn classification_matches_structure(g in arb_query()) {
+        let q = parse(&g.text).unwrap();
+        let k = classify(&q);
+        if g.epoch_s.is_some() {
+            prop_assert_eq!(k, QueryKind::Continuous);
+            let inner = inner_kind(&q);
+            prop_assert_ne!(inner, QueryKind::Continuous);
+        } else if g.complex {
+            prop_assert_eq!(k, QueryKind::Complex);
+        } else if g.agg.is_some() {
+            prop_assert_eq!(k, QueryKind::Aggregate);
+        } else {
+            prop_assert_eq!(k, QueryKind::Simple);
+        }
+    }
+
+    /// The lexer never panics on arbitrary input — it returns Ok or a
+    /// positioned error.
+    #[test]
+    fn lexer_is_total(s in "\\PC{0,200}") {
+        match lex(&s) {
+            Ok(_) => {}
+            Err(e) => prop_assert!(e.pos <= s.len()),
+        }
+    }
+
+    /// The parser never panics on arbitrary input.
+    #[test]
+    fn parser_is_total(s in "\\PC{0,200}") {
+        let _ = parse(&s);
+    }
+
+    /// Parsing is deterministic: the same text yields the same AST.
+    #[test]
+    fn parsing_is_deterministic(g in arb_query()) {
+        let a = parse(&g.text).unwrap();
+        let b = parse(&g.text).unwrap();
+        prop_assert_eq!(a, b);
+    }
+
+    /// AST accessors agree with the raw clause vectors.
+    #[test]
+    fn accessors_consistent(g in arb_query()) {
+        let q = parse(&g.text).unwrap();
+        prop_assert_eq!(
+            q.has_aggregate(),
+            q.select.iter().any(|s| matches!(s, SelectItem::Agg(_, _)))
+        );
+        prop_assert_eq!(
+            q.target_sensor().is_some(),
+            q.wher.iter().any(|p| matches!(p, Pred::SensorId(_)))
+        );
+        prop_assert_eq!(
+            q.energy_bound().is_some(),
+            q.cost.iter().any(|c| matches!(c, CostBound::EnergyJ(_)))
+        );
+    }
+}

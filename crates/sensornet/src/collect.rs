@@ -1,0 +1,479 @@
+//! In-network collection strategies and their full cost accounting.
+//!
+//! §4 lists the candidate solution models: "all sensors would send their
+//! data to the base station" (direct), "cluster based models", and
+//! "aggregation trees". Each strategy here executes one epoch of an
+//! aggregate query over a member set and returns a [`CollectionReport`]
+//! with the four quantities the paper says the decision maker needs:
+//! **amount of computation, data transfer, energy consumption, response
+//! time** — plus accuracy bookkeeping.
+//!
+//! ## Timing model
+//!
+//! Sensors share the channel TDMA-style within interference range (the TAG
+//! epoch/slot discipline). For tree aggregation the epoch is divided into
+//! per-level slots, so latency is `height × slot`. For direct collection the
+//! base station's neighbourhood is the bottleneck: all `m` readings must
+//! cross the final hop in sequence, so latency is the longest path time plus
+//! the serialization backlog at the sink.
+
+use crate::aggregate::{AggFn, Partial, ValueFilter, PARTIAL_WIRE_BYTES, READING_WIRE_BYTES};
+use crate::field::TemperatureField;
+use crate::network::SensorNetwork;
+use pg_net::topology::NodeId;
+use pg_sim::{Duration, SimTime};
+use rand::Rng;
+
+/// Give up on a hop after this many attempts (TAG-like bounded retries).
+pub const MAX_ATTEMPTS: u32 = 8;
+
+/// CPU operations to merge one partial state into another.
+pub const MERGE_OPS: u64 = 20;
+
+/// Everything measured about one epoch of one collection strategy.
+#[derive(Debug, Clone)]
+pub struct CollectionReport {
+    /// Finalized aggregate at the base station (None if nothing arrived).
+    pub value: Option<f64>,
+    /// The merged partial state that reached the base.
+    pub partial: Partial,
+    /// Total sensor energy consumed this epoch, joules.
+    pub energy_j: f64,
+    /// Largest single-node energy draw this epoch, joules (drives lifetime).
+    pub max_node_energy_j: f64,
+    /// Bytes delivered into the base station.
+    pub bytes_to_base: u64,
+    /// Bytes transmitted network-wide (including retries).
+    pub total_bytes: u64,
+    /// Time from epoch start until the base holds the answer.
+    pub latency: Duration,
+    /// CPU operations spent in the network (sampling + merging).
+    pub cpu_ops: u64,
+    /// Sensors asked to contribute.
+    pub participating: usize,
+    /// Readings actually represented in the result.
+    pub delivered: usize,
+}
+
+impl CollectionReport {
+    /// Fraction of requested readings represented in the answer.
+    pub fn delivery_ratio(&self) -> f64 {
+        if self.participating == 0 {
+            return 0.0;
+        }
+        self.delivered as f64 / self.participating as f64
+    }
+}
+
+/// Per-epoch energy ledger that also tracks the hottest node.
+struct Ledger {
+    start_remaining: Vec<f64>,
+}
+
+impl Ledger {
+    fn open(net: &SensorNetwork) -> Self {
+        Ledger {
+            start_remaining: net
+                .topology()
+                .nodes()
+                .map(|n| net.remaining_energy(n))
+                .collect(),
+        }
+    }
+
+    fn close(self, net: &SensorNetwork) -> (f64, f64) {
+        let mut total = 0.0;
+        let mut max = 0.0f64;
+        for n in net.topology().nodes() {
+            if n == net.base() {
+                continue;
+            }
+            let spent = (self.start_remaining[n.idx()] - net.remaining_energy(n)).max(0.0);
+            total += spent;
+            max = max.max(spent);
+        }
+        (total, max)
+    }
+}
+
+/// Attempt to deliver one `bytes`-sized message over the `from -> to` hop,
+/// draining energy for every attempt (sender) and for the successful
+/// reception (receiver). Returns `(delivered, attempts)`.
+fn try_hop<R: Rng>(
+    net: &mut SensorNetwork,
+    from: NodeId,
+    to: NodeId,
+    bytes: u64,
+    rng: &mut R,
+) -> (bool, u32) {
+    let bits = bytes * 8;
+    let d = net.topology().distance(from, to);
+    for attempt in 1..=MAX_ATTEMPTS {
+        let tx = net.radio().tx_energy(bits, d);
+        if !net.drain(from, tx) {
+            return (false, attempt); // sender died mid-send
+        }
+        if net.link().delivered(rng) {
+            let rx = net.radio().rx_energy(bits);
+            if !net.drain(to, rx) && to != net.base() {
+                return (false, attempt); // receiver died on reception
+            }
+            return (true, attempt);
+        }
+    }
+    (false, MAX_ATTEMPTS)
+}
+
+/// **Direct collection**: every member samples and unicasts its raw reading
+/// to the base station along the shortest path. No in-network computation.
+pub fn direct_collection<R: Rng>(
+    net: &mut SensorNetwork,
+    members: &[NodeId],
+    field: &TemperatureField,
+    t: SimTime,
+    agg: AggFn,
+    rng: &mut R,
+) -> CollectionReport {
+    direct_collection_raw(net, members, field, t, agg, rng).0
+}
+
+/// [`direct_collection`], additionally returning the raw `(sensor, value)`
+/// pairs that reached the base station — what the Complex-query path ships
+/// onward to the base-station solver or the grid.
+pub fn direct_collection_raw<R: Rng>(
+    net: &mut SensorNetwork,
+    members: &[NodeId],
+    field: &TemperatureField,
+    t: SimTime,
+    agg: AggFn,
+    rng: &mut R,
+) -> (CollectionReport, Vec<(NodeId, f64)>) {
+    direct_collection_filtered(net, members, field, t, agg, &ValueFilter::all(), rng)
+}
+
+/// [`direct_collection_raw`] with TAG-style predicate push-down: a member
+/// whose reading fails `filter` never transmits (the `WHERE temp > 40`
+/// selection happens at the sensing site, saving the whole route's energy).
+pub fn direct_collection_filtered<R: Rng>(
+    net: &mut SensorNetwork,
+    members: &[NodeId],
+    field: &TemperatureField,
+    t: SimTime,
+    agg: AggFn,
+    filter: &ValueFilter,
+    rng: &mut R,
+) -> (CollectionReport, Vec<(NodeId, f64)>) {
+    let ledger = Ledger::open(net);
+    let base = net.base();
+    let slot = net.link().tx_time(READING_WIRE_BYTES);
+
+    let mut merged = Partial::empty();
+    let mut delivered = 0usize;
+    let mut total_bytes = 0u64;
+    let mut bytes_to_base = 0u64;
+    let mut cpu_ops = 0u64;
+    let mut max_path = Duration::ZERO;
+    let mut raw: Vec<(NodeId, f64)> = Vec::new();
+
+    for &m in members {
+        if !net.is_alive(m) || m == base {
+            continue;
+        }
+        let reading = net.sample(m, field, t, rng);
+        cpu_ops += 50;
+        if !filter.matches(reading) {
+            continue; // predicate evaluated at the source: nothing transmits
+        }
+        let Some(path) = net.topology().shortest_path(m, base) else {
+            continue;
+        };
+        let mut ok = true;
+        let mut path_time = Duration::ZERO;
+        for w in path.windows(2) {
+            // A dead forwarder silently breaks the route.
+            if !net.is_alive(w[0]) {
+                ok = false;
+                break;
+            }
+            let (hop_ok, attempts) = try_hop(net, w[0], w[1], READING_WIRE_BYTES, rng);
+            total_bytes += READING_WIRE_BYTES * attempts as u64;
+            path_time += slot.mul(attempts as u64);
+            if !hop_ok {
+                ok = false;
+                break;
+            }
+        }
+        if ok {
+            merged.add(reading);
+            raw.push((m, reading));
+            cpu_ops += MERGE_OPS; // base-side fold
+            delivered += 1;
+            bytes_to_base += READING_WIRE_BYTES;
+            if path_time > max_path {
+                max_path = path_time;
+            }
+        }
+    }
+
+    // Sink serialization backlog: all delivered readings cross the final
+    // hop in sequence.
+    let backlog = slot.mul(delivered.saturating_sub(1) as u64);
+    let (energy_j, max_node_energy_j) = ledger.close(net);
+    let report = CollectionReport {
+        value: merged.finalize(agg),
+        partial: merged,
+        energy_j,
+        max_node_energy_j,
+        bytes_to_base,
+        total_bytes,
+        latency: max_path + backlog,
+        cpu_ops,
+        participating: members.iter().filter(|&&m| m != base).count(),
+        delivered,
+    };
+    (report, raw)
+}
+
+/// **Tree aggregation** (TAG): partial states merge up the BFS spanning
+/// tree; every involved node forwards one fixed-size partial per epoch.
+pub fn tree_aggregation<R: Rng>(
+    net: &mut SensorNetwork,
+    members: &[NodeId],
+    field: &TemperatureField,
+    t: SimTime,
+    agg: AggFn,
+    rng: &mut R,
+) -> CollectionReport {
+    tree_aggregation_filtered(net, members, field, t, agg, &ValueFilter::all(), rng)
+}
+
+/// [`tree_aggregation`] with predicate push-down: readings failing `filter`
+/// never enter a partial state (the node still forwards its children's
+/// partials — the tree must stay connected).
+pub fn tree_aggregation_filtered<R: Rng>(
+    net: &mut SensorNetwork,
+    members: &[NodeId],
+    field: &TemperatureField,
+    t: SimTime,
+    agg: AggFn,
+    filter: &ValueFilter,
+    rng: &mut R,
+) -> CollectionReport {
+    let ledger = Ledger::open(net);
+    let base = net.base();
+    let tree = net.topology().spanning_tree(base);
+    let n = net.len();
+    let slot = net.link().tx_time(PARTIAL_WIRE_BYTES);
+
+    // Mark every node on some member->root path as involved.
+    let mut involved = vec![false; n];
+    let mut is_member = vec![false; n];
+    let mut participating = 0usize;
+    for &m in members {
+        if m == base {
+            continue;
+        }
+        participating += 1;
+        is_member[m.idx()] = true;
+        if let Some(path) = tree.path_to_root(m) {
+            for p in path {
+                involved[p.idx()] = true;
+            }
+        }
+    }
+    involved[base.idx()] = true;
+
+    let mut partials: Vec<Partial> = vec![Partial::empty(); n];
+    let mut cpu_ops = 0u64;
+    let mut total_bytes = 0u64;
+    let mut bytes_to_base = 0u64;
+    let mut max_level = 0u32;
+
+    // Members sample into their own partial.
+    for id in net.topology().nodes() {
+        if is_member[id.idx()] && net.is_alive(id) {
+            let reading = net.sample(id, field, t, rng);
+            cpu_ops += 50;
+            if filter.matches(reading) {
+                partials[id.idx()].add(reading);
+            }
+        }
+    }
+
+    // Bottom-up: each involved non-root node merges children (already done
+    // by the time it fires, thanks to the ordering) and sends to its parent.
+    for u in tree.bottom_up_order() {
+        if !involved[u.idx()] || u == base {
+            continue;
+        }
+        if !net.is_alive(u) {
+            partials[u.idx()] = Partial::empty(); // subtree contribution dies here
+            continue;
+        }
+        let parent = tree.parent[u.idx()].expect("non-root involved node has parent");
+        let state = partials[u.idx()];
+        if state.count == 0 {
+            continue; // nothing to report upward
+        }
+        let (ok, attempts) = try_hop(net, u, parent, PARTIAL_WIRE_BYTES, rng);
+        total_bytes += PARTIAL_WIRE_BYTES * attempts as u64;
+        if ok {
+            partials[parent.idx()].merge(&state);
+            cpu_ops += MERGE_OPS;
+            if parent == base {
+                bytes_to_base += PARTIAL_WIRE_BYTES;
+            }
+            max_level = max_level.max(tree.depth[u.idx()].unwrap_or(0));
+        }
+    }
+
+    let merged = partials[base.idx()];
+    let (energy_j, max_node_energy_j) = ledger.close(net);
+    CollectionReport {
+        value: merged.finalize(agg),
+        partial: merged,
+        energy_j,
+        max_node_energy_j,
+        bytes_to_base,
+        total_bytes,
+        latency: slot.mul(max_level as u64),
+        cpu_ops,
+        participating,
+        delivered: merged.count as usize,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pg_net::energy::RadioModel;
+    use pg_net::link::LinkModel;
+    use pg_net::topology::Topology;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn lossless_net(n_side: usize) -> SensorNetwork {
+        let topo = Topology::grid(n_side, n_side, 10.0, 11.0);
+        let mut net = SensorNetwork::new(
+            topo,
+            NodeId(0),
+            RadioModel::mote(),
+            LinkModel::new(250e3, Duration::from_millis(5), 0.0),
+            50.0,
+        );
+        net.noise_sd = 0.0;
+        net
+    }
+
+    fn field() -> TemperatureField {
+        TemperatureField::calm(25.0)
+    }
+
+    fn all_members(net: &SensorNetwork) -> Vec<NodeId> {
+        net.topology().nodes().filter(|&n| n != net.base()).collect()
+    }
+
+    #[test]
+    fn direct_collects_every_reading_losslessly() {
+        let mut net = lossless_net(4);
+        let members = all_members(&net);
+        let mut rng = StdRng::seed_from_u64(1);
+        let r = direct_collection(&mut net, &members, &field(), SimTime::ZERO, AggFn::Avg, &mut rng);
+        assert_eq!(r.delivered, 15);
+        assert_eq!(r.delivery_ratio(), 1.0);
+        assert_eq!(r.value, Some(25.0));
+        assert_eq!(r.bytes_to_base, 15 * READING_WIRE_BYTES);
+        assert!(r.energy_j > 0.0);
+        assert!(r.latency > Duration::ZERO);
+    }
+
+    #[test]
+    fn tree_matches_direct_value_on_lossless_links() {
+        let mut net_a = lossless_net(4);
+        let mut net_b = lossless_net(4);
+        let members = all_members(&net_a);
+        let mut rng = StdRng::seed_from_u64(2);
+        let d = direct_collection(&mut net_a, &members, &field(), SimTime::ZERO, AggFn::Avg, &mut rng);
+        let g = tree_aggregation(&mut net_b, &members, &field(), SimTime::ZERO, AggFn::Avg, &mut rng);
+        // Noise-free calm field: both must compute exactly 25.0 over all 15.
+        assert_eq!(d.value, g.value);
+        assert_eq!(g.delivered, 15);
+    }
+
+    #[test]
+    fn tree_ships_fewer_bytes_than_direct_on_large_networks() {
+        let mut net_a = lossless_net(7);
+        let mut net_b = lossless_net(7);
+        let members = all_members(&net_a);
+        let mut rng = StdRng::seed_from_u64(3);
+        let d = direct_collection(&mut net_a, &members, &field(), SimTime::ZERO, AggFn::Avg, &mut rng);
+        let g = tree_aggregation(&mut net_b, &members, &field(), SimTime::ZERO, AggFn::Avg, &mut rng);
+        assert!(
+            g.total_bytes < d.total_bytes,
+            "tree {} bytes vs direct {} bytes",
+            g.total_bytes,
+            d.total_bytes
+        );
+        assert!(g.energy_j < d.energy_j, "tree should save energy");
+        // The sink receives one partial per tree child instead of n readings.
+        let base_children = net_b.topology().spanning_tree(net_b.base()).children
+            [net_b.base().idx()]
+        .len() as u64;
+        assert_eq!(g.bytes_to_base, base_children * PARTIAL_WIRE_BYTES);
+        assert!(g.bytes_to_base < d.bytes_to_base);
+    }
+
+    #[test]
+    fn subset_membership_only_counts_members() {
+        let mut net = lossless_net(4);
+        let members = vec![NodeId(5), NodeId(6), NodeId(9)];
+        let mut rng = StdRng::seed_from_u64(4);
+        let r = tree_aggregation(&mut net, &members, &field(), SimTime::ZERO, AggFn::Count, &mut rng);
+        assert_eq!(r.value, Some(3.0));
+        assert_eq!(r.participating, 3);
+    }
+
+    #[test]
+    fn lossy_links_lose_some_readings_but_never_inflate() {
+        let topo = Topology::grid(5, 5, 10.0, 11.0);
+        let mut net = SensorNetwork::new(
+            topo,
+            NodeId(0),
+            RadioModel::mote(),
+            LinkModel::new(250e3, Duration::from_millis(5), 0.4),
+            50.0,
+        );
+        net.noise_sd = 0.0;
+        let members = all_members(&net);
+        let mut rng = StdRng::seed_from_u64(5);
+        let r = direct_collection(&mut net, &members, &field(), SimTime::ZERO, AggFn::Count, &mut rng);
+        assert!(r.delivered <= 24);
+        assert_eq!(r.value, Some(r.delivered as f64));
+        // Retries must show up in total bytes.
+        assert!(r.total_bytes > r.bytes_to_base);
+    }
+
+    #[test]
+    fn dead_members_do_not_contribute() {
+        let mut net = lossless_net(3);
+        // Kill node 8 (corner).
+        net.drain(NodeId(8), 1e9);
+        let members = all_members(&net);
+        let mut rng = StdRng::seed_from_u64(6);
+        let r = tree_aggregation(&mut net, &members, &field(), SimTime::ZERO, AggFn::Count, &mut rng);
+        assert_eq!(r.value, Some(7.0)); // 8 members - 1 dead
+    }
+
+    #[test]
+    fn energy_totals_match_battery_drain() {
+        let mut net = lossless_net(4);
+        let members = all_members(&net);
+        let before = net.total_consumed();
+        let mut rng = StdRng::seed_from_u64(7);
+        let r = direct_collection(&mut net, &members, &field(), SimTime::ZERO, AggFn::Sum, &mut rng);
+        let after = net.total_consumed();
+        assert!((r.energy_j - (after - before)).abs() < 1e-12);
+        assert!(r.max_node_energy_j <= r.energy_j);
+        assert!(r.max_node_energy_j > 0.0);
+    }
+}

@@ -1,0 +1,191 @@
+//! The sensed phenomenon: a building temperature field with spreading fires.
+//!
+//! The field is the ground truth the sensor network samples and the PDE
+//! reconstruction (experiment T9) is judged against. It is deliberately
+//! analytic — ambient temperature plus a sum of Gaussian heat plumes whose
+//! amplitude and radius grow over time — so exact values are available at
+//! any point and instant without solving anything.
+
+use pg_net::geom::Point;
+use pg_sim::SimTime;
+use rand::Rng;
+
+/// One heat source (a fire) that ignites, grows, and saturates.
+#[derive(Debug, Clone, Copy)]
+pub struct HeatSource {
+    /// Plume centre.
+    pub center: Point,
+    /// Ignition instant.
+    pub ignition: SimTime,
+    /// Peak amplitude above ambient, °C.
+    pub peak_amplitude: f64,
+    /// Initial plume radius, metres.
+    pub radius0: f64,
+    /// Radius growth rate, m/s.
+    pub growth: f64,
+    /// Time constant to reach peak amplitude, seconds.
+    pub ramp_tau: f64,
+}
+
+impl HeatSource {
+    /// Amplitude and radius at `t` (zero before ignition).
+    fn state_at(&self, t: SimTime) -> Option<(f64, f64)> {
+        if t < self.ignition {
+            return None;
+        }
+        let dt = (t - self.ignition).as_secs_f64();
+        let amp = self.peak_amplitude * (1.0 - (-dt / self.ramp_tau).exp());
+        let radius = self.radius0 + self.growth * dt;
+        Some((amp, radius))
+    }
+
+    /// Contribution of this source at point `p`, time `t`, °C.
+    pub fn contribution(&self, p: &Point, t: SimTime) -> f64 {
+        match self.state_at(t) {
+            None => 0.0,
+            Some((amp, radius)) => {
+                let d2 = p.distance_sq(&self.center);
+                amp * (-d2 / (2.0 * radius * radius)).exp()
+            }
+        }
+    }
+}
+
+/// Ambient temperature plus a set of heat sources.
+#[derive(Debug, Clone)]
+pub struct TemperatureField {
+    /// Background temperature, °C.
+    pub ambient: f64,
+    /// Active heat sources.
+    pub sources: Vec<HeatSource>,
+}
+
+impl TemperatureField {
+    /// A calm building at `ambient` °C with no fires.
+    pub fn calm(ambient: f64) -> Self {
+        TemperatureField {
+            ambient,
+            sources: Vec::new(),
+        }
+    }
+
+    /// The paper's fire scenario: a 21 °C building with a fire igniting at
+    /// `ignition` centred at `center`, peaking `peak` °C above ambient.
+    pub fn building_fire(center: Point, ignition: SimTime, peak: f64) -> Self {
+        TemperatureField {
+            ambient: 21.0,
+            sources: vec![HeatSource {
+                center,
+                ignition,
+                peak_amplitude: peak,
+                radius0: 2.0,
+                growth: 0.05,
+                ramp_tau: 120.0,
+            }],
+        }
+    }
+
+    /// Exact temperature at point `p`, time `t`, °C.
+    pub fn temperature(&self, p: &Point, t: SimTime) -> f64 {
+        self.ambient
+            + self
+                .sources
+                .iter()
+                .map(|s| s.contribution(p, t))
+                .sum::<f64>()
+    }
+
+    /// A noisy sensor observation: exact value plus zero-mean Gaussian noise
+    /// with standard deviation `noise_sd` (Box–Muller; two uniforms).
+    pub fn sample<R: Rng>(&self, p: &Point, t: SimTime, noise_sd: f64, rng: &mut R) -> f64 {
+        let exact = self.temperature(p, t);
+        if noise_sd == 0.0 {
+            return exact;
+        }
+        let u1: f64 = 1.0 - rng.gen::<f64>(); // avoid ln(0)
+        let u2: f64 = rng.gen();
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        exact + noise_sd * z
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn fire() -> TemperatureField {
+        TemperatureField::building_fire(Point::flat(10.0, 10.0), SimTime::from_secs(60), 400.0)
+    }
+
+    #[test]
+    fn calm_field_is_ambient_everywhere() {
+        let f = TemperatureField::calm(21.0);
+        assert_eq!(f.temperature(&Point::flat(3.0, 7.0), SimTime::from_secs(99)), 21.0);
+    }
+
+    #[test]
+    fn before_ignition_no_contribution() {
+        let f = fire();
+        let at_center = f.temperature(&Point::flat(10.0, 10.0), SimTime::from_secs(59));
+        assert_eq!(at_center, 21.0);
+    }
+
+    #[test]
+    fn fire_heats_center_most() {
+        let f = fire();
+        let t = SimTime::from_secs(600);
+        let center = f.temperature(&Point::flat(10.0, 10.0), t);
+        let near = f.temperature(&Point::flat(15.0, 10.0), t);
+        let far = f.temperature(&Point::flat(80.0, 80.0), t);
+        assert!(center > near, "{center} vs {near}");
+        assert!(near > far, "{near} vs {far}");
+        assert!(center > 300.0, "fire should be hot after 9 min: {center}");
+        assert!((far - 21.0).abs() < 5.0, "far corner near ambient: {far}");
+    }
+
+    #[test]
+    fn amplitude_ramps_monotonically() {
+        let f = fire();
+        let p = Point::flat(10.0, 10.0);
+        let mut last = 0.0;
+        for s in [61, 120, 300, 900, 3_600] {
+            let temp = f.temperature(&p, SimTime::from_secs(s));
+            assert!(temp > last, "temperature should grow: {temp} at {s}s");
+            last = temp;
+        }
+    }
+
+    #[test]
+    fn plume_spreads_over_time() {
+        let f = fire();
+        let p = Point::flat(40.0, 10.0); // 30 m from the fire
+        let early = f.temperature(&p, SimTime::from_secs(120));
+        let late = f.temperature(&p, SimTime::from_secs(3_600));
+        assert!(late > early + 5.0, "plume should reach 30 m out: {early} -> {late}");
+    }
+
+    #[test]
+    fn noiseless_sample_is_exact() {
+        let f = fire();
+        let p = Point::flat(12.0, 9.0);
+        let t = SimTime::from_secs(500);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(f.sample(&p, t, 0.0, &mut rng), f.temperature(&p, t));
+    }
+
+    #[test]
+    fn noise_is_zero_mean_with_given_sd() {
+        let f = TemperatureField::calm(20.0);
+        let p = Point::flat(0.0, 0.0);
+        let t = SimTime::ZERO;
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| f.sample(&p, t, 2.0, &mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64;
+        assert!((mean - 20.0).abs() < 0.05, "mean {mean}");
+        assert!((var.sqrt() - 2.0).abs() < 0.05, "sd {}", var.sqrt());
+    }
+}

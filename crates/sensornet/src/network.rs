@@ -1,0 +1,197 @@
+//! The deployed sensor network: topology + per-node batteries + base station.
+
+use crate::field::TemperatureField;
+use pg_net::energy::{Battery, RadioModel};
+use pg_net::link::LinkModel;
+use pg_net::topology::{NodeId, Topology};
+use pg_sim::SimTime;
+use rand::Rng;
+
+/// A deployed network of battery-powered sensors with one base station.
+///
+/// The base station is a distinguished topology node assumed mains-powered
+/// (its battery is never drained) and wired into the grid backhaul — the
+/// role it plays in Figure 1 of the paper.
+#[derive(Debug, Clone)]
+pub struct SensorNetwork {
+    topo: Topology,
+    base: NodeId,
+    radio: RadioModel,
+    link: LinkModel,
+    batteries: Vec<Battery>,
+    /// Gaussian sensing noise applied to every sample, °C.
+    pub noise_sd: f64,
+}
+
+impl SensorNetwork {
+    /// Deploy sensors on `topo` with the base station at `base`, each sensor
+    /// holding `battery_j` joules.
+    pub fn new(
+        topo: Topology,
+        base: NodeId,
+        radio: RadioModel,
+        link: LinkModel,
+        battery_j: f64,
+    ) -> Self {
+        let batteries = vec![Battery::new(battery_j); topo.len()];
+        SensorNetwork {
+            topo,
+            base,
+            radio,
+            link,
+            batteries,
+            noise_sd: 0.5,
+        }
+    }
+
+    /// The underlying topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// The base-station node.
+    pub fn base(&self) -> NodeId {
+        self.base
+    }
+
+    /// The radio energy model shared by all sensors.
+    pub fn radio(&self) -> &RadioModel {
+        &self.radio
+    }
+
+    /// The link model of the sensor radio channel.
+    pub fn link(&self) -> &LinkModel {
+        &self.link
+    }
+
+    /// Number of sensors (base station included in the count).
+    pub fn len(&self) -> usize {
+        self.topo.len()
+    }
+
+    /// Never empty by construction.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Is `node` still powered? (The base station always is.)
+    pub fn is_alive(&self, node: NodeId) -> bool {
+        node == self.base || !self.batteries[node.idx()].is_dead()
+    }
+
+    /// Number of live sensors (excluding the base station).
+    pub fn alive_sensors(&self) -> usize {
+        self.topo
+            .nodes()
+            .filter(|&n| n != self.base && self.is_alive(n))
+            .count()
+    }
+
+    /// Remaining energy at `node`, joules.
+    pub fn remaining_energy(&self, node: NodeId) -> f64 {
+        self.batteries[node.idx()].remaining()
+    }
+
+    /// Total energy consumed across all sensors so far, joules.
+    pub fn total_consumed(&self) -> f64 {
+        self.topo
+            .nodes()
+            .filter(|&n| n != self.base)
+            .map(|n| self.batteries[n.idx()].used())
+            .sum()
+    }
+
+    /// Drain `joules` from `node`'s battery (no-op for the base station).
+    /// Returns `true` if the node is still alive afterwards.
+    pub fn drain(&mut self, node: NodeId, joules: f64) -> bool {
+        if node == self.base {
+            return true;
+        }
+        self.batteries[node.idx()].drain(joules)
+    }
+
+    /// Sample the field at `node`'s position (costs one CPU op worth of
+    /// energy plus the ADC read, folded into `sample_ops`).
+    pub fn sample<R: Rng>(
+        &mut self,
+        node: NodeId,
+        field: &TemperatureField,
+        t: SimTime,
+        rng: &mut R,
+    ) -> f64 {
+        const SAMPLE_OPS: u64 = 50; // ADC read + calibration math
+        let e = self.radio.cpu_energy(SAMPLE_OPS);
+        self.drain(node, e);
+        let pos = self.topo.position(node);
+        field.sample(&pos, t, self.noise_sd, rng)
+    }
+
+    /// Exact (noise-free) field value at a node — ground truth for accuracy
+    /// metrics; costs nothing.
+    pub fn ground_truth(&self, node: NodeId, field: &TemperatureField, t: SimTime) -> f64 {
+        field.temperature(&self.topo.position(node), t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pg_net::geom::Point;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn net() -> SensorNetwork {
+        let topo = Topology::grid(3, 3, 10.0, 11.0);
+        SensorNetwork::new(
+            topo,
+            NodeId(0),
+            RadioModel::mote(),
+            LinkModel::sensor_radio(),
+            2.0,
+        )
+    }
+
+    #[test]
+    fn base_station_is_immortal() {
+        let mut n = net();
+        assert!(n.drain(NodeId(0), 1e9));
+        assert!(n.is_alive(NodeId(0)));
+        assert_eq!(n.remaining_energy(NodeId(0)), 2.0); // untouched
+    }
+
+    #[test]
+    fn sensors_die_when_drained() {
+        let mut n = net();
+        assert!(n.drain(NodeId(4), 1.5));
+        assert!(n.is_alive(NodeId(4)));
+        assert!(!n.drain(NodeId(4), 1.0));
+        assert!(!n.is_alive(NodeId(4)));
+        assert_eq!(n.alive_sensors(), 7); // 9 nodes - base - 1 dead
+    }
+
+    #[test]
+    fn total_consumed_sums_sensor_draws() {
+        let mut n = net();
+        n.drain(NodeId(1), 0.25);
+        n.drain(NodeId(2), 0.5);
+        n.drain(NodeId(0), 7.0); // base, ignored
+        assert!((n.total_consumed() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampling_costs_energy_and_returns_field_value() {
+        let mut n = net();
+        n.noise_sd = 0.0;
+        let field = TemperatureField::building_fire(
+            Point::flat(10.0, 10.0),
+            SimTime::ZERO,
+            300.0,
+        );
+        let before = n.remaining_energy(NodeId(4));
+        let mut rng = StdRng::seed_from_u64(3);
+        let v = n.sample(NodeId(4), &field, SimTime::from_secs(600), &mut rng);
+        assert!(n.remaining_energy(NodeId(4)) < before);
+        assert_eq!(v, n.ground_truth(NodeId(4), &field, SimTime::from_secs(600)));
+        assert!(v > 100.0, "node 4 sits on the fire: {v}");
+    }
+}

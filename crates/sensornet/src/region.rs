@@ -1,0 +1,112 @@
+//! Spatial predicates for `WHERE` clauses ("Average Temperature in room #210").
+
+use pg_net::geom::Point;
+use pg_net::topology::{NodeId, Topology};
+
+/// An axis-aligned box, the spatial footprint of a room/floor/zone.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Region {
+    /// Minimum corner (inclusive).
+    pub min: Point,
+    /// Maximum corner (inclusive).
+    pub max: Point,
+}
+
+impl Region {
+    /// Construct a region from two corners.
+    ///
+    /// # Panics
+    /// Panics when any `min` coordinate exceeds the matching `max`.
+    pub fn new(min: Point, max: Point) -> Self {
+        assert!(
+            min.x <= max.x && min.y <= max.y && min.z <= max.z,
+            "inverted region corners"
+        );
+        Region { min, max }
+    }
+
+    /// The whole space (matches every sensor).
+    pub fn everywhere() -> Self {
+        Region {
+            min: Point::new(f64::NEG_INFINITY, f64::NEG_INFINITY, f64::NEG_INFINITY),
+            max: Point::new(f64::INFINITY, f64::INFINITY, f64::INFINITY),
+        }
+    }
+
+    /// A 2-D room footprint spanning all heights.
+    pub fn room(x0: f64, y0: f64, x1: f64, y1: f64) -> Self {
+        Region::new(
+            Point::new(x0, y0, f64::NEG_INFINITY),
+            Point::new(x1, y1, f64::INFINITY),
+        )
+    }
+
+    /// Does the region contain `p`?
+    pub fn contains(&self, p: &Point) -> bool {
+        (self.min.x..=self.max.x).contains(&p.x)
+            && (self.min.y..=self.max.y).contains(&p.y)
+            && (self.min.z..=self.max.z).contains(&p.z)
+    }
+
+    /// The ids of all topology nodes inside the region.
+    pub fn members(&self, topo: &Topology) -> Vec<NodeId> {
+        topo.nodes()
+            .filter(|&n| self.contains(&topo.position(n)))
+            .collect()
+    }
+
+    /// Geometric centre of the region (undefined for `everywhere()`).
+    pub fn center(&self) -> Point {
+        self.min.lerp(&self.max, 0.5)
+    }
+
+    /// Volume (or area when flat), for region-averaging resolution maths.
+    pub fn extent(&self) -> (f64, f64, f64) {
+        (
+            self.max.x - self.min.x,
+            self.max.y - self.min.y,
+            self.max.z - self.min.z,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contains_is_inclusive() {
+        let r = Region::room(0.0, 0.0, 10.0, 10.0);
+        assert!(r.contains(&Point::flat(0.0, 0.0)));
+        assert!(r.contains(&Point::flat(10.0, 10.0)));
+        assert!(r.contains(&Point::new(5.0, 5.0, 99.0))); // any height
+        assert!(!r.contains(&Point::flat(10.1, 5.0)));
+    }
+
+    #[test]
+    fn everywhere_contains_everything() {
+        let r = Region::everywhere();
+        assert!(r.contains(&Point::new(-1e300, 1e300, 0.0)));
+    }
+
+    #[test]
+    fn members_filters_topology() {
+        let t = Topology::grid(4, 4, 10.0, 11.0); // nodes at 0,10,20,30
+        let r = Region::room(-1.0, -1.0, 15.0, 15.0); // the 2x2 lower corner
+        let m = r.members(&t);
+        assert_eq!(m.len(), 4);
+        assert!(m.contains(&NodeId(0)) && m.contains(&NodeId(5)));
+    }
+
+    #[test]
+    fn center_is_midpoint() {
+        let r = Region::new(Point::flat(0.0, 0.0), Point::new(10.0, 20.0, 4.0));
+        assert_eq!(r.center(), Point::new(5.0, 10.0, 2.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "inverted region")]
+    fn inverted_corners_rejected() {
+        Region::new(Point::flat(5.0, 0.0), Point::flat(0.0, 5.0));
+    }
+}

@@ -1,0 +1,58 @@
+//! The heap entry used by [`crate::Scheduler`].
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+
+/// An event together with its firing time and a tie-breaking sequence number.
+///
+/// Ordering is `(at, seq)` and deliberately ignores the payload, so `E` does
+/// not need to implement `Ord` (or even `Eq`).
+#[derive(Debug)]
+pub struct Scheduled<E> {
+    /// Absolute firing time.
+    pub at: SimTime,
+    /// Insertion sequence number; breaks ties FIFO.
+    pub seq: u64,
+    /// The event payload.
+    pub event: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Scheduled<E> {}
+
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(at: u64, seq: u64) -> Scheduled<()> {
+        Scheduled {
+            at: SimTime::from_nanos(at),
+            seq,
+            event: (),
+        }
+    }
+
+    #[test]
+    fn orders_by_time_then_seq() {
+        assert!(s(1, 9) < s(2, 0));
+        assert!(s(2, 0) < s(2, 1));
+        assert_eq!(s(3, 3), s(3, 3));
+    }
+}

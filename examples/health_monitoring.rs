@@ -1,0 +1,96 @@
+//! The paper's §1 public-health scenario: compose toxin sensors, hospital
+//! report feeds, and a clustering service into a correlation pipeline, and
+//! keep it running while the proximity services churn.
+//!
+//! "sensors detect particular toxins, mobile units find contaminated sites,
+//! hospitals show people who work at or near the sites being admitted with
+//! unexplained symptoms" — the composite must stay available as short-lived
+//! services come and go.
+//!
+//! ```sh
+//! cargo run --example health_monitoring
+//! ```
+
+use pervasive_grid::compose::htn::MethodLibrary;
+use pervasive_grid::compose::manager::{execute, ManagerKind, ServiceWorld};
+use pervasive_grid::discovery::description::ServiceDescription;
+use pervasive_grid::discovery::ontology::Ontology;
+use pervasive_grid::net::churn::{ChurnProcess, ChurnSchedule};
+use pervasive_grid::sim::rng::RngStreams;
+use pervasive_grid::sim::{Duration, SimTime};
+
+fn main() {
+    let onto = Ontology::pervasive_grid();
+    let lib = MethodLibrary::pervasive_grid();
+    let plan = lib.decompose("toxin-correlation").expect("library task");
+    println!(
+        "plan '{}': {} steps ({} required, {} optional), critical path {}",
+        plan.task,
+        plan.len(),
+        plan.required().len(),
+        plan.optional().len(),
+        plan.critical_path_len()
+    );
+
+    let streams = RngStreams::new(7);
+    let horizon = SimTime::from_secs(100_000);
+    let mut rng = streams.fork("churn");
+    let field_unit = ChurnProcess::new(300.0, 120.0); // mobile lab vans
+    let stable = ChurnSchedule::always_up();
+
+    let mut world = ServiceWorld::new();
+    let class = |n: &str| onto.class(n).expect("standard ontology");
+    // Two churny toxin sensor feeds from field units, one stable one.
+    for i in 0..2 {
+        world.add_service(
+            ServiceDescription::new(format!("van-toxin-{i}"), class("ToxinSensor")),
+            field_unit.schedule(horizon, &mut rng),
+        );
+    }
+    world.add_service(
+        ServiceDescription::new("bay-buoy-toxin", class("ToxinSensor")),
+        stable.clone(),
+    );
+    world.add_service(
+        ServiceDescription::new("cdc-hospital-feed", class("HospitalReportService")),
+        stable.clone(),
+    );
+    world.add_service(
+        ServiceDescription::new("field-pathogen", class("PathogenSensor")),
+        field_unit.schedule(horizon, &mut rng),
+    );
+    world.add_service(
+        ServiceDescription::new("grid-clustering", class("ClusteringService")),
+        stable.clone(),
+    );
+    world.add_service(
+        ServiceDescription::new("grid-archive", class("StorageService")),
+        stable,
+    );
+
+    println!("\nrunning the correlation pipeline once per hour for a simulated day:");
+    let mut ok = 0;
+    let mut utility_sum = 0.0;
+    let mut rebinds = 0;
+    for hour in 0..24u64 {
+        let t = SimTime::ZERO + Duration::from_secs(hour * 3_600);
+        let r = execute(&world, &onto, &plan, ManagerKind::DistributedReactive, t);
+        if r.success {
+            ok += 1;
+        }
+        utility_sum += r.utility;
+        rebinds += r.rebinds;
+        if hour % 6 == 0 {
+            println!(
+                "  t={hour:>2} h  success={} utility={:.2} latency={} rebinds={}",
+                r.success, r.utility, r.latency, r.rebinds
+            );
+        }
+    }
+    println!(
+        "\nday summary: {ok}/24 runs fully successful, mean utility {:.2}, {} rebinds \
+         (optional pathogen feed degrades gracefully when the van is away)",
+        utility_sum / 24.0,
+        rebinds
+    );
+}

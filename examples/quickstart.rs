@@ -1,0 +1,66 @@
+//! Quickstart: stand up a Pervasive Grid over a small building and run the
+//! paper's four query archetypes.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use pervasive_grid::core::PervasiveGrid;
+use pervasive_grid::net::geom::Point;
+use pervasive_grid::sensornet::region::Region;
+use pervasive_grid::sim::Duration;
+
+fn main() {
+    // One floor of 6x6 sensors at 5 m pitch; base station at node 0.
+    let mut pg = PervasiveGrid::building(1, 6, 42)
+        .region("room210", Region::room(0.0, 0.0, 15.0, 15.0))
+        .build();
+
+    println!("== calm building ==");
+    run(&mut pg, "SELECT temp FROM sensors WHERE sensor_id = 21");
+    run(&mut pg, "SELECT AVG(temp) FROM sensors WHERE region(room210)");
+
+    // A fire breaks out in the middle of the floor; wait ten minutes.
+    pg.ignite(Point::flat(12.5, 12.5), 400.0);
+    pg.advance(Duration::from_secs(600));
+    println!("\n== ten minutes into a fire at (12.5, 12.5) ==");
+    run(&mut pg, "SELECT MAX(temp) FROM sensors");
+    run(&mut pg, "SELECT AVG(temp) FROM sensors WHERE region(room210)");
+    run(
+        &mut pg,
+        "SELECT temperature_distribution() FROM sensors WHERE region(room210)",
+    );
+    run(
+        &mut pg,
+        "SELECT temp FROM sensors WHERE sensor_id = 21 EPOCH DURATION 10 s",
+    );
+
+    // A query with a COST clause the runtime cannot satisfy is rejected.
+    println!("\n== cost-bounded query ==");
+    run(
+        &mut pg,
+        "SELECT AVG(temp) FROM sensors COST energy 0.000000001",
+    );
+
+    println!(
+        "\ntotal sensor energy consumed: {:.4} J, sensors alive: {}",
+        pg.energy_consumed(),
+        pg.alive_sensors()
+    );
+}
+
+fn run(pg: &mut PervasiveGrid, text: &str) {
+    match pg.submit(text) {
+        Ok(r) => println!(
+            "{text}\n  -> {kind:<10} via {model:<22} value={value:<9} energy={e:.6} J  time={t:.3} s",
+            kind = r.kind.name(),
+            model = r.model.name(),
+            value = r
+                .value
+                .map_or("none".to_string(), |v| format!("{v:.2}")),
+            e = r.cost.energy_j,
+            t = r.cost.time_s,
+        ),
+        Err(e) => println!("{text}\n  -> REJECTED: {e}"),
+    }
+}

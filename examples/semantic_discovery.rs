@@ -1,0 +1,92 @@
+//! The paper's §3 printer example: what semantic discovery can express that
+//! Jini lookup and Bluetooth SDP cannot.
+//!
+//! "the Jini discovery and lookup protocols are sufficient for service
+//! clients to find a service that implements the method printIt(). However,
+//! they are not sufficient for clients to find a printer service that has
+//! the shortest print queue, that is geographically the closest, or that
+//! will print in color but only within a prespecified cost constraint."
+//!
+//! ```sh
+//! cargo run --example semantic_discovery
+//! ```
+
+use pervasive_grid::discovery::baselines::{jini_match, sdp_match};
+use pervasive_grid::discovery::corpus::{precision_recall, printer_corpus};
+use pervasive_grid::discovery::description::{Constraint, Preference, ServiceRequest, Value};
+use pervasive_grid::discovery::matcher;
+use pervasive_grid::discovery::ontology::Ontology;
+use pervasive_grid::net::geom::Point;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let onto = Ontology::pervasive_grid();
+    let mut rng = StdRng::seed_from_u64(2003);
+    let corpus = printer_corpus(&onto, 60, &mut rng);
+    let printer = onto.class("PrinterService").unwrap();
+    println!(
+        "registry: {} printers, of which {} genuinely satisfy \"color under {:.2}/page\"",
+        corpus.services.len(),
+        corpus.relevant.len(),
+        corpus.cost_cap
+    );
+
+    // --- The three §3 queries, semantically. ---
+    println!("\n== semantic matcher ==");
+    let shortest_queue = ServiceRequest::for_class(printer)
+        .with_preference(Preference::Minimize("queue_length".into()));
+    show_top(&onto, &corpus.services, &shortest_queue, "shortest print queue");
+
+    let closest = ServiceRequest::for_class(printer)
+        .with_preference(Preference::Nearest(Point::flat(0.0, 0.0)));
+    show_top(&onto, &corpus.services, &closest, "geographically closest");
+
+    let color_capped = ServiceRequest::for_class(printer)
+        .with_constraint(Constraint::Eq("color".into(), Value::Bool(true)))
+        .with_constraint(Constraint::Le("cost_per_page".into(), corpus.cost_cap));
+    let hits = matcher::rank(&onto, &color_capped, &corpus.services);
+    let idx: Vec<usize> = hits.iter().map(|m| m.index).collect();
+    let (p, r) = precision_recall(&idx, &corpus.relevant);
+    println!(
+        "color within cost cap            -> {} hits, precision {p:.2}, recall {r:.2}",
+        hits.len()
+    );
+
+    // --- The baselines on the same need. ---
+    println!("\n== syntactic baselines on the same need ==");
+    let jini = jini_match(&corpus.services, "printIt");
+    let (pj, rj) = precision_recall(&jini, &corpus.relevant);
+    println!(
+        "Jini lookup printIt()            -> {} hits (every printer), precision {pj:.2}, recall {rj:.2}",
+        jini.len()
+    );
+    let sdp = sdp_match(&corpus.services, 0x5000);
+    println!(
+        "Bluetooth SDP uuid 0x5000        -> {} hit(s): exact UUID only, no constraints, no ranking",
+        sdp.len()
+    );
+    println!(
+        "\nThe syntactic systems cannot even phrase the constrained queries — \
+         the semantic matcher answers all three with a ranked list."
+    );
+}
+
+fn show_top(
+    onto: &Ontology,
+    services: &[pervasive_grid::discovery::description::ServiceDescription],
+    req: &ServiceRequest,
+    label: &str,
+) {
+    let hits = matcher::rank(onto, req, services);
+    let top = &hits[0];
+    let svc = &services[top.index];
+    println!(
+        "{label:<32} -> {} (score {:.3}, grade {:?}, queue={:?}, cost={:?})",
+        svc.name,
+        top.score,
+        top.grade,
+        svc.prop("queue_length"),
+        svc.prop("cost_per_page"),
+    );
+}

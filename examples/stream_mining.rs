@@ -1,0 +1,118 @@
+//! The §3 stream-analysis composition, executed for real: decompose
+//! `stream-ensemble-analysis` with the HTN planner, tender the compute role
+//! via contract-net negotiation, then run the actual Kargupta-style
+//! pipeline — stumps from stream batches → Fourier spectrum → dominant
+//! components → a single combined tree.
+//!
+//! ```sh
+//! cargo run --example stream_mining
+//! ```
+
+use pervasive_grid::agent::deputy::DirectDeputy;
+use pervasive_grid::agent::negotiate::{
+    commitment_met, run_tender, CallForProposals, ProviderAgent, TenderState,
+};
+use pervasive_grid::agent::system::AgentSystem;
+use pervasive_grid::compose::htn::MethodLibrary;
+use pervasive_grid::grid::mining::{accuracy, Ensemble, Example};
+use pervasive_grid::net::link::LinkModel;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Synthetic toxin-correlation stream: label = majority of 3 relevant
+/// indicator features among 10, with sensor noise.
+fn batch(n: usize, noise: f64, rng: &mut StdRng) -> Vec<Example> {
+    (0..n)
+        .map(|_| {
+            let x: Vec<f64> = (0..10)
+                .map(|_| if rng.gen_bool(0.5) { 1.0 } else { -1.0 })
+                .collect();
+            let mut y = if x[0] + x[1] + x[2] >= 0.0 { 1.0 } else { -1.0 };
+            if rng.gen_bool(noise) {
+                y = -y;
+            }
+            Example::new(x, y)
+        })
+        .collect()
+}
+
+fn main() {
+    // --- 1. The planner decomposes the task (§3's example verbatim). ---
+    let lib = MethodLibrary::pervasive_grid();
+    let plan = lib.decompose("stream-ensemble-analysis").expect("library task");
+    println!("plan '{}' decomposes into:", plan.task);
+    for (i, step) in plan.steps.iter().enumerate() {
+        println!("  {i}: {} ({})", step.role.name, step.role.class);
+    }
+
+    // --- 2. Negotiate the compute placement via contract net. ---
+    println!("\ntendering the ensemble-generation contract:");
+    let mut sys = AgentSystem::new();
+    let direct = || Box::new(DirectDeputy::new(LinkModel::wifi()));
+    let cluster = sys.register(
+        Box::new(ProviderAgent::new("generate-trees", 2.0, 8.0, 1.6)),
+        direct(),
+    );
+    let workstation = sys.register(
+        Box::new(ProviderAgent::new("generate-trees", 6.0, 2.0, 5.0)),
+        direct(),
+    );
+    let pda = sys.register(
+        Box::new(ProviderAgent::new("generate-trees", 90.0, 0.5, 85.0)),
+        direct(),
+    );
+    let state = run_tender(
+        &mut sys,
+        CallForProposals {
+            task: "generate-trees".into(),
+            deadline_s: 10.0,
+        },
+        vec![cluster, workstation, pda],
+        2, // the PDA cannot commit to 10 s and stays silent
+    );
+    match &state {
+        TenderState::Done {
+            winner,
+            promised_s,
+            actual_s,
+        } => println!(
+            "  awarded to {winner} (promised {promised_s} s, actually took {actual_s} s, \
+             commitment met: {})",
+            commitment_met(&state).unwrap()
+        ),
+        other => println!("  tender ended in {other:?}"),
+    }
+
+    // --- 3. Run the mining pipeline. ---
+    println!("\nmining the stream (20 batches of 150 samples, 10% label noise):");
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut ensemble = Ensemble::new();
+    for _ in 0..20 {
+        ensemble.absorb_batch(&batch(150, 0.10, &mut rng));
+    }
+    let test = batch(4_000, 0.0, &mut rng);
+    let acc_ens = accuracy(&test, |x| ensemble.predict(x));
+    println!("  ensemble of {} stumps: accuracy {:.3}", ensemble.len(), acc_ens);
+
+    let spectrum = ensemble.spectrum(10);
+    println!(
+        "  Fourier spectrum: {} components, energy {:.2}",
+        spectrum.support(),
+        spectrum.energy()
+    );
+    for m in [10usize, 5, 3, 1] {
+        let truncated = spectrum.dominant(m);
+        let acc = accuracy(&test, |x| truncated.classify(x));
+        println!(
+            "  combined tree from top-{m} components: accuracy {:.3} \
+             (energy retained {:.0}%)",
+            acc,
+            100.0 * truncated.energy() / spectrum.energy()
+        );
+    }
+    println!(
+        "\nthe 3 dominant components recover the 3 relevant indicators — the \
+         combined single tree matches the full ensemble at a fraction of the \
+         transmission size, which is why the paper ships spectra, not trees."
+    );
+}

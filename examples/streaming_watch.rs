@@ -1,0 +1,102 @@
+//! Continuous monitoring with stream operators and sensor proxies: the
+//! Fjords-style machinery behind the paper's Continuous/Windowed queries.
+//!
+//! A watch floor keeps three concurrent continuous queries on the same
+//! building: a fire alarm (sliding average crossing a threshold), a 1-minute
+//! tumbling mean for the log, and a raw spot check. The sensor proxy lets
+//! all three share physical samples, and rate-based planning orders the
+//! operator chain cheapest-first.
+//!
+//! ```sh
+//! cargo run --example streaming_watch
+//! ```
+
+use pervasive_grid::net::energy::RadioModel;
+use pervasive_grid::net::geom::Point;
+use pervasive_grid::net::link::LinkModel;
+use pervasive_grid::net::topology::{NodeId, Topology};
+use pervasive_grid::sensornet::aggregate::AggFn;
+use pervasive_grid::sensornet::field::TemperatureField;
+use pervasive_grid::sensornet::network::SensorNetwork;
+use pervasive_grid::sensornet::proxy::SensorProxy;
+use pervasive_grid::sensornet::stream::{
+    rate_optimal_filter_order, Chain, Filter, Sample, SlidingAgg, ThresholdAlarm, TumblingAgg,
+};
+use pervasive_grid::sim::{Duration, SimTime};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    // The building: 6x6 sensors; a fire ignites at t = 120 s.
+    let topo = Topology::grid(6, 6, 10.0, 11.0);
+    let mut net = SensorNetwork::new(
+        topo,
+        NodeId(0),
+        RadioModel::mote(),
+        LinkModel::sensor_radio(),
+        50.0,
+    );
+    let field = TemperatureField::building_fire(
+        Point::flat(25.0, 25.0),
+        SimTime::from_secs(120),
+        400.0,
+    );
+    let mut proxy = SensorProxy::new(Duration::from_secs(5));
+    let mut rng = StdRng::seed_from_u64(1);
+
+    // Three concurrent consumers over the same sensor.
+    let mut alarm_chain = Chain::new()
+        .then(SlidingAgg::new(AggFn::Avg, Duration::from_secs(20)))
+        .then(ThresholdAlarm::new(60.0));
+    let mut minute_log = TumblingAgg::new(AggFn::Max, Duration::from_secs(60));
+
+    println!("watching sensor #21 (two proxy-fed queries + spot checks), 10 s sampling:");
+    let sensor = NodeId(21);
+    let mut alarms = 0;
+    for t in (0..600).step_by(10) {
+        let now = SimTime::from_secs(t);
+        // All three consumers read through the proxy within each epoch.
+        let r1 = proxy.read(&mut net, &field, sensor, now, &mut rng).unwrap();
+        let _spot = proxy.read(&mut net, &field, sensor, now, &mut rng).unwrap();
+        let s = Sample {
+            at: now,
+            value: r1.value,
+        };
+        use pervasive_grid::sensornet::stream::StreamOp;
+        for a in alarm_chain.push(s) {
+            alarms += 1;
+            println!("  !! FIRE ALARM at t={}: 20 s avg = {:.1} C", a.at, a.value);
+        }
+        for w in minute_log.push(s) {
+            println!("  minute log  [t={}] max = {:.1} C", w.at, w.value);
+        }
+    }
+    println!(
+        "\nproxy served {} reads with {} physical samples (hit rate {:.0}%): \
+         the concurrent queries shared the stream",
+        proxy.hits + proxy.misses,
+        proxy.misses,
+        proxy.hit_rate() * 100.0
+    );
+    assert!(alarms >= 1, "the fire must trip the alarm");
+
+    // Rate-based operator ordering (Viglas-Naughton).
+    println!("\nrate-based filter ordering for a 3-predicate chain:");
+    let selectivities = [0.8, 0.05, 0.4];
+    let order = rate_optimal_filter_order(&selectivities);
+    println!("  selectivities {selectivities:?} -> evaluate in order {order:?}");
+    let build = |order: &[usize]| {
+        let mut c = Chain::new();
+        for &i in order {
+            c = c.then(Filter::new(format!("p{i}"), selectivities[i], |_| true));
+        }
+        c
+    };
+    let optimal = build(&order);
+    let naive = build(&[0, 1, 2]);
+    println!(
+        "  cost rate at 100 samples/s: optimal {:.1} ops/s vs naive {:.1} ops/s",
+        optimal.cost_rate(100.0),
+        naive.cost_rate(100.0)
+    );
+}

@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Regenerate every EXPERIMENTS.md table/figure into results/.
+# Usage: scripts/run_experiments.sh [output-dir]
+set -euo pipefail
+out="${1:-results}"
+mkdir -p "$out"
+cargo build --release -p pg-bench
+for exp in exp_f1_scenario exp_t1_matrix exp_t2_aggregation exp_t3_adaptive \
+           exp_t4_discovery exp_t5_faults exp_t6_proactive exp_t7_churn \
+           exp_t8_crossover exp_t9_pde exp_t10_cost exp_t11_routing \
+           exp_t12_lifetime exp_t13_mobility exp_t14_mac exp_a1_ablation; do
+    echo "== $exp =="
+    ./target/release/"$exp" | tee "$out/$exp.txt"
+done
+echo "all experiment outputs written to $out/"

@@ -1,0 +1,165 @@
+//! Integration: composition fault tolerance and graceful degradation under
+//! injected service failures (§3's requirements, across discovery + compose
+//! + churn).
+
+use pervasive_grid::compose::htn::MethodLibrary;
+use pervasive_grid::compose::manager::{execute, ManagerKind, ServiceWorld};
+use pervasive_grid::discovery::description::ServiceDescription;
+use pervasive_grid::discovery::ontology::Ontology;
+use pervasive_grid::net::churn::{ChurnProcess, ChurnSchedule};
+use pervasive_grid::sim::rng::RngStreams;
+use pervasive_grid::sim::{Duration, SimTime};
+
+fn plan() -> pervasive_grid::compose::plan::Plan {
+    MethodLibrary::pervasive_grid()
+        .decompose("temperature-distribution")
+        .unwrap()
+}
+
+/// World with `replicas` providers per role, each following `churn`.
+fn world_with(
+    onto: &Ontology,
+    replicas: usize,
+    churn: Option<ChurnProcess>,
+    seed: u64,
+) -> ServiceWorld {
+    let streams = RngStreams::new(seed);
+    let mut rng = streams.fork("churn");
+    let horizon = SimTime::from_secs(50_000);
+    let mut w = ServiceWorld::new();
+    for class in [
+        "TemperatureSensor",
+        "MapService",
+        "WeatherService",
+        "PdeSolverService",
+        "DisplayService",
+    ] {
+        for i in 0..replicas {
+            let sched = match &churn {
+                Some(p) => p.schedule(horizon, &mut rng),
+                None => ChurnSchedule::always_up(),
+            };
+            w.add_service(
+                ServiceDescription::new(
+                    format!("{class}-{i}"),
+                    onto.class(class).unwrap(),
+                ),
+                sched,
+            );
+        }
+    }
+    w
+}
+
+#[test]
+fn replicas_mask_churn_for_the_reactive_manager() {
+    let onto = Ontology::pervasive_grid();
+    // Flaky services (50% availability), but 4 replicas of each role.
+    let w = world_with(&onto, 4, Some(ChurnProcess::new(60.0, 60.0)), 21);
+    let p = plan();
+    let mut successes = 0;
+    for i in 0..20u64 {
+        let t = SimTime::from_secs(i * 500);
+        let r = execute(&w, &onto, &p, ManagerKind::DistributedReactive, t);
+        if r.success {
+            successes += 1;
+        }
+        assert!(r.utility >= 0.0 && r.utility <= 1.0);
+    }
+    assert!(
+        successes >= 16,
+        "4-way replication at 50% availability should succeed most of the time: {successes}/20"
+    );
+}
+
+#[test]
+fn single_instances_fail_much_more_often() {
+    let onto = Ontology::pervasive_grid();
+    let replicated = world_with(&onto, 4, Some(ChurnProcess::new(60.0, 60.0)), 22);
+    let single = world_with(&onto, 1, Some(ChurnProcess::new(60.0, 60.0)), 22);
+    let p = plan();
+    let count = |w: &ServiceWorld| {
+        (0..20u64)
+            .filter(|i| {
+                execute(
+                    w,
+                    &onto,
+                    &p,
+                    ManagerKind::DistributedReactive,
+                    SimTime::from_secs(i * 500),
+                )
+                .success
+            })
+            .count()
+    };
+    let with_replicas = count(&replicated);
+    let without = count(&single);
+    assert!(
+        with_replicas > without,
+        "replication must help: {with_replicas} vs {without}"
+    );
+}
+
+#[test]
+fn utility_degrades_gracefully_not_cliff_like() {
+    let onto = Ontology::pervasive_grid();
+    let p = plan();
+    // Sweep availability downward; mean utility must fall monotonically-ish
+    // but stay above zero while any required chain exists.
+    let mut last_mean = 1.1;
+    for (up, down) in [(300.0, 30.0), (120.0, 60.0), (60.0, 120.0)] {
+        let w = world_with(&onto, 2, Some(ChurnProcess::new(up, down)), 23);
+        let mean: f64 = (0..20u64)
+            .map(|i| {
+                execute(
+                    &w,
+                    &onto,
+                    &p,
+                    ManagerKind::DistributedReactive,
+                    SimTime::from_secs(i * 700),
+                )
+                .utility
+            })
+            .sum::<f64>()
+            / 20.0;
+        assert!(
+            mean <= last_mean + 0.15,
+            "utility should trend down as churn rises: {mean} after {last_mean}"
+        );
+        assert!(mean > 0.0);
+        last_mean = mean;
+    }
+}
+
+#[test]
+fn centralized_manager_dies_with_its_center() {
+    let onto = Ontology::pervasive_grid();
+    let mut w = world_with(&onto, 2, None, 24);
+    // Center up only 10% of the time.
+    let streams = RngStreams::new(24);
+    w.center_churn =
+        ChurnProcess::new(30.0, 270.0).schedule(SimTime::from_secs(50_000), &mut streams.fork("c"));
+    let p = plan();
+    let mut c_latency = Duration::ZERO;
+    let mut d_latency = Duration::ZERO;
+    let mut c_success = 0;
+    for i in 0..10u64 {
+        let t = SimTime::from_secs(i * 3_000);
+        let c = execute(&w, &onto, &p, ManagerKind::Centralized, t);
+        let d = execute(&w, &onto, &p, ManagerKind::DistributedReactive, t);
+        if c.success {
+            c_success += 1;
+            c_latency += c.latency;
+        }
+        assert!(d.success, "the distributed manager has no center to lose");
+        d_latency += d.latency;
+    }
+    if c_success > 0 {
+        let c_mean = c_latency.as_secs_f64() / c_success as f64;
+        let d_mean = d_latency.as_secs_f64() / 10.0;
+        assert!(
+            c_mean > d_mean,
+            "waiting out center outages must cost latency: {c_mean} vs {d_mean}"
+        );
+    }
+}

@@ -1,0 +1,73 @@
+//! Integration: the COST clause end to end (§4: "Cost could be in terms of
+//! sensor energy, response time or accuracy of the result").
+
+use pervasive_grid::core::{PervasiveGrid, PgError};
+use pervasive_grid::sensornet::region::Region;
+
+fn runtime(seed: u64) -> PervasiveGrid {
+    PervasiveGrid::building(1, 6, seed)
+        .region("room", Region::room(0.0, 0.0, 15.0, 15.0))
+        .build()
+}
+
+#[test]
+fn generous_bounds_pass_and_are_respected() {
+    let mut pg = runtime(1);
+    let r = pg
+        .submit("SELECT AVG(temp) FROM sensors COST energy 1.0, time 60")
+        .unwrap();
+    assert!(r.cost.energy_j <= 1.0);
+    assert!(r.cost.time_s <= 60.0);
+}
+
+#[test]
+fn impossible_energy_budget_rejects_without_executing() {
+    let mut pg = runtime(2);
+    let before = pg.energy_consumed();
+    let r = pg.submit("SELECT AVG(temp) FROM sensors COST energy 0.000000001");
+    assert_eq!(r, Err(PgError::CostBoundsUnsatisfiable));
+    assert_eq!(
+        pg.energy_consumed(),
+        before,
+        "a rejected query must not drain the network"
+    );
+}
+
+#[test]
+fn impossible_time_budget_rejects() {
+    let mut pg = runtime(3);
+    let r = pg.submit("SELECT AVG(temp) FROM sensors COST time 0.0000001");
+    assert_eq!(r, Err(PgError::CostBoundsUnsatisfiable));
+}
+
+#[test]
+fn tight_time_bound_steers_away_from_grid_offload() {
+    // The backhaul round trip alone is ~20 ms + serialization; a sub-100 ms
+    // bound forces a local placement for aggregates.
+    let mut pg = runtime(4);
+    // Warm the learner so predictions are informed.
+    for _ in 0..4 {
+        pg.submit("SELECT AVG(temp) FROM sensors WHERE region(room)").unwrap();
+    }
+    let r = pg
+        .submit("SELECT AVG(temp) FROM sensors WHERE region(room) COST time 0.1")
+        .unwrap();
+    assert!(
+        !matches!(
+            r.model,
+            pervasive_grid::partition::model::SolutionModel::GridOffload { .. }
+        ),
+        "grid offload cannot meet a 100 ms bound: chose {}",
+        r.model.name()
+    );
+    assert!(r.cost.time_s <= 0.1 * 1.5, "measured {} s", r.cost.time_s);
+}
+
+#[test]
+fn multiple_bounds_must_all_hold() {
+    let mut pg = runtime(5);
+    let ok = pg.submit("SELECT MAX(temp) FROM sensors COST energy 1.0, time 60, accuracy 1.0");
+    assert!(ok.is_ok());
+    let bad = pg.submit("SELECT MAX(temp) FROM sensors COST energy 1.0, time 0.0000001");
+    assert_eq!(bad, Err(PgError::CostBoundsUnsatisfiable));
+}

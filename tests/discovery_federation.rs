@@ -1,0 +1,109 @@
+//! Integration: discovery at federation scale (ontology + matcher +
+//! registries + brokers + corpus).
+
+use pervasive_grid::discovery::broker::BrokerFederation;
+use pervasive_grid::discovery::corpus::{mixed_corpus, printer_corpus, precision_recall};
+use pervasive_grid::discovery::description::{Constraint, Preference, ServiceRequest, Value};
+use pervasive_grid::discovery::matcher;
+use pervasive_grid::discovery::ontology::Ontology;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn federation_matches_a_centralized_registry_given_enough_hops() {
+    let onto = Ontology::pervasive_grid();
+    let mut rng = StdRng::seed_from_u64(31);
+    let corpus = mixed_corpus(&onto, 240, &mut rng);
+
+    // Central: everything in one registry.
+    let mut central = pervasive_grid::discovery::registry::Registry::new();
+    for d in &corpus {
+        central.register(d.clone());
+    }
+
+    // Federated: round-robin across 8 brokers on a ring.
+    let mut fed = BrokerFederation::new(8);
+    for i in 0..8 {
+        fed.link(i, (i + 1) % 8);
+    }
+    for (i, d) in corpus.iter().enumerate() {
+        fed.register_at(i % 8, d.clone());
+    }
+
+    let solver = onto.class("SolverService").unwrap();
+    let req = ServiceRequest::for_class(solver)
+        .with_preference(Preference::Minimize("cost".into()));
+    let central_hits = central.query(&onto, &req);
+    // Ring of 8: max distance is 4 hops.
+    let (fed_hits, stats) = fed.query(&onto, 0, &req, 4);
+    assert_eq!(fed_hits.len(), central_hits.len());
+    assert_eq!(stats.brokers_visited, 8);
+    // Top result agrees (scores computed over the same candidate pool).
+    let top_central = central.get(central_hits[0].id).unwrap();
+    let top_fed = fed
+        .registry(fed_hits[0].broker)
+        .get(fed_hits[0].id)
+        .unwrap();
+    assert_eq!(top_central.name, top_fed.name);
+}
+
+#[test]
+fn hop_budget_trades_coverage_for_traffic() {
+    let onto = Ontology::pervasive_grid();
+    let mut rng = StdRng::seed_from_u64(32);
+    let corpus = mixed_corpus(&onto, 160, &mut rng);
+    let mut fed = BrokerFederation::new(16);
+    for i in 0..16 {
+        fed.link(i, (i + 1) % 16);
+    }
+    for (i, d) in corpus.iter().enumerate() {
+        fed.register_at(i % 16, d.clone());
+    }
+    let any = onto.class("Service").unwrap();
+    let req = ServiceRequest::for_class(any);
+    let mut last_hits = 0;
+    let mut last_msgs = 0;
+    for hops in [0u32, 2, 4, 8] {
+        let (hits, stats) = fed.query(&onto, 0, &req, hops);
+        assert!(hits.len() >= last_hits, "coverage grows with hops");
+        assert!(stats.messages >= last_msgs, "traffic grows with hops");
+        last_hits = hits.len();
+        last_msgs = stats.messages;
+    }
+    assert_eq!(last_hits, 160, "8 hops cover the whole 16-ring");
+}
+
+#[test]
+fn semantic_precision_holds_at_scale() {
+    let onto = Ontology::pervasive_grid();
+    for seed in [1u64, 2, 3] {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let corpus = printer_corpus(&onto, 500, &mut rng);
+        let printer = onto.class("PrinterService").unwrap();
+        let req = ServiceRequest::for_class(printer)
+            .with_constraint(Constraint::Eq("color".into(), Value::Bool(true)))
+            .with_constraint(Constraint::Le("cost_per_page".into(), corpus.cost_cap));
+        let hits: Vec<usize> = matcher::rank(&onto, &req, &corpus.services)
+            .into_iter()
+            .map(|m| m.index)
+            .collect();
+        let (p, r) = precision_recall(&hits, &corpus.relevant);
+        assert_eq!((p, r), (1.0, 1.0), "seed {seed}");
+    }
+}
+
+#[test]
+fn churny_registrations_disappear_from_results() {
+    let onto = Ontology::pervasive_grid();
+    let temp = onto.class("TemperatureSensor").unwrap();
+    let mut fed = BrokerFederation::new(2);
+    fed.link(0, 1);
+    let id = fed.register_at(
+        1,
+        pervasive_grid::discovery::description::ServiceDescription::new("s", temp),
+    );
+    let req = ServiceRequest::for_class(temp);
+    assert_eq!(fed.query(&onto, 0, &req, 1).0.len(), 1);
+    fed.registry_mut(1).deregister(id);
+    assert_eq!(fed.query(&onto, 0, &req, 1).0.len(), 0);
+}

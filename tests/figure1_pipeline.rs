@@ -1,0 +1,110 @@
+//! Integration: the full Figure-1 pipeline across every crate.
+
+use pervasive_grid::core::{FireScenario, PervasiveGrid};
+use pervasive_grid::net::geom::Point;
+use pervasive_grid::partition::model::SolutionModel;
+use pervasive_grid::query::classify::QueryKind;
+use pervasive_grid::sensornet::region::Region;
+use pervasive_grid::sim::Duration;
+
+#[test]
+fn scenario_composes_then_answers_all_four_archetypes() {
+    let mut s = FireScenario::new(3, 8, 1);
+    let report = s.respond();
+    assert!(report.composition.success);
+    assert!(report.composition.utility > 0.6);
+    assert_eq!(report.queries.len(), 4);
+    for (text, resp) in &report.queries {
+        let r = resp.as_ref().unwrap_or_else(|e| panic!("{text}: {e}"));
+        assert!(r.value.is_some(), "{text} returned no value");
+        assert!(r.cost.energy_j >= 0.0);
+        assert!(r.cost.time_s > 0.0);
+    }
+}
+
+#[test]
+fn complex_answer_tracks_the_true_peak() {
+    let mut s = FireScenario::new(2, 8, 2);
+    let report = s.respond();
+    let complex = report.queries[2].1.as_ref().unwrap();
+    assert_eq!(complex.kind, QueryKind::Complex);
+    let peak = complex.value.unwrap();
+    // Ten minutes in, the fire core is hundreds of degrees; the
+    // reconstruction peak must be in that regime (it cannot exceed the
+    // hottest constraint by the maximum principle).
+    assert!(peak > 150.0 && peak < 1_000.0, "peak {peak}");
+    let err = complex.accuracy_err.unwrap();
+    assert!(err < 0.6, "relative reconstruction error {err}");
+}
+
+#[test]
+fn energy_ledger_is_consistent_across_the_stack() {
+    let mut pg = PervasiveGrid::building(2, 6, 3)
+        .region("wing", Region::room(0.0, 0.0, 15.0, 15.0))
+        .build();
+    let mut from_responses = 0.0;
+    for q in [
+        "SELECT AVG(temp) FROM sensors",
+        "SELECT MAX(temp) FROM sensors WHERE region(wing)",
+        "SELECT temp FROM sensors WHERE sensor_id = 9",
+    ] {
+        from_responses += pg.submit(q).unwrap().cost.energy_j;
+    }
+    let from_batteries = pg.energy_consumed();
+    assert!(
+        (from_responses - from_batteries).abs() < 1e-9,
+        "response costs {from_responses} J vs battery ledger {from_batteries} J"
+    );
+}
+
+#[test]
+fn the_grid_is_chosen_for_complex_and_not_for_simple() {
+    // With an adaptive decision maker warmed up on each class, complex
+    // queries must land on the grid while simple reads stay local.
+    let mut pg = PervasiveGrid::building(2, 7, 4).build();
+    pg.ignite(Point::flat(15.0, 15.0), 350.0);
+    pg.advance(Duration::from_secs(600));
+    let mut complex_models = Vec::new();
+    let mut simple_models = Vec::new();
+    for _ in 0..6 {
+        let r = pg
+            .submit("SELECT temperature_distribution() FROM sensors")
+            .unwrap();
+        complex_models.push(r.model);
+        let r = pg.submit("SELECT temp FROM sensors WHERE sensor_id = 20").unwrap();
+        simple_models.push(r.model);
+    }
+    // After warm-up the complex query must settle on a grid-backed
+    // placement — plain offload or the hybrid (in-network reduction +
+    // grid solve, §4's "combination of the approaches").
+    assert!(
+        matches!(
+            complex_models.last().unwrap(),
+            SolutionModel::GridOffload { .. } | SolutionModel::Hybrid { .. }
+        ),
+        "complex settled on {:?}",
+        complex_models.last().unwrap()
+    );
+    // Simple queries never need the grid.
+    assert!(
+        !matches!(simple_models.last().unwrap(), SolutionModel::GridOffload { .. }),
+        "simple settled on {:?}",
+        simple_models.last().unwrap()
+    );
+}
+
+#[test]
+fn continuous_queries_drain_more_than_one_shots() {
+    let mut pg1 = PervasiveGrid::building(1, 5, 5).build();
+    pg1.submit("SELECT AVG(temp) FROM sensors").unwrap();
+    let one_shot = pg1.energy_consumed();
+
+    let mut pg2 = PervasiveGrid::building(1, 5, 5).build();
+    pg2.submit("SELECT AVG(temp) FROM sensors EPOCH DURATION 10 s")
+        .unwrap();
+    let continuous = pg2.energy_consumed();
+    assert!(
+        continuous > one_shot,
+        "continuous {continuous} J !> one-shot {one_shot} J"
+    );
+}
