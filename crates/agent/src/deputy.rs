@@ -184,7 +184,10 @@ mod tests {
         let mut d = DirectDeputy::new(LinkModel::wifi());
         let e = env("hi");
         let want = LinkModel::wifi().expected_tx_time(e.wire_bytes());
-        assert_eq!(d.deliver(e, SimTime::ZERO), DeliveryOutcome::Delivered(want));
+        assert_eq!(
+            d.deliver(e, SimTime::ZERO),
+            DeliveryOutcome::Delivered(want)
+        );
     }
 
     #[test]
@@ -204,8 +207,14 @@ mod tests {
         let mut d2 = DisconnectionDeputy::new(LinkModel::wifi(), down_then_up, 2);
         assert!(d2.is_connected(SimTime::from_secs(5)));
         assert!(!d2.is_connected(SimTime::from_secs(15)));
-        assert_eq!(d2.deliver(env("x"), SimTime::from_secs(15)), DeliveryOutcome::Queued);
-        assert_eq!(d2.deliver(env("y"), SimTime::from_secs(16)), DeliveryOutcome::Queued);
+        assert_eq!(
+            d2.deliver(env("x"), SimTime::from_secs(15)),
+            DeliveryOutcome::Queued
+        );
+        assert_eq!(
+            d2.deliver(env("y"), SimTime::from_secs(16)),
+            DeliveryOutcome::Queued
+        );
         assert!(matches!(
             d2.deliver(env("z"), SimTime::from_secs(17)),
             DeliveryOutcome::Dropped(_)

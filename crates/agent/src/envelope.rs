@@ -117,7 +117,13 @@ impl Envelope {
     /// Build the conventional reply envelope (swapped endpoints, same
     /// ontology).
     pub fn reply(&self, content_type: &str, payload: Payload) -> Envelope {
-        Envelope::new(self.to, self.from, content_type, self.ontology.clone(), payload)
+        Envelope::new(
+            self.to,
+            self.from,
+            content_type,
+            self.ontology.clone(),
+            payload,
+        )
     }
 }
 
@@ -128,7 +134,10 @@ mod tests {
     #[test]
     fn payload_sizes() {
         assert_eq!(Payload::Text("hello".into()).wire_bytes(), 5);
-        assert_eq!(Payload::Binary(Bytes::from_static(&[0; 40])).wire_bytes(), 40);
+        assert_eq!(
+            Payload::Binary(Bytes::from_static(&[0; 40])).wire_bytes(),
+            40
+        );
         assert_eq!(Payload::Number(1.5).wire_bytes(), 8);
     }
 

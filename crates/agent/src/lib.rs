@@ -37,12 +37,12 @@
 //! ```
 
 pub mod deputy;
-pub mod negotiate;
 pub mod envelope;
+pub mod negotiate;
 pub mod profile;
 pub mod system;
 
-pub use deputy::{Deputy, DeliveryOutcome, DirectDeputy, DisconnectionDeputy, TranscodingDeputy};
+pub use deputy::{DeliveryOutcome, Deputy, DirectDeputy, DisconnectionDeputy, TranscodingDeputy};
 pub use envelope::{AgentId, Envelope, Payload};
 pub use profile::{AgentAttribute, AgentProfile};
 pub use system::{Agent, AgentSystem, AsAny};

@@ -95,13 +95,7 @@ impl ProviderAgent {
     pub fn new(task: impl Into<String>, promised_s: f64, price: f64, actual_s: f64) -> Self {
         ProviderAgent {
             profile: AgentProfile::new().with_attr(AgentAttribute::ServiceProvider),
-            capabilities: vec![(
-                task.into(),
-                Bid {
-                    promised_s,
-                    price,
-                },
-            )],
+            capabilities: vec![(task.into(), Bid { promised_s, price })],
             actual_s,
             contracts: Vec::new(),
         }
@@ -119,8 +113,7 @@ impl Agent for ProviderAgent {
                 let Some(cfp) = env.payload.as_text().and_then(decode_cfp) else {
                     return Vec::new();
                 };
-                let Some((_, bid)) = self.capabilities.iter().find(|(t, _)| *t == cfp.task)
-                else {
+                let Some((_, bid)) = self.capabilities.iter().find(|(t, _)| *t == cfp.task) else {
                     return Vec::new(); // not capable: stay silent
                 };
                 if bid.promised_s > cfp.deadline_s {
@@ -372,9 +365,18 @@ mod tests {
     #[test]
     fn cheapest_admissible_bid_wins() {
         let mut sys = AgentSystem::new();
-        let fast_dear = sys.register(Box::new(ProviderAgent::new("solve", 1.0, 9.0, 0.8)), direct());
-        let slow_cheap = sys.register(Box::new(ProviderAgent::new("solve", 4.0, 2.0, 3.5)), direct());
-        let too_slow = sys.register(Box::new(ProviderAgent::new("solve", 60.0, 0.1, 55.0)), direct());
+        let fast_dear = sys.register(
+            Box::new(ProviderAgent::new("solve", 1.0, 9.0, 0.8)),
+            direct(),
+        );
+        let slow_cheap = sys.register(
+            Box::new(ProviderAgent::new("solve", 4.0, 2.0, 3.5)),
+            direct(),
+        );
+        let too_slow = sys.register(
+            Box::new(ProviderAgent::new("solve", 60.0, 0.1, 55.0)),
+            direct(),
+        );
         let state = run_tender(
             &mut sys,
             CallForProposals {
@@ -403,7 +405,10 @@ mod tests {
     fn broken_commitments_are_detected() {
         let mut sys = AgentSystem::new();
         // Promises 2 s, actually takes 7 s.
-        let liar = sys.register(Box::new(ProviderAgent::new("solve", 2.0, 1.0, 7.0)), direct());
+        let liar = sys.register(
+            Box::new(ProviderAgent::new("solve", 2.0, 1.0, 7.0)),
+            direct(),
+        );
         let state = run_tender(
             &mut sys,
             CallForProposals {
@@ -419,7 +424,10 @@ mod tests {
     #[test]
     fn no_admissible_bids_fails_the_tender() {
         let mut sys = AgentSystem::new();
-        let p = sys.register(Box::new(ProviderAgent::new("solve", 60.0, 1.0, 60.0)), direct());
+        let p = sys.register(
+            Box::new(ProviderAgent::new("solve", 60.0, 1.0, 60.0)),
+            direct(),
+        );
         // The only provider cannot meet the deadline and stays silent; with
         // capable = 0 the initiator decides immediately on zero bids.
         let mut init = InitiatorAgent::new(

@@ -197,7 +197,9 @@ impl AgentSystem {
     /// Inject an envelope into the system at the current simulation time.
     pub fn send(&mut self, mut env: Envelope) {
         env.sent_at = self.sim.sched.now();
-        self.sim.sched.schedule_at(self.sim.sched.now(), Ev::Inbound(env));
+        self.sim
+            .sched
+            .schedule_at(self.sim.sched.now(), Ev::Inbound(env));
     }
 
     /// Run until the event queue drains (all conversations finished).
@@ -343,8 +345,7 @@ mod tests {
         let mut sys = AgentSystem::new();
         let pinger = sys.register(Box::new(Pinger::new()), direct());
         // Ponger offline from t=0, back at t=30.
-        let schedule =
-            ChurnSchedule::from_toggles(false, vec![SimTime::from_secs(30)]);
+        let schedule = ChurnSchedule::from_toggles(false, vec![SimTime::from_secs(30)]);
         let ponger = sys.register(
             Box::new(Ponger::new()),
             Box::new(DisconnectionDeputy::new(LinkModel::wifi(), schedule, 16)),

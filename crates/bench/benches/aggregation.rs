@@ -16,36 +16,32 @@ fn bench_epoch(c: &mut Criterion) {
             Strategy::Tree,
             Strategy::Cluster { heads: 5 },
         ] {
-            g.bench_with_input(
-                BenchmarkId::new(strategy.name(), n),
-                &n,
-                |b, &n| {
-                    b.iter_batched(
-                        || {
-                            let w = standard_world(n, 3);
-                            let members: Vec<_> = w
-                                .net
-                                .topology()
-                                .nodes()
-                                .filter(|&x| x != w.net.base())
-                                .collect();
-                            (w, members)
-                        },
-                        |(mut w, members)| {
-                            let mut rng = StdRng::seed_from_u64(9);
-                            strategy.run_epoch(
-                                &mut w.net,
-                                &members,
-                                &w.field,
-                                w.now,
-                                AggFn::Avg,
-                                &mut rng,
-                            )
-                        },
-                        criterion::BatchSize::LargeInput,
-                    );
-                },
-            );
+            g.bench_with_input(BenchmarkId::new(strategy.name(), n), &n, |b, &n| {
+                b.iter_batched(
+                    || {
+                        let w = standard_world(n, 3);
+                        let members: Vec<_> = w
+                            .net
+                            .topology()
+                            .nodes()
+                            .filter(|&x| x != w.net.base())
+                            .collect();
+                        (w, members)
+                    },
+                    |(mut w, members)| {
+                        let mut rng = StdRng::seed_from_u64(9);
+                        strategy.run_epoch(
+                            &mut w.net,
+                            &members,
+                            &w.field,
+                            w.now,
+                            AggFn::Avg,
+                            &mut rng,
+                        )
+                    },
+                    criterion::BatchSize::LargeInput,
+                );
+            });
         }
     }
     g.finish();

@@ -3,23 +3,23 @@
 //! exploration, on the T3 query stream.
 //!
 //! ```sh
-//! cargo run --release -p pg-bench --bin exp_a1_ablation
+//! cargo run --release -p pg-bench --bin exp_a1_ablation [-- --smoke]
 //! ```
 
-use pg_bench::{fmt, header, standard_world};
+use pg_bench::{fmt, header, standard_world, Experiment};
 use pg_partition::decide::{DecisionMaker, Policy};
 use pg_partition::exec::{execute_once, ExecContext};
 use pg_partition::features::QueryFeatures;
 use pg_partition::model::CostWeights;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::process::ExitCode;
 
-const STREAM_LEN: usize = 400;
 const N: usize = 100;
 
-fn stream(seed: u64) -> Vec<String> {
+fn stream(seed: u64, len: usize) -> Vec<String> {
     let mut rng = StdRng::seed_from_u64(seed);
-    (0..STREAM_LEN)
+    (0..len)
         .map(|_| match rng.gen_range(0..10) {
             0..=3 => "SELECT AVG(temp) FROM sensors".to_string(),
             4..=5 => format!(
@@ -27,13 +27,12 @@ fn stream(seed: u64) -> Vec<String> {
                 rng.gen_range(1..N as u32)
             ),
             6..=7 => "SELECT MAX(temp) FROM sensors WHERE region(room210)".to_string(),
-            _ => "SELECT temperature_distribution() FROM sensors WHERE region(room210)"
-                .to_string(),
+            _ => "SELECT temperature_distribution() FROM sensors WHERE region(room210)".to_string(),
         })
         .collect()
 }
 
-fn run(blend: bool, safe: bool, epsilon: f64, seed: u64) -> f64 {
+fn run(blend: bool, safe: bool, epsilon: f64, seed: u64, len: usize) -> f64 {
     let weights = CostWeights::default();
     let mut w = standard_world(N, seed);
     let mut dm = DecisionMaker::new(Policy::Adaptive, seed);
@@ -41,7 +40,7 @@ fn run(blend: bool, safe: bool, epsilon: f64, seed: u64) -> f64 {
     dm.safe_explore = safe;
     dm.epsilon = epsilon;
     let mut total = 0.0;
-    for (i, text) in stream(seed).iter().enumerate() {
+    for (i, text) in stream(seed, len).iter().enumerate() {
         let query = pg_query::parse(text).expect("valid query");
         let features = {
             let ctx = ExecContext {
@@ -76,25 +75,43 @@ fn run(blend: bool, safe: bool, epsilon: f64, seed: u64) -> f64 {
     total
 }
 
-fn main() {
-    println!("A1: decision-maker ablation on a {STREAM_LEN}-query stream ({N} sensors)");
+fn main() -> ExitCode {
+    let mut exp = Experiment::from_args("exp_a1_ablation");
+    let stream_len: usize = exp.scale(400, 100);
+    let seeds: u64 = exp.scale(3, 2);
+    exp.set_meta("stream_len", stream_len.to_string());
+    exp.set_meta("seeds", seeds.to_string());
+    println!("A1: decision-maker ablation on a {stream_len}-query stream ({N} sensors)");
     header(
-        "mean total scalar cost over 3 seeds",
+        &format!("mean total scalar cost over {seeds} seeds"),
         &[("variant", 38), ("total cost", 11), ("vs full", 9)],
     );
     let mean = |blend, safe, eps| {
-        (0..3u64).map(|s| run(blend, safe, eps, 11 + s)).sum::<f64>() / 3.0
+        (0..seeds)
+            .map(|s| run(blend, safe, eps, 11 + s, stream_len))
+            .sum::<f64>()
+            / seeds as f64
     };
     let full = mean(true, true, 0.1);
     let rows = [
-        ("full (blend + safe eps-greedy)", full),
-        ("no estimator blending (pure k-NN)", mean(false, true, 0.1)),
-        ("no safe exploration (uniform eps)", mean(true, false, 0.1)),
-        ("neither", mean(false, false, 0.1)),
-        ("no exploration at all (eps = 0)", mean(true, true, 0.0)),
-        ("heavy exploration (eps = 0.5)", mean(true, true, 0.5)),
+        ("full", "full (blend + safe eps-greedy)", full),
+        ("no_blend", "no estimator blending (pure k-NN)", {
+            mean(false, true, 0.1)
+        }),
+        ("no_safe", "no safe exploration (uniform eps)", {
+            mean(true, false, 0.1)
+        }),
+        ("neither", "neither", mean(false, false, 0.1)),
+        ("eps0", "no exploration at all (eps = 0)", {
+            mean(true, true, 0.0)
+        }),
+        ("eps0.5", "heavy exploration (eps = 0.5)", {
+            mean(true, true, 0.5)
+        }),
     ];
-    for (name, cost) in rows {
+    for (key, name, cost) in rows {
+        exp.set_scalar(format!("{key}.total_cost"), cost);
+        exp.set_scalar(format!("{key}.vs_full"), (cost - full) / full);
         println!(
             "{name:>38}  {:>11}  {:>9}",
             fmt(cost),
@@ -109,4 +126,5 @@ fn main() {
          already correct for this workload — exploration buys robustness, \
          not raw cost."
     );
+    exp.finish()
 }

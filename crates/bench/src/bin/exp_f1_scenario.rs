@@ -2,20 +2,33 @@
 //! station → sensor network + grid, with the composition front half.
 //!
 //! ```sh
-//! cargo run --release -p pg-bench --bin exp_f1_scenario
+//! cargo run --release -p pg-bench --bin exp_f1_scenario [-- --smoke]
 //! ```
 
-use pg_bench::header;
+use pg_bench::{header, key_part, Experiment};
 use pg_core::FireScenario;
+use std::process::ExitCode;
 
-fn main() {
-    println!("F1: the Figure-1 fire-response scenario (3 floors x 8x8 sensors = 192)");
-    let mut scenario = FireScenario::new(3, 8, 2003);
+fn main() -> ExitCode {
+    let mut exp = Experiment::from_args("exp_f1_scenario");
+    let (floors, side) = exp.scale((3usize, 8usize), (2, 6));
+    exp.set_meta("floors", floors.to_string());
+    exp.set_meta("side", side.to_string());
+    println!(
+        "F1: the Figure-1 fire-response scenario ({floors} floors x {side}x{side} sensors = {})",
+        floors * side * side
+    );
+    let mut scenario = FireScenario::new(floors, side, 2003);
     println!(
         "composition plan '{}': {} steps, critical path {}",
         scenario.plan.task,
         scenario.plan.len(),
         scenario.plan.critical_path_len()
+    );
+    exp.set_counter("plan.steps", scenario.plan.len() as u64);
+    exp.set_counter(
+        "plan.critical_path",
+        scenario.plan.critical_path_len() as u64,
     );
     let report = scenario.respond();
     println!(
@@ -25,6 +38,13 @@ fn main() {
         report.composition.latency,
         report.composition.rebinds
     );
+    exp.set_counter("composition.success", report.composition.success as u64);
+    exp.set_scalar("composition.utility", report.composition.utility);
+    exp.set_scalar(
+        "composition.latency_s",
+        report.composition.latency.as_secs_f64(),
+    );
+    exp.set_counter("composition.rebinds", report.composition.rebinds as u64);
     header(
         "query phase (the four §4 archetypes)",
         &[
@@ -38,6 +58,14 @@ fn main() {
     );
     for (_, resp) in &report.queries {
         let r = resp.as_ref().expect("scenario queries answered");
+        let cell = key_part(r.kind.name());
+        exp.set_meta(format!("{cell}.model"), r.model.name());
+        exp.set_scalar(format!("{cell}.energy_j"), r.cost.energy_j);
+        exp.set_scalar(format!("{cell}.time_s"), r.cost.time_s);
+        exp.set_scalar(format!("{cell}.delivered_frac"), r.delivered_frac);
+        if let Some(v) = r.value {
+            exp.set_scalar(format!("{cell}.value"), v);
+        }
         println!(
             "{:>11}  {:>22}  {:>9}  {:>10}  {:>9}  {:>8}",
             r.kind.name(),
@@ -52,9 +80,12 @@ fn main() {
         "\nscenario totals: {:.4} J sensor energy, {} sensors alive",
         report.energy_j, report.alive
     );
+    exp.set_scalar("totals.energy_j", report.energy_j);
+    exp.set_counter("totals.alive", report.alive as u64);
     println!(
         "shape to check: every archetype answered; the complex query's value \
          (reconstructed peak) is in the fire regime (>150 C); composition \
          succeeds with utility 1.0 or degrades only on optional steps."
     );
+    exp.finish()
 }

@@ -4,26 +4,26 @@
 //! energy, response time or accuracy of the result." — §4).
 //!
 //! ```sh
-//! cargo run --release -p pg-bench --bin exp_t10_cost
+//! cargo run --release -p pg-bench --bin exp_t10_cost [-- --smoke]
 //! ```
 
-use pg_bench::{header, standard_world};
+use pg_bench::{header, key_part, standard_world, Experiment};
 use pg_partition::decide::{DecisionMaker, Policy};
 use pg_partition::exec::{execute_once, ExecContext};
 use pg_partition::features::QueryFeatures;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::process::ExitCode;
 
 const N: usize = 100;
 
-fn run_bound(clause: &str) -> (f64, String, f64, f64) {
+fn run_bound(clause: &str, reps: u64) -> (f64, String, f64, f64) {
     // Returns (acceptance rate, modal model, mean energy, mean time).
     let mut accepted = 0u32;
     let mut models: Vec<String> = Vec::new();
     let mut energy = 0.0;
     let mut time = 0.0;
-    const REPS: u64 = 10;
-    for seed in 0..REPS {
+    for seed in 0..reps {
         let mut w = standard_world(N, seed);
         let mut dm = DecisionMaker::new(Policy::Adaptive, seed);
         dm.epsilon = 0.0;
@@ -88,11 +88,14 @@ fn run_bound(clause: &str) -> (f64, String, f64, f64) {
             .unwrap()
     };
     let k = accepted.max(1) as f64;
-    (accepted as f64 / REPS as f64, modal, energy / k, time / k)
+    (accepted as f64 / reps as f64, modal, energy / k, time / k)
 }
 
-fn main() {
-    println!("T10: COST-bounded aggregate query on a {N}-sensor network (10 seeds)");
+fn main() -> ExitCode {
+    let mut exp = Experiment::from_args("exp_t10_cost");
+    let reps: u64 = exp.scale(10, 3);
+    exp.set_meta("reps", reps.to_string());
+    println!("T10: COST-bounded aggregate query on a {N}-sensor network ({reps} seeds)");
     header(
         "acceptance and steering per bound",
         &[
@@ -114,8 +117,21 @@ fn main() {
         " COST time 0.00001",
         " COST energy 0.01, time 1.0",
     ] {
-        let (acc, modal, e, t) = run_bound(clause);
-        let label = if clause.is_empty() { "(none)" } else { clause.trim() };
+        let (acc, modal, e, t) = run_bound(clause, reps);
+        let label = if clause.is_empty() {
+            "(none)"
+        } else {
+            clause.trim()
+        };
+        let cell = if clause.is_empty() {
+            "unbounded".to_string()
+        } else {
+            key_part(clause)
+        };
+        exp.set_scalar(format!("{cell}.acceptance"), acc);
+        exp.set_scalar(format!("{cell}.energy_j"), e);
+        exp.set_scalar(format!("{cell}.time_s"), t);
+        exp.set_meta(format!("{cell}.modal_model"), modal.clone());
         println!(
             "{label:>32}  {acc:>9.2}  {modal:>22}  {:>10}  {:>9}",
             pg_bench::fmt(e),
@@ -129,4 +145,5 @@ fn main() {
          bounds are rejected outright (acceptance 0) without draining the \
          network."
     );
+    exp.finish()
 }

@@ -4,22 +4,29 @@
 //! flooding / gossip / tree routing, across network sizes and loss rates.
 //!
 //! ```sh
-//! cargo run --release -p pg-bench --bin exp_t11_routing
+//! cargo run --release -p pg-bench --bin exp_t11_routing [-- --smoke]
 //! ```
 
-use pg_bench::{fmt, header, standard_world_with_loss};
+use pg_bench::{fmt, header, key_part, standard_world_with_loss, Experiment};
 use pg_net::routing::Protocol;
 use pg_sensornet::aggregate::READING_WIRE_BYTES;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::process::ExitCode;
 
-const REPS: u64 = 20;
-
-fn main() {
-    println!("T11: one dissemination from the base station ({}-byte packets)", READING_WIRE_BYTES);
-    for loss in [0.0f64, 0.1, 0.3] {
+fn main() -> ExitCode {
+    let mut exp = Experiment::from_args("exp_t11_routing");
+    let reps: u64 = exp.scale(20, 5);
+    let losses: &[f64] = exp.scale(&[0.0, 0.1, 0.3], &[0.0, 0.3]);
+    let sizes: &[usize] = exp.scale(&[50, 200], &[50]);
+    exp.set_meta("reps", reps.to_string());
+    println!(
+        "T11: one dissemination from the base station ({}-byte packets)",
+        READING_WIRE_BYTES
+    );
+    for &loss in losses {
         header(
-            &format!("link loss {:.0}%  (mean of {REPS} seeds)", loss * 100.0),
+            &format!("link loss {:.0}%  (mean of {reps} seeds)", loss * 100.0),
             &[
                 ("n", 5),
                 ("protocol", 14),
@@ -29,7 +36,7 @@ fn main() {
                 ("energy J", 10),
             ],
         );
-        for n in [50usize, 200] {
+        for &n in sizes {
             for proto in [
                 Protocol::Flooding,
                 Protocol::Gossip { p: 0.7 },
@@ -40,15 +47,11 @@ fn main() {
                 let mut tx = pg_sim::metrics::Summary::new();
                 let mut rx = pg_sim::metrics::Summary::new();
                 let mut en = pg_sim::metrics::Summary::new();
-                for seed in 0..REPS {
+                for seed in 0..reps {
                     let w = standard_world_with_loss(n, seed, loss);
                     let mut rng = StdRng::seed_from_u64(seed ^ 0x77);
-                    let d = proto.disseminate(
-                        w.net.topology(),
-                        w.net.base(),
-                        w.net.link(),
-                        &mut rng,
-                    );
+                    let d =
+                        proto.disseminate(w.net.topology(), w.net.base(), w.net.link(), &mut rng);
                     cov.record(d.coverage());
                     tx.record(d.transmissions as f64);
                     rx.record(d.receptions as f64);
@@ -58,6 +61,11 @@ fn main() {
                         w.net.topology().range(),
                     ));
                 }
+                let cell = format!("loss{loss}.n{n}.{}", key_part(&proto.name()));
+                exp.record_summary(format!("{cell}.coverage"), &cov);
+                exp.record_summary(format!("{cell}.tx"), &tx);
+                exp.record_summary(format!("{cell}.rx"), &rx);
+                exp.record_summary(format!("{cell}.energy_j"), &en);
                 println!(
                     "{n:>5}  {:>14}  {:>9}  {:>8}  {:>8}  {:>10}",
                     proto.name(),
@@ -77,4 +85,5 @@ fn main() {
          per delivery on lossless links but loses whole subtrees as loss \
          rises."
     );
+    exp.finish()
 }

@@ -3,10 +3,10 @@
 //! Continuous/Windowed class; the lifetime framing is TAG's).
 //!
 //! ```sh
-//! cargo run --release -p pg-bench --bin exp_t12_lifetime
+//! cargo run --release -p pg-bench --bin exp_t12_lifetime [-- --smoke]
 //! ```
 
-use pg_bench::{header, standard_world};
+use pg_bench::{header, key_part, standard_world, Experiment};
 use pg_net::energy::RadioModel;
 use pg_net::link::LinkModel;
 use pg_sensornet::aggregate::AggFn;
@@ -15,19 +15,24 @@ use pg_sensornet::network::SensorNetwork;
 use pg_sim::Duration;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::process::ExitCode;
 
 const N: usize = 100;
 /// Small batteries so lifetimes are reachable in simulation.
 const BATTERY_J: f64 = 0.3;
 const MAX_EPOCHS: usize = 5_000;
 
-fn main() {
+fn main() -> ExitCode {
+    let mut exp = Experiment::from_args("exp_t12_lifetime");
+    let reps: u64 = exp.scale(5, 2);
+    let epochs: &[u64] = exp.scale(&[1, 5, 20, 60], &[5, 60]);
+    exp.set_meta("reps", reps.to_string());
     println!(
         "T12: continuous AVG query, {N} sensors, {BATTERY_J} J batteries; \
          lifetime = epochs until first sensor death / until blackout"
     );
     header(
-        "mean of 5 seeds",
+        &format!("mean of {reps} seeds"),
         &[
             ("epoch s", 8),
             ("strategy", 14),
@@ -37,7 +42,7 @@ fn main() {
             ("delivery", 9),
         ],
     );
-    for epoch_s in [1u64, 5, 20, 60] {
+    for &epoch_s in epochs {
         for strategy in [
             Strategy::Direct,
             Strategy::Cluster { heads: 5 },
@@ -47,8 +52,7 @@ fn main() {
             let mut blackout = pg_sim::metrics::Summary::new();
             let mut life_s = pg_sim::metrics::Summary::new();
             let mut deliv = pg_sim::metrics::Summary::new();
-            const REPS: u64 = 5;
-            for seed in 0..REPS {
+            for seed in 0..reps {
                 let w = standard_world(N, seed);
                 // Re-deploy with the small experiment battery.
                 let mut net = SensorNetwork::new(
@@ -80,6 +84,11 @@ fn main() {
                 life_s.record(r.epochs_run as f64 * epoch_s as f64);
                 deliv.record(r.mean_delivery);
             }
+            let cell = format!("epoch{epoch_s}.{}", key_part(&strategy.name()));
+            exp.record_summary(format!("{cell}.first_death_epoch"), &death);
+            exp.record_summary(format!("{cell}.blackout_epoch"), &blackout);
+            exp.record_summary(format!("{cell}.lifetime_s"), &life_s);
+            exp.record_summary(format!("{cell}.delivery"), &deliv);
             println!(
                 "{epoch_s:>8}  {:>14}  {:>10}  {:>10}  {:>11}  {:>9}",
                 strategy.name(),
@@ -97,4 +106,5 @@ fn main() {
          converge); at short epochs radio traffic dominates and tree/cluster \
          outlive direct by a clear margin."
     );
+    exp.finish()
 }

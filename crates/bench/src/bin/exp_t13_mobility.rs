@@ -9,10 +9,10 @@
 //! exponential process: the experiment sweeps device speed and radio range.
 //!
 //! ```sh
-//! cargo run --release -p pg-bench --bin exp_t13_mobility
+//! cargo run --release -p pg-bench --bin exp_t13_mobility [-- --smoke]
 //! ```
 
-use pg_bench::header;
+use pg_bench::{header, Experiment};
 use pg_compose::htn::MethodLibrary;
 use pg_compose::manager::{execute, ManagerKind, ServiceWorld};
 use pg_discovery::description::ServiceDescription;
@@ -23,11 +23,17 @@ use pg_net::mobility::{proximity_schedule, MobilityConfig};
 use pg_sim::SimTime;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::process::ExitCode;
 
-const RUNS: u64 = 40;
 const HORIZON_S: f64 = 40_000.0;
 
-fn world(onto: &Ontology, speed: f64, range: f64, mobile_replicas: usize, seed: u64) -> ServiceWorld {
+fn world(
+    onto: &Ontology,
+    speed: f64,
+    range: f64,
+    mobile_replicas: usize,
+    seed: u64,
+) -> ServiceWorld {
     let cfg = MobilityConfig {
         width: 100.0,
         height: 100.0,
@@ -57,20 +63,20 @@ fn world(onto: &Ontology, speed: f64, range: f64, mobile_replicas: usize, seed: 
     w
 }
 
-fn measure(w: &ServiceWorld, onto: &Ontology) -> (f64, f64, f64) {
+fn measure(w: &ServiceWorld, onto: &Ontology, runs: u64) -> (f64, f64, f64) {
     let plan = MethodLibrary::pervasive_grid()
         .decompose("temperature-distribution")
         .unwrap();
     let mut ok = 0u64;
     let mut utility = 0.0;
     let mut rebinds = 0u64;
-    for i in 0..RUNS {
+    for i in 0..runs {
         let r = execute(
             w,
             onto,
             &plan,
             ManagerKind::DistributedReactive,
-            SimTime::from_secs(i * (HORIZON_S as u64 / RUNS)),
+            SimTime::from_secs(i * (HORIZON_S as u64 / runs)),
         );
         if r.success {
             ok += 1;
@@ -79,17 +85,23 @@ fn measure(w: &ServiceWorld, onto: &Ontology) -> (f64, f64, f64) {
         rebinds += r.rebinds as u64;
     }
     (
-        ok as f64 / RUNS as f64,
-        utility / RUNS as f64,
-        rebinds as f64 / RUNS as f64,
+        ok as f64 / runs as f64,
+        utility / runs as f64,
+        rebinds as f64 / runs as f64,
     )
 }
 
-fn main() {
+fn main() -> ExitCode {
+    let mut exp = Experiment::from_args("exp_t13_mobility");
+    let runs: u64 = exp.scale(40, 10);
+    let speeds: &[f64] = exp.scale(&[0.5, 1.5, 5.0], &[1.5]);
+    let ranges: &[f64] = exp.scale(&[20.0, 40.0, 70.0], &[20.0, 70.0]);
+    let replica_sweep: &[usize] = exp.scale(&[1, 3, 6, 10], &[1, 3]);
+    exp.set_meta("runs", runs.to_string());
     let onto = Ontology::pervasive_grid();
     println!(
         "T13: composition over mobile proximity services \
-         (100x100 m arena, client at the centre, {RUNS} runs/cell)"
+         (100x100 m arena, client at the centre, {runs} runs/cell)"
     );
     header(
         "speed x radio range, 3 mobile replicas per role",
@@ -101,21 +113,34 @@ fn main() {
             ("rebinds", 8),
         ],
     );
-    for &speed in &[0.5f64, 1.5, 5.0] {
-        for &range in &[20.0f64, 40.0, 70.0] {
+    for &speed in speeds {
+        for &range in ranges {
             let w = world(&onto, speed, range, 3, 77);
-            let (s, u, r) = measure(&w, &onto);
+            let (s, u, r) = measure(&w, &onto, runs);
+            let cell = format!("speed{speed}.range{range}");
+            exp.set_scalar(format!("{cell}.success"), s);
+            exp.set_scalar(format!("{cell}.utility"), u);
+            exp.set_scalar(format!("{cell}.rebinds"), r);
             println!("{speed:>9}  {range:>8}  {s:>8.2}  {u:>8.2}  {r:>8.2}");
         }
         println!();
     }
     header(
         "replication sweep at the hardest cell (5 m/s, 20 m range)",
-        &[("replicas", 8), ("success", 8), ("utility", 8), ("rebinds", 8)],
+        &[
+            ("replicas", 8),
+            ("success", 8),
+            ("utility", 8),
+            ("rebinds", 8),
+        ],
     );
-    for &reps in &[1usize, 3, 6, 10] {
+    for &reps in replica_sweep {
         let w = world(&onto, 5.0, 20.0, reps, 78);
-        let (s, u, r) = measure(&w, &onto);
+        let (s, u, r) = measure(&w, &onto, runs);
+        let cell = format!("replicas{reps}");
+        exp.set_scalar(format!("{cell}.success"), s);
+        exp.set_scalar(format!("{cell}.utility"), u);
+        exp.set_scalar(format!("{cell}.rebinds"), r);
         println!("{reps:>8}  {s:>8.2}  {u:>8.2}  {r:>8.2}");
     }
     println!(
@@ -127,4 +152,5 @@ fn main() {
          'follows the mobility pattern' by rebinding to whichever replica is \
          nearby."
     );
+    exp.finish()
 }

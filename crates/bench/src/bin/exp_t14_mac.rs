@@ -1,25 +1,28 @@
 //! **T14** — packet-level MAC validation: the event-driven simulation
 //! (GloMoSim-class substrate) against the analytic link model it replaces
 //! at light load, and the contention behaviour only the packet level can
-//! show.
+//! show. All timings here are *simulated* time, so they are deterministic
+//! and belong in the report.
 //!
 //! ```sh
-//! cargo run --release -p pg-bench --bin exp_t14_mac
+//! cargo run --release -p pg-bench --bin exp_t14_mac [-- --smoke]
 //! ```
 
-use pg_bench::{fmt, header};
+use pg_bench::{fmt, header, key_part, Experiment};
 use pg_net::energy::RadioModel;
 use pg_net::geom::Point;
 use pg_net::packetsim::{MacParams, PacketSim};
 use pg_net::topology::{NodeId, Topology};
 use pg_sim::SimTime;
+use std::process::ExitCode;
 
 fn line(n: usize) -> Topology {
     let pts = (0..n).map(|i| Point::flat(i as f64 * 10.0, 0.0)).collect();
     Topology::from_positions(pts, 15.0)
 }
 
-fn main() {
+fn main() -> ExitCode {
+    let mut exp = Experiment::from_args("exp_t14_mac");
     let mac = MacParams::default();
 
     // --- T14a: light-load agreement with the analytic model. ---
@@ -36,6 +39,8 @@ fn main() {
         let r = sim.run();
         let analytic_ms = mac.frame_time(100).as_secs_f64() * hops as f64 * 1e3;
         let measured_ms = r.delivered[0].at.as_secs_f64() * 1e3;
+        exp.set_scalar(format!("light.h{hops}.analytic_ms"), analytic_ms);
+        exp.set_scalar(format!("light.h{hops}.packet_ms"), measured_ms);
         println!(
             "{hops:>5}  {:>12}  {:>16}",
             fmt(analytic_ms),
@@ -56,7 +61,8 @@ fn main() {
             ("efficiency", 11),
         ],
     );
-    for senders in [2usize, 4, 8, 16] {
+    let sender_sweep: &[usize] = exp.scale(&[2, 4, 8, 16], &[2, 8]);
+    for &senders in sender_sweep {
         let mut pts = vec![Point::flat(0.0, 0.0)];
         for i in 0..senders {
             let a = i as f64 * std::f64::consts::TAU / senders as f64;
@@ -74,6 +80,24 @@ fn main() {
         }
         let r = sim.run();
         let airtime = mac.frame_time(100).as_secs_f64() * (senders * 4) as f64;
+        let cell = format!("star.s{senders}");
+        exp.set_counter(format!("{cell}.delivered"), r.delivered.len() as u64);
+        exp.set_counter(
+            format!("{cell}.collisions"),
+            r.metrics.counter("mac.collisions"),
+        );
+        exp.set_counter(
+            format!("{cell}.deferrals"),
+            r.metrics.counter("mac.deferrals"),
+        );
+        exp.set_scalar(
+            format!("{cell}.complete_ms"),
+            r.finished_at.as_secs_f64() * 1e3,
+        );
+        exp.set_scalar(
+            format!("{cell}.efficiency"),
+            airtime / r.finished_at.as_secs_f64(),
+        );
         println!(
             "{senders:>8}  {:>10}  {:>11}  {:>10}  {:>12}  {:>11}",
             r.delivered.len(),
@@ -111,6 +135,15 @@ fn main() {
             sim.inject(100 + k, 150, vec![b, sink], SimTime::from_micros(k));
         }
         let r = sim.run();
+        let cell = format!("hidden.{}", key_part(name));
+        exp.set_counter(
+            format!("{cell}.collisions"),
+            r.metrics.counter("mac.collisions"),
+        );
+        exp.set_scalar(
+            format!("{cell}.complete_ms"),
+            r.finished_at.as_secs_f64() * 1e3,
+        );
         println!(
             "{name:>18}  {:>11}  {:>12}",
             r.metrics.counter("mac.collisions"),
@@ -124,4 +157,5 @@ fn main() {
          where mutual-range senders do not — the classic CSMA story, which \
          the expectation-based link model cannot express."
     );
+    exp.finish()
 }

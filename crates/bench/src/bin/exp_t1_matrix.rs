@@ -2,19 +2,22 @@
 //! consumption, and response time for every query type × solution model.
 //!
 //! ```sh
-//! cargo run --release -p pg-bench --bin exp_t1_matrix
+//! cargo run --release -p pg-bench --bin exp_t1_matrix [-- --smoke]
 //! ```
 
-use pg_bench::{fmt, header, standard_world};
+use pg_bench::{fmt, header, key_part, standard_world, Experiment};
 use pg_partition::exec::{execute_once, ExecContext};
 use pg_partition::model::SolutionModel;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::process::ExitCode;
 
-const REPS: u64 = 10;
-const N: usize = 100;
-
-fn main() {
+fn main() -> ExitCode {
+    let mut exp = Experiment::from_args("exp_t1_matrix");
+    let reps: u64 = exp.scale(10, 3);
+    let n: usize = exp.scale(100, 64);
+    exp.set_meta("reps", reps.to_string());
+    exp.set_meta("n", n.to_string());
     let queries = [
         ("simple", "SELECT temp FROM sensors WHERE sensor_id = 17"),
         ("aggregate", "SELECT AVG(temp) FROM sensors"),
@@ -28,7 +31,7 @@ fn main() {
         ),
     ];
     println!(
-        "T1: cost matrix, {N}-sensor network, mean of {REPS} seeds \
+        "T1: cost matrix, {n}-sensor network, mean of {reps} seeds \
          (per-epoch costs for continuous)"
     );
     header(
@@ -45,14 +48,14 @@ fn main() {
     );
     for (qname, qtext) in queries {
         let query = pg_query::parse(qtext).expect("valid query");
-        for model in SolutionModel::candidates(N - 1) {
+        for model in SolutionModel::candidates(n - 1) {
             let mut e = pg_sim::metrics::Summary::new();
             let mut t = pg_sim::metrics::Summary::new();
             let mut b = pg_sim::metrics::Summary::new();
             let mut o = pg_sim::metrics::Summary::new();
             let mut d = pg_sim::metrics::Summary::new();
-            for seed in 0..REPS {
-                let mut w = standard_world(N, seed);
+            for seed in 0..reps {
+                let mut w = standard_world(n, seed);
                 let mut ctx = ExecContext {
                     net: &mut w.net,
                     grid: &w.grid,
@@ -69,6 +72,12 @@ fn main() {
                 o.record(out.cost.ops);
                 d.record(out.delivered_frac);
             }
+            let cell = format!("{qname}.{}", key_part(&model.name()));
+            exp.record_summary(format!("{cell}.energy_j"), &e);
+            exp.record_summary(format!("{cell}.time_s"), &t);
+            exp.record_summary(format!("{cell}.bytes"), &b);
+            exp.record_summary(format!("{cell}.ops"), &o);
+            exp.record_summary(format!("{cell}.delivered_frac"), &d);
             println!(
                 "{:>10}  {:>22}  {:>10}  {:>10}  {:>10}  {:>10}  {:>8}",
                 qname,
@@ -88,4 +97,5 @@ fn main() {
          cheaper on the grid than in-network, and grid offload pure overhead \
          for non-complex queries."
     );
+    exp.finish()
 }

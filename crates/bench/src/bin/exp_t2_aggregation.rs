@@ -3,22 +3,26 @@
 //! as the network grows.
 //!
 //! ```sh
-//! cargo run --release -p pg-bench --bin exp_t2_aggregation
+//! cargo run --release -p pg-bench --bin exp_t2_aggregation [-- --smoke]
 //! ```
 
-use pg_bench::{fmt, header, replicate, standard_world};
+use pg_bench::standard_world;
+use pg_bench::{fmt, header, replicate_par, Experiment};
 use pg_sensornet::aggregate::AggFn;
 use pg_sensornet::cluster::default_head_count;
 use pg_sensornet::epoch::Strategy;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::process::ExitCode;
 
-const REPS: u64 = 10;
-
-fn main() {
+fn main() -> ExitCode {
+    let mut exp = Experiment::from_args("exp_t2_aggregation");
+    let reps: u64 = exp.scale(10, 3);
+    let sizes: &[usize] = exp.scale(&[25, 50, 100, 200, 400], &[25, 50, 100]);
+    exp.set_meta("reps", reps.to_string());
     println!("T2: aggregate-query energy vs network size (AVG over all sensors, one epoch)");
     header(
-        "mean of 10 seeds",
+        &format!("mean of {reps} seeds"),
         &[
             ("n", 5),
             ("direct J", 11),
@@ -29,7 +33,7 @@ fn main() {
             ("tree B", 11),
         ],
     );
-    for n in [25usize, 50, 100, 200, 400] {
+    for &n in sizes {
         let run = |strategy: Strategy| {
             move |seed: u64| {
                 let mut w = standard_world(n, seed);
@@ -40,7 +44,8 @@ fn main() {
                     .filter(|&x| x != w.net.base())
                     .collect();
                 let mut rng = StdRng::seed_from_u64(seed ^ 0xAA);
-                let r = strategy.run_epoch(&mut w.net, &members, &w.field, w.now, AggFn::Avg, &mut rng);
+                let r =
+                    strategy.run_epoch(&mut w.net, &members, &w.field, w.now, AggFn::Avg, &mut rng);
                 r.energy_j
             }
         };
@@ -54,29 +59,40 @@ fn main() {
                     .filter(|&x| x != w.net.base())
                     .collect();
                 let mut rng = StdRng::seed_from_u64(seed ^ 0xAA);
-                let r = strategy.run_epoch(&mut w.net, &members, &w.field, w.now, AggFn::Avg, &mut rng);
+                let r =
+                    strategy.run_epoch(&mut w.net, &members, &w.field, w.now, AggFn::Avg, &mut rng);
                 r.total_bytes as f64
             }
         };
-        let direct = replicate(REPS, run(Strategy::Direct)).mean();
-        let cluster = replicate(
-            REPS,
+        // Multi-seed replications fan out across the rayon pool; the fold
+        // back into each Summary is in seed order (see `replicate_par`).
+        let direct = replicate_par(reps, run(Strategy::Direct));
+        let cluster = replicate_par(
+            reps,
             run(Strategy::Cluster {
                 heads: default_head_count(n - 1),
             }),
-        )
-        .mean();
-        let tree = replicate(REPS, run(Strategy::Tree)).mean();
-        let db = replicate(REPS, bytes(Strategy::Direct)).mean();
-        let tb = replicate(REPS, bytes(Strategy::Tree)).mean();
+        );
+        let tree = replicate_par(reps, run(Strategy::Tree));
+        let db = replicate_par(reps, bytes(Strategy::Direct));
+        let tb = replicate_par(reps, bytes(Strategy::Tree));
+        exp.record_summary(format!("n{n}.direct_j"), &direct);
+        exp.record_summary(format!("n{n}.cluster_j"), &cluster);
+        exp.record_summary(format!("n{n}.tree_j"), &tree);
+        exp.record_summary(format!("n{n}.direct_bytes"), &db);
+        exp.record_summary(format!("n{n}.tree_bytes"), &tb);
+        exp.set_scalar(
+            format!("n{n}.tree_over_direct"),
+            tree.mean() / direct.mean(),
+        );
         println!(
             "{n:>5}  {:>11}  {:>11}  {:>11}  {:>11}  {:>11}  {:>11}",
-            fmt(direct),
-            fmt(cluster),
-            fmt(tree),
-            format!("{:.2}", tree / direct),
-            fmt(db),
-            fmt(tb),
+            fmt(direct.mean()),
+            fmt(cluster.mean()),
+            fmt(tree.mean()),
+            format!("{:.2}", tree.mean() / direct.mean()),
+            fmt(db.mean()),
+            fmt(tb.mean()),
         );
     }
     println!(
@@ -85,4 +101,5 @@ fn main() {
          direct bytes grow superlinearly (hop count grows), tree bytes \
          linearly (one partial per node)."
     );
+    exp.finish()
 }

@@ -1,24 +1,24 @@
 //! **T3** — the adaptive decision maker vs. static policies and the oracle
-//! over a 600-query stream (§4's machine-learning proposal).
+//! over a mixed query stream (§4's machine-learning proposal).
 //!
 //! ```sh
-//! cargo run --release -p pg-bench --bin exp_t3_adaptive
+//! cargo run --release -p pg-bench --bin exp_t3_adaptive [-- --smoke]
 //! ```
 
-use pg_bench::{fmt, header, standard_world};
+use pg_bench::{fmt, header, key_part, standard_world, Experiment};
 use pg_partition::decide::{oracle_choice, DecisionMaker, Policy};
 use pg_partition::exec::{execute_once, ExecContext};
 use pg_partition::features::QueryFeatures;
 use pg_partition::model::{CostWeights, SolutionModel};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::process::ExitCode;
 
-const STREAM_LEN: usize = 600;
 const N: usize = 100;
 
-fn stream(seed: u64) -> Vec<String> {
+fn stream(seed: u64, len: usize) -> Vec<String> {
     let mut rng = StdRng::seed_from_u64(seed);
-    (0..STREAM_LEN)
+    (0..len)
         .map(|_| match rng.gen_range(0..10) {
             // Continuous queries are deliberately absent: their idle-energy
             // cost is identical under every placement and would wash out
@@ -29,16 +29,20 @@ fn stream(seed: u64) -> Vec<String> {
                 rng.gen_range(1..N as u32)
             ),
             6..=7 => "SELECT MAX(temp) FROM sensors WHERE region(room210)".to_string(),
-            _ => "SELECT temperature_distribution() FROM sensors WHERE region(room210)"
-                .to_string(),
+            _ => "SELECT temperature_distribution() FROM sensors WHERE region(room210)".to_string(),
         })
         .collect()
 }
 
 /// Run the stream under one policy; returns (total scalar cost, oracle
-/// family agreement over the last 100 decisions, mean regret ratio —
-/// scalar(chosen)/scalar(oracle) — over the same window).
-fn run(policy: Policy, report_agreement: bool) -> (f64, f64, f64) {
+/// family agreement over the last `judge_window` decisions, mean regret
+/// ratio — scalar(chosen)/scalar(oracle) — over the same window).
+fn run(
+    policy: Policy,
+    report_agreement: bool,
+    stream_len: usize,
+    judge_window: usize,
+) -> (f64, f64, f64) {
     let weights = CostWeights::default();
     let mut w = standard_world(N, 7);
     let mut dm = DecisionMaker::new(policy, 7);
@@ -47,7 +51,7 @@ fn run(policy: Policy, report_agreement: bool) -> (f64, f64, f64) {
     let mut judged = 0u32;
     let mut regret_sum = 0.0;
     let mut oracle_cost_pending: Option<f64> = None;
-    for (i, text) in stream(7).iter().enumerate() {
+    for (i, text) in stream(7, stream_len).iter().enumerate() {
         let query = pg_query::parse(text).expect("valid query");
         let features = {
             let ctx = ExecContext {
@@ -69,7 +73,7 @@ fn run(policy: Policy, report_agreement: bool) -> (f64, f64, f64) {
         };
         // Judge the decision against the clairvoyant oracle (on a clone) for
         // the tail of the stream.
-        if report_agreement && i >= STREAM_LEN - 100 {
+        if report_agreement && i >= stream_len - judge_window {
             if let Some((best, best_cost)) = oracle_choice(
                 &w.net, &w.grid, &w.field, &w.regions, w.now, &query, &weights, i as u64,
             ) {
@@ -110,31 +114,53 @@ fn run(policy: Policy, report_agreement: bool) -> (f64, f64, f64) {
     (total, agreement, regret)
 }
 
-fn main() {
-    println!("T3: {STREAM_LEN}-query mixed stream on a {N}-sensor network");
+fn main() -> ExitCode {
+    let mut exp = Experiment::from_args("exp_t3_adaptive");
+    let stream_len: usize = exp.scale(600, 150);
+    let judge_window: usize = exp.scale(100, 50);
+    exp.set_meta("stream_len", stream_len.to_string());
+    exp.set_meta("judge_window", judge_window.to_string());
+    println!("T3: {stream_len}-query mixed stream on a {N}-sensor network");
     header(
         "policy comparison (scalar cost = energy/0.1J + 0.5 x time/10s)",
         &[("policy", 26), ("total cost", 12), ("vs adaptive", 12)],
     );
-    let (adaptive, agreement, regret) = run(Policy::Adaptive, true);
+    let (adaptive, agreement, regret) = run(Policy::Adaptive, true, stream_len, judge_window);
     let rows: Vec<(String, f64)> = vec![
         ("adaptive (k-NN + eps)".into(), adaptive),
-        ("random".into(), run(Policy::Random, false).0),
+        (
+            "random".into(),
+            run(Policy::Random, false, stream_len, judge_window).0,
+        ),
         (
             "static: in-network tree".into(),
-            run(Policy::Static(SolutionModel::InNetworkTree), false).0,
+            run(
+                Policy::Static(SolutionModel::InNetworkTree),
+                false,
+                stream_len,
+                judge_window,
+            )
+            .0,
         ),
         (
             "static: cluster".into(),
             run(
                 Policy::Static(SolutionModel::InNetworkCluster { heads: 5 }),
                 false,
+                stream_len,
+                judge_window,
             )
             .0,
         ),
         (
             "static: base station".into(),
-            run(Policy::Static(SolutionModel::BaseStation), false).0,
+            run(
+                Policy::Static(SolutionModel::BaseStation),
+                false,
+                stream_len,
+                judge_window,
+            )
+            .0,
         ),
         (
             "static: grid offload".into(),
@@ -143,19 +169,30 @@ fn main() {
                     reduction_cell_m: 0.0,
                 }),
                 false,
+                stream_len,
+                judge_window,
             )
             .0,
         ),
     ];
     for (name, cost) in &rows {
+        exp.set_scalar(format!("{}.total_cost", key_part(name)), *cost);
         println!(
             "{name:>26}  {:>12}  {:>12}",
             fmt(*cost),
             format!("{:+.1}%", 100.0 * (cost - adaptive) / adaptive)
         );
     }
+    // NaN when no decision could be judged (never in practice; a NaN would
+    // be rejected by the report emitter, so skip rather than fail).
+    if agreement.is_finite() {
+        exp.set_scalar("oracle.family_agreement", agreement);
+    }
+    if regret.is_finite() {
+        exp.set_scalar("oracle.mean_regret_ratio", regret);
+    }
     println!(
-        "\nfinal-100-decision oracle check: family agreement {:.0}%, mean \
+        "\nfinal-{judge_window}-decision oracle check: family agreement {:.0}%, mean \
          regret ratio {:.2}x (chosen cost / clairvoyant cost; near-tied \
          families flip agreement without costing regret)",
         agreement * 100.0,
@@ -166,4 +203,5 @@ fn main() {
          wide margin; the late-stream regret ratio is close to 1.0 (the \
          learner has converged to near-oracle placements)."
     );
+    exp.finish()
 }

@@ -3,10 +3,10 @@
 //! registry size, and federation traffic vs. a central registry.
 //!
 //! ```sh
-//! cargo run --release -p pg-bench --bin exp_t4_discovery
+//! cargo run --release -p pg-bench --bin exp_t4_discovery [-- --smoke]
 //! ```
 
-use pg_bench::{fmt, header};
+use pg_bench::{fmt, header, Experiment};
 use pg_discovery::baselines::jini_match;
 use pg_discovery::broker::BrokerFederation;
 use pg_discovery::corpus::{mixed_corpus, precision_recall, printer_corpus};
@@ -15,22 +15,33 @@ use pg_discovery::matcher;
 use pg_discovery::ontology::Ontology;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::process::ExitCode;
 use std::time::Instant;
 
-fn main() {
+fn main() -> ExitCode {
+    let mut exp = Experiment::from_args("exp_t4_discovery");
     let onto = Ontology::pervasive_grid();
+    let printer_n: usize = exp.scale(500, 200);
+    let corpora: u64 = exp.scale(5, 2);
+    exp.set_meta("printer_corpus", printer_n.to_string());
+    exp.set_meta("corpora", corpora.to_string());
 
     // --- Part 1: expressiveness on the paper's own printer queries. ---
-    println!("T4a: precision/recall on 'color printing under a cost cap' (500 printers)");
+    println!("T4a: precision/recall on 'color printing under a cost cap' ({printer_n} printers)");
     header(
-        "mean of 5 corpora",
-        &[("system", 24), ("precision", 10), ("recall", 10), ("ranked", 7)],
+        &format!("mean of {corpora} corpora"),
+        &[
+            ("system", 24),
+            ("precision", 10),
+            ("recall", 10),
+            ("ranked", 7),
+        ],
     );
     let mut sem_p = pg_sim::metrics::Summary::new();
     let mut jini_p = pg_sim::metrics::Summary::new();
-    for seed in 0..5u64 {
+    for seed in 0..corpora {
         let mut rng = StdRng::seed_from_u64(seed);
-        let corpus = printer_corpus(&onto, 500, &mut rng);
+        let corpus = printer_corpus(&onto, printer_n, &mut rng);
         let printer = onto.class("PrinterService").unwrap();
         let req = ServiceRequest::for_class(printer)
             .with_constraint(Constraint::Eq("color".into(), Value::Bool(true)))
@@ -43,6 +54,8 @@ fn main() {
         let jini = jini_match(&corpus.services, "printIt");
         jini_p.record(precision_recall(&jini, &corpus.relevant).0);
     }
+    exp.record_summary("printer.semantic_precision", &sem_p);
+    exp.record_summary("printer.jini_precision", &jini_p);
     println!(
         "{:>24}  {:>10}  {:>10}  {:>7}",
         "semantic (this work)",
@@ -64,17 +77,20 @@ fn main() {
     println!("(SDP cannot express the query at all: UUID equality only)");
 
     // --- Part 2: match latency vs registry size. ---
+    // Wall-clock latency stays on stdout only; the report records the
+    // (deterministic) hit counts per registry size.
     println!("\nT4b: semantic match latency vs registry size (wall clock, this machine)");
     header(
         "single query, ranked result",
         &[("services", 9), ("latency us", 11), ("hits", 7)],
     );
     let solver = onto.class("SolverService").unwrap();
-    for n in [100usize, 1_000, 10_000, 50_000] {
+    let registry_sizes: &[usize] = exp.scale(&[100, 1_000, 10_000, 50_000], &[100, 1_000]);
+    for &n in registry_sizes {
         let mut rng = StdRng::seed_from_u64(99);
         let corpus = mixed_corpus(&onto, n, &mut rng);
-        let req = ServiceRequest::for_class(solver)
-            .with_preference(Preference::Minimize("cost".into()));
+        let req =
+            ServiceRequest::for_class(solver).with_preference(Preference::Minimize("cost".into()));
         // Warm + time.
         let _ = matcher::rank(&onto, &req, &corpus);
         let t0 = Instant::now();
@@ -84,17 +100,26 @@ fn main() {
             hits = matcher::rank(&onto, &req, &corpus).len();
         }
         let us = t0.elapsed().as_secs_f64() * 1e6 / ROUNDS as f64;
+        exp.set_counter(format!("latency_sweep.n{n}.hits"), hits as u64);
         println!("{n:>9}  {:>11}  {hits:>7}", fmt(us));
     }
 
     // --- Part 3: federation vs central registry. ---
-    println!("\nT4c: federated brokers vs one central registry (240 services)");
+    let fed_n: usize = exp.scale(240, 120);
+    println!("\nT4c: federated brokers vs one central registry ({fed_n} services)");
     header(
         "query entering at broker 0",
-        &[("deployment", 16), ("hops", 5), ("brokers", 8), ("msgs", 6), ("latency ms", 11), ("hits", 5)],
+        &[
+            ("deployment", 16),
+            ("hops", 5),
+            ("brokers", 8),
+            ("msgs", 6),
+            ("latency ms", 11),
+            ("hits", 5),
+        ],
     );
     let mut rng = StdRng::seed_from_u64(5);
-    let corpus = mixed_corpus(&onto, 240, &mut rng);
+    let corpus = mixed_corpus(&onto, fed_n, &mut rng);
     let req = ServiceRequest::for_class(solver);
     // Central.
     let mut central = pg_discovery::registry::Registry::new();
@@ -102,7 +127,11 @@ fn main() {
         central.register(d.clone());
     }
     let hits = central.query(&onto, &req).len();
-    println!("{:>16}  {:>5}  {:>8}  {:>6}  {:>11}  {hits:>5}", "central", "-", 1, 0, "0", );
+    exp.set_counter("federation.central.hits", hits as u64);
+    println!(
+        "{:>16}  {:>5}  {:>8}  {:>6}  {:>11}  {hits:>5}",
+        "central", "-", 1, 0, "0",
+    );
     // Federated ring of 8.
     let mut fed = BrokerFederation::new(8);
     for i in 0..8 {
@@ -113,6 +142,16 @@ fn main() {
     }
     for hops in [1u32, 2, 4] {
         let (hits, stats) = fed.query(&onto, 0, &req, hops);
+        exp.set_counter(
+            format!("federation.hops{hops}.brokers_visited"),
+            stats.brokers_visited as u64,
+        );
+        exp.set_counter(format!("federation.hops{hops}.messages"), stats.messages);
+        exp.set_scalar(
+            format!("federation.hops{hops}.latency_ms"),
+            stats.latency.as_secs_f64() * 1e3,
+        );
+        exp.set_counter(format!("federation.hops{hops}.hits"), hits.len() as u64);
         println!(
             "{:>16}  {hops:>5}  {:>8}  {:>6}  {:>11}  {:>5}",
             "federated (ring)",
@@ -127,4 +166,5 @@ fn main() {
          latency linear in registry size; federation coverage grows with hop \
          budget at the price of overlay messages and latency."
     );
+    exp.finish()
 }

@@ -3,10 +3,10 @@
 //! without replicas (§3's fault-tolerance and graceful-degradation claims).
 //!
 //! ```sh
-//! cargo run --release -p pg-bench --bin exp_t5_faults
+//! cargo run --release -p pg-bench --bin exp_t5_faults [-- --smoke]
 //! ```
 
-use pg_bench::header;
+use pg_bench::{header, key_part, Experiment};
 use pg_compose::htn::MethodLibrary;
 use pg_compose::manager::{execute, ManagerKind, ServiceWorld};
 use pg_discovery::description::ServiceDescription;
@@ -14,8 +14,7 @@ use pg_discovery::ontology::Ontology;
 use pg_net::churn::{ChurnProcess, ChurnSchedule};
 use pg_sim::rng::RngStreams;
 use pg_sim::SimTime;
-
-const RUNS: u64 = 40;
+use std::process::ExitCode;
 
 fn world(onto: &Ontology, replicas: usize, availability: f64, seed: u64) -> ServiceWorld {
     let streams = RngStreams::new(seed);
@@ -46,7 +45,12 @@ fn world(onto: &Ontology, replicas: usize, availability: f64, seed: u64) -> Serv
     w
 }
 
-fn measure(w: &ServiceWorld, onto: &Ontology, kind: ManagerKind) -> (f64, f64, f64, f64) {
+fn measure(
+    w: &ServiceWorld,
+    onto: &Ontology,
+    kind: ManagerKind,
+    runs: u64,
+) -> (f64, f64, f64, f64) {
     let plan = MethodLibrary::pervasive_grid()
         .decompose("temperature-distribution")
         .unwrap();
@@ -54,7 +58,7 @@ fn measure(w: &ServiceWorld, onto: &Ontology, kind: ManagerKind) -> (f64, f64, f
     let mut utility = 0.0;
     let mut rebinds = 0u64;
     let mut latency = 0.0;
-    for i in 0..RUNS {
+    for i in 0..runs {
         let r = execute(w, onto, &plan, kind, SimTime::from_secs(i * 900));
         if r.success {
             ok += 1;
@@ -64,16 +68,19 @@ fn measure(w: &ServiceWorld, onto: &Ontology, kind: ManagerKind) -> (f64, f64, f
         latency += r.latency.as_secs_f64();
     }
     (
-        ok as f64 / RUNS as f64,
-        utility / RUNS as f64,
-        rebinds as f64 / RUNS as f64,
-        latency / RUNS as f64,
+        ok as f64 / runs as f64,
+        utility / runs as f64,
+        rebinds as f64 / runs as f64,
+        latency / runs as f64,
     )
 }
 
-fn main() {
+fn main() -> ExitCode {
+    let mut exp = Experiment::from_args("exp_t5_faults");
+    let runs: u64 = exp.scale(40, 10);
+    exp.set_meta("runs", runs.to_string());
     let onto = Ontology::pervasive_grid();
-    println!("T5: composition under churn ({RUNS} runs per cell, 5-step plan)");
+    println!("T5: composition under churn ({runs} runs per cell, 5-step plan)");
     header(
         "success rate / mean utility / rebinds per run",
         &[
@@ -89,7 +96,11 @@ fn main() {
         for &replicas in &[1usize, 3] {
             for kind in [ManagerKind::Centralized, ManagerKind::DistributedReactive] {
                 let w = world(&onto, replicas, avail, 17);
-                let (s, u, r, _) = measure(&w, &onto, kind);
+                let (s, u, r, _) = measure(&w, &onto, kind, runs);
+                let cell = format!("a{avail}.r{replicas}.{}", key_part(kind.name()));
+                exp.set_scalar(format!("{cell}.success"), s);
+                exp.set_scalar(format!("{cell}.utility"), u);
+                exp.set_scalar(format!("{cell}.rebinds"), r);
                 println!(
                     "{avail:>12.2}  {replicas:>8}  {:>22}  {s:>8.2}  {u:>8.2}  {r:>8.2}",
                     kind.name()
@@ -125,7 +136,10 @@ fn main() {
                 w.center_churn = ChurnProcess::new(up.max(1.0), (300.0 - up).max(1.0))
                     .schedule(SimTime::from_secs(200_000), &mut streams.fork("center"));
             }
-            let (s, _, _, lat) = measure(&w, &onto, kind);
+            let (s, _, _, lat) = measure(&w, &onto, kind, runs);
+            let cell = format!("center{center}.{}", key_part(kind.name()));
+            exp.set_scalar(format!("{cell}.success"), s);
+            exp.set_scalar(format!("{cell}.latency_s"), lat);
             println!(
                 "{center:>12.2}  {:>22}  {s:>8.2}  {:>10}",
                 kind.name(),
@@ -138,4 +152,5 @@ fn main() {
          the sweep; the centralized manager's latency blows up as its center \
          spends more time down (every stalled step waits for the center)."
     );
+    exp.finish()
 }

@@ -2,22 +2,26 @@
 //! request as request frequency varies; the crossover §3 predicts.
 //!
 //! ```sh
-//! cargo run --release -p pg-bench --bin exp_t6_proactive
+//! cargo run --release -p pg-bench --bin exp_t6_proactive [-- --smoke]
 //! ```
 
-use pg_bench::{fmt, header};
+use pg_bench::{fmt, header, Experiment};
 use pg_compose::htn::MethodLibrary;
 use pg_compose::proactive::{mean_setup_latency, CacheResult, ComposeCosts, PlanCache};
 use pg_sim::{Duration, SimTime};
+use std::process::ExitCode;
 
-fn main() {
+fn main() -> ExitCode {
+    let mut exp = Experiment::from_args("exp_t6_proactive");
+    let reqs: u32 = exp.scale(500, 120);
+    exp.set_meta("requests", reqs.to_string());
     let costs = ComposeCosts::default();
     let ttl = Duration::from_secs(60);
 
     // --- Measured: drive a PlanCache with request streams. ---
     println!("T6: proactive (plan cache, 60 s TTL) vs reactive composition setup latency");
     header(
-        "500 requests per row",
+        &format!("{reqs} requests per row"),
         &[
             ("period s", 9),
             ("hit rate", 9),
@@ -26,12 +30,15 @@ fn main() {
             ("winner", 10),
         ],
     );
-    for period_s in [1.0f64, 5.0, 20.0, 60.0, 120.0, 600.0, 3_600.0] {
+    let periods: &[f64] = exp.scale(
+        &[1.0, 5.0, 20.0, 60.0, 120.0, 600.0, 3_600.0],
+        &[1.0, 60.0, 600.0],
+    );
+    for &period_s in periods {
         let mut cache = PlanCache::new(MethodLibrary::pervasive_grid(), ttl);
         let mut total = Duration::ZERO;
         let mut hits = 0u32;
-        const REQS: u32 = 500;
-        for i in 0..REQS {
+        for i in 0..reqs {
             let now = SimTime::from_secs_f64(period_s * i as f64);
             let (_, res, lat) = cache
                 .request("temperature-distribution", now, &costs)
@@ -43,17 +50,27 @@ fn main() {
             // The proactive maintainer refreshes expired entries in the
             // background; charge its amortized cost per request.
             if period_s > ttl.as_secs_f64() {
-                total += costs.refresh_cost.mul_f64(period_s / ttl.as_secs_f64() - 1.0);
+                total += costs
+                    .refresh_cost
+                    .mul_f64(period_s / ttl.as_secs_f64() - 1.0);
             }
         }
-        let pro_ms = total.as_secs_f64() * 1e3 / REQS as f64;
+        let pro_ms = total.as_secs_f64() * 1e3 / reqs as f64;
         let re_ms = (costs.plan_time + costs.discovery_sweep).as_secs_f64() * 1e3;
+        let cell = format!("period{period_s}");
+        exp.set_scalar(format!("{cell}.hit_rate"), hits as f64 / reqs as f64);
+        exp.set_scalar(format!("{cell}.proactive_ms"), pro_ms);
+        exp.set_scalar(format!("{cell}.reactive_ms"), re_ms);
         println!(
             "{period_s:>9}  {:>9}  {:>13}  {:>12}  {:>10}",
-            format!("{:.2}", hits as f64 / REQS as f64),
+            format!("{:.2}", hits as f64 / reqs as f64),
             fmt(pro_ms),
             fmt(re_ms),
-            if pro_ms < re_ms { "proactive" } else { "reactive" },
+            if pro_ms < re_ms {
+                "proactive"
+            } else {
+                "reactive"
+            },
         );
     }
 
@@ -66,6 +83,9 @@ fn main() {
     for period_s in [1.0f64, 10.0, 60.0, 300.0, 1_800.0] {
         let p = mean_setup_latency(&costs, Duration::from_secs_f64(period_s), ttl, true);
         let r = mean_setup_latency(&costs, Duration::from_secs_f64(period_s), ttl, false);
+        let cell = format!("analytic.period{period_s}");
+        exp.set_scalar(format!("{cell}.proactive_ms"), p.as_secs_f64() * 1e3);
+        exp.set_scalar(format!("{cell}.reactive_ms"), r.as_secs_f64() * 1e3);
         println!(
             "{period_s:>9}  {:>13}  {:>12}",
             fmt(p.as_secs_f64() * 1e3),
@@ -77,4 +97,5 @@ fn main() {
          hits amortize the refresh), reactive wins for rare requests — the \
          crossover sits near the cache TTL."
     );
+    exp.finish()
 }

@@ -3,10 +3,10 @@
 //! cost as the registry population grows.
 //!
 //! ```sh
-//! cargo run --release -p pg-bench --bin exp_t7_churn
+//! cargo run --release -p pg-bench --bin exp_t7_churn [-- --smoke]
 //! ```
 
-use pg_bench::{fmt, header};
+use pg_bench::{fmt, header, Experiment};
 use pg_compose::htn::MethodLibrary;
 use pg_compose::manager::{execute, ManagerKind, ServiceWorld};
 use pg_discovery::corpus::mixed_corpus;
@@ -17,11 +17,13 @@ use pg_sim::rng::RngStreams;
 use pg_sim::SimTime;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::process::ExitCode;
 use std::time::Instant;
 
-const RUNS: u64 = 40;
-
-fn main() {
+fn main() -> ExitCode {
+    let mut exp = Experiment::from_args("exp_t7_churn");
+    let runs: u64 = exp.scale(40, 10);
+    exp.set_meta("runs", runs.to_string());
     let onto = Ontology::pervasive_grid();
     let plan = MethodLibrary::pervasive_grid()
         .decompose("temperature-distribution")
@@ -31,7 +33,12 @@ fn main() {
     println!("T7a: composite availability vs churn speed (availability 0.75, 3 replicas/role)");
     header(
         "distributed reactive manager",
-        &[("cycle s", 8), ("success", 8), ("utility", 8), ("rebinds", 8)],
+        &[
+            ("cycle s", 8),
+            ("success", 8),
+            ("utility", 8),
+            ("rebinds", 8),
+        ],
     );
     for cycle in [600.0f64, 120.0, 30.0, 8.0] {
         let streams = RngStreams::new(3);
@@ -55,7 +62,7 @@ fn main() {
         let mut ok = 0u64;
         let mut util = 0.0;
         let mut rebinds = 0u64;
-        for i in 0..RUNS {
+        for i in 0..runs {
             let r = execute(
                 &w,
                 &onto,
@@ -69,11 +76,15 @@ fn main() {
             util += r.utility;
             rebinds += r.rebinds as u64;
         }
+        let cell = format!("cycle{cycle}");
+        exp.set_scalar(format!("{cell}.success"), ok as f64 / runs as f64);
+        exp.set_scalar(format!("{cell}.utility"), util / runs as f64);
+        exp.set_scalar(format!("{cell}.rebinds"), rebinds as f64 / runs as f64);
         println!(
             "{cycle:>8}  {:>8.2}  {:>8.2}  {:>8.2}",
-            ok as f64 / RUNS as f64,
-            util / RUNS as f64,
-            rebinds as f64 / RUNS as f64
+            ok as f64 / runs as f64,
+            util / runs as f64,
+            rebinds as f64 / runs as f64
         );
     }
     println!(
@@ -82,18 +93,29 @@ fn main() {
     );
 
     // --- T7b: discovery scalability with registry size. ---
+    // Wall clock stays on stdout; the report records the (deterministic)
+    // per-composition hit totals.
     println!("\nT7b: composition-time discovery cost vs registry size");
     header(
         "one 5-role composition, wall clock",
         &[("services", 9), ("discovery us", 13)],
     );
-    for n in [100usize, 1_000, 10_000] {
+    let registry_sizes: &[usize] = exp.scale(&[100, 1_000, 10_000], &[100, 1_000]);
+    for &n in registry_sizes {
         let mut rng = StdRng::seed_from_u64(11);
         let corpus = mixed_corpus(&onto, n, &mut rng);
         let mut reg = pg_discovery::registry::Registry::new();
         for d in corpus {
             reg.register(d);
         }
+        // Count the hits of the five role queries once (deterministic).
+        let mut role_hits = 0u64;
+        for step in &plan.steps {
+            let class = onto.class(&step.role.class).unwrap();
+            let req = ServiceRequest::for_class(class);
+            role_hits += reg.query(&onto, &req).len() as u64;
+        }
+        exp.set_counter(format!("registry.n{n}.role_hits"), role_hits);
         // Time the five role queries of the plan.
         let t0 = Instant::now();
         const ROUNDS: u32 = 20;
@@ -112,4 +134,5 @@ fn main() {
          long-run availability; discovery cost scales linearly with registry \
          size (each composition pays 5 matcher passes)."
     );
+    exp.finish()
 }

@@ -10,23 +10,29 @@
 //! with member count.
 //!
 //! ```sh
-//! cargo run --release -p pg-bench --bin exp_t8_crossover
+//! cargo run --release -p pg-bench --bin exp_t8_crossover [-- --smoke]
 //! ```
 
-use pg_bench::{fmt, header, standard_world};
+use pg_bench::{fmt, header, standard_world, Experiment};
 use pg_partition::exec::{execute_once, ExecContext};
 use pg_partition::model::SolutionModel;
 use pg_sensornet::region::Region;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::process::ExitCode;
 
-const N: usize = 200;
+const MODEL_KEYS: [&str; 3] = ["in_net", "base", "grid"];
 
-fn main() {
+fn main() -> ExitCode {
+    let mut exp = Experiment::from_args("exp_t8_crossover");
+    let n: usize = exp.scale(200, 100);
+    let reps: u64 = exp.scale(5, 2);
+    exp.set_meta("n", n.to_string());
+    exp.set_meta("reps", reps.to_string());
     println!("T8: response time per solution model as computation intensity grows");
-    println!("({} sensors; Complex query over growing regions of the arena)", N);
+    println!("({n} sensors; Complex query over growing regions of the arena)");
     header(
-        "response time seconds (mean of 5 seeds)",
+        &format!("response time seconds (mean of {reps} seeds)"),
         &[
             ("region %", 9),
             ("ops", 10),
@@ -36,11 +42,11 @@ fn main() {
             ("winner", 8),
         ],
     );
-    for frac in [0.1f64, 0.25, 0.5, 0.75, 1.0] {
+    let fracs: &[f64] = exp.scale(&[0.1, 0.25, 0.5, 0.75, 1.0], &[0.25, 1.0]);
+    for &frac in fracs {
         let mut times = [0.0f64; 3];
         let mut ops = 0.0;
-        const REPS: u64 = 5;
-        for seed in 0..REPS {
+        for seed in 0..reps {
             for (i, model) in [
                 SolutionModel::InNetworkTree,
                 SolutionModel::BaseStation,
@@ -51,8 +57,8 @@ fn main() {
             .into_iter()
             .enumerate()
             {
-                let mut w = standard_world(N, seed);
-                let side = ((N as f64) * 100.0).sqrt();
+                let mut w = standard_world(n, seed);
+                let side = ((n as f64) * 100.0).sqrt();
                 w.regions.insert(
                     "sweep".to_string(),
                     Region::room(0.0, 0.0, side * frac, side * frac),
@@ -70,12 +76,17 @@ fn main() {
                 };
                 let mut rng = StdRng::seed_from_u64(seed);
                 if let Ok(out) = execute_once(&mut ctx, &query, model, &mut rng) {
-                    times[i] += out.cost.time_s / REPS as f64;
+                    times[i] += out.cost.time_s / reps as f64;
                     if i == 2 {
-                        ops += out.cost.ops / REPS as f64;
+                        ops += out.cost.ops / reps as f64;
                     }
                 }
             }
+        }
+        let pct = (frac * 100.0).round() as u32;
+        exp.set_scalar(format!("complex.region{pct}.ops"), ops);
+        for (i, key) in MODEL_KEYS.iter().enumerate() {
+            exp.set_scalar(format!("complex.region{pct}.{key}_time_s"), times[i]);
         }
         let labels = ["in-net", "base", "grid"];
         let winner = labels[times
@@ -84,9 +95,10 @@ fn main() {
             .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
             .unwrap()
             .0];
+        exp.set_meta(format!("complex.region{pct}.winner"), winner);
         println!(
             "{:>9}  {:>10}  {:>10}  {:>10}  {:>10}  {:>8}",
-            format!("{:.0}%", frac * 100.0),
+            format!("{pct}%"),
             fmt(ops),
             fmt(times[0]),
             fmt(times[1]),
@@ -98,13 +110,18 @@ fn main() {
     // The low end of the spectrum: a cheap aggregate over the same regions.
     println!("\nT8b: the cheap end (Aggregate query, same regions)");
     header(
-        "response time seconds (mean of 5 seeds)",
-        &[("region %", 9), ("in-net s", 10), ("base s", 10), ("grid s", 10), ("winner", 8)],
+        &format!("response time seconds (mean of {reps} seeds)"),
+        &[
+            ("region %", 9),
+            ("in-net s", 10),
+            ("base s", 10),
+            ("grid s", 10),
+            ("winner", 8),
+        ],
     );
     for frac in [0.25f64, 1.0] {
         let mut times = [0.0f64; 3];
-        const REPS: u64 = 5;
-        for seed in 0..REPS {
+        for seed in 0..reps {
             for (i, model) in [
                 SolutionModel::InNetworkTree,
                 SolutionModel::BaseStation,
@@ -115,8 +132,8 @@ fn main() {
             .into_iter()
             .enumerate()
             {
-                let mut w = standard_world(N, seed);
-                let side = ((N as f64) * 100.0).sqrt();
+                let mut w = standard_world(n, seed);
+                let side = ((n as f64) * 100.0).sqrt();
                 w.regions.insert(
                     "sweep".to_string(),
                     Region::room(0.0, 0.0, side * frac, side * frac),
@@ -132,9 +149,13 @@ fn main() {
                 };
                 let mut rng = StdRng::seed_from_u64(seed);
                 if let Ok(out) = execute_once(&mut ctx, &query, model, &mut rng) {
-                    times[i] += out.cost.time_s / REPS as f64;
+                    times[i] += out.cost.time_s / reps as f64;
                 }
             }
+        }
+        let pct = (frac * 100.0).round() as u32;
+        for (i, key) in MODEL_KEYS.iter().enumerate() {
+            exp.set_scalar(format!("aggregate.region{pct}.{key}_time_s"), times[i]);
         }
         let labels = ["in-net", "base", "grid"];
         let winner = labels[times
@@ -143,9 +164,10 @@ fn main() {
             .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
             .unwrap()
             .0];
+        exp.set_meta(format!("aggregate.region{pct}.winner"), winner);
         println!(
             "{:>9}  {:>10}  {:>10}  {:>10}  {:>8}",
-            format!("{:.0}%", frac * 100.0),
+            format!("{pct}%"),
             fmt(times[0]),
             fmt(times[1]),
             fmt(times[2]),
@@ -158,4 +180,5 @@ fn main() {
          share shrinks while the PDA's explodes); in-network is never \
          competitive for Complex queries."
     );
+    exp.finish()
 }

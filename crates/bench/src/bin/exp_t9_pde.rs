@@ -4,10 +4,10 @@
 //! send the average reading from a region").
 //!
 //! ```sh
-//! cargo run --release -p pg-bench --bin exp_t9_pde
+//! cargo run --release -p pg-bench --bin exp_t9_pde [-- --smoke]
 //! ```
 
-use pg_bench::{fmt, header, standard_world};
+use pg_bench::{fmt, header, standard_world, Experiment};
 use pg_grid::pde::{Problem, Solver};
 use pg_grid::reduction;
 use pg_net::geom::Point;
@@ -15,6 +15,7 @@ use pg_partition::exec::{execute_once, ExecContext};
 use pg_partition::model::SolutionModel;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::process::ExitCode;
 use std::time::Instant;
 
 fn make_problem(n: usize) -> Problem {
@@ -26,14 +27,25 @@ fn make_problem(n: usize) -> Problem {
     p
 }
 
-fn main() {
+fn main() -> ExitCode {
+    let mut exp = Experiment::from_args("exp_t9_pde");
+
     // --- T9a: solver comparison. ---
+    // Wall clock stays on stdout; the report records iteration counts and
+    // residuals, which are deterministic.
     println!("T9a: solver comparison on the reconstruction problem (tol 1e-6)");
     header(
         "wall clock on this machine, all cores",
-        &[("grid", 8), ("solver", 8), ("iters", 7), ("time ms", 9), ("residual", 10)],
+        &[
+            ("grid", 8),
+            ("solver", 8),
+            ("iters", 7),
+            ("time ms", 9),
+            ("residual", 10),
+        ],
     );
-    for n in [24usize, 32, 48] {
+    let grids: &[usize] = exp.scale(&[24, 32, 48], &[16, 24]);
+    for &n in grids {
         let p = make_problem(n);
         for solver in [
             Solver::Jacobi,
@@ -44,6 +56,9 @@ fn main() {
             let t0 = Instant::now();
             let (_, stats) = p.solve(solver, 1e-6, 20_000);
             let ms = t0.elapsed().as_secs_f64() * 1e3;
+            let cell = format!("solver.n{n}.{}", pg_bench::key_part(solver.name()));
+            exp.set_counter(format!("{cell}.iterations"), stats.iterations as u64);
+            exp.set_scalar(format!("{cell}.residual"), stats.residual);
             println!(
                 "{:>8}  {:>8}  {:>7}  {:>9}  {:>10}",
                 format!("{n}^3"),
@@ -56,7 +71,7 @@ fn main() {
         println!();
     }
 
-    // --- T9b: rayon thread scaling. ---
+    // --- T9b: rayon thread scaling (wall clock only; not in the report). ---
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     println!(
         "T9b: CG thread scaling (48^3, tol 1e-6) — this machine exposes {cores} core(s); \
@@ -66,9 +81,11 @@ fn main() {
         "rayon pool size sweep",
         &[("threads", 8), ("time ms", 9), ("speedup", 8)],
     );
-    let p = make_problem(48);
+    let scaling_n: usize = exp.scale(48, 24);
+    let threads_sweep: &[usize] = exp.scale(&[1, 2, 4, 8], &[1, 2]);
+    let p = make_problem(scaling_n);
     let mut base_ms = 0.0;
-    for threads in [1usize, 2, 4, 8] {
+    for &threads in threads_sweep {
         let pool = rayon::ThreadPoolBuilder::new()
             .num_threads(threads)
             .build()
@@ -89,18 +106,29 @@ fn main() {
     }
 
     // --- T9c: accuracy vs region-averaging reduction. ---
+    let reps: u64 = exp.scale(5, 2);
+    let arena: usize = exp.scale(200, 100);
+    exp.set_meta("reps", reps.to_string());
+    exp.set_meta("arena_n", arena.to_string());
     println!("\nT9c: accuracy vs data reduction for the grid-offloaded Complex query");
     header(
-        "200-sensor arena, mean of 5 seeds (backhaul B = bytes shipped to the grid)",
-        &[("cell m", 7), ("readings", 9), ("backhaul B", 11), ("rel RMSE", 9)],
+        &format!(
+            "{arena}-sensor arena, mean of {reps} seeds (backhaul B = bytes shipped to the grid)"
+        ),
+        &[
+            ("cell m", 7),
+            ("readings", 9),
+            ("backhaul B", 11),
+            ("rel RMSE", 9),
+        ],
     );
-    for cell in [0.0f64, 10.0, 20.0, 40.0, 80.0] {
+    let cells: &[f64] = exp.scale(&[0.0, 10.0, 20.0, 40.0, 80.0], &[0.0, 40.0]);
+    for &cell in cells {
         let mut bytes = 0.0;
         let mut err = 0.0;
         let mut count_readings = 0.0;
-        const REPS: u64 = 5;
-        for seed in 0..REPS {
-            let mut w = standard_world(200, seed);
+        for seed in 0..reps {
+            let mut w = standard_world(arena, seed);
             let query = pg_query::parse("SELECT temperature_distribution() FROM sensors")
                 .expect("valid query");
             let mut ctx = ExecContext {
@@ -120,15 +148,28 @@ fn main() {
                 &mut rng,
             )
             .expect("standard world");
-            err += out.accuracy_err.unwrap_or(f64::NAN) / REPS as f64;
+            err += out.accuracy_err.unwrap_or(f64::NAN) / reps as f64;
             // Post-reduction constraint count and backhaul payload,
             // computed analytically over the deployment positions.
-            let readings: Vec<(Point, f64)> = (0..199)
-                .map(|i| (w.net.topology().position(pg_net::topology::NodeId(i)), 0.0))
+            let readings: Vec<(Point, f64)> = (0..arena - 1)
+                .map(|i| {
+                    (
+                        w.net
+                            .topology()
+                            .position(pg_net::topology::NodeId(i as u32)),
+                        0.0,
+                    )
+                })
                 .collect();
             let reduced = reduction::reduce_readings(&readings, cell).len();
-            count_readings += reduced as f64 / REPS as f64;
-            bytes += reduction::wire_bytes(reduced) as f64 / REPS as f64;
+            count_readings += reduced as f64 / reps as f64;
+            bytes += reduction::wire_bytes(reduced) as f64 / reps as f64;
+        }
+        let key = format!("reduction.cell{cell}");
+        exp.set_scalar(format!("{key}.readings"), count_readings);
+        exp.set_scalar(format!("{key}.backhaul_bytes"), bytes);
+        if err.is_finite() {
+            exp.set_scalar(format!("{key}.rel_rmse"), err);
         }
         println!(
             "{cell:>7}  {:>9}  {:>11}  {:>9}",
@@ -144,4 +185,5 @@ fn main() {
          hardware); coarser reduction cells cut bytes while relative RMSE \
          climbs — the paper's accuracy knob."
     );
+    exp.finish()
 }

@@ -1,0 +1,142 @@
+//! **regress** — the CI regression gate: diff fresh experiment reports
+//! against the committed baselines.
+//!
+//! ```sh
+//! cargo run --release -p pg-bench --bin regress            # results/ vs baselines/
+//! cargo run --release -p pg-bench --bin regress -- \
+//!     --baselines baselines --results results --tolerance 1e-9
+//! ```
+//!
+//! For every `baselines/BENCH_<exp>.json` there must be a fresh
+//! `results/<exp>.json`; each pair is compared metric-by-metric with
+//! relative tolerances (see `pg_bench::regress`). Any drift, any metric
+//! missing from a fresh report, or any baseline without a fresh report
+//! exits non-zero with a human-readable drift table. Metrics present only
+//! in the fresh report warn (the baseline is stale but nothing regressed).
+
+use pg_bench::regress::{compare, drift_table, Tolerances};
+use pg_sim::report::Report;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: regress [--baselines DIR] [--results DIR] [--tolerance REL]\n\
+         \n  --baselines DIR   committed BENCH_*.json directory (default: baselines)\
+         \n  --results DIR     fresh report directory (default: results)\
+         \n  --tolerance REL   default relative tolerance (default: 1e-9)"
+    );
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let mut baselines = PathBuf::from("baselines");
+    let mut results = PathBuf::from("results");
+    let mut tol = Tolerances::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--baselines" => baselines = args.next().map(PathBuf::from).unwrap_or_else(|| usage()),
+            "--results" => results = args.next().map(PathBuf::from).unwrap_or_else(|| usage()),
+            "--tolerance" => {
+                let Some(v) = args.next().and_then(|s| s.parse::<f64>().ok()) else {
+                    usage()
+                };
+                tol.default_rel = v;
+            }
+            _ => usage(),
+        }
+    }
+
+    let mut baseline_files: Vec<PathBuf> = match std::fs::read_dir(&baselines) {
+        Ok(entries) => entries
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| {
+                p.file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+            })
+            .collect(),
+        Err(e) => {
+            eprintln!("regress: cannot read {}: {e}", baselines.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    baseline_files.sort();
+    if baseline_files.is_empty() {
+        eprintln!(
+            "regress: no BENCH_*.json baselines in {} — nothing to gate",
+            baselines.display()
+        );
+        return ExitCode::FAILURE;
+    }
+
+    let mut failures = 0usize;
+    let mut warnings = 0usize;
+    let mut compared = 0usize;
+    for base_path in &baseline_files {
+        let file_name = base_path.file_name().unwrap().to_str().unwrap();
+        let exp = file_name
+            .strip_prefix("BENCH_")
+            .and_then(|n| n.strip_suffix(".json"))
+            .unwrap();
+        let fresh_path = results.join(format!("{exp}.json"));
+        let baseline = match std::fs::read_to_string(base_path)
+            .map_err(|e| e.to_string())
+            .and_then(|t| Report::from_json(&t))
+        {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!(
+                    "FAIL {exp}: unreadable baseline {}: {e}",
+                    base_path.display()
+                );
+                failures += 1;
+                continue;
+            }
+        };
+        let fresh = match std::fs::read_to_string(&fresh_path)
+            .map_err(|e| e.to_string())
+            .and_then(|t| Report::from_json(&t))
+        {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!(
+                    "FAIL {exp}: missing or unreadable fresh report {}: {e}",
+                    fresh_path.display()
+                );
+                failures += 1;
+                continue;
+            }
+        };
+        let cmp = compare(&baseline, &fresh, &tol);
+        compared += cmp.matched;
+        for w in &cmp.warnings {
+            eprintln!("warn {exp}: {w}");
+        }
+        warnings += cmp.warnings.len();
+        if cmp.ok() {
+            println!("ok   {exp}: {} metrics within tolerance", cmp.matched);
+        } else {
+            failures += 1;
+            println!("FAIL {exp}: {} violation(s)", cmp.violations.len());
+            if !cmp.drifts.is_empty() {
+                print!("{}", drift_table(&cmp.drifts));
+            }
+            for v in cmp.violations.iter().filter(|v| !v.starts_with("drift:")) {
+                println!("  {v}");
+            }
+        }
+    }
+
+    println!(
+        "\nregress: {} baseline(s), {compared} metric(s) in tolerance, \
+         {warnings} warning(s), {failures} failing report(s)",
+        baseline_files.len()
+    );
+    if failures > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,181 @@
+//! Per-binary experiment plumbing: CLI flags, smoke scaling, and JSON
+//! report emission.
+//!
+//! Every `exp_*` binary wraps its run in an [`Experiment`]: the table output
+//! on stdout stays exactly as before (EXPERIMENTS.md is regenerated from
+//! it), and in addition every number that lands in a table row is recorded
+//! into a [`Report`] written to `results/<exp>.json`. The committed
+//! baselines under `baselines/` are diffed against those files by the
+//! `regress` binary, which is what turns the experiment suite into a CI
+//! regression gate.
+//!
+//! Flags understood by every binary:
+//!
+//! - `--smoke` — run a reduced sweep (fewer seeds, smaller worlds) sized
+//!   for CI; the report's `meta.mode` records which mode produced it so
+//!   smoke reports are never diffed against full baselines.
+//! - `--out DIR` — write the JSON report into `DIR` (default `results`,
+//!   or `$PG_RESULTS_DIR`).
+//!
+//! `PG_SMOKE=1` in the environment is equivalent to `--smoke`.
+//!
+//! Wall-clock timings are deliberately **never** recorded into reports
+//! (they stay on stdout): reports only carry simulation-deterministic
+//! quantities, which is what lets the regression gate run with near-zero
+//! tolerances.
+
+use pg_sim::metrics::Summary;
+use pg_sim::report::Report;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+/// One experiment run: mode flags plus the report being accumulated.
+pub struct Experiment {
+    report: Report,
+    smoke: bool,
+    out_dir: PathBuf,
+}
+
+impl Experiment {
+    /// Set up from the process CLI arguments (see module docs for flags).
+    ///
+    /// Exits the process with a usage message on unknown arguments — the
+    /// `exp_*` binaries take no other flags.
+    pub fn from_args(name: &str) -> Experiment {
+        let mut smoke = std::env::var("PG_SMOKE").is_ok_and(|v| v == "1");
+        let mut out_dir: Option<PathBuf> = std::env::var_os("PG_RESULTS_DIR").map(PathBuf::from);
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--smoke" => smoke = true,
+                "--out" => match args.next() {
+                    Some(dir) => out_dir = Some(PathBuf::from(dir)),
+                    None => {
+                        eprintln!("{name}: --out requires a directory argument");
+                        std::process::exit(2);
+                    }
+                },
+                other => {
+                    eprintln!("{name}: unknown argument {other:?}");
+                    eprintln!("usage: {name} [--smoke] [--out DIR]");
+                    std::process::exit(2);
+                }
+            }
+        }
+        let mut report = Report::new(name);
+        report.set_meta("mode", if smoke { "smoke" } else { "full" });
+        Experiment {
+            report,
+            smoke,
+            out_dir: out_dir.unwrap_or_else(|| PathBuf::from("results")),
+        }
+    }
+
+    /// True when running the reduced CI sweep.
+    pub fn smoke(&self) -> bool {
+        self.smoke
+    }
+
+    /// Pick the full-run or smoke-run value of a sweep parameter.
+    pub fn scale<T>(&self, full: T, smoke: T) -> T {
+        if self.smoke {
+            smoke
+        } else {
+            full
+        }
+    }
+
+    /// Record free-form metadata (sweep parameters, modal choices, …).
+    pub fn set_meta(&mut self, key: impl Into<String>, value: impl Into<String>) {
+        self.report.set_meta(key, value);
+    }
+
+    /// Record an integer metric.
+    pub fn set_counter(&mut self, key: impl Into<String>, value: u64) {
+        self.report.set_counter(key, value);
+    }
+
+    /// Record a single measured value.
+    pub fn set_scalar(&mut self, key: impl Into<String>, value: f64) {
+        self.report.set_scalar(key, value);
+    }
+
+    /// Record a cross-replication summary.
+    pub fn record_summary(&mut self, key: impl Into<String>, summary: &Summary) {
+        self.report.record_summary(key, summary);
+    }
+
+    /// Direct access to the underlying report.
+    pub fn report_mut(&mut self) -> &mut Report {
+        &mut self.report
+    }
+
+    /// Write `results/<name>.json` and finish the run.
+    ///
+    /// Returns a failing [`ExitCode`] (with a message on stderr) when the
+    /// report cannot be serialized or written, so a broken report fails CI
+    /// instead of silently producing a table with no JSON behind it.
+    #[must_use]
+    pub fn finish(self) -> ExitCode {
+        let path = self.out_dir.join(format!("{}.json", self.report.name));
+        let text = match self.report.to_json() {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("{}: report serialization failed: {e}", self.report.name);
+                return ExitCode::FAILURE;
+            }
+        };
+        if let Err(e) = std::fs::create_dir_all(&self.out_dir) {
+            eprintln!(
+                "{}: cannot create {}: {e}",
+                self.report.name,
+                self.out_dir.display()
+            );
+            return ExitCode::FAILURE;
+        }
+        if let Err(e) = std::fs::write(&path, text + "\n") {
+            eprintln!("{}: cannot write {}: {e}", self.report.name, path.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!("report: {}", path.display());
+        ExitCode::SUCCESS
+    }
+}
+
+/// Slugify a table label into a report key segment: lowercase alphanumerics
+/// with single underscores (`"in-network tree"` → `"in_network_tree"`).
+pub fn key_part(label: &str) -> String {
+    let mut out = String::with_capacity(label.len());
+    let mut last_sep = true;
+    for c in label.chars() {
+        if c.is_ascii_alphanumeric() {
+            out.push(c.to_ascii_lowercase());
+            last_sep = false;
+        } else if c == '.' {
+            // Dots separate report-path segments; keep caller-provided ones.
+            out.push('.');
+            last_sep = true;
+        } else if !last_sep {
+            out.push('_');
+            last_sep = true;
+        }
+    }
+    while out.ends_with('_') {
+        out.pop();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_part_slugifies() {
+        assert_eq!(key_part("in-network tree"), "in_network_tree");
+        assert_eq!(key_part("COST energy 0.005"), "cost_energy_0.005");
+        assert_eq!(key_part("Gossip { p: 0.7 }"), "gossip_p_0.7");
+        assert_eq!(key_part("plain"), "plain");
+        assert_eq!(key_part("  spaced  out  "), "spaced_out");
+    }
+}

@@ -1,0 +1,286 @@
+//! Baseline comparison for experiment reports: the logic behind the
+//! `regress` binary.
+//!
+//! A committed baseline `baselines/BENCH_<exp>.json` is diffed against a
+//! fresh `results/<exp>.json` metric by metric (the flattened numeric
+//! leaves of the report). The simulation is deterministic — seeded RNG,
+//! sequential reductions — so the default tolerance is tiny and exists only
+//! to absorb libm differences across platforms; per-metric overrides widen
+//! it where an experiment is legitimately noisier.
+
+use pg_sim::report::Report;
+
+/// Relative tolerance configuration.
+#[derive(Debug, Clone)]
+pub struct Tolerances {
+    /// Default relative tolerance for every metric.
+    pub default_rel: f64,
+    /// `(path prefix, rel)` overrides; the longest matching prefix wins.
+    pub overrides: Vec<(String, f64)>,
+    /// Values with magnitude below this floor are compared absolutely
+    /// (relative error is meaningless near zero).
+    pub abs_floor: f64,
+}
+
+impl Default for Tolerances {
+    fn default() -> Self {
+        Tolerances {
+            default_rel: 1e-9,
+            overrides: Vec::new(),
+            abs_floor: 1e-12,
+        }
+    }
+}
+
+impl Tolerances {
+    /// The relative tolerance applying to `path`.
+    pub fn rel_for(&self, path: &str) -> f64 {
+        self.overrides
+            .iter()
+            .filter(|(prefix, _)| path.starts_with(prefix.as_str()))
+            .max_by_key(|(prefix, _)| prefix.len())
+            .map(|&(_, rel)| rel)
+            .unwrap_or(self.default_rel)
+    }
+}
+
+/// One out-of-tolerance metric.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Drift {
+    /// Flattened metric path (`stats.<key>.mean`, `counters.<key>`, …).
+    pub path: String,
+    /// Committed baseline value.
+    pub baseline: f64,
+    /// Freshly measured value.
+    pub fresh: f64,
+    /// Measured relative error.
+    pub rel_err: f64,
+    /// Tolerance it violated.
+    pub tolerance: f64,
+}
+
+/// Result of diffing one fresh report against its baseline.
+#[derive(Debug, Clone, Default)]
+pub struct Comparison {
+    /// Hard failures: drifted metrics, metrics missing from the fresh
+    /// report, or a mode mismatch. Any entry fails the gate.
+    pub violations: Vec<String>,
+    /// Out-of-tolerance metrics (also mirrored into `violations`).
+    pub drifts: Vec<Drift>,
+    /// Soft findings: metrics present in the fresh report but absent from
+    /// the baseline (the baseline is stale but nothing regressed).
+    pub warnings: Vec<String>,
+    /// Number of metrics compared within tolerance.
+    pub matched: usize,
+}
+
+impl Comparison {
+    /// True when the gate passes for this report.
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Diff `fresh` against `baseline` under `tol`.
+///
+/// Fails on: mode mismatch (a smoke report diffed against a full baseline
+/// is a harness misconfiguration, not a regression), any baseline metric
+/// missing from the fresh report, and any metric outside tolerance. Metrics
+/// only present in the fresh report produce warnings — new instrumentation
+/// should not fail the gate, but the baseline wants refreshing.
+pub fn compare(baseline: &Report, fresh: &Report, tol: &Tolerances) -> Comparison {
+    let mut cmp = Comparison::default();
+    let base_mode = baseline.meta.get("mode");
+    let fresh_mode = fresh.meta.get("mode");
+    if base_mode != fresh_mode {
+        cmp.violations.push(format!(
+            "mode mismatch: baseline {:?} vs fresh {:?}",
+            base_mode.map(String::as_str).unwrap_or("?"),
+            fresh_mode.map(String::as_str).unwrap_or("?"),
+        ));
+        return cmp;
+    }
+    let fresh_flat: std::collections::BTreeMap<String, f64> = fresh.flatten().into_iter().collect();
+    let mut seen = std::collections::BTreeSet::new();
+    for (path, base_value) in baseline.flatten() {
+        seen.insert(path.clone());
+        let Some(&fresh_value) = fresh_flat.get(&path) else {
+            cmp.violations.push(format!("missing metric: {path}"));
+            continue;
+        };
+        let rel = tol.rel_for(&path);
+        let denom = base_value.abs().max(tol.abs_floor);
+        let rel_err = (fresh_value - base_value).abs() / denom;
+        if rel_err > rel {
+            cmp.violations.push(format!(
+                "drift: {path}: baseline {base_value} -> fresh {fresh_value} \
+                 (rel err {rel_err:.3e} > tol {rel:.1e})"
+            ));
+            cmp.drifts.push(Drift {
+                path,
+                baseline: base_value,
+                fresh: fresh_value,
+                rel_err,
+                tolerance: rel,
+            });
+        } else {
+            cmp.matched += 1;
+        }
+    }
+    for (path, _) in fresh.flatten() {
+        if !seen.contains(&path) {
+            cmp.warnings
+                .push(format!("extra metric (not in baseline): {path}"));
+        }
+    }
+    cmp
+}
+
+/// Render drifted metrics as an aligned human-readable table.
+pub fn drift_table(drifts: &[Drift]) -> String {
+    let mut out = String::new();
+    let width = drifts
+        .iter()
+        .map(|d| d.path.len())
+        .max()
+        .unwrap_or(6)
+        .max(6);
+    out.push_str(&format!(
+        "{:<width$}  {:>14}  {:>14}  {:>10}  {:>8}\n",
+        "metric", "baseline", "fresh", "rel err", "tol"
+    ));
+    for d in drifts {
+        out.push_str(&format!(
+            "{:<width$}  {:>14.6e}  {:>14.6e}  {:>10.3e}  {:>8.1e}\n",
+            d.path, d.baseline, d.fresh, d.rel_err, d.tolerance
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pg_sim::metrics::Summary;
+
+    fn report(name: &str, mode: &str, scalars: &[(&str, f64)]) -> Report {
+        let mut r = Report::new(name);
+        r.set_meta("mode", mode);
+        for &(k, v) in scalars {
+            r.set_scalar(k, v);
+        }
+        r
+    }
+
+    #[test]
+    fn identical_reports_pass() {
+        let a = report("e", "smoke", &[("x", 1.5), ("y", 0.0)]);
+        let cmp = compare(&a, &a.clone(), &Tolerances::default());
+        assert!(cmp.ok(), "{:?}", cmp.violations);
+        assert_eq!(cmp.matched, 2);
+        assert!(cmp.warnings.is_empty());
+    }
+
+    #[test]
+    fn within_tolerance_passes() {
+        let base = report("e", "smoke", &[("x", 100.0)]);
+        let fresh = report("e", "smoke", &[("x", 100.0 + 1e-8)]);
+        let tol = Tolerances {
+            default_rel: 1e-6,
+            ..Tolerances::default()
+        };
+        assert!(compare(&base, &fresh, &tol).ok());
+    }
+
+    #[test]
+    fn drift_fails_with_table() {
+        let base = report("e", "smoke", &[("x", 100.0)]);
+        let fresh = report("e", "smoke", &[("x", 101.0)]);
+        let cmp = compare(&base, &fresh, &Tolerances::default());
+        assert!(!cmp.ok());
+        assert_eq!(cmp.drifts.len(), 1);
+        let d = &cmp.drifts[0];
+        assert_eq!(d.path, "scalars.x");
+        assert!((d.rel_err - 0.01).abs() < 1e-12);
+        let table = drift_table(&cmp.drifts);
+        assert!(table.contains("scalars.x"), "table: {table}");
+        assert!(table.contains("baseline"), "table: {table}");
+    }
+
+    #[test]
+    fn missing_metric_fails() {
+        let base = report("e", "smoke", &[("x", 1.0), ("gone", 2.0)]);
+        let fresh = report("e", "smoke", &[("x", 1.0)]);
+        let cmp = compare(&base, &fresh, &Tolerances::default());
+        assert!(!cmp.ok());
+        assert!(
+            cmp.violations
+                .iter()
+                .any(|v| v.contains("missing metric: scalars.gone")),
+            "{:?}",
+            cmp.violations
+        );
+    }
+
+    #[test]
+    fn extra_metric_warns_but_passes() {
+        let base = report("e", "smoke", &[("x", 1.0)]);
+        let fresh = report("e", "smoke", &[("x", 1.0), ("new", 9.0)]);
+        let cmp = compare(&base, &fresh, &Tolerances::default());
+        assert!(cmp.ok(), "{:?}", cmp.violations);
+        assert!(
+            cmp.warnings.iter().any(|w| w.contains("scalars.new")),
+            "{:?}",
+            cmp.warnings
+        );
+    }
+
+    #[test]
+    fn mode_mismatch_fails_fast() {
+        let base = report("e", "full", &[("x", 1.0)]);
+        let fresh = report("e", "smoke", &[("x", 1.0)]);
+        let cmp = compare(&base, &fresh, &Tolerances::default());
+        assert!(!cmp.ok());
+        assert!(cmp.violations[0].contains("mode mismatch"));
+    }
+
+    #[test]
+    fn near_zero_values_compare_absolutely() {
+        // 0 vs 1e-15: relative error undefined; abs_floor keeps it passing.
+        let base = report("e", "smoke", &[("z", 0.0)]);
+        let fresh = report("e", "smoke", &[("z", 1e-15)]);
+        let tol = Tolerances {
+            default_rel: 1e-2,
+            ..Tolerances::default()
+        };
+        assert!(compare(&base, &fresh, &tol).ok());
+    }
+
+    #[test]
+    fn longest_prefix_override_wins() {
+        let tol = Tolerances {
+            default_rel: 1e-9,
+            overrides: vec![("stats.".into(), 1e-6), ("stats.latency".into(), 1e-2)],
+            ..Tolerances::default()
+        };
+        assert_eq!(tol.rel_for("counters.tx"), 1e-9);
+        assert_eq!(tol.rel_for("stats.energy.mean"), 1e-6);
+        assert_eq!(tol.rel_for("stats.latency_s.mean"), 1e-2);
+    }
+
+    #[test]
+    fn summary_stats_are_compared_per_field() {
+        let mut s = Summary::new();
+        s.record(1.0);
+        s.record(3.0);
+        let mut base = Report::new("e");
+        base.set_meta("mode", "smoke");
+        base.record_summary("m", &s);
+        let mut drifted = base.clone();
+        drifted.stats.get_mut("m").unwrap().max = 4.0;
+        let cmp = compare(&base, &drifted, &Tolerances::default());
+        assert!(!cmp.ok());
+        assert_eq!(cmp.drifts.len(), 1);
+        assert_eq!(cmp.drifts[0].path, "stats.m.max");
+    }
+}

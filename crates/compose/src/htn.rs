@@ -132,9 +132,7 @@ impl MethodLibrary {
                                 // Wire upstream edges into the expansion's
                                 // entry steps (those with no deps inside it).
                                 for s in steps[entry_mark..].iter_mut() {
-                                    if s.deps.iter().all(|&d| d < entry_mark)
-                                        && s.deps.is_empty()
-                                    {
+                                    if s.deps.iter().all(|&d| d < entry_mark) && s.deps.is_empty() {
                                         s.deps = upstream.clone();
                                     }
                                 }

@@ -85,11 +85,7 @@ impl ServiceWorld {
     }
 
     /// Register a service with an availability schedule.
-    pub fn add_service(
-        &mut self,
-        desc: ServiceDescription,
-        schedule: ChurnSchedule,
-    ) -> ServiceId {
+    pub fn add_service(&mut self, desc: ServiceDescription, schedule: ChurnSchedule) -> ServiceId {
         let id = self.registry.register(desc);
         self.churn.insert(id, schedule);
         id
@@ -102,9 +98,7 @@ impl ServiceWorld {
 
     /// Does `id` stay up throughout `[t, t + span]`?
     pub fn up_throughout(&self, id: ServiceId, t: SimTime, span: Duration) -> bool {
-        self.churn
-            .get(&id)
-            .is_none_or(|s| s.up_throughout(t, span))
+        self.churn.get(&id).is_none_or(|s| s.up_throughout(t, span))
     }
 
     /// Ranked candidate ids for a role request (ignoring availability —
@@ -380,7 +374,13 @@ mod tests {
                 ChurnSchedule::always_up(),
             );
         }
-        let r = execute(&w, &o, &plan(), ManagerKind::DistributedReactive, SimTime::ZERO);
+        let r = execute(
+            &w,
+            &o,
+            &plan(),
+            ManagerKind::DistributedReactive,
+            SimTime::ZERO,
+        );
         assert!(r.success, "optional failure must not fail the composite");
         assert!((r.utility - 0.7).abs() < 1e-12);
     }
@@ -389,17 +389,36 @@ mod tests {
     fn missing_required_service_fails_and_skips_dependents() {
         let o = onto();
         let mut w = ServiceWorld::new();
-        for class in ["TemperatureSensor", "MapService", "WeatherService", "DisplayService"] {
+        for class in [
+            "TemperatureSensor",
+            "MapService",
+            "WeatherService",
+            "DisplayService",
+        ] {
             // no PdeSolverService
             w.add_service(
                 ServiceDescription::new(format!("{class}-1"), o.class(class).unwrap()),
                 ChurnSchedule::always_up(),
             );
         }
-        let r = execute(&w, &o, &plan(), ManagerKind::DistributedReactive, SimTime::ZERO);
+        let r = execute(
+            &w,
+            &o,
+            &plan(),
+            ManagerKind::DistributedReactive,
+            SimTime::ZERO,
+        );
         assert!(!r.success);
-        let solve = plan().steps.iter().position(|s| s.role.name == "solve-pde").unwrap();
-        let render = plan().steps.iter().position(|s| s.role.name == "render").unwrap();
+        let solve = plan()
+            .steps
+            .iter()
+            .position(|s| s.role.name == "solve-pde")
+            .unwrap();
+        let render = plan()
+            .steps
+            .iter()
+            .position(|s| s.role.name == "render")
+            .unwrap();
         assert_eq!(r.outcomes[solve], StepOutcome::Failed);
         assert_eq!(r.outcomes[render], StepOutcome::Skipped);
         assert!(r.utility < 1.0);
@@ -421,7 +440,13 @@ mod tests {
         for (_, d) in w.registry.iter() {
             w2.add_service(d.clone(), ChurnSchedule::always_up());
         }
-        let r = execute(&w2, &o, &plan(), ManagerKind::DistributedReactive, SimTime::ZERO);
+        let r = execute(
+            &w2,
+            &o,
+            &plan(),
+            ManagerKind::DistributedReactive,
+            SimTime::ZERO,
+        );
         assert!(r.success);
         assert!(r.rebinds >= 1, "must have rebound past the dead sensor");
         let collect = plan()
@@ -438,7 +463,13 @@ mod tests {
         let o = onto();
         let w = healthy_world(&o);
         let c = execute(&w, &o, &plan(), ManagerKind::Centralized, SimTime::ZERO);
-        let d = execute(&w, &o, &plan(), ManagerKind::DistributedReactive, SimTime::ZERO);
+        let d = execute(
+            &w,
+            &o,
+            &plan(),
+            ManagerKind::DistributedReactive,
+            SimTime::ZERO,
+        );
         assert!(c.success && d.success);
         // central_rtt (80 ms) > discovery_time (50 ms) per step on the
         // critical path, so the centralized run is slower even when
@@ -453,14 +484,23 @@ mod tests {
         // The central manager is down until t = 30 s.
         w.center_churn = ChurnSchedule::from_toggles(false, vec![SimTime::from_secs(30)]);
         let c = execute(&w, &o, &plan(), ManagerKind::Centralized, SimTime::ZERO);
-        let d = execute(&w, &o, &plan(), ManagerKind::DistributedReactive, SimTime::ZERO);
+        let d = execute(
+            &w,
+            &o,
+            &plan(),
+            ManagerKind::DistributedReactive,
+            SimTime::ZERO,
+        );
         assert!(c.success && d.success);
         assert!(
             c.latency >= Duration::from_secs(30),
             "centralized must wait out the center outage: {}",
             c.latency
         );
-        assert!(d.latency < Duration::from_secs(30), "distributed unaffected");
+        assert!(
+            d.latency < Duration::from_secs(30),
+            "distributed unaffected"
+        );
     }
 
     #[test]
@@ -471,7 +511,16 @@ mod tests {
         let c = execute(&w, &o, &plan(), ManagerKind::Centralized, SimTime::ZERO);
         assert!(!c.success);
         assert_eq!(c.utility, 0.0);
-        let d = execute(&w, &o, &plan(), ManagerKind::DistributedReactive, SimTime::ZERO);
-        assert!(d.success, "no single point of failure in the distributed case");
+        let d = execute(
+            &w,
+            &o,
+            &plan(),
+            ManagerKind::DistributedReactive,
+            SimTime::ZERO,
+        );
+        assert!(
+            d.success,
+            "no single point of failure in the distributed case"
+        );
     }
 }

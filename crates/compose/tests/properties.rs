@@ -22,7 +22,11 @@ fn arb_library() -> impl Strategy<Value = MethodLibrary> {
     .prop_map(move |methods| {
         let mut lib = MethodLibrary::new();
         for (mi, nodes) in methods.iter().enumerate() {
-            let task = if mi == 0 { "root".to_string() } else { format!("t{mi}") };
+            let task = if mi == 0 {
+                "root".to_string()
+            } else {
+                format!("t{mi}")
+            };
             let nodes: Vec<TaskNode> = nodes
                 .iter()
                 .enumerate()

@@ -52,6 +52,8 @@ mod tests {
         assert!(e.to_string().contains("parse"));
         let e: PgError = ExecError::UnknownSensor(9).into();
         assert!(e.to_string().contains("sensor #9"));
-        assert!(PgError::CostBoundsUnsatisfiable.to_string().contains("COST"));
+        assert!(PgError::CostBoundsUnsatisfiable
+            .to_string()
+            .contains("COST"));
     }
 }

@@ -204,9 +204,13 @@ impl PervasiveGrid {
             if let (Some(target), Some(proxy)) = (query.target_sensor(), self.proxy.as_mut()) {
                 let node = pg_net::topology::NodeId(target);
                 if (target as usize) < self.net.len() && node != self.net.base() {
-                    if let Some(read) =
-                        proxy.read(&mut self.net, &self.field, node, self.now, &mut self.exec_rng)
-                    {
+                    if let Some(read) = proxy.read(
+                        &mut self.net,
+                        &self.field,
+                        node,
+                        self.now,
+                        &mut self.exec_rng,
+                    ) {
                         return Ok(QueryResponse {
                             value: Some(read.value),
                             kind,
@@ -305,7 +309,9 @@ mod tests {
     #[test]
     fn simple_query_round_trips() {
         let mut pg = runtime();
-        let r = pg.submit("SELECT temp FROM sensors WHERE sensor_id = 12").unwrap();
+        let r = pg
+            .submit("SELECT temp FROM sensors WHERE sensor_id = 12")
+            .unwrap();
         assert_eq!(r.kind, QueryKind::Simple);
         assert!(r.value.is_some());
         assert!(r.cost.energy_j > 0.0);
@@ -350,10 +356,18 @@ mod tests {
     #[test]
     fn ignite_heats_subsequent_answers() {
         let mut pg = runtime();
-        let cold = pg.submit("SELECT MAX(temp) FROM sensors").unwrap().value.unwrap();
+        let cold = pg
+            .submit("SELECT MAX(temp) FROM sensors")
+            .unwrap()
+            .value
+            .unwrap();
         pg.ignite(Point::flat(10.0, 10.0), 400.0);
         pg.advance(Duration::from_secs(600));
-        let hot = pg.submit("SELECT MAX(temp) FROM sensors").unwrap().value.unwrap();
+        let hot = pg
+            .submit("SELECT MAX(temp) FROM sensors")
+            .unwrap()
+            .value
+            .unwrap();
         assert!(hot > cold + 100.0, "fire must show: {cold} -> {hot}");
     }
 
@@ -361,12 +375,16 @@ mod tests {
     fn proxy_serves_repeated_simple_reads_for_free() {
         let mut pg = runtime();
         pg.enable_proxy(Duration::from_secs(30));
-        let first = pg.submit("SELECT temp FROM sensors WHERE sensor_id = 12").unwrap();
+        let first = pg
+            .submit("SELECT temp FROM sensors WHERE sensor_id = 12")
+            .unwrap();
         assert!(first.cost.energy_j > 0.0, "first read touches the sensor");
         let after_first = pg.energy_consumed();
         // Nine more reads inside the TTL: all cache hits, zero energy.
         for _ in 0..9 {
-            let r = pg.submit("SELECT temp FROM sensors WHERE sensor_id = 12").unwrap();
+            let r = pg
+                .submit("SELECT temp FROM sensors WHERE sensor_id = 12")
+                .unwrap();
             assert_eq!(r.cost.energy_j, 0.0);
             assert_eq!(r.value, first.value);
         }
@@ -376,7 +394,9 @@ mod tests {
         assert_eq!(proxy.hits, 9);
         // Past the TTL the sensor is touched again.
         pg.advance(Duration::from_secs(60));
-        let fresh = pg.submit("SELECT temp FROM sensors WHERE sensor_id = 12").unwrap();
+        let fresh = pg
+            .submit("SELECT temp FROM sensors WHERE sensor_id = 12")
+            .unwrap();
         assert!(fresh.cost.energy_j > 0.0);
     }
 

@@ -148,11 +148,7 @@ impl BrokerFederation {
             .collect();
 
         let visited = order.len();
-        let farthest = order
-            .iter()
-            .filter_map(|&b| dist[b])
-            .max()
-            .unwrap_or(0);
+        let farthest = order.iter().filter_map(|&b| dist[b]).max().unwrap_or(0);
         // Each visited non-origin broker costs a forward + a return message.
         let messages = 2 * (visited as u64 - 1);
         let stats = QueryStats {

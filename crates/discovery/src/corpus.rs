@@ -30,7 +30,9 @@ pub fn printer_corpus<R: Rng>(onto: &Ontology, n: usize, rng: &mut R) -> Printer
     let color_class = onto
         .class("ColorPrinterService")
         .expect("standard ontology");
-    let laser_class = onto.class("LaserPrinterService").expect("standard ontology");
+    let laser_class = onto
+        .class("LaserPrinterService")
+        .expect("standard ontology");
     let cost_cap = 0.30;
     let mut services = Vec::with_capacity(n);
     let mut relevant = Vec::new();

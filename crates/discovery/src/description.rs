@@ -118,20 +118,22 @@ impl Constraint {
     pub fn satisfied_by(&self, svc: &ServiceDescription) -> bool {
         match self {
             Constraint::Eq(k, v) => svc.prop(k) == Some(v),
-            Constraint::Le(k, bound) => {
-                svc.prop(k).and_then(Value::as_num).is_some_and(|x| x <= *bound)
-            }
-            Constraint::Ge(k, bound) => {
-                svc.prop(k).and_then(Value::as_num).is_some_and(|x| x >= *bound)
-            }
+            Constraint::Le(k, bound) => svc
+                .prop(k)
+                .and_then(Value::as_num)
+                .is_some_and(|x| x <= *bound),
+            Constraint::Ge(k, bound) => svc
+                .prop(k)
+                .and_then(Value::as_num)
+                .is_some_and(|x| x >= *bound),
             Constraint::Range(k, lo, hi) => svc
                 .prop(k)
                 .and_then(Value::as_num)
                 .is_some_and(|x| x >= *lo && x <= *hi),
             Constraint::Has(k) => svc.prop(k).is_some(),
-            Constraint::Within(p, radius) => svc
-                .location
-                .is_some_and(|loc| loc.distance(p) <= *radius),
+            Constraint::Within(p, radius) => {
+                svc.location.is_some_and(|loc| loc.distance(p) <= *radius)
+            }
         }
     }
 }

@@ -117,10 +117,11 @@ pub fn rank(
                 .map(|&(i, _, _)| pref_raw(p, &services[i]))
                 .collect();
             let known: Vec<f64> = raws.iter().flatten().copied().collect();
-            let (lo, hi) = known.iter().fold(
-                (f64::INFINITY, f64::NEG_INFINITY),
-                |(lo, hi), &x| (lo.min(x), hi.max(x)),
-            );
+            let (lo, hi) = known
+                .iter()
+                .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &x| {
+                    (lo.min(x), hi.max(x))
+                });
             for (j, raw) in raws.iter().enumerate() {
                 let s = match raw {
                     None => 0.0, // lacks the property: worst
@@ -290,8 +291,7 @@ mod tests {
         let o = onto();
         let printer = o.class("PrinterService").unwrap();
         let svcs = vec![
-            ServiceDescription::new("no-loc", printer)
-                .with_prop("queue_length", Value::Num(0.0)),
+            ServiceDescription::new("no-loc", printer).with_prop("queue_length", Value::Num(0.0)),
             ServiceDescription::new("has-loc", printer)
                 .with_prop("queue_length", Value::Num(9.0))
                 .with_location(Point::flat(1.0, 1.0)),

@@ -76,8 +76,7 @@ impl Registry {
 
     /// Is `id` visible at instant `now` (registered and lease unexpired)?
     pub fn is_live_at(&self, id: ServiceId, now: SimTime) -> bool {
-        self.services.contains_key(&id)
-            && self.leases.get(&id).is_none_or(|&until| now < until)
+        self.services.contains_key(&id) && self.leases.get(&id).is_none_or(|&until| now < until)
     }
 
     /// Drop every registration whose lease expired by `now`; returns how
@@ -146,7 +145,10 @@ impl Registry {
         }
         matcher::rank(onto, request, &descs)
             .into_iter()
-            .map(|m| Hit { id: ids[m.index], m })
+            .map(|m| Hit {
+                id: ids[m.index],
+                m,
+            })
             .collect()
     }
 }
@@ -161,12 +163,10 @@ mod tests {
         let onto = Ontology::pervasive_grid();
         let temp = onto.class("TemperatureSensor").unwrap();
         let mut reg = Registry::new();
-        let a = reg.register(
-            ServiceDescription::new("s1", temp).with_prop("rate_hz", Value::Num(1.0)),
-        );
-        let b = reg.register(
-            ServiceDescription::new("s2", temp).with_prop("rate_hz", Value::Num(10.0)),
-        );
+        let a =
+            reg.register(ServiceDescription::new("s1", temp).with_prop("rate_hz", Value::Num(1.0)));
+        let b = reg
+            .register(ServiceDescription::new("s2", temp).with_prop("rate_hz", Value::Num(10.0)));
         assert_eq!(reg.len(), 2);
 
         let req = ServiceRequest::for_class(temp);

@@ -76,12 +76,7 @@ impl Field3 {
     /// Is `(x, y, z)` on the outer boundary of the box?
     #[inline]
     pub fn on_boundary(&self, x: usize, y: usize, z: usize) -> bool {
-        x == 0
-            || y == 0
-            || z == 0
-            || x == self.nx - 1
-            || y == self.ny - 1
-            || z == self.nz - 1
+        x == 0 || y == 0 || z == 0 || x == self.nx - 1 || y == self.ny - 1 || z == self.nz - 1
     }
 
     /// Borrow the raw data.

@@ -70,8 +70,7 @@ impl Stump {
             accuracy: -1.0,
         };
         for f in 0..d {
-            let agree = batch.iter().filter(|e| e.x[f] == e.y).count() as f64
-                / batch.len() as f64;
+            let agree = batch.iter().filter(|e| e.x[f] == e.y).count() as f64 / batch.len() as f64;
             for (sign, acc) in [(1.0, agree), (-1.0, 1.0 - agree)] {
                 if acc > best.accuracy {
                     best = Stump {

@@ -172,7 +172,7 @@ impl Problem {
         let free = self.free_cells() as u64;
         let per_cell = match solver {
             Solver::Jacobi | Solver::RedBlackGaussSeidel => 8,
-            Solver::Sor { .. } => 10, // stencil + relaxation blend
+            Solver::Sor { .. } => 10,        // stencil + relaxation blend
             Solver::ConjugateGradient => 22, // stencil + 2 dots + 3 axpys
         };
         free * per_cell * iters as u64
@@ -557,8 +557,16 @@ mod tests {
         let (fj, _) = p.solve(Solver::Jacobi, 1e-7, 6_000);
         let (fg, _) = p.solve(Solver::RedBlackGaussSeidel, 1e-7, 6_000);
         let (fc, _) = p.solve(Solver::ConjugateGradient, 1e-7, 6_000);
-        assert!(fj.max_abs_diff(&fg) < 1e-3, "J vs RBGS: {}", fj.max_abs_diff(&fg));
-        assert!(fj.max_abs_diff(&fc) < 1e-3, "J vs CG: {}", fj.max_abs_diff(&fc));
+        assert!(
+            fj.max_abs_diff(&fg) < 1e-3,
+            "J vs RBGS: {}",
+            fj.max_abs_diff(&fg)
+        );
+        assert!(
+            fj.max_abs_diff(&fc) < 1e-3,
+            "J vs CG: {}",
+            fj.max_abs_diff(&fc)
+        );
         // Maximum principle: hottest point is the pinned sensor cell.
         assert_eq!(fc.get(6, 6, 6), 300.0);
         assert!(fc.get(7, 6, 6) < 300.0 && fc.get(7, 6, 6) > 20.0);
@@ -614,7 +622,11 @@ mod tests {
         let (fs, ss) = p.solve(Solver::Sor { omega_x100: 185 }, 1e-7, 20_000);
         let (fc, sc) = p.solve(Solver::ConjugateGradient, 1e-7, 20_000);
         assert!(ss.converged && sc.converged);
-        assert!(fs.max_abs_diff(&fc) < 1e-3, "SOR vs CG: {}", fs.max_abs_diff(&fc));
+        assert!(
+            fs.max_abs_diff(&fc) < 1e-3,
+            "SOR vs CG: {}",
+            fs.max_abs_diff(&fc)
+        );
     }
 
     #[test]

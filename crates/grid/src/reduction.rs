@@ -40,10 +40,7 @@ pub fn reduce_readings(readings: &[Reading], cell: f64) -> Vec<Reading> {
     bins.into_values()
         .map(|(sum_p, sum_v, n)| {
             let n = n as f64;
-            (
-                Point::new(sum_p.x / n, sum_p.y / n, sum_p.z / n),
-                sum_v / n,
-            )
+            (Point::new(sum_p.x / n, sum_p.y / n, sum_p.z / n), sum_v / n)
         })
         .collect()
 }
@@ -101,10 +98,7 @@ mod tests {
 
     #[test]
     fn centroid_lies_inside_bin() {
-        let rs = vec![
-            (Point::flat(0.1, 0.1), 1.0),
-            (Point::flat(0.9, 0.9), 3.0),
-        ];
+        let rs = vec![(Point::flat(0.1, 0.1), 1.0), (Point::flat(0.9, 0.9), 3.0)];
         let r = reduce_readings(&rs, 1.0);
         assert_eq!(r.len(), 1);
         assert!((r[0].0.x - 0.5).abs() < 1e-12);

@@ -136,7 +136,11 @@ impl GridCluster {
                 .iter()
                 .enumerate()
                 .map(|(i, &free)| {
-                    let start = if free > upload_done { free } else { upload_done };
+                    let start = if free > upload_done {
+                        free
+                    } else {
+                        upload_done
+                    };
                     (i, start + self.nodes[i].compute_time(job.ops))
                 })
                 .min_by_key(|&(_, f)| f)
@@ -187,9 +191,8 @@ mod tests {
         let c = GridCluster::campus();
         let j = job("j", 50_000_000_000); // 1 s on the 50 GF head
         let t = c.single_job_time(&j);
-        let expect = c.backhaul().tx_time(1_000)
-            + Duration::from_secs(1)
-            + c.backhaul().tx_time(100);
+        let expect =
+            c.backhaul().tx_time(1_000) + Duration::from_secs(1) + c.backhaul().tx_time(100);
         assert_eq!(t, expect);
     }
 
@@ -202,7 +205,9 @@ mod tests {
             GridNode::new("c", 1e9),
         ];
         let c = GridCluster::new(nodes, LinkModel::wired_backhaul());
-        let jobs: Vec<Job> = (0..3).map(|i| job(&format!("j{i}"), 2_000_000_000)).collect();
+        let jobs: Vec<Job> = (0..3)
+            .map(|i| job(&format!("j{i}"), 2_000_000_000))
+            .collect();
         let (placements, makespan) = c.schedule(&jobs);
         // All three nodes used.
         let mut used: Vec<usize> = placements.iter().map(|p| p.node).collect();
@@ -240,7 +245,9 @@ mod tests {
     #[test]
     fn makespan_bounds_every_placement() {
         let c = GridCluster::campus();
-        let jobs: Vec<Job> = (0..10).map(|i| job(&format!("j{i}"), 1_000_000_000)).collect();
+        let jobs: Vec<Job> = (0..10)
+            .map(|i| job(&format!("j{i}"), 1_000_000_000))
+            .collect();
         let (p, makespan) = c.schedule(&jobs);
         assert!(p.iter().all(|x| x.done <= makespan));
         assert!(p.iter().all(|x| x.start < x.done));

@@ -126,10 +126,7 @@ impl World {
     }
 
     fn backoff(&mut self, attempts: u32) -> Duration {
-        let window = self
-            .mac
-            .backoff_base
-            .mul(1u64 << attempts.min(6));
+        let window = self.mac.backoff_base.mul(1u64 << attempts.min(6));
         Duration::from_nanos(self.rng.gen_range(0..window.as_nanos().max(1)))
     }
 }
@@ -353,12 +350,20 @@ mod tests {
     fn multi_hop_sums_airtimes_when_uncontended() {
         let topo = line(4);
         let mut sim = PacketSim::new(topo, RadioModel::mote(), mac(), 2);
-        sim.inject(1, 50, vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)], SimTime::ZERO);
+        sim.inject(
+            1,
+            50,
+            vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)],
+            SimTime::ZERO,
+        );
         let r = sim.run();
         assert_eq!(r.delivered.len(), 1);
         // NB: hop k+1's carrier sense hears hop k's sender? Node 1 starts
         // right when node 0 finished — channel idle — so total = 3 frames.
-        assert_eq!(r.delivered[0].at, SimTime::ZERO + mac().frame_time(50).mul(3));
+        assert_eq!(
+            r.delivered[0].at,
+            SimTime::ZERO + mac().frame_time(50).mul(3)
+        );
         assert_eq!(r.metrics.counter("mac.attempts"), 3);
     }
 

@@ -57,12 +57,7 @@ impl Dissemination {
 
 /// Flood `packet` from `src`: every node that first receives it rebroadcasts
 /// once. Each link crossing is subject to the link's loss probability.
-pub fn flood<R: Rng>(
-    topo: &Topology,
-    src: NodeId,
-    link: &LinkModel,
-    rng: &mut R,
-) -> Dissemination {
+pub fn flood<R: Rng>(topo: &Topology, src: NodeId, link: &LinkModel, rng: &mut R) -> Dissemination {
     disseminate(topo, src, link, rng, |_| true)
 }
 

@@ -87,7 +87,9 @@ impl Topology {
     /// A regular `cols × rows` grid with `spacing` metres between neighbours.
     pub fn grid(cols: usize, rows: usize, spacing: f64, range: f64) -> Self {
         let positions = (0..rows)
-            .flat_map(|r| (0..cols).map(move |c| Point::flat(c as f64 * spacing, r as f64 * spacing)))
+            .flat_map(|r| {
+                (0..cols).map(move |c| Point::flat(c as f64 * spacing, r as f64 * spacing))
+            })
             .collect();
         Topology::from_positions(positions, range)
     }
@@ -386,7 +388,7 @@ mod tests {
         assert_eq!(tree.parent[0], Some(NodeId(1)));
         assert_eq!(tree.parent[1], Some(NodeId(2)));
         assert_eq!(tree.parent[2], None);
-        assert_eq!(tree.children[2 ], vec![NodeId(1), NodeId(3)]);
+        assert_eq!(tree.children[2], vec![NodeId(1), NodeId(3)]);
         let order = tree.bottom_up_order();
         // Deepest nodes (0 and 4, depth 2) come before depth-1 before root.
         assert_eq!(tree.depth[order[0].idx()], Some(2));

@@ -132,9 +132,7 @@ impl DecisionMaker {
             Policy::Random => {
                 let feasible: Vec<SolutionModel> = candidates
                     .into_iter()
-                    .filter(|m| {
-                        within_bounds(query, &self.predict(net, grid, features, m), None)
-                    })
+                    .filter(|m| within_bounds(query, &self.predict(net, grid, features, m), None))
                     .collect();
                 if feasible.is_empty() {
                     return Err(NoFeasibleModel);
@@ -195,20 +193,17 @@ impl DecisionMaker {
         actual: CostVector,
     ) {
         let predicted = self.predict(net, grid, &features, &model);
-        self.calibration
-            .push((self.weights.scalar(&predicted), self.weights.scalar(&actual)));
+        self.calibration.push((
+            self.weights.scalar(&predicted),
+            self.weights.scalar(&actual),
+        ));
         self.knn.record(features, model, actual);
     }
 
     /// Mean relative calibration error over the last `window` recordings —
     /// drops as the learner absorbs actuals.
     pub fn calibration_error(&self, window: usize) -> f64 {
-        let tail: Vec<&(f64, f64)> = self
-            .calibration
-            .iter()
-            .rev()
-            .take(window.max(1))
-            .collect();
+        let tail: Vec<&(f64, f64)> = self.calibration.iter().rev().take(window.max(1)).collect();
         if tail.is_empty() {
             return 0.0;
         }
@@ -278,7 +273,12 @@ mod tests {
     use pg_query::parse;
     use pg_sim::Duration;
 
-    fn world() -> (SensorNetwork, GridCluster, TemperatureField, BTreeMap<String, Region>) {
+    fn world() -> (
+        SensorNetwork,
+        GridCluster,
+        TemperatureField,
+        BTreeMap<String, Region>,
+    ) {
         let topo = Topology::grid(6, 6, 10.0, 11.0);
         let mut net = SensorNetwork::new(
             topo,
@@ -334,7 +334,7 @@ mod tests {
         let f = features(&mut net, &grid, &field, &regions, &q);
         let mut dm = DecisionMaker::new(Policy::Adaptive, 2);
         dm.epsilon = 0.0; // pure exploitation for determinism
-        // Teach it that BaseStation is catastrophically expensive here.
+                          // Teach it that BaseStation is catastrophically expensive here.
         let awful = CostVector {
             energy_j: 100.0,
             time_s: 1_000.0,

@@ -118,8 +118,7 @@ pub fn estimate(
 
     // Continuous queries pay idle listening per epoch.
     if features.continuous && features.epoch_s > 0.0 {
-        c.energy_j +=
-            radio.idle_energy(features.epoch_s) * (features.network_size as f64 - 1.0);
+        c.energy_j += radio.idle_energy(features.epoch_s) * (features.network_size as f64 - 1.0);
     }
     c
 }
@@ -172,11 +171,18 @@ mod tests {
             &n,
             &g,
             &f,
-            &SolutionModel::GridOffload { reduction_cell_m: 0.0 },
+            &SolutionModel::GridOffload {
+                reduction_cell_m: 0.0,
+            },
         );
         let base = estimate(&n, &g, &f, &SolutionModel::BaseStation);
         let innet = estimate(&n, &g, &f, &SolutionModel::InNetworkTree);
-        assert!(grid.time_s < base.time_s, "{} !< {}", grid.time_s, base.time_s);
+        assert!(
+            grid.time_s < base.time_s,
+            "{} !< {}",
+            grid.time_s,
+            base.time_s
+        );
         assert!(base.time_s < innet.time_s);
         assert!(grid.energy_j < innet.energy_j);
     }

@@ -17,8 +17,7 @@ use pg_query::classify::{classify, inner_kind, QueryKind};
 use pg_sensornet::aggregate::{AggFn, Partial, ValueFilter, ValueOp, READING_WIRE_BYTES};
 use pg_sensornet::cluster::{cluster_collection_filtered, cluster_summaries};
 use pg_sensornet::collect::{
-    direct_collection_filtered, direct_collection_raw, tree_aggregation_filtered,
-    CollectionReport,
+    direct_collection_filtered, direct_collection_raw, tree_aggregation_filtered, CollectionReport,
 };
 use pg_sensornet::field::TemperatureField;
 use pg_sensornet::network::SensorNetwork;
@@ -197,21 +196,19 @@ fn exec_simple<R: Rng>(
     let (report, raw) =
         direct_collection_raw(ctx.net, &members, ctx.field, ctx.now, AggFn::Avg, rng);
     let mut cost = report_cost(&report);
-    if matches!(model, SolutionModel::GridOffload { .. } | SolutionModel::Hybrid { .. }) {
+    if matches!(
+        model,
+        SolutionModel::GridOffload { .. } | SolutionModel::Hybrid { .. }
+    ) {
         // For a single reading there is nothing to summarize in-network:
         // Hybrid degenerates to grid offload with one record.
         let bh = ctx.grid.backhaul();
-        cost.time_s +=
-            (bh.tx_time(READING_WIRE_BYTES) + bh.tx_time(RESULT_BYTES)).as_secs_f64();
+        cost.time_s += (bh.tx_time(READING_WIRE_BYTES) + bh.tx_time(RESULT_BYTES)).as_secs_f64();
         cost.bytes += (READING_WIRE_BYTES + RESULT_BYTES) as f64;
     }
     let value = raw.first().map(|&(_, v)| v);
-    let accuracy_err = value.map(|v| {
-        rel_err(
-            v,
-            ctx.net.ground_truth(members[0], ctx.field, ctx.now),
-        )
-    });
+    let accuracy_err =
+        value.map(|v| rel_err(v, ctx.net.ground_truth(members[0], ctx.field, ctx.now)));
     Ok(Outcome {
         value,
         cost,
@@ -232,9 +229,9 @@ fn exec_aggregate<R: Rng>(
     // (TAG-style): failing readings never transmit.
     let filter = value_filter(query);
     let report = match model {
-        SolutionModel::InNetworkTree => tree_aggregation_filtered(
-            ctx.net, &members, ctx.field, ctx.now, agg, &filter, rng,
-        ),
+        SolutionModel::InNetworkTree => {
+            tree_aggregation_filtered(ctx.net, &members, ctx.field, ctx.now, agg, &filter, rng)
+        }
         // For decomposable aggregates the Hybrid's in-network half already
         // produces the answer: it IS cluster collection.
         SolutionModel::InNetworkCluster { heads } | SolutionModel::Hybrid { heads } => {
@@ -243,10 +240,7 @@ fn exec_aggregate<R: Rng>(
             )
         }
         SolutionModel::BaseStation | SolutionModel::GridOffload { .. } => {
-            direct_collection_filtered(
-                ctx.net, &members, ctx.field, ctx.now, agg, &filter, rng,
-            )
-            .0
+            direct_collection_filtered(ctx.net, &members, ctx.field, ctx.now, agg, &filter, rng).0
         }
     };
     let mut cost = report_cost(&report);
@@ -319,20 +313,19 @@ fn exec_complex<R: Rng>(
     // most placements start with a direct raw collection. The Hybrid
     // placement instead reduces in-network — cluster heads ship one
     // (centroid, mean) summary each — §4's "combination of the approaches".
-    let (report, readings): (_, Vec<Reading>) =
-        if let SolutionModel::Hybrid { heads } = model {
-            let (report, summaries) =
-                cluster_summaries(ctx.net, &members, ctx.field, ctx.now, heads, rng);
-            (report, summaries)
-        } else {
-            let (report, raw) =
-                direct_collection_raw(ctx.net, &members, ctx.field, ctx.now, AggFn::Avg, rng);
-            let readings = raw
-                .iter()
-                .map(|&(n, v)| (ctx.net.topology().position(n), v))
-                .collect();
-            (report, readings)
-        };
+    let (report, readings): (_, Vec<Reading>) = if let SolutionModel::Hybrid { heads } = model {
+        let (report, summaries) =
+            cluster_summaries(ctx.net, &members, ctx.field, ctx.now, heads, rng);
+        (report, summaries)
+    } else {
+        let (report, raw) =
+            direct_collection_raw(ctx.net, &members, ctx.field, ctx.now, AggFn::Avg, rng);
+        let readings = raw
+            .iter()
+            .map(|&(n, v)| (ctx.net.topology().position(n), v))
+            .collect();
+        (report, readings)
+    };
     let mut cost = report_cost(&report);
 
     // Build the PDE problem. The box boundary is pinned at the mean of the
@@ -408,16 +401,14 @@ fn exec_complex<R: Rng>(
             // iterations squared is the classic gap; cap for sanity.
             let sweeps = ((stats.iterations as u64).pow(2)).clamp(100, 20_000);
             let slot = ctx.net.link().expected_tx_time(READING_WIRE_BYTES);
-            let per_sweep_bytes =
-                members.len() as u64 * READING_WIRE_BYTES * 4; // ~4 neighbours
+            let per_sweep_bytes = members.len() as u64 * READING_WIRE_BYTES * 4; // ~4 neighbours
             let radio = *ctx.net.radio();
             let range = ctx.net.topology().range();
             let exchange_energy = sweeps as f64
                 * members.len() as f64
                 * (radio.tx_energy(READING_WIRE_BYTES * 8, range)
                     + 4.0 * radio.rx_energy(READING_WIRE_BYTES * 8));
-            let compute_energy =
-                radio.cpu_energy((stats.ops / members.len().max(1) as u64).max(1));
+            let compute_energy = radio.cpu_energy((stats.ops / members.len().max(1) as u64).max(1));
             // Drain the network proportionally (spread over members).
             let per_member = (exchange_energy + compute_energy) / members.len() as f64;
             for &m in &members {
@@ -570,7 +561,12 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
-    fn world() -> (SensorNetwork, GridCluster, TemperatureField, BTreeMap<String, Region>) {
+    fn world() -> (
+        SensorNetwork,
+        GridCluster,
+        TemperatureField,
+        BTreeMap<String, Region>,
+    ) {
         let topo = Topology::grid(6, 6, 10.0, 11.0);
         let mut net = SensorNetwork::new(
             topo,
@@ -581,11 +577,7 @@ mod tests {
         );
         net.noise_sd = 0.0;
         let grid = GridCluster::campus();
-        let field = TemperatureField::building_fire(
-            Point::flat(25.0, 25.0),
-            SimTime::ZERO,
-            300.0,
-        );
+        let field = TemperatureField::building_fire(Point::flat(25.0, 25.0), SimTime::ZERO, 300.0);
         let mut regions = BTreeMap::new();
         regions.insert("room210".to_string(), Region::room(0.0, 0.0, 30.0, 30.0));
         (net, grid, field, regions)
@@ -613,7 +605,9 @@ mod tests {
         let q = parse("SELECT temp FROM sensors WHERE sensor_id = 14").unwrap();
         let mut rng = StdRng::seed_from_u64(1);
         let out = execute_once(&mut c, &q, SolutionModel::BaseStation, &mut rng).unwrap();
-        let expect = c.net.ground_truth(NodeId(14), &field, SimTime::from_secs(600));
+        let expect = c
+            .net
+            .ground_truth(NodeId(14), &field, SimTime::from_secs(600));
         assert_eq!(out.value, Some(expect));
         assert_eq!(out.delivered_frac, 1.0);
         assert!(out.cost.energy_j > 0.0 && out.cost.time_s > 0.0);
@@ -635,7 +629,9 @@ mod tests {
             execute_once(
                 &mut c,
                 &q,
-                SolutionModel::GridOffload { reduction_cell_m: 0.0 },
+                SolutionModel::GridOffload {
+                    reduction_cell_m: 0.0,
+                },
                 &mut rng2,
             )
             .unwrap()
@@ -652,7 +648,9 @@ mod tests {
             SolutionModel::InNetworkTree,
             SolutionModel::InNetworkCluster { heads: 2 },
             SolutionModel::BaseStation,
-            SolutionModel::GridOffload { reduction_cell_m: 0.0 },
+            SolutionModel::GridOffload {
+                reduction_cell_m: 0.0,
+            },
         ] {
             let (mut net, grid, field, regions) = world();
             let mut c = ctx(&mut net, &grid, &field, &regions);
@@ -694,13 +692,15 @@ mod tests {
     fn complex_query_reconstructs_the_hot_spot() {
         let (mut net, grid, field, regions) = world();
         let mut c = ctx(&mut net, &grid, &field, &regions);
-        let q = parse("SELECT temperature_distribution() FROM sensors WHERE region(room210)")
-            .unwrap();
+        let q =
+            parse("SELECT temperature_distribution() FROM sensors WHERE region(room210)").unwrap();
         let mut rng = StdRng::seed_from_u64(3);
         let out = execute_once(
             &mut c,
             &q,
-            SolutionModel::GridOffload { reduction_cell_m: 0.0 },
+            SolutionModel::GridOffload {
+                reduction_cell_m: 0.0,
+            },
             &mut rng,
         )
         .unwrap();
@@ -713,15 +713,17 @@ mod tests {
 
     #[test]
     fn complex_in_network_is_feasible_but_prohibitive() {
-        let q = parse("SELECT temperature_distribution() FROM sensors WHERE region(room210)")
-            .unwrap();
+        let q =
+            parse("SELECT temperature_distribution() FROM sensors WHERE region(room210)").unwrap();
         let run = |model| {
             let (mut net, grid, field, regions) = world();
             let mut c = ctx(&mut net, &grid, &field, &regions);
             let mut rng = StdRng::seed_from_u64(4);
             execute_once(&mut c, &q, model, &mut rng).unwrap()
         };
-        let grid_out = run(SolutionModel::GridOffload { reduction_cell_m: 0.0 });
+        let grid_out = run(SolutionModel::GridOffload {
+            reduction_cell_m: 0.0,
+        });
         let innet = run(SolutionModel::InNetworkTree);
         assert!(
             innet.cost.energy_j > 10.0 * grid_out.cost.energy_j,
@@ -742,7 +744,9 @@ mod tests {
             execute_once(
                 &mut c,
                 &q,
-                SolutionModel::GridOffload { reduction_cell_m: cell },
+                SolutionModel::GridOffload {
+                    reduction_cell_m: cell,
+                },
                 &mut rng,
             )
             .unwrap()
@@ -767,7 +771,9 @@ mod tests {
             let mut rng = StdRng::seed_from_u64(8);
             execute_once(&mut c, &q, model, &mut rng).unwrap()
         };
-        let grid_out = run(SolutionModel::GridOffload { reduction_cell_m: 0.0 });
+        let grid_out = run(SolutionModel::GridOffload {
+            reduction_cell_m: 0.0,
+        });
         let hybrid = run(SolutionModel::Hybrid { heads: 4 });
         // Hybrid moves far fewer bytes overall: members reach heads in one
         // hop and only 4 summaries travel onward.
@@ -805,10 +811,8 @@ mod tests {
     fn continuous_reports_per_epoch_cost() {
         let (mut net, grid, field, regions) = world();
         let q_once = parse("SELECT AVG(temp) FROM sensors WHERE region(room210)").unwrap();
-        let q_cont = parse(
-            "SELECT AVG(temp) FROM sensors WHERE region(room210) EPOCH DURATION 10",
-        )
-        .unwrap();
+        let q_cont =
+            parse("SELECT AVG(temp) FROM sensors WHERE region(room210) EPOCH DURATION 10").unwrap();
         let mut rng = StdRng::seed_from_u64(6);
         let once = {
             let mut c = ctx(&mut net, &grid, &field, &regions);

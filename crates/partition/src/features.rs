@@ -116,7 +116,12 @@ mod tests {
     use pg_sim::{Duration, SimTime};
     use std::collections::BTreeMap;
 
-    fn harness() -> (SensorNetwork, GridCluster, TemperatureField, BTreeMap<String, Region>) {
+    fn harness() -> (
+        SensorNetwork,
+        GridCluster,
+        TemperatureField,
+        BTreeMap<String, Region>,
+    ) {
         let topo = Topology::grid(5, 5, 10.0, 11.0);
         let net = SensorNetwork::new(
             topo,
@@ -145,8 +150,8 @@ mod tests {
             regions: &regions,
             now: SimTime::ZERO,
         };
-        let q = parse("SELECT AVG(temp) FROM sensors WHERE region(corner) EPOCH DURATION 10")
-            .unwrap();
+        let q =
+            parse("SELECT AVG(temp) FROM sensors WHERE region(corner) EPOCH DURATION 10").unwrap();
         let f = QueryFeatures::extract(&ctx, &q).unwrap();
         assert_eq!(f.kind, QueryKind::Aggregate);
         assert!(f.continuous);

@@ -134,7 +134,10 @@ mod tests {
     fn empty_memory_predicts_nothing() {
         let knn = KnnRegressor::new();
         assert_eq!(
-            knn.predict(&feats(10, QueryKind::Aggregate), &SolutionModel::BaseStation),
+            knn.predict(
+                &feats(10, QueryKind::Aggregate),
+                &SolutionModel::BaseStation
+            ),
             None
         );
     }
@@ -174,13 +177,12 @@ mod tests {
             cost(100.0),
         );
         let p = knn
-            .predict(&feats(11, QueryKind::Aggregate), &SolutionModel::BaseStation)
+            .predict(
+                &feats(11, QueryKind::Aggregate),
+                &SolutionModel::BaseStation,
+            )
             .unwrap();
-        assert!(
-            p.energy_j < 10.0,
-            "near case must dominate: {}",
-            p.energy_j
-        );
+        assert!(p.energy_j < 10.0, "near case must dominate: {}", p.energy_j);
     }
 
     #[test]

@@ -107,7 +107,9 @@ impl Query {
 
     /// Is any SELECT item a decomposable aggregate?
     pub fn has_aggregate(&self) -> bool {
-        self.select.iter().any(|s| matches!(s, SelectItem::Agg(_, _)))
+        self.select
+            .iter()
+            .any(|s| matches!(s, SelectItem::Agg(_, _)))
     }
 
     /// First aggregate function, if any.

@@ -140,7 +140,9 @@ impl P {
         let value = self.number()?;
         if name.eq_ignore_ascii_case("sensor_id") && op == CmpOp::Eq {
             if value < 0.0 || value.fract() != 0.0 {
-                return Err(self.err(format!("sensor id must be a non-negative integer, got {value}")));
+                return Err(self.err(format!(
+                    "sensor id must be a non-negative integer, got {value}"
+                )));
             }
             return Ok(Pred::SensorId(value as u32));
         }
@@ -150,10 +152,7 @@ impl P {
     fn cost(&mut self) -> Result<CostBound, ParseError> {
         let kind = self.ident()?;
         // Optional comparison operator (COST energy <= 0.5 or COST energy 0.5).
-        if matches!(
-            self.peek(),
-            Some(Token::Le | Token::Lt | Token::Eq)
-        ) {
+        if matches!(self.peek(), Some(Token::Le | Token::Lt | Token::Eq)) {
             self.next();
         }
         let value = self.number()?;
@@ -280,8 +279,7 @@ mod tests {
     /// The paper's example: "Return temperature at Sensor #10 every 10 s".
     #[test]
     fn continuous_query_parses() {
-        let q =
-            parse("SELECT temp FROM sensors WHERE sensor_id = 10 EPOCH DURATION 10 s").unwrap();
+        let q = parse("SELECT temp FROM sensors WHERE sensor_id = 10 EPOCH DURATION 10 s").unwrap();
         assert_eq!(q.epoch, Some(Duration::from_secs(10)));
     }
 

@@ -51,7 +51,6 @@ impl AggFn {
     }
 }
 
-
 /// A conjunction of value predicates pushed down to the sensing site —
 /// TAG-style predicate evaluation at the source: a reading that fails the
 /// filter is never transmitted, so selection saves radio energy instead of

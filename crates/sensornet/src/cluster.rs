@@ -104,17 +104,12 @@ pub fn cluster_collection_filtered<R: Rng>(
             continue;
         }
         // Nearest head by Euclidean distance (deterministic tie by order).
-        let Some((hi, head)) = heads
-            .iter()
-            .copied()
-            .enumerate()
-            .min_by(|(_, a), (_, b)| {
-                net.topology()
-                    .distance(m, *a)
-                    .partial_cmp(&net.topology().distance(m, *b))
-                    .expect("distances are never NaN")
-            })
-        else {
+        let Some((hi, head)) = heads.iter().copied().enumerate().min_by(|(_, a), (_, b)| {
+            net.topology()
+                .distance(m, *a)
+                .partial_cmp(&net.topology().distance(m, *b))
+                .expect("distances are never NaN")
+        }) else {
             continue;
         };
         let (ok, attempts) = try_long_hop(net, m, head, READING_WIRE_BYTES, rng);
@@ -268,7 +263,9 @@ pub fn cluster_summaries<R: Rng>(
             let n = n as f64;
             summaries.push((
                 pg_net::geom::Point::new(sx / n, sy / n, sz / n),
-                partials[hi].finalize(AggFn::Avg).expect("non-empty cluster"),
+                partials[hi]
+                    .finalize(AggFn::Avg)
+                    .expect("non-empty cluster"),
             ));
         }
     }

@@ -370,7 +370,10 @@ mod tests {
     }
 
     fn all_members(net: &SensorNetwork) -> Vec<NodeId> {
-        net.topology().nodes().filter(|&n| n != net.base()).collect()
+        net.topology()
+            .nodes()
+            .filter(|&n| n != net.base())
+            .collect()
     }
 
     #[test]
@@ -378,7 +381,14 @@ mod tests {
         let mut net = lossless_net(4);
         let members = all_members(&net);
         let mut rng = StdRng::seed_from_u64(1);
-        let r = direct_collection(&mut net, &members, &field(), SimTime::ZERO, AggFn::Avg, &mut rng);
+        let r = direct_collection(
+            &mut net,
+            &members,
+            &field(),
+            SimTime::ZERO,
+            AggFn::Avg,
+            &mut rng,
+        );
         assert_eq!(r.delivered, 15);
         assert_eq!(r.delivery_ratio(), 1.0);
         assert_eq!(r.value, Some(25.0));
@@ -393,8 +403,22 @@ mod tests {
         let mut net_b = lossless_net(4);
         let members = all_members(&net_a);
         let mut rng = StdRng::seed_from_u64(2);
-        let d = direct_collection(&mut net_a, &members, &field(), SimTime::ZERO, AggFn::Avg, &mut rng);
-        let g = tree_aggregation(&mut net_b, &members, &field(), SimTime::ZERO, AggFn::Avg, &mut rng);
+        let d = direct_collection(
+            &mut net_a,
+            &members,
+            &field(),
+            SimTime::ZERO,
+            AggFn::Avg,
+            &mut rng,
+        );
+        let g = tree_aggregation(
+            &mut net_b,
+            &members,
+            &field(),
+            SimTime::ZERO,
+            AggFn::Avg,
+            &mut rng,
+        );
         // Noise-free calm field: both must compute exactly 25.0 over all 15.
         assert_eq!(d.value, g.value);
         assert_eq!(g.delivered, 15);
@@ -406,8 +430,22 @@ mod tests {
         let mut net_b = lossless_net(7);
         let members = all_members(&net_a);
         let mut rng = StdRng::seed_from_u64(3);
-        let d = direct_collection(&mut net_a, &members, &field(), SimTime::ZERO, AggFn::Avg, &mut rng);
-        let g = tree_aggregation(&mut net_b, &members, &field(), SimTime::ZERO, AggFn::Avg, &mut rng);
+        let d = direct_collection(
+            &mut net_a,
+            &members,
+            &field(),
+            SimTime::ZERO,
+            AggFn::Avg,
+            &mut rng,
+        );
+        let g = tree_aggregation(
+            &mut net_b,
+            &members,
+            &field(),
+            SimTime::ZERO,
+            AggFn::Avg,
+            &mut rng,
+        );
         assert!(
             g.total_bytes < d.total_bytes,
             "tree {} bytes vs direct {} bytes",
@@ -416,9 +454,8 @@ mod tests {
         );
         assert!(g.energy_j < d.energy_j, "tree should save energy");
         // The sink receives one partial per tree child instead of n readings.
-        let base_children = net_b.topology().spanning_tree(net_b.base()).children
-            [net_b.base().idx()]
-        .len() as u64;
+        let base_children =
+            net_b.topology().spanning_tree(net_b.base()).children[net_b.base().idx()].len() as u64;
         assert_eq!(g.bytes_to_base, base_children * PARTIAL_WIRE_BYTES);
         assert!(g.bytes_to_base < d.bytes_to_base);
     }
@@ -428,7 +465,14 @@ mod tests {
         let mut net = lossless_net(4);
         let members = vec![NodeId(5), NodeId(6), NodeId(9)];
         let mut rng = StdRng::seed_from_u64(4);
-        let r = tree_aggregation(&mut net, &members, &field(), SimTime::ZERO, AggFn::Count, &mut rng);
+        let r = tree_aggregation(
+            &mut net,
+            &members,
+            &field(),
+            SimTime::ZERO,
+            AggFn::Count,
+            &mut rng,
+        );
         assert_eq!(r.value, Some(3.0));
         assert_eq!(r.participating, 3);
     }
@@ -446,7 +490,14 @@ mod tests {
         net.noise_sd = 0.0;
         let members = all_members(&net);
         let mut rng = StdRng::seed_from_u64(5);
-        let r = direct_collection(&mut net, &members, &field(), SimTime::ZERO, AggFn::Count, &mut rng);
+        let r = direct_collection(
+            &mut net,
+            &members,
+            &field(),
+            SimTime::ZERO,
+            AggFn::Count,
+            &mut rng,
+        );
         assert!(r.delivered <= 24);
         assert_eq!(r.value, Some(r.delivered as f64));
         // Retries must show up in total bytes.
@@ -460,7 +511,14 @@ mod tests {
         net.drain(NodeId(8), 1e9);
         let members = all_members(&net);
         let mut rng = StdRng::seed_from_u64(6);
-        let r = tree_aggregation(&mut net, &members, &field(), SimTime::ZERO, AggFn::Count, &mut rng);
+        let r = tree_aggregation(
+            &mut net,
+            &members,
+            &field(),
+            SimTime::ZERO,
+            AggFn::Count,
+            &mut rng,
+        );
         assert_eq!(r.value, Some(7.0)); // 8 members - 1 dead
     }
 
@@ -470,7 +528,14 @@ mod tests {
         let members = all_members(&net);
         let before = net.total_consumed();
         let mut rng = StdRng::seed_from_u64(7);
-        let r = direct_collection(&mut net, &members, &field(), SimTime::ZERO, AggFn::Sum, &mut rng);
+        let r = direct_collection(
+            &mut net,
+            &members,
+            &field(),
+            SimTime::ZERO,
+            AggFn::Sum,
+            &mut rng,
+        );
         let after = net.total_consumed();
         assert!((r.energy_j - (after - before)).abs() < 1e-12);
         assert!(r.max_node_energy_j <= r.energy_j);

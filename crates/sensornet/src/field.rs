@@ -122,7 +122,10 @@ mod tests {
     #[test]
     fn calm_field_is_ambient_everywhere() {
         let f = TemperatureField::calm(21.0);
-        assert_eq!(f.temperature(&Point::flat(3.0, 7.0), SimTime::from_secs(99)), 21.0);
+        assert_eq!(
+            f.temperature(&Point::flat(3.0, 7.0), SimTime::from_secs(99)),
+            21.0
+        );
     }
 
     #[test]
@@ -163,7 +166,10 @@ mod tests {
         let p = Point::flat(40.0, 10.0); // 30 m from the fire
         let early = f.temperature(&p, SimTime::from_secs(120));
         let late = f.temperature(&p, SimTime::from_secs(3_600));
-        assert!(late > early + 5.0, "plume should reach 30 m out: {early} -> {late}");
+        assert!(
+            late > early + 5.0,
+            "plume should reach 30 m out: {early} -> {late}"
+        );
     }
 
     #[test]

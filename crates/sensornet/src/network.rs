@@ -182,16 +182,15 @@ mod tests {
     fn sampling_costs_energy_and_returns_field_value() {
         let mut n = net();
         n.noise_sd = 0.0;
-        let field = TemperatureField::building_fire(
-            Point::flat(10.0, 10.0),
-            SimTime::ZERO,
-            300.0,
-        );
+        let field = TemperatureField::building_fire(Point::flat(10.0, 10.0), SimTime::ZERO, 300.0);
         let before = n.remaining_energy(NodeId(4));
         let mut rng = StdRng::seed_from_u64(3);
         let v = n.sample(NodeId(4), &field, SimTime::from_secs(600), &mut rng);
         assert!(n.remaining_energy(NodeId(4)) < before);
-        assert_eq!(v, n.ground_truth(NodeId(4), &field, SimTime::from_secs(600)));
+        assert_eq!(
+            v,
+            n.ground_truth(NodeId(4), &field, SimTime::from_secs(600))
+        );
         assert!(v > 100.0, "node 4 sits on the fire: {v}");
     }
 }

@@ -11,10 +11,10 @@
 //! refreshes the cache. The hit rate is the energy-sharing factor across
 //! concurrent queries.
 
+use crate::aggregate::AggFn;
 use crate::collect::direct_collection_raw;
 use crate::field::TemperatureField;
 use crate::network::SensorNetwork;
-use crate::aggregate::AggFn;
 use pg_net::topology::NodeId;
 use pg_sim::{Duration, SimTime};
 use rand::Rng;
@@ -93,8 +93,7 @@ impl SensorProxy {
             }
         }
         self.misses += 1;
-        let (report, raw) =
-            direct_collection_raw(net, &[sensor], field, now, AggFn::Avg, rng);
+        let (report, raw) = direct_collection_raw(net, &[sensor], field, now, AggFn::Avg, rng);
         let &(_, value) = raw.first()?;
         self.cache.insert(sensor, Cached { value, at: now });
         Some(ProxyRead {
@@ -171,10 +170,21 @@ mod tests {
             .read(&mut n, &field, NodeId(15), SimTime::from_secs(60), &mut rng)
             .unwrap();
         let later = proxy
-            .read(&mut n, &field, NodeId(15), SimTime::from_secs(600), &mut rng)
+            .read(
+                &mut n,
+                &field,
+                NodeId(15),
+                SimTime::from_secs(600),
+                &mut rng,
+            )
             .unwrap();
         assert!(!later.cache_hit, "TTL expired: must re-sample");
-        assert!(later.value > first.value + 10.0, "fire grew: {} -> {}", first.value, later.value);
+        assert!(
+            later.value > first.value + 10.0,
+            "fire grew: {} -> {}",
+            first.value,
+            later.value
+        );
     }
 
     #[test]

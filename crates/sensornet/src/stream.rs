@@ -161,10 +161,10 @@ impl StreamOp for TumblingAgg {
             return Vec::new();
         }
         // Close the window, emit, and open the next one containing s.
-        let out = self.current.finalize(self.agg).map(|v| Sample {
-            at: end,
-            value: v,
-        });
+        let out = self
+            .current
+            .finalize(self.agg)
+            .map(|v| Sample { at: end, value: v });
         let mut next_end = end;
         while s.at >= next_end {
             next_end += self.window;

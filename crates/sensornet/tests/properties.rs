@@ -1,6 +1,7 @@
 //! Property-based tests for the sensor-network layer invariants.
 
 use pg_net::energy::RadioModel;
+use pg_net::geom::Point;
 use pg_net::link::LinkModel;
 use pg_net::topology::{NodeId, Topology};
 use pg_sensornet::aggregate::{AggFn, Partial};
@@ -8,7 +9,6 @@ use pg_sensornet::collect::{direct_collection, tree_aggregation};
 use pg_sensornet::field::TemperatureField;
 use pg_sensornet::network::SensorNetwork;
 use pg_sensornet::region::Region;
-use pg_net::geom::Point;
 use pg_sim::{Duration, SimTime};
 use proptest::prelude::*;
 use rand::rngs::StdRng;

@@ -12,7 +12,9 @@
 //! 2. **Zero-surprise scheduling.** The queue is a plain binary heap keyed on
 //!    `(time, seq)`; `O(log n)` push/pop, no timer wheels, no epsilon hacks.
 //! 3. **Cheap measurement.** [`metrics`] provides counters, gauges and
-//!    streaming summaries that experiments read out at the end of a run.
+//!    streaming summaries that experiments read out at the end of a run, and
+//!    [`report`] snapshots them into machine-readable JSON reports that the
+//!    benchmark regression gate diffs against committed baselines.
 //!
 //! # Quick example
 //!
@@ -34,6 +36,7 @@
 //! ```
 
 pub mod metrics;
+pub mod report;
 pub mod rng;
 pub mod time;
 

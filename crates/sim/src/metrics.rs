@@ -103,8 +103,7 @@ impl Summary {
         let n = self.n + other.n;
         let delta = other.mean - self.mean;
         let mean = self.mean + delta * other.n as f64 / n as f64;
-        let m2 =
-            self.m2 + other.m2 + delta * delta * (self.n as f64 * other.n as f64) / n as f64;
+        let m2 = self.m2 + other.m2 + delta * delta * (self.n as f64 * other.n as f64) / n as f64;
         *self = Summary {
             n,
             sum: self.sum + other.sum,
@@ -186,7 +185,8 @@ impl Samples {
             return None;
         }
         if !self.sorted {
-            self.xs.sort_by(|a, b| a.partial_cmp(b).expect("NaN in samples"));
+            self.xs
+                .sort_by(|a, b| a.partial_cmp(b).expect("NaN in samples"));
             self.sorted = true;
         }
         let pos = q * (self.xs.len() - 1) as f64;

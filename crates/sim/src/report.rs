@@ -1,0 +1,443 @@
+//! Machine-readable run reports: snapshots of [`crate::metrics`] state.
+//!
+//! The paper's §4 adaptive loop compares *estimated* computation /
+//! data-transfer / energy / response-time figures against *measured* ones
+//! during execution — which only works when every run's numbers are captured
+//! as structured data rather than pretty-printed tables. A [`Report`] is
+//! that capture: an ordered, serializable snapshot of counters, scalars,
+//! and summary statistics, written as JSON by the dependency-free emitter
+//! in [`json`] (the workspace deliberately avoids serde so builds stay
+//! hermetic).
+//!
+//! Reports are deterministic: all maps are `BTreeMap`s, the field order is
+//! fixed, and float formatting uses Rust's shortest round-trip notation —
+//! two identical runs emit byte-identical JSON, which the regression gate
+//! (`pg-bench`'s `regress` binary) and the parallel-vs-serial determinism
+//! tests both rely on.
+
+use crate::metrics::{Metrics, Samples, Summary};
+use std::collections::BTreeMap;
+
+pub mod json;
+
+/// Schema tag embedded in every emitted report.
+pub const SCHEMA: &str = "pg-report/v1";
+
+/// Snapshot of one summary statistic stream.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SummaryStats {
+    /// Number of observations.
+    pub n: u64,
+    /// Arithmetic mean (`0` when empty).
+    pub mean: f64,
+    /// Sample standard deviation (`0` with fewer than 2 samples).
+    pub sd: f64,
+    /// Smallest observation (`0` when empty).
+    pub min: f64,
+    /// Largest observation (`0` when empty).
+    pub max: f64,
+    /// Sum of observations.
+    pub sum: f64,
+    /// Median, when the source retained samples.
+    pub p50: Option<f64>,
+    /// 90th percentile, when the source retained samples.
+    pub p90: Option<f64>,
+    /// 99th percentile, when the source retained samples.
+    pub p99: Option<f64>,
+}
+
+impl From<&Summary> for SummaryStats {
+    fn from(s: &Summary) -> Self {
+        if s.count() == 0 {
+            return SummaryStats::default();
+        }
+        SummaryStats {
+            n: s.count(),
+            mean: s.mean(),
+            sd: s.stddev(),
+            min: s.min(),
+            max: s.max(),
+            sum: s.sum(),
+            p50: None,
+            p90: None,
+            p99: None,
+        }
+    }
+}
+
+impl From<&mut Samples> for SummaryStats {
+    fn from(s: &mut Samples) -> Self {
+        if s.is_empty() {
+            return SummaryStats::default();
+        }
+        let mut summary = Summary::new();
+        for &x in s.raw() {
+            summary.record(x);
+        }
+        let mut stats = SummaryStats::from(&summary);
+        stats.p50 = s.quantile(0.5);
+        stats.p90 = s.quantile(0.9);
+        stats.p99 = s.quantile(0.99);
+        stats
+    }
+}
+
+/// A machine-readable snapshot of one experiment (or one run).
+///
+/// Keys are free-form dotted paths by convention
+/// (`"aggregate.in_network_tree.energy_j"`); the regression comparator
+/// treats every `(section, key, field)` leaf as an independent metric.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Report {
+    /// Report name (by convention the experiment binary name).
+    pub name: String,
+    /// Free-form string metadata (mode, parameters, seed counts …).
+    pub meta: BTreeMap<String, String>,
+    /// Monotonic event counts.
+    pub counters: BTreeMap<String, u64>,
+    /// Single measured values.
+    pub scalars: BTreeMap<String, f64>,
+    /// Summary statistics over repeated observations.
+    pub stats: BTreeMap<String, SummaryStats>,
+}
+
+impl Report {
+    /// Empty report with a name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Report {
+            name: name.into(),
+            ..Report::default()
+        }
+    }
+
+    /// Snapshot a whole [`Metrics`] registry: every counter and summary.
+    pub fn from_metrics(name: impl Into<String>, metrics: &Metrics) -> Self {
+        let mut report = Report::new(name);
+        report.absorb_metrics("", metrics);
+        report
+    }
+
+    /// Merge a [`Metrics`] registry under a key prefix (`""` for none).
+    pub fn absorb_metrics(&mut self, prefix: &str, metrics: &Metrics) {
+        let key = |name: &str| {
+            if prefix.is_empty() {
+                name.to_string()
+            } else {
+                format!("{prefix}.{name}")
+            }
+        };
+        for (name, value) in metrics.counters() {
+            self.counters.insert(key(name), value);
+        }
+        for (name, summary) in metrics.summaries() {
+            self.stats.insert(key(name), SummaryStats::from(summary));
+        }
+    }
+
+    /// Set a metadata entry.
+    pub fn set_meta(&mut self, key: impl Into<String>, value: impl Into<String>) {
+        self.meta.insert(key.into(), value.into());
+    }
+
+    /// Set a counter.
+    pub fn set_counter(&mut self, key: impl Into<String>, value: u64) {
+        self.counters.insert(key.into(), value);
+    }
+
+    /// Set a scalar metric.
+    pub fn set_scalar(&mut self, key: impl Into<String>, value: f64) {
+        self.scalars.insert(key.into(), value);
+    }
+
+    /// Record a summary under `key`.
+    pub fn record_summary(&mut self, key: impl Into<String>, summary: &Summary) {
+        self.stats.insert(key.into(), SummaryStats::from(summary));
+    }
+
+    /// Record a retained-sample collection under `key` (with percentiles).
+    pub fn record_samples(&mut self, key: impl Into<String>, samples: &mut Samples) {
+        self.stats.insert(key.into(), SummaryStats::from(samples));
+    }
+
+    /// Flatten every numeric leaf into `(path, value)` pairs, ordered.
+    ///
+    /// Counters become `counters.<key>`, scalars `scalars.<key>`, and each
+    /// populated field of a summary `stats.<key>.<field>`. This is the view
+    /// the regression comparator diffs.
+    pub fn flatten(&self) -> Vec<(String, f64)> {
+        let mut out = Vec::new();
+        for (k, &v) in &self.counters {
+            out.push((format!("counters.{k}"), v as f64));
+        }
+        for (k, &v) in &self.scalars {
+            out.push((format!("scalars.{k}"), v));
+        }
+        for (k, s) in &self.stats {
+            out.push((format!("stats.{k}.n"), s.n as f64));
+            out.push((format!("stats.{k}.mean"), s.mean));
+            out.push((format!("stats.{k}.sd"), s.sd));
+            out.push((format!("stats.{k}.min"), s.min));
+            out.push((format!("stats.{k}.max"), s.max));
+            out.push((format!("stats.{k}.sum"), s.sum));
+            for (name, q) in [("p50", s.p50), ("p90", s.p90), ("p99", s.p99)] {
+                if let Some(q) = q {
+                    out.push((format!("stats.{k}.{name}"), q));
+                }
+            }
+        }
+        out
+    }
+
+    /// Serialize to deterministic JSON.
+    ///
+    /// # Errors
+    /// Fails when any scalar or statistic is non-finite (NaN / ±inf): such
+    /// values always indicate an upstream bug, and silently emitting `null`
+    /// would defeat the regression gate.
+    pub fn to_json(&self) -> Result<String, json::JsonError> {
+        let mut w = json::Writer::new();
+        w.begin_object();
+        w.key("schema");
+        w.string(SCHEMA);
+        w.key("name");
+        w.string(&self.name);
+        w.key("meta");
+        w.begin_object();
+        for (k, v) in &self.meta {
+            w.key(k);
+            w.string(v);
+        }
+        w.end_object();
+        w.key("counters");
+        w.begin_object();
+        for (k, &v) in &self.counters {
+            w.key(k);
+            w.uint(v);
+        }
+        w.end_object();
+        w.key("scalars");
+        w.begin_object();
+        for (k, &v) in &self.scalars {
+            w.key(k);
+            w.float(v).map_err(|e| e.at(format!("scalars.{k}")))?;
+        }
+        w.end_object();
+        w.key("stats");
+        w.begin_object();
+        for (k, s) in &self.stats {
+            w.key(k);
+            w.begin_object();
+            w.key("n");
+            w.uint(s.n);
+            for (field, value) in [
+                ("mean", s.mean),
+                ("sd", s.sd),
+                ("min", s.min),
+                ("max", s.max),
+                ("sum", s.sum),
+            ] {
+                w.key(field);
+                w.float(value)
+                    .map_err(|e| e.at(format!("stats.{k}.{field}")))?;
+            }
+            for (field, q) in [("p50", s.p50), ("p90", s.p90), ("p99", s.p99)] {
+                if let Some(q) = q {
+                    w.key(field);
+                    w.float(q).map_err(|e| e.at(format!("stats.{k}.{field}")))?;
+                }
+            }
+            w.end_object();
+        }
+        w.end_object();
+        w.end_object();
+        Ok(w.finish())
+    }
+
+    /// Parse a report back from JSON (inverse of [`Report::to_json`]).
+    ///
+    /// # Errors
+    /// Fails on malformed JSON, a wrong/missing schema tag, or wrongly
+    /// typed fields.
+    pub fn from_json(text: &str) -> Result<Report, String> {
+        use json::Value;
+        let value = json::parse(text).map_err(|e| e.to_string())?;
+        let Value::Object(map) = value else {
+            return Err("report root is not an object".into());
+        };
+        match map.get("schema") {
+            Some(Value::String(s)) if s == SCHEMA => {}
+            Some(Value::String(s)) => return Err(format!("unknown schema {s:?}")),
+            _ => return Err("missing schema tag".into()),
+        }
+        let name = match map.get("name") {
+            Some(Value::String(s)) => s.clone(),
+            _ => return Err("missing report name".into()),
+        };
+        let mut report = Report::new(name);
+        if let Some(Value::Object(meta)) = map.get("meta") {
+            for (k, v) in meta {
+                let Value::String(s) = v else {
+                    return Err(format!("meta.{k} is not a string"));
+                };
+                report.meta.insert(k.clone(), s.clone());
+            }
+        }
+        if let Some(Value::Object(counters)) = map.get("counters") {
+            for (k, v) in counters {
+                let Value::Number(x) = v else {
+                    return Err(format!("counters.{k} is not a number"));
+                };
+                report.counters.insert(k.clone(), *x as u64);
+            }
+        }
+        if let Some(Value::Object(scalars)) = map.get("scalars") {
+            for (k, v) in scalars {
+                let Value::Number(x) = v else {
+                    return Err(format!("scalars.{k} is not a number"));
+                };
+                report.scalars.insert(k.clone(), *x);
+            }
+        }
+        if let Some(Value::Object(stats)) = map.get("stats") {
+            for (k, v) in stats {
+                let Value::Object(fields) = v else {
+                    return Err(format!("stats.{k} is not an object"));
+                };
+                let num = |field: &str| -> Result<Option<f64>, String> {
+                    match fields.get(field) {
+                        None => Ok(None),
+                        Some(Value::Number(x)) => Ok(Some(*x)),
+                        Some(_) => Err(format!("stats.{k}.{field} is not a number")),
+                    }
+                };
+                let required =
+                    |field: &str| num(field)?.ok_or(format!("stats.{k}.{field} missing"));
+                let stats_entry = SummaryStats {
+                    n: required("n")? as u64,
+                    mean: required("mean")?,
+                    sd: required("sd")?,
+                    min: required("min")?,
+                    max: required("max")?,
+                    sum: required("sum")?,
+                    p50: num("p50")?,
+                    p90: num("p90")?,
+                    p99: num("p99")?,
+                };
+                report.stats.insert(k.clone(), stats_entry);
+            }
+        }
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> Report {
+        let mut m = Metrics::new();
+        m.count("tx_packets", 42);
+        m.count("rx_packets", 40);
+        m.observe("latency_s", 0.5);
+        m.observe("latency_s", 1.5);
+        let mut r = Report::from_metrics("exp_test", &m);
+        r.set_meta("mode", "smoke");
+        r.set_scalar("delivered_frac", 0.95);
+        let mut samples = Samples::new();
+        for i in 0..100 {
+            samples.record(i as f64);
+        }
+        r.record_samples("per_query_energy", &mut samples);
+        r
+    }
+
+    #[test]
+    fn from_metrics_snapshots_everything() {
+        let r = sample_report();
+        assert_eq!(r.counters["tx_packets"], 42);
+        assert_eq!(r.stats["latency_s"].n, 2);
+        assert!((r.stats["latency_s"].mean - 1.0).abs() < 1e-12);
+        assert_eq!(r.stats["per_query_energy"].p50, Some(49.5));
+    }
+
+    #[test]
+    fn json_roundtrip_is_lossless() {
+        let r = sample_report();
+        let text = r.to_json().unwrap();
+        let back = Report::from_json(&text).unwrap();
+        assert_eq!(r, back);
+    }
+
+    #[test]
+    fn identical_reports_emit_identical_bytes() {
+        let a = sample_report().to_json().unwrap();
+        let b = sample_report().to_json().unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn non_finite_scalar_is_rejected_with_path() {
+        let mut r = Report::new("bad");
+        r.set_scalar("rate", f64::NAN);
+        let err = r.to_json().unwrap_err().to_string();
+        assert!(err.contains("scalars.rate"), "unhelpful error: {err}");
+
+        let mut r = Report::new("bad");
+        r.set_scalar("rate", f64::INFINITY);
+        assert!(r.to_json().is_err());
+    }
+
+    #[test]
+    fn non_finite_stat_is_rejected() {
+        let mut r = Report::new("bad");
+        let mut s = Summary::new();
+        s.record(1.0);
+        r.record_summary("m", &s);
+        r.stats.get_mut("m").unwrap().sd = f64::NEG_INFINITY;
+        let err = r.to_json().unwrap_err().to_string();
+        assert!(err.contains("stats.m.sd"), "unhelpful error: {err}");
+    }
+
+    #[test]
+    fn empty_summary_snapshots_to_zeros() {
+        let s = Summary::new();
+        let stats = SummaryStats::from(&s);
+        assert_eq!(stats, SummaryStats::default());
+        // And serializes cleanly (no ±inf min/max leaking through).
+        let mut r = Report::new("empty");
+        r.record_summary("nothing", &s);
+        assert!(r.to_json().is_ok());
+    }
+
+    #[test]
+    fn flatten_orders_and_prefixes() {
+        let r = sample_report();
+        let flat = r.flatten();
+        let paths: Vec<&str> = flat.iter().map(|(p, _)| p.as_str()).collect();
+        assert!(paths.contains(&"counters.tx_packets"));
+        assert!(paths.contains(&"scalars.delivered_frac"));
+        assert!(paths.contains(&"stats.latency_s.mean"));
+        assert!(paths.contains(&"stats.per_query_energy.p99"));
+        // Sections come out in a fixed order: counters, scalars, stats.
+        let section = |p: &str| p.split('.').next().unwrap().to_string();
+        let mut sections: Vec<String> = paths.iter().map(|p| section(p)).collect();
+        sections.dedup();
+        assert_eq!(sections, ["counters", "scalars", "stats"]);
+    }
+
+    #[test]
+    fn schema_mismatch_is_rejected() {
+        let r = sample_report();
+        let text = r.to_json().unwrap().replace("pg-report/v1", "pg-report/v0");
+        assert!(Report::from_json(&text).unwrap_err().contains("schema"));
+    }
+
+    #[test]
+    fn absorb_metrics_applies_prefix() {
+        let mut m = Metrics::new();
+        m.count("events", 7);
+        let mut r = Report::new("prefixed");
+        r.absorb_metrics("net", &m);
+        assert_eq!(r.counters["net.events"], 7);
+    }
+}

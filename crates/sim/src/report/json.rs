@@ -1,0 +1,570 @@
+//! Dependency-free JSON: a streaming writer and a small recursive parser.
+//!
+//! The workspace deliberately has no serde (builds must stay hermetic), and
+//! reports only need a narrow slice of JSON: objects, strings, finite
+//! numbers, and — for forward compatibility on the read side — arrays,
+//! booleans, and null. The writer produces canonical, byte-deterministic
+//! output (no whitespace, caller-controlled key order, shortest round-trip
+//! float formatting) so identical runs yield identical files.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Error raised while emitting JSON.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    kind: String,
+    path: Option<String>,
+}
+
+impl JsonError {
+    /// A non-finite float was handed to the writer.
+    pub fn non_finite() -> Self {
+        JsonError {
+            kind: "non-finite float".into(),
+            path: None,
+        }
+    }
+
+    /// Attach the metric path where the error occurred.
+    pub fn at(mut self, path: impl Into<String>) -> Self {
+        self.path = Some(path.into());
+        self
+    }
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.path {
+            Some(p) => write!(f, "{} at {}", self.kind, p),
+            None => write!(f, "{}", self.kind),
+        }
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Append `s` to `out` as a JSON string literal (quoted, escaped).
+pub fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Format a finite float the way the writer does (shortest round-trip,
+/// always with a decimal point or exponent so the type survives re-parsing).
+fn push_float(out: &mut String, x: f64) {
+    let s = format!("{x}");
+    out.push_str(&s);
+    // `{}` on f64 prints integers bare ("3"); keep the fraction marker so
+    // the value is unambiguously a float on the wire.
+    if !s.contains(['.', 'e', 'E']) {
+        out.push_str(".0");
+    }
+}
+
+/// A streaming JSON writer with automatic comma management.
+///
+/// The caller is responsible for balanced `begin_*`/`end_*` pairs and for
+/// alternating `key`/value inside objects; [`Writer::finish`] asserts
+/// balance in debug builds.
+#[derive(Debug, Default)]
+pub struct Writer {
+    out: String,
+    /// One entry per open container: `true` once the first element was
+    /// written (so the next element needs a comma).
+    stack: Vec<bool>,
+}
+
+impl Writer {
+    /// Fresh writer.
+    pub fn new() -> Self {
+        Writer::default()
+    }
+
+    fn before_value(&mut self) {
+        if let Some(has_prior) = self.stack.last_mut() {
+            if *has_prior {
+                self.out.push(',');
+            }
+            *has_prior = true;
+        }
+    }
+
+    /// Open an object (`{`).
+    pub fn begin_object(&mut self) {
+        self.before_value();
+        self.out.push('{');
+        self.stack.push(false);
+    }
+
+    /// Close the innermost object (`}`).
+    pub fn end_object(&mut self) {
+        self.stack.pop().expect("end_object without begin_object");
+        self.out.push('}');
+    }
+
+    /// Open an array (`[`).
+    pub fn begin_array(&mut self) {
+        self.before_value();
+        self.out.push('[');
+        self.stack.push(false);
+    }
+
+    /// Close the innermost array (`]`).
+    pub fn end_array(&mut self) {
+        self.stack.pop().expect("end_array without begin_array");
+        self.out.push(']');
+    }
+
+    /// Write an object key. The following call must write its value.
+    pub fn key(&mut self, key: &str) {
+        self.before_value();
+        escape_into(&mut self.out, key);
+        self.out.push(':');
+        // The upcoming value call must not re-trigger comma logic.
+        if let Some(top) = self.stack.last_mut() {
+            *top = false;
+        }
+        // Re-arm after the value: push a sentinel? Simpler: mark that the
+        // value slot is pending by leaving the flag false; the value's
+        // `before_value` sets it back to true.
+    }
+
+    /// Write a string value.
+    pub fn string(&mut self, s: &str) {
+        self.before_value();
+        escape_into(&mut self.out, s);
+    }
+
+    /// Write an unsigned integer value.
+    pub fn uint(&mut self, x: u64) {
+        self.before_value();
+        self.out.push_str(&x.to_string());
+    }
+
+    /// Write a float value.
+    ///
+    /// # Errors
+    /// Fails on NaN / ±inf — JSON has no representation for them, and a
+    /// silent `null` would corrupt downstream comparisons.
+    pub fn float(&mut self, x: f64) -> Result<(), JsonError> {
+        if !x.is_finite() {
+            return Err(JsonError::non_finite());
+        }
+        self.before_value();
+        push_float(&mut self.out, x);
+        Ok(())
+    }
+
+    /// Write a boolean value.
+    pub fn bool(&mut self, b: bool) {
+        self.before_value();
+        self.out.push_str(if b { "true" } else { "false" });
+    }
+
+    /// Consume the writer and return the JSON text.
+    pub fn finish(self) -> String {
+        debug_assert!(self.stack.is_empty(), "unbalanced JSON writer");
+        self.out
+    }
+}
+
+/// A parsed JSON value. Numbers are uniformly `f64` — report counters stay
+/// exact up to 2^53, far beyond any simulated event count.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number.
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object (key order normalized to lexicographic).
+    Object(BTreeMap<String, Value>),
+}
+
+/// Error raised while parsing JSON, with a byte offset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    msg: String,
+    offset: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at byte {}", self.msg, self.offset)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parse a complete JSON document.
+///
+/// # Errors
+/// Fails on malformed input or trailing non-whitespace.
+pub fn parse(text: &str) -> Result<Value, ParseError> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let value = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters"));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, msg: &str) -> ParseError {
+        ParseError {
+            msg: msg.into(),
+            offset: self.pos,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), ParseError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Value) -> Result<Value, ParseError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err(&format!("expected '{word}'")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, ParseError> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Value::String(self.string()?)),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, ParseError> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            map.insert(key, value);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(map));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, ParseError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| self.err("dangling escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{08}'),
+                        b'f' => out.push('\u{0c}'),
+                        b'u' => {
+                            let cp = self.hex4()?;
+                            if (0xd800..0xdc00).contains(&cp) {
+                                // High surrogate: a \uXXXX low half must follow.
+                                if self.peek() != Some(b'\\') {
+                                    return Err(self.err("lone high surrogate"));
+                                }
+                                self.pos += 1;
+                                self.expect(b'u')
+                                    .map_err(|_| self.err("lone high surrogate"))?;
+                                let lo = self.hex4()?;
+                                if !(0xdc00..0xe000).contains(&lo) {
+                                    return Err(self.err("invalid low surrogate"));
+                                }
+                                let c = 0x10000 + ((cp - 0xd800) << 10) + (lo - 0xdc00);
+                                out.push(
+                                    char::from_u32(c)
+                                        .ok_or_else(|| self.err("invalid surrogate pair"))?,
+                                );
+                            } else {
+                                out.push(
+                                    char::from_u32(cp)
+                                        .ok_or_else(|| self.err("invalid \\u escape"))?,
+                                );
+                            }
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is &str, so valid).
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest).map_err(|_| self.err("invalid utf-8"))?;
+                    let c = s.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, ParseError> {
+        let end = self.pos + 4;
+        if end > self.bytes.len() {
+            return Err(self.err("truncated \\u escape"));
+        }
+        let hex = std::str::from_utf8(&self.bytes[self.pos..end])
+            .map_err(|_| self.err("invalid \\u escape"))?;
+        let cp = u32::from_str_radix(hex, 16).map_err(|_| self.err("invalid \\u escape"))?;
+        self.pos = end;
+        Ok(cp)
+    }
+
+    fn number(&mut self) -> Result<Value, ParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid number"))?;
+        text.parse::<f64>()
+            .map(Value::Number)
+            .map_err(|_| self.err("invalid number"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writer_builds_nested_document() {
+        let mut w = Writer::new();
+        w.begin_object();
+        w.key("a");
+        w.uint(1);
+        w.key("b");
+        w.begin_array();
+        w.string("x");
+        w.bool(true);
+        w.float(2.5).unwrap();
+        w.end_array();
+        w.key("c");
+        w.begin_object();
+        w.end_object();
+        w.end_object();
+        assert_eq!(w.finish(), r#"{"a":1,"b":["x",true,2.5],"c":{}}"#);
+    }
+
+    #[test]
+    fn writer_escapes_strings() {
+        let mut w = Writer::new();
+        w.string("a\"b\\c\nd\te\u{01}f");
+        assert_eq!(w.finish(), "\"a\\\"b\\\\c\\nd\\te\\u0001f\"");
+    }
+
+    #[test]
+    fn writer_rejects_non_finite() {
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let mut w = Writer::new();
+            assert_eq!(w.float(bad), Err(JsonError::non_finite()));
+        }
+    }
+
+    #[test]
+    fn integral_floats_keep_a_fraction_marker() {
+        let mut w = Writer::new();
+        w.float(3.0).unwrap();
+        assert_eq!(w.finish(), "3.0");
+    }
+
+    #[test]
+    fn float_formatting_round_trips() {
+        for x in [0.1, 1.0 / 3.0, 1e-300, 123_456_789.123_456_78, -0.0, 2.5e17] {
+            let mut w = Writer::new();
+            w.float(x).unwrap();
+            let text = w.finish();
+            let Value::Number(back) = parse(&text).unwrap() else {
+                panic!("not a number: {text}");
+            };
+            assert_eq!(back.to_bits(), x.to_bits(), "via {text}");
+        }
+    }
+
+    #[test]
+    fn parse_scalars() {
+        assert_eq!(parse("null").unwrap(), Value::Null);
+        assert_eq!(parse(" true ").unwrap(), Value::Bool(true));
+        assert_eq!(parse("false").unwrap(), Value::Bool(false));
+        assert_eq!(parse("-2.5e3").unwrap(), Value::Number(-2500.0));
+        assert_eq!(parse(r#""hi""#).unwrap(), Value::String("hi".into()));
+    }
+
+    #[test]
+    fn parse_nested_structures() {
+        let v = parse(r#"{"xs":[1,2,{"deep":null}],"ok":true}"#).unwrap();
+        let Value::Object(map) = v else { panic!() };
+        assert_eq!(map["ok"], Value::Bool(true));
+        let Value::Array(xs) = &map["xs"] else {
+            panic!()
+        };
+        assert_eq!(xs.len(), 3);
+    }
+
+    #[test]
+    fn parse_string_escapes_and_unicode() {
+        assert_eq!(
+            parse(r#""a\n\t\"\\Aé""#).unwrap(),
+            Value::String("a\n\t\"\\Aé".into())
+        );
+        // Surrogate pair (🦀 U+1F980).
+        assert_eq!(parse(r#""🦀""#).unwrap(), Value::String("🦀".into()));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            r#"{"a" 1}"#,
+            r#""unterminated"#,
+            "1 2",
+            "nul",
+            r#""\ud83e""#,
+            r#""\q""#,
+        ] {
+            assert!(parse(bad).is_err(), "accepted: {bad}");
+        }
+    }
+
+    #[test]
+    fn escape_then_parse_is_identity_on_awkward_strings() {
+        for s in [
+            "",
+            "plain",
+            "quo\"te",
+            "back\\slash",
+            "new\nline",
+            "é🦀\u{7f}",
+        ] {
+            let mut out = String::new();
+            escape_into(&mut out, s);
+            assert_eq!(parse(&out).unwrap(), Value::String(s.into()));
+        }
+    }
+}

@@ -193,7 +193,10 @@ mod tests {
     fn run_for_is_relative() {
         let mut sim = cascade(None);
         sim.run_until(SimTime::from_secs(1));
-        assert_eq!(sim.run_for(Duration::from_secs(1)), RunOutcome::HorizonReached);
+        assert_eq!(
+            sim.run_for(Duration::from_secs(1)),
+            RunOutcome::HorizonReached
+        );
         assert_eq!(sim.model.ticks, 4 + 6); // t=2 layer has 3*2 ticks
     }
 }

@@ -144,11 +144,7 @@ impl Duration {
 impl Add<Duration> for SimTime {
     type Output = SimTime;
     fn add(self, rhs: Duration) -> SimTime {
-        SimTime(
-            self.0
-                .checked_add(rhs.0)
-                .expect("simulation time overflow"),
-        )
+        SimTime(self.0.checked_add(rhs.0).expect("simulation time overflow"))
     }
 }
 

@@ -18,14 +18,20 @@ fn main() {
 
     println!("== calm building ==");
     run(&mut pg, "SELECT temp FROM sensors WHERE sensor_id = 21");
-    run(&mut pg, "SELECT AVG(temp) FROM sensors WHERE region(room210)");
+    run(
+        &mut pg,
+        "SELECT AVG(temp) FROM sensors WHERE region(room210)",
+    );
 
     // A fire breaks out in the middle of the floor; wait ten minutes.
     pg.ignite(Point::flat(12.5, 12.5), 400.0);
     pg.advance(Duration::from_secs(600));
     println!("\n== ten minutes into a fire at (12.5, 12.5) ==");
     run(&mut pg, "SELECT MAX(temp) FROM sensors");
-    run(&mut pg, "SELECT AVG(temp) FROM sensors WHERE region(room210)");
+    run(
+        &mut pg,
+        "SELECT AVG(temp) FROM sensors WHERE region(room210)",
+    );
     run(
         &mut pg,
         "SELECT temperature_distribution() FROM sensors WHERE region(room210)",

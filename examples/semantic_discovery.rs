@@ -36,7 +36,12 @@ fn main() {
     println!("\n== semantic matcher ==");
     let shortest_queue = ServiceRequest::for_class(printer)
         .with_preference(Preference::Minimize("queue_length".into()));
-    show_top(&onto, &corpus.services, &shortest_queue, "shortest print queue");
+    show_top(
+        &onto,
+        &corpus.services,
+        &shortest_queue,
+        "shortest print queue",
+    );
 
     let closest = ServiceRequest::for_class(printer)
         .with_preference(Preference::Nearest(Point::flat(0.0, 0.0)));

@@ -39,7 +39,9 @@ fn batch(n: usize, noise: f64, rng: &mut StdRng) -> Vec<Example> {
 fn main() {
     // --- 1. The planner decomposes the task (§3's example verbatim). ---
     let lib = MethodLibrary::pervasive_grid();
-    let plan = lib.decompose("stream-ensemble-analysis").expect("library task");
+    let plan = lib
+        .decompose("stream-ensemble-analysis")
+        .expect("library task");
     println!("plan '{}' decomposes into:", plan.task);
     for (i, step) in plan.steps.iter().enumerate() {
         println!("  {i}: {} ({})", step.role.name, step.role.class);
@@ -92,7 +94,11 @@ fn main() {
     }
     let test = batch(4_000, 0.0, &mut rng);
     let acc_ens = accuracy(&test, |x| ensemble.predict(x));
-    println!("  ensemble of {} stumps: accuracy {:.3}", ensemble.len(), acc_ens);
+    println!(
+        "  ensemble of {} stumps: accuracy {:.3}",
+        ensemble.len(),
+        acc_ens
+    );
 
     let spectrum = ensemble.spectrum(10);
     println!(

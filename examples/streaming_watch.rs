@@ -36,11 +36,8 @@ fn main() {
         LinkModel::sensor_radio(),
         50.0,
     );
-    let field = TemperatureField::building_fire(
-        Point::flat(25.0, 25.0),
-        SimTime::from_secs(120),
-        400.0,
-    );
+    let field =
+        TemperatureField::building_fire(Point::flat(25.0, 25.0), SimTime::from_secs(120), 400.0);
     let mut proxy = SensorProxy::new(Duration::from_secs(5));
     let mut rng = StdRng::seed_from_u64(1);
 

@@ -1,8 +1,38 @@
 #!/usr/bin/env bash
-# Regenerate every EXPERIMENTS.md table/figure into results/.
-# Usage: scripts/run_experiments.sh [output-dir]
+# Regenerate every EXPERIMENTS.md table/figure into results/: each binary
+# writes a stdout table (captured to <out>/<exp>.txt) and a machine-readable
+# report <out>/<exp>.json.
+#
+# Usage: scripts/run_experiments.sh [--smoke] [--rebaseline] [output-dir]
+#   --smoke       run the reduced parameter grids (what CI runs; required
+#                 before --rebaseline, since committed baselines are smoke)
+#   --rebaseline  after a clean run, copy each fresh <out>/<exp>.json over
+#                 baselines/BENCH_<exp>.json
 set -euo pipefail
-out="${1:-results}"
+
+smoke=()
+rebaseline=0
+out="results"
+for arg in "$@"; do
+    case "$arg" in
+    --smoke) smoke=(--smoke) ;;
+    --rebaseline) rebaseline=1 ;;
+    -h | --help)
+        sed -n '2,10p' "$0"
+        exit 0
+        ;;
+    -*)
+        echo "unknown flag: $arg" >&2
+        exit 2
+        ;;
+    *) out="$arg" ;;
+    esac
+done
+if [[ $rebaseline -eq 1 && ${#smoke[@]} -eq 0 ]]; then
+    echo "--rebaseline requires --smoke: committed baselines are smoke-mode" >&2
+    exit 2
+fi
+
 mkdir -p "$out"
 cargo build --release -p pg-bench
 for exp in exp_f1_scenario exp_t1_matrix exp_t2_aggregation exp_t3_adaptive \
@@ -10,6 +40,14 @@ for exp in exp_f1_scenario exp_t1_matrix exp_t2_aggregation exp_t3_adaptive \
            exp_t8_crossover exp_t9_pde exp_t10_cost exp_t11_routing \
            exp_t12_lifetime exp_t13_mobility exp_t14_mac exp_a1_ablation; do
     echo "== $exp =="
-    ./target/release/"$exp" | tee "$out/$exp.txt"
+    # set -o pipefail makes a non-zero binary exit abort the whole run here.
+    ./target/release/"$exp" "${smoke[@]}" --out "$out" | tee "$out/$exp.txt"
 done
 echo "all experiment outputs written to $out/"
+
+if [[ $rebaseline -eq 1 ]]; then
+    for f in "$out"/exp_*.json; do
+        cp "$f" "baselines/BENCH_$(basename "$f")"
+        echo "rebaselined baselines/BENCH_$(basename "$f")"
+    done
+fi

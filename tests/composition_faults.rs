@@ -40,10 +40,7 @@ fn world_with(
                 None => ChurnSchedule::always_up(),
             };
             w.add_service(
-                ServiceDescription::new(
-                    format!("{class}-{i}"),
-                    onto.class(class).unwrap(),
-                ),
+                ServiceDescription::new(format!("{class}-{i}"), onto.class(class).unwrap()),
                 sched,
             );
         }

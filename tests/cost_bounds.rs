@@ -47,7 +47,8 @@ fn tight_time_bound_steers_away_from_grid_offload() {
     let mut pg = runtime(4);
     // Warm the learner so predictions are informed.
     for _ in 0..4 {
-        pg.submit("SELECT AVG(temp) FROM sensors WHERE region(room)").unwrap();
+        pg.submit("SELECT AVG(temp) FROM sensors WHERE region(room)")
+            .unwrap();
     }
     let r = pg
         .submit("SELECT AVG(temp) FROM sensors WHERE region(room) COST time 0.1")

@@ -2,7 +2,7 @@
 //! registries + brokers + corpus).
 
 use pervasive_grid::discovery::broker::BrokerFederation;
-use pervasive_grid::discovery::corpus::{mixed_corpus, printer_corpus, precision_recall};
+use pervasive_grid::discovery::corpus::{mixed_corpus, precision_recall, printer_corpus};
 use pervasive_grid::discovery::description::{Constraint, Preference, ServiceRequest, Value};
 use pervasive_grid::discovery::matcher;
 use pervasive_grid::discovery::ontology::Ontology;
@@ -31,8 +31,8 @@ fn federation_matches_a_centralized_registry_given_enough_hops() {
     }
 
     let solver = onto.class("SolverService").unwrap();
-    let req = ServiceRequest::for_class(solver)
-        .with_preference(Preference::Minimize("cost".into()));
+    let req =
+        ServiceRequest::for_class(solver).with_preference(Preference::Minimize("cost".into()));
     let central_hits = central.query(&onto, &req);
     // Ring of 8: max distance is 4 hops.
     let (fed_hits, stats) = fed.query(&onto, 0, &req, 4);

@@ -71,7 +71,9 @@ fn the_grid_is_chosen_for_complex_and_not_for_simple() {
             .submit("SELECT temperature_distribution() FROM sensors")
             .unwrap();
         complex_models.push(r.model);
-        let r = pg.submit("SELECT temp FROM sensors WHERE sensor_id = 20").unwrap();
+        let r = pg
+            .submit("SELECT temp FROM sensors WHERE sensor_id = 20")
+            .unwrap();
         simple_models.push(r.model);
     }
     // After warm-up the complex query must settle on a grid-backed
@@ -87,7 +89,10 @@ fn the_grid_is_chosen_for_complex_and_not_for_simple() {
     );
     // Simple queries never need the grid.
     assert!(
-        !matches!(simple_models.last().unwrap(), SolutionModel::GridOffload { .. }),
+        !matches!(
+            simple_models.last().unwrap(),
+            SolutionModel::GridOffload { .. }
+        ),
         "simple settled on {:?}",
         simple_models.last().unwrap()
     );

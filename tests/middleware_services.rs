@@ -39,9 +39,18 @@ fn discover_then_negotiate_pipeline() {
 
     // The same three machines as negotiation providers: commitments track
     // their capacity (a 95-capacity cluster promises 1 s, the PDA 60 s).
-    let cluster = sys.register(Box::new(ProviderAgent::new("solve", 1.0, 10.0, 0.9)), direct());
-    let ws = sys.register(Box::new(ProviderAgent::new("solve", 4.0, 3.0, 3.5)), direct());
-    let pda = sys.register(Box::new(ProviderAgent::new("solve", 60.0, 0.1, 58.0)), direct());
+    let cluster = sys.register(
+        Box::new(ProviderAgent::new("solve", 1.0, 10.0, 0.9)),
+        direct(),
+    );
+    let ws = sys.register(
+        Box::new(ProviderAgent::new("solve", 4.0, 3.0, 3.5)),
+        direct(),
+    );
+    let pda = sys.register(
+        Box::new(ProviderAgent::new("solve", 60.0, 0.1, 58.0)),
+        direct(),
+    );
 
     // The broker exists and is discoverable by attribute.
     assert_eq!(sys.find_by_attr(AgentAttribute::Broker).len(), 1);

@@ -1,0 +1,129 @@
+//! Hermetic stand-in for the tiny `bytes` API surface this workspace uses:
+//! an immutable, cheaply-cloneable byte buffer. Backed by `Arc<[u8]>` so
+//! clones are O(1), like the real crate (without the slicing machinery the
+//! codebase never touches).
+
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// An immutable, reference-counted byte buffer.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+}
+
+impl Bytes {
+    /// Empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Copy a static slice into a buffer.
+    pub fn from_static(bytes: &'static [u8]) -> Self {
+        Bytes { data: bytes.into() }
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Copy out into a `Vec`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.data.to_vec()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Bytes { data: v.into() }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(v: &[u8]) -> Self {
+        Bytes { data: v.into() }
+    }
+}
+
+impl From<String> for Bytes {
+    fn from(s: String) -> Self {
+        Bytes {
+            data: s.into_bytes().into(),
+        }
+    }
+}
+
+impl From<&str> for Bytes {
+    fn from(s: &str) -> Self {
+        Bytes {
+            data: s.as_bytes().into(),
+        }
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.data.iter() {
+            if (0x20..0x7f).contains(&b) && b != b'"' && b != b'\\' {
+                write!(f, "{}", b as char)?;
+            } else {
+                write!(f, "\\x{b:02x}")?;
+            }
+        }
+        write!(f, "\"")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_vec_len_and_eq() {
+        let b = Bytes::from(vec![1u8, 2, 3]);
+        assert_eq!(b.len(), 3);
+        assert!(!b.is_empty());
+        assert_eq!(b, Bytes::from(&[1u8, 2, 3][..]));
+    }
+
+    #[test]
+    fn clone_is_cheap_and_equal() {
+        let b = Bytes::from(vec![0u8; 1024]);
+        let c = b.clone();
+        assert_eq!(b, c);
+        assert_eq!(c.len(), 1024);
+    }
+
+    #[test]
+    fn deref_exposes_slice() {
+        let b = Bytes::from("hello");
+        assert_eq!(&b[..], b"hello");
+        assert_eq!(b.to_vec(), b"hello".to_vec());
+    }
+
+    #[test]
+    fn debug_escapes_nonprintable() {
+        let b = Bytes::from(vec![b'a', 0x00, b'"']);
+        assert_eq!(format!("{b:?}"), "b\"a\\x00\\x22\"");
+    }
+}

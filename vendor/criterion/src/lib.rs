@@ -1,0 +1,258 @@
+//! Hermetic stand-in for the `criterion` API surface the benches use.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors this minimal harness: every `b.iter(..)` target is warmed up and
+//! then timed over a fixed number of iterations with `std::time::Instant`,
+//! and a single `name ... ns/iter` line is printed. There is no statistical
+//! analysis, no HTML report, and no comparison to saved runs — regression
+//! detection in this repository is the job of `pg-bench`'s `regress` gate,
+//! which works on experiment JSON reports instead.
+
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+const WARMUP_ITERS: u64 = 3;
+const MEASURE_ITERS: u64 = 10;
+
+/// Batch-size hint for `iter_batched` (ignored; one batch per iteration).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration input.
+    SmallInput,
+    /// Large per-iteration input.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Throughput annotation (printed alongside the timing when set).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: `function_name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Identifier combining a function name and a parameter display value.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// Identifier from a parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.id)
+    }
+}
+
+/// The timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    /// Mean nanoseconds per iteration of the last `iter*` call.
+    last_ns: f64,
+}
+
+impl Bencher {
+    /// Time `routine`, keeping its output alive via [`black_box`].
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        for _ in 0..WARMUP_ITERS {
+            black_box(routine());
+        }
+        let start = Instant::now();
+        for _ in 0..MEASURE_ITERS {
+            black_box(routine());
+        }
+        self.last_ns = start.elapsed().as_nanos() as f64 / MEASURE_ITERS as f64;
+    }
+
+    /// Time `routine` over inputs produced by `setup` (setup excluded from
+    /// the measurement).
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        for _ in 0..WARMUP_ITERS {
+            black_box(routine(setup()));
+        }
+        let mut total_ns = 0u128;
+        for _ in 0..MEASURE_ITERS {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total_ns += start.elapsed().as_nanos();
+        }
+        self.last_ns = total_ns as f64 / MEASURE_ITERS as f64;
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotate subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Advisory sample count (ignored).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark over an explicit input.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        routine: impl FnOnce(&mut Bencher, &I),
+    ) -> &mut Self {
+        let mut b = Bencher { last_ns: 0.0 };
+        routine(&mut b, input);
+        report(&format!("{}/{}", self.name, id), b.last_ns, self.throughput);
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl std::fmt::Display,
+        routine: impl FnOnce(&mut Bencher),
+    ) -> &mut Self {
+        let mut b = Bencher { last_ns: 0.0 };
+        routine(&mut b);
+        report(&format!("{}/{}", self.name, id), b.last_ns, self.throughput);
+        self
+    }
+
+    /// End the group.
+    pub fn finish(self) {}
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Fresh driver.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Run one named benchmark.
+    pub fn bench_function(&mut self, name: &str, routine: impl FnOnce(&mut Bencher)) -> &mut Self {
+        let mut b = Bencher { last_ns: 0.0 };
+        routine(&mut b);
+        report(name, b.last_ns, None);
+        self
+    }
+
+    /// Open a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            _parent: self,
+        }
+    }
+
+    /// Configuration hook (no-op; kept for `criterion_group!` expansion).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+}
+
+fn report(name: &str, ns_per_iter: f64, throughput: Option<Throughput>) {
+    match throughput {
+        Some(Throughput::Elements(n)) if ns_per_iter > 0.0 => {
+            let per_sec = n as f64 / (ns_per_iter * 1e-9);
+            println!("bench: {name:<60} {ns_per_iter:>14.1} ns/iter  ({per_sec:.3e} elem/s)");
+        }
+        Some(Throughput::Bytes(n)) if ns_per_iter > 0.0 => {
+            let per_sec = n as f64 / (ns_per_iter * 1e-9);
+            println!("bench: {name:<60} {ns_per_iter:>14.1} ns/iter  ({per_sec:.3e} B/s)");
+        }
+        _ => println!("bench: {name:<60} {ns_per_iter:>14.1} ns/iter"),
+    }
+}
+
+/// Collect benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::new();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Entry point running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_routine() {
+        let mut c = Criterion::new();
+        let mut ran = 0u32;
+        c.bench_function("smoke", |b| b.iter(|| ran += 1));
+        assert!(ran >= 1);
+    }
+
+    #[test]
+    fn group_with_input_and_throughput() {
+        let mut c = Criterion::new();
+        let mut g = c.benchmark_group("g");
+        g.throughput(Throughput::Elements(10));
+        g.bench_with_input(BenchmarkId::new("f", 10), &10usize, |b, &n| {
+            b.iter(|| (0..n).sum::<usize>())
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn iter_batched_consumes_setup_output() {
+        let mut b = Bencher { last_ns: 0.0 };
+        b.iter_batched(|| vec![1u8; 64], |v| v.len(), BatchSize::LargeInput);
+        assert!(b.last_ns >= 0.0);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 32).to_string(), "f/32");
+        assert_eq!(BenchmarkId::from_parameter(7).to_string(), "7");
+    }
+}

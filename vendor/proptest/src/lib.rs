@@ -1,0 +1,308 @@
+//! Hermetic stand-in for the `proptest` API surface this workspace uses.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors a miniature property-testing harness instead of the real crate.
+//! Differences from upstream, by design:
+//!
+//! - sampling is plain uniform (no edge-case biasing),
+//! - failing cases are **not shrunk** — the harness prints the sampled
+//!   inputs verbatim and re-raises the panic,
+//! - runs are fully deterministic: the RNG is seeded from the test's name,
+//!   so CI and local runs see identical cases.
+//!
+//! Supported surface: the [`proptest!`] macro (with optional
+//! `#![proptest_config(..)]`), range / tuple / `&str`-regex strategies,
+//! [`strategy::Just`], `prop_oneof!`, `.prop_map(..)`,
+//! `prop::collection::vec`, `any::<T>()`, and the `prop_assert*` macros.
+
+pub mod strategy;
+pub mod test_runner;
+
+pub mod arbitrary {
+    //! `any::<T>()` — uniform values of a whole type.
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary: std::fmt::Debug + Sized {
+        /// Draw one arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    /// Strategy yielding arbitrary values of `T`.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any<T>(PhantomData<T>);
+
+    /// The `any::<T>()` entry point.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+}
+
+pub mod collection {
+    //! `prop::collection::vec` — vectors of a given strategy.
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Admissible element-count specifications for [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_inclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                lo: n,
+                hi_inclusive: n,
+            }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi_inclusive: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi_inclusive: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy producing `Vec`s of `element` with a length in `size`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `vec(element, len)`: a vector whose length is drawn from `len`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let len = rng.uniform_usize(self.size.lo, self.size.hi_inclusive);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod prop {
+    //! The `prop::` namespace exposed by the prelude.
+    pub use crate::collection;
+}
+
+pub mod prelude {
+    //! Mirror of `proptest::prelude`.
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::prop;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Assert a condition inside a property (panics like `assert!`; this mini
+/// harness does not shrink, so early-return plumbing is unnecessary).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// `assert_eq!` inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// `assert_ne!` inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Uniform choice among several strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::strategy::boxed($arm)),+])
+    };
+}
+
+/// Define property tests: each `fn name(arg in strategy, ..) { body }`
+/// becomes a `#[test]` that samples the strategies `cases` times and runs
+/// the body. On panic, the offending inputs are printed and the panic is
+/// re-raised (no shrinking).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { @cfg ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            @cfg ($crate::test_runner::ProptestConfig::default()); $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (@cfg ($cfg:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config = $cfg;
+            let strategies = ($($strat,)+);
+            let mut rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+            for case in 0..config.cases {
+                let sampled = $crate::strategy::Strategy::sample(&strategies, &mut rng);
+                let repr = format!("{:?}", sampled);
+                let ($($arg,)+) = sampled;
+                let outcome = std::panic::catch_unwind(
+                    std::panic::AssertUnwindSafe(move || $body),
+                );
+                if let Err(payload) = outcome {
+                    eprintln!(
+                        "proptest case {}/{} of `{}` failed with inputs:\n  {}",
+                        case + 1,
+                        config.cases,
+                        stringify!($name),
+                        repr,
+                    );
+                    std::panic::resume_unwind(payload);
+                }
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Debug, Clone, Copy, PartialEq)]
+    enum Kind {
+        A,
+        B,
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(40))]
+
+        #[test]
+        fn ranges_respect_bounds(x in 3u64..17, y in -2.5f64..2.5, n in 1usize..9) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-2.5..2.5).contains(&y));
+            prop_assert!((1..9).contains(&n));
+        }
+
+        #[test]
+        fn vec_lengths_in_range(xs in prop::collection::vec(0u64..10, 2..5)) {
+            prop_assert!(xs.len() >= 2 && xs.len() < 5);
+            prop_assert!(xs.iter().all(|&x| x < 10));
+        }
+
+        #[test]
+        fn tuples_and_nested_vecs(
+            pts in prop::collection::vec((0.0f64..1.0, 0.0f64..1.0), 1..4),
+            flag in any::<bool>(),
+        ) {
+            prop_assert!(!pts.is_empty());
+            prop_assert!(pts.iter().all(|&(a, b)| (0.0..1.0).contains(&a)
+                && (0.0..1.0).contains(&b)));
+            prop_assert!(matches!(flag, true | false));
+        }
+
+        #[test]
+        fn oneof_and_just_and_map(
+            k in prop_oneof![Just(Kind::A), Just(Kind::B)],
+            s in (1u32..5).prop_map(|n| "x".repeat(n as usize)),
+        ) {
+            prop_assert!(k == Kind::A || k == Kind::B);
+            prop_assert!((1..5).contains(&s.len()));
+        }
+
+        #[test]
+        fn regex_strings_match_shape(s in "[a-z][a-z0-9]{0,8}") {
+            let mut chars = s.chars();
+            let first = chars.next().unwrap();
+            prop_assert!(first.is_ascii_lowercase());
+            prop_assert!(s.len() <= 9);
+            prop_assert!(chars.all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()));
+        }
+
+        #[test]
+        fn printable_class_generates_no_controls(s in "\\PC{0,200}") {
+            prop_assert!(s.chars().count() <= 200);
+            prop_assert!(s.chars().all(|c| !c.is_control()));
+        }
+    }
+
+    #[test]
+    fn same_test_name_same_stream() {
+        let mut a = crate::test_runner::TestRng::for_test("t");
+        let mut b = crate::test_runner::TestRng::for_test("t");
+        for _ in 0..32 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn failing_case_panics() {
+        let result = std::panic::catch_unwind(|| {
+            proptest! {
+                #[allow(unused)]
+                fn always_fails(x in 0u64..10) {
+                    prop_assert!(x > 100, "impossible");
+                }
+            }
+            always_fails();
+        });
+        assert!(result.is_err());
+    }
+}

@@ -1,0 +1,359 @@
+//! The [`Strategy`] trait and the combinators the workspace's tests use.
+
+use crate::test_runner::TestRng;
+use std::fmt::Debug;
+use std::ops::{Range, RangeInclusive};
+
+/// A recipe for generating values of `Self::Value`.
+///
+/// Unlike upstream proptest there is no value tree / shrinking: a strategy
+/// is just a sampler.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value: Debug;
+
+    /// Draw one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values with `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        O: Debug,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { base: self, f }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).sample(rng)
+    }
+}
+
+/// A boxed, type-erased strategy (what `prop_oneof!` arms become).
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T: Debug> Strategy for Box<dyn Strategy<Value = T>> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        (**self).sample(rng)
+    }
+}
+
+/// Box a strategy (helper used by `prop_oneof!`).
+pub fn boxed<S: Strategy + 'static>(s: S) -> BoxedStrategy<S::Value> {
+    Box::new(s)
+}
+
+// --- ranges -------------------------------------------------------------
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let off = ((rng.next_u64() as u128 * span) >> 64) as i128;
+                (self.start as i128 + off) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let off = ((rng.next_u64() as u128 * span) >> 64) as i128;
+                (lo as i128 + off) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+macro_rules! float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                self.start + (rng.unit_f64() as $t) * (self.end - self.start)
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                lo + (rng.unit_f64() as $t) * (hi - lo)
+            }
+        }
+    )*};
+}
+
+float_range_strategy!(f32, f64);
+
+// --- constants and combinators ------------------------------------------
+
+/// Always produce a clone of the wrapped value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Result of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    pub(crate) base: S,
+    pub(crate) f: F,
+}
+
+impl<S, F, O> Strategy for Map<S, F>
+where
+    S: Strategy,
+    O: Debug,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.base.sample(rng))
+    }
+}
+
+/// Uniform choice among boxed strategies (what `prop_oneof!` builds).
+pub struct Union<T> {
+    arms: Vec<BoxedStrategy<T>>,
+}
+
+impl<T: Debug> Union<T> {
+    /// A union over `arms`; panics when `arms` is empty.
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<T: Debug> Strategy for Union<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        let i = rng.uniform_usize(0, self.arms.len() - 1);
+        self.arms[i].sample(rng)
+    }
+}
+
+// --- tuples -------------------------------------------------------------
+
+macro_rules! tuple_strategy {
+    ($($s:ident => $i:tt),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$i.sample(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A => 0);
+tuple_strategy!(A => 0, B => 1);
+tuple_strategy!(A => 0, B => 1, C => 2);
+tuple_strategy!(A => 0, B => 1, C => 2, D => 3);
+tuple_strategy!(A => 0, B => 1, C => 2, D => 3, E => 4);
+tuple_strategy!(A => 0, B => 1, C => 2, D => 3, E => 4, F => 5);
+tuple_strategy!(A => 0, B => 1, C => 2, D => 3, E => 4, F => 5, G => 6);
+tuple_strategy!(A => 0, B => 1, C => 2, D => 3, E => 4, F => 5, G => 6, H => 7);
+
+// --- regex-shaped string strategies -------------------------------------
+
+/// `&str` literals act as regex-subset string strategies, supporting the
+/// patterns this workspace uses: literal characters, `[a-z0-9]`-style
+/// classes, `\PC` (any printable character), and `{m}` / `{m,n}` counted
+/// repetition of the preceding atom.
+impl Strategy for &'static str {
+    type Value = String;
+    fn sample(&self, rng: &mut TestRng) -> String {
+        sample_regex(self, rng)
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Atom {
+    Literal(char),
+    /// Explicit choice set, expanded from a `[...]` class.
+    Class(Vec<char>),
+    /// `\PC`: any printable (non-control) character.
+    Printable,
+}
+
+fn parse_class(chars: &mut std::iter::Peekable<std::str::Chars>) -> Vec<char> {
+    let mut set = Vec::new();
+    let mut prev: Option<char> = None;
+    loop {
+        let c = chars
+            .next()
+            .unwrap_or_else(|| panic!("unterminated [..] class in regex strategy"));
+        match c {
+            ']' => break,
+            '-' if prev.is_some() && chars.peek().is_some_and(|&n| n != ']') => {
+                let lo = prev.take().unwrap();
+                let hi = chars.next().unwrap();
+                assert!(lo <= hi, "inverted range {lo}-{hi} in class");
+                for code in lo as u32..=hi as u32 {
+                    if let Some(ch) = char::from_u32(code) {
+                        set.push(ch);
+                    }
+                }
+            }
+            other => {
+                if let Some(p) = prev.take() {
+                    set.push(p);
+                }
+                prev = Some(other);
+            }
+        }
+    }
+    if let Some(p) = prev {
+        set.push(p);
+    }
+    assert!(!set.is_empty(), "empty [..] class in regex strategy");
+    set
+}
+
+fn parse_repeat(chars: &mut std::iter::Peekable<std::str::Chars>) -> (usize, usize) {
+    let mut spec = String::new();
+    for c in chars.by_ref() {
+        if c == '}' {
+            let (lo, hi) = match spec.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.parse().expect("bad {m,n} lower bound"),
+                    hi.parse().expect("bad {m,n} upper bound"),
+                ),
+                None => {
+                    let n = spec.parse().expect("bad {m} count");
+                    (n, n)
+                }
+            };
+            assert!(lo <= hi, "inverted repetition {{{spec}}}");
+            return (lo, hi);
+        }
+        spec.push(c);
+    }
+    panic!("unterminated {{..}} repetition in regex strategy");
+}
+
+fn sample_regex(pattern: &str, rng: &mut TestRng) -> String {
+    let mut chars = pattern.chars().peekable();
+    let mut out = String::new();
+    let mut atom: Option<Atom> = None;
+    let emit = |atom: &Atom, reps: (usize, usize), rng: &mut TestRng, out: &mut String| {
+        let n = rng.uniform_usize(reps.0, reps.1);
+        for _ in 0..n {
+            match atom {
+                Atom::Literal(c) => out.push(*c),
+                Atom::Class(set) => out.push(set[rng.uniform_usize(0, set.len() - 1)]),
+                Atom::Printable => {
+                    // Mostly printable ASCII, occasionally multibyte, to
+                    // exercise lexers without drowning them in unicode.
+                    const EXOTIC: [char; 6] = ['é', 'λ', '中', '∀', '†', '✓'];
+                    if rng.uniform_usize(0, 9) == 0 {
+                        out.push(EXOTIC[rng.uniform_usize(0, EXOTIC.len() - 1)]);
+                    } else {
+                        out.push(char::from_u32(rng.uniform_usize(0x20, 0x7e) as u32).unwrap());
+                    }
+                }
+            }
+        }
+    };
+    while let Some(c) = chars.next() {
+        // A new atom begins: flush the previous one (exactly once).
+        let next_atom = match c {
+            '[' => Atom::Class(parse_class(&mut chars)),
+            '\\' => {
+                let esc = chars.next().expect("dangling backslash in regex strategy");
+                match esc {
+                    'P' | 'p' => {
+                        let class = chars.next().expect("dangling \\P in regex strategy");
+                        assert_eq!(class, 'C', "only \\PC is supported, got \\P{class}");
+                        Atom::Printable
+                    }
+                    other => Atom::Literal(other),
+                }
+            }
+            '{' => {
+                let reps = parse_repeat(&mut chars);
+                let a = atom.take().expect("{..} repetition with no preceding atom");
+                emit(&a, reps, rng, &mut out);
+                continue;
+            }
+            other => Atom::Literal(other),
+        };
+        if let Some(a) = atom.replace(next_atom) {
+            emit(&a, (1, 1), rng, &mut out);
+        }
+    }
+    if let Some(a) = atom.take() {
+        emit(&a, (1, 1), rng, &mut out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn class_with_ranges_expands() {
+        let mut rng = TestRng::for_test("class");
+        for _ in 0..200 {
+            let s = sample_regex("[a-c][0-2]", &mut rng);
+            let mut cs = s.chars();
+            assert!(('a'..='c').contains(&cs.next().unwrap()));
+            assert!(('0'..='2').contains(&cs.next().unwrap()));
+            assert!(cs.next().is_none());
+        }
+    }
+
+    #[test]
+    fn counted_repetition_bounds() {
+        let mut rng = TestRng::for_test("reps");
+        let mut lens = std::collections::BTreeSet::new();
+        for _ in 0..300 {
+            let s = sample_regex("x{2,4}", &mut rng);
+            assert!(s.chars().all(|c| c == 'x'));
+            lens.insert(s.len());
+        }
+        assert_eq!(lens.into_iter().collect::<Vec<_>>(), vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn exact_repetition() {
+        let mut rng = TestRng::for_test("exact");
+        assert_eq!(sample_regex("ab{3}c", &mut rng), "abbbc");
+    }
+
+    #[test]
+    fn printable_is_never_control() {
+        let mut rng = TestRng::for_test("pc");
+        for _ in 0..50 {
+            let s = sample_regex("\\PC{0,40}", &mut rng);
+            assert!(s.chars().all(|c| !c.is_control()));
+            assert!(s.chars().count() <= 40);
+        }
+    }
+
+    #[test]
+    fn literal_passthrough() {
+        let mut rng = TestRng::for_test("lit");
+        assert_eq!(sample_regex("abc", &mut rng), "abc");
+    }
+}

@@ -1,0 +1,292 @@
+//! Hermetic stand-in for the `rayon` API surface this workspace uses.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors this shim instead of the real crate. The `par_*` entry points
+//! return a [`ParIter`] wrapper around **standard sequential iterators**:
+//! every adaptor chain written against them (`zip`, `map`, `enumerate`,
+//! `for_each`, `sum`, rayon-style `reduce`, …) compiles and runs unchanged,
+//! just on one thread, and floating-point reductions become
+//! bit-deterministic (sequential order) as a side effect — which the
+//! regression baselines in `baselines/` rely on.
+//!
+//! Swapping the real rayon back in is a one-line change in the workspace
+//! `Cargo.toml`; no call site needs to change.
+
+use std::ops::Range;
+
+/// Sequential iterator wearing rayon's parallel-iterator interface.
+///
+/// Implements [`Iterator`] by delegation, so every std adaptor works; the
+/// inherent `map` / `reduce` below shadow the std versions to keep rayon's
+/// signatures (rayon's `reduce` takes an identity closure and returns a
+/// bare value, not an `Option`).
+#[derive(Debug, Clone)]
+pub struct ParIter<I> {
+    inner: I,
+}
+
+impl<I: Iterator> Iterator for ParIter<I> {
+    type Item = I::Item;
+    fn next(&mut self) -> Option<I::Item> {
+        self.inner.next()
+    }
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.inner.size_hint()
+    }
+}
+
+impl<I: Iterator> ParIter<I> {
+    /// rayon-style `map`: stays a [`ParIter`] so rayon-only methods remain
+    /// available downstream.
+    #[allow(clippy::should_implement_trait)]
+    pub fn map<B, F: FnMut(I::Item) -> B>(self, f: F) -> ParIter<std::iter::Map<I, F>> {
+        ParIter {
+            inner: self.inner.map(f),
+        }
+    }
+
+    /// rayon-style `reduce`: folds from `identity()` with `op`.
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> I::Item
+    where
+        ID: Fn() -> I::Item,
+        OP: Fn(I::Item, I::Item) -> I::Item,
+    {
+        self.inner.fold(identity(), op)
+    }
+
+    /// rayon-style `with_min_len`: a no-op splitting hint here.
+    pub fn with_min_len(self, _min: usize) -> Self {
+        self
+    }
+
+    /// rayon-style `with_max_len`: a no-op splitting hint here.
+    pub fn with_max_len(self, _max: usize) -> Self {
+        self
+    }
+}
+
+/// Consume a collection into a "parallel" (here: sequential) iterator.
+pub trait IntoParallelIterator {
+    /// Element type.
+    type Item;
+    /// Underlying iterator type.
+    type Iter: Iterator<Item = Self::Item>;
+    /// Convert into the iterator.
+    fn into_par_iter(self) -> ParIter<Self::Iter>;
+}
+
+impl<T> IntoParallelIterator for Range<T>
+where
+    Range<T>: Iterator,
+{
+    type Item = <Range<T> as Iterator>::Item;
+    type Iter = Range<T>;
+    fn into_par_iter(self) -> ParIter<Self::Iter> {
+        ParIter { inner: self }
+    }
+}
+
+impl<T> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = std::vec::IntoIter<T>;
+    fn into_par_iter(self) -> ParIter<Self::Iter> {
+        ParIter {
+            inner: self.into_iter(),
+        }
+    }
+}
+
+impl<'a, T> IntoParallelIterator for &'a [T] {
+    type Item = &'a T;
+    type Iter = std::slice::Iter<'a, T>;
+    fn into_par_iter(self) -> ParIter<Self::Iter> {
+        ParIter { inner: self.iter() }
+    }
+}
+
+impl<'a, T> IntoParallelIterator for &'a Vec<T> {
+    type Item = &'a T;
+    type Iter = std::slice::Iter<'a, T>;
+    fn into_par_iter(self) -> ParIter<Self::Iter> {
+        ParIter { inner: self.iter() }
+    }
+}
+
+/// `par_iter` / `par_chunks` on shared slices.
+pub trait ParallelSlice<T> {
+    /// Sequential stand-in for `rayon`'s `par_iter`.
+    fn par_iter(&self) -> ParIter<std::slice::Iter<'_, T>>;
+    /// Sequential stand-in for `rayon`'s `par_chunks`.
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<std::slice::Chunks<'_, T>>;
+}
+
+impl<T> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> ParIter<std::slice::Iter<'_, T>> {
+        ParIter { inner: self.iter() }
+    }
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<std::slice::Chunks<'_, T>> {
+        ParIter {
+            inner: self.chunks(chunk_size),
+        }
+    }
+}
+
+/// `par_iter_mut` / `par_chunks_mut` on mutable slices.
+pub trait ParallelSliceMut<T> {
+    /// Sequential stand-in for `rayon`'s `par_iter_mut`.
+    fn par_iter_mut(&mut self) -> ParIter<std::slice::IterMut<'_, T>>;
+    /// Sequential stand-in for `rayon`'s `par_chunks_mut`.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<std::slice::ChunksMut<'_, T>>;
+}
+
+impl<T> ParallelSliceMut<T> for [T] {
+    fn par_iter_mut(&mut self) -> ParIter<std::slice::IterMut<'_, T>> {
+        ParIter {
+            inner: self.iter_mut(),
+        }
+    }
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<std::slice::ChunksMut<'_, T>> {
+        ParIter {
+            inner: self.chunks_mut(chunk_size),
+        }
+    }
+}
+
+pub mod prelude {
+    //! Mirror of `rayon::prelude`.
+    pub use super::{IntoParallelIterator, ParIter, ParallelSlice, ParallelSliceMut};
+}
+
+/// Error type for pool construction (construction here cannot fail).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error (vendored sequential rayon)")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// New builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record the requested pool size (advisory only in this shim).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Build the (sequential) pool.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads.max(1),
+        })
+    }
+}
+
+/// A "pool" that runs closures on the calling thread.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Run `op` (on the calling thread) and return its result.
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        op()
+    }
+
+    /// The requested pool size.
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+}
+
+/// Global "pool" width: always 1 in this sequential shim.
+pub fn current_num_threads() -> usize {
+    1
+}
+
+/// Run both closures (sequentially) and return both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_chain_matches_sequential() {
+        let a = [1.0f64, 2.0, 3.0];
+        let b = [4.0f64, 5.0, 6.0];
+        let dot: f64 = a.par_iter().zip(b.par_iter()).map(|(x, y)| x * y).sum();
+        assert_eq!(dot, 32.0);
+    }
+
+    #[test]
+    fn par_chunks_mut_covers_all_elements() {
+        let mut v = vec![0u32; 10];
+        v.par_chunks_mut(3).enumerate().for_each(|(i, chunk)| {
+            for x in chunk {
+                *x = i as u32;
+            }
+        });
+        assert_eq!(v, [0, 0, 0, 1, 1, 1, 2, 2, 2, 3]);
+    }
+
+    #[test]
+    fn range_into_par_iter_with_rayon_reduce() {
+        let worst = (0..10usize)
+            .into_par_iter()
+            .map(|i| (i as f64 - 5.0).abs())
+            .reduce(|| 0.0, f64::max);
+        assert_eq!(worst, 5.0);
+    }
+
+    #[test]
+    fn range_map_sum() {
+        let total: usize = (1..5usize).into_par_iter().map(|i| i * i).sum();
+        assert_eq!(total, 30);
+    }
+
+    #[test]
+    fn par_iter_mut_zip_for_each() {
+        let mut x = vec![1.0f64, 2.0, 3.0];
+        let p = [10.0f64, 20.0, 30.0];
+        x.par_iter_mut()
+            .zip(p.par_iter())
+            .for_each(|(xi, pi)| *xi += pi);
+        assert_eq!(x, [11.0, 22.0, 33.0]);
+    }
+
+    #[test]
+    fn pool_installs_on_calling_thread() {
+        let pool = super::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .unwrap();
+        assert_eq!(pool.current_num_threads(), 4);
+        assert_eq!(pool.install(|| 21 * 2), 42);
+    }
+
+    #[test]
+    fn join_returns_both() {
+        assert_eq!(super::join(|| 1, || "x"), (1, "x"));
+    }
+}
