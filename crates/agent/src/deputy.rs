@@ -203,7 +203,8 @@ mod tests {
         let down_then_up = pg_net::churn::ChurnSchedule::from_toggles(
             true,
             vec![SimTime::from_secs(10), SimTime::from_secs(20)],
-        );
+        )
+        .unwrap();
         let mut d2 = DisconnectionDeputy::new(LinkModel::wifi(), down_then_up, 2);
         assert!(d2.is_connected(SimTime::from_secs(5)));
         assert!(!d2.is_connected(SimTime::from_secs(15)));

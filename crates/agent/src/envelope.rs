@@ -81,6 +81,10 @@ pub struct Envelope {
     pub payload: Payload,
     /// When the envelope was handed to the infrastructure.
     pub sent_at: SimTime,
+    /// Reliable-delivery sequence number, stamped by the system when
+    /// reliability is enabled; `0` means fire-and-forget (the default).
+    /// Receivers use it to detect retransmitted duplicates.
+    pub seq: u64,
 }
 
 impl Envelope {
@@ -100,6 +104,7 @@ impl Envelope {
             ontology: ontology.into(),
             payload,
             sent_at: SimTime::ZERO,
+            seq: 0,
         }
     }
 

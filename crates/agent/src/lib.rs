@@ -36,6 +36,8 @@
 //! assert_eq!(reply.ontology, "pg:sensor-services");
 //! ```
 
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod deputy;
 pub mod envelope;
 pub mod negotiate;
@@ -45,4 +47,4 @@ pub mod system;
 pub use deputy::{DeliveryOutcome, Deputy, DirectDeputy, DisconnectionDeputy, TranscodingDeputy};
 pub use envelope::{AgentId, Envelope, Payload};
 pub use profile::{AgentAttribute, AgentProfile};
-pub use system::{Agent, AgentSystem, AsAny};
+pub use system::{Agent, AgentSystem, AsAny, ReliableConfig};

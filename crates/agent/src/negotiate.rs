@@ -210,6 +210,8 @@ impl InitiatorAgent {
     }
 
     /// Force a decision with the bids collected so far (timeout path).
+    // Bid prices and promises are finite by construction, never NaN.
+    #[allow(clippy::expect_used)]
     pub fn decide(&mut self) -> Vec<Envelope> {
         let admissible: Vec<&(AgentId, Bid)> = self
             .bids
@@ -313,6 +315,9 @@ pub fn commitment_met(state: &TenderState) -> Option<bool> {
 /// Returns the final tender state. Providers that cannot meet the deadline
 /// never bid; `expected_bidders` is therefore set to the number of
 /// *capable* providers so silence counts as an answer.
+// The initiator is registered a few lines up and never deregistered, so
+// the lookups and downcasts cannot fail.
+#[allow(clippy::expect_used)]
 pub fn run_tender(
     sys: &mut crate::system::AgentSystem,
     cfp: CallForProposals,

@@ -6,13 +6,99 @@
 //! outgoing envelopes are scheduled after the transport delay the deputy
 //! reported. Queued envelopes are re-examined whenever the system polls
 //! deputies (a periodic flush tick), reproducing disconnection tolerance.
+//!
+//! ## Reliable delivery
+//!
+//! With [`AgentSystem::enable_reliability`] every envelope gets a sequence
+//! number, an ack timer and bounded retransmissions with exponential
+//! backoff plus deterministic jitter (derived by hashing, not by a shared
+//! RNG, so identical seeds replay identically). Receivers acknowledge and
+//! deduplicate by sequence number; a message that exhausts its retries is
+//! counted as a dead letter. Combined with an installed
+//! [`FaultPlan`][pg_sim::fault::FaultPlan] (see
+//! [`AgentSystem::set_fault_plan`]) this is the paper's §3 requirement made
+//! concrete: the agent platform "degrades gracefully" — lossy transport
+//! costs latency and energy, not answers, until loss exceeds the retry
+//! budget.
 
 use crate::deputy::{DeliveryOutcome, Deputy};
 use crate::envelope::{AgentId, Envelope};
 use crate::profile::{AgentAttribute, AgentProfile};
+use pg_sim::fault::{FaultInjector, FaultPlan, MessageFate};
 use pg_sim::metrics::Metrics;
+use pg_sim::rng::mix;
 use pg_sim::{Duration, Model, Scheduler, SimTime, Simulation};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Tuning for per-envelope ack/retry semantics.
+#[derive(Debug, Clone, Copy)]
+pub struct ReliableConfig {
+    /// How long to wait for an ack before the first retransmission.
+    pub ack_timeout: Duration,
+    /// Retransmissions after the initial send before dead-lettering.
+    pub max_retries: u32,
+    /// Multiplier applied to the timeout per retry (exponential backoff).
+    pub backoff: f64,
+    /// Uniform jitter fraction added to each backoff delay (`0.1` = up to
+    /// +10 %), de-synchronizing retry bursts deterministically.
+    pub jitter_frac: f64,
+    /// Receiver-side processing delay before the ack is considered sent.
+    pub ack_delay: Duration,
+}
+
+impl Default for ReliableConfig {
+    fn default() -> Self {
+        ReliableConfig {
+            ack_timeout: Duration::from_secs(5),
+            max_retries: 5,
+            backoff: 2.0,
+            jitter_frac: 0.1,
+            ack_delay: Duration::from_millis(10),
+        }
+    }
+}
+
+/// One reliably-sent envelope awaiting its ack.
+struct PendingSend {
+    env: Envelope,
+    /// Retransmissions performed so far.
+    attempt: u32,
+}
+
+/// Reliable-delivery state: sequence numbering, pending table, dedup set.
+struct Reliable {
+    cfg: ReliableConfig,
+    next_seq: u64,
+    jitter_seed: u64,
+    jitter_counter: u64,
+    pending: BTreeMap<u64, PendingSend>,
+    delivered: BTreeSet<u64>,
+}
+
+impl Reliable {
+    fn new(cfg: ReliableConfig, seed: u64) -> Self {
+        Reliable {
+            cfg,
+            next_seq: 1,
+            // Domain-separate the jitter stream from every other use of the
+            // seed (the constant is ASCII "retry").
+            jitter_seed: mix(seed, 0x0072_6574_7279),
+            jitter_counter: 0,
+            pending: BTreeMap::new(),
+            delivered: BTreeSet::new(),
+        }
+    }
+
+    /// Backoff delay before retry number `attempt` (0 = first ack wait),
+    /// with deterministic multiplicative jitter from the hash stream.
+    fn retry_delay(&mut self, attempt: u32) -> Duration {
+        let base = self.cfg.ack_timeout.as_secs_f64() * self.cfg.backoff.powi(attempt as i32);
+        // 53 explicitly-placed mantissa bits -> uniform in [0, 1).
+        let u = (mix(self.jitter_seed, self.jitter_counter) >> 11) as f64 / (1u64 << 53) as f64;
+        self.jitter_counter = self.jitter_counter.wrapping_add(1);
+        Duration::from_secs_f64(base * (1.0 + self.cfg.jitter_frac * u))
+    }
+}
 
 /// Upcast helper so concrete agents can be recovered from the registry
 /// (e.g. to read results out after a run). Blanket-implemented for every
@@ -62,6 +148,10 @@ enum Ev {
     Inbound(Envelope),
     /// Periodic deputy flush (releases disconnection queues).
     FlushTick,
+    /// Ack timer for a reliably-sent envelope expired.
+    RetryTimer(u64),
+    /// The receiver's ack for sequence number `seq` reaches the sender.
+    AckArrives(u64),
 }
 
 struct World {
@@ -70,6 +160,8 @@ struct World {
     metrics: Metrics,
     flush_every: Duration,
     idle_after: Option<SimTime>,
+    injector: FaultInjector,
+    reliable: Option<Reliable>,
 }
 
 impl Model for World {
@@ -78,6 +170,14 @@ impl Model for World {
     fn handle(&mut self, now: SimTime, ev: Ev, sched: &mut Scheduler<Ev>) {
         match ev {
             Ev::Inbound(env) => self.route(now, env, sched),
+            Ev::RetryTimer(seq) => self.retry(now, seq, sched),
+            Ev::AckArrives(seq) => {
+                if let Some(r) = self.reliable.as_mut() {
+                    if r.pending.remove(&seq).is_some() {
+                        self.metrics.count("reliable.acked", 1);
+                    }
+                }
+            }
             Ev::FlushTick => {
                 let mut released = Vec::new();
                 for (&id, deputy) in self.deputies.iter_mut() {
@@ -104,16 +204,92 @@ impl Model for World {
 }
 
 impl World {
-    fn route(&mut self, now: SimTime, env: Envelope, sched: &mut Scheduler<Ev>) {
-        let Some(deputy) = self.deputies.get_mut(&env.to) else {
-            self.metrics.count("route.unknown_agent", 1);
+    /// Hand an envelope to the infrastructure at `at`: stamp it, register
+    /// it for reliable delivery when enabled, and put it in flight. The
+    /// single entry point for both API sends and handler responses, so
+    /// sequence numbering is uniform.
+    fn dispatch(&mut self, at: SimTime, mut env: Envelope, sched: &mut Scheduler<Ev>) {
+        env.sent_at = at;
+        if let Some(r) = self.reliable.as_mut() {
+            if env.seq == 0 {
+                env.seq = r.next_seq;
+                r.next_seq += 1;
+            }
+            self.metrics.count("reliable.sent", 1);
+            let delay = r.retry_delay(0);
+            r.pending.insert(
+                env.seq,
+                PendingSend {
+                    env: env.clone(),
+                    attempt: 0,
+                },
+            );
+            sched.schedule_at(at + delay, Ev::RetryTimer(env.seq));
+        }
+        sched.schedule_at(at, Ev::Inbound(env));
+    }
+
+    /// An ack timer fired: retransmit (with backoff) or dead-letter.
+    fn retry(&mut self, now: SimTime, seq: u64, sched: &mut Scheduler<Ev>) {
+        let Some(r) = self.reliable.as_mut() else {
             return;
         };
+        let Some(p) = r.pending.get_mut(&seq) else {
+            return; // acked in the meantime
+        };
+        if p.attempt >= r.cfg.max_retries {
+            r.pending.remove(&seq);
+            self.metrics.count("reliable.dead_letter", 1);
+            return;
+        }
+        p.attempt += 1;
+        let attempt = p.attempt;
+        let env = p.env.clone();
+        let delay = r.retry_delay(attempt);
+        self.metrics.count("reliable.retries", 1);
+        sched.schedule_at(now + delay, Ev::RetryTimer(seq));
+        self.route(now, env, sched);
+    }
+
+    // The early return above guarantees the destination deputy exists.
+    #[allow(clippy::expect_used)]
+    fn route(&mut self, now: SimTime, env: Envelope, sched: &mut Scheduler<Ev>) {
+        if !self.deputies.contains_key(&env.to) {
+            self.metrics.count("route.unknown_agent", 1);
+            return;
+        }
         self.metrics.count("route.sent", 1);
         self.metrics.count("route.bytes", env.wire_bytes());
+        // Injected faults act on the wire, before the deputy sees the
+        // frame. A reliably-sent envelope that is killed here stays in the
+        // pending table; its retry timer recovers it.
+        let mut extra_delay = Duration::ZERO;
+        if self.injector.plan().is_active() {
+            match self.injector.next_fate(now) {
+                MessageFate::Deliver => {}
+                MessageFate::Drop => {
+                    self.metrics.count("fault.dropped", 1);
+                    return;
+                }
+                MessageFate::Corrupt => {
+                    // The envelope header checksum fails at the receiver:
+                    // indistinguishable from a drop at this layer.
+                    self.metrics.count("fault.corrupted", 1);
+                    return;
+                }
+                MessageFate::Delay(d) => {
+                    self.metrics.count("fault.delayed", 1);
+                    extra_delay = d;
+                }
+            }
+        }
+        let deputy = self
+            .deputies
+            .get_mut(&env.to)
+            .expect("destination existence checked above");
         match deputy.deliver(env.clone(), now) {
             DeliveryOutcome::Delivered(delay) => {
-                self.arrive(now + delay, env, sched);
+                self.arrive(now + delay + extra_delay, env, sched);
             }
             DeliveryOutcome::Queued => {
                 self.metrics.count("deputy.queued", 1);
@@ -129,6 +305,18 @@ impl World {
     /// its responses.
     fn arrive(&mut self, at: SimTime, env: Envelope, sched: &mut Scheduler<Ev>) {
         let to = env.to;
+        if env.seq != 0 {
+            if let Some(r) = self.reliable.as_mut() {
+                // Ack every copy (the first ack may race a retransmission),
+                // but run the handler exactly once per sequence number.
+                let ack_delay = r.cfg.ack_delay;
+                sched.schedule_at(at + ack_delay, Ev::AckArrives(env.seq));
+                if !r.delivered.insert(env.seq) {
+                    self.metrics.count("reliable.duplicate", 1);
+                    return;
+                }
+            }
+        }
         let Some(agent) = self.agents.get_mut(&to) else {
             return;
         };
@@ -139,9 +327,8 @@ impl World {
         self.metrics
             .observe("route.latency_s", latency.as_secs_f64());
         let outs = Pending(agent.handle(at, env));
-        for mut out in outs.0 {
-            out.sent_at = at;
-            sched.schedule_at(at, Ev::Inbound(out));
+        for out in outs.0 {
+            self.dispatch(at, out, sched);
         }
     }
 }
@@ -168,9 +355,32 @@ impl AgentSystem {
                 metrics: Metrics::new(),
                 flush_every: Duration::from_secs(1),
                 idle_after: None,
+                injector: FaultInjector::new(FaultPlan::none()),
+                reliable: None,
             }),
             next_id: 1,
         }
+    }
+
+    /// Turn on per-envelope ack/retry semantics for everything sent from
+    /// now on. `seed` fixes the deterministic jitter stream; two systems
+    /// with identical seeds, agents and fault plans replay identically.
+    pub fn enable_reliability(&mut self, cfg: ReliableConfig, seed: u64) {
+        self.sim.model.reliable = Some(Reliable::new(cfg, seed));
+    }
+
+    /// Install a fault plan acting on the agent wire: per-message drop,
+    /// corruption and delay plus link-blackout windows. The empty plan
+    /// (the default) changes nothing.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.sim.model.injector = FaultInjector::new(plan);
+    }
+
+    /// `(dropped, corrupted, delayed)` tallies from the installed fault
+    /// injector.
+    pub fn fault_counts(&self) -> (u64, u64, u64) {
+        let i = &self.sim.model.injector;
+        (i.dropped, i.corrupted, i.delayed)
     }
 
     /// Register an agent behind a deputy; returns its fresh id.
@@ -195,11 +405,9 @@ impl AgentSystem {
     }
 
     /// Inject an envelope into the system at the current simulation time.
-    pub fn send(&mut self, mut env: Envelope) {
-        env.sent_at = self.sim.sched.now();
-        self.sim
-            .sched
-            .schedule_at(self.sim.sched.now(), Ev::Inbound(env));
+    pub fn send(&mut self, env: Envelope) {
+        let now = self.sim.sched.now();
+        self.sim.model.dispatch(now, env, &mut self.sim.sched);
     }
 
     /// Run until the event queue drains (all conversations finished).
@@ -341,11 +549,91 @@ mod tests {
     }
 
     #[test]
+    fn reliability_survives_heavy_message_loss() {
+        // 40 % of frames die on the wire; with acks and 5 retries every
+        // ping and pong still lands exactly once.
+        let mut sys = AgentSystem::new();
+        sys.enable_reliability(ReliableConfig::default(), 42);
+        sys.set_fault_plan(FaultPlan::builder(42).message_loss(0.4).build().unwrap());
+        let pinger = sys.register(Box::new(Pinger::new()), direct());
+        let ponger = sys.register(Box::new(Ponger::new()), direct());
+        for _ in 0..20 {
+            sys.send(Envelope::text(pinger, ponger, "acl/ping", "ping"));
+        }
+        sys.run_to_quiescence();
+        let m = sys.metrics();
+        assert!(m.counter("fault.dropped") > 0, "loss must actually bite");
+        assert!(m.counter("reliable.retries") > 0);
+        assert_eq!(m.counter("reliable.dead_letter"), 0);
+        let ponger_saw = sys
+            .agent(ponger)
+            .and_then(|a| a.downcast_ref::<Ponger>())
+            .map(|p| p.pings)
+            .unwrap();
+        assert_eq!(ponger_saw, 20, "every ping processed exactly once");
+        let pongs = sys
+            .agent(pinger)
+            .and_then(|a| a.downcast_ref::<Pinger>())
+            .map(|p| p.pongs)
+            .unwrap();
+        assert_eq!(pongs, 20, "every pong processed exactly once");
+    }
+
+    #[test]
+    fn total_loss_dead_letters_after_bounded_retries() {
+        let mut sys = AgentSystem::new();
+        let cfg = ReliableConfig {
+            max_retries: 3,
+            ..ReliableConfig::default()
+        };
+        sys.enable_reliability(cfg, 7);
+        sys.set_fault_plan(FaultPlan::builder(7).message_loss(1.0).build().unwrap());
+        let pinger = sys.register(Box::new(Pinger::new()), direct());
+        let ponger = sys.register(Box::new(Ponger::new()), direct());
+        sys.send(Envelope::text(pinger, ponger, "acl/ping", "ping"));
+        sys.run_to_quiescence();
+        let m = sys.metrics();
+        assert_eq!(m.counter("reliable.retries"), 3);
+        assert_eq!(m.counter("reliable.dead_letter"), 1);
+        assert_eq!(m.counter("route.delivered"), 0);
+    }
+
+    #[test]
+    fn identical_seeds_replay_identical_retry_totals() {
+        let run = |seed: u64| {
+            let mut sys = AgentSystem::new();
+            sys.enable_reliability(ReliableConfig::default(), seed);
+            sys.set_fault_plan(
+                FaultPlan::builder(seed)
+                    .message_loss(0.3)
+                    .message_delay(0.2, Duration::from_millis(250))
+                    .build()
+                    .unwrap(),
+            );
+            let pinger = sys.register(Box::new(Pinger::new()), direct());
+            let ponger = sys.register(Box::new(Ponger::new()), direct());
+            for _ in 0..10 {
+                sys.send(Envelope::text(pinger, ponger, "acl/ping", "ping"));
+            }
+            sys.run_to_quiescence();
+            (
+                sys.metrics().counter("reliable.retries"),
+                sys.metrics().counter("reliable.acked"),
+                sys.metrics().counter("fault.dropped"),
+                sys.metrics().counter("fault.delayed"),
+                sys.now(),
+            )
+        };
+        assert_eq!(run(9), run(9));
+        assert_ne!(run(9), run(10), "different seeds see different faults");
+    }
+
+    #[test]
     fn disconnection_deputy_delays_delivery_until_reconnect() {
         let mut sys = AgentSystem::new();
         let pinger = sys.register(Box::new(Pinger::new()), direct());
         // Ponger offline from t=0, back at t=30.
-        let schedule = ChurnSchedule::from_toggles(false, vec![SimTime::from_secs(30)]);
+        let schedule = ChurnSchedule::from_toggles(false, vec![SimTime::from_secs(30)]).unwrap();
         let ponger = sys.register(
             Box::new(Ponger::new()),
             Box::new(DisconnectionDeputy::new(LinkModel::wifi(), schedule, 16)),

@@ -1,5 +1,7 @@
 //! Microbenchmark: one epoch of each collection strategy.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pg_bench::standard_world;
 use pg_sensornet::aggregate::AggFn;

@@ -1,6 +1,8 @@
 //! Microbenchmark: decision-maker inference (k-NN prediction + choice)
 //! and the query front end (parse + classify).
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pg_bench::standard_world;
 use pg_partition::decide::{DecisionMaker, Policy};

@@ -1,5 +1,7 @@
 //! Microbenchmark: DES kernel event-queue throughput.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use pg_sim::{Scheduler, SimTime};
 use rand::rngs::StdRng;

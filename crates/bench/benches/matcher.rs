@@ -1,6 +1,8 @@
 //! Microbenchmark: semantic-match throughput vs registry size, and the
 //! syntactic baselines for perspective.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use pg_discovery::baselines::jini_match;
 use pg_discovery::corpus::mixed_corpus;

@@ -1,5 +1,7 @@
 //! Microbenchmark: the three PDE solvers on the reconstruction problem.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pg_grid::pde::{Problem, Solver};
 use pg_net::geom::Point;

@@ -1,5 +1,7 @@
 //! Microbenchmark: HTN decomposition and plan execution bookkeeping.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use pg_compose::htn::MethodLibrary;
 use pg_compose::manager::{execute, ManagerKind, ServiceWorld};

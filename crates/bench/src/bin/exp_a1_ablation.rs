@@ -6,6 +6,8 @@
 //! cargo run --release -p pg-bench --bin exp_a1_ablation [-- --smoke]
 //! ```
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use pg_bench::{fmt, header, standard_world, Experiment};
 use pg_partition::decide::{DecisionMaker, Policy};
 use pg_partition::exec::{execute_once, ExecContext};

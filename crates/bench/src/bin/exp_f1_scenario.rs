@@ -5,6 +5,8 @@
 //! cargo run --release -p pg-bench --bin exp_f1_scenario [-- --smoke]
 //! ```
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use pg_bench::{header, key_part, Experiment};
 use pg_core::FireScenario;
 use std::process::ExitCode;

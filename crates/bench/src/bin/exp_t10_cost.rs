@@ -7,6 +7,8 @@
 //! cargo run --release -p pg-bench --bin exp_t10_cost [-- --smoke]
 //! ```
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use pg_bench::{header, key_part, standard_world, Experiment};
 use pg_partition::decide::{DecisionMaker, Policy};
 use pg_partition::exec::{execute_once, ExecContext};

@@ -7,6 +7,8 @@
 //! cargo run --release -p pg-bench --bin exp_t11_routing [-- --smoke]
 //! ```
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use pg_bench::{fmt, header, key_part, standard_world_with_loss, Experiment};
 use pg_net::routing::Protocol;
 use pg_sensornet::aggregate::READING_WIRE_BYTES;

@@ -6,6 +6,8 @@
 //! cargo run --release -p pg-bench --bin exp_t12_lifetime [-- --smoke]
 //! ```
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use pg_bench::{header, key_part, standard_world, Experiment};
 use pg_net::energy::RadioModel;
 use pg_net::link::LinkModel;
@@ -59,7 +61,7 @@ fn main() -> ExitCode {
                     w.net.topology().clone(),
                     w.net.base(),
                     RadioModel::mote(),
-                    LinkModel::new(250e3, Duration::from_millis(5), 0.02),
+                    LinkModel::new(250e3, Duration::from_millis(5), 0.02).unwrap(),
                     BATTERY_J,
                 );
                 net.noise_sd = 0.5;

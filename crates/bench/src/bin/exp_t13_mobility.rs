@@ -12,6 +12,8 @@
 //! cargo run --release -p pg-bench --bin exp_t13_mobility [-- --smoke]
 //! ```
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use pg_bench::{header, Experiment};
 use pg_compose::htn::MethodLibrary;
 use pg_compose::manager::{execute, ManagerKind, ServiceWorld};

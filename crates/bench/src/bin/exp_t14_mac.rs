@@ -8,6 +8,8 @@
 //! cargo run --release -p pg-bench --bin exp_t14_mac [-- --smoke]
 //! ```
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use pg_bench::{fmt, header, key_part, Experiment};
 use pg_net::energy::RadioModel;
 use pg_net::geom::Point;

@@ -5,6 +5,8 @@
 //! cargo run --release -p pg-bench --bin exp_t1_matrix [-- --smoke]
 //! ```
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use pg_bench::{fmt, header, key_part, standard_world, Experiment};
 use pg_partition::exec::{execute_once, ExecContext};
 use pg_partition::model::SolutionModel;

@@ -6,6 +6,8 @@
 //! cargo run --release -p pg-bench --bin exp_t2_aggregation [-- --smoke]
 //! ```
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use pg_bench::standard_world;
 use pg_bench::{fmt, header, replicate_par, Experiment};
 use pg_sensornet::aggregate::AggFn;

@@ -5,6 +5,8 @@
 //! cargo run --release -p pg-bench --bin exp_t3_adaptive [-- --smoke]
 //! ```
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use pg_bench::{fmt, header, key_part, standard_world, Experiment};
 use pg_partition::decide::{oracle_choice, DecisionMaker, Policy};
 use pg_partition::exec::{execute_once, ExecContext};

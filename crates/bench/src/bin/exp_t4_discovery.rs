@@ -6,6 +6,8 @@
 //! cargo run --release -p pg-bench --bin exp_t4_discovery [-- --smoke]
 //! ```
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use pg_bench::{fmt, header, Experiment};
 use pg_discovery::baselines::jini_match;
 use pg_discovery::broker::BrokerFederation;

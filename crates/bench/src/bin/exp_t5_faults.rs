@@ -6,6 +6,8 @@
 //! cargo run --release -p pg-bench --bin exp_t5_faults [-- --smoke]
 //! ```
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use pg_bench::{header, key_part, Experiment};
 use pg_compose::htn::MethodLibrary;
 use pg_compose::manager::{execute, ManagerKind, ServiceWorld};
@@ -34,7 +36,9 @@ fn world(onto: &Ontology, replicas: usize, availability: f64, seed: u64) -> Serv
             } else {
                 // mean_up/(mean_up+mean_down) = availability, cycle 120 s.
                 let up = 120.0 * availability;
-                ChurnProcess::new(up.max(1.0), (120.0 - up).max(1.0)).schedule(horizon, &mut rng)
+                ChurnProcess::new(up.max(1.0), (120.0 - up).max(1.0))
+                    .unwrap()
+                    .schedule(horizon, &mut rng)
             };
             w.add_service(
                 ServiceDescription::new(format!("{class}-{i}"), onto.class(class).unwrap()),
@@ -134,6 +138,7 @@ fn main() -> ExitCode {
                 let streams = RngStreams::new(31);
                 let up: f64 = 300.0 * center;
                 w.center_churn = ChurnProcess::new(up.max(1.0), (300.0 - up).max(1.0))
+                    .unwrap()
                     .schedule(SimTime::from_secs(200_000), &mut streams.fork("center"));
             }
             let (s, _, _, lat) = measure(&w, &onto, kind, runs);

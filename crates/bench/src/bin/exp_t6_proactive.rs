@@ -5,6 +5,8 @@
 //! cargo run --release -p pg-bench --bin exp_t6_proactive [-- --smoke]
 //! ```
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use pg_bench::{fmt, header, Experiment};
 use pg_compose::htn::MethodLibrary;
 use pg_compose::proactive::{mean_setup_latency, CacheResult, ComposeCosts, PlanCache};

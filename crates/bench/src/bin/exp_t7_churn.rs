@@ -6,6 +6,8 @@
 //! cargo run --release -p pg-bench --bin exp_t7_churn [-- --smoke]
 //! ```
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use pg_bench::{fmt, header, Experiment};
 use pg_compose::htn::MethodLibrary;
 use pg_compose::manager::{execute, ManagerKind, ServiceWorld};
@@ -55,7 +57,9 @@ fn main() -> ExitCode {
             for i in 0..3 {
                 w.add_service(
                     ServiceDescription::new(format!("{class}-{i}"), onto.class(class).unwrap()),
-                    ChurnProcess::new(cycle * 0.75, cycle * 0.25).schedule(horizon, &mut rng),
+                    ChurnProcess::new(cycle * 0.75, cycle * 0.25)
+                        .unwrap()
+                        .schedule(horizon, &mut rng),
                 );
             }
         }

@@ -7,6 +7,8 @@
 //! cargo run --release -p pg-bench --bin exp_t9_pde [-- --smoke]
 //! ```
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use pg_bench::{fmt, header, standard_world, Experiment};
 use pg_grid::pde::{Problem, Solver};
 use pg_grid::reduction;

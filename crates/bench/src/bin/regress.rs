@@ -14,6 +14,8 @@
 //! exits non-zero with a human-readable drift table. Metrics present only
 //! in the fresh report warn (the baseline is stale but nothing regressed).
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use pg_bench::regress::{compare, drift_table, Tolerances};
 use pg_sim::report::Report;
 use std::path::PathBuf;
@@ -126,6 +128,32 @@ fn main() -> ExitCode {
             for v in cmp.violations.iter().filter(|v| !v.starts_with("drift:")) {
                 println!("  {v}");
             }
+        }
+    }
+
+    // The reverse direction: a fresh report with no committed baseline is
+    // an experiment the gate would silently never cover. Fail loudly with
+    // the one-liner that fixes it.
+    if let Ok(entries) = std::fs::read_dir(&results) {
+        let mut fresh_only: Vec<String> = entries
+            .filter_map(|e| e.ok())
+            .filter_map(|e| e.file_name().to_str().map(String::from))
+            .filter(|n| n.starts_with("exp_") && n.ends_with(".json"))
+            .filter(|n| {
+                let exp = n.strip_suffix(".json").unwrap_or(n);
+                !baselines.join(format!("BENCH_{exp}.json")).exists()
+            })
+            .collect();
+        fresh_only.sort();
+        for n in &fresh_only {
+            let exp = n.strip_suffix(".json").unwrap_or(n);
+            eprintln!(
+                "FAIL {exp}: fresh report {} has no baseline {} — commit one \
+                 via scripts/run_experiments.sh --smoke --rebaseline",
+                results.join(n).display(),
+                baselines.join(format!("BENCH_{exp}.json")).display(),
+            );
+            failures += 1;
         }
     }
 

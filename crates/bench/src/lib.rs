@@ -7,6 +7,8 @@
 //! machine-readable `results/<exp>.json`) and the [`regress`] comparator
 //! that diffs those reports against committed baselines in CI.
 
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod experiment;
 pub mod regress;
 
@@ -46,6 +48,10 @@ pub fn standard_world(n: usize, seed: u64) -> World {
 }
 
 /// [`standard_world`] with an explicit link-loss probability.
+///
+/// # Panics
+/// Panics when `loss` is outside `[0, 1)`.
+#[allow(clippy::unwrap_used)]
 pub fn standard_world_with_loss(n: usize, seed: u64, loss: f64) -> World {
     use rand::SeedableRng;
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
@@ -62,7 +68,7 @@ pub fn standard_world_with_loss(n: usize, seed: u64, loss: f64) -> World {
         topo,
         base,
         RadioModel::mote(),
-        LinkModel::new(250e3, Duration::from_millis(5), loss),
+        LinkModel::new(250e3, Duration::from_millis(5), loss).unwrap(),
         50.0,
     );
     net.noise_sd = 0.5;

@@ -35,6 +35,8 @@
 //! assert_eq!(plan.critical_path_len(), 4); // a pure pipeline
 //! ```
 
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod htn;
 pub mod manager;
 pub mod plan;

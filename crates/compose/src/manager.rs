@@ -434,7 +434,7 @@ mod tests {
         let mut w2 = ServiceWorld::new();
         let dead = w2.add_service(
             ServiceDescription::new("dead-sensor", o.class("TemperatureSensor").unwrap()),
-            ChurnSchedule::from_toggles(false, vec![]),
+            ChurnSchedule::from_toggles(false, vec![]).unwrap(),
         );
         // Then copy over the healthy services.
         for (_, d) in w.registry.iter() {
@@ -482,7 +482,7 @@ mod tests {
         let o = onto();
         let mut w = healthy_world(&o);
         // The central manager is down until t = 30 s.
-        w.center_churn = ChurnSchedule::from_toggles(false, vec![SimTime::from_secs(30)]);
+        w.center_churn = ChurnSchedule::from_toggles(false, vec![SimTime::from_secs(30)]).unwrap();
         let c = execute(&w, &o, &plan(), ManagerKind::Centralized, SimTime::ZERO);
         let d = execute(
             &w,
@@ -507,7 +507,7 @@ mod tests {
     fn dead_center_fails_centralized_composition_entirely() {
         let o = onto();
         let mut w = healthy_world(&o);
-        w.center_churn = ChurnSchedule::from_toggles(false, vec![]);
+        w.center_churn = ChurnSchedule::from_toggles(false, vec![]).unwrap();
         let c = execute(&w, &o, &plan(), ManagerKind::Centralized, SimTime::ZERO);
         assert!(!c.success);
         assert_eq!(c.utility, 0.0);

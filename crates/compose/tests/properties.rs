@@ -1,5 +1,7 @@
 //! Property-based tests for composition invariants.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use pg_compose::htn::{Method, MethodLibrary, TaskNode};
 use pg_compose::manager::{execute, ManagerKind, ServiceWorld, StepOutcome};
 use pg_compose::plan::Role;
@@ -86,7 +88,7 @@ proptest! {
                 } else {
                     let up = (60.0 * avail).max(0.5);
                     let down = (60.0 * (1.0 - avail)).max(0.5);
-                    ChurnProcess::new(up, down).schedule(horizon, &mut rng)
+                    ChurnProcess::new(up, down).unwrap().schedule(horizon, &mut rng)
                 };
                 w.add_service(
                     ServiceDescription::new(format!("{class}-{i}"), onto.class(class).unwrap()),

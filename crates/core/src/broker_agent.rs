@@ -133,6 +133,8 @@ impl Agent for BrokerAgent {
         &self.profile
     }
 
+    // Hit ids come straight out of the registry query, so lookup succeeds.
+    #[allow(clippy::expect_used)]
     fn handle(&mut self, _now: SimTime, env: Envelope) -> Vec<Envelope> {
         if env.content_type != CT_DISC_QUERY {
             return Vec::new();

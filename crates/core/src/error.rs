@@ -14,6 +14,9 @@ pub enum PgError {
     /// No solution model satisfies the query's COST bounds — the runtime
     /// rejects rather than blowing the budget (experiment T10).
     CostBoundsUnsatisfiable,
+    /// A component was (re)configured with invalid parameters — a bad
+    /// fault plan, link model, region, or filter.
+    Config(String),
 }
 
 impl fmt::Display for PgError {
@@ -24,6 +27,7 @@ impl fmt::Display for PgError {
             PgError::CostBoundsUnsatisfiable => {
                 write!(f, "no solution model satisfies the COST bounds")
             }
+            PgError::Config(msg) => write!(f, "invalid configuration: {msg}"),
         }
     }
 }
@@ -39,6 +43,18 @@ impl From<ParseError> for PgError {
 impl From<ExecError> for PgError {
     fn from(e: ExecError) -> Self {
         PgError::Exec(e)
+    }
+}
+
+impl From<pg_net::InvalidConfig> for PgError {
+    fn from(e: pg_net::InvalidConfig) -> Self {
+        PgError::Config(e.0)
+    }
+}
+
+impl From<pg_sim::fault::FaultConfigError> for PgError {
+    fn from(e: pg_sim::fault::FaultConfigError) -> Self {
+        PgError::Config(e.0)
     }
 }
 

@@ -19,6 +19,8 @@
 //! and [`scenario`] builds the paper's burning-building scenario end to
 //! end, including the service-composition front half.
 
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod agents;
 pub mod broker_agent;
 pub mod error;
@@ -26,5 +28,5 @@ pub mod runtime;
 pub mod scenario;
 
 pub use error::PgError;
-pub use runtime::{GridBuilder, PervasiveGrid, QueryRecord, QueryResponse};
+pub use runtime::{DegradationReport, GridBuilder, PervasiveGrid, QueryRecord, QueryResponse};
 pub use scenario::FireScenario;

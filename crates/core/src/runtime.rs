@@ -15,10 +15,47 @@ use pg_sensornet::field::TemperatureField;
 use pg_sensornet::network::SensorNetwork;
 use pg_sensornet::proxy::SensorProxy;
 use pg_sensornet::region::Region;
+use pg_sim::fault::FaultPlan;
 use pg_sim::rng::RngStreams;
 use pg_sim::{Duration, SimTime};
 use rand::rngs::StdRng;
 use std::collections::BTreeMap;
+
+/// How far a response deviated from the fault-free ideal.
+///
+/// Every [`QueryResponse`] carries one; under the empty fault plan and no
+/// deadline it is all-default. The paper's §3 demands the system be
+/// "tolerant to failures" and degrade gracefully — this report is where
+/// that degradation becomes visible instead of silently low values.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct DegradationReport {
+    /// A non-empty fault plan was installed when the query ran.
+    pub faults_active: bool,
+    /// Link-layer retransmissions spent collecting the answer.
+    pub retries: u64,
+    /// Seconds the query waited for the base station to recover before
+    /// executing (outages cost latency, not answers).
+    pub base_outage_wait_s: f64,
+    /// The deadline budget in force, seconds: the builder-level deadline
+    /// or the query's own `COST time` bound, whichever is tighter.
+    pub deadline_s: Option<f64>,
+    /// The response missed its deadline budget (measured time over budget,
+    /// or no placement could be predicted to fit it).
+    pub deadline_exceeded: bool,
+    /// No model satisfied the effective bounds and the runtime fell back
+    /// to a degraded placement rather than rejecting the query.
+    pub fallback_model: bool,
+}
+
+impl DegradationReport {
+    /// True when anything deviated from the fault-free ideal.
+    pub fn is_degraded(&self) -> bool {
+        self.retries > 0
+            || self.base_outage_wait_s > 0.0
+            || self.deadline_exceeded
+            || self.fallback_model
+    }
+}
 
 /// The answer returned to the client for one query.
 #[derive(Debug, Clone, PartialEq)]
@@ -35,6 +72,8 @@ pub struct QueryResponse {
     pub delivered_frac: f64,
     /// Measured relative error, when ground truth was computable.
     pub accuracy_err: Option<f64>,
+    /// What the faults and deadline budget cost this answer.
+    pub degradation: DegradationReport,
 }
 
 /// One entry of the runtime's query log (for experiments and audits).
@@ -60,6 +99,8 @@ pub struct GridBuilder {
     policy: Policy,
     seed: u64,
     regions: BTreeMap<String, Region>,
+    faults: FaultPlan,
+    deadline: Option<Duration>,
 }
 
 impl GridBuilder {
@@ -75,6 +116,8 @@ impl GridBuilder {
             policy: Policy::Adaptive,
             seed: 42,
             regions: BTreeMap::new(),
+            faults: FaultPlan::none(),
+            deadline: None,
         }
     }
 
@@ -120,26 +163,47 @@ impl GridBuilder {
         self
     }
 
+    /// Install a fault plan: the same plan drives node crashes and message
+    /// faults in the sensor substrate, worker outages in the grid, and
+    /// base-station outage wait-outs in the runtime itself.
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = plan;
+        self
+    }
+
+    /// Set an end-to-end deadline budget. It propagates into planning as a
+    /// response-time bound (net of any base-outage wait already incurred);
+    /// responses that miss it are annotated, never rejected.
+    pub fn deadline(mut self, d: Duration) -> Self {
+        self.deadline = Some(d);
+        self
+    }
+
     /// Construct the runtime.
     pub fn build(self) -> PervasiveGrid {
         let streams = RngStreams::new(self.seed);
-        let net = SensorNetwork::new(
+        let mut net = SensorNetwork::new(
             self.topology,
             self.base,
             self.radio,
             self.link,
             self.battery_j,
         );
+        net.set_fault_plan(self.faults.clone());
+        let mut grid = GridCluster::campus();
+        grid.set_fault_plan(self.faults.clone());
         PervasiveGrid {
             exec_rng: streams.fork("exec"),
             net,
-            grid: GridCluster::campus(),
+            grid,
             field: self.field,
             regions: self.regions,
             decision: DecisionMaker::new(self.policy, self.seed),
             now: SimTime::ZERO,
             log: Vec::new(),
             proxy: None,
+            faults: self.faults,
+            deadline: self.deadline,
         }
     }
 }
@@ -165,6 +229,10 @@ pub struct PervasiveGrid {
     /// served from the freshest cached reading (zero sensor energy) while
     /// the cache is within its TTL.
     pub proxy: Option<SensorProxy>,
+    /// The installed fault plan (the empty plan when none was given).
+    pub faults: FaultPlan,
+    /// End-to-end deadline budget, if one was set.
+    pub deadline: Option<Duration>,
     exec_rng: StdRng,
 }
 
@@ -199,8 +267,10 @@ impl PervasiveGrid {
 
         // Fast path: Simple one-shot reads through the sensor proxy (the
         // Fjords mediator) when one is enabled — concurrent queries share
-        // physical samples instead of each waking the radio.
-        if kind == QueryKind::Simple && query.cost.is_empty() {
+        // physical samples instead of each waking the radio. The proxy
+        // runs at the base station, so it cannot answer during an outage.
+        if kind == QueryKind::Simple && query.cost.is_empty() && !self.faults.is_base_down(self.now)
+        {
             if let (Some(target), Some(proxy)) = (query.target_sensor(), self.proxy.as_mut()) {
                 let node = pg_net::topology::NodeId(target);
                 if (target as usize) < self.net.len() && node != self.net.base() {
@@ -223,9 +293,37 @@ impl PervasiveGrid {
                             },
                             delivered_frac: 1.0,
                             accuracy_err: None,
+                            degradation: DegradationReport {
+                                faults_active: self.faults.is_active(),
+                                ..DegradationReport::default()
+                            },
                         });
                     }
                 }
+            }
+        }
+
+        // Base-station outage: the centralized manager waits the outage
+        // out and pays it in latency — the answer is delayed, not lost.
+        let exec_at = self.faults.base_up_at(self.now);
+        let wait_s = exec_at.since(self.now).as_secs_f64();
+
+        // The effective deadline budget: the builder-level deadline or the
+        // query's own COST time bound, whichever is tighter.
+        let deadline_s = match (self.deadline.map(|d| d.as_secs_f64()), query.time_bound()) {
+            (Some(d), Some(t)) => Some(d.min(t)),
+            (d, t) => d.or(t),
+        };
+        // Propagate the *remaining* budget into planning: seconds already
+        // burned waiting out the outage are gone. When there is no builder
+        // deadline and no wait, the query's own bounds already say it all —
+        // leave them untouched (bit-identical to the fault-free pipeline).
+        let mut planned = query.clone();
+        if let Some(d) = deadline_s {
+            if self.deadline.is_some() || wait_s > 0.0 {
+                use pg_query::ast::CostBound;
+                planned.cost.retain(|c| !matches!(c, CostBound::TimeS(_)));
+                planned.cost.push(CostBound::TimeS((d - wait_s).max(0.0)));
             }
         }
 
@@ -236,17 +334,40 @@ impl PervasiveGrid {
                 grid: &self.grid,
                 field: &self.field,
                 regions: &self.regions,
-                now: self.now,
+                now: exec_at,
             };
-            QueryFeatures::extract(&ctx, &query)
+            QueryFeatures::extract(&ctx, &planned)
                 .ok_or(PgError::Exec(pg_partition::exec::ExecError::NoMembers))?
         };
 
-        // 3. Decision Maker: pick the placement within COST bounds.
-        let model = self
+        // 3. Decision Maker: pick the placement within COST bounds. When
+        // the budget (or the fault plan) leaves no feasible model, degrade
+        // instead of rejecting: re-plan against the user's own bounds, and
+        // past that fall back to the base-station placement. A plain
+        // infeasible-COST query with no faults and no deadline still
+        // rejects — that contract (T10) is unchanged.
+        let mut fallback_model = false;
+        let model = match self
             .decision
-            .choose(&self.net, &self.grid, &query, &features)
-            .map_err(|_| PgError::CostBoundsUnsatisfiable)?;
+            .choose(&self.net, &self.grid, &planned, &features)
+        {
+            Ok(m) => m,
+            Err(_) => {
+                fallback_model = true;
+                let user_plan = if planned.cost != query.cost {
+                    self.decision
+                        .choose(&self.net, &self.grid, &query, &features)
+                        .ok()
+                } else {
+                    None
+                };
+                match user_plan {
+                    Some(m) => m,
+                    None if self.faults.is_active() => SolutionModel::BaseStation,
+                    None => return Err(PgError::CostBoundsUnsatisfiable),
+                }
+            }
+        };
 
         // 4. Simulator: execute on the substrates.
         let outcome = {
@@ -255,22 +376,35 @@ impl PervasiveGrid {
                 grid: &self.grid,
                 field: &self.field,
                 regions: &self.regions,
-                now: self.now,
+                now: exec_at,
             };
             execute_once(&mut ctx, &query, model, &mut self.exec_rng)?
         };
 
-        // 5. Adaptive feedback: incorporate actuals into the learner.
+        // 5. Adaptive feedback: incorporate actuals into the learner. The
+        // outage wait is not a property of the placement, so the learner
+        // sees the execution cost alone.
         self.decision
             .record(&self.net, &self.grid, features, model, outcome.cost);
 
+        let mut cost = outcome.cost;
+        cost.time_s += wait_s;
+        let degradation = DegradationReport {
+            faults_active: self.faults.is_active(),
+            retries: outcome.retries,
+            base_outage_wait_s: wait_s,
+            deadline_s,
+            deadline_exceeded: deadline_s.is_some_and(|d| cost.time_s > d),
+            fallback_model,
+        };
         Ok(QueryResponse {
             value: outcome.value,
             kind,
             model,
-            cost: outcome.cost,
+            cost,
             delivered_frac: outcome.delivered_frac,
             accuracy_err: outcome.accuracy_err,
+            degradation,
         })
     }
 
@@ -411,6 +545,93 @@ mod tests {
         pg.submit("SELECT temp FROM sensors WHERE sensor_id = 12 COST energy 1.0")
             .unwrap();
         assert_eq!(pg.proxy.as_ref().unwrap().misses, 0);
+    }
+
+    #[test]
+    fn fault_free_runs_report_no_degradation() {
+        let mut pg = runtime();
+        let r = pg.submit("SELECT AVG(temp) FROM sensors").unwrap();
+        assert_eq!(r.degradation, DegradationReport::default());
+        assert!(!r.degradation.is_degraded());
+    }
+
+    #[test]
+    fn base_outage_is_waited_out_not_failed() {
+        let plan = FaultPlan::builder(3)
+            .base_outage(SimTime::ZERO, SimTime::from_secs(60))
+            .build()
+            .unwrap();
+        let mut pg = PervasiveGrid::building(1, 5, 7).faults(plan).build();
+        let r = pg.submit("SELECT AVG(temp) FROM sensors").unwrap();
+        assert!(r.value.is_some());
+        assert_eq!(r.degradation.base_outage_wait_s, 60.0);
+        assert!(r.cost.time_s > 60.0, "wait must show in the measured time");
+        assert!(r.degradation.is_degraded());
+        // After the outage window there is nothing to wait for.
+        pg.advance(Duration::from_secs(120));
+        let r = pg.submit("SELECT AVG(temp) FROM sensors").unwrap();
+        assert_eq!(r.degradation.base_outage_wait_s, 0.0);
+    }
+
+    #[test]
+    fn chaos_queries_degrade_gracefully() {
+        // The acceptance bar: >=30 % message loss plus a base-station
+        // outage still answers, with the degradation spelled out.
+        let plan = FaultPlan::builder(11)
+            .message_loss(0.35)
+            .base_outage(SimTime::ZERO, SimTime::from_secs(30))
+            .build()
+            .unwrap();
+        let mut pg = PervasiveGrid::building(1, 5, 7).faults(plan).build();
+        for q in [
+            "SELECT AVG(temp) FROM sensors",
+            "SELECT MAX(temp) FROM sensors",
+            "SELECT temp FROM sensors WHERE sensor_id = 12",
+        ] {
+            let r = pg.submit(q).unwrap_or_else(|e| panic!("{q} failed: {e}"));
+            assert!(r.delivered_frac > 0.0, "{q}: nothing delivered");
+            assert!(r.degradation.faults_active);
+        }
+        // Heavy loss forces retransmissions somewhere across the batch.
+        let total_retries: u64 = pg
+            .log
+            .iter()
+            .filter_map(|rec| rec.response.as_ref().ok())
+            .map(|r| r.degradation.retries)
+            .sum();
+        assert!(total_retries > 0, "35 % loss must cost retries");
+    }
+
+    #[test]
+    fn missed_deadline_is_annotated_never_rejected() {
+        // A 1 ms end-to-end budget is unmeetable by any placement: the
+        // runtime degrades to a best-effort answer and says so.
+        let mut pg = PervasiveGrid::building(1, 5, 7)
+            .deadline(Duration::from_millis(1))
+            .build();
+        let r = pg.submit("SELECT AVG(temp) FROM sensors").unwrap();
+        assert!(r.value.is_some());
+        assert_eq!(r.degradation.deadline_s, Some(0.001));
+        assert!(r.degradation.deadline_exceeded);
+        assert!(r.degradation.fallback_model);
+    }
+
+    #[test]
+    fn generous_deadline_changes_nothing() {
+        let run = |deadline: Option<Duration>| {
+            let mut b = PervasiveGrid::building(1, 5, 7);
+            if let Some(d) = deadline {
+                b = b.deadline(d);
+            }
+            let mut pg = b.build();
+            pg.submit("SELECT AVG(temp) FROM sensors").unwrap()
+        };
+        let plain = run(None);
+        let roomy = run(Some(Duration::from_secs(3600)));
+        assert_eq!(plain.value, roomy.value);
+        assert_eq!(plain.cost, roomy.cost);
+        assert!(!roomy.degradation.deadline_exceeded);
+        assert!(!roomy.degradation.fallback_model);
     }
 
     #[test]

@@ -56,6 +56,9 @@ pub struct FireScenario {
 impl FireScenario {
     /// Build the scenario: `floors` floors of `side × side` sensors with a
     /// fire that ignited ten minutes ago near the middle of floor 1.
+    // Static churn parameters, ontology classes and the library task are
+    // all fixed at compile time; failure here is a bug in this file.
+    #[allow(clippy::expect_used)]
     pub fn new(floors: usize, side: usize, seed: u64) -> Self {
         let streams = RngStreams::new(seed);
         let mid = (side as f64 - 1.0) * 5.0 / 2.0;
@@ -63,10 +66,10 @@ impl FireScenario {
             .region("room210", Region::room(0.0, 0.0, 20.0, 20.0))
             .region(
                 "floor2",
-                Region::new(
-                    Point::new(f64::NEG_INFINITY, f64::NEG_INFINITY, 3.9),
-                    Point::new(f64::INFINITY, f64::INFINITY, 8.1),
-                ),
+                Region {
+                    min: Point::new(f64::NEG_INFINITY, f64::NEG_INFINITY, 3.9),
+                    max: Point::new(f64::INFINITY, f64::INFINITY, 8.1),
+                },
             )
             .build();
         runtime.ignite(Point::new(mid, mid, 0.0), 450.0);
@@ -78,7 +81,7 @@ impl FireScenario {
         let mut world = ServiceWorld::new();
         let horizon = SimTime::from_secs(4_000);
         let mut churn_rng = streams.fork("service-churn");
-        let flaky = ChurnProcess::new(120.0, 30.0);
+        let flaky = ChurnProcess::new(120.0, 30.0).expect("static churn parameters");
         let class_of = |name: &str| onto.class(name).expect("standard ontology");
 
         for (i, class) in ["TemperatureSensor", "TemperatureSensor", "MapService"]

@@ -101,6 +101,8 @@ impl BrokerFederation {
     /// Query entering at `origin`, flooding the overlay up to `max_hops`
     /// broker-hops away. Returns merged, deduplicated, score-ranked hits
     /// plus traffic/latency accounting.
+    // BFS invariant: a broker is enqueued only after its distance is set.
+    #[allow(clippy::expect_used)]
     pub fn query(
         &self,
         onto: &Ontology,

@@ -26,6 +26,8 @@ pub struct PrinterCorpus {
 /// Generate `n` printers with randomized queue/cost/color/location.
 /// Interfaces are realistic: *every* printer implements `printIt`, so the
 /// Jini baseline cannot distinguish them — precisely the paper's point.
+// The pervasive-grid ontology ships the printer classes by construction.
+#[allow(clippy::expect_used)]
 pub fn printer_corpus<R: Rng>(onto: &Ontology, n: usize, rng: &mut R) -> PrinterCorpus {
     let color_class = onto
         .class("ColorPrinterService")
@@ -65,6 +67,8 @@ pub fn printer_corpus<R: Rng>(onto: &Ontology, n: usize, rng: &mut R) -> Printer
 
 /// Generate a mixed registry of `n` services drawn from the whole
 /// pervasive-grid taxonomy (for matcher throughput scaling).
+// Every class name listed below exists in the pervasive-grid ontology.
+#[allow(clippy::expect_used)]
 pub fn mixed_corpus<R: Rng>(onto: &Ontology, n: usize, rng: &mut R) -> Vec<ServiceDescription> {
     let classes = [
         "ColorPrinterService",

@@ -90,6 +90,8 @@ fn pref_raw(p: &Preference, svc: &ServiceDescription) -> Option<f64> {
 /// Match and rank `services` against `request`. Returns matches sorted by
 /// descending score (ties broken by ascending index, so the order is total
 /// and deterministic).
+// Scores are products of values in [0, 1], never NaN.
+#[allow(clippy::expect_used)]
 pub fn rank(
     onto: &Ontology,
     request: &ServiceRequest,

@@ -1,5 +1,7 @@
 //! Property-based tests for semantic discovery invariants.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use pg_discovery::corpus::mixed_corpus;
 use pg_discovery::description::{Constraint, Preference, ServiceRequest};
 use pg_discovery::matcher;

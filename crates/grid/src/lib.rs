@@ -37,6 +37,8 @@
 //! assert!(field.get(6, 5, 5) < 300.0);            // maximum principle
 //! ```
 
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod field3;
 pub mod mining;
 pub mod pde;

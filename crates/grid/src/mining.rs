@@ -155,6 +155,8 @@ pub struct Spectrum {
 impl Spectrum {
     /// Keep only the `m` largest-magnitude coefficients ("choosing the
     /// dominant components"), zeroing the rest.
+    // Coefficients are sums of finite sensor readings, never NaN.
+    #[allow(clippy::expect_used)]
     pub fn dominant(&self, m: usize) -> Spectrum {
         let mut idx: Vec<usize> = (0..self.coefficients.len()).collect();
         idx.sort_by(|&a, &b| {

@@ -8,7 +8,8 @@
 //! uses to estimate grid-side response time for offloaded queries.
 
 use pg_net::link::LinkModel;
-use pg_sim::Duration;
+use pg_sim::fault::FaultPlan;
+use pg_sim::{Duration, SimTime};
 
 /// One compute node in the grid.
 #[derive(Debug, Clone)]
@@ -67,6 +68,7 @@ pub struct Placement {
 pub struct GridCluster {
     nodes: Vec<GridNode>,
     backhaul: LinkModel,
+    faults: FaultPlan,
 }
 
 impl GridCluster {
@@ -76,7 +78,22 @@ impl GridCluster {
     /// Panics when `nodes` is empty.
     pub fn new(nodes: Vec<GridNode>, backhaul: LinkModel) -> Self {
         assert!(!nodes.is_empty(), "cluster needs at least one node");
-        GridCluster { nodes, backhaul }
+        GridCluster {
+            nodes,
+            backhaul,
+            faults: FaultPlan::none(),
+        }
+    }
+
+    /// Install a fault plan; worker-outage windows (by node index) make
+    /// workers unavailable while they last. The empty plan changes nothing.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.faults = plan;
+    }
+
+    /// The installed fault plan (the empty plan when none was set).
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.faults
     }
 
     /// A small campus grid: one fast cluster node, two workstations.
@@ -106,16 +123,32 @@ impl GridCluster {
         self.nodes.iter().map(|n| n.flops).sum()
     }
 
-    /// End-to-end time for a single job on the best node: upload + compute
-    /// + download.
+    /// End-to-end time for a single job on the best node: upload, compute,
+    /// download. Ignores worker outages (submission time unknown); see
+    /// [`single_job_time_at`][Self::single_job_time_at].
     pub fn single_job_time(&self, job: &Job) -> Duration {
-        let best = self
-            .nodes
+        self.single_job_time_at(job, SimTime::ZERO)
+            .unwrap_or(Duration::ZERO)
+    }
+
+    /// End-to-end time for a single job submitted at absolute instant `at`:
+    /// a worker inside one of the plan's outage windows only starts the job
+    /// once it recovers (the job queues — §3's graceful degradation: the
+    /// cost of a dead worker is latency, not a lost answer). Returns `None`
+    /// only when *every* worker is down forever past `at` (impossible with
+    /// finite windows).
+    pub fn single_job_time_at(&self, job: &Job, at: SimTime) -> Option<Duration> {
+        let upload = self.backhaul.tx_time(job.input_bytes);
+        let download = self.backhaul.tx_time(job.output_bytes);
+        self.nodes
             .iter()
-            .map(|n| n.compute_time(job.ops))
+            .enumerate()
+            .map(|(i, n)| {
+                let ready = at + upload;
+                let start = self.faults.worker_up_at(i, ready);
+                start.since(at) + n.compute_time(job.ops) + download
+            })
             .min()
-            .expect("non-empty cluster");
-        self.backhaul.tx_time(job.input_bytes) + best + self.backhaul.tx_time(job.output_bytes)
     }
 
     /// Greedy earliest-finish-time list scheduling of a batch. Jobs are
@@ -123,10 +156,30 @@ impl GridCluster {
     /// pipe into the machine room), computation overlaps across nodes.
     /// Returns per-job placements and the batch makespan.
     pub fn schedule(&self, jobs: &[Job]) -> (Vec<Placement>, Duration) {
+        self.schedule_at(jobs, SimTime::ZERO)
+    }
+
+    /// [`schedule`][Self::schedule] for a batch submitted at absolute
+    /// instant `at`: workers inside plan outage windows accept no work
+    /// until they recover. With the empty plan this is exactly `schedule`.
+    // The constructor rejects empty clusters, so min_by_key always finds
+    // a node.
+    #[allow(clippy::expect_used)]
+    pub fn schedule_at(&self, jobs: &[Job], at: SimTime) -> (Vec<Placement>, Duration) {
         let mut node_free = vec![Duration::ZERO; self.nodes.len()];
         let mut uplink_free = Duration::ZERO;
         let mut placements = Vec::with_capacity(jobs.len());
         let mut makespan = Duration::ZERO;
+        // Earliest start on node `i` once its queue frees at `free` (relative
+        // to `at`), pushed past any outage window covering that instant.
+        let earliest_start = |i: usize, free: Duration, upload_done: Duration| {
+            let queued = if free > upload_done {
+                free
+            } else {
+                upload_done
+            };
+            self.faults.worker_up_at(i, at + queued).since(at)
+        };
         for job in jobs {
             // Upload serializes on the shared backhaul.
             let upload_done = uplink_free + self.backhaul.tx_time(job.input_bytes);
@@ -136,20 +189,12 @@ impl GridCluster {
                 .iter()
                 .enumerate()
                 .map(|(i, &free)| {
-                    let start = if free > upload_done {
-                        free
-                    } else {
-                        upload_done
-                    };
+                    let start = earliest_start(i, free, upload_done);
                     (i, start + self.nodes[i].compute_time(job.ops))
                 })
                 .min_by_key(|&(_, f)| f)
                 .expect("non-empty cluster");
-            let start = if node_free[best] > upload_done {
-                node_free[best]
-            } else {
-                upload_done
-            };
+            let start = earliest_start(best, node_free[best], upload_done);
             node_free[best] = finish;
             let done = finish + self.backhaul.tx_time(job.output_bytes);
             if done > makespan {
@@ -240,6 +285,58 @@ mod tests {
             makespan.as_secs_f64() > 30.0,
             "4 uploads x 8 s must serialize: {makespan}"
         );
+    }
+
+    #[test]
+    fn dead_workers_queue_jobs_until_recovery() {
+        let mut c = GridCluster::campus();
+        let j = job("j", 50_000_000_000); // 1 s on the 50 GF head
+        let clean = c.single_job_time(&j);
+        // Kill every node for the first 100 s: the job waits, then runs.
+        let mut b = FaultPlan::builder(1);
+        for i in 0..c.nodes().len() {
+            b = b.worker_outage(i, SimTime::ZERO, SimTime::from_secs(100));
+        }
+        c.set_fault_plan(b.build().unwrap());
+        let t = c
+            .single_job_time_at(&j, SimTime::ZERO)
+            .expect("cluster answers eventually");
+        assert!(t.as_secs_f64() > 100.0, "must wait out the outage: {t}");
+        assert!(t.as_secs_f64() < 100.0 + clean.as_secs_f64() + 1.0);
+        // Submitting after recovery costs nothing extra.
+        let after = c
+            .single_job_time_at(&j, SimTime::from_secs(200))
+            .expect("cluster answers");
+        assert_eq!(after, clean);
+    }
+
+    #[test]
+    fn outage_on_the_fast_node_diverts_work() {
+        let mut c = GridCluster::campus();
+        c.set_fault_plan(
+            FaultPlan::builder(1)
+                .worker_outage(0, SimTime::ZERO, SimTime::from_secs(1_000))
+                .build()
+                .unwrap(),
+        );
+        // With the 50 GF head dead, a workstation takes the job rather
+        // than waiting 1000 s.
+        let (p, _) = c.schedule_at(&[job("big", 10_000_000_000)], SimTime::ZERO);
+        assert_ne!(p[0].node, 0, "head is down, work must divert");
+    }
+
+    #[test]
+    fn empty_plan_leaves_schedule_unchanged() {
+        let c = GridCluster::campus();
+        let jobs: Vec<Job> = (0..5)
+            .map(|i| job(&format!("j{i}"), 1_000_000_000))
+            .collect();
+        let (p1, m1) = c.schedule(&jobs);
+        let (p2, m2) = c.schedule_at(&jobs, SimTime::from_secs(777));
+        assert_eq!(m1, m2);
+        for (a, b) in p1.iter().zip(&p2) {
+            assert_eq!((a.node, a.start, a.done), (b.node, b.start, b.done));
+        }
     }
 
     #[test]

@@ -1,5 +1,7 @@
 //! Property-based tests for the stream-mining substrate.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use pg_grid::mining::{accuracy, Ensemble, Example, Stump};
 use proptest::prelude::*;
 use rand::rngs::StdRng;

@@ -1,6 +1,8 @@
 //! Property-based tests for the grid substrate: solver correctness,
 //! reduction invariants, scheduler bounds.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use pg_grid::pde::{Problem, Solver};
 use pg_grid::reduction::{reduce_readings, Reading};
 use pg_grid::sched::{GridCluster, GridNode, Job};

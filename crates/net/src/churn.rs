@@ -8,6 +8,7 @@
 //! timeline so callers can query availability at any instant
 //! deterministically.
 
+use crate::error::InvalidConfig;
 use pg_sim::{Duration, SimTime};
 use rand::Rng;
 
@@ -21,24 +22,27 @@ pub struct ChurnProcess {
 }
 
 impl ChurnProcess {
-    /// Construct, validating that both means are positive.
-    ///
-    /// # Panics
-    /// Panics on non-positive means.
-    pub fn new(mean_up_s: f64, mean_down_s: f64) -> Self {
-        assert!(
-            mean_up_s > 0.0 && mean_down_s > 0.0,
-            "sojourn means must be positive"
-        );
-        ChurnProcess {
+    /// Construct, validating that both means are positive and finite.
+    pub fn new(mean_up_s: f64, mean_down_s: f64) -> Result<Self, InvalidConfig> {
+        let valid = |x: f64| x.is_finite() && x > 0.0;
+        if !valid(mean_up_s) || !valid(mean_down_s) {
+            return Err(InvalidConfig(format!(
+                "churn sojourn means must be positive and finite \
+                 (up {mean_up_s}, down {mean_down_s})"
+            )));
+        }
+        Ok(ChurnProcess {
             mean_up_s,
             mean_down_s,
-        }
+        })
     }
 
     /// A stable fixed-grid service: ~3 h up, 1 min down.
     pub fn stable() -> Self {
-        ChurnProcess::new(10_800.0, 60.0)
+        ChurnProcess {
+            mean_up_s: 10_800.0,
+            mean_down_s: 60.0,
+        }
     }
 
     /// Long-run fraction of time the service is up.
@@ -94,19 +98,18 @@ impl ChurnSchedule {
     }
 
     /// Build a schedule from an explicit sorted toggle list (tests and
-    /// hand-crafted scenarios).
-    ///
-    /// # Panics
-    /// Panics when the toggles are not strictly ascending.
-    pub fn from_toggles(initial_up: bool, toggles: Vec<SimTime>) -> Self {
-        assert!(
-            toggles.windows(2).all(|w| w[0] < w[1]),
-            "toggles must be strictly ascending"
-        );
-        ChurnSchedule {
+    /// hand-crafted scenarios). Rejects toggle lists that are not strictly
+    /// ascending.
+    pub fn from_toggles(initial_up: bool, toggles: Vec<SimTime>) -> Result<Self, InvalidConfig> {
+        if !toggles.windows(2).all(|w| w[0] < w[1]) {
+            return Err(InvalidConfig::new(
+                "churn toggles must be strictly ascending",
+            ));
+        }
+        Ok(ChurnSchedule {
             initial_up,
             toggles,
-        }
+        })
     }
 
     /// Is the service up at instant `t`?
@@ -174,13 +177,25 @@ mod tests {
 
     #[test]
     fn availability_formula() {
-        let p = ChurnProcess::new(90.0, 10.0);
+        let p = ChurnProcess::new(90.0, 10.0).unwrap();
         assert!((p.availability() - 0.9).abs() < 1e-12);
     }
 
     #[test]
+    fn bad_parameters_are_rejected_not_panicked() {
+        assert!(ChurnProcess::new(0.0, 10.0).is_err());
+        assert!(ChurnProcess::new(10.0, -1.0).is_err());
+        assert!(ChurnProcess::new(f64::NAN, 1.0).is_err());
+        assert!(ChurnSchedule::from_toggles(
+            true,
+            vec![SimTime::from_secs(5), SimTime::from_secs(5)]
+        )
+        .is_err());
+    }
+
+    #[test]
     fn empirical_uptime_matches_availability() {
-        let p = ChurnProcess::new(60.0, 30.0);
+        let p = ChurnProcess::new(60.0, 30.0).unwrap();
         let horizon = SimTime::from_secs(500_000);
         let mut rng = StdRng::seed_from_u64(21);
         let mut total = 0.0;
@@ -226,7 +241,7 @@ mod tests {
 
     #[test]
     fn schedule_is_deterministic_per_seed() {
-        let p = ChurnProcess::new(10.0, 5.0);
+        let p = ChurnProcess::new(10.0, 5.0).unwrap();
         let h = SimTime::from_secs(1_000);
         let a = p.schedule(h, &mut StdRng::seed_from_u64(3));
         let b = p.schedule(h, &mut StdRng::seed_from_u64(3));

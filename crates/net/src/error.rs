@@ -1,0 +1,41 @@
+//! Validation errors for `pg-net` (and dependent-layer) constructors.
+//!
+//! Public constructors across the network substrate used to `assert!` on bad
+//! parameters; configuration coming from outside the process (scenario
+//! files, sweep scripts) should surface as a recoverable [`InvalidConfig`]
+//! instead of a panic, and route into `pg_core::PgError` at the top of the
+//! stack.
+
+use std::fmt;
+
+/// A constructor rejected its parameters (non-positive mean, probability
+/// outside range, inverted window, …).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvalidConfig(pub String);
+
+impl InvalidConfig {
+    /// Build from anything displayable.
+    pub fn new(msg: impl Into<String>) -> Self {
+        InvalidConfig(msg.into())
+    }
+}
+
+impl fmt::Display for InvalidConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid configuration: {}", self.0)
+    }
+}
+
+impl std::error::Error for InvalidConfig {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_with_context() {
+        let e = InvalidConfig::new("loss probability 2 outside [0, 1)");
+        assert!(e.to_string().contains("invalid configuration"));
+        assert!(e.to_string().contains("loss probability"));
+    }
+}

@@ -40,8 +40,11 @@
 //! assert!(far > near);
 //! ```
 
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod churn;
 pub mod energy;
+pub mod error;
 pub mod geom;
 pub mod link;
 pub mod mobility;
@@ -50,6 +53,7 @@ pub mod routing;
 pub mod topology;
 
 pub use energy::{Battery, RadioModel};
+pub use error::InvalidConfig;
 pub use geom::Point;
 pub use link::LinkModel;
 pub use topology::{NodeId, Topology};

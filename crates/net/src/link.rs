@@ -4,6 +4,7 @@
 //! frequent disconnections". A [`LinkModel`] answers two questions: how long
 //! does a payload take to cross this link class, and did it arrive.
 
+use crate::error::InvalidConfig;
 use pg_sim::Duration;
 use rand::Rng;
 
@@ -20,45 +21,68 @@ pub struct LinkModel {
 }
 
 impl LinkModel {
-    /// Construct a link model, validating parameters.
-    ///
-    /// # Panics
-    /// Panics on non-positive bandwidth or a loss probability outside
-    /// `[0, 1)` (a link that loses everything can never deliver and would
-    /// hang retry loops).
-    pub fn new(bandwidth_bps: f64, latency: Duration, loss_prob: f64) -> Self {
-        assert!(bandwidth_bps > 0.0, "bandwidth must be positive");
-        assert!(
-            (0.0..1.0).contains(&loss_prob),
-            "loss probability must be in [0, 1): {loss_prob}"
-        );
-        LinkModel {
+    /// Construct a link model, validating parameters: bandwidth must be
+    /// positive and the loss probability inside `[0, 1)` (a link that loses
+    /// everything can never deliver and would hang retry loops).
+    pub fn new(
+        bandwidth_bps: f64,
+        latency: Duration,
+        loss_prob: f64,
+    ) -> Result<Self, InvalidConfig> {
+        // NaN fails this comparison too, which is exactly what we want.
+        if bandwidth_bps.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
+            return Err(InvalidConfig(format!(
+                "link bandwidth must be positive: {bandwidth_bps}"
+            )));
+        }
+        if !(0.0..1.0).contains(&loss_prob) {
+            return Err(InvalidConfig(format!(
+                "loss probability must be in [0, 1): {loss_prob}"
+            )));
+        }
+        Ok(LinkModel {
             bandwidth_bps,
             latency,
             loss_prob,
-        }
+        })
     }
 
     /// A sensor-mote radio: 250 kbit/s, 5 ms per hop, 2 % loss
     /// (802.15.4-class).
     pub fn sensor_radio() -> Self {
-        LinkModel::new(250e3, Duration::from_millis(5), 0.02)
+        LinkModel {
+            bandwidth_bps: 250e3,
+            latency: Duration::from_millis(5),
+            loss_prob: 0.02,
+        }
     }
 
     /// An 802.11 link between handhelds/base station: 11 Mbit/s, 2 ms, 1 %.
     pub fn wifi() -> Self {
-        LinkModel::new(11e6, Duration::from_millis(2), 0.01)
+        LinkModel {
+            bandwidth_bps: 11e6,
+            latency: Duration::from_millis(2),
+            loss_prob: 0.01,
+        }
     }
 
     /// A Bluetooth proximity link: 700 kbit/s, 8 ms, 3 %.
     pub fn bluetooth() -> Self {
-        LinkModel::new(700e3, Duration::from_millis(8), 0.03)
+        LinkModel {
+            bandwidth_bps: 700e3,
+            latency: Duration::from_millis(8),
+            loss_prob: 0.03,
+        }
     }
 
     /// The wired backhaul from the base station into the grid:
     /// 100 Mbit/s, 10 ms (WAN), lossless at this abstraction.
     pub fn wired_backhaul() -> Self {
-        LinkModel::new(100e6, Duration::from_millis(10), 0.0)
+        LinkModel {
+            bandwidth_bps: 100e6,
+            latency: Duration::from_millis(10),
+            loss_prob: 0.0,
+        }
     }
 
     /// Time for `bytes` to cross one hop of this link: serialization at the
@@ -93,7 +117,7 @@ mod tests {
 
     #[test]
     fn tx_time_includes_serialization_and_latency() {
-        let l = LinkModel::new(8_000.0, Duration::from_millis(10), 0.0);
+        let l = LinkModel::new(8_000.0, Duration::from_millis(10), 0.0).unwrap();
         // 1000 bytes = 8000 bits at 8 kbit/s = 1 s + 10 ms latency.
         assert_eq!(l.tx_time(1_000), Duration::from_millis(1_010));
     }
@@ -115,7 +139,7 @@ mod tests {
 
     #[test]
     fn loss_rate_matches_parameter() {
-        let l = LinkModel::new(1e6, Duration::ZERO, 0.25);
+        let l = LinkModel::new(1e6, Duration::ZERO, 0.25).unwrap();
         let mut rng = StdRng::seed_from_u64(7);
         let delivered = (0..20_000).filter(|_| l.delivered(&mut rng)).count();
         let rate = delivered as f64 / 20_000.0;
@@ -125,7 +149,7 @@ mod tests {
 
     #[test]
     fn expected_tx_time_scales_with_loss() {
-        let lossy = LinkModel::new(1e6, Duration::from_millis(1), 0.5);
+        let lossy = LinkModel::new(1e6, Duration::from_millis(1), 0.5).unwrap();
         assert_eq!(
             lossy.expected_tx_time(125).as_nanos(),
             lossy.tx_time(125).mul_f64(2.0).as_nanos()
@@ -133,8 +157,9 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "loss probability")]
     fn total_loss_rejected() {
-        LinkModel::new(1e6, Duration::ZERO, 1.0);
+        let err = LinkModel::new(1e6, Duration::ZERO, 1.0).unwrap_err();
+        assert!(err.to_string().contains("loss probability"), "{err}");
+        assert!(LinkModel::new(0.0, Duration::ZERO, 0.1).is_err());
     }
 }

@@ -23,6 +23,7 @@
 
 use crate::energy::RadioModel;
 use crate::topology::{NodeId, Topology};
+use pg_sim::fault::FaultPlan;
 use pg_sim::metrics::Metrics;
 use pg_sim::{Duration, Model, Scheduler, SimTime, Simulation};
 use rand::rngs::StdRng;
@@ -107,6 +108,7 @@ struct World {
     topo: Topology,
     radio: RadioModel,
     mac: MacParams,
+    faults: FaultPlan,
     rng: StdRng,
     active: Vec<ActiveTx>,
     delivered: Vec<Delivery>,
@@ -181,6 +183,17 @@ impl Model for World {
                 // Residual loss.
                 if self.mac.loss_prob > 0.0 && self.rng.gen::<f64>() < self.mac.loss_prob {
                     corrupted = true;
+                }
+                // Injected faults: a link blackout window or a crashed
+                // endpoint kills the frame (the sender still burned the
+                // airtime and energy); ARQ retries as for any corruption.
+                if self.faults.is_link_blacked_out(now)
+                    || self.faults.is_node_down(from.idx() as u64, now)
+                    || self.faults.is_node_down(to.idx() as u64, now)
+                    || self.faults.message_dropped(&mut self.rng)
+                {
+                    corrupted = true;
+                    self.metrics.count("mac.fault_killed", 1);
                 }
                 let idx = self.active.len();
                 self.active.push(ActiveTx {
@@ -266,6 +279,7 @@ impl PacketSim {
                 topo,
                 radio,
                 mac,
+                faults: FaultPlan::none(),
                 rng: StdRng::seed_from_u64(seed),
                 active: Vec::new(),
                 delivered: Vec::new(),
@@ -273,6 +287,11 @@ impl PacketSim {
                 metrics: Metrics::new(),
             }),
         }
+    }
+
+    /// Install a fault plan; the empty plan (the default) injects nothing.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.sim.model.faults = plan;
     }
 
     /// Enqueue a packet to be injected at `at`, following `route`
@@ -483,6 +502,30 @@ mod tests {
             (r.delivered.len(), r.finished_at)
         };
         assert_eq!(run(9), run(9));
+    }
+
+    #[test]
+    fn blackout_window_kills_frames_until_it_lifts() {
+        let topo = line(2);
+        // Blackout covers the injection instant; ARQ backoff eventually
+        // lands an attempt past the window's end and the packet delivers.
+        let plan = FaultPlan::builder(1)
+            .link_blackout(SimTime::ZERO, SimTime::from_millis(20))
+            .build()
+            .unwrap();
+        let mut sim = PacketSim::new(topo.clone(), RadioModel::mote(), mac(), 11);
+        sim.set_fault_plan(plan);
+        sim.inject(1, 50, vec![NodeId(0), NodeId(1)], SimTime::ZERO);
+        let r = sim.run();
+        assert_eq!(r.delivered.len(), 1);
+        assert!(r.metrics.counter("mac.fault_killed") >= 1);
+        assert!(r.delivered[0].at >= SimTime::from_millis(20));
+        // Same run without the plan delivers in one frame time.
+        let mut clean = PacketSim::new(topo, RadioModel::mote(), mac(), 11);
+        clean.inject(1, 50, vec![NodeId(0), NodeId(1)], SimTime::ZERO);
+        let rc = clean.run();
+        assert_eq!(rc.metrics.counter("mac.fault_killed"), 0);
+        assert!(rc.delivered[0].at < r.delivered[0].at);
     }
 
     #[test]

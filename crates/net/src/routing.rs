@@ -234,7 +234,7 @@ mod tests {
     use rand::SeedableRng;
 
     fn lossless() -> LinkModel {
-        LinkModel::new(250e3, Duration::from_millis(5), 0.0)
+        LinkModel::new(250e3, Duration::from_millis(5), 0.0).unwrap()
     }
 
     fn grid_topo() -> Topology {
@@ -294,7 +294,7 @@ mod tests {
     #[test]
     fn lossy_flood_may_miss_but_never_double_counts() {
         let t = grid_topo();
-        let link = LinkModel::new(250e3, Duration::from_millis(5), 0.6);
+        let link = LinkModel::new(250e3, Duration::from_millis(5), 0.6).unwrap();
         let mut rng = StdRng::seed_from_u64(5);
         for _ in 0..20 {
             let d = flood(&t, NodeId(12), &link, &mut rng);

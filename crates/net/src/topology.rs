@@ -176,6 +176,8 @@ impl Topology {
     }
 
     /// Hop counts from `root` to every node by BFS (`None` = unreachable).
+    // BFS invariant: a node is enqueued only after its hop count is set.
+    #[allow(clippy::expect_used)]
     pub fn hops_from(&self, root: NodeId) -> Vec<Option<u32>> {
         let mut hops = vec![None; self.len()];
         hops[root.idx()] = Some(0);
@@ -233,6 +235,8 @@ impl Topology {
     /// Build the BFS shortest-path tree rooted at `root` (the structure TAG
     /// imposes on the network). Unreachable nodes have no parent and depth
     /// `None`.
+    // BFS invariant: a node is enqueued only after its depth is set.
+    #[allow(clippy::expect_used)]
     pub fn spanning_tree(&self, root: NodeId) -> RoutingTree {
         let mut parent: Vec<Option<NodeId>> = vec![None; self.len()];
         let mut depth: Vec<Option<u32>> = vec![None; self.len()];
@@ -289,6 +293,8 @@ impl RoutingTree {
 
     /// Nodes in leaves-first (deepest-first) order — the order in which
     /// epoch-based in-network aggregation proceeds up the tree.
+    // The filter above keeps only nodes whose depth is Some.
+    #[allow(clippy::expect_used)]
     pub fn bottom_up_order(&self) -> Vec<NodeId> {
         let mut ids: Vec<NodeId> = (0..self.parent.len() as u32)
             .map(NodeId)

@@ -112,6 +112,9 @@ impl DecisionMaker {
     /// Choose a placement for `query`. Returns `Err(NoFeasibleModel)` when
     /// every candidate's *predicted* cost violates the query's COST bounds
     /// — the cost-bounded rejection of experiment T10.
+    // Scalarized costs are weighted sums of finite predictions (never NaN)
+    // and the feasible set is checked non-empty before taking the min.
+    #[allow(clippy::expect_used)]
     pub fn choose(
         &mut self,
         net: &SensorNetwork,
@@ -284,7 +287,7 @@ mod tests {
             topo,
             NodeId(0),
             RadioModel::mote(),
-            LinkModel::new(250e3, Duration::from_millis(5), 0.0),
+            LinkModel::new(250e3, Duration::from_millis(5), 0.0).unwrap(),
             100.0,
         );
         net.noise_sd = 0.0;

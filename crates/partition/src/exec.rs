@@ -86,6 +86,9 @@ pub struct Outcome {
     pub delivered_frac: f64,
     /// Relative error vs. ground truth, when measurable.
     pub accuracy_err: Option<f64>,
+    /// Link-layer retransmissions the collection spent getting here
+    /// (continuous queries report the total across epochs).
+    pub retries: u64,
 }
 
 /// Resolve the member set of a query.
@@ -214,6 +217,7 @@ fn exec_simple<R: Rng>(
         cost,
         delivered_frac: report.delivery_ratio(),
         accuracy_err,
+        retries: report.retries,
     })
 }
 
@@ -255,7 +259,10 @@ fn exec_aggregate<R: Rng>(
             input_bytes: ship,
             output_bytes: RESULT_BYTES,
         };
-        cost.time_s += ctx.grid.single_job_time(&job).as_secs_f64();
+        cost.time_s += ctx
+            .grid
+            .single_job_time_at(&job, ctx.now)
+            .map_or(0.0, |d| d.as_secs_f64());
         cost.bytes += (ship + RESULT_BYTES) as f64;
         cost.ops += job.ops as f64;
     }
@@ -269,6 +276,7 @@ fn exec_aggregate<R: Rng>(
         cost,
         delivered_frac: report.delivery_ratio(),
         accuracy_err,
+        retries: report.retries,
     })
 }
 
@@ -367,7 +375,10 @@ fn exec_complex<R: Rng>(
                 input_bytes: ship,
                 output_bytes: RESULT_BYTES,
             };
-            cost.time_s += ctx.grid.single_job_time(&job).as_secs_f64();
+            cost.time_s += ctx
+                .grid
+                .single_job_time_at(&job, ctx.now)
+                .map_or(0.0, |d| d.as_secs_f64());
             (f, stats, ship)
         }
         SolutionModel::GridOffload { reduction_cell_m } => {
@@ -381,7 +392,10 @@ fn exec_complex<R: Rng>(
                 input_bytes: ship,
                 output_bytes: RESULT_BYTES,
             };
-            cost.time_s += ctx.grid.single_job_time(&job).as_secs_f64();
+            cost.time_s += ctx
+                .grid
+                .single_job_time_at(&job, ctx.now)
+                .map_or(0.0, |d| d.as_secs_f64());
             (f, stats, ship)
         }
         SolutionModel::BaseStation => {
@@ -458,9 +472,12 @@ fn exec_complex<R: Rng>(
         cost,
         delivered_frac: report.delivery_ratio(),
         accuracy_err: Some(rmse / range),
+        retries: report.retries,
     })
 }
 
+// Only called from `execute_once` behind a `query.epoch.is_some()` check.
+#[allow(clippy::expect_used)]
 fn exec_continuous<R: Rng>(
     ctx: &mut ExecContext<'_>,
     query: &Query,
@@ -480,6 +497,7 @@ fn exec_continuous<R: Rng>(
     let mut last = None;
     let mut delivered = 0.0;
     let mut acc = None;
+    let mut retries = 0u64;
     let start = ctx.now;
     for e in 0..EPOCHS {
         ctx.now = start + epoch.mul(e as u64);
@@ -488,6 +506,7 @@ fn exec_continuous<R: Rng>(
         last = out.value;
         delivered += out.delivered_frac;
         acc = out.accuracy_err;
+        retries += out.retries;
         // Idle listening between results.
         let idle = ctx.net.radio().idle_energy(epoch.as_secs_f64());
         let base = ctx.net.base();
@@ -505,6 +524,7 @@ fn exec_continuous<R: Rng>(
         cost: total.scale(1.0 / EPOCHS as f64),
         delivered_frac: delivered / EPOCHS as f64,
         accuracy_err: acc,
+        retries,
     })
 }
 
@@ -521,7 +541,7 @@ fn deployment_hull(net: &SensorNetwork) -> Region {
         max.y = max.y.max(p.y);
         max.z = max.z.max(p.z);
     }
-    Region::new(min, max)
+    Region { min, max }
 }
 
 fn region_extent(region: &Region, net: &SensorNetwork) -> (f64, f64, f64) {
@@ -536,18 +556,20 @@ fn region_origin(region: &Region, net: &SensorNetwork) -> Point {
 /// Clamp an (possibly half-infinite) region to the deployment hull.
 fn clamp_region(region: &Region, net: &SensorNetwork) -> Region {
     let hull = deployment_hull(net);
-    Region::new(
-        Point::new(
+    // Built as a literal: a region disjoint from the hull clamps to an
+    // inverted (empty) box, which `contains` correctly rejects everywhere.
+    Region {
+        min: Point::new(
             region.min.x.max(hull.min.x),
             region.min.y.max(hull.min.y),
             region.min.z.max(hull.min.z),
         ),
-        Point::new(
+        max: Point::new(
             region.max.x.min(hull.max.x),
             region.max.y.min(hull.max.y),
             region.max.z.min(hull.max.z),
         ),
-    )
+    }
 }
 
 #[cfg(test)]
@@ -572,7 +594,7 @@ mod tests {
             topo,
             NodeId(0),
             RadioModel::mote(),
-            LinkModel::new(250e3, Duration::from_millis(5), 0.0),
+            LinkModel::new(250e3, Duration::from_millis(5), 0.0).unwrap(),
             100.0,
         );
         net.noise_sd = 0.0;

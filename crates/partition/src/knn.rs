@@ -77,6 +77,8 @@ impl KnnRegressor {
     /// the nearest case — the caller's confidence signal (a prediction
     /// extrapolated from a far-away case should defer to the analytic
     /// estimator).
+    // Feature distances are sums of squares of finite values, never NaN.
+    #[allow(clippy::expect_used)]
     pub fn predict_detailed(
         &self,
         features: &QueryFeatures,

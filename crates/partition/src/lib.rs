@@ -23,6 +23,8 @@
 //! `pg-query`, Decision Maker = [`decide`], Simulator = [`exec`] over
 //! `pg-sensornet`/`pg-grid`.
 
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod decide;
 pub mod estimate;
 pub mod exec;

@@ -1,6 +1,8 @@
 //! Property-based tests for the partition layer: estimator sanity, k-NN
 //! envelope bounds, bound filtering, and executor conservation.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use pg_grid::sched::GridCluster;
 use pg_net::energy::RadioModel;
 use pg_net::link::LinkModel;
@@ -113,7 +115,7 @@ proptest! {
             topo,
             NodeId(0),
             RadioModel::mote(),
-            LinkModel::new(250e3, Duration::from_millis(5), loss),
+            LinkModel::new(250e3, Duration::from_millis(5), loss).unwrap(),
             100.0,
         );
         net.noise_sd = 0.0;

@@ -36,6 +36,8 @@
 //! assert_eq!(q.energy_bound(), Some(0.5));
 //! ```
 
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod ast;
 pub mod classify;
 pub mod lexer;

@@ -1,6 +1,8 @@
 //! Property-based tests for the query language: total lexing, parser
 //! robustness, and classification determinism.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use pg_query::ast::{CostBound, Pred, SelectItem};
 use pg_query::classify::{classify, inner_kind, QueryKind};
 use pg_query::lexer::lex;

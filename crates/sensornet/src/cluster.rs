@@ -28,6 +28,8 @@ pub fn default_head_count(members: usize) -> usize {
 
 /// Elect `k` cluster heads among the live members: highest residual energy
 /// first, node id as the deterministic tie-break.
+// Battery energies come from a finite drain model, never NaN.
+#[allow(clippy::expect_used)]
 pub fn elect_heads(net: &SensorNetwork, members: &[NodeId], k: usize) -> Vec<NodeId> {
     let mut live: Vec<NodeId> = members
         .iter()
@@ -60,6 +62,8 @@ pub fn cluster_collection<R: Rng>(
 /// [`cluster_collection`] with predicate push-down: members whose readings
 /// fail `filter` stay silent in the intra-cluster phase.
 #[allow(clippy::too_many_arguments)]
+// Node positions are finite coordinates, so distances are never NaN.
+#[allow(clippy::expect_used)]
 pub fn cluster_collection_filtered<R: Rng>(
     net: &mut SensorNetwork,
     members: &[NodeId],
@@ -82,13 +86,14 @@ pub fn cluster_collection_filtered<R: Rng>(
     let mut cpu_ops = 0u64;
     let mut total_bytes = 0u64;
     let mut bytes_to_base = 0u64;
+    let mut retries = 0u64;
     let mut head_partials: Vec<Partial> = vec![Partial::empty(); heads.len()];
     let mut cluster_sizes = vec![0u64; heads.len()];
     let mut participating = 0usize;
 
     // Intra-cluster phase: members sample and send to their nearest head.
     for &m in members {
-        if m == base || !net.is_alive(m) {
+        if m == base || !net.is_operational(m, t) {
             continue;
         }
         participating += 1;
@@ -112,8 +117,9 @@ pub fn cluster_collection_filtered<R: Rng>(
         }) else {
             continue;
         };
-        let (ok, attempts) = try_long_hop(net, m, head, READING_WIRE_BYTES, rng);
+        let (ok, attempts) = try_long_hop(net, m, head, READING_WIRE_BYTES, t, rng);
         total_bytes += READING_WIRE_BYTES * attempts as u64;
+        retries += u64::from(attempts.saturating_sub(1));
         if ok {
             head_partials[hi].add(reading);
             cpu_ops += MERGE_OPS;
@@ -124,11 +130,12 @@ pub fn cluster_collection_filtered<R: Rng>(
     // Inter-cluster phase: each head with data sends one partial to base.
     let mut merged = Partial::empty();
     for (hi, &h) in heads.iter().enumerate() {
-        if head_partials[hi].count == 0 || !net.is_alive(h) {
+        if head_partials[hi].count == 0 || !net.is_operational(h, t) {
             continue;
         }
-        let (ok, attempts) = try_long_hop(net, h, base, PARTIAL_WIRE_BYTES, rng);
+        let (ok, attempts) = try_long_hop(net, h, base, PARTIAL_WIRE_BYTES, t, rng);
         total_bytes += PARTIAL_WIRE_BYTES * attempts as u64;
+        retries += u64::from(attempts.saturating_sub(1));
         if ok {
             merged.merge(&head_partials[hi]);
             cpu_ops += MERGE_OPS;
@@ -167,6 +174,7 @@ pub fn cluster_collection_filtered<R: Rng>(
         cpu_ops,
         participating,
         delivered: merged.count as usize,
+        retries,
     }
 }
 
@@ -178,6 +186,9 @@ pub fn cluster_collection_filtered<R: Rng>(
 /// clusters perform the data reduction ("send the average reading from a
 /// region"), and the summaries — not raw readings — travel onward to the
 /// grid for the heavy computation.
+// Distances are never NaN (finite coordinates) and a summary is only
+// emitted for clusters whose partial has count > 0.
+#[allow(clippy::expect_used)]
 pub fn cluster_summaries<R: Rng>(
     net: &mut SensorNetwork,
     members: &[NodeId],
@@ -198,6 +209,7 @@ pub fn cluster_summaries<R: Rng>(
     let mut cpu_ops = 0u64;
     let mut total_bytes = 0u64;
     let mut bytes_to_base = 0u64;
+    let mut retries = 0u64;
     // Per cluster: partial over values + centroid accumulator (x, y, z, n).
     let mut partials: Vec<Partial> = vec![Partial::empty(); heads.len()];
     let mut centroids: Vec<(f64, f64, f64, u64)> = vec![(0.0, 0.0, 0.0, 0); heads.len()];
@@ -205,7 +217,7 @@ pub fn cluster_summaries<R: Rng>(
     let mut participating = 0usize;
 
     for &m in members {
-        if m == base || !net.is_alive(m) {
+        if m == base || !net.is_operational(m, t) {
             continue;
         }
         participating += 1;
@@ -222,8 +234,9 @@ pub fn cluster_summaries<R: Rng>(
             });
             match target {
                 Some((hi, head)) => {
-                    let (ok, attempts) = try_long_hop(net, m, head, READING_WIRE_BYTES, rng);
+                    let (ok, attempts) = try_long_hop(net, m, head, READING_WIRE_BYTES, t, rng);
                     total_bytes += READING_WIRE_BYTES * attempts as u64;
+                    retries += u64::from(attempts.saturating_sub(1));
                     if ok {
                         cpu_ops += MERGE_OPS;
                         Some(hi)
@@ -250,11 +263,12 @@ pub fn cluster_summaries<R: Rng>(
     let mut merged = Partial::empty();
     let mut summaries = Vec::new();
     for (hi, &h) in heads.iter().enumerate() {
-        if partials[hi].count == 0 || !net.is_alive(h) {
+        if partials[hi].count == 0 || !net.is_operational(h, t) {
             continue;
         }
-        let (ok, attempts) = try_long_hop(net, h, base, SUMMARY_WIRE_BYTES, rng);
+        let (ok, attempts) = try_long_hop(net, h, base, SUMMARY_WIRE_BYTES, t, rng);
         total_bytes += SUMMARY_WIRE_BYTES * attempts as u64;
+        retries += u64::from(attempts.saturating_sub(1));
         if ok {
             merged.merge(&partials[hi]);
             cpu_ops += MERGE_OPS;
@@ -297,6 +311,7 @@ pub fn cluster_summaries<R: Rng>(
             cpu_ops,
             participating,
             delivered: merged.count as usize,
+            retries,
         },
         summaries,
     )
@@ -304,11 +319,16 @@ pub fn cluster_summaries<R: Rng>(
 
 /// A single-hop transmission that may exceed the normal radio range (the
 /// long-range amplifier pays the d²/d⁴ price); bounded retries.
+///
+/// Fault semantics mirror [`collect`](crate::collect)'s multi-hop variant:
+/// the sender always pays the transmit energy, then injected loss, link
+/// blackouts, and a non-operational receiver each kill the attempt.
 fn try_long_hop<R: Rng>(
     net: &mut SensorNetwork,
     from: NodeId,
     to: NodeId,
     bytes: u64,
+    t: SimTime,
     rng: &mut R,
 ) -> (bool, u32) {
     let bits = bytes * 8;
@@ -318,7 +338,13 @@ fn try_long_hop<R: Rng>(
         if !net.drain(from, tx) {
             return (false, attempt);
         }
-        if net.link().delivered(rng) {
+        let fault_dropped = {
+            // Plan-level loss draws first (and only when configured), so
+            // empty plans leave existing random streams untouched.
+            let dropped = net.fault_plan().message_dropped(rng);
+            dropped || net.fault_plan().is_link_blacked_out(t) || !net.is_operational(to, t)
+        };
+        if !fault_dropped && net.link().delivered(rng) {
             let rx = net.radio().rx_energy(bits);
             if !net.drain(to, rx) && to != net.base() {
                 return (false, attempt);
@@ -345,7 +371,7 @@ mod tests {
             topo,
             NodeId(0),
             RadioModel::mote(),
-            LinkModel::new(250e3, Duration::from_millis(5), 0.0),
+            LinkModel::new(250e3, Duration::from_millis(5), 0.0).unwrap(),
             50.0,
         );
         n.noise_sd = 0.0;

@@ -53,6 +53,8 @@ pub struct CollectionReport {
     pub participating: usize,
     /// Readings actually represented in the result.
     pub delivered: usize,
+    /// Link-layer retransmissions beyond each hop's first attempt.
+    pub retries: u64,
 }
 
 impl CollectionReport {
@@ -99,11 +101,17 @@ impl Ledger {
 /// Attempt to deliver one `bytes`-sized message over the `from -> to` hop,
 /// draining energy for every attempt (sender) and for the successful
 /// reception (receiver). Returns `(delivered, attempts)`.
+///
+/// Injected faults (the network's [`FaultPlan`][pg_sim::fault::FaultPlan])
+/// kill attempts *after* the sender has spent the transmit energy: a link
+/// blackout at `t` jams the channel, a crashed receiver cannot acknowledge,
+/// and plan-level message loss compounds the link's own loss process.
 fn try_hop<R: Rng>(
     net: &mut SensorNetwork,
     from: NodeId,
     to: NodeId,
     bytes: u64,
+    t: SimTime,
     rng: &mut R,
 ) -> (bool, u32) {
     let bits = bytes * 8;
@@ -113,7 +121,13 @@ fn try_hop<R: Rng>(
         if !net.drain(from, tx) {
             return (false, attempt); // sender died mid-send
         }
-        if net.link().delivered(rng) {
+        let fault_dropped = {
+            // Stochastic plan loss draws first (and only when configured),
+            // so empty plans leave existing random streams untouched.
+            let dropped = net.fault_plan().message_dropped(rng);
+            dropped || net.fault_plan().is_link_blacked_out(t) || !net.is_operational(to, t)
+        };
+        if !fault_dropped && net.link().delivered(rng) {
             let rx = net.radio().rx_energy(bits);
             if !net.drain(to, rx) && to != net.base() {
                 return (false, attempt); // receiver died on reception
@@ -172,11 +186,12 @@ pub fn direct_collection_filtered<R: Rng>(
     let mut total_bytes = 0u64;
     let mut bytes_to_base = 0u64;
     let mut cpu_ops = 0u64;
+    let mut retries = 0u64;
     let mut max_path = Duration::ZERO;
     let mut raw: Vec<(NodeId, f64)> = Vec::new();
 
     for &m in members {
-        if !net.is_alive(m) || m == base {
+        if !net.is_operational(m, t) || m == base {
             continue;
         }
         let reading = net.sample(m, field, t, rng);
@@ -190,13 +205,14 @@ pub fn direct_collection_filtered<R: Rng>(
         let mut ok = true;
         let mut path_time = Duration::ZERO;
         for w in path.windows(2) {
-            // A dead forwarder silently breaks the route.
-            if !net.is_alive(w[0]) {
+            // A dead (or crashed) forwarder silently breaks the route.
+            if !net.is_operational(w[0], t) {
                 ok = false;
                 break;
             }
-            let (hop_ok, attempts) = try_hop(net, w[0], w[1], READING_WIRE_BYTES, rng);
+            let (hop_ok, attempts) = try_hop(net, w[0], w[1], READING_WIRE_BYTES, t, rng);
             total_bytes += READING_WIRE_BYTES * attempts as u64;
+            retries += u64::from(attempts.saturating_sub(1));
             path_time += slot.mul(attempts as u64);
             if !hop_ok {
                 ok = false;
@@ -230,6 +246,7 @@ pub fn direct_collection_filtered<R: Rng>(
         cpu_ops,
         participating: members.iter().filter(|&&m| m != base).count(),
         delivered,
+        retries,
     };
     (report, raw)
 }
@@ -287,11 +304,12 @@ pub fn tree_aggregation_filtered<R: Rng>(
     let mut cpu_ops = 0u64;
     let mut total_bytes = 0u64;
     let mut bytes_to_base = 0u64;
+    let mut retries = 0u64;
     let mut max_level = 0u32;
 
     // Members sample into their own partial.
     for id in net.topology().nodes() {
-        if is_member[id.idx()] && net.is_alive(id) {
+        if is_member[id.idx()] && net.is_operational(id, t) {
             let reading = net.sample(id, field, t, rng);
             cpu_ops += 50;
             if filter.matches(reading) {
@@ -306,17 +324,20 @@ pub fn tree_aggregation_filtered<R: Rng>(
         if !involved[u.idx()] || u == base {
             continue;
         }
-        if !net.is_alive(u) {
+        if !net.is_operational(u, t) {
             partials[u.idx()] = Partial::empty(); // subtree contribution dies here
             continue;
         }
-        let parent = tree.parent[u.idx()].expect("non-root involved node has parent");
+        let Some(parent) = tree.parent[u.idx()] else {
+            continue; // root-adjacent anomaly: nothing to forward to
+        };
         let state = partials[u.idx()];
         if state.count == 0 {
             continue; // nothing to report upward
         }
-        let (ok, attempts) = try_hop(net, u, parent, PARTIAL_WIRE_BYTES, rng);
+        let (ok, attempts) = try_hop(net, u, parent, PARTIAL_WIRE_BYTES, t, rng);
         total_bytes += PARTIAL_WIRE_BYTES * attempts as u64;
+        retries += u64::from(attempts.saturating_sub(1));
         if ok {
             partials[parent.idx()].merge(&state);
             cpu_ops += MERGE_OPS;
@@ -340,6 +361,7 @@ pub fn tree_aggregation_filtered<R: Rng>(
         cpu_ops,
         participating,
         delivered: merged.count as usize,
+        retries,
     }
 }
 
@@ -358,7 +380,7 @@ mod tests {
             topo,
             NodeId(0),
             RadioModel::mote(),
-            LinkModel::new(250e3, Duration::from_millis(5), 0.0),
+            LinkModel::new(250e3, Duration::from_millis(5), 0.0).unwrap(),
             50.0,
         );
         net.noise_sd = 0.0;
@@ -484,7 +506,7 @@ mod tests {
             topo,
             NodeId(0),
             RadioModel::mote(),
-            LinkModel::new(250e3, Duration::from_millis(5), 0.4),
+            LinkModel::new(250e3, Duration::from_millis(5), 0.4).unwrap(),
             50.0,
         );
         net.noise_sd = 0.0;

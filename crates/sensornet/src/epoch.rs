@@ -152,7 +152,7 @@ mod tests {
             topo,
             NodeId(0),
             RadioModel::mote(),
-            LinkModel::new(250e3, Duration::from_millis(5), 0.0),
+            LinkModel::new(250e3, Duration::from_millis(5), 0.0).unwrap(),
             battery_j,
         );
         n.noise_sd = 0.0;
@@ -248,7 +248,7 @@ mod tests {
                 topo,
                 NodeId(0),
                 RadioModel::mote(),
-                LinkModel::new(250e3, Duration::from_millis(5), 0.0),
+                LinkModel::new(250e3, Duration::from_millis(5), 0.0).unwrap(),
                 100.0,
             );
             n.noise_sd = 0.0;

@@ -33,6 +33,8 @@
 //! assert_eq!(left.finalize(AggFn::Max), Some(24.0));
 //! ```
 
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod aggregate;
 pub mod cluster;
 pub mod collect;

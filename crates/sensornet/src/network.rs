@@ -4,6 +4,7 @@ use crate::field::TemperatureField;
 use pg_net::energy::{Battery, RadioModel};
 use pg_net::link::LinkModel;
 use pg_net::topology::{NodeId, Topology};
+use pg_sim::fault::FaultPlan;
 use pg_sim::SimTime;
 use rand::Rng;
 
@@ -19,6 +20,7 @@ pub struct SensorNetwork {
     radio: RadioModel,
     link: LinkModel,
     batteries: Vec<Battery>,
+    faults: FaultPlan,
     /// Gaussian sensing noise applied to every sample, °C.
     pub noise_sd: f64,
 }
@@ -40,8 +42,21 @@ impl SensorNetwork {
             radio,
             link,
             batteries,
+            faults: FaultPlan::none(),
             noise_sd: 0.5,
         }
+    }
+
+    /// Install a fault plan; the empty plan (the default) injects nothing.
+    /// Node ids in the plan map to [`NodeId`] indices; base-outage windows
+    /// make the base station unreachable while they last.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.faults = plan;
+    }
+
+    /// The installed fault plan (the empty plan when none was set).
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.faults
     }
 
     /// The underlying topology.
@@ -77,6 +92,16 @@ impl SensorNetwork {
     /// Is `node` still powered? (The base station always is.)
     pub fn is_alive(&self, node: NodeId) -> bool {
         node == self.base || !self.batteries[node.idx()].is_dead()
+    }
+
+    /// Is `node` powered *and* not inside an injected crash window at `t`?
+    /// Unlike battery death this is transient: the node participates again
+    /// once its window ends. The base station obeys base-outage windows.
+    pub fn is_operational(&self, node: NodeId, t: SimTime) -> bool {
+        if node == self.base {
+            return !self.faults.is_base_down(t);
+        }
+        self.is_alive(node) && !self.faults.is_node_down(node.idx() as u64, t)
     }
 
     /// Number of live sensors (excluding the base station).

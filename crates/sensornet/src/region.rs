@@ -2,6 +2,7 @@
 
 use pg_net::geom::Point;
 use pg_net::topology::{NodeId, Topology};
+use pg_net::InvalidConfig;
 
 /// An axis-aligned box, the spatial footprint of a room/floor/zone.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -15,14 +16,16 @@ pub struct Region {
 impl Region {
     /// Construct a region from two corners.
     ///
-    /// # Panics
-    /// Panics when any `min` coordinate exceeds the matching `max`.
-    pub fn new(min: Point, max: Point) -> Self {
-        assert!(
-            min.x <= max.x && min.y <= max.y && min.z <= max.z,
-            "inverted region corners"
-        );
-        Region { min, max }
+    /// # Errors
+    /// Rejects inverted corners (any `min` coordinate exceeding the
+    /// matching `max`) — usually a sign of swapped arguments.
+    pub fn new(min: Point, max: Point) -> Result<Self, InvalidConfig> {
+        if !(min.x <= max.x && min.y <= max.y && min.z <= max.z) {
+            return Err(InvalidConfig::new(format!(
+                "inverted region corners: min {min:?} vs max {max:?}"
+            )));
+        }
+        Ok(Region { min, max })
     }
 
     /// The whole space (matches every sensor).
@@ -33,12 +36,13 @@ impl Region {
         }
     }
 
-    /// A 2-D room footprint spanning all heights.
+    /// A 2-D room footprint spanning all heights. Corner order does not
+    /// matter: the coordinates are normalized, so this never fails.
     pub fn room(x0: f64, y0: f64, x1: f64, y1: f64) -> Self {
-        Region::new(
-            Point::new(x0, y0, f64::NEG_INFINITY),
-            Point::new(x1, y1, f64::INFINITY),
-        )
+        Region {
+            min: Point::new(x0.min(x1), y0.min(y1), f64::NEG_INFINITY),
+            max: Point::new(x0.max(x1), y0.max(y1), f64::INFINITY),
+        }
     }
 
     /// Does the region contain `p`?
@@ -100,13 +104,18 @@ mod tests {
 
     #[test]
     fn center_is_midpoint() {
-        let r = Region::new(Point::flat(0.0, 0.0), Point::new(10.0, 20.0, 4.0));
+        let r = Region::new(Point::flat(0.0, 0.0), Point::new(10.0, 20.0, 4.0)).unwrap();
         assert_eq!(r.center(), Point::new(5.0, 10.0, 2.0));
     }
 
     #[test]
-    #[should_panic(expected = "inverted region")]
     fn inverted_corners_rejected() {
-        Region::new(Point::flat(5.0, 0.0), Point::flat(0.0, 5.0));
+        let err = Region::new(Point::flat(5.0, 0.0), Point::flat(0.0, 5.0)).unwrap_err();
+        assert!(err.to_string().contains("inverted region corners"));
+        // `room` normalizes instead of failing.
+        assert_eq!(
+            Region::room(10.0, 10.0, 0.0, 0.0),
+            Region::room(0.0, 0.0, 10.0, 10.0)
+        );
     }
 }

@@ -49,18 +49,23 @@ pub struct Filter<F: Fn(f64) -> bool> {
 impl<F: Fn(f64) -> bool> Filter<F> {
     /// A filter with an assumed selectivity in `[0, 1]`.
     ///
-    /// # Panics
-    /// Panics when selectivity is outside `[0, 1]`.
-    pub fn new(label: impl Into<String>, selectivity: f64, predicate: F) -> Self {
-        assert!(
-            (0.0..=1.0).contains(&selectivity),
-            "selectivity out of range: {selectivity}"
-        );
-        Filter {
+    /// # Errors
+    /// Rejects a selectivity outside `[0, 1]` (including NaN).
+    pub fn new(
+        label: impl Into<String>,
+        selectivity: f64,
+        predicate: F,
+    ) -> Result<Self, pg_net::InvalidConfig> {
+        if !(0.0..=1.0).contains(&selectivity) {
+            return Err(pg_net::InvalidConfig::new(format!(
+                "selectivity out of range: {selectivity}"
+            )));
+        }
+        Ok(Filter {
             predicate,
             selectivity,
             label: label.into(),
-        }
+        })
     }
 }
 
@@ -293,6 +298,8 @@ impl Chain {
 /// Rate-based operator ordering: given per-operator selectivities for
 /// commuting filters, the cost-minimizing order is ascending selectivity
 /// (drop the most data first). Returns the ordering of indices.
+// Selectivities are probabilities in [0, 1], never NaN.
+#[allow(clippy::expect_used)]
 pub fn rate_optimal_filter_order(selectivities: &[f64]) -> Vec<usize> {
     let mut idx: Vec<usize> = (0..selectivities.len()).collect();
     idx.sort_by(|&a, &b| {
@@ -316,7 +323,7 @@ mod tests {
 
     #[test]
     fn filter_passes_and_drops() {
-        let mut f = Filter::new("hot", 0.5, |v| v > 100.0);
+        let mut f = Filter::new("hot", 0.5, |v| v > 100.0).unwrap();
         assert_eq!(f.push(s(0, 150.0)), vec![s(0, 150.0)]);
         assert!(f.push(s(1, 50.0)).is_empty());
         assert_eq!(f.output_rate(10.0), 5.0);
@@ -382,7 +389,7 @@ mod tests {
     #[test]
     fn chain_composes_and_profiles_rates() {
         let mut chain = Chain::new()
-            .then(Filter::new("hot", 0.2, |v| v > 100.0))
+            .then(Filter::new("hot", 0.2, |v| v > 100.0).unwrap())
             .then(SlidingAgg::new(AggFn::Avg, Duration::from_secs(30)))
             .then(ThresholdAlarm::new(150.0));
         assert_eq!(chain.len(), 3);
@@ -416,11 +423,11 @@ mod tests {
         assert_eq!(rate_optimal_filter_order(&[0.9, 0.1, 0.5]), vec![1, 2, 0]);
         // And it genuinely minimizes chain cost: compare both orders.
         let cheap_first = Chain::new()
-            .then(Filter::new("a", 0.1, |_| true))
-            .then(Filter::new("b", 0.9, |_| true));
+            .then(Filter::new("a", 0.1, |_| true).unwrap())
+            .then(Filter::new("b", 0.9, |_| true).unwrap());
         let dear_first = Chain::new()
-            .then(Filter::new("b", 0.9, |_| true))
-            .then(Filter::new("a", 0.1, |_| true));
+            .then(Filter::new("b", 0.9, |_| true).unwrap())
+            .then(Filter::new("a", 0.1, |_| true).unwrap());
         assert!(cheap_first.cost_rate(100.0) < dear_first.cost_rate(100.0));
     }
 }

@@ -1,5 +1,7 @@
 //! Property-based tests for the sensor-network layer invariants.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use pg_net::energy::RadioModel;
 use pg_net::geom::Point;
 use pg_net::link::LinkModel;
@@ -65,7 +67,7 @@ proptest! {
                 topo,
                 NodeId(0),
                 RadioModel::mote(),
-                LinkModel::new(250e3, Duration::from_millis(5), 0.0),
+                LinkModel::new(250e3, Duration::from_millis(5), 0.0).unwrap(),
                 1_000.0,
             );
             net.noise_sd = 0.0;
@@ -93,7 +95,7 @@ proptest! {
             topo,
             NodeId(0),
             RadioModel::mote(),
-            LinkModel::new(250e3, Duration::from_millis(5), loss),
+            LinkModel::new(250e3, Duration::from_millis(5), loss).unwrap(),
             1_000.0,
         );
         net.noise_sd = 0.0;

@@ -1,5 +1,7 @@
 //! Property-based tests for the stream-operator layer.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use pg_sensornet::aggregate::{AggFn, ValueFilter, ValueOp};
 use pg_sensornet::stream::{
     rate_optimal_filter_order, Chain, Filter, Sample, SlidingAgg, StreamOp, TumblingAgg,
@@ -88,7 +90,7 @@ proptest! {
         let build = |order: &[usize]| {
             let mut c = Chain::new();
             for &i in order {
-                c = c.then(Filter::new(format!("f{i}"), sels[i], |_| true));
+                c = c.then(Filter::new(format!("f{i}"), sels[i], |_| true).unwrap());
             }
             c
         };

@@ -35,6 +35,9 @@
 //! assert_eq!(seen, vec![(1.0, 1), (3.0, 3)]);
 //! ```
 
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
+pub mod fault;
 pub mod metrics;
 pub mod report;
 pub mod rng;

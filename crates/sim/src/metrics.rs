@@ -179,6 +179,8 @@ impl Samples {
     ///
     /// # Panics
     /// Panics when `q` is outside `[0, 1]`.
+    // `record` rejects non-finite samples, so NaN cannot reach the sort.
+    #[allow(clippy::expect_used)]
     pub fn quantile(&mut self, q: f64) -> Option<f64> {
         assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
         if self.xs.is_empty() {

@@ -113,6 +113,8 @@ impl Writer {
     }
 
     /// Close the innermost object (`}`).
+    // Unbalanced begin/end is a caller bug in writer code, not input data.
+    #[allow(clippy::expect_used)]
     pub fn end_object(&mut self) {
         self.stack.pop().expect("end_object without begin_object");
         self.out.push('}');
@@ -126,6 +128,8 @@ impl Writer {
     }
 
     /// Close the innermost array (`]`).
+    // Unbalanced begin/end is a caller bug in writer code, not input data.
+    #[allow(clippy::expect_used)]
     pub fn end_array(&mut self) {
         self.stack.pop().expect("end_array without begin_array");
         self.out.push(']');
@@ -393,9 +397,11 @@ impl Parser<'_> {
                     }
                 }
                 Some(_) => {
-                    // Consume one UTF-8 scalar (input is &str, so valid).
+                    // Consume one UTF-8 scalar (input is &str, so valid);
+                    // the Some(_) arm guarantees at least one byte remains.
                     let rest = &self.bytes[self.pos..];
                     let s = std::str::from_utf8(rest).map_err(|_| self.err("invalid utf-8"))?;
+                    #[allow(clippy::unwrap_used)]
                     let c = s.chars().next().unwrap();
                     out.push(c);
                     self.pos += c.len_utf8();

@@ -55,7 +55,11 @@ fn hash_label(label: &str) -> u64 {
 }
 
 /// SplitMix64 finalizer: a well-mixed combination of two 64-bit words.
-fn mix(a: u64, b: u64) -> u64 {
+///
+/// Public because the [`crate::fault`] harness uses the same mixer to derive
+/// per-message fault fates from `(plan seed, message salt)` pairs — keeping
+/// fault randomness on the same deterministic footing as every RNG stream.
+pub fn mix(a: u64, b: u64) -> u64 {
     let mut z = a ^ b.wrapping_mul(0x9e37_79b9_7f4a_7c15);
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);

@@ -89,6 +89,9 @@ impl<M: Model> Simulation<M> {
     ///
     /// Events with timestamps beyond the horizon are left pending; the clock
     /// is *not* advanced past the last processed event.
+    // `peek_time` returned Some just above and nothing runs in between,
+    // so `pop` cannot come back empty.
+    #[allow(clippy::expect_used)]
     pub fn run_until(&mut self, horizon: SimTime) -> RunOutcome {
         loop {
             if self.model.finished(self.sched.now()) {

@@ -143,6 +143,9 @@ impl Duration {
 
 impl Add<Duration> for SimTime {
     type Output = SimTime;
+    // Overflow means ~584 years of simulated nanoseconds: a broken model,
+    // not a recoverable condition.
+    #[allow(clippy::expect_used)]
     fn add(self, rhs: Duration) -> SimTime {
         SimTime(self.0.checked_add(rhs.0).expect("simulation time overflow"))
     }
@@ -163,6 +166,8 @@ impl Sub<SimTime> for SimTime {
 
 impl Add for Duration {
     type Output = Duration;
+    // See `SimTime + Duration`: overflow is a broken model, fail fast.
+    #[allow(clippy::expect_used)]
     fn add(self, rhs: Duration) -> Duration {
         Duration(self.0.checked_add(rhs.0).expect("duration overflow"))
     }
@@ -176,6 +181,9 @@ impl AddAssign for Duration {
 
 impl Sub for Duration {
     type Output = Duration;
+    // Durations are unsigned by design; a negative difference is a logic
+    // error at the call site, so underflow fails fast.
+    #[allow(clippy::expect_used)]
     fn sub(self, rhs: Duration) -> Duration {
         Duration(
             self.0

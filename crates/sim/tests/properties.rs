@@ -1,5 +1,7 @@
 //! Property-based tests for the DES kernel invariants.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use pg_sim::metrics::{Samples, Summary};
 use pg_sim::rng::RngStreams;
 use pg_sim::{Duration, Scheduler, SimTime};

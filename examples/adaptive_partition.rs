@@ -10,6 +10,8 @@
 //! cargo run --example adaptive_partition
 //! ```
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use pervasive_grid::core::PervasiveGrid;
 use pervasive_grid::net::geom::Point;
 use pervasive_grid::partition::decide::Policy;

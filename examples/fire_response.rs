@@ -10,6 +10,8 @@
 //! cargo run --example fire_response
 //! ```
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use pervasive_grid::core::agents::{middleware, submit_via_middleware, HandheldAgent};
 use pervasive_grid::core::{FireScenario, PervasiveGrid};
 

@@ -11,6 +11,8 @@
 //! cargo run --example health_monitoring
 //! ```
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use pervasive_grid::compose::htn::MethodLibrary;
 use pervasive_grid::compose::manager::{execute, ManagerKind, ServiceWorld};
 use pervasive_grid::discovery::description::ServiceDescription;
@@ -35,7 +37,7 @@ fn main() {
     let streams = RngStreams::new(7);
     let horizon = SimTime::from_secs(100_000);
     let mut rng = streams.fork("churn");
-    let field_unit = ChurnProcess::new(300.0, 120.0); // mobile lab vans
+    let field_unit = ChurnProcess::new(300.0, 120.0).unwrap(); // mobile lab vans
     let stable = ChurnSchedule::always_up();
 
     let mut world = ServiceWorld::new();

@@ -5,6 +5,8 @@
 //! cargo run --example quickstart
 //! ```
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use pervasive_grid::core::PervasiveGrid;
 use pervasive_grid::net::geom::Point;
 use pervasive_grid::sensornet::region::Region;

@@ -11,6 +11,8 @@
 //! cargo run --example semantic_discovery
 //! ```
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use pervasive_grid::discovery::baselines::{jini_match, sdp_match};
 use pervasive_grid::discovery::corpus::{precision_recall, printer_corpus};
 use pervasive_grid::discovery::description::{Constraint, Preference, ServiceRequest, Value};

@@ -8,6 +8,8 @@
 //! cargo run --example stream_mining
 //! ```
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use pervasive_grid::agent::deputy::DirectDeputy;
 use pervasive_grid::agent::negotiate::{
     commitment_met, run_tender, CallForProposals, ProviderAgent, TenderState,

@@ -11,6 +11,8 @@
 //! cargo run --example streaming_watch
 //! ```
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use pervasive_grid::net::energy::RadioModel;
 use pervasive_grid::net::geom::Point;
 use pervasive_grid::net::link::LinkModel;
@@ -85,7 +87,7 @@ fn main() {
     let build = |order: &[usize]| {
         let mut c = Chain::new();
         for &i in order {
-            c = c.then(Filter::new(format!("p{i}"), selectivities[i], |_| true));
+            c = c.then(Filter::new(format!("p{i}"), selectivities[i], |_| true).unwrap());
         }
         c
     };

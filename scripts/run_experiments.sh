@@ -35,10 +35,14 @@ fi
 
 mkdir -p "$out"
 cargo build --release -p pg-bench
-for exp in exp_f1_scenario exp_t1_matrix exp_t2_aggregation exp_t3_adaptive \
-           exp_t4_discovery exp_t5_faults exp_t6_proactive exp_t7_churn \
-           exp_t8_crossover exp_t9_pde exp_t10_cost exp_t11_routing \
-           exp_t12_lifetime exp_t13_mobility exp_t14_mac exp_a1_ablation; do
+# Discover the experiment binaries from the source tree: a new exp_*.rs is
+# picked up automatically and cannot be silently skipped here.
+exps=$(find crates/bench/src/bin -name 'exp_*.rs' -exec basename {} .rs \; | sort)
+if [[ -z "$exps" ]]; then
+    echo "no exp_*.rs binaries found under crates/bench/src/bin" >&2
+    exit 1
+fi
+for exp in $exps; do
     echo "== $exp =="
     # set -o pipefail makes a non-zero binary exit abort the whole run here.
     ./target/release/"$exp" "${smoke[@]}" --out "$out" | tee "$out/$exp.txt"

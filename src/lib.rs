@@ -35,6 +35,8 @@
 //! assert!((r.value.unwrap() - 21.0).abs() < 3.0); // calm building
 //! ```
 
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
 pub use pg_agent as agent;
 pub use pg_compose as compose;
 pub use pg_core as core;

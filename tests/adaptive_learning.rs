@@ -1,5 +1,7 @@
 //! Integration: the adaptive loop of §4 actually learns.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use pervasive_grid::core::PervasiveGrid;
 use pervasive_grid::net::geom::Point;
 use pervasive_grid::partition::decide::Policy;

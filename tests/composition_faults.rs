@@ -2,6 +2,8 @@
 //! injected service failures (§3's requirements, across discovery + compose
 //! + churn).
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use pervasive_grid::compose::htn::MethodLibrary;
 use pervasive_grid::compose::manager::{execute, ManagerKind, ServiceWorld};
 use pervasive_grid::discovery::description::ServiceDescription;
@@ -52,7 +54,7 @@ fn world_with(
 fn replicas_mask_churn_for_the_reactive_manager() {
     let onto = Ontology::pervasive_grid();
     // Flaky services (50% availability), but 4 replicas of each role.
-    let w = world_with(&onto, 4, Some(ChurnProcess::new(60.0, 60.0)), 21);
+    let w = world_with(&onto, 4, Some(ChurnProcess::new(60.0, 60.0).unwrap()), 21);
     let p = plan();
     let mut successes = 0;
     for i in 0..20u64 {
@@ -72,8 +74,8 @@ fn replicas_mask_churn_for_the_reactive_manager() {
 #[test]
 fn single_instances_fail_much_more_often() {
     let onto = Ontology::pervasive_grid();
-    let replicated = world_with(&onto, 4, Some(ChurnProcess::new(60.0, 60.0)), 22);
-    let single = world_with(&onto, 1, Some(ChurnProcess::new(60.0, 60.0)), 22);
+    let replicated = world_with(&onto, 4, Some(ChurnProcess::new(60.0, 60.0).unwrap()), 22);
+    let single = world_with(&onto, 1, Some(ChurnProcess::new(60.0, 60.0).unwrap()), 22);
     let p = plan();
     let count = |w: &ServiceWorld| {
         (0..20u64)
@@ -105,7 +107,7 @@ fn utility_degrades_gracefully_not_cliff_like() {
     // but stay above zero while any required chain exists.
     let mut last_mean = 1.1;
     for (up, down) in [(300.0, 30.0), (120.0, 60.0), (60.0, 120.0)] {
-        let w = world_with(&onto, 2, Some(ChurnProcess::new(up, down)), 23);
+        let w = world_with(&onto, 2, Some(ChurnProcess::new(up, down).unwrap()), 23);
         let mean: f64 = (0..20u64)
             .map(|i| {
                 execute(
@@ -134,8 +136,9 @@ fn centralized_manager_dies_with_its_center() {
     let mut w = world_with(&onto, 2, None, 24);
     // Center up only 10% of the time.
     let streams = RngStreams::new(24);
-    w.center_churn =
-        ChurnProcess::new(30.0, 270.0).schedule(SimTime::from_secs(50_000), &mut streams.fork("c"));
+    w.center_churn = ChurnProcess::new(30.0, 270.0)
+        .unwrap()
+        .schedule(SimTime::from_secs(50_000), &mut streams.fork("c"));
     let p = plan();
     let mut c_latency = Duration::ZERO;
     let mut d_latency = Duration::ZERO;

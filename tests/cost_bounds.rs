@@ -1,6 +1,8 @@
 //! Integration: the COST clause end to end (§4: "Cost could be in terms of
 //! sensor energy, response time or accuracy of the result").
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use pervasive_grid::core::{PervasiveGrid, PgError};
 use pervasive_grid::sensornet::region::Region;
 

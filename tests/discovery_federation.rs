@@ -1,6 +1,8 @@
 //! Integration: discovery at federation scale (ontology + matcher +
 //! registries + brokers + corpus).
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use pervasive_grid::discovery::broker::BrokerFederation;
 use pervasive_grid::discovery::corpus::{mixed_corpus, precision_recall, printer_corpus};
 use pervasive_grid::discovery::description::{Constraint, Preference, ServiceRequest, Value};

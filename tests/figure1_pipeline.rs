@@ -1,5 +1,7 @@
 //! Integration: the full Figure-1 pipeline across every crate.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use pervasive_grid::core::{FireScenario, PervasiveGrid};
 use pervasive_grid::net::geom::Point;
 use pervasive_grid::partition::model::SolutionModel;

@@ -1,6 +1,8 @@
 //! Integration: discovery, negotiation, and mining through the middleware —
 //! the agent-level services of §§1–3 working together in one system.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use pervasive_grid::agent::deputy::{DirectDeputy, TranscodingDeputy};
 use pervasive_grid::agent::envelope::{Envelope, Payload};
 use pervasive_grid::agent::negotiate::{
