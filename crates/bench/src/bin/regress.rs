@@ -23,10 +23,15 @@ use std::process::ExitCode;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: regress [--baselines DIR] [--results DIR] [--tolerance REL]\n\
+        "usage: regress [--baselines DIR] [--results DIR] [--tolerance REL] \
+         [--percentile-tolerance REL]\n\
          \n  --baselines DIR   committed BENCH_*.json directory (default: baselines)\
          \n  --results DIR     fresh report directory (default: results)\
-         \n  --tolerance REL   default relative tolerance (default: 1e-9)"
+         \n  --tolerance REL   default relative tolerance (default: 1e-9)\
+         \n  --percentile-tolerance REL\
+         \n                    relative tolerance for .p50/.p90/.p95/.p99 leaves\
+         \n                    (default: 1e-6 — order statistics sit on sample\
+         \n                    boundaries, so they get their own knob)"
     );
     std::process::exit(2);
 }
@@ -35,6 +40,7 @@ fn main() -> ExitCode {
     let mut baselines = PathBuf::from("baselines");
     let mut results = PathBuf::from("results");
     let mut tol = Tolerances::default();
+    let mut percentile_rel = 1e-6;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -46,9 +52,16 @@ fn main() -> ExitCode {
                 };
                 tol.default_rel = v;
             }
+            "--percentile-tolerance" => {
+                let Some(v) = args.next().and_then(|s| s.parse::<f64>().ok()) else {
+                    usage()
+                };
+                percentile_rel = v;
+            }
             _ => usage(),
         }
     }
+    let tol = tol.with_percentile_tolerance(percentile_rel);
 
     let mut baseline_files: Vec<PathBuf> = match std::fs::read_dir(&baselines) {
         Ok(entries) => entries

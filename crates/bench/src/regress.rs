@@ -17,6 +17,10 @@ pub struct Tolerances {
     pub default_rel: f64,
     /// `(path prefix, rel)` overrides; the longest matching prefix wins.
     pub overrides: Vec<(String, f64)>,
+    /// `(path suffix, rel)` overrides — e.g. `.p95` to widen every
+    /// percentile leaf across experiments. Checked before the prefix
+    /// overrides; the longest matching suffix wins.
+    pub suffix_overrides: Vec<(String, f64)>,
     /// Values with magnitude below this floor are compared absolutely
     /// (relative error is meaningless near zero).
     pub abs_floor: f64,
@@ -27,20 +31,40 @@ impl Default for Tolerances {
         Tolerances {
             default_rel: 1e-9,
             overrides: Vec::new(),
+            suffix_overrides: Vec::new(),
             abs_floor: 1e-12,
         }
     }
 }
 
 impl Tolerances {
-    /// The relative tolerance applying to `path`.
+    /// The relative tolerance applying to `path`: the longest matching
+    /// suffix override, else the longest matching prefix override, else
+    /// the default.
     pub fn rel_for(&self, path: &str) -> f64 {
-        self.overrides
+        self.suffix_overrides
             .iter()
-            .filter(|(prefix, _)| path.starts_with(prefix.as_str()))
-            .max_by_key(|(prefix, _)| prefix.len())
+            .filter(|(suffix, _)| path.ends_with(suffix.as_str()))
+            .max_by_key(|(suffix, _)| suffix.len())
             .map(|&(_, rel)| rel)
+            .or_else(|| {
+                self.overrides
+                    .iter()
+                    .filter(|(prefix, _)| path.starts_with(prefix.as_str()))
+                    .max_by_key(|(prefix, _)| prefix.len())
+                    .map(|&(_, rel)| rel)
+            })
             .unwrap_or(self.default_rel)
+    }
+
+    /// Install the standard percentile suffix overrides (`.p50`/`.p90`/
+    /// `.p95`/`.p99` at `rel`): order statistics sit on sample boundaries,
+    /// so they deserve their own (usually wider) tolerance than means.
+    pub fn with_percentile_tolerance(mut self, rel: f64) -> Self {
+        for q in ["p50", "p90", "p95", "p99"] {
+            self.suffix_overrides.push((format!(".{q}"), rel));
+        }
+        self
     }
 }
 
@@ -266,6 +290,64 @@ mod tests {
         assert_eq!(tol.rel_for("counters.tx"), 1e-9);
         assert_eq!(tol.rel_for("stats.energy.mean"), 1e-6);
         assert_eq!(tol.rel_for("stats.latency_s.mean"), 1e-2);
+    }
+
+    #[test]
+    fn suffix_overrides_beat_prefixes_and_longest_suffix_wins() {
+        let tol = Tolerances {
+            default_rel: 1e-9,
+            overrides: vec![("stats.".into(), 1e-6)],
+            suffix_overrides: vec![(".p95".into(), 1e-3), ("latency.p95".into(), 1e-2)],
+            ..Tolerances::default()
+        };
+        // Suffix match wins over the prefix override covering the same path.
+        assert_eq!(tol.rel_for("stats.response_s.p95"), 1e-3);
+        // The longest matching suffix wins among suffixes.
+        assert_eq!(tol.rel_for("stats.latency.p95"), 1e-2);
+        // Non-matching paths fall through to prefix, then default.
+        assert_eq!(tol.rel_for("stats.response_s.mean"), 1e-6);
+        assert_eq!(tol.rel_for("counters.tx"), 1e-9);
+    }
+
+    #[test]
+    fn percentile_tolerance_covers_every_quantile_leaf() {
+        let tol = Tolerances::default().with_percentile_tolerance(1e-6);
+        for q in ["p50", "p90", "p95", "p99"] {
+            assert_eq!(tol.rel_for(&format!("stats.response_s.{q}")), 1e-6);
+        }
+        assert_eq!(tol.rel_for("stats.response_s.mean"), 1e-9);
+    }
+
+    #[test]
+    fn percentile_drift_beyond_tolerance_still_fails() {
+        let mut base = Report::new("e");
+        base.set_meta("mode", "smoke");
+        base.set_scalar("x", 1.0);
+        base.stats.insert(
+            "response_s".into(),
+            pg_sim::report::SummaryStats {
+                p95: Some(10.0),
+                ..pg_sim::report::SummaryStats::default()
+            },
+        );
+        let mut fresh = base.clone();
+        fresh.stats.get_mut("response_s").unwrap().p95 = Some(12.0);
+        let tol = Tolerances::default().with_percentile_tolerance(1e-2);
+        let cmp = compare(&base, &fresh, &tol);
+        assert!(!cmp.ok());
+        assert!(
+            cmp.drifts.iter().any(|d| d.path == "stats.response_s.p95"),
+            "{:?}",
+            cmp.violations
+        );
+        // Within the widened tolerance the same leaf passes.
+        fresh.stats.get_mut("response_s").unwrap().p95 = Some(10.05);
+        let cmp = compare(
+            &base,
+            &fresh,
+            &Tolerances::default().with_percentile_tolerance(1e-2),
+        );
+        assert!(cmp.ok(), "{:?}", cmp.violations);
     }
 
     #[test]

@@ -24,9 +24,11 @@
 pub mod agents;
 pub mod broker_agent;
 pub mod error;
+pub mod multiquery;
 pub mod runtime;
 pub mod scenario;
 
 pub use error::PgError;
+pub use multiquery::GridRuntime;
 pub use runtime::{DegradationReport, GridBuilder, PervasiveGrid, QueryRecord, QueryResponse};
 pub use scenario::FireScenario;

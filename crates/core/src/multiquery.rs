@@ -1,0 +1,285 @@
+//! `PervasiveGrid` as a [`QueryEngine`]: the bridge between the generic
+//! multi-query scheduler (`pg-runtime`) and the concrete Figure-1 pipeline.
+//!
+//! The paper's scenario is many handheld users querying one shared fabric
+//! at once (§2). This module makes that concrete: a
+//! [`MultiQueryRuntime<PervasiveGrid>`](GridRuntime) admits N queries
+//! against the batteries' headroom, batches each epoch's slots into one
+//! `execute_batch` call, and the engine here runs *overlapping aggregate
+//! queries through one shared collection tree* — sampling each sensor once
+//! and piggybacking per-query partial state on shared packets — while
+//! everything else goes through the ordinary single-query pipeline.
+//!
+//! Batch execution order: shared aggregate groups first (in batch order),
+//! then the remaining entries one by one in batch order. Results are
+//! returned in batch order regardless. Queries executed through a batch do
+//! not appear in [`PervasiveGrid::log`] — the scheduler's
+//! [`QueryOutcome`](pg_runtime::QueryOutcome) list is the audit trail for
+//! concurrent workloads.
+//!
+//! A query rides the shared tree when it parses, classifies as Aggregate
+//! (one-shot, no EPOCH), carries no COST bounds (bounds need the decision
+//! maker's per-model accounting), resolves at least one member, and the
+//! base station is up — and at least one other query in the batch
+//! qualifies too. Per-query energy/bytes/ops attribution comes from the
+//! shared collection itself and sums to the measured totals.
+
+use crate::error::PgError;
+use crate::runtime::{DegradationReport, PervasiveGrid, QueryResponse};
+use pg_net::topology::NodeId;
+use pg_partition::exec::{members_of, rel_err, truth_aggregate, value_filter, ExecContext};
+use pg_partition::features::QueryFeatures;
+use pg_partition::model::{CostVector, SolutionModel};
+use pg_query::ast::Query;
+use pg_query::classify::{classify, QueryKind};
+use pg_runtime::{Attribution, BatchQuery, EngineOutcome, MultiQueryRuntime, QueryEngine};
+use pg_sensornet::aggregate::{AggFn, PARTIAL_WIRE_BYTES};
+use pg_sensornet::shared::{
+    shared_tree_collection, SharedQuery, MAX_SHARED_QUERIES, STRATUM_KEY_WIRE_BYTES,
+};
+use pg_sim::{Duration, SimTime};
+
+/// The concrete multi-query runtime: a scheduler that owns a grid.
+///
+/// For borrow-based composition (schedule over a grid you keep), use
+/// `MultiQueryRuntime<&mut PervasiveGrid>` instead — the scheduler is
+/// generic over both.
+pub type GridRuntime = MultiQueryRuntime<PervasiveGrid>;
+
+/// One batch entry that qualified for the shared aggregation tree.
+struct Shareable {
+    idx: usize,
+    query: Query,
+    members: Vec<NodeId>,
+}
+
+impl PervasiveGrid {
+    /// Batch entries that can ride one shared collection epoch. Empty
+    /// unless at least two qualify — a lone aggregate gains nothing from
+    /// the stratum machinery and stays on the single-query path.
+    fn shareable_entries(&mut self, batch: &[BatchQuery<'_>]) -> Vec<Shareable> {
+        if batch.len() < 2 || self.faults.is_base_down(self.now) {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        for (idx, bq) in batch.iter().enumerate() {
+            let Ok(query) = pg_query::parse(bq.text) else {
+                continue;
+            };
+            if classify(&query) != QueryKind::Aggregate || !query.cost.is_empty() {
+                continue;
+            }
+            let ctx = ExecContext {
+                net: &mut self.net,
+                grid: &self.grid,
+                field: &self.field,
+                regions: &self.regions,
+                now: self.now,
+            };
+            let Ok(members) = members_of(&ctx, &query) else {
+                continue;
+            };
+            out.push(Shareable {
+                idx,
+                query,
+                members,
+            });
+        }
+        if out.len() < 2 {
+            out.clear();
+        }
+        out
+    }
+
+    /// Run one shared collection epoch for `chunk` (≤ 64 queries) and fill
+    /// the corresponding `slots`.
+    fn execute_shared_chunk(
+        &mut self,
+        chunk: &[Shareable],
+        batch: &[BatchQuery<'_>],
+        slots: &mut [Option<EngineOutcome<QueryResponse, PgError>>],
+    ) {
+        // Features are extracted against the pre-collection network, like
+        // the single-query pipeline, so the learner sees comparable inputs.
+        let features: Vec<Option<QueryFeatures>> = chunk
+            .iter()
+            .map(|s| {
+                let ctx = ExecContext {
+                    net: &mut self.net,
+                    grid: &self.grid,
+                    field: &self.field,
+                    regions: &self.regions,
+                    now: self.now,
+                };
+                QueryFeatures::extract(&ctx, &s.query)
+            })
+            .collect();
+        let shared_queries: Vec<SharedQuery> = chunk
+            .iter()
+            .map(|s| SharedQuery {
+                members: s.members.clone(),
+                filter: value_filter(&s.query),
+                agg: s.query.first_agg().unwrap_or(AggFn::Avg),
+            })
+            .collect();
+        let report = shared_tree_collection(
+            &mut self.net,
+            &shared_queries,
+            &self.field,
+            self.now,
+            &mut self.exec_rng,
+        );
+        let latency_s = report.latency.as_secs_f64();
+
+        for ((s, feats), (pq, sq)) in chunk
+            .iter()
+            .zip(features)
+            .zip(report.per_query.iter().zip(&shared_queries))
+        {
+            let cost = CostVector {
+                energy_j: pq.energy_j,
+                time_s: latency_s,
+                bytes: pq.bytes,
+                ops: pq.ops,
+            };
+            // Adaptive feedback: the learner sees each query's attributed
+            // share as an InNetworkTree actual.
+            if let Some(f) = feats {
+                self.decision
+                    .record(&self.net, &self.grid, f, SolutionModel::InNetworkTree, cost);
+            }
+            let truth = {
+                let ctx = ExecContext {
+                    net: &mut self.net,
+                    grid: &self.grid,
+                    field: &self.field,
+                    regions: &self.regions,
+                    now: self.now,
+                };
+                truth_aggregate(&ctx, &s.members, sq.agg, &sq.filter)
+            };
+            let accuracy_err = match (pq.value, truth) {
+                (Some(v), Some(t)) => Some(rel_err(v, t)),
+                _ => None,
+            };
+            // Shareable queries carry no COST time bound, so the budget is
+            // the builder deadline or the scheduler's remaining budget.
+            let deadline_s = [
+                self.deadline.map(|d| d.as_secs_f64()),
+                batch[s.idx].deadline.map(|d| d.as_secs_f64()),
+            ]
+            .into_iter()
+            .flatten()
+            .reduce(f64::min);
+            let degradation = DegradationReport {
+                faults_active: self.faults.is_active(),
+                retries: pq.retries,
+                base_outage_wait_s: 0.0,
+                deadline_s,
+                deadline_exceeded: deadline_s.is_some_and(|d| latency_s > d),
+                fallback_model: false,
+            };
+            let response = QueryResponse {
+                value: pq.value,
+                kind: QueryKind::Aggregate,
+                model: SolutionModel::InNetworkTree,
+                cost,
+                delivered_frac: pq.delivery_ratio(),
+                accuracy_err,
+                degradation,
+            };
+            let attribution = Attribution {
+                energy_j: pq.energy_j,
+                bytes: pq.bytes,
+                time_s: latency_s,
+                retries: pq.retries,
+                shared: true,
+            };
+            slots[s.idx] = Some(Ok((response, attribution)));
+        }
+    }
+}
+
+impl QueryEngine for PervasiveGrid {
+    type Response = QueryResponse;
+    type Error = PgError;
+
+    fn now(&self) -> SimTime {
+        self.now
+    }
+
+    fn advance(&mut self, dt: Duration) {
+        PervasiveGrid::advance(self, dt);
+    }
+
+    fn available_energy_j(&self) -> f64 {
+        let base = self.net.base();
+        self.net
+            .topology()
+            .nodes()
+            .filter(|&n| n != base)
+            .map(|n| self.net.remaining_energy(n))
+            .sum()
+    }
+
+    /// Deterministic first-order cost model for admission control: every
+    /// member ships one stratum entry one hop at nominal range, plus the
+    /// matching receive. No rng is touched, so admission decisions never
+    /// perturb the execution stream.
+    fn estimate_energy_j(&mut self, text: &str) -> Option<f64> {
+        let query = pg_query::parse(text).ok()?;
+        let members = {
+            let ctx = ExecContext {
+                net: &mut self.net,
+                grid: &self.grid,
+                field: &self.field,
+                regions: &self.regions,
+                now: self.now,
+            };
+            members_of(&ctx, &query).ok()?
+        };
+        let bits = 8 * (STRATUM_KEY_WIRE_BYTES + PARTIAL_WIRE_BYTES);
+        let range = self.net.topology().range();
+        let radio = self.net.radio();
+        let per_member = radio.tx_energy(bits, range) + radio.rx_energy(bits);
+        Some(per_member * members.len() as f64)
+    }
+
+    fn execute_batch(
+        &mut self,
+        batch: &[BatchQuery<'_>],
+    ) -> Vec<EngineOutcome<QueryResponse, PgError>> {
+        let mut slots: Vec<Option<EngineOutcome<QueryResponse, PgError>>> = vec![None; batch.len()];
+
+        // Overlapping aggregates ride shared collection epochs, at most 64
+        // queries (the stratum-mask width) per epoch.
+        let shareable = self.shareable_entries(batch);
+        for chunk in shareable.chunks(MAX_SHARED_QUERIES) {
+            self.execute_shared_chunk(chunk, batch, &mut slots);
+        }
+
+        // Everything else — simple reads, COST-bounded queries, parse
+        // errors — goes through the ordinary pipeline, in batch order.
+        for (i, bq) in batch.iter().enumerate() {
+            if slots[i].is_some() {
+                continue;
+            }
+            let res = self.submit_inner(bq.text, bq.deadline.map(|d| d.as_secs_f64()));
+            slots[i] = Some(res.map(|r| {
+                let attribution = Attribution {
+                    energy_j: r.cost.energy_j,
+                    bytes: r.cost.bytes,
+                    time_s: r.cost.time_s,
+                    retries: r.degradation.retries,
+                    shared: false,
+                };
+                (r, attribution)
+            }));
+        }
+
+        slots
+            .into_iter()
+            .map(|s| s.unwrap_or_else(|| Err(PgError::Config("batch slot not executed".into()))))
+            .collect()
+    }
+}

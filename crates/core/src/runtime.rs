@@ -233,7 +233,7 @@ pub struct PervasiveGrid {
     pub faults: FaultPlan,
     /// End-to-end deadline budget, if one was set.
     pub deadline: Option<Duration>,
-    exec_rng: StdRng,
+    pub(crate) exec_rng: StdRng,
 }
 
 impl PervasiveGrid {
@@ -250,8 +250,27 @@ impl PervasiveGrid {
     }
 
     /// Submit query text: the full Figure-1 pipeline.
+    ///
+    /// Delegates through the multi-query scheduler under the degenerate
+    /// single-query plan (`RuntimeConfig::single_query()`): one slot, no
+    /// admission gates, no clock movement — so the single-query and
+    /// concurrent paths are one code path, and this stays bit-identical to
+    /// executing the query directly.
     pub fn submit(&mut self, text: &str) -> Result<QueryResponse, PgError> {
-        let result = self.submit_inner(text);
+        use pg_runtime::{MultiQueryRuntime, QueryOpts, RuntimeConfig};
+        let result = {
+            let mut rt = MultiQueryRuntime::new(RuntimeConfig::single_query(), &mut *self);
+            let admission = rt.submit(text, QueryOpts::default());
+            debug_assert!(admission.is_accepted(), "single-query plan never rejects");
+            rt.run_epoch();
+            let (_, mut outcomes) = rt.into_parts();
+            match outcomes.pop() {
+                Some(o) => o.response,
+                None => Err(PgError::Config(
+                    "multi-query runtime returned no outcome".into(),
+                )),
+            }
+        };
         self.log.push(QueryRecord {
             text: text.to_string(),
             at: self.now,
@@ -260,7 +279,15 @@ impl PervasiveGrid {
         result
     }
 
-    fn submit_inner(&mut self, text: &str) -> Result<QueryResponse, PgError> {
+    /// The Figure-1 pipeline body. `sched_deadline_s` is the remaining
+    /// deadline budget handed down by the multi-query scheduler, `None` on
+    /// the plain single-query path (keeping that path bit-identical to the
+    /// pre-scheduler pipeline).
+    pub(crate) fn submit_inner(
+        &mut self,
+        text: &str,
+        sched_deadline_s: Option<f64>,
+    ) -> Result<QueryResponse, PgError> {
         // 1. Query Processor: parse and classify.
         let query = pg_query::parse(text)?;
         let kind = classify(&query);
@@ -308,19 +335,25 @@ impl PervasiveGrid {
         let exec_at = self.faults.base_up_at(self.now);
         let wait_s = exec_at.since(self.now).as_secs_f64();
 
-        // The effective deadline budget: the builder-level deadline or the
-        // query's own COST time bound, whichever is tighter.
-        let deadline_s = match (self.deadline.map(|d| d.as_secs_f64()), query.time_bound()) {
-            (Some(d), Some(t)) => Some(d.min(t)),
-            (d, t) => d.or(t),
-        };
+        // The effective deadline budget: the builder-level deadline, the
+        // query's own COST time bound, or the scheduler's remaining budget,
+        // whichever is tightest.
+        let deadline_s = [
+            self.deadline.map(|d| d.as_secs_f64()),
+            query.time_bound(),
+            sched_deadline_s,
+        ]
+        .into_iter()
+        .flatten()
+        .reduce(f64::min);
         // Propagate the *remaining* budget into planning: seconds already
         // burned waiting out the outage are gone. When there is no builder
-        // deadline and no wait, the query's own bounds already say it all —
-        // leave them untouched (bit-identical to the fault-free pipeline).
+        // or scheduler deadline and no wait, the query's own bounds already
+        // say it all — leave them untouched (bit-identical to the
+        // fault-free pipeline).
         let mut planned = query.clone();
         if let Some(d) = deadline_s {
-            if self.deadline.is_some() || wait_s > 0.0 {
+            if self.deadline.is_some() || sched_deadline_s.is_some() || wait_s > 0.0 {
                 use pg_query::ast::CostBound;
                 planned.cost.retain(|c| !matches!(c, CostBound::TimeS(_)));
                 planned.cost.push(CostBound::TimeS((d - wait_s).max(0.0)));

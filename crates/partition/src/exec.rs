@@ -136,7 +136,10 @@ pub fn execute_once<R: Rng>(
 /// Build the source-side value filter from the query's WHERE comparisons
 /// on the reading attribute (`temp`/`value`). Other attribute names are
 /// metadata predicates the membership resolution already handled.
-fn value_filter(query: &Query) -> ValueFilter {
+/// The source-side value predicate a query pushes down to the sensing
+/// site (TAG-style): WHERE comparisons on the reading itself. Public so
+/// the multi-query batch path can reuse the exact single-query semantics.
+pub fn value_filter(query: &Query) -> ValueFilter {
     use pg_query::ast::{CmpOp, Pred};
     let mut f = ValueFilter::all();
     for p in &query.wher {
@@ -167,7 +170,7 @@ fn report_cost(r: &CollectionReport) -> CostVector {
 
 /// Ground-truth aggregate over the members, noise-free, honouring the same
 /// source-side value filter the execution applied.
-fn truth_aggregate(
+pub fn truth_aggregate(
     ctx: &ExecContext<'_>,
     members: &[NodeId],
     agg: AggFn,
@@ -183,7 +186,9 @@ fn truth_aggregate(
     p.finalize(agg)
 }
 
-fn rel_err(measured: f64, truth: f64) -> f64 {
+/// Relative error of a measured value against ground truth, with a unit
+/// floor on the denominator so near-zero truths don't explode the metric.
+pub fn rel_err(measured: f64, truth: f64) -> f64 {
     (measured - truth).abs() / truth.abs().max(1.0)
 }
 

@@ -1,0 +1,124 @@
+//! Typed admission verdicts for the bounded multi-query runtime.
+//!
+//! The paper's handhelds are resource-limited clients of a shared fabric
+//! (§2); a broker that silently queues forever hides exactly the resource
+//! exhaustion the system is supposed to manage. Every submission therefore
+//! returns an [`Admission`]: admitted for the next epoch, deferred behind a
+//! backlog, or rejected with a machine-readable [`RejectReason`].
+
+use std::fmt;
+
+/// Stable per-runtime query identifier, in admission order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct QueryId(pub u64);
+
+impl fmt::Display for QueryId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "q{}", self.0)
+    }
+}
+
+/// Per-submission options.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct QueryOpts {
+    /// Response deadline relative to submission. Feeds EDF ordering and the
+    /// per-query `deadline_exceeded` annotation; generous deadlines change
+    /// nothing.
+    pub deadline: Option<pg_sim::Duration>,
+}
+
+impl QueryOpts {
+    /// Options with a relative deadline.
+    pub fn with_deadline(deadline: pg_sim::Duration) -> Self {
+        QueryOpts {
+            deadline: Some(deadline),
+        }
+    }
+}
+
+/// The verdict returned by `MultiQueryRuntime::submit`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Admission {
+    /// In the queue and scheduled within the next epoch's slots.
+    Admitted {
+        /// The assigned query id.
+        id: QueryId,
+    },
+    /// Accepted, but behind more work than the next epoch can service.
+    Deferred {
+        /// The assigned query id.
+        id: QueryId,
+        /// Queue depth at admission (this query included).
+        queue_depth: usize,
+    },
+    /// Not accepted; nothing was queued.
+    Rejected {
+        /// Why the runtime turned the query away.
+        reason: RejectReason,
+    },
+}
+
+impl Admission {
+    /// The assigned id, when the query entered the queue.
+    pub fn id(&self) -> Option<QueryId> {
+        match self {
+            Admission::Admitted { id } | Admission::Deferred { id, .. } => Some(*id),
+            Admission::Rejected { .. } => None,
+        }
+    }
+
+    /// True when the query entered the queue (admitted or deferred).
+    pub fn is_accepted(&self) -> bool {
+        self.id().is_some()
+    }
+}
+
+/// Why a submission was rejected at the door.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RejectReason {
+    /// The bounded admission queue is full.
+    QueueFull {
+        /// The configured queue capacity.
+        capacity: usize,
+    },
+    /// The energy budget gate: the estimated cost exceeds what the budget
+    /// and the batteries can still afford after already-committed work.
+    EnergyBudget {
+        /// Estimated energy cost of the submitted query, joules.
+        estimate_j: f64,
+        /// Energy still uncommitted under the budget/battery gate, joules.
+        available_j: f64,
+    },
+    /// The deadline is shorter than one scheduling epoch: no schedule can
+    /// complete it in time, so admitting it would only burn energy.
+    DeadlineUnmeetable {
+        /// The requested deadline, seconds.
+        deadline_s: f64,
+        /// The scheduler's epoch length, seconds.
+        epoch_s: f64,
+    },
+}
+
+impl fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RejectReason::QueueFull { capacity } => {
+                write!(f, "admission queue full ({capacity} queries)")
+            }
+            RejectReason::EnergyBudget {
+                estimate_j,
+                available_j,
+            } => write!(
+                f,
+                "energy budget exhausted (needs ~{estimate_j:.3} J, {available_j:.3} J available)"
+            ),
+            RejectReason::DeadlineUnmeetable {
+                deadline_s,
+                epoch_s,
+            } => write!(
+                f,
+                "deadline {deadline_s:.3} s shorter than one {epoch_s:.3} s epoch"
+            ),
+        }
+    }
+}

@@ -1,0 +1,101 @@
+//! The engine abstraction the scheduler drives.
+//!
+//! `pg-runtime` deliberately does not depend on `pg-core`: the scheduler is
+//! generic over anything that can execute query text against shared
+//! resources. `pg-core` implements [`QueryEngine`] for `PervasiveGrid`
+//! (including the shared aggregation-tree batch path); tests implement it
+//! with scripted mock engines.
+
+use pg_sim::{Duration, SimTime};
+
+/// One query as handed to the engine for execution within an epoch.
+#[derive(Debug, Clone)]
+pub struct BatchQuery<'a> {
+    /// The raw query text.
+    pub text: &'a str,
+    /// Remaining deadline budget at epoch start, if the query has one.
+    pub deadline: Option<Duration>,
+}
+
+/// Per-query share of one epoch's measured cost, attributed by the engine.
+///
+/// When queries share radio traffic (piggybacked partial aggregates), the
+/// engine splits the shared cost across them; attributed values sum to the
+/// epoch's measured totals.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Attribution {
+    /// Energy attributed to this query, joules.
+    pub energy_j: f64,
+    /// Radio bytes attributed to this query (shared packets split).
+    pub bytes: f64,
+    /// Execution time this query observed, seconds (excludes queue wait).
+    pub time_s: f64,
+    /// Retransmissions on traffic that carried this query's data.
+    pub retries: u64,
+    /// The query rode a shared collection epoch with other queries.
+    pub shared: bool,
+}
+
+/// What the engine returns for one batch entry.
+pub type EngineOutcome<R, E> = Result<(R, Attribution), E>;
+
+/// Anything that can execute queries against shared network resources.
+///
+/// The scheduler owns an engine, admits queries against its energy
+/// headroom, hands it policy-ordered batches once per epoch, and advances
+/// its clock between epochs.
+pub trait QueryEngine {
+    /// The per-query answer type.
+    type Response: Clone;
+    /// The per-query failure type.
+    type Error: Clone;
+
+    /// Current simulation time.
+    fn now(&self) -> SimTime;
+
+    /// Advance the simulation clock (called once per scheduler epoch).
+    fn advance(&mut self, dt: Duration);
+
+    /// Energy still available to spend, joules (battery headroom).
+    fn available_energy_j(&self) -> f64;
+
+    /// Deterministic pre-execution energy estimate for admission control.
+    /// `None` when the text cannot be costed (it will surface a real error
+    /// at execution instead of being rejected at the door).
+    fn estimate_energy_j(&mut self, text: &str) -> Option<f64>;
+
+    /// Execute one epoch's batch, in the given (policy) order, returning
+    /// one outcome per entry *in the same order*. Engines are free to run
+    /// overlapping queries through a shared collection pass as long as the
+    /// attribution splits the shared cost.
+    fn execute_batch(
+        &mut self,
+        batch: &[BatchQuery<'_>],
+    ) -> Vec<EngineOutcome<Self::Response, Self::Error>>;
+}
+
+/// Forwarding impl so a scheduler can borrow an engine (`&mut PervasiveGrid`)
+/// instead of owning it — what the single-query `submit` delegation uses.
+impl<E: QueryEngine + ?Sized> QueryEngine for &mut E {
+    type Response = E::Response;
+    type Error = E::Error;
+
+    fn now(&self) -> SimTime {
+        (**self).now()
+    }
+    fn advance(&mut self, dt: Duration) {
+        (**self).advance(dt);
+    }
+    fn available_energy_j(&self) -> f64 {
+        (**self).available_energy_j()
+    }
+    fn estimate_energy_j(&mut self, text: &str) -> Option<f64> {
+        (**self).estimate_energy_j(text)
+    }
+    fn execute_batch(
+        &mut self,
+        batch: &[BatchQuery<'_>],
+    ) -> Vec<EngineOutcome<Self::Response, Self::Error>> {
+        (**self).execute_batch(batch)
+    }
+}

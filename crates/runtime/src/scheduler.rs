@@ -1,0 +1,430 @@
+//! The multi-query epoch scheduler.
+//!
+//! Owns a [`QueryEngine`], a bounded admission queue, and an energy ledger.
+//! Time advances in shared epochs: each epoch the scheduler orders the
+//! queue under the configured [`SchedPolicy`], hands the engine up to
+//! `slots_per_epoch` queries as one batch (so overlapping queries can share
+//! a collection tree), records per-query outcomes with queue-wait
+//! accounting, and steps the engine clock.
+
+use crate::admission::{Admission, QueryId, QueryOpts, RejectReason};
+use crate::engine::{Attribution, BatchQuery, QueryEngine};
+use pg_sim::metrics::Samples;
+use pg_sim::report::Report;
+use pg_sim::{Duration, SimTime};
+use std::cmp::Ordering;
+
+/// How the scheduler orders the queue when filling an epoch's slots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedPolicy {
+    /// Strict admission order.
+    Fifo,
+    /// Earliest absolute deadline first (deadline-free queries last,
+    /// admission order breaking ties).
+    Edf,
+    /// Energy-weighted fair share: cheapest estimated energy first, so
+    /// light handheld queries are never starved behind heavy ones.
+    EnergyFair,
+}
+
+impl SchedPolicy {
+    /// Canonical lower-case name (report keys, CLI).
+    pub fn name(&self) -> &'static str {
+        match self {
+            SchedPolicy::Fifo => "fifo",
+            SchedPolicy::Edf => "edf",
+            SchedPolicy::EnergyFair => "efair",
+        }
+    }
+}
+
+/// Scheduler configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct RuntimeConfig {
+    /// Bounded admission-queue capacity (waiting queries).
+    pub capacity: usize,
+    /// Epoch length: the clock advances this much per scheduling round.
+    pub epoch: Duration,
+    /// Queries serviced per epoch.
+    pub slots_per_epoch: usize,
+    /// Queue ordering policy.
+    pub policy: SchedPolicy,
+    /// Workload-wide energy budget, joules. `None` disables the admission
+    /// energy gate entirely (battery exhaustion then degrades delivery
+    /// in-network instead of rejecting at the door).
+    pub energy_budget_j: Option<f64>,
+    /// Advance the engine clock after each epoch. The single-query
+    /// delegation plan disables this: `submit` must not move time.
+    pub advance_clock: bool,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            capacity: 32,
+            epoch: Duration::from_secs(30),
+            slots_per_epoch: 8,
+            policy: SchedPolicy::Fifo,
+            energy_budget_j: None,
+            advance_clock: true,
+        }
+    }
+}
+
+impl RuntimeConfig {
+    /// The degenerate plan `PervasiveGrid::submit` delegates through: one
+    /// slot, no energy gate, no clock movement — structurally identical to
+    /// executing the query directly.
+    pub fn single_query() -> Self {
+        RuntimeConfig {
+            capacity: 1,
+            slots_per_epoch: 1,
+            policy: SchedPolicy::Fifo,
+            energy_budget_j: None,
+            advance_clock: false,
+            ..RuntimeConfig::default()
+        }
+    }
+}
+
+/// A query waiting in the admission queue.
+#[derive(Debug, Clone)]
+struct Pending {
+    id: QueryId,
+    text: String,
+    submitted_at: SimTime,
+    deadline_abs: Option<SimTime>,
+    estimate_j: f64,
+}
+
+/// Total order the scheduler drains the queue in. The id tiebreak makes
+/// every policy a strict order: outcomes are independent of submission
+/// interleaving (the determinism property tests pin this down).
+fn policy_cmp(policy: SchedPolicy, a: &Pending, b: &Pending) -> Ordering {
+    let tie = a.id.cmp(&b.id);
+    match policy {
+        SchedPolicy::Fifo => tie,
+        SchedPolicy::Edf => a
+            .deadline_abs
+            .unwrap_or(SimTime::MAX)
+            .cmp(&b.deadline_abs.unwrap_or(SimTime::MAX))
+            .then(tie),
+        SchedPolicy::EnergyFair => a.estimate_j.total_cmp(&b.estimate_j).then(tie),
+    }
+}
+
+/// What happened to one admitted query.
+#[derive(Debug, Clone)]
+pub struct QueryOutcome<R, E> {
+    /// The id assigned at admission.
+    pub id: QueryId,
+    /// The raw query text.
+    pub text: String,
+    /// When the query entered the queue.
+    pub submitted_at: SimTime,
+    /// Epoch start when it was serviced.
+    pub started_at: SimTime,
+    /// Global completion sequence number (0 = first completed).
+    pub completion_index: u64,
+    /// Seconds spent queued before the servicing epoch began.
+    pub queue_wait_s: f64,
+    /// Absolute deadline, when one was requested.
+    pub deadline: Option<SimTime>,
+    /// The engine's answer (or per-query failure).
+    pub response: Result<R, E>,
+    /// The engine's per-query cost attribution (zeros on failure).
+    pub attribution: Attribution,
+}
+
+impl<R, E> QueryOutcome<R, E> {
+    /// End-to-end response time: queue wait plus attributed execution time.
+    pub fn response_time_s(&self) -> f64 {
+        self.queue_wait_s + self.attribution.time_s
+    }
+
+    /// The response missed its deadline.
+    pub fn deadline_exceeded(&self) -> bool {
+        match self.deadline {
+            Some(d) => {
+                let budget = if d >= self.submitted_at {
+                    d.since(self.submitted_at).as_secs_f64()
+                } else {
+                    0.0
+                };
+                self.response_time_s() > budget
+            }
+            None => false,
+        }
+    }
+}
+
+/// The multi-query runtime: N in-flight queries over one shared engine.
+#[derive(Debug)]
+pub struct MultiQueryRuntime<E: QueryEngine> {
+    engine: E,
+    cfg: RuntimeConfig,
+    waiting: Vec<Pending>,
+    outcomes: Vec<QueryOutcome<E::Response, E::Error>>,
+    next_id: u64,
+    completions: u64,
+    /// Energy reserved by admitted-but-unfinished queries, joules.
+    committed_j: f64,
+    /// Energy attributed to completed queries, joules.
+    spent_j: f64,
+    /// Queries accepted (admitted or deferred).
+    pub admitted: u64,
+    /// Queries accepted but deferred past the next epoch.
+    pub deferred: u64,
+    /// Queries rejected at the door.
+    pub rejected: u64,
+}
+
+impl<E: QueryEngine> MultiQueryRuntime<E> {
+    /// Wrap an engine under a scheduling plan.
+    pub fn new(cfg: RuntimeConfig, engine: E) -> Self {
+        MultiQueryRuntime {
+            engine,
+            cfg,
+            waiting: Vec::new(),
+            outcomes: Vec::new(),
+            next_id: 0,
+            completions: 0,
+            committed_j: 0.0,
+            spent_j: 0.0,
+            admitted: 0,
+            deferred: 0,
+            rejected: 0,
+        }
+    }
+
+    /// The wrapped engine.
+    pub fn engine(&self) -> &E {
+        &self.engine
+    }
+
+    /// The wrapped engine, mutably (e.g. to ignite a fire mid-workload).
+    pub fn engine_mut(&mut self) -> &mut E {
+        &mut self.engine
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &RuntimeConfig {
+        &self.cfg
+    }
+
+    /// Queries currently waiting for an epoch slot.
+    pub fn queue_depth(&self) -> usize {
+        self.waiting.len()
+    }
+
+    /// Energy attributed to completed queries so far, joules.
+    pub fn energy_spent_j(&self) -> f64 {
+        self.spent_j
+    }
+
+    /// Completed outcomes so far, in completion order.
+    pub fn outcomes(&self) -> &[QueryOutcome<E::Response, E::Error>] {
+        &self.outcomes
+    }
+
+    /// Tear down into the engine and the completed outcomes.
+    #[allow(clippy::type_complexity)]
+    pub fn into_parts(self) -> (E, Vec<QueryOutcome<E::Response, E::Error>>) {
+        (self.engine, self.outcomes)
+    }
+
+    /// Submit query text for execution in a future epoch.
+    pub fn submit(&mut self, text: &str, opts: QueryOpts) -> Admission {
+        if self.waiting.len() >= self.cfg.capacity {
+            self.rejected += 1;
+            return Admission::Rejected {
+                reason: RejectReason::QueueFull {
+                    capacity: self.cfg.capacity,
+                },
+            };
+        }
+        // A deadline shorter than one epoch can never be met: the earliest
+        // completion is one epoch away. Only enforced when the clock
+        // actually moves per epoch.
+        if self.cfg.advance_clock {
+            if let Some(d) = opts.deadline {
+                if d < self.cfg.epoch {
+                    self.rejected += 1;
+                    return Admission::Rejected {
+                        reason: RejectReason::DeadlineUnmeetable {
+                            deadline_s: d.as_secs_f64(),
+                            epoch_s: self.cfg.epoch.as_secs_f64(),
+                        },
+                    };
+                }
+            }
+        }
+        // Energy gate: committed estimates must fit both the workload
+        // budget and the batteries' remaining headroom.
+        let mut estimate_j = 0.0;
+        if let Some(budget) = self.cfg.energy_budget_j {
+            estimate_j = self.engine.estimate_energy_j(text).unwrap_or(0.0);
+            let headroom = (budget - self.spent_j).min(self.engine.available_energy_j());
+            let available = headroom - self.committed_j;
+            if estimate_j > available {
+                self.rejected += 1;
+                return Admission::Rejected {
+                    reason: RejectReason::EnergyBudget {
+                        estimate_j,
+                        available_j: available.max(0.0),
+                    },
+                };
+            }
+            self.committed_j += estimate_j;
+        }
+
+        let id = QueryId(self.next_id);
+        self.next_id += 1;
+        self.admitted += 1;
+        let now = self.engine.now();
+        self.waiting.push(Pending {
+            id,
+            text: text.to_string(),
+            submitted_at: now,
+            deadline_abs: opts.deadline.map(|d| now + d),
+            estimate_j,
+        });
+
+        // Admitted when it lands within the next epoch's slots under the
+        // current policy ordering; deferred behind the backlog otherwise.
+        let rank = self.policy_rank(id);
+        if rank < self.cfg.slots_per_epoch {
+            Admission::Admitted { id }
+        } else {
+            self.deferred += 1;
+            Admission::Deferred {
+                id,
+                queue_depth: self.waiting.len(),
+            }
+        }
+    }
+
+    /// Position of `id` in the policy-ordered queue.
+    fn policy_rank(&self, id: QueryId) -> usize {
+        let policy = self.cfg.policy;
+        let mut order: Vec<&Pending> = self.waiting.iter().collect();
+        order.sort_by(|a, b| policy_cmp(policy, a, b));
+        order.iter().position(|p| p.id == id).unwrap_or(usize::MAX)
+    }
+
+    /// Run one epoch: service up to `slots_per_epoch` queries (policy
+    /// order) as one engine batch, then advance the clock. Returns how many
+    /// queries completed. An empty queue is a no-op (time does not advance
+    /// while idle).
+    pub fn run_epoch(&mut self) -> usize {
+        if self.waiting.is_empty() {
+            return 0;
+        }
+        let policy = self.cfg.policy;
+        self.waiting.sort_by(|a, b| policy_cmp(policy, a, b));
+        let k = self.cfg.slots_per_epoch.min(self.waiting.len());
+        let batch: Vec<Pending> = self.waiting.drain(..k).collect();
+
+        let epoch_start = self.engine.now();
+        let requests: Vec<BatchQuery<'_>> = batch
+            .iter()
+            .map(|p| BatchQuery {
+                text: &p.text,
+                deadline: p.deadline_abs.map(|d| {
+                    if d >= epoch_start {
+                        d.since(epoch_start)
+                    } else {
+                        Duration::ZERO
+                    }
+                }),
+            })
+            .collect();
+        let mut results = self.engine.execute_batch(&requests);
+        // Contract: one result per request. Pad with nothing rather than
+        // panic — a short engine answer shows up as missing outcomes.
+        debug_assert_eq!(results.len(), batch.len());
+        results.truncate(batch.len());
+
+        let mut completed = 0usize;
+        for (p, res) in batch.into_iter().zip(results) {
+            self.committed_j -= p.estimate_j;
+            let (response, attribution) = match res {
+                Ok((r, attr)) => {
+                    self.spent_j += attr.energy_j;
+                    (Ok(r), attr)
+                }
+                Err(e) => (Err(e), Attribution::default()),
+            };
+            let queue_wait_s = epoch_start.since(p.submitted_at).as_secs_f64();
+            self.outcomes.push(QueryOutcome {
+                id: p.id,
+                text: p.text,
+                submitted_at: p.submitted_at,
+                started_at: epoch_start,
+                completion_index: self.completions,
+                queue_wait_s,
+                deadline: p.deadline_abs,
+                response,
+                attribution,
+            });
+            self.completions += 1;
+            completed += 1;
+        }
+        if self.cfg.advance_clock {
+            self.engine.advance(self.cfg.epoch);
+        }
+        completed
+    }
+
+    /// Run epochs until the queue drains (bounded by `max_epochs`).
+    /// Returns the number of epochs executed.
+    pub fn run_until_idle(&mut self, max_epochs: usize) -> usize {
+        let mut epochs = 0;
+        while !self.waiting.is_empty() && epochs < max_epochs {
+            self.run_epoch();
+            epochs += 1;
+        }
+        epochs
+    }
+
+    /// Snapshot the workload into a `pg-report/v1` [`Report`]: admission
+    /// counters, energy totals, and per-query response-time percentiles.
+    pub fn report(&self, name: impl Into<String>) -> Report {
+        let mut r = Report::new(name);
+        r.set_counter("admitted", self.admitted);
+        r.set_counter("deferred", self.deferred);
+        r.set_counter("rejected", self.rejected);
+        r.set_counter("completed", self.completions);
+        let errors = self.outcomes.iter().filter(|o| o.response.is_err()).count() as u64;
+        r.set_counter("errors", errors);
+        let shared = self
+            .outcomes
+            .iter()
+            .filter(|o| o.attribution.shared)
+            .count() as u64;
+        r.set_counter("shared", shared);
+        r.set_scalar("energy_spent_j", self.spent_j);
+        let total = self.admitted + self.rejected;
+        r.set_scalar(
+            "rejection_rate",
+            if total > 0 {
+                self.rejected as f64 / total as f64
+            } else {
+                0.0
+            },
+        );
+        let mut resp = Samples::new();
+        let mut bytes = Samples::new();
+        for o in &self.outcomes {
+            if o.response.is_ok() {
+                resp.record(o.response_time_s());
+                bytes.record(o.attribution.bytes);
+            }
+        }
+        if !resp.is_empty() {
+            r.record_samples("response_s", &mut resp);
+            r.record_samples("bytes", &mut bytes);
+        }
+        r
+    }
+}

@@ -68,12 +68,12 @@ impl CollectionReport {
 }
 
 /// Per-epoch energy ledger that also tracks the hottest node.
-struct Ledger {
+pub(crate) struct Ledger {
     start_remaining: Vec<f64>,
 }
 
 impl Ledger {
-    fn open(net: &SensorNetwork) -> Self {
+    pub(crate) fn open(net: &SensorNetwork) -> Self {
         Ledger {
             start_remaining: net
                 .topology()
@@ -83,7 +83,7 @@ impl Ledger {
         }
     }
 
-    fn close(self, net: &SensorNetwork) -> (f64, f64) {
+    pub(crate) fn close(self, net: &SensorNetwork) -> (f64, f64) {
         let mut total = 0.0;
         let mut max = 0.0f64;
         for n in net.topology().nodes() {
@@ -106,7 +106,7 @@ impl Ledger {
 /// kill attempts *after* the sender has spent the transmit energy: a link
 /// blackout at `t` jams the channel, a crashed receiver cannot acknowledge,
 /// and plan-level message loss compounds the link's own loss process.
-fn try_hop<R: Rng>(
+pub(crate) fn try_hop<R: Rng>(
     net: &mut SensorNetwork,
     from: NodeId,
     to: NodeId,

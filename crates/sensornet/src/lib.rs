@@ -43,6 +43,7 @@ pub mod field;
 pub mod network;
 pub mod proxy;
 pub mod region;
+pub mod shared;
 pub mod stream;
 
 pub use aggregate::{AggFn, Partial};
@@ -50,3 +51,4 @@ pub use collect::CollectionReport;
 pub use field::TemperatureField;
 pub use network::SensorNetwork;
 pub use region::Region;
+pub use shared::{SharedQuery, SharedReport};

@@ -1,0 +1,540 @@
+//! Shared aggregation-tree collection for concurrent queries.
+//!
+//! The paper's scenario (§2, Figure 1) is *many* handheld users querying
+//! one sensor fabric at once. Running each aggregate query as its own TAG
+//! epoch wastes the radio: overlapping member sets sample the same sensors
+//! and ship near-identical partial states over the same tree edges. This
+//! module executes up to [`MAX_SHARED_QUERIES`] aggregate queries in **one**
+//! collection epoch over **one** BFS spanning tree:
+//!
+//! * every sensor that any query selects samples **once**;
+//! * readings are bucketed into *strata* — one [`Partial`] per distinct
+//!   query-membership bitmask (a node whose reading passes queries 0 and 3
+//!   contributes to the `0b1001` stratum);
+//! * each tree edge carries one packet with one `(mask, partial)` entry per
+//!   live stratum in the subtree, instead of one full partial per query;
+//! * at the base, query `q`'s answer is the merge of every stratum whose
+//!   mask has bit `q` — the same partial state serves every [`AggFn`].
+//!
+//! Costs are attributed back to the individual queries so the multi-query
+//! runtime can report per-query energy/bytes/latency: each packet entry's
+//! bytes are split evenly across the queries in its mask, and the epoch's
+//! total energy is divided in proportion to attributed bytes. Attributed
+//! totals sum to the measured totals (up to float rounding), so fleet-level
+//! accounting stays exact.
+
+use crate::aggregate::{AggFn, Partial, ValueFilter, PARTIAL_WIRE_BYTES};
+use crate::collect::{try_hop, Ledger, MERGE_OPS};
+use crate::field::TemperatureField;
+use crate::network::SensorNetwork;
+use pg_net::topology::NodeId;
+use pg_sim::{Duration, SimTime};
+use rand::Rng;
+use std::collections::BTreeMap;
+
+/// Hard cap on queries per shared epoch: the stratum key is a `u64` bitmask.
+pub const MAX_SHARED_QUERIES: usize = 64;
+
+/// Wire size of one stratum key (the query-membership bitmask), bytes.
+pub const STRATUM_KEY_WIRE_BYTES: u64 = 8;
+
+/// One query's slice of a shared collection epoch.
+#[derive(Debug, Clone)]
+pub struct SharedQuery {
+    /// Sensors this query selects (the base station is ignored).
+    pub members: Vec<NodeId>,
+    /// Source-side value predicate (TAG push-down).
+    pub filter: ValueFilter,
+    /// The aggregate to finalize for this query.
+    pub agg: AggFn,
+}
+
+/// Per-query attribution out of one shared epoch.
+#[derive(Debug, Clone)]
+pub struct SharedPerQuery {
+    /// Finalized aggregate (`None` if nothing of this query's arrived).
+    pub value: Option<f64>,
+    /// The merged partial state that reached the base for this query.
+    pub partial: Partial,
+    /// Energy attributed to this query, joules (proportional to bytes).
+    pub energy_j: f64,
+    /// Radio bytes attributed to this query (packet entries split evenly
+    /// across the queries in their stratum mask; retries included).
+    pub bytes: f64,
+    /// CPU operations attributed to this query (sampling + merging shares).
+    pub ops: f64,
+    /// Retransmissions on edges that carried this query's data.
+    pub retries: u64,
+    /// Sensors this query asked to contribute (base excluded).
+    pub participating: usize,
+    /// Readings represented in this query's answer.
+    pub delivered: usize,
+}
+
+impl SharedPerQuery {
+    /// Fraction of requested readings represented in the answer.
+    pub fn delivery_ratio(&self) -> f64 {
+        if self.participating == 0 {
+            return 0.0;
+        }
+        self.delivered as f64 / self.participating as f64
+    }
+}
+
+/// Everything measured about one shared collection epoch.
+#[derive(Debug, Clone)]
+pub struct SharedReport {
+    /// Per-query attribution, in the order the queries were passed.
+    pub per_query: Vec<SharedPerQuery>,
+    /// Total sensor energy consumed this epoch, joules.
+    pub energy_j: f64,
+    /// Largest single-node energy draw this epoch, joules.
+    pub max_node_energy_j: f64,
+    /// Bytes transmitted network-wide (including retries).
+    pub total_bytes: u64,
+    /// Bytes delivered into the base station.
+    pub bytes_to_base: u64,
+    /// Time from epoch start until the base holds every answer.
+    pub latency: Duration,
+    /// CPU operations spent in the network (sampling + merging).
+    pub cpu_ops: u64,
+    /// Link-layer retransmissions beyond first attempts.
+    pub retries: u64,
+    /// Distinct strata observed at sampling time.
+    pub strata: usize,
+    /// Packets sent up the tree (first attempts, not retries).
+    pub packets: u64,
+}
+
+/// Size on the radio of one packet carrying `entries` strata.
+fn packet_bytes(entries: usize) -> u64 {
+    entries as u64 * (STRATUM_KEY_WIRE_BYTES + PARTIAL_WIRE_BYTES)
+}
+
+/// Execute one shared collection epoch for `queries` over the BFS spanning
+/// tree rooted at the base station.
+///
+/// # Panics
+/// Panics when more than [`MAX_SHARED_QUERIES`] queries are passed; callers
+/// batch larger workloads into multiple epochs.
+pub fn shared_tree_collection<R: Rng>(
+    net: &mut SensorNetwork,
+    queries: &[SharedQuery],
+    field: &TemperatureField,
+    t: SimTime,
+    rng: &mut R,
+) -> SharedReport {
+    assert!(
+        queries.len() <= MAX_SHARED_QUERIES,
+        "shared epoch limited to {MAX_SHARED_QUERIES} queries, got {}",
+        queries.len()
+    );
+    let ledger = Ledger::open(net);
+    let base = net.base();
+    let tree = net.topology().spanning_tree(base);
+    let n = net.len();
+    let nq = queries.len();
+
+    // Membership bitmask per node, and tree involvement: a node is on the
+    // tree iff it lies on some member->root path of some query.
+    let mut member_mask = vec![0u64; n];
+    let mut involved = vec![false; n];
+    for (qi, q) in queries.iter().enumerate() {
+        for &m in &q.members {
+            if m == base {
+                continue;
+            }
+            member_mask[m.idx()] |= 1u64 << qi;
+            if let Some(path) = tree.path_to_root(m) {
+                for p in path {
+                    involved[p.idx()] = true;
+                }
+            }
+        }
+    }
+    involved[base.idx()] = true;
+
+    let mut per_query: Vec<SharedPerQuery> = queries
+        .iter()
+        .map(|q| SharedPerQuery {
+            value: None,
+            partial: Partial::empty(),
+            energy_j: 0.0,
+            bytes: 0.0,
+            ops: 0.0,
+            retries: 0,
+            participating: q.members.iter().filter(|&&m| m != base).count(),
+            delivered: 0,
+        })
+        .collect();
+
+    // Per-node strata: one mergeable partial per effective bitmask. BTreeMap
+    // keeps merge order deterministic.
+    let mut strata: Vec<BTreeMap<u64, Partial>> = vec![BTreeMap::new(); n];
+    let mut seen_masks: std::collections::BTreeSet<u64> = std::collections::BTreeSet::new();
+    let mut cpu_ops = 0u64;
+
+    // Sampling phase: every node any query selects samples exactly once.
+    // The effective mask keeps only queries whose filter the reading passes.
+    for id in net.topology().nodes() {
+        let mm = member_mask[id.idx()];
+        if mm == 0 || !net.is_operational(id, t) {
+            continue;
+        }
+        let reading = net.sample(id, field, t, rng);
+        cpu_ops += 50;
+        // One physical sample serves every selecting query: split its cost.
+        let share = 50.0 / mm.count_ones() as f64;
+        let mut effective = 0u64;
+        for qi in 0..nq {
+            if mm & (1 << qi) != 0 {
+                per_query[qi].ops += share;
+                if queries[qi].filter.matches(reading) {
+                    effective |= 1 << qi;
+                }
+            }
+        }
+        if effective != 0 {
+            strata[id.idx()]
+                .entry(effective)
+                .or_insert_with(Partial::empty)
+                .add(reading);
+            seen_masks.insert(effective);
+        }
+    }
+
+    // Bottom-up phase: each involved non-root node forwards its strata map
+    // (own reading plus already-merged children) to its parent in one
+    // packet. Per-level slot lengths follow the biggest packet attempted at
+    // that level — the TAG epoch discipline with variable frames.
+    let mut total_bytes = 0u64;
+    let mut bytes_to_base = 0u64;
+    let mut retries = 0u64;
+    let mut packets = 0u64;
+    let mut level_slot: BTreeMap<u32, u64> = BTreeMap::new();
+
+    for u in tree.bottom_up_order() {
+        if !involved[u.idx()] || u == base {
+            continue;
+        }
+        if !net.is_operational(u, t) {
+            strata[u.idx()].clear(); // subtree contribution dies here
+            continue;
+        }
+        if strata[u.idx()].is_empty() {
+            continue; // nothing to report upward
+        }
+        let Some(parent) = tree.parent[u.idx()] else {
+            continue; // root-adjacent anomaly: nothing to forward to
+        };
+        let entries: Vec<(u64, Partial)> = strata[u.idx()].iter().map(|(&m, &p)| (m, p)).collect();
+        let bytes = packet_bytes(entries.len());
+        let (ok, attempts) = try_hop(net, u, parent, bytes, t, rng);
+        packets += 1;
+        total_bytes += bytes * attempts as u64;
+        retries += u64::from(attempts.saturating_sub(1));
+        if let Some(depth) = tree.depth[u.idx()] {
+            let slot = level_slot.entry(depth).or_insert(0);
+            *slot = (*slot).max(bytes);
+        }
+        // Attribute this packet's airtime to the queries it carried: each
+        // entry's bytes split evenly across the queries in its mask.
+        for &(mask, _) in &entries {
+            let share = ((STRATUM_KEY_WIRE_BYTES + PARTIAL_WIRE_BYTES) * attempts as u64) as f64
+                / mask.count_ones() as f64;
+            for (qi, pq) in per_query.iter_mut().enumerate().take(nq) {
+                if mask & (1 << qi) != 0 {
+                    pq.bytes += share;
+                    pq.retries += u64::from(attempts.saturating_sub(1));
+                }
+            }
+        }
+        if ok {
+            let parent_strata = &mut strata[parent.idx()];
+            for (mask, p) in entries {
+                parent_strata
+                    .entry(mask)
+                    .or_insert_with(Partial::empty)
+                    .merge(&p);
+                cpu_ops += MERGE_OPS;
+                let share = MERGE_OPS as f64 / mask.count_ones() as f64;
+                for (qi, pq) in per_query.iter_mut().enumerate().take(nq) {
+                    if mask & (1 << qi) != 0 {
+                        pq.ops += share;
+                    }
+                }
+            }
+            if parent == base {
+                bytes_to_base += bytes;
+            }
+        }
+    }
+
+    // Finalize: query q's answer merges every stratum whose mask covers q.
+    for (qi, (pq, q)) in per_query.iter_mut().zip(queries).enumerate() {
+        for (&mask, p) in &strata[base.idx()] {
+            if mask & (1 << qi) != 0 {
+                pq.partial.merge(p);
+            }
+        }
+        pq.delivered = pq.partial.count as usize;
+        pq.value = pq.partial.finalize(q.agg);
+    }
+
+    // Energy attribution: the epoch's total, split in proportion to
+    // attributed bytes (equal split when nothing flew).
+    let (energy_j, max_node_energy_j) = ledger.close(net);
+    let attributed: f64 = per_query.iter().map(|p| p.bytes).sum();
+    for pq in &mut per_query {
+        pq.energy_j = if attributed > 0.0 {
+            energy_j * (pq.bytes / attributed)
+        } else if nq > 0 {
+            energy_j / nq as f64
+        } else {
+            0.0
+        };
+    }
+
+    // Epoch latency: one slot per tree level that fired, sized to the
+    // biggest frame attempted at that level.
+    let latency = level_slot
+        .values()
+        .map(|&b| net.link().tx_time(b))
+        .sum::<Duration>();
+
+    SharedReport {
+        per_query,
+        energy_j,
+        max_node_energy_j,
+        total_bytes,
+        bytes_to_base,
+        latency,
+        cpu_ops,
+        retries,
+        strata: seen_masks.len(),
+        packets,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregate::ValueOp;
+    use crate::collect::tree_aggregation_filtered;
+    use pg_net::energy::RadioModel;
+    use pg_net::link::LinkModel;
+    use pg_net::topology::Topology;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn lossless_net(n_side: usize) -> SensorNetwork {
+        let topo = Topology::grid(n_side, n_side, 10.0, 11.0);
+        let mut net = SensorNetwork::new(
+            topo,
+            NodeId(0),
+            RadioModel::mote(),
+            LinkModel::new(250e3, Duration::from_millis(5), 0.0).unwrap(),
+            50.0,
+        );
+        net.noise_sd = 0.0;
+        net
+    }
+
+    fn field() -> TemperatureField {
+        TemperatureField::calm(25.0)
+    }
+
+    fn all_members(net: &SensorNetwork) -> Vec<NodeId> {
+        net.topology()
+            .nodes()
+            .filter(|&n| n != net.base())
+            .collect()
+    }
+
+    fn avg_query(members: Vec<NodeId>) -> SharedQuery {
+        SharedQuery {
+            members,
+            filter: ValueFilter::all(),
+            agg: AggFn::Avg,
+        }
+    }
+
+    #[test]
+    fn one_query_matches_the_dedicated_tree_path_valuewise() {
+        let members = all_members(&lossless_net(4));
+        let mut net_a = lossless_net(4);
+        let mut rng_a = StdRng::seed_from_u64(1);
+        let solo = tree_aggregation_filtered(
+            &mut net_a,
+            &members,
+            &field(),
+            SimTime::ZERO,
+            AggFn::Avg,
+            &ValueFilter::all(),
+            &mut rng_a,
+        );
+        let mut net_b = lossless_net(4);
+        let mut rng_b = StdRng::seed_from_u64(1);
+        let shared = shared_tree_collection(
+            &mut net_b,
+            &[avg_query(members)],
+            &field(),
+            SimTime::ZERO,
+            &mut rng_b,
+        );
+        assert_eq!(shared.per_query[0].value, solo.value);
+        assert_eq!(shared.per_query[0].delivered, solo.delivered);
+        assert_eq!(shared.strata, 1);
+    }
+
+    #[test]
+    fn identical_queries_share_nearly_all_radio_traffic() {
+        const K: usize = 16;
+        let members = all_members(&lossless_net(5));
+
+        // K serial dedicated tree epochs.
+        let mut serial_bytes = 0u64;
+        let mut net_a = lossless_net(5);
+        let mut rng_a = StdRng::seed_from_u64(2);
+        for _ in 0..K {
+            let r = tree_aggregation_filtered(
+                &mut net_a,
+                &members,
+                &field(),
+                SimTime::ZERO,
+                AggFn::Avg,
+                &ValueFilter::all(),
+                &mut rng_a,
+            );
+            serial_bytes += r.total_bytes;
+        }
+
+        // One shared epoch with the same K queries.
+        let queries: Vec<SharedQuery> = (0..K).map(|_| avg_query(members.clone())).collect();
+        let mut net_b = lossless_net(5);
+        let mut rng_b = StdRng::seed_from_u64(2);
+        let shared =
+            shared_tree_collection(&mut net_b, &queries, &field(), SimTime::ZERO, &mut rng_b);
+
+        // Identical member sets collapse to a single stratum: the whole
+        // workload rides one 48-byte entry per edge instead of K*40 bytes.
+        assert_eq!(shared.strata, 1);
+        assert!(
+            (shared.total_bytes as f64) < serial_bytes as f64 / 8.0,
+            "shared {} bytes vs serial {} bytes",
+            shared.total_bytes,
+            serial_bytes
+        );
+        for pq in &shared.per_query {
+            assert_eq!(pq.value, Some(25.0));
+            assert_eq!(pq.delivered, members.len());
+        }
+    }
+
+    #[test]
+    fn overlapping_regions_answer_exactly_on_lossless_links() {
+        let net0 = lossless_net(5);
+        let all = all_members(&net0);
+        // Three overlapping slices of the deployment.
+        let qs = vec![
+            avg_query(all.clone()),
+            avg_query(all.iter().copied().take(12).collect()),
+            SharedQuery {
+                members: all.iter().copied().skip(6).collect(),
+                filter: ValueFilter::all(),
+                agg: AggFn::Count,
+            },
+        ];
+        let mut net = lossless_net(5);
+        let mut rng = StdRng::seed_from_u64(3);
+        let shared = shared_tree_collection(&mut net, &qs, &field(), SimTime::ZERO, &mut rng);
+        assert_eq!(shared.per_query[0].value, Some(25.0));
+        assert_eq!(shared.per_query[1].value, Some(25.0));
+        assert_eq!(shared.per_query[1].delivered, 12);
+        assert_eq!(shared.per_query[2].value, Some((all.len() - 6) as f64));
+        assert!(shared.strata > 1, "overlap must create multiple strata");
+    }
+
+    #[test]
+    fn filters_apply_per_query_at_the_source() {
+        let members = all_members(&lossless_net(4));
+        let qs = vec![
+            SharedQuery {
+                members: members.clone(),
+                filter: ValueFilter::all().and(ValueOp::Gt, 100.0),
+                agg: AggFn::Count,
+            },
+            avg_query(members.clone()),
+        ];
+        let mut net = lossless_net(4);
+        let mut rng = StdRng::seed_from_u64(4);
+        let shared = shared_tree_collection(&mut net, &qs, &field(), SimTime::ZERO, &mut rng);
+        // A calm 25° field never exceeds 100°: query 0 counts zero readings
+        // while query 1 still sees everything.
+        assert_eq!(shared.per_query[0].value, Some(0.0));
+        assert_eq!(shared.per_query[1].value, Some(25.0));
+        assert_eq!(shared.per_query[1].delivered, members.len());
+    }
+
+    #[test]
+    fn attribution_sums_to_the_measured_totals() {
+        let net0 = lossless_net(5);
+        let all = all_members(&net0);
+        let qs = vec![
+            avg_query(all.clone()),
+            avg_query(all.iter().copied().take(9).collect()),
+            avg_query(all.iter().copied().skip(15).collect()),
+        ];
+        let mut net = lossless_net(5);
+        let mut rng = StdRng::seed_from_u64(5);
+        let shared = shared_tree_collection(&mut net, &qs, &field(), SimTime::ZERO, &mut rng);
+        let bytes: f64 = shared.per_query.iter().map(|p| p.bytes).sum();
+        let energy: f64 = shared.per_query.iter().map(|p| p.energy_j).sum();
+        assert!(
+            (bytes - shared.total_bytes as f64).abs() < 1e-6,
+            "attributed {bytes} vs total {}",
+            shared.total_bytes
+        );
+        assert!((energy - shared.energy_j).abs() < 1e-9);
+        assert!(shared.energy_j > 0.0);
+        assert!(shared.latency > Duration::ZERO);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let run = || {
+            let net0 = lossless_net(4);
+            let all = all_members(&net0);
+            let mut net = lossless_net(4);
+            net.noise_sd = 0.5;
+            let mut rng = StdRng::seed_from_u64(6);
+            let r = shared_tree_collection(
+                &mut net,
+                &[
+                    avg_query(all.clone()),
+                    avg_query(all.iter().copied().take(7).collect()),
+                ],
+                &field(),
+                SimTime::ZERO,
+                &mut rng,
+            );
+            (
+                r.per_query[0].value,
+                r.per_query[1].value,
+                r.total_bytes,
+                r.energy_j.to_bits(),
+            )
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    #[should_panic(expected = "shared epoch limited")]
+    fn more_than_64_queries_panic() {
+        let mut net = lossless_net(3);
+        let members = all_members(&net);
+        let qs: Vec<SharedQuery> = (0..65).map(|_| avg_query(members.clone())).collect();
+        let mut rng = StdRng::seed_from_u64(7);
+        let _ = shared_tree_collection(&mut net, &qs, &field(), SimTime::ZERO, &mut rng);
+    }
+}

@@ -42,6 +42,8 @@ pub struct SummaryStats {
     pub p50: Option<f64>,
     /// 90th percentile, when the source retained samples.
     pub p90: Option<f64>,
+    /// 95th percentile, when the source retained samples.
+    pub p95: Option<f64>,
     /// 99th percentile, when the source retained samples.
     pub p99: Option<f64>,
 }
@@ -60,6 +62,7 @@ impl From<&Summary> for SummaryStats {
             sum: s.sum(),
             p50: None,
             p90: None,
+            p95: None,
             p99: None,
         }
     }
@@ -77,6 +80,7 @@ impl From<&mut Samples> for SummaryStats {
         let mut stats = SummaryStats::from(&summary);
         stats.p50 = s.quantile(0.5);
         stats.p90 = s.quantile(0.9);
+        stats.p95 = s.quantile(0.95);
         stats.p99 = s.quantile(0.99);
         stats
     }
@@ -179,7 +183,12 @@ impl Report {
             out.push((format!("stats.{k}.min"), s.min));
             out.push((format!("stats.{k}.max"), s.max));
             out.push((format!("stats.{k}.sum"), s.sum));
-            for (name, q) in [("p50", s.p50), ("p90", s.p90), ("p99", s.p99)] {
+            for (name, q) in [
+                ("p50", s.p50),
+                ("p90", s.p90),
+                ("p95", s.p95),
+                ("p99", s.p99),
+            ] {
                 if let Some(q) = q {
                     out.push((format!("stats.{k}.{name}"), q));
                 }
@@ -240,7 +249,12 @@ impl Report {
                 w.float(value)
                     .map_err(|e| e.at(format!("stats.{k}.{field}")))?;
             }
-            for (field, q) in [("p50", s.p50), ("p90", s.p90), ("p99", s.p99)] {
+            for (field, q) in [
+                ("p50", s.p50),
+                ("p90", s.p90),
+                ("p95", s.p95),
+                ("p99", s.p99),
+            ] {
                 if let Some(q) = q {
                     w.key(field);
                     w.float(q).map_err(|e| e.at(format!("stats.{k}.{field}")))?;
@@ -321,6 +335,7 @@ impl Report {
                     sum: required("sum")?,
                     p50: num("p50")?,
                     p90: num("p90")?,
+                    p95: num("p95")?,
                     p99: num("p99")?,
                 };
                 report.stats.insert(k.clone(), stats_entry);
@@ -358,6 +373,25 @@ mod tests {
         assert_eq!(r.stats["latency_s"].n, 2);
         assert!((r.stats["latency_s"].mean - 1.0).abs() < 1e-12);
         assert_eq!(r.stats["per_query_energy"].p50, Some(49.5));
+        let p95 = r.stats["per_query_energy"].p95.unwrap();
+        assert!((p95 - 94.05).abs() < 1e-9, "p95 of 0..100: {p95}");
+    }
+
+    #[test]
+    fn reports_without_p95_still_parse() {
+        // Baselines committed before the p95 field existed must keep
+        // loading: the field is optional end to end.
+        let text = sample_report().to_json().unwrap();
+        let stripped = {
+            let mut r = Report::from_json(&text).unwrap();
+            for s in r.stats.values_mut() {
+                s.p95 = None;
+            }
+            r.to_json().unwrap()
+        };
+        let back = Report::from_json(&stripped).unwrap();
+        assert_eq!(back.stats["per_query_energy"].p95, None);
+        assert!(back.stats["per_query_energy"].p50.is_some());
     }
 
     #[test]

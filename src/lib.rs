@@ -21,6 +21,8 @@
 //! * [`query`] — the `SELECT … WHERE … COST … EPOCH` query language.
 //! * [`partition`] — dynamic partition of computation (solution models,
 //!   estimators, adaptive k-NN decision maker).
+//! * [`runtime`] — multi-query scheduler (admission control, epoch
+//!   scheduling policies, per-query attribution) over any [`runtime::QueryEngine`].
 //! * [`core`] — the runtime tying it all together, plus the Figure-1
 //!   fire scenario.
 //!
@@ -45,5 +47,6 @@ pub use pg_grid as grid;
 pub use pg_net as net;
 pub use pg_partition as partition;
 pub use pg_query as query;
+pub use pg_runtime as runtime;
 pub use pg_sensornet as sensornet;
 pub use pg_sim as sim;
