@@ -52,14 +52,12 @@ fn grid(seed: u64) -> PervasiveGrid {
 }
 
 fn sched_cfg(policy: SchedPolicy) -> RuntimeConfig {
-    RuntimeConfig {
-        capacity: 48,
-        epoch: Duration::from_secs(30),
-        slots_per_epoch: 8,
-        policy,
-        energy_budget_j: None,
-        advance_clock: true,
-    }
+    RuntimeConfig::builder()
+        .capacity(48)
+        .epoch(Duration::from_secs(30))
+        .slots_per_epoch(8)
+        .policy(policy)
+        .build()
 }
 
 /// Per-cell accumulator, folded across seeds in seed order.
@@ -224,11 +222,10 @@ fn main() -> ExitCode {
                 s_bytes += r.cost.bytes;
                 s_energy += r.cost.energy_j;
             }
-            let cfg = RuntimeConfig {
-                capacity: 16,
-                slots_per_epoch: 16,
-                ..RuntimeConfig::default()
-            };
+            let cfg = RuntimeConfig::builder()
+                .capacity(16)
+                .slots_per_epoch(16)
+                .build();
             let mut rt = MultiQueryRuntime::new(cfg, build(seed));
             for t in &texts {
                 assert!(rt.submit(t, QueryOpts::default()).is_accepted());

@@ -30,5 +30,6 @@ pub mod scenario;
 
 pub use error::PgError;
 pub use multiquery::GridRuntime;
+pub use pg_sensornet::shared::{SharedTreeSession, TreeMaintenance};
 pub use runtime::{DegradationReport, GridBuilder, PervasiveGrid, QueryRecord, QueryResponse};
 pub use scenario::FireScenario;

@@ -34,9 +34,7 @@ use pg_query::ast::Query;
 use pg_query::classify::{classify, QueryKind};
 use pg_runtime::{Attribution, BatchQuery, EngineOutcome, MultiQueryRuntime, QueryEngine};
 use pg_sensornet::aggregate::{AggFn, PARTIAL_WIRE_BYTES};
-use pg_sensornet::shared::{
-    shared_tree_collection, SharedQuery, MAX_SHARED_QUERIES, STRATUM_KEY_WIRE_BYTES,
-};
+use pg_sensornet::shared::{SharedQuery, MAX_SHARED_QUERIES, STRATUM_KEY_WIRE_BYTES};
 use pg_sim::{Duration, SimTime};
 
 /// The concrete multi-query runtime: a scheduler that owns a grid.
@@ -122,7 +120,11 @@ impl PervasiveGrid {
                 agg: s.query.first_agg().unwrap_or(AggFn::Avg),
             })
             .collect();
-        let report = shared_tree_collection(
+        // The chunk rides the grid's tree session: in the default Free mode
+        // this is exactly `shared_tree_collection` (v1 semantics); under
+        // PerEpoch/Persistent maintenance the session also charges tree
+        // construction beacons, attributed evenly across the chunk below.
+        let report = self.tree_session.collect(
             &mut self.net,
             &shared_queries,
             &self.field,
@@ -130,6 +132,8 @@ impl PervasiveGrid {
             &mut self.exec_rng,
         );
         let latency_s = report.latency.as_secs_f64();
+        let control_bytes_share = report.control_bytes as f64 / chunk.len() as f64;
+        let control_energy_share = report.control_energy_j / chunk.len() as f64;
 
         for ((s, feats), (pq, sq)) in chunk
             .iter()
@@ -137,9 +141,9 @@ impl PervasiveGrid {
             .zip(report.per_query.iter().zip(&shared_queries))
         {
             let cost = CostVector {
-                energy_j: pq.energy_j,
+                energy_j: pq.energy_j + control_energy_share,
                 time_s: latency_s,
-                bytes: pq.bytes,
+                bytes: pq.bytes + control_bytes_share,
                 ops: pq.ops,
             };
             // Adaptive feedback: the learner sees each query's attributed
@@ -189,8 +193,8 @@ impl PervasiveGrid {
                 degradation,
             };
             let attribution = Attribution {
-                energy_j: pq.energy_j,
-                bytes: pq.bytes,
+                energy_j: pq.energy_j + control_energy_share,
+                bytes: pq.bytes + control_bytes_share,
                 time_s: latency_s,
                 retries: pq.retries,
                 shared: true,

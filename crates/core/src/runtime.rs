@@ -15,6 +15,7 @@ use pg_sensornet::field::TemperatureField;
 use pg_sensornet::network::SensorNetwork;
 use pg_sensornet::proxy::SensorProxy;
 use pg_sensornet::region::Region;
+use pg_sensornet::shared::{SharedTreeSession, TreeMaintenance};
 use pg_sim::fault::FaultPlan;
 use pg_sim::rng::RngStreams;
 use pg_sim::{Duration, SimTime};
@@ -101,6 +102,7 @@ pub struct GridBuilder {
     regions: BTreeMap<String, Region>,
     faults: FaultPlan,
     deadline: Option<Duration>,
+    tree_maintenance: TreeMaintenance,
 }
 
 impl GridBuilder {
@@ -118,6 +120,7 @@ impl GridBuilder {
             regions: BTreeMap::new(),
             faults: FaultPlan::none(),
             deadline: None,
+            tree_maintenance: TreeMaintenance::Free,
         }
     }
 
@@ -179,6 +182,16 @@ impl GridBuilder {
         self
     }
 
+    /// Set how shared aggregation trees live across scheduling epochs:
+    /// [`TreeMaintenance::Free`] (default, v1 — trees materialize at no
+    /// modelled cost), `PerEpoch` (construction beacons charged every
+    /// epoch), or `Persistent` (build once, reuse until a node death
+    /// invalidates the tree).
+    pub fn tree_maintenance(mut self, mode: TreeMaintenance) -> Self {
+        self.tree_maintenance = mode;
+        self
+    }
+
     /// Construct the runtime.
     pub fn build(self) -> PervasiveGrid {
         let streams = RngStreams::new(self.seed);
@@ -204,6 +217,7 @@ impl GridBuilder {
             proxy: None,
             faults: self.faults,
             deadline: self.deadline,
+            tree_session: SharedTreeSession::new(self.tree_maintenance),
         }
     }
 }
@@ -233,6 +247,9 @@ pub struct PervasiveGrid {
     pub faults: FaultPlan,
     /// End-to-end deadline budget, if one was set.
     pub deadline: Option<Duration>,
+    /// Shared aggregation-tree lifetime across scheduling epochs (v1 Free
+    /// mode by default; see [`GridBuilder::tree_maintenance`]).
+    pub tree_session: SharedTreeSession,
     pub(crate) exec_rng: StdRng,
 }
 

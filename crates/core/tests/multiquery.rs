@@ -37,11 +37,10 @@ const WORKLOAD: [(&str, u64); 6] = [
 /// Run the workload in `order` under EDF and return a canonical per-query
 /// fingerprint (keyed by query text, bit-exact costs).
 fn edf_fingerprint(order: &[usize]) -> Vec<(String, String)> {
-    let cfg = RuntimeConfig {
-        slots_per_epoch: 2,
-        policy: SchedPolicy::Edf,
-        ..RuntimeConfig::default()
-    };
+    let cfg = RuntimeConfig::builder()
+        .slots_per_epoch(2)
+        .policy(SchedPolicy::Edf)
+        .build();
     let mut rt = MultiQueryRuntime::new(cfg, grid(11));
     for &i in order {
         let (text, dl) = WORKLOAD[i];
@@ -91,11 +90,10 @@ proptest! {
 fn edf_never_completes_a_later_deadline_first() {
     // Submitted in reverse-deadline order; EDF must service them in
     // deadline order (one slot per epoch forces full serialization).
-    let cfg = RuntimeConfig {
-        slots_per_epoch: 1,
-        policy: SchedPolicy::Edf,
-        ..RuntimeConfig::default()
-    };
+    let cfg = RuntimeConfig::builder()
+        .slots_per_epoch(1)
+        .policy(SchedPolicy::Edf)
+        .build();
     let mut rt = MultiQueryRuntime::new(cfg, grid(3));
     let queries = [
         ("SELECT MAX(temp) FROM sensors", 300u64),
@@ -118,16 +116,14 @@ fn edf_never_completes_a_later_deadline_first() {
 
 #[test]
 fn energy_gate_rejects_without_spending() {
-    let cfg = RuntimeConfig {
-        energy_budget_j: Some(1e-6),
-        ..RuntimeConfig::default()
-    };
+    let cfg = RuntimeConfig::builder().energy_budget_j(1e-6).build();
     let mut rt = MultiQueryRuntime::new(cfg, grid(5));
     let before = rt.engine().energy_consumed();
     let adm = rt.submit("SELECT AVG(temp) FROM sensors", QueryOpts::default());
     match adm {
         Admission::Rejected {
             reason: RejectReason::EnergyBudget { estimate_j, .. },
+            ..
         } => assert!(estimate_j > 1e-6),
         other => panic!("expected an energy-budget rejection, got {other:?}"),
     }
@@ -168,10 +164,9 @@ fn overlapping_aggregates_share_the_tree_and_spend_fewer_bytes() {
         serial_bytes += serial.submit(t).unwrap().cost.bytes;
     }
 
-    let cfg = RuntimeConfig {
-        slots_per_epoch: texts.len(),
-        ..RuntimeConfig::default()
-    };
+    let cfg = RuntimeConfig::builder()
+        .slots_per_epoch(texts.len())
+        .build();
     let mut rt = MultiQueryRuntime::new(cfg, build());
     for t in &texts {
         assert!(rt.submit(t, QueryOpts::default()).is_accepted());
@@ -213,10 +208,7 @@ fn batch_of_one_matches_plain_submit() {
 
 #[test]
 fn mixed_batches_fail_per_query_not_wholesale() {
-    let cfg = RuntimeConfig {
-        slots_per_epoch: 4,
-        ..RuntimeConfig::default()
-    };
+    let cfg = RuntimeConfig::builder().slots_per_epoch(4).build();
     let mut rt = MultiQueryRuntime::new(cfg, grid(17));
     for text in [
         "SELECT AVG(temp) FROM sensors",

@@ -1,0 +1,222 @@
+//! Streaming-runtime integration tests over a real `PervasiveGrid`: the
+//! batch-equivalence property (a t=0 arrival stream with preemption off is
+//! bit-identical to closed-loop `submit` + `run_until_idle`), open-loop
+//! Poisson load end to end, and tree-maintenance modes through the grid.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use pg_core::{PervasiveGrid, TreeMaintenance};
+use pg_runtime::{
+    MultiQueryRuntime, PoissonArrivals, QueryOpts, RuntimeConfig, SchedPolicy, TraceArrivals,
+};
+use pg_sensornet::region::Region;
+use pg_sim::{Duration, SimTime};
+use proptest::prelude::*;
+
+fn grid(seed: u64) -> PervasiveGrid {
+    PervasiveGrid::building(1, 6, seed)
+        .region("west", Region::room(0.0, 0.0, 14.0, 30.0))
+        .region("east", Region::room(10.0, 0.0, 30.0, 30.0))
+        .build()
+}
+
+/// Deadlines all ≥ one epoch so EDF admission never rejects at t=0.
+const WORKLOAD: [(&str, u64); 6] = [
+    ("SELECT AVG(temp) FROM sensors", 40),
+    ("SELECT MAX(temp) FROM sensors WHERE region(west)", 70),
+    ("SELECT AVG(temp) FROM sensors WHERE region(east)", 100),
+    ("SELECT MAX(temp) FROM sensors", 130),
+    ("SELECT AVG(temp) FROM sensors WHERE region(west)", 160),
+    ("SELECT temp FROM sensors WHERE sensor_id = 7", 190),
+];
+
+fn policy_of(ix: u8) -> SchedPolicy {
+    match ix % 3 {
+        0 => SchedPolicy::Fifo,
+        1 => SchedPolicy::Edf,
+        _ => SchedPolicy::EnergyFair,
+    }
+}
+
+fn cfg(policy: SchedPolicy) -> RuntimeConfig {
+    RuntimeConfig::builder()
+        .slots_per_epoch(2)
+        .policy(policy)
+        .build()
+}
+
+/// Bit-exact per-outcome fingerprint, in completion order.
+fn fingerprint(rt: &MultiQueryRuntime<PervasiveGrid>) -> Vec<String> {
+    rt.outcomes()
+        .iter()
+        .map(|o| {
+            let body = match &o.response {
+                Ok(r) => format!(
+                    "ok v={:?} e={} b={} t={} shared={}",
+                    r.value.map(f64::to_bits),
+                    r.cost.energy_j.to_bits(),
+                    r.cost.bytes.to_bits(),
+                    r.cost.time_s.to_bits(),
+                    o.attribution.shared,
+                ),
+                Err(e) => format!("err {e}"),
+            };
+            format!(
+                "{} #{} wait={} {}",
+                o.text,
+                o.completion_index,
+                o.queue_wait_s.to_bits(),
+                body
+            )
+        })
+        .collect()
+}
+
+fn ordered_workload(order: &[usize]) -> Vec<(String, QueryOpts)> {
+    order
+        .iter()
+        .map(|&i| {
+            let (text, dl) = WORKLOAD[i];
+            (
+                text.to_string(),
+                QueryOpts::with_deadline(Duration::from_secs(dl)),
+            )
+        })
+        .collect()
+}
+
+/// Closed-loop v1 path: submit everything, then run to idle.
+fn batch_fingerprint(order: &[usize], policy: SchedPolicy, seed: u64) -> Vec<String> {
+    let mut rt = MultiQueryRuntime::new(cfg(policy), grid(seed));
+    for (text, opts) in ordered_workload(order) {
+        let adm = rt.submit(&text, opts);
+        assert!(adm.is_accepted(), "workload fits the queue");
+    }
+    rt.run_until_idle(64);
+    fingerprint(&rt)
+}
+
+/// Streaming path: the same workload expressed as a t=0 arrival trace,
+/// driven through `run_stream` with preemption off.
+fn stream_fingerprint(order: &[usize], policy: SchedPolicy, seed: u64) -> Vec<String> {
+    let mut rt = MultiQueryRuntime::new(cfg(policy), grid(seed));
+    let mut arrivals = TraceArrivals::batch_at_zero(ordered_workload(order));
+    rt.run_stream(&mut arrivals, 64);
+    assert_eq!(rt.arrived, order.len() as u64);
+    fingerprint(&rt)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Batch equivalence: with every arrival at t=0 and preemption off, the
+    /// streaming event loop feeds the engine the exact same advance/execute
+    /// sequence as the closed-loop batch API — outcomes are bit-identical
+    /// (values, costs, waits, completion order) for every submission order
+    /// and scheduling policy.
+    #[test]
+    fn t0_streaming_is_bit_identical_to_batch(
+        keys in prop::collection::vec(0u8..=255, 6),
+        policy_ix in 0u8..3,
+        seed in 1u64..50,
+    ) {
+        let mut order: Vec<usize> = (0..WORKLOAD.len()).collect();
+        order.sort_by_key(|&i| (keys[i], i));
+        let policy = policy_of(policy_ix);
+        prop_assert_eq!(
+            batch_fingerprint(&order, policy, seed),
+            stream_fingerprint(&order, policy, seed)
+        );
+    }
+}
+
+/// Open-loop Poisson load, end to end: every arrival is either answered or
+/// visibly rejected, the clock advances with the offered load, and the
+/// runtime drains to idle once the stream dries up.
+#[test]
+fn poisson_stream_drains_to_idle_on_a_real_grid() {
+    let cfg = RuntimeConfig::builder()
+        .capacity(16)
+        .slots_per_epoch(4)
+        .policy(SchedPolicy::Edf)
+        .preemption(true)
+        .build();
+    let mut rt = MultiQueryRuntime::new(cfg, grid(42));
+    let mix = vec![
+        (
+            "SELECT AVG(temp) FROM sensors".to_string(),
+            QueryOpts::with_deadline(Duration::from_secs(120)),
+        ),
+        (
+            "SELECT MAX(temp) FROM sensors WHERE region(east)".to_string(),
+            QueryOpts::default().priority(1),
+        ),
+    ];
+    let mut arrivals = PoissonArrivals::new(9, 0.1, SimTime::from_secs(600), mix);
+    rt.run_stream(&mut arrivals, 10_000);
+
+    assert!(arrivals.emitted() > 20, "0.1 Hz x 600 s offered load");
+    assert_eq!(rt.arrived, arrivals.emitted());
+    assert_eq!(rt.queue_depth(), 0, "stream must drain to idle");
+    let answered = rt.outcomes().len() as u64;
+    assert_eq!(answered + rt.rejected, arrivals.emitted());
+    assert!(
+        rt.engine().now >= SimTime::from_secs(570),
+        "clock follows load"
+    );
+}
+
+/// Tree maintenance through the grid: `Free` is the default and
+/// bit-identical to an explicitly-Free build, while `Persistent` moves
+/// fewer total wire bytes than `PerEpoch` for the same workload because
+/// the tree is built once instead of every shared epoch.
+#[test]
+fn persistent_tree_attributes_fewer_bytes_than_per_epoch() {
+    let run = |mode: Option<TreeMaintenance>| {
+        let mut b = PervasiveGrid::building(1, 6, 42)
+            .region("west", Region::room(0.0, 0.0, 14.0, 30.0))
+            .region("east", Region::room(10.0, 0.0, 30.0, 30.0));
+        if let Some(m) = mode {
+            b = b.tree_maintenance(m);
+        }
+        let cfg = RuntimeConfig::builder().slots_per_epoch(2).build();
+        let mut rt = MultiQueryRuntime::new(cfg, b.build());
+        // Six shareable aggregates, two slots per epoch: three shared
+        // chunks, so PerEpoch builds the tree three times.
+        for _ in 0..3 {
+            for text in [
+                "SELECT AVG(temp) FROM sensors",
+                "SELECT MAX(temp) FROM sensors",
+            ] {
+                assert!(rt.submit(text, QueryOpts::default()).is_accepted());
+            }
+        }
+        rt.run_until_idle(16);
+        let bytes: f64 = rt.outcomes().iter().map(|o| o.attribution.bytes).sum();
+        let energy: f64 = rt.outcomes().iter().map(|o| o.attribution.energy_j).sum();
+        let rebuilds = rt.engine().tree_session.rebuilds;
+        (bytes, energy, rebuilds)
+    };
+
+    let (default_b, default_e, default_r) = run(None);
+    let (free_b, free_e, free_r) = run(Some(TreeMaintenance::Free));
+    let (per_epoch_b, per_epoch_e, per_epoch_r) = run(Some(TreeMaintenance::PerEpoch));
+    let (persistent_b, persistent_e, persistent_r) = run(Some(TreeMaintenance::Persistent));
+
+    // Default == Free, bit-exact (the v1 path, no control-plane charge).
+    assert_eq!(default_b.to_bits(), free_b.to_bits());
+    assert_eq!(default_e.to_bits(), free_e.to_bits());
+    assert_eq!((default_r, free_r), (0, 0));
+
+    // Explicit maintenance pays a control-plane cost over Free...
+    assert!(per_epoch_b > free_b);
+    assert!(persistent_b > free_b);
+    // ...but a persistent tree amortizes it: one build vs three.
+    assert_eq!(per_epoch_r, 3);
+    assert_eq!(persistent_r, 1);
+    assert!(
+        persistent_b < per_epoch_b,
+        "persistent tree must move fewer bytes: {persistent_b} vs {per_epoch_b}"
+    );
+    assert!(persistent_e < per_epoch_e);
+}

@@ -4,8 +4,11 @@
 //! (§2); a broker that silently queues forever hides exactly the resource
 //! exhaustion the system is supposed to manage. Every submission therefore
 //! returns an [`Admission`]: admitted for the next epoch, deferred behind a
-//! backlog, or rejected with a machine-readable [`RejectReason`].
+//! backlog, or rejected with a machine-readable [`RejectReason`] *plus the
+//! options that were refused*, so the caller can relax a constraint and
+//! resubmit without reconstructing its request.
 
+use crate::handle::QueryHandle;
 use std::fmt;
 
 /// Stable per-runtime query identifier, in admission order.
@@ -18,13 +21,31 @@ impl fmt::Display for QueryId {
     }
 }
 
-/// Per-submission options.
-#[derive(Debug, Clone, Copy, Default)]
+/// Per-submission options, built by chaining:
+///
+/// ```
+/// use pg_runtime::QueryOpts;
+/// use pg_sim::Duration;
+///
+/// let opts = QueryOpts::with_deadline(Duration::from_secs(120))
+///     .priority(3)
+///     .energy_cap_j(0.5);
+/// assert_eq!(opts.priority, 3);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct QueryOpts {
-    /// Response deadline relative to submission. Feeds EDF ordering and the
-    /// per-query `deadline_exceeded` annotation; generous deadlines change
-    /// nothing.
+    /// Response deadline relative to submission. Feeds EDF ordering, the
+    /// per-query `deadline_exceeded` annotation, and (when preemption is
+    /// enabled) slack-based queue jumps; generous deadlines change nothing.
     pub deadline: Option<pg_sim::Duration>,
+    /// Scheduling priority: higher values are serviced first under every
+    /// policy (the policy key only orders queries of equal priority). The
+    /// default 0 leaves the policy ordering untouched.
+    pub priority: u8,
+    /// Per-query energy cap, joules: the submission is rejected when the
+    /// engine's estimate exceeds it, independent of the workload-wide
+    /// budget gate. `None` disables the cap.
+    pub energy_cap_j: Option<f64>,
 }
 
 impl QueryOpts {
@@ -32,7 +53,26 @@ impl QueryOpts {
     pub fn with_deadline(deadline: pg_sim::Duration) -> Self {
         QueryOpts {
             deadline: Some(deadline),
+            ..QueryOpts::default()
         }
+    }
+
+    /// Chainable deadline setter.
+    pub fn deadline(mut self, deadline: pg_sim::Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Chainable priority setter (higher = serviced first).
+    pub fn priority(mut self, priority: u8) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Chainable per-query energy cap, joules.
+    pub fn energy_cap_j(mut self, joules: f64) -> Self {
+        self.energy_cap_j = Some(joules);
+        self
     }
 }
 
@@ -41,13 +81,13 @@ impl QueryOpts {
 pub enum Admission {
     /// In the queue and scheduled within the next epoch's slots.
     Admitted {
-        /// The assigned query id.
-        id: QueryId,
+        /// Handle for polling, cancelling, or tightening the deadline.
+        handle: QueryHandle,
     },
     /// Accepted, but behind more work than the next epoch can service.
     Deferred {
-        /// The assigned query id.
-        id: QueryId,
+        /// Handle for polling, cancelling, or tightening the deadline.
+        handle: QueryHandle,
         /// Queue depth at admission (this query included).
         queue_depth: usize,
     },
@@ -55,21 +95,29 @@ pub enum Admission {
     Rejected {
         /// Why the runtime turned the query away.
         reason: RejectReason,
+        /// The options that were refused, so the caller can relax the
+        /// offending constraint (deadline, energy cap) and resubmit.
+        opts: QueryOpts,
     },
 }
 
 impl Admission {
-    /// The assigned id, when the query entered the queue.
-    pub fn id(&self) -> Option<QueryId> {
+    /// The handle, when the query entered the queue.
+    pub fn handle(&self) -> Option<QueryHandle> {
         match self {
-            Admission::Admitted { id } | Admission::Deferred { id, .. } => Some(*id),
+            Admission::Admitted { handle } | Admission::Deferred { handle, .. } => Some(*handle),
             Admission::Rejected { .. } => None,
         }
     }
 
+    /// The assigned id, when the query entered the queue.
+    pub fn id(&self) -> Option<QueryId> {
+        self.handle().map(|h| h.id())
+    }
+
     /// True when the query entered the queue (admitted or deferred).
     pub fn is_accepted(&self) -> bool {
-        self.id().is_some()
+        self.handle().is_some()
     }
 }
 
@@ -88,6 +136,14 @@ pub enum RejectReason {
         estimate_j: f64,
         /// Energy still uncommitted under the budget/battery gate, joules.
         available_j: f64,
+    },
+    /// The query's own energy cap: the estimate exceeds the per-query
+    /// `QueryOpts::energy_cap_j` the caller asked for.
+    EnergyCap {
+        /// Estimated energy cost of the submitted query, joules.
+        estimate_j: f64,
+        /// The requested per-query cap, joules.
+        cap_j: f64,
     },
     /// The deadline is shorter than one scheduling epoch: no schedule can
     /// complete it in time, so admitting it would only burn energy.
@@ -111,6 +167,10 @@ impl fmt::Display for RejectReason {
             } => write!(
                 f,
                 "energy budget exhausted (needs ~{estimate_j:.3} J, {available_j:.3} J available)"
+            ),
+            RejectReason::EnergyCap { estimate_j, cap_j } => write!(
+                f,
+                "per-query energy cap exceeded (needs ~{estimate_j:.3} J, cap {cap_j:.3} J)"
             ),
             RejectReason::DeadlineUnmeetable {
                 deadline_s,

@@ -53,7 +53,11 @@ pub trait QueryEngine {
     /// Current simulation time.
     fn now(&self) -> SimTime;
 
-    /// Advance the simulation clock (called once per scheduler epoch).
+    /// Advance the simulation clock. Must be purely additive: the batch
+    /// loop calls it once per epoch, while the streaming loop (`step`)
+    /// advances in several smaller increments per epoch (to each arrival
+    /// instant, each round, and the window end) — both must land the engine
+    /// at the same instant.
     fn advance(&mut self, dt: Duration);
 
     /// Energy still available to spend, joules (battery headroom).

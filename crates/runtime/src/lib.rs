@@ -6,13 +6,20 @@
 //! (in production, `pg-core`'s `PervasiveGrid`) and runs N in-flight
 //! queries against the one shared network with
 //!
-//! * **admission control** — a bounded queue, per-query deadlines, and an
-//!   energy-budget gate returning a typed [`Admission`] verdict instead of
-//!   queueing forever ([`admission`]);
+//! * **admission control** — a bounded queue, per-query deadlines,
+//!   priorities, and energy caps, and an energy-budget gate returning a
+//!   typed [`Admission`] verdict instead of queueing forever
+//!   ([`admission`]); accepted queries come back with a [`QueryHandle`]
+//!   the caller can poll, cancel, or tighten the deadline on;
+//! * **open-loop streaming** — an [`ArrivalProcess`] (seeded Poisson
+//!   offered load or trace replay) feeds the event-driven
+//!   [`MultiQueryRuntime::step`] loop, which interleaves arrivals,
+//!   admission, epoch scheduling, and completion ([`arrivals`]);
 //! * **epoch scheduling** — simulated time advances in shared epochs, each
 //!   epoch's work interleaved across active queries under a
 //!   [`SchedPolicy`] (FIFO, earliest-deadline-first, energy-weighted fair
-//!   share);
+//!   share), optionally with deadline preemption of deferred work when a
+//!   query's slack goes negative;
 //! * **shared execution** — each epoch's slate goes to the engine as one
 //!   batch, so overlapping aggregate queries can reuse one collection tree
 //!   and piggyback partials on the same radio traffic, with per-query
@@ -73,28 +80,32 @@
 //!     }
 //! }
 //!
-//! let cfg = RuntimeConfig {
-//!     policy: SchedPolicy::Edf,
-//!     ..RuntimeConfig::default()
-//! };
+//! let cfg = RuntimeConfig::builder().policy(SchedPolicy::Edf).build();
 //! let mut rt = MultiQueryRuntime::new(cfg, Echo { now: SimTime::ZERO });
 //! let a = rt.submit(
 //!     "SELECT AVG(temp) FROM sensors",
 //!     QueryOpts::with_deadline(Duration::from_secs(120)),
 //! );
+//! let handle = a.handle().expect("admitted");
 //! assert!(matches!(a, Admission::Admitted { .. }));
 //! rt.run_until_idle(16);
-//! assert_eq!(rt.outcomes().len(), 1);
+//! assert!(rt.poll(handle).is_completed());
 //! assert_eq!(rt.outcomes()[0].response, Ok(29));
 //! ```
 
 pub mod admission;
+pub mod arrivals;
 pub mod engine;
+pub mod handle;
 pub mod scheduler;
 
 pub use admission::{Admission, QueryId, QueryOpts, RejectReason};
+pub use arrivals::{Arrival, ArrivalProcess, PoissonArrivals, TraceArrivals};
 pub use engine::{Attribution, BatchQuery, EngineOutcome, QueryEngine};
-pub use scheduler::{MultiQueryRuntime, QueryOutcome, RuntimeConfig, SchedPolicy};
+pub use handle::{QueryHandle, QueryStatus};
+pub use scheduler::{
+    MultiQueryRuntime, QueryOutcome, RuntimeConfig, RuntimeConfigBuilder, SchedPolicy,
+};
 
 #[cfg(test)]
 #[allow(clippy::unwrap_used, clippy::expect_used)]
@@ -174,14 +185,23 @@ mod tests {
     }
 
     fn cfg() -> RuntimeConfig {
-        RuntimeConfig {
-            capacity: 4,
-            epoch: Duration::from_secs(30),
-            slots_per_epoch: 2,
-            policy: SchedPolicy::Fifo,
-            energy_budget_j: None,
-            advance_clock: true,
-        }
+        RuntimeConfig::builder()
+            .capacity(4)
+            .slots_per_epoch(2)
+            .build()
+    }
+
+    #[test]
+    fn builder_defaults_match_default() {
+        let b = RuntimeConfig::builder().build();
+        let d = RuntimeConfig::default();
+        assert_eq!(b.capacity, d.capacity);
+        assert_eq!(b.epoch, d.epoch);
+        assert_eq!(b.slots_per_epoch, d.slots_per_epoch);
+        assert_eq!(b.policy, d.policy);
+        assert_eq!(b.energy_budget_j, d.energy_budget_j);
+        assert_eq!(b.advance_clock, d.advance_clock);
+        assert_eq!(b.preemption, d.preemption);
     }
 
     #[test]
@@ -210,9 +230,11 @@ mod tests {
         assert_eq!(
             fifth,
             Admission::Rejected {
-                reason: RejectReason::QueueFull { capacity: 4 }
+                reason: RejectReason::QueueFull { capacity: 4 },
+                opts: QueryOpts::default(),
             }
         );
+        assert_eq!(fifth.handle(), None);
         assert_eq!(rt.rejected, 1);
         // Draining the queue frees capacity again.
         rt.run_until_idle(8);
@@ -238,10 +260,11 @@ mod tests {
     #[test]
     fn energy_budget_gate_rejects_and_releases() {
         let mut rt = MultiQueryRuntime::new(
-            RuntimeConfig {
-                energy_budget_j: Some(5.0),
-                ..cfg()
-            },
+            RuntimeConfig::builder()
+                .capacity(4)
+                .slots_per_epoch(2)
+                .energy_budget_j(5.0)
+                .build(),
             Mock::new(100.0),
         );
         assert!(rt.submit("cost:3", QueryOpts::default()).is_accepted());
@@ -254,6 +277,7 @@ mod tests {
                         estimate_j,
                         available_j,
                     },
+                ..
             } => {
                 assert_eq!(estimate_j, 3.0);
                 assert_eq!(available_j, 2.0);
@@ -272,10 +296,11 @@ mod tests {
     #[test]
     fn battery_headroom_caps_the_budget_gate() {
         let mut rt = MultiQueryRuntime::new(
-            RuntimeConfig {
-                energy_budget_j: Some(1e9),
-                ..cfg()
-            },
+            RuntimeConfig::builder()
+                .capacity(4)
+                .slots_per_epoch(2)
+                .energy_budget_j(1e9)
+                .build(),
             Mock::new(2.0),
         );
         // The budget is huge but the batteries hold 2 J.
@@ -284,13 +309,53 @@ mod tests {
     }
 
     #[test]
+    fn per_query_energy_cap_rejects_with_resubmittable_opts() {
+        let mut rt = MultiQueryRuntime::new(cfg(), Mock::new(100.0));
+        let tight = QueryOpts::default().energy_cap_j(2.0);
+        let a = rt.submit("cost:3", tight);
+        let Admission::Rejected { reason, opts } = a else {
+            panic!("expected cap rejection, got {a:?}");
+        };
+        assert_eq!(
+            reason,
+            RejectReason::EnergyCap {
+                estimate_j: 3.0,
+                cap_j: 2.0
+            }
+        );
+        assert!(reason.to_string().contains("cap"));
+        // The rejected opts come back: relax the offending constraint and
+        // resubmit without reconstructing the request.
+        assert_eq!(opts, tight);
+        assert!(rt.submit("cost:3", opts.energy_cap_j(3.5)).is_accepted());
+        // Under the cap nothing is gated, even with no workload budget.
+        assert!(rt
+            .submit("cost:1", QueryOpts::default().energy_cap_j(2.0))
+            .is_accepted());
+    }
+
+    #[test]
+    fn priority_outranks_the_policy_key() {
+        let mut rt = MultiQueryRuntime::new(
+            RuntimeConfig::builder().slots_per_epoch(1).build(),
+            Mock::new(100.0),
+        );
+        rt.submit("low1", QueryOpts::default());
+        rt.submit("low2", QueryOpts::default());
+        rt.submit("high", QueryOpts::default().priority(5));
+        rt.run_until_idle(8);
+        // FIFO would say low1, low2, high; priority 5 jumps the stratum.
+        assert_eq!(rt.engine().executed, ["high", "low1", "low2"]);
+    }
+
+    #[test]
     fn edf_services_earliest_deadline_first() {
         let mut rt = MultiQueryRuntime::new(
-            RuntimeConfig {
-                policy: SchedPolicy::Edf,
-                slots_per_epoch: 1,
-                ..cfg()
-            },
+            RuntimeConfig::builder()
+                .capacity(4)
+                .policy(SchedPolicy::Edf)
+                .slots_per_epoch(1)
+                .build(),
             Mock::new(100.0),
         );
         rt.submit("late", QueryOpts::with_deadline(Duration::from_secs(600)))
@@ -305,12 +370,12 @@ mod tests {
     #[test]
     fn energy_fair_services_cheapest_first() {
         let mut rt = MultiQueryRuntime::new(
-            RuntimeConfig {
-                policy: SchedPolicy::EnergyFair,
-                slots_per_epoch: 1,
-                energy_budget_j: Some(100.0),
-                ..cfg()
-            },
+            RuntimeConfig::builder()
+                .capacity(4)
+                .policy(SchedPolicy::EnergyFair)
+                .slots_per_epoch(1)
+                .energy_budget_j(100.0)
+                .build(),
             Mock::new(100.0),
         );
         rt.submit("cost:5", QueryOpts::default());
@@ -327,11 +392,12 @@ mod tests {
         assert!(matches!(
             a,
             Admission::Rejected {
-                reason: RejectReason::DeadlineUnmeetable { .. }
+                reason: RejectReason::DeadlineUnmeetable { .. },
+                ..
             }
         ));
         // Reasons render for humans too.
-        if let Admission::Rejected { reason } = a {
+        if let Admission::Rejected { reason, .. } = a {
             assert!(reason.to_string().contains("epoch"));
         }
     }
@@ -350,10 +416,10 @@ mod tests {
     #[test]
     fn deadline_exceeded_accounts_for_queue_wait() {
         let mut rt = MultiQueryRuntime::new(
-            RuntimeConfig {
-                slots_per_epoch: 1,
-                ..cfg()
-            },
+            RuntimeConfig::builder()
+                .capacity(4)
+                .slots_per_epoch(1)
+                .build(),
             Mock::new(100.0),
         );
         rt.submit("a", QueryOpts::with_deadline(Duration::from_secs(45)));
@@ -365,10 +431,10 @@ mod tests {
         assert!(!rt.outcomes()[0].deadline_exceeded());
         assert!(!rt.outcomes()[1].deadline_exceeded());
         let mut rt = MultiQueryRuntime::new(
-            RuntimeConfig {
-                slots_per_epoch: 1,
-                ..cfg()
-            },
+            RuntimeConfig::builder()
+                .capacity(4)
+                .slots_per_epoch(1)
+                .build(),
             Mock::new(100.0),
         );
         rt.submit("a", QueryOpts::with_deadline(Duration::from_secs(45)));
@@ -376,6 +442,199 @@ mod tests {
         rt.submit("c", QueryOpts::with_deadline(Duration::from_secs(45)));
         rt.run_until_idle(8);
         assert!(rt.outcomes()[2].deadline_exceeded());
+    }
+
+    #[test]
+    fn poll_tracks_a_query_through_its_lifecycle() {
+        let mut rt = MultiQueryRuntime::new(
+            RuntimeConfig::builder()
+                .capacity(8)
+                .slots_per_epoch(1)
+                .build(),
+            Mock::new(100.0),
+        );
+        let first = rt.submit("a", QueryOpts::default()).handle().unwrap();
+        let second = rt.submit("b", QueryOpts::default()).handle().unwrap();
+        match rt.poll(second) {
+            QueryStatus::Queued { rank, depth } => {
+                assert_eq!(rank, 1);
+                assert_eq!(depth, 2);
+            }
+            other => panic!("expected queued, got {other:?}"),
+        }
+        rt.run_epoch();
+        match rt.poll(first) {
+            QueryStatus::Completed(outcome) => {
+                assert_eq!(outcome.response, Ok("a".to_string()));
+            }
+            other => panic!("expected completed, got {other:?}"),
+        }
+        assert!(rt.poll(second).is_queued());
+        // A handle this runtime never issued is unknown.
+        let mut other_rt = MultiQueryRuntime::new(cfg(), Mock::new(1.0));
+        for _ in 0..3 {
+            other_rt.submit("x", QueryOpts::default());
+        }
+        let foreign = other_rt.submit("y", QueryOpts::default()).handle().unwrap();
+        assert!(matches!(rt.poll(foreign), QueryStatus::Unknown));
+    }
+
+    #[test]
+    fn cancel_removes_queued_work_and_releases_energy() {
+        let mut rt = MultiQueryRuntime::new(
+            RuntimeConfig::builder()
+                .capacity(8)
+                .slots_per_epoch(1)
+                .energy_budget_j(5.0)
+                .build(),
+            Mock::new(100.0),
+        );
+        let a = rt.submit("cost:2", QueryOpts::default()).handle().unwrap();
+        let b = rt.submit("cost:3", QueryOpts::default()).handle().unwrap();
+        // Budget fully committed: a 1 J query bounces.
+        assert!(!rt.submit("cost:1", QueryOpts::default()).is_accepted());
+        assert!(rt.cancel(b));
+        assert_eq!(rt.cancelled, 1);
+        assert!(matches!(rt.poll(b), QueryStatus::Cancelled));
+        // Cancelling released b's 3 J commitment.
+        assert!(rt.submit("cost:1", QueryOpts::default()).is_accepted());
+        // Cancel is not retryable and never touches completed queries.
+        assert!(!rt.cancel(b));
+        rt.run_until_idle(8);
+        assert!(!rt.cancel(a));
+        assert!(rt.poll(a).is_completed());
+        assert!(!rt.engine().executed.contains(&"cost:3".to_string()));
+    }
+
+    #[test]
+    fn tighten_deadline_only_tightens_and_reorders_edf() {
+        let mut rt = MultiQueryRuntime::new(
+            RuntimeConfig::builder()
+                .capacity(8)
+                .policy(SchedPolicy::Edf)
+                .slots_per_epoch(1)
+                .build(),
+            Mock::new(100.0),
+        );
+        let slow = rt
+            .submit("slow", QueryOpts::with_deadline(Duration::from_secs(600)))
+            .handle()
+            .unwrap();
+        let urgent = rt
+            .submit("urgent", QueryOpts::with_deadline(Duration::from_secs(300)))
+            .handle()
+            .unwrap();
+        // Loosening is refused; the existing deadline stands.
+        assert!(!rt.tighten_deadline(urgent, Duration::from_secs(900)));
+        // The caller's situation changes: urgent must now beat slow badly.
+        assert!(rt.tighten_deadline(urgent, Duration::from_secs(60)));
+        rt.run_epoch();
+        assert_eq!(rt.engine().executed, ["urgent"]);
+        // Completed queries can no longer be tightened.
+        assert!(!rt.tighten_deadline(urgent, Duration::from_secs(30)));
+        assert!(rt.tighten_deadline(slow, Duration::from_secs(30)));
+    }
+
+    #[test]
+    fn streaming_step_interleaves_arrivals_and_rounds() {
+        let mut rt = MultiQueryRuntime::new(
+            RuntimeConfig::builder()
+                .capacity(8)
+                .slots_per_epoch(1)
+                .build(),
+            Mock::new(100.0),
+        );
+        let mut trace = TraceArrivals::new(vec![
+            Arrival {
+                at: SimTime::from_secs(10),
+                text: "first".into(),
+                opts: QueryOpts::default(),
+            },
+            Arrival {
+                at: SimTime::from_secs(70),
+                text: "second".into(),
+                opts: QueryOpts::default(),
+            },
+        ]);
+        // Window [0, 60): arrival at 10 s, then an immediate round at 10 s
+        // (the grid anchors at the first busy instant, idle time before it
+        // does not accumulate rounds).
+        assert_eq!(rt.step(Duration::from_secs(60), &mut trace), 1);
+        assert_eq!(rt.engine().now, SimTime::from_secs(60));
+        assert_eq!(rt.arrived, 1);
+        let first = &rt.outcomes()[0];
+        assert_eq!(first.submitted_at, SimTime::from_secs(10));
+        assert_eq!(first.started_at, SimTime::from_secs(10));
+        assert_eq!(first.queue_wait_s, 0.0);
+        // Window [60, 120): arrival at 70 s; next grid slot was 40 s (in
+        // the past), so the round fires at the clock, 70 s.
+        assert_eq!(rt.step(Duration::from_secs(60), &mut trace), 1);
+        let second = &rt.outcomes()[1];
+        assert_eq!(second.submitted_at, SimTime::from_secs(70));
+        assert_eq!(second.started_at, SimTime::from_secs(70));
+        assert!(trace.is_exhausted());
+        assert_eq!(rt.engine().now, SimTime::from_secs(120));
+    }
+
+    #[test]
+    fn streaming_batch_at_zero_matches_run_until_idle() {
+        let queries = ["a", "b", "c", "d", "e"];
+        let mut batch_rt = MultiQueryRuntime::new(cfg(), Mock::new(100.0));
+        for q in queries {
+            batch_rt.submit(q, QueryOpts::with_deadline(Duration::from_secs(90)));
+        }
+        batch_rt.run_until_idle(16);
+
+        let mut stream_rt = MultiQueryRuntime::new(cfg(), Mock::new(100.0));
+        let mut trace = TraceArrivals::batch_at_zero(queries.iter().map(|q| {
+            (
+                q.to_string(),
+                QueryOpts::with_deadline(Duration::from_secs(90)),
+            )
+        }));
+        stream_rt.run_stream(&mut trace, 16);
+
+        assert_eq!(batch_rt.engine().executed, stream_rt.engine().executed);
+        assert_eq!(batch_rt.engine().batches, stream_rt.engine().batches);
+        assert_eq!(batch_rt.outcomes().len(), stream_rt.outcomes().len());
+        for (b, s) in batch_rt.outcomes().iter().zip(stream_rt.outcomes()) {
+            assert_eq!(b.id, s.id);
+            assert_eq!(b.queue_wait_s, s.queue_wait_s);
+            assert_eq!(b.started_at, s.started_at);
+            assert_eq!(b.response, s.response);
+        }
+    }
+
+    #[test]
+    fn preemption_rescues_a_slack_negative_deadline() {
+        let run = |preemption: bool| {
+            let mut rt = MultiQueryRuntime::new(
+                RuntimeConfig::builder()
+                    .capacity(8)
+                    .slots_per_epoch(1)
+                    .preemption(preemption)
+                    .build(),
+                Mock::new(100.0),
+            );
+            rt.submit("a", QueryOpts::default());
+            rt.submit("b", QueryOpts::default());
+            rt.submit("c", QueryOpts::with_deadline(Duration::from_secs(40)));
+            rt.run_until_idle(8);
+            rt
+        };
+        // FIFO without preemption: c waits behind a and b, starts at 60 s,
+        // and blows its 40 s budget.
+        let fifo = run(false);
+        let c = fifo.outcomes().iter().find(|o| o.text == "c").unwrap();
+        assert!(c.deadline_exceeded());
+        assert_eq!(fifo.preemptions, 0);
+        // With preemption, c becomes critical at the 30 s round (the next
+        // slot at 60 s would be too late) and jumps b.
+        let pre = run(true);
+        let c = pre.outcomes().iter().find(|o| o.text == "c").unwrap();
+        assert!(!c.deadline_exceeded());
+        assert_eq!(pre.engine().executed, ["a", "c", "b"]);
+        assert_eq!(pre.preemptions, 1);
     }
 
     #[test]
@@ -391,6 +650,8 @@ mod tests {
         assert_eq!(r.counters["rejected"], 1);
         assert_eq!(r.counters["completed"], 4);
         assert_eq!(r.counters["errors"], 0);
+        assert_eq!(r.counters["cancelled"], 0);
+        assert_eq!(r.counters["preemptions"], 0);
         assert_eq!(r.scalars["rejection_rate"], 0.2);
         assert_eq!(r.stats["response_s"].n, 4);
         assert!(r.stats["response_s"].p95.is_some());

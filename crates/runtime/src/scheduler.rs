@@ -6,13 +6,29 @@
 //! `slots_per_epoch` queries as one batch (so overlapping queries can share
 //! a collection tree), records per-query outcomes with queue-wait
 //! accounting, and steps the engine clock.
+//!
+//! Two driving modes share one service path:
+//!
+//! * **batch (v1)** — the caller submits everything up front and calls
+//!   [`MultiQueryRuntime::run_until_idle`]; the clock advances one epoch per
+//!   busy round and stands still while idle.
+//! * **streaming (v2)** — the caller hands an
+//!   [`ArrivalProcess`](crate::arrivals::ArrivalProcess) to
+//!   [`MultiQueryRuntime::step`], which walks a `dt`-wide window of
+//!   simulated time, interleaving arrivals (admitted through the ordinary
+//!   `submit` path), service rounds, and clock advancement. With every
+//!   arrival at t=0 and preemption off, the streaming loop reproduces the
+//!   batch loop bit-identically — the equivalence property test pins this.
 
 use crate::admission::{Admission, QueryId, QueryOpts, RejectReason};
+use crate::arrivals::ArrivalProcess;
 use crate::engine::{Attribution, BatchQuery, QueryEngine};
+use crate::handle::{QueryHandle, QueryStatus};
 use pg_sim::metrics::Samples;
 use pg_sim::report::Report;
 use pg_sim::{Duration, SimTime};
 use std::cmp::Ordering;
+use std::collections::HashSet;
 
 /// How the scheduler orders the queue when filling an epoch's slots.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -39,6 +55,23 @@ impl SchedPolicy {
 }
 
 /// Scheduler configuration.
+///
+/// Fields stay public (struct literals keep compiling), but in-repo code
+/// builds configs with [`RuntimeConfig::builder`]:
+///
+/// ```
+/// use pg_runtime::{RuntimeConfig, SchedPolicy};
+/// use pg_sim::Duration;
+///
+/// let cfg = RuntimeConfig::builder()
+///     .policy(SchedPolicy::Edf)
+///     .epoch(Duration::from_secs(60))
+///     .slots_per_epoch(4)
+///     .preemption(true)
+///     .build();
+/// assert_eq!(cfg.slots_per_epoch, 4);
+/// assert!(cfg.preemption);
+/// ```
 #[derive(Debug, Clone, Copy)]
 pub struct RuntimeConfig {
     /// Bounded admission-queue capacity (waiting queries).
@@ -56,6 +89,11 @@ pub struct RuntimeConfig {
     /// Advance the engine clock after each epoch. The single-query
     /// delegation plan disables this: `submit` must not move time.
     pub advance_clock: bool,
+    /// Deadline preemption: when a waiting query's slack goes negative —
+    /// the coming round is its last chance to meet its deadline — it jumps
+    /// the policy order (critical queries first, earliest deadline first
+    /// among them). Off by default: v1 semantics are pure policy order.
+    pub preemption: bool,
 }
 
 impl Default for RuntimeConfig {
@@ -67,11 +105,19 @@ impl Default for RuntimeConfig {
             policy: SchedPolicy::Fifo,
             energy_budget_j: None,
             advance_clock: true,
+            preemption: false,
         }
     }
 }
 
 impl RuntimeConfig {
+    /// Start a chainable builder from the defaults.
+    pub fn builder() -> RuntimeConfigBuilder {
+        RuntimeConfigBuilder {
+            cfg: RuntimeConfig::default(),
+        }
+    }
+
     /// The degenerate plan `PervasiveGrid::submit` delegates through: one
     /// slot, no energy gate, no clock movement — structurally identical to
     /// executing the query directly.
@@ -87,6 +133,61 @@ impl RuntimeConfig {
     }
 }
 
+/// Chainable constructor for [`RuntimeConfig`], mirroring `GridBuilder`.
+#[derive(Debug, Clone)]
+pub struct RuntimeConfigBuilder {
+    cfg: RuntimeConfig,
+}
+
+impl RuntimeConfigBuilder {
+    /// Bounded admission-queue capacity (waiting queries).
+    pub fn capacity(mut self, capacity: usize) -> Self {
+        self.cfg.capacity = capacity;
+        self
+    }
+
+    /// Epoch length: the clock advances this much per scheduling round.
+    pub fn epoch(mut self, epoch: Duration) -> Self {
+        self.cfg.epoch = epoch;
+        self
+    }
+
+    /// Queries serviced per epoch.
+    pub fn slots_per_epoch(mut self, slots: usize) -> Self {
+        self.cfg.slots_per_epoch = slots;
+        self
+    }
+
+    /// Queue ordering policy.
+    pub fn policy(mut self, policy: SchedPolicy) -> Self {
+        self.cfg.policy = policy;
+        self
+    }
+
+    /// Workload-wide energy budget, joules (enables the admission gate).
+    pub fn energy_budget_j(mut self, joules: f64) -> Self {
+        self.cfg.energy_budget_j = Some(joules);
+        self
+    }
+
+    /// Whether the engine clock advances after each busy epoch.
+    pub fn advance_clock(mut self, advance: bool) -> Self {
+        self.cfg.advance_clock = advance;
+        self
+    }
+
+    /// Enable or disable deadline preemption of deferred work.
+    pub fn preemption(mut self, preemption: bool) -> Self {
+        self.cfg.preemption = preemption;
+        self
+    }
+
+    /// Finish: the assembled configuration.
+    pub fn build(self) -> RuntimeConfig {
+        self.cfg
+    }
+}
+
 /// A query waiting in the admission queue.
 #[derive(Debug, Clone)]
 struct Pending {
@@ -95,14 +196,17 @@ struct Pending {
     submitted_at: SimTime,
     deadline_abs: Option<SimTime>,
     estimate_j: f64,
+    priority: u8,
 }
 
-/// Total order the scheduler drains the queue in. The id tiebreak makes
-/// every policy a strict order: outcomes are independent of submission
+/// Total order the scheduler drains the queue in: priority strata first
+/// (higher priority serviced first; the default 0 keeps v1 ordering
+/// untouched), the policy key within a stratum, and the id tiebreak last so
+/// every policy is a strict order — outcomes are independent of submission
 /// interleaving (the determinism property tests pin this down).
 fn policy_cmp(policy: SchedPolicy, a: &Pending, b: &Pending) -> Ordering {
     let tie = a.id.cmp(&b.id);
-    match policy {
+    b.priority.cmp(&a.priority).then(match policy {
         SchedPolicy::Fifo => tie,
         SchedPolicy::Edf => a
             .deadline_abs
@@ -110,7 +214,7 @@ fn policy_cmp(policy: SchedPolicy, a: &Pending, b: &Pending) -> Ordering {
             .cmp(&b.deadline_abs.unwrap_or(SimTime::MAX))
             .then(tie),
         SchedPolicy::EnergyFair => a.estimate_j.total_cmp(&b.estimate_j).then(tie),
-    }
+    })
 }
 
 /// What happened to one admitted query.
@@ -167,6 +271,11 @@ pub struct MultiQueryRuntime<E: QueryEngine> {
     outcomes: Vec<QueryOutcome<E::Response, E::Error>>,
     next_id: u64,
     completions: u64,
+    /// Where the next service round lands on the epoch grid; `None` until
+    /// the first round anchors the grid at the engine clock.
+    next_round_at: Option<SimTime>,
+    /// Ids cancelled by their callers before service.
+    cancelled_ids: HashSet<QueryId>,
     /// Energy reserved by admitted-but-unfinished queries, joules.
     committed_j: f64,
     /// Energy attributed to completed queries, joules.
@@ -177,6 +286,13 @@ pub struct MultiQueryRuntime<E: QueryEngine> {
     pub deferred: u64,
     /// Queries rejected at the door.
     pub rejected: u64,
+    /// Queries cancelled by their callers while still queued.
+    pub cancelled: u64,
+    /// Streamed arrivals delivered through [`MultiQueryRuntime::step`].
+    pub arrived: u64,
+    /// Critical queries that jumped the policy order into a round they
+    /// would not otherwise have made (only grows with preemption enabled).
+    pub preemptions: u64,
 }
 
 impl<E: QueryEngine> MultiQueryRuntime<E> {
@@ -189,11 +305,16 @@ impl<E: QueryEngine> MultiQueryRuntime<E> {
             outcomes: Vec::new(),
             next_id: 0,
             completions: 0,
+            next_round_at: None,
+            cancelled_ids: HashSet::new(),
             committed_j: 0.0,
             spent_j: 0.0,
             admitted: 0,
             deferred: 0,
             rejected: 0,
+            cancelled: 0,
+            arrived: 0,
+            preemptions: 0,
         }
     }
 
@@ -241,6 +362,7 @@ impl<E: QueryEngine> MultiQueryRuntime<E> {
                 reason: RejectReason::QueueFull {
                     capacity: self.cfg.capacity,
                 },
+                opts,
             };
         }
         // A deadline shorter than one epoch can never be met: the earliest
@@ -255,15 +377,27 @@ impl<E: QueryEngine> MultiQueryRuntime<E> {
                             deadline_s: d.as_secs_f64(),
                             epoch_s: self.cfg.epoch.as_secs_f64(),
                         },
+                        opts,
                     };
                 }
             }
         }
-        // Energy gate: committed estimates must fit both the workload
-        // budget and the batteries' remaining headroom.
+        // Per-query cap, then the workload gate: committed estimates must
+        // fit the caller's cap, the budget, and the batteries' headroom.
         let mut estimate_j = 0.0;
-        if let Some(budget) = self.cfg.energy_budget_j {
+        if opts.energy_cap_j.is_some() || self.cfg.energy_budget_j.is_some() {
             estimate_j = self.engine.estimate_energy_j(text).unwrap_or(0.0);
+        }
+        if let Some(cap_j) = opts.energy_cap_j {
+            if estimate_j > cap_j {
+                self.rejected += 1;
+                return Admission::Rejected {
+                    reason: RejectReason::EnergyCap { estimate_j, cap_j },
+                    opts,
+                };
+            }
+        }
+        if let Some(budget) = self.cfg.energy_budget_j {
             let headroom = (budget - self.spent_j).min(self.engine.available_energy_j());
             let available = headroom - self.committed_j;
             if estimate_j > available {
@@ -273,6 +407,7 @@ impl<E: QueryEngine> MultiQueryRuntime<E> {
                         estimate_j,
                         available_j: available.max(0.0),
                     },
+                    opts,
                 };
             }
             self.committed_j += estimate_j;
@@ -288,18 +423,77 @@ impl<E: QueryEngine> MultiQueryRuntime<E> {
             submitted_at: now,
             deadline_abs: opts.deadline.map(|d| now + d),
             estimate_j,
+            priority: opts.priority,
         });
 
         // Admitted when it lands within the next epoch's slots under the
         // current policy ordering; deferred behind the backlog otherwise.
+        let handle = QueryHandle::new(id);
         let rank = self.policy_rank(id);
         if rank < self.cfg.slots_per_epoch {
-            Admission::Admitted { id }
+            Admission::Admitted { handle }
         } else {
             self.deferred += 1;
             Admission::Deferred {
-                id,
+                handle,
                 queue_depth: self.waiting.len(),
+            }
+        }
+    }
+
+    /// What the runtime knows about a handle: queued (with its live rank),
+    /// completed (borrowing the outcome), cancelled, or unknown.
+    pub fn poll(&self, handle: QueryHandle) -> QueryStatus<'_, E::Response, E::Error> {
+        let id = handle.id();
+        if let Some(outcome) = self.outcomes.iter().find(|o| o.id == id) {
+            return QueryStatus::Completed(outcome);
+        }
+        if self.waiting.iter().any(|p| p.id == id) {
+            return QueryStatus::Queued {
+                rank: self.policy_rank(id),
+                depth: self.waiting.len(),
+            };
+        }
+        if self.cancelled_ids.contains(&id) {
+            return QueryStatus::Cancelled;
+        }
+        QueryStatus::Unknown
+    }
+
+    /// Withdraw a still-queued query: it leaves the queue, its committed
+    /// energy estimate is released, and subsequent polls report
+    /// [`QueryStatus::Cancelled`]. Returns `false` when the query is no
+    /// longer cancellable (already serviced, already cancelled, or never
+    /// admitted here).
+    pub fn cancel(&mut self, handle: QueryHandle) -> bool {
+        let id = handle.id();
+        let Some(pos) = self.waiting.iter().position(|p| p.id == id) else {
+            return false;
+        };
+        let p = self.waiting.remove(pos);
+        self.committed_j -= p.estimate_j;
+        self.cancelled_ids.insert(id);
+        self.cancelled += 1;
+        true
+    }
+
+    /// Tighten a queued query's deadline to `deadline` from now. Only ever
+    /// tightens: returns `false` (and changes nothing) when the query is
+    /// not queued or the new absolute deadline would be later than the
+    /// current one. A tightened deadline immediately feeds EDF ordering
+    /// and, with preemption enabled, can make the query critical for the
+    /// coming round.
+    pub fn tighten_deadline(&mut self, handle: QueryHandle, deadline: Duration) -> bool {
+        let id = handle.id();
+        let new_abs = self.engine.now() + deadline;
+        let Some(p) = self.waiting.iter_mut().find(|p| p.id == id) else {
+            return false;
+        };
+        match p.deadline_abs {
+            Some(current) if new_abs >= current => false,
+            _ => {
+                p.deadline_abs = Some(new_abs);
+                true
             }
         }
     }
@@ -312,20 +506,62 @@ impl<E: QueryEngine> MultiQueryRuntime<E> {
         order.iter().position(|p| p.id == id).unwrap_or(usize::MAX)
     }
 
-    /// Run one epoch: service up to `slots_per_epoch` queries (policy
-    /// order) as one engine batch, then advance the clock. Returns how many
-    /// queries completed. An empty queue is a no-op (time does not advance
-    /// while idle).
-    pub fn run_epoch(&mut self) -> usize {
-        if self.waiting.is_empty() {
-            return 0;
+    /// A waiting query is *critical* at a round starting `round_start`:
+    /// the round after this one starts past its deadline, so this round is
+    /// its last chance to respond in time.
+    fn is_critical(&self, p: &Pending, round_start: SimTime) -> bool {
+        match p.deadline_abs {
+            Some(d) => d < round_start + self.cfg.epoch,
+            None => false,
         }
+    }
+
+    /// Service one round at the current engine clock: order the queue
+    /// (policy order; critical queries first when preemption is on), hand
+    /// the engine up to `slots_per_epoch` queries as one batch, and record
+    /// outcomes. Does not move the clock. Returns queries completed.
+    fn service_round(&mut self) -> usize {
         let policy = self.cfg.policy;
-        self.waiting.sort_by(|a, b| policy_cmp(policy, a, b));
+        let epoch_start = self.engine.now();
+        if self.cfg.preemption {
+            // Count queue jumps before re-sorting: a critical query that
+            // sat beyond the slot cutoff under pure policy order is about
+            // to preempt deferred work.
+            let k = self.cfg.slots_per_epoch.min(self.waiting.len());
+            let mut by_policy: Vec<QueryId> = {
+                let mut order: Vec<&Pending> = self.waiting.iter().collect();
+                order.sort_by(|a, b| policy_cmp(policy, a, b));
+                order.iter().map(|p| p.id).collect()
+            };
+            by_policy.truncate(k);
+            let epoch = self.cfg.epoch;
+            self.waiting.sort_by(|a, b| {
+                let crit_a = a.deadline_abs.is_some_and(|d| d < epoch_start + epoch);
+                let crit_b = b.deadline_abs.is_some_and(|d| d < epoch_start + epoch);
+                crit_b
+                    .cmp(&crit_a)
+                    .then_with(|| {
+                        if crit_a && crit_b {
+                            a.deadline_abs.cmp(&b.deadline_abs).then(a.id.cmp(&b.id))
+                        } else {
+                            Ordering::Equal
+                        }
+                    })
+                    .then_with(|| policy_cmp(policy, a, b))
+            });
+            let jumps = self
+                .waiting
+                .iter()
+                .take(k)
+                .filter(|p| self.is_critical(p, epoch_start) && !by_policy.contains(&p.id))
+                .count() as u64;
+            self.preemptions += jumps;
+        } else {
+            self.waiting.sort_by(|a, b| policy_cmp(policy, a, b));
+        }
         let k = self.cfg.slots_per_epoch.min(self.waiting.len());
         let batch: Vec<Pending> = self.waiting.drain(..k).collect();
 
-        let epoch_start = self.engine.now();
         let requests: Vec<BatchQuery<'_>> = batch
             .iter()
             .map(|p| BatchQuery {
@@ -370,6 +606,19 @@ impl<E: QueryEngine> MultiQueryRuntime<E> {
             self.completions += 1;
             completed += 1;
         }
+        self.next_round_at = Some(epoch_start + self.cfg.epoch);
+        completed
+    }
+
+    /// Run one epoch: service up to `slots_per_epoch` queries (policy
+    /// order) as one engine batch, then advance the clock. Returns how many
+    /// queries completed. An empty queue is a no-op (time does not advance
+    /// while idle).
+    pub fn run_epoch(&mut self) -> usize {
+        if self.waiting.is_empty() {
+            return 0;
+        }
+        let completed = self.service_round();
         if self.cfg.advance_clock {
             self.engine.advance(self.cfg.epoch);
         }
@@ -387,6 +636,96 @@ impl<E: QueryEngine> MultiQueryRuntime<E> {
         epochs
     }
 
+    fn advance_engine_to(&mut self, t: SimTime) {
+        let now = self.engine.now();
+        if t > now {
+            self.engine.advance(t.since(now));
+        }
+    }
+
+    /// Advance simulated time by `dt`, interleaving streamed arrivals with
+    /// service rounds — the open-loop event-driven mode.
+    ///
+    /// The window `[now, now + dt)` is walked event by event: each arrival
+    /// due inside the window is delivered (the clock advances to its
+    /// instant and it goes through the ordinary [`submit`] path — it can be
+    /// admitted, deferred, or rejected at the door), and each service round
+    /// due inside the window runs at its slot on the epoch grid (anchored
+    /// at the first round; idle time does not accumulate rounds — a round
+    /// fires as soon as work is waiting). Arrivals win ties with a
+    /// coincident round, so a query arriving exactly at a round boundary
+    /// makes that round. The clock always ends at `now + dt`, busy or idle:
+    /// offered load never slows down because the grid is busy.
+    ///
+    /// Returns the number of queries completed during the window.
+    ///
+    /// Unlike [`run_epoch`], `step` drives the engine clock itself
+    /// (ignoring `advance_clock` is the point: streamed arrivals need real
+    /// timestamps).
+    ///
+    /// [`submit`]: MultiQueryRuntime::submit
+    /// [`run_epoch`]: MultiQueryRuntime::run_epoch
+    pub fn step<A>(&mut self, dt: Duration, arrivals: &mut A) -> usize
+    where
+        A: ArrivalProcess + ?Sized,
+    {
+        let window_end = self.engine.now() + dt;
+        let mut completed = 0usize;
+        loop {
+            let next_arrival = arrivals.peek().filter(|&t| t < window_end);
+            let next_round = if self.waiting.is_empty() {
+                None
+            } else {
+                // The grid anchors at the first round; a round never fires
+                // before the clock (idle periods collapse).
+                let due = self
+                    .next_round_at
+                    .unwrap_or_else(|| self.engine.now())
+                    .max(self.engine.now());
+                (due < window_end).then_some(due)
+            };
+            // Arrivals win ties so a query landing exactly on a round
+            // boundary joins that round, matching the batch path where
+            // submits precede `run_epoch`.
+            let take_arrival = match (next_arrival, next_round) {
+                (None, None) => break,
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (Some(at), Some(round)) => at <= round,
+            };
+            if take_arrival {
+                let Some(arrival) = arrivals.next_arrival() else {
+                    break;
+                };
+                self.advance_engine_to(arrival.at);
+                self.arrived += 1;
+                let _ = self.submit(&arrival.text, arrival.opts);
+            } else if let Some(round) = next_round {
+                self.advance_engine_to(round);
+                completed += self.service_round();
+            }
+        }
+        self.advance_engine_to(window_end);
+        completed
+    }
+
+    /// Drive [`step`] until the arrival stream is exhausted *and* the queue
+    /// drains, stepping one epoch at a time (bounded by `max_epochs`).
+    /// Returns the number of steps executed.
+    ///
+    /// [`step`]: MultiQueryRuntime::step
+    pub fn run_stream<A>(&mut self, arrivals: &mut A, max_epochs: usize) -> usize
+    where
+        A: ArrivalProcess + ?Sized,
+    {
+        let mut steps = 0;
+        while (!arrivals.is_exhausted() || !self.waiting.is_empty()) && steps < max_epochs {
+            self.step(self.cfg.epoch, arrivals);
+            steps += 1;
+        }
+        steps
+    }
+
     /// Snapshot the workload into a `pg-report/v1` [`Report`]: admission
     /// counters, energy totals, and per-query response-time percentiles.
     pub fn report(&self, name: impl Into<String>) -> Report {
@@ -394,6 +733,8 @@ impl<E: QueryEngine> MultiQueryRuntime<E> {
         r.set_counter("admitted", self.admitted);
         r.set_counter("deferred", self.deferred);
         r.set_counter("rejected", self.rejected);
+        r.set_counter("cancelled", self.cancelled);
+        r.set_counter("preemptions", self.preemptions);
         r.set_counter("completed", self.completions);
         let errors = self.outcomes.iter().filter(|o| o.response.is_err()).count() as u64;
         r.set_counter("errors", errors);

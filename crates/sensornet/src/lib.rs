@@ -51,4 +51,4 @@ pub use collect::CollectionReport;
 pub use field::TemperatureField;
 pub use network::SensorNetwork;
 pub use region::Region;
-pub use shared::{SharedQuery, SharedReport};
+pub use shared::{SharedQuery, SharedReport, SharedTreeSession, TreeMaintenance};

@@ -27,7 +27,7 @@ use crate::aggregate::{AggFn, Partial, ValueFilter, PARTIAL_WIRE_BYTES};
 use crate::collect::{try_hop, Ledger, MERGE_OPS};
 use crate::field::TemperatureField;
 use crate::network::SensorNetwork;
-use pg_net::topology::NodeId;
+use pg_net::topology::{NodeId, RoutingTree};
 use pg_sim::{Duration, SimTime};
 use rand::Rng;
 use std::collections::BTreeMap;
@@ -37,6 +37,12 @@ pub const MAX_SHARED_QUERIES: usize = 64;
 
 /// Wire size of one stratum key (the query-membership bitmask), bytes.
 pub const STRATUM_KEY_WIRE_BYTES: u64 = 8;
+
+/// Control-plane beacon each node broadcasts when a collection tree is
+/// (re)built, bytes. Tree construction is a neighbourhood flood: parent
+/// selection beacons at full communication range, once per operational
+/// sensor.
+pub const TREE_BEACON_BYTES: u64 = 16;
 
 /// One query's slice of a shared collection epoch.
 #[derive(Debug, Clone)]
@@ -104,6 +110,22 @@ pub struct SharedReport {
     pub strata: usize,
     /// Packets sent up the tree (first attempts, not retries).
     pub packets: u64,
+    /// Control-plane bytes spent on tree construction beacons this epoch
+    /// (zero unless a [`SharedTreeSession`] rebuilt its tree).
+    pub control_bytes: u64,
+    /// Energy spent on tree construction beacons this epoch, joules
+    /// (control plane; *not* included in `energy_j`, which stays the
+    /// data-plane collection cost).
+    pub control_energy_j: f64,
+    /// The collection tree was (re)built for this epoch.
+    pub tree_rebuilt: bool,
+}
+
+impl SharedReport {
+    /// All bytes this epoch put on the air: data plane plus control plane.
+    pub fn wire_bytes(&self) -> u64 {
+        self.total_bytes + self.control_bytes
+    }
 }
 
 /// Size on the radio of one packet carrying `entries` strata.
@@ -114,11 +136,29 @@ fn packet_bytes(entries: usize) -> u64 {
 /// Execute one shared collection epoch for `queries` over the BFS spanning
 /// tree rooted at the base station.
 ///
+/// The tree is built implicitly and for free — the v1 semantics every
+/// baseline pins. Sessions that model tree lifetime (construction beacons,
+/// cross-epoch reuse, invalidation on node death) go through
+/// [`SharedTreeSession`] instead.
+///
 /// # Panics
 /// Panics when more than [`MAX_SHARED_QUERIES`] queries are passed; callers
 /// batch larger workloads into multiple epochs.
 pub fn shared_tree_collection<R: Rng>(
     net: &mut SensorNetwork,
+    queries: &[SharedQuery],
+    field: &TemperatureField,
+    t: SimTime,
+    rng: &mut R,
+) -> SharedReport {
+    let tree = net.topology().spanning_tree(net.base());
+    collect_over_tree(net, &tree, queries, field, t, rng)
+}
+
+/// The shared collection epoch proper, over a caller-provided tree.
+fn collect_over_tree<R: Rng>(
+    net: &mut SensorNetwork,
+    tree: &RoutingTree,
     queries: &[SharedQuery],
     field: &TemperatureField,
     t: SimTime,
@@ -131,7 +171,6 @@ pub fn shared_tree_collection<R: Rng>(
     );
     let ledger = Ledger::open(net);
     let base = net.base();
-    let tree = net.topology().spanning_tree(base);
     let n = net.len();
     let nq = queries.len();
 
@@ -313,6 +352,165 @@ pub fn shared_tree_collection<R: Rng>(
         retries,
         strata: seen_masks.len(),
         packets,
+        control_bytes: 0,
+        control_energy_j: 0.0,
+        tree_rebuilt: false,
+    }
+}
+
+/// How a [`SharedTreeSession`] maintains its collection tree across epochs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TreeMaintenance {
+    /// v1 semantics: the tree materializes fresh each epoch at no modelled
+    /// cost. Every committed baseline pins this mode.
+    #[default]
+    Free,
+    /// Rebuild the tree every epoch, charging each operational sensor one
+    /// [`TREE_BEACON_BYTES`] construction beacon per epoch — what a
+    /// recurring query pays when it treats every epoch as standalone.
+    PerEpoch,
+    /// Build once and reuse the tree across epochs; rebuild (and pay the
+    /// beacons again) only when a sensor that was alive at build time has
+    /// since died. What a Continuous query should do.
+    Persistent,
+}
+
+impl TreeMaintenance {
+    /// Canonical lower-case name (report keys, CLI).
+    pub fn name(&self) -> &'static str {
+        match self {
+            TreeMaintenance::Free => "free",
+            TreeMaintenance::PerEpoch => "per_epoch",
+            TreeMaintenance::Persistent => "persistent",
+        }
+    }
+}
+
+/// A multi-epoch shared-collection session that owns the collection tree's
+/// lifetime.
+///
+/// The paper's Continuous queries re-run every epoch; rebuilding the
+/// aggregation tree for each of them wastes control-plane traffic the same
+/// way per-query trees waste data-plane traffic. A session holds the tree
+/// across [`collect`](SharedTreeSession::collect) calls according to its
+/// [`TreeMaintenance`] mode, charges construction beacons when the tree is
+/// (re)built, and invalidates the cached tree when a node that carried it
+/// dies.
+///
+/// The topology itself is static, so a rebuilt tree has the same shape —
+/// what the modes change is *when the control-plane cost is paid*, which is
+/// exactly the persistent-vs-rebuild difference the T17 experiment
+/// measures. Dead nodes degrade delivery identically in every mode (their
+/// subtree contributions are dropped in-network).
+#[derive(Debug)]
+pub struct SharedTreeSession {
+    maintenance: TreeMaintenance,
+    tree: Option<RoutingTree>,
+    /// Sensors operational when the cached tree was built; any of them
+    /// dying invalidates a persistent tree.
+    alive_at_build: Vec<NodeId>,
+    /// Times the tree has been (re)built.
+    pub rebuilds: u64,
+    /// Construction beacon bytes charged across the session's lifetime.
+    pub control_bytes_total: u64,
+}
+
+impl SharedTreeSession {
+    /// A session with no tree yet, under the given maintenance mode.
+    pub fn new(maintenance: TreeMaintenance) -> Self {
+        SharedTreeSession {
+            maintenance,
+            tree: None,
+            alive_at_build: Vec::new(),
+            rebuilds: 0,
+            control_bytes_total: 0,
+        }
+    }
+
+    /// The session's maintenance mode.
+    pub fn maintenance(&self) -> TreeMaintenance {
+        self.maintenance
+    }
+
+    /// Build the spanning tree and charge every operational sensor one
+    /// construction beacon (full-range broadcast; the mains-powered base
+    /// is exempt). Returns the tree plus `(bytes, joules)` charged.
+    fn build_tree(&mut self, net: &mut SensorNetwork, t: SimTime) -> (RoutingTree, u64, f64) {
+        let base = net.base();
+        let tree = net.topology().spanning_tree(base);
+        let range = net.topology().range();
+        let beacon_j = net.radio().tx_energy(TREE_BEACON_BYTES * 8, range);
+        let nodes: Vec<NodeId> = net
+            .topology()
+            .nodes()
+            .filter(|&id| id != base && net.is_operational(id, t))
+            .collect();
+        let mut bytes = 0u64;
+        let mut energy_j = 0.0;
+        for &id in &nodes {
+            if net.drain(id, beacon_j) {
+                bytes += TREE_BEACON_BYTES;
+                energy_j += beacon_j;
+            }
+        }
+        self.alive_at_build = nodes;
+        self.rebuilds += 1;
+        self.control_bytes_total += bytes;
+        (tree, bytes, energy_j)
+    }
+
+    /// A persistent tree is stale once any sensor that carried it died.
+    fn tree_is_stale(&self, net: &SensorNetwork, t: SimTime) -> bool {
+        self.alive_at_build
+            .iter()
+            .any(|&id| !net.is_operational(id, t))
+    }
+
+    /// Run one shared collection epoch under the session's tree-lifetime
+    /// policy. Control-plane charges (if the tree was built this epoch)
+    /// land in the report's `control_bytes`/`control_energy_j`/
+    /// `tree_rebuilt` fields; the data-plane fields match
+    /// [`shared_tree_collection`] exactly.
+    pub fn collect<R: Rng>(
+        &mut self,
+        net: &mut SensorNetwork,
+        queries: &[SharedQuery],
+        field: &TemperatureField,
+        t: SimTime,
+        rng: &mut R,
+    ) -> SharedReport {
+        match self.maintenance {
+            TreeMaintenance::Free => shared_tree_collection(net, queries, field, t, rng),
+            TreeMaintenance::PerEpoch => {
+                let (tree, control_bytes, control_energy_j) = self.build_tree(net, t);
+                let mut report = collect_over_tree(net, &tree, queries, field, t, rng);
+                report.control_bytes = control_bytes;
+                report.control_energy_j = control_energy_j;
+                report.tree_rebuilt = true;
+                report
+            }
+            TreeMaintenance::Persistent => {
+                let mut control_bytes = 0;
+                let mut control_energy_j = 0.0;
+                let mut rebuilt = false;
+                if self.tree.is_none() || self.tree_is_stale(net, t) {
+                    let (tree, bytes, energy_j) = self.build_tree(net, t);
+                    self.tree = Some(tree);
+                    control_bytes = bytes;
+                    control_energy_j = energy_j;
+                    rebuilt = true;
+                }
+                let tree = self.tree.clone().unwrap_or_else(|| {
+                    // Unreachable: the branch above always installs a tree.
+                    net.topology().spanning_tree(net.base())
+                });
+                let mut report = collect_over_tree(net, &tree, queries, field, t, rng);
+                report.control_bytes = control_bytes;
+                report.control_energy_j = control_energy_j;
+                report.tree_rebuilt = rebuilt;
+                report
+            }
+        }
     }
 }
 
@@ -526,6 +724,111 @@ mod tests {
             )
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn free_session_is_bit_identical_to_v1() {
+        let all = all_members(&lossless_net(4));
+        let run_v1 = || {
+            let mut net = lossless_net(4);
+            let mut rng = StdRng::seed_from_u64(8);
+            shared_tree_collection(
+                &mut net,
+                &[avg_query(all.clone())],
+                &field(),
+                SimTime::ZERO,
+                &mut rng,
+            )
+        };
+        let run_session = || {
+            let mut net = lossless_net(4);
+            let mut rng = StdRng::seed_from_u64(8);
+            let mut session = SharedTreeSession::new(TreeMaintenance::Free);
+            session.collect(
+                &mut net,
+                &[avg_query(all.clone())],
+                &field(),
+                SimTime::ZERO,
+                &mut rng,
+            )
+        };
+        let (a, b) = (run_v1(), run_session());
+        assert_eq!(a.per_query[0].value, b.per_query[0].value);
+        assert_eq!(a.total_bytes, b.total_bytes);
+        assert_eq!(a.energy_j.to_bits(), b.energy_j.to_bits());
+        assert_eq!(b.control_bytes, 0);
+        assert!(!b.tree_rebuilt);
+    }
+
+    #[test]
+    fn persistent_tree_amortizes_control_bytes_across_epochs() {
+        const EPOCHS: usize = 6;
+        let all = all_members(&lossless_net(4));
+        let run = |mode: TreeMaintenance| {
+            let mut net = lossless_net(4);
+            let mut rng = StdRng::seed_from_u64(9);
+            let mut session = SharedTreeSession::new(mode);
+            let mut control = 0u64;
+            let mut data = 0u64;
+            for e in 0..EPOCHS {
+                let t = SimTime::from_secs(30 * e as u64);
+                let r = session.collect(&mut net, &[avg_query(all.clone())], &field(), t, &mut rng);
+                control += r.control_bytes;
+                data += r.total_bytes;
+            }
+            (control, data, session.rebuilds)
+        };
+        let (per_epoch_control, per_epoch_data, per_epoch_rebuilds) =
+            run(TreeMaintenance::PerEpoch);
+        let (persistent_control, persistent_data, persistent_rebuilds) =
+            run(TreeMaintenance::Persistent);
+        assert_eq!(per_epoch_rebuilds, EPOCHS as u64);
+        assert_eq!(persistent_rebuilds, 1, "no deaths: one build serves all");
+        assert_eq!(persistent_control * EPOCHS as u64, per_epoch_control);
+        // Static topology: the data plane is identical, only control differs.
+        assert_eq!(per_epoch_data, persistent_data);
+        assert!(persistent_control > 0);
+    }
+
+    #[test]
+    fn node_death_invalidates_a_persistent_tree() {
+        let all = all_members(&lossless_net(4));
+        let mut net = lossless_net(4);
+        let mut rng = StdRng::seed_from_u64(10);
+        let mut session = SharedTreeSession::new(TreeMaintenance::Persistent);
+        let first = session.collect(
+            &mut net,
+            &[avg_query(all.clone())],
+            &field(),
+            SimTime::ZERO,
+            &mut rng,
+        );
+        assert!(first.tree_rebuilt);
+        let steady = session.collect(
+            &mut net,
+            &[avg_query(all.clone())],
+            &field(),
+            SimTime::from_secs(30),
+            &mut rng,
+        );
+        assert!(!steady.tree_rebuilt, "healthy tree persists");
+        assert_eq!(steady.control_bytes, 0);
+        // Exhaust one on-tree sensor's battery: the cached tree is stale.
+        let victim = all[2];
+        net.drain(victim, 1e9);
+        assert!(!net.is_operational(victim, SimTime::from_secs(60)));
+        let after = session.collect(
+            &mut net,
+            &[avg_query(all.clone())],
+            &field(),
+            SimTime::from_secs(60),
+            &mut rng,
+        );
+        assert!(after.tree_rebuilt, "death must trigger a rebuild");
+        assert!(after.control_bytes > 0);
+        assert_eq!(session.rebuilds, 2);
+        // The dead node no longer beacons (or answers).
+        assert!(after.control_bytes < first.control_bytes);
     }
 
     #[test]

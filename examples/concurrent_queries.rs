@@ -19,10 +19,8 @@ fn main() {
         .region("east", Region::room(10.0, 0.0, 30.0, 30.0))
         .build();
 
-    let cfg = RuntimeConfig {
-        policy: SchedPolicy::Edf, // earliest deadline first
-        ..RuntimeConfig::default()
-    };
+    // Earliest deadline first.
+    let cfg = RuntimeConfig::builder().policy(SchedPolicy::Edf).build();
     let mut rt = GridRuntime::new(cfg, pg);
 
     // Sixteen overlapping queries with staggered deadlines, all in flight

@@ -22,7 +22,9 @@
 //! * [`partition`] — dynamic partition of computation (solution models,
 //!   estimators, adaptive k-NN decision maker).
 //! * [`runtime`] — multi-query scheduler (admission control, epoch
-//!   scheduling policies, per-query attribution) over any [`runtime::QueryEngine`].
+//!   scheduling policies, per-query attribution, open-loop streaming
+//!   arrivals with handle-based poll/cancel) over any
+//!   [`runtime::QueryEngine`].
 //! * [`core`] — the runtime tying it all together, plus the Figure-1
 //!   fire scenario.
 //!
@@ -38,6 +40,14 @@
 //! ```
 
 #![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
+// The streaming submission surface, re-exported at the top level so
+// downstream code can drive open-loop workloads without digging through
+// the crate tree.
+pub use pg_core::{SharedTreeSession, TreeMaintenance};
+pub use pg_runtime::{
+    Arrival, ArrivalProcess, PoissonArrivals, QueryHandle, QueryStatus, TraceArrivals,
+};
 
 pub use pg_agent as agent;
 pub use pg_compose as compose;
