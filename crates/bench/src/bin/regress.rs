@@ -67,9 +67,12 @@ fn main() -> ExitCode {
         Ok(entries) => entries
             .filter_map(|e| e.ok().map(|e| e.path()))
             .filter(|p| {
+                // Experiment baselines only: BENCH_micro.json (criterion
+                // wall-clock medians) is gated by the `microbench` binary
+                // with a one-sided tolerance instead.
                 p.file_name()
                     .and_then(|n| n.to_str())
-                    .is_some_and(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+                    .is_some_and(|n| n.starts_with("BENCH_exp_") && n.ends_with(".json"))
             })
             .collect(),
         Err(e) => {
@@ -80,7 +83,7 @@ fn main() -> ExitCode {
     baseline_files.sort();
     if baseline_files.is_empty() {
         eprintln!(
-            "regress: no BENCH_*.json baselines in {} — nothing to gate",
+            "regress: no BENCH_exp_*.json baselines in {} — nothing to gate",
             baselines.display()
         );
         return ExitCode::FAILURE;

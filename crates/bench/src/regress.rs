@@ -24,6 +24,11 @@ pub struct Tolerances {
     /// Values with magnitude below this floor are compared absolutely
     /// (relative error is meaningless near zero).
     pub abs_floor: f64,
+    /// When set, only increases over the baseline count as drift — the
+    /// gate for wall-clock metrics, where getting faster is never a
+    /// regression. Deterministic simulation metrics keep the default
+    /// two-sided comparison.
+    pub one_sided: bool,
 }
 
 impl Default for Tolerances {
@@ -33,6 +38,7 @@ impl Default for Tolerances {
             overrides: Vec::new(),
             suffix_overrides: Vec::new(),
             abs_floor: 1e-12,
+            one_sided: false,
         }
     }
 }
@@ -134,7 +140,12 @@ pub fn compare(baseline: &Report, fresh: &Report, tol: &Tolerances) -> Compariso
         };
         let rel = tol.rel_for(&path);
         let denom = base_value.abs().max(tol.abs_floor);
-        let rel_err = (fresh_value - base_value).abs() / denom;
+        let err = if tol.one_sided {
+            (fresh_value - base_value).max(0.0)
+        } else {
+            (fresh_value - base_value).abs()
+        };
+        let rel_err = err / denom;
         if rel_err > rel {
             cmp.violations.push(format!(
                 "drift: {path}: baseline {base_value} -> fresh {fresh_value} \
@@ -266,6 +277,32 @@ mod tests {
         let cmp = compare(&base, &fresh, &Tolerances::default());
         assert!(!cmp.ok());
         assert!(cmp.violations[0].contains("mode mismatch"));
+    }
+
+    #[test]
+    fn one_sided_passes_improvements_and_fails_regressions() {
+        let base = report("e", "bench", &[("jacobi_ns", 1000.0)]);
+        let tol = Tolerances {
+            default_rel: 0.25,
+            one_sided: true,
+            ..Tolerances::default()
+        };
+        // 40% faster: fine under one-sided, would drift two-sided.
+        let faster = report("e", "bench", &[("jacobi_ns", 600.0)]);
+        assert!(compare(&base, &faster, &tol).ok());
+        let two_sided = Tolerances {
+            default_rel: 0.25,
+            ..Tolerances::default()
+        };
+        assert!(!compare(&base, &faster, &two_sided).ok());
+        // 20% slower: inside the 25% band.
+        let slower_ok = report("e", "bench", &[("jacobi_ns", 1200.0)]);
+        assert!(compare(&base, &slower_ok, &tol).ok());
+        // 2x slower: drift.
+        let slower = report("e", "bench", &[("jacobi_ns", 2000.0)]);
+        let cmp = compare(&base, &slower, &tol);
+        assert!(!cmp.ok());
+        assert_eq!(cmp.drifts[0].path, "scalars.jacobi_ns");
     }
 
     #[test]

@@ -16,6 +16,10 @@ pub struct ClassId(pub u32);
 struct ClassInfo {
     name: String,
     parents: Vec<ClassId>,
+    /// Reverse edges, maintained by `add_class`: classes listing this one
+    /// as a parent. Lets the matcher walk *down* the DAG (descendants)
+    /// without scanning every class.
+    children: Vec<ClassId>,
 }
 
 /// A class DAG.
@@ -51,7 +55,11 @@ impl Ontology {
         self.classes.push(ClassInfo {
             name: name.to_string(),
             parents: parents.to_vec(),
+            children: Vec::new(),
         });
+        for p in parents {
+            self.classes[p.0 as usize].children.push(id);
+        }
         self.by_name.insert(name.to_string(), id);
         id
     }
@@ -103,6 +111,49 @@ impl Ontology {
     /// Does `ancestor` subsume `descendant` (including equality)?
     pub fn subsumes(&self, ancestor: ClassId, descendant: ClassId) -> bool {
         self.up_distance(descendant, ancestor).is_some()
+    }
+
+    /// Every class subsumed by `c` (specializations), `c` included,
+    /// ascending by id.
+    pub fn descendants(&self, c: ClassId) -> Vec<ClassId> {
+        self.closure(c, |info| &info.children)
+    }
+
+    /// Every class subsuming `c` (generalizations), `c` included,
+    /// ascending by id.
+    pub fn ancestors(&self, c: ClassId) -> Vec<ClassId> {
+        self.closure(c, |info| &info.parents)
+    }
+
+    /// Classes whose services can match a request for `c` at all — the
+    /// union of `c`'s descendants (Exact/Subsumed grades) and ancestors
+    /// (PlugIn grade), ascending by id and deduplicated. This is the
+    /// candidate set an indexed matcher scans instead of the full registry.
+    pub fn match_candidates(&self, c: ClassId) -> Vec<ClassId> {
+        let mut all = self.descendants(c);
+        all.extend(self.ancestors(c));
+        all.sort_unstable();
+        all.dedup();
+        all
+    }
+
+    /// Reachable set from `c` along `edges`, `c` included, ascending by id.
+    fn closure(&self, c: ClassId, edges: impl Fn(&ClassInfo) -> &Vec<ClassId>) -> Vec<ClassId> {
+        let mut seen = vec![false; self.classes.len()];
+        seen[c.0 as usize] = true;
+        let mut q = VecDeque::from([c]);
+        let mut out = vec![c];
+        while let Some(u) = q.pop_front() {
+            for &v in edges(&self.classes[u.0 as usize]) {
+                if !seen[v.0 as usize] {
+                    seen[v.0 as usize] = true;
+                    out.push(v);
+                    q.push_back(v);
+                }
+            }
+        }
+        out.sort_unstable();
+        out
     }
 
     /// The standard pervasive-grid ontology used by examples and tests:
@@ -196,6 +247,41 @@ mod tests {
         assert!(o.class("NoSuchService").is_none());
         let id = o.class("MapService").unwrap();
         assert_eq!(o.name(id), "MapService");
+    }
+
+    #[test]
+    fn descendants_and_ancestors_walk_the_dag() {
+        let o = Ontology::pervasive_grid();
+        let sensor = o.class("SensorService").unwrap();
+        let temp = o.class("TemperatureSensor").unwrap();
+        let service = o.class("Service").unwrap();
+
+        let down = o.descendants(sensor);
+        assert!(down.contains(&sensor) && down.contains(&temp));
+        assert!(!down.contains(&service));
+        let up = o.ancestors(temp);
+        assert_eq!(
+            up,
+            vec![service, sensor, o.class("EnvironmentSensor").unwrap(), temp]
+        );
+
+        // The candidate set is exactly the classes class_score accepts.
+        let candidates = o.match_candidates(sensor);
+        for c in (0..o.len() as u32).map(ClassId) {
+            let matchable = o.subsumes(sensor, c) || o.subsumes(c, sensor);
+            assert_eq!(candidates.contains(&c), matchable, "class {c:?}");
+        }
+    }
+
+    #[test]
+    fn multiple_inheritance_closure_dedups() {
+        let mut o = Ontology::new();
+        let a = o.add_class("A", &[]);
+        let b = o.add_class("B", &[a]);
+        let c = o.add_class("C", &[a]);
+        let d = o.add_class("D", &[b, c]);
+        assert_eq!(o.descendants(a), vec![a, b, c, d]);
+        assert_eq!(o.ancestors(d), vec![a, b, c, d]);
     }
 
     #[test]

@@ -6,7 +6,7 @@
 
 use crate::description::{ServiceDescription, ServiceRequest};
 use crate::matcher::{self, Match};
-use crate::ontology::Ontology;
+use crate::ontology::{ClassId, Ontology};
 use pg_sim::SimTime;
 use std::collections::BTreeMap;
 
@@ -26,6 +26,11 @@ pub struct ServiceId(pub u64);
 pub struct Registry {
     services: BTreeMap<ServiceId, ServiceDescription>,
     leases: BTreeMap<ServiceId, SimTime>,
+    /// Class index: ids of live registrations advertising each class, kept
+    /// ascending. Queries scan only the buckets of classes that can match
+    /// the requested class (its descendants and ancestors) instead of the
+    /// whole registry. `BTreeMap` keeps iteration deterministic.
+    by_class: BTreeMap<ClassId, Vec<ServiceId>>,
     next: u64,
 }
 
@@ -48,8 +53,23 @@ impl Registry {
     pub fn register(&mut self, desc: ServiceDescription) -> ServiceId {
         let id = ServiceId(self.next);
         self.next += 1;
+        // Ids are handed out monotonically, so pushing keeps the bucket
+        // ascending.
+        self.by_class.entry(desc.class).or_default().push(id);
         self.services.insert(id, desc);
         id
+    }
+
+    /// Drop `id` from its class bucket.
+    fn unindex(&mut self, id: ServiceId, class: ClassId) {
+        if let Some(bucket) = self.by_class.get_mut(&class) {
+            if let Ok(pos) = bucket.binary_search(&id) {
+                bucket.remove(pos);
+            }
+            if bucket.is_empty() {
+                self.by_class.remove(&class);
+            }
+        }
     }
 
     /// Register with a lease expiring at `until`; absent renewal, the
@@ -89,7 +109,9 @@ impl Registry {
             .map(|(&id, _)| id)
             .collect();
         for id in &dead {
-            self.services.remove(id);
+            if let Some(desc) = self.services.remove(id) {
+                self.unindex(*id, desc.class);
+            }
             self.leases.remove(id);
         }
         dead.len()
@@ -97,7 +119,9 @@ impl Registry {
 
     /// Deregister; returns the description if it was present.
     pub fn deregister(&mut self, id: ServiceId) -> Option<ServiceDescription> {
-        self.services.remove(&id)
+        let desc = self.services.remove(&id)?;
+        self.unindex(id, desc.class);
+        Some(desc)
     }
 
     /// Number of live services.
@@ -116,7 +140,9 @@ impl Registry {
     }
 
     /// Mutably borrow a registered description (services update their own
-    /// advertisements, e.g. queue length).
+    /// advertisements, e.g. queue length). The advertised *class* must not
+    /// be changed through this handle — the registry indexes by class;
+    /// re-register to change class.
     pub fn get_mut(&mut self, id: ServiceId) -> Option<&mut ServiceDescription> {
         self.services.get_mut(&id)
     }
@@ -132,9 +158,61 @@ impl Registry {
         self.query_at(onto, request, SimTime::ZERO)
     }
 
+    /// Services advertising a class that can match a request for `class`
+    /// (any descendant or ancestor), ascending by id. This is the candidate
+    /// set [`Registry::query_at`] ranks — its length against
+    /// [`Registry::len`] is the index's selectivity.
+    pub fn candidates(&self, onto: &Ontology, class: ClassId) -> Vec<ServiceId> {
+        let mut ids: Vec<ServiceId> = Vec::new();
+        for c in onto.match_candidates(class) {
+            if let Some(bucket) = self.by_class.get(&c) {
+                ids.extend_from_slice(bucket);
+            }
+        }
+        // Buckets are each ascending; the concatenation is not. Restore
+        // ascending id order so ranking tie-breaks exactly like a linear
+        // scan of the registry.
+        ids.sort_unstable();
+        ids
+    }
+
     /// Run the semantic matcher over registrations whose lease is alive at
     /// `now`; hits come back ranked.
+    ///
+    /// Only the class-index candidate buckets are scanned — services whose
+    /// class is neither a descendant nor an ancestor of the requested class
+    /// can never score, so skipping them returns exactly the hits (same
+    /// scores, same order) the linear scan
+    /// ([`Registry::query_linear_at`]) produces.
     pub fn query_at(&self, onto: &Ontology, request: &ServiceRequest, now: SimTime) -> Vec<Hit> {
+        let mut ids: Vec<ServiceId> = Vec::new();
+        let mut descs: Vec<ServiceDescription> = Vec::new();
+        for id in self.candidates(onto, request.class) {
+            if self.is_live_at(id, now) {
+                if let Some(d) = self.services.get(&id) {
+                    ids.push(id);
+                    descs.push(d.clone());
+                }
+            }
+        }
+        matcher::rank(onto, request, &descs)
+            .into_iter()
+            .map(|m| Hit {
+                id: ids[m.index],
+                m,
+            })
+            .collect()
+    }
+
+    /// The pre-index query path: clone every live registration and rank the
+    /// lot. Kept as the reference implementation the indexed path is tested
+    /// (and benchmarked) against.
+    pub fn query_linear_at(
+        &self,
+        onto: &Ontology,
+        request: &ServiceRequest,
+        now: SimTime,
+    ) -> Vec<Hit> {
         let mut ids: Vec<ServiceId> = Vec::new();
         let mut descs: Vec<ServiceDescription> = Vec::new();
         for (&id, d) in &self.services {
@@ -237,6 +315,68 @@ mod tests {
         let c2 = reg.register(ServiceDescription::new("c", c));
         assert_ne!(c2, a, "ids are never recycled");
         assert_eq!(reg.get(b).unwrap().name, "b");
+    }
+
+    #[test]
+    fn indexed_query_matches_linear_scan_exactly() {
+        use crate::corpus::mixed_corpus;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+
+        let onto = Ontology::pervasive_grid();
+        let mut rng = StdRng::seed_from_u64(21);
+        let mut reg = Registry::new();
+        for (i, desc) in mixed_corpus(&onto, 400, &mut rng).into_iter().enumerate() {
+            // Lease a third of the corpus so liveness filtering is in play.
+            if i % 3 == 0 {
+                reg.register_leased(desc, SimTime::from_secs(50));
+            } else {
+                reg.register(desc);
+            }
+        }
+        // Churn a few out so buckets have holes.
+        for id in [3, 30, 77, 200] {
+            reg.deregister(ServiceId(id));
+        }
+        let now = SimTime::from_secs(60);
+        for class_name in [
+            "Service",
+            "SolverService",
+            "TemperatureSensor",
+            "PrinterService",
+            "BrokerService",
+        ] {
+            let class = onto.class(class_name).unwrap();
+            let req = ServiceRequest::for_class(class);
+            let fast = reg.query_at(&onto, &req, now);
+            let slow = reg.query_linear_at(&onto, &req, now);
+            assert_eq!(fast.len(), slow.len(), "class {class_name}");
+            for (f, s) in fast.iter().zip(&slow) {
+                assert_eq!(f.id, s.id, "class {class_name}");
+                assert_eq!(f.m.score.to_bits(), s.m.score.to_bits());
+                assert_eq!(f.m.grade, s.m.grade);
+            }
+            // The index never scans more than the registry.
+            assert!(reg.candidates(&onto, class).len() <= reg.len());
+        }
+    }
+
+    #[test]
+    fn class_index_tracks_churn() {
+        let onto = Ontology::pervasive_grid();
+        let temp = onto.class("TemperatureSensor").unwrap();
+        let solver = onto.class("SolverService").unwrap();
+        let mut reg = Registry::new();
+        let a = reg.register(ServiceDescription::new("t", temp));
+        reg.register(ServiceDescription::new("s", solver));
+        assert_eq!(reg.candidates(&onto, temp), vec![a]);
+        reg.deregister(a);
+        assert!(reg.candidates(&onto, temp).is_empty());
+        // Expiry unindexes too.
+        let b = reg.register_leased(ServiceDescription::new("t2", temp), SimTime::from_secs(5));
+        assert_eq!(reg.candidates(&onto, temp), vec![b]);
+        reg.expire_leases(SimTime::from_secs(10));
+        assert!(reg.candidates(&onto, temp).is_empty());
     }
 
     #[test]

@@ -21,6 +21,13 @@
 //!
 //! Every solver reports iterations, final residual, and an operation count
 //! that `pg-partition` feeds into its grid-compute-time estimates.
+//!
+//! All sweeps visit **interior cells only** (the boundary shell is fixed, so
+//! free cells are strictly interior) and hand z-slabs to rayon in bands of at
+//! least [`Problem::MIN_CELLS_PER_TASK`] cells; grids at or below
+//! [`Problem::SEQ_CUTOFF_CELLS`] skip the thread pool entirely. Both paths
+//! perform the identical per-cell arithmetic in the identical order, so
+//! results are bit-for-bit independent of the path taken.
 
 use crate::field3::Field3;
 use pg_net::geom::Point;
@@ -193,68 +200,123 @@ impl Problem {
         }
     }
 
+    /// Grids at or below this many total cells solve single-threaded: the
+    /// fork/join overhead outweighs any parallelism at 16³ and under.
+    pub const SEQ_CUTOFF_CELLS: usize = 16 * 16 * 16;
+
+    /// Minimum cells one rayon task should own. Slabs are handed out in
+    /// z-bands of at least this many cells so thin planes don't over-split.
+    pub const MIN_CELLS_PER_TASK: usize = 4 * 1024;
+
+    fn run_sequential(&self) -> bool {
+        self.field.len() <= Self::SEQ_CUTOFF_CELLS
+    }
+
+    /// Number of z-slabs per rayon split (the `with_min_len` hint).
+    fn slab_band(&self) -> usize {
+        let (nx, ny, _) = self.field.shape();
+        Self::MIN_CELLS_PER_TASK.div_ceil(nx * ny).max(1)
+    }
+
+    /// Run `body(z, slab)` over every interior z-slab of `buf` — boundary
+    /// slabs hold no free cells, so they are never visited. Small grids run
+    /// inline; larger ones fan out over banded z-slabs. Either way each slab
+    /// is processed by the same closure, so cell values are path-independent.
+    fn for_interior_slabs<F>(&self, buf: &mut [f64], body: F)
+    where
+        F: Fn(usize, &mut [f64]) + Send + Sync,
+    {
+        let (nx, ny, nz) = self.field.shape();
+        let plane = nx * ny;
+        if self.run_sequential() {
+            for (z, slab) in buf.chunks_mut(plane).enumerate().skip(1).take(nz - 2) {
+                body(z, slab);
+            }
+        } else {
+            buf.par_chunks_mut(plane)
+                .with_min_len(self.slab_band())
+                .enumerate()
+                .for_each(|(z, slab)| {
+                    if z != 0 && z + 1 != nz {
+                        body(z, slab);
+                    }
+                });
+        }
+    }
+
     /// Max-norm Laplace residual over free cells of candidate solution `x`.
     pub fn residual(&self, x: &Field3) -> f64 {
         let (nx, ny, nz) = self.field.shape();
         let data = x.raw();
         let fixed = &self.fixed;
         let plane = nx * ny;
-        (1..nz - 1)
-            .into_par_iter()
-            .map(|z| {
-                let mut worst = 0.0f64;
-                for y in 1..ny - 1 {
-                    for xx in 1..nx - 1 {
-                        let i = xx + nx * (y + ny * z);
-                        if fixed[i] {
-                            continue;
-                        }
-                        let s = data[i - 1]
-                            + data[i + 1]
-                            + data[i - nx]
-                            + data[i + nx]
-                            + data[i - plane]
-                            + data[i + plane];
-                        worst = worst.max((s - 6.0 * data[i]).abs());
+        let slab_worst = |z: usize| {
+            let mut worst = 0.0f64;
+            for y in 1..ny - 1 {
+                for xx in 1..nx - 1 {
+                    let i = xx + nx * (y + ny * z);
+                    if fixed[i] {
+                        continue;
                     }
+                    let s = data[i - 1]
+                        + data[i + 1]
+                        + data[i - nx]
+                        + data[i + nx]
+                        + data[i - plane]
+                        + data[i + plane];
+                    worst = worst.max((s - 6.0 * data[i]).abs());
                 }
-                worst
-            })
-            .reduce(|| 0.0, f64::max)
+            }
+            worst
+        };
+        if self.run_sequential() {
+            (1..nz - 1).map(slab_worst).fold(0.0, f64::max)
+        } else {
+            (1..nz - 1)
+                .into_par_iter()
+                .with_min_len(self.slab_band())
+                .map(slab_worst)
+                .reduce(|| 0.0, f64::max)
+        }
+    }
+
+    /// One Jacobi sweep: read `src`, write updated free cells into `dst`.
+    /// Fixed cells are never written — `dst` starts as a clone of the
+    /// constrained field, so they already hold their pinned values.
+    fn jacobi_sweep(&self, src: &[f64], dst: &mut [f64]) {
+        let (nx, ny, _) = self.field.shape();
+        let plane = nx * ny;
+        let fixed = &self.fixed;
+        self.for_interior_slabs(dst, |z, slab| {
+            let base = z * plane;
+            for y in 1..ny - 1 {
+                let row = nx * y;
+                for xx in 1..nx - 1 {
+                    let off = row + xx;
+                    let i = base + off;
+                    if fixed[i] {
+                        continue;
+                    }
+                    let s = src[i - 1]
+                        + src[i + 1]
+                        + src[i - nx]
+                        + src[i + nx]
+                        + src[i - plane]
+                        + src[i + plane];
+                    slab[off] = s / 6.0;
+                }
+            }
+        });
     }
 
     fn solve_jacobi(&self, tol: f64, max_iters: u32) -> (Field3, SolveStats) {
-        let (nx, ny, _) = self.field.shape();
-        let plane = nx * ny;
         let mut cur = self.field.clone();
         let mut next = self.field.clone();
-        let fixed = &self.fixed;
         let mut iters = 0;
         while iters < max_iters {
-            {
-                let src = cur.raw();
-                // Parallel over z-slabs; slab z reads planes z-1 and z+1
-                // from the immutable source buffer.
-                next.raw_mut()
-                    .par_chunks_mut(plane)
-                    .enumerate()
-                    .for_each(|(z, slab)| {
-                        let base = z * plane;
-                        for (off, out) in slab.iter_mut().enumerate() {
-                            let i = base + off;
-                            if fixed[i] {
-                                continue;
-                            }
-                            let s = src[i - 1]
-                                + src[i + 1]
-                                + src[i - nx]
-                                + src[i + nx]
-                                + src[i - plane]
-                                + src[i + plane];
-                            *out = s / 6.0;
-                        }
-                    });
-            }
+            // Slab z reads planes z-1 and z+1 from the immutable source
+            // buffer, so slabs are independent.
+            self.jacobi_sweep(cur.raw(), next.raw_mut());
             std::mem::swap(&mut cur, &mut next);
             iters += 1;
             if iters % 16 == 0 || iters == max_iters {
@@ -310,10 +372,11 @@ impl Problem {
         unsafe impl Send for SyncPtr {}
         unsafe impl Sync for SyncPtr {}
 
+        let sequential = self.run_sequential();
         while iters < max_iters {
             for color in 0..2usize {
                 let ptr = SyncPtr(x.raw_mut().as_mut_ptr());
-                (1..nz - 1).into_par_iter().for_each(|z| {
+                let sweep_z = |z: usize| {
                     let p = &ptr;
                     for y in 1..ny - 1 {
                         let start = 1 + ((y + z + color) % 2);
@@ -322,7 +385,9 @@ impl Problem {
                             let i = xx + nx * (y + ny * z);
                             if !fixed[i] {
                                 // SAFETY: disjoint same-color writes; reads
-                                // are all opposite-color (see note above).
+                                // are all opposite-color (see note above) —
+                                // and the sequential path is single-threaded
+                                // anyway.
                                 unsafe {
                                     let d = p.0;
                                     let s = *d.add(i - 1)
@@ -338,7 +403,17 @@ impl Problem {
                             xx += 2;
                         }
                     }
-                });
+                };
+                if sequential {
+                    for z in 1..nz - 1 {
+                        sweep_z(z);
+                    }
+                } else {
+                    (1..nz - 1)
+                        .into_par_iter()
+                        .with_min_len(self.slab_band())
+                        .for_each(sweep_z);
+                }
             }
             iters += 1;
             if iters % 8 == 0 || iters == max_iters {
@@ -369,28 +444,34 @@ impl Problem {
     }
 
     /// Apply the free-cell operator `A u = 6u_i - Σ_{free nbr} u_j` into
-    /// `out` (fixed cells pass through as zero).
+    /// `out`. Only free cells are written: `out` must already be zero at
+    /// fixed cells (the CG work buffers are allocated zeroed and fixed
+    /// entries are never touched afterwards), which saves re-clearing the
+    /// whole boundary shell on every application.
     fn apply_a(&self, u: &[f64], out: &mut [f64]) {
         let (nx, ny, _) = self.field.shape();
         let plane = nx * ny;
         let fixed = &self.fixed;
-        out.par_chunks_mut(plane).enumerate().for_each(|(z, slab)| {
+        self.for_interior_slabs(out, |z, slab| {
             let base = z * plane;
-            for (off, o) in slab.iter_mut().enumerate() {
-                let i = base + off;
-                if fixed[i] {
-                    *o = 0.0;
-                    continue;
-                }
-                // Free cells are strictly interior (boundary shell is
-                // fixed), so all six neighbours exist.
-                let mut s = 6.0 * u[i];
-                for j in [i - 1, i + 1, i - nx, i + nx, i - plane, i + plane] {
-                    if !fixed[j] {
-                        s -= u[j];
+            for y in 1..ny - 1 {
+                let row = nx * y;
+                for xx in 1..nx - 1 {
+                    let off = row + xx;
+                    let i = base + off;
+                    if fixed[i] {
+                        continue;
                     }
+                    // Free cells are strictly interior (boundary shell is
+                    // fixed), so all six neighbours exist.
+                    let mut s = 6.0 * u[i];
+                    for j in [i - 1, i + 1, i - nx, i + nx, i - plane, i + plane] {
+                        if !fixed[j] {
+                            s -= u[j];
+                        }
+                    }
+                    slab[off] = s;
                 }
-                *o = s;
             }
         });
     }
@@ -402,22 +483,27 @@ impl Problem {
         let fixed = &self.fixed;
         let vals = self.field.raw();
 
-        // b_i = Σ_{fixed nbr} value_j for free cells.
+        // b_i = Σ_{fixed nbr} value_j for free cells; fixed entries stay at
+        // the zero the buffer was allocated with.
         let mut b = vec![0.0f64; n];
-        b.par_chunks_mut(plane).enumerate().for_each(|(z, slab)| {
+        self.for_interior_slabs(&mut b, |z, slab| {
             let base = z * plane;
-            for (off, o) in slab.iter_mut().enumerate() {
-                let i = base + off;
-                if fixed[i] {
-                    continue;
-                }
-                let mut s = 0.0;
-                for j in [i - 1, i + 1, i - nx, i + nx, i - plane, i + plane] {
-                    if fixed[j] {
-                        s += vals[j];
+            for y in 1..ny - 1 {
+                let row = nx * y;
+                for xx in 1..nx - 1 {
+                    let off = row + xx;
+                    let i = base + off;
+                    if fixed[i] {
+                        continue;
                     }
+                    let mut s = 0.0;
+                    for j in [i - 1, i + 1, i - nx, i + nx, i - plane, i + plane] {
+                        if fixed[j] {
+                            s += vals[j];
+                        }
+                    }
+                    slab[off] = s;
                 }
-                *o = s;
             }
         });
 
@@ -444,14 +530,17 @@ impl Problem {
             }
             let alpha = rs_old / pap;
             x.par_iter_mut()
+                .with_min_len(Self::MIN_CELLS_PER_TASK)
                 .zip(p.par_iter())
                 .for_each(|(xi, pi)| *xi += alpha * pi);
             r.par_iter_mut()
+                .with_min_len(Self::MIN_CELLS_PER_TASK)
                 .zip(ax.par_iter())
                 .for_each(|(ri, ai)| *ri -= alpha * ai);
             let rs_new = dot(&r, &r);
             let beta = rs_new / rs_old;
             p.par_iter_mut()
+                .with_min_len(Self::MIN_CELLS_PER_TASK)
                 .zip(r.par_iter())
                 .for_each(|(pi, ri)| *pi = *ri + beta * *pi);
             rs_old = rs_new;
@@ -462,11 +551,14 @@ impl Problem {
         let mut out = self.field.clone();
         {
             let o = out.raw_mut();
-            o.par_iter_mut().enumerate().for_each(|(i, v)| {
-                if !fixed[i] {
-                    *v = x[i];
-                }
-            });
+            o.par_iter_mut()
+                .with_min_len(Self::MIN_CELLS_PER_TASK)
+                .enumerate()
+                .for_each(|(i, v)| {
+                    if !fixed[i] {
+                        *v = x[i];
+                    }
+                });
         }
         let res = self.residual(&out);
         (
@@ -643,6 +735,36 @@ mod tests {
         assert_eq!(p.cell_of(&Point::new(1e9, 0.0, 0.0)), (9, 0, 0)); // clamped
         assert_eq!(p.cell_of(&Point::new(-5.0, 0.0, 0.0)), (0, 0, 0));
         assert_eq!(p.position_of(2, 0, 0), Point::new(4.0, 0.0, 0.0));
+    }
+
+    /// The interior-only banded sweep must write bit-identical values to a
+    /// naive full-grid scan — on both sides of the sequential cutoff.
+    #[test]
+    fn jacobi_sweep_matches_full_scan_reference() {
+        for n in [10usize, 20] {
+            let mut p = Problem::new(n, n, n, Point::flat(0.0, 0.0), 1.0, 20.0);
+            p.add_constraint(&Point::new(3.0, 4.0, 5.0), 250.0);
+            assert_eq!(n <= 16, p.run_sequential(), "cutoff straddle at n={n}");
+            let (f, stats) = p.solve(Solver::Jacobi, 0.0, 1); // exactly one sweep
+            assert_eq!(stats.iterations, 1);
+
+            let init = p.field.raw();
+            let plane = n * n;
+            let mut want = p.field.clone();
+            for i in 0..p.field.len() {
+                if p.fixed[i] {
+                    continue;
+                }
+                let s = init[i - 1]
+                    + init[i + 1]
+                    + init[i - n]
+                    + init[i + n]
+                    + init[i - plane]
+                    + init[i + plane];
+                want.raw_mut()[i] = s / 6.0;
+            }
+            assert_eq!(f.raw(), want.raw(), "n={n}");
+        }
     }
 
     #[test]

@@ -15,6 +15,8 @@
 //!   range-based adjacency and graph queries.
 //! * [`routing`] — flooding, gossiping, and shortest-path-tree routing with
 //!   per-protocol transmission accounting.
+//! * [`repair`] — incremental canonical-tree repair after node deaths
+//!   (re-parent the orphaned region instead of a full rebuild).
 //! * [`mobility`] — random-waypoint motion for mobile service nodes.
 //! * [`churn`] — on/off availability processes for "short-lived services
 //!   which stay in the vicinity for a finite amount of time and then
@@ -49,6 +51,7 @@ pub mod geom;
 pub mod link;
 pub mod mobility;
 pub mod packetsim;
+pub mod repair;
 pub mod routing;
 pub mod topology;
 

@@ -36,36 +36,98 @@ impl fmt::Display for NodeId {
 }
 
 /// An immutable node placement with range-derived adjacency.
+///
+/// Adjacency is stored in CSR (compressed sparse row) form — one flat
+/// `targets` array plus per-node offsets — instead of a `Vec<Vec<NodeId>>`.
+/// At 10k–100k nodes the per-node allocations of the nested form dominate
+/// build time and scatter neighbour lists across the heap; the flat form is
+/// one allocation and every `neighbors()` call is a contiguous slice.
 #[derive(Debug, Clone)]
 pub struct Topology {
     positions: Vec<Point>,
     range: f64,
-    adj: Vec<Vec<NodeId>>,
+    /// CSR offsets: node `i`'s neighbours live at
+    /// `adj_targets[adj_offsets[i]..adj_offsets[i + 1]]`.
+    adj_offsets: Vec<usize>,
+    /// CSR targets, ascending by id within each node's slice.
+    adj_targets: Vec<NodeId>,
 }
 
 impl Topology {
     /// Build a topology from explicit positions and a communication range.
+    ///
+    /// Candidate pairs come from a uniform spatial grid with cell edge equal
+    /// to the communication range, so only the 27 surrounding cells are
+    /// scanned per node: O(n + m) for bounded-density placements instead of
+    /// the all-pairs O(n²). In the multi-floor building scenario the z axis
+    /// of the grid shards the field by floor, so a floor's neighbour queries
+    /// never touch bins of non-adjacent floors. Neighbour lists are sorted
+    /// ascending by id — the same order the all-pairs build produced — so
+    /// every tree shape and baseline derived from adjacency is unchanged.
     ///
     /// # Panics
     /// Panics on an empty placement or non-positive range.
     pub fn from_positions(positions: Vec<Point>, range: f64) -> Self {
         assert!(!positions.is_empty(), "topology needs at least one node");
         assert!(range > 0.0, "communication range must be positive");
+        assert!(range.is_finite(), "communication range must be finite");
         let n = positions.len();
-        let mut adj = vec![Vec::new(); n];
         let range_sq = range * range;
-        for i in 0..n {
-            for j in (i + 1)..n {
-                if positions[i].distance_sq(&positions[j]) <= range_sq {
-                    adj[i].push(NodeId(j as u32));
-                    adj[j].push(NodeId(i as u32));
+
+        // Bin nodes into range-sized cells keyed by integer cell coords.
+        let mut min = positions[0];
+        for p in &positions[1..] {
+            min.x = min.x.min(p.x);
+            min.y = min.y.min(p.y);
+            min.z = min.z.min(p.z);
+        }
+        let cell_of = |p: &Point| -> (i64, i64, i64) {
+            (
+                ((p.x - min.x) / range).floor() as i64,
+                ((p.y - min.y) / range).floor() as i64,
+                ((p.z - min.z) / range).floor() as i64,
+            )
+        };
+        let mut bins: std::collections::HashMap<(i64, i64, i64), Vec<u32>> =
+            std::collections::HashMap::new();
+        for (i, p) in positions.iter().enumerate() {
+            bins.entry(cell_of(p)).or_default().push(i as u32);
+        }
+
+        // Gather each node's in-range neighbours from its 27 surrounding
+        // cells; sort ascending so the lists match the historical all-pairs
+        // build exactly.
+        let mut adj_offsets = Vec::with_capacity(n + 1);
+        let mut adj_targets = Vec::new();
+        let mut scratch: Vec<u32> = Vec::new();
+        adj_offsets.push(0usize);
+        for (i, p) in positions.iter().enumerate() {
+            scratch.clear();
+            let (cx, cy, cz) = cell_of(p);
+            for dx in -1..=1 {
+                for dy in -1..=1 {
+                    for dz in -1..=1 {
+                        let Some(bin) = bins.get(&(cx + dx, cy + dy, cz + dz)) else {
+                            continue;
+                        };
+                        for &j in bin {
+                            if j as usize != i && p.distance_sq(&positions[j as usize]) <= range_sq
+                            {
+                                scratch.push(j);
+                            }
+                        }
+                    }
                 }
             }
+            scratch.sort_unstable();
+            adj_targets.extend(scratch.iter().map(|&j| NodeId(j)));
+            adj_offsets.push(adj_targets.len());
         }
         Topology {
             positions,
             range,
-            adj,
+            adj_offsets,
+            adj_targets,
         }
     }
 
@@ -146,9 +208,14 @@ impl Topology {
         self.positions[id.idx()]
     }
 
-    /// In-range neighbours of `id`.
+    /// In-range neighbours of `id`, ascending by id.
     pub fn neighbors(&self, id: NodeId) -> &[NodeId] {
-        &self.adj[id.idx()]
+        &self.adj_targets[self.adj_offsets[id.idx()]..self.adj_offsets[id.idx() + 1]]
+    }
+
+    /// Number of in-range neighbours of `id`.
+    pub fn degree(&self, id: NodeId) -> usize {
+        self.adj_offsets[id.idx() + 1] - self.adj_offsets[id.idx()]
     }
 
     /// Euclidean distance between two nodes, metres.
@@ -158,7 +225,7 @@ impl Topology {
 
     /// Total number of undirected edges.
     pub fn edge_count(&self) -> usize {
-        self.adj.iter().map(Vec::len).sum::<usize>() / 2
+        self.adj_targets.len() / 2
     }
 
     /// The node closest to `p` (ties broken by lowest id).
@@ -184,7 +251,7 @@ impl Topology {
         let mut q = VecDeque::from([root]);
         while let Some(u) = q.pop_front() {
             let h = hops[u.idx()].expect("queued node has hops");
-            for &v in &self.adj[u.idx()] {
+            for &v in self.neighbors(u) {
                 if hops[v.idx()].is_none() {
                     hops[v.idx()] = Some(h + 1);
                     q.push_back(v);
@@ -211,7 +278,7 @@ impl Topology {
         seen[from.idx()] = true;
         let mut q = VecDeque::from([from]);
         while let Some(u) = q.pop_front() {
-            for &v in &self.adj[u.idx()] {
+            for &v in self.neighbors(u) {
                 if !seen[v.idx()] {
                     seen[v.idx()] = true;
                     prev[v.idx()] = Some(u);
@@ -244,7 +311,7 @@ impl Topology {
         let mut q = VecDeque::from([root]);
         while let Some(u) = q.pop_front() {
             let d = depth[u.idx()].expect("queued node has depth");
-            for &v in &self.adj[u.idx()] {
+            for &v in self.neighbors(u) {
                 if depth[v.idx()].is_none() {
                     depth[v.idx()] = Some(d + 1);
                     parent[v.idx()] = Some(u);
@@ -256,6 +323,70 @@ impl Topology {
         for (i, p) in parent.iter().enumerate() {
             if let Some(p) = p {
                 children[p.idx()].push(NodeId(i as u32));
+            }
+        }
+        RoutingTree {
+            root,
+            parent,
+            children,
+            depth,
+        }
+    }
+
+    /// Build the *canonical* shortest-path tree rooted at `root`: every
+    /// node's depth is its BFS distance and its parent is the lowest-id
+    /// neighbour one hop closer to the root. Unlike [`Self::spanning_tree`]
+    /// (whose parent choice depends on BFS discovery order), the canonical
+    /// parent is a pure local function of the depth field — which is what
+    /// lets incremental repair after node deaths provably converge to the
+    /// same tree a from-scratch rebuild would produce.
+    pub fn canonical_tree(&self, root: NodeId) -> RoutingTree {
+        self.canonical_tree_filtered(root, |_| true)
+    }
+
+    /// [`Self::canonical_tree`] restricted to nodes where `alive` holds.
+    /// Dead nodes get no depth and no parent; alive nodes only reachable
+    /// through dead ones are likewise left unattached.
+    ///
+    /// # Panics
+    /// Panics if `root` itself is not alive.
+    pub fn canonical_tree_filtered<F: Fn(NodeId) -> bool>(
+        &self,
+        root: NodeId,
+        alive: F,
+    ) -> RoutingTree {
+        assert!(alive(root), "canonical tree root must be alive");
+        let mut depth: Vec<Option<u32>> = vec![None; self.len()];
+        depth[root.idx()] = Some(0);
+        let mut q = VecDeque::from([root]);
+        while let Some(u) = q.pop_front() {
+            // BFS invariant: a node is enqueued only after its depth is set.
+            #[allow(clippy::expect_used)]
+            let d = depth[u.idx()].expect("queued node has depth");
+            for &v in self.neighbors(u) {
+                if depth[v.idx()].is_none() && alive(v) {
+                    depth[v.idx()] = Some(d + 1);
+                    q.push_back(v);
+                }
+            }
+        }
+        let mut parent: Vec<Option<NodeId>> = vec![None; self.len()];
+        let mut children = vec![Vec::new(); self.len()];
+        for i in 0..self.len() {
+            let v = NodeId(i as u32);
+            let Some(d) = depth[i] else { continue };
+            if d == 0 {
+                continue;
+            }
+            // Neighbour lists are ascending, so the first hit is lowest-id.
+            let p = self
+                .neighbors(v)
+                .iter()
+                .copied()
+                .find(|u| depth[u.idx()] == Some(d - 1));
+            parent[i] = p;
+            if let Some(p) = p {
+                children[p.idx()].push(v);
             }
         }
         RoutingTree {
@@ -434,5 +565,71 @@ mod tests {
     #[should_panic(expected = "at least one node")]
     fn empty_topology_rejected() {
         Topology::from_positions(vec![], 10.0);
+    }
+
+    #[test]
+    fn cell_binned_adjacency_matches_all_pairs() {
+        // The CSR build must reproduce the historical O(n²) build exactly:
+        // same neighbour sets, ascending order.
+        let mut rng = StdRng::seed_from_u64(42);
+        let pts: Vec<Point> = (0..300)
+            .map(|_| {
+                Point::new(
+                    rng.gen::<f64>() * 120.0,
+                    rng.gen::<f64>() * 80.0,
+                    rng.gen::<f64>() * 12.0,
+                )
+            })
+            .collect();
+        let range = 14.0;
+        let t = Topology::from_positions(pts.clone(), range);
+        let range_sq = range * range;
+        for i in 0..pts.len() {
+            let mut want: Vec<NodeId> = (0..pts.len())
+                .filter(|&j| j != i && pts[i].distance_sq(&pts[j]) <= range_sq)
+                .map(|j| NodeId(j as u32))
+                .collect();
+            want.sort_unstable();
+            assert_eq!(t.neighbors(NodeId(i as u32)), &want[..], "node {i}");
+            assert_eq!(t.degree(NodeId(i as u32)), want.len());
+        }
+    }
+
+    #[test]
+    fn canonical_tree_depths_match_bfs_and_parents_are_min_id() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let t = Topology::random_geometric(120, 100.0, 100.0, 18.0, &mut rng);
+        let root = NodeId(0);
+        let canon = t.canonical_tree(root);
+        let bfs = t.spanning_tree(root);
+        assert_eq!(canon.depth, bfs.depth, "canonical depths are BFS depths");
+        for v in t.nodes() {
+            let Some(d) = canon.depth[v.idx()] else {
+                assert_eq!(canon.parent[v.idx()], None);
+                continue;
+            };
+            if d == 0 {
+                assert_eq!(canon.parent[v.idx()], None);
+                continue;
+            }
+            let min_up = t
+                .neighbors(v)
+                .iter()
+                .copied()
+                .find(|u| canon.depth[u.idx()] == Some(d - 1));
+            assert_eq!(canon.parent[v.idx()], min_up, "node {v}");
+        }
+    }
+
+    #[test]
+    fn canonical_tree_filtered_skips_dead_nodes() {
+        // Line 0-1-2-3-4 with node 2 dead: 3 and 4 become unreachable.
+        let t = line(5);
+        let tree = t.canonical_tree_filtered(NodeId(0), |n| n != NodeId(2));
+        assert_eq!(tree.depth[1], Some(1));
+        assert_eq!(tree.depth[2], None);
+        assert_eq!(tree.depth[3], None);
+        assert_eq!(tree.parent[3], None);
+        assert_eq!(tree.covered(), 2);
     }
 }

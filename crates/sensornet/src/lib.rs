@@ -36,6 +36,7 @@
 #![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod aggregate;
+pub mod arena;
 pub mod cluster;
 pub mod collect;
 pub mod epoch;

@@ -1,7 +1,8 @@
 //! The deployed sensor network: topology + per-node batteries + base station.
 
+use crate::arena::NodeArena;
 use crate::field::TemperatureField;
-use pg_net::energy::{Battery, RadioModel};
+use pg_net::energy::RadioModel;
 use pg_net::link::LinkModel;
 use pg_net::topology::{NodeId, Topology};
 use pg_sim::fault::FaultPlan;
@@ -19,7 +20,7 @@ pub struct SensorNetwork {
     base: NodeId,
     radio: RadioModel,
     link: LinkModel,
-    batteries: Vec<Battery>,
+    batteries: NodeArena,
     faults: FaultPlan,
     /// Gaussian sensing noise applied to every sample, °C.
     pub noise_sd: f64,
@@ -35,7 +36,7 @@ impl SensorNetwork {
         link: LinkModel,
         battery_j: f64,
     ) -> Self {
-        let batteries = vec![Battery::new(battery_j); topo.len()];
+        let batteries = NodeArena::new(topo.len(), battery_j);
         SensorNetwork {
             topo,
             base,
@@ -91,7 +92,7 @@ impl SensorNetwork {
 
     /// Is `node` still powered? (The base station always is.)
     pub fn is_alive(&self, node: NodeId) -> bool {
-        node == self.base || !self.batteries[node.idx()].is_dead()
+        node == self.base || !self.batteries.is_dead(node.idx())
     }
 
     /// Is `node` powered *and* not inside an injected crash window at `t`?
@@ -104,17 +105,17 @@ impl SensorNetwork {
         self.is_alive(node) && !self.faults.is_node_down(node.idx() as u64, t)
     }
 
-    /// Number of live sensors (excluding the base station).
+    /// Number of live sensors (excluding the base station) — O(1), the
+    /// arena maintains the count at the drain sites.
     pub fn alive_sensors(&self) -> usize {
-        self.topo
-            .nodes()
-            .filter(|&n| n != self.base && self.is_alive(n))
-            .count()
+        // The base station's battery is never drained, so it is always in
+        // the arena's alive count; subtract it.
+        self.batteries.alive_count() - 1
     }
 
     /// Remaining energy at `node`, joules.
     pub fn remaining_energy(&self, node: NodeId) -> f64 {
-        self.batteries[node.idx()].remaining()
+        self.batteries.remaining(node.idx())
     }
 
     /// Total energy consumed across all sensors so far, joules.
@@ -122,7 +123,7 @@ impl SensorNetwork {
         self.topo
             .nodes()
             .filter(|&n| n != self.base)
-            .map(|n| self.batteries[n.idx()].used())
+            .map(|n| self.batteries.used(n.idx()))
             .sum()
     }
 
@@ -132,7 +133,7 @@ impl SensorNetwork {
         if node == self.base {
             return true;
         }
-        self.batteries[node.idx()].drain(joules)
+        self.batteries.drain(node.idx(), joules)
     }
 
     /// Sample the field at `node`'s position (costs one CPU op worth of

@@ -27,6 +27,7 @@ use crate::aggregate::{AggFn, Partial, ValueFilter, PARTIAL_WIRE_BYTES};
 use crate::collect::{try_hop, Ledger, MERGE_OPS};
 use crate::field::TemperatureField;
 use crate::network::SensorNetwork;
+use pg_net::repair::repair_after_deaths;
 use pg_net::topology::{NodeId, RoutingTree};
 use pg_sim::{Duration, SimTime};
 use rand::Rng;
@@ -119,6 +120,15 @@ pub struct SharedReport {
     pub control_energy_j: f64,
     /// The collection tree was (re)built for this epoch.
     pub tree_rebuilt: bool,
+    /// The collection tree was incrementally repaired this epoch (only
+    /// [`TreeMaintenance::Incremental`] sessions set this).
+    pub tree_repaired: bool,
+    /// Hop-waves of control traffic this epoch: a full (re)build floods
+    /// `height + 1` waves from the root; an incremental repair pays only
+    /// the waves its wavefront recompute actually ran. Zero when the tree
+    /// was reused untouched. Multiply by the per-hop slot time for the
+    /// control-plane latency.
+    pub control_waves: u32,
 }
 
 impl SharedReport {
@@ -355,6 +365,8 @@ fn collect_over_tree<R: Rng>(
         control_bytes: 0,
         control_energy_j: 0.0,
         tree_rebuilt: false,
+        tree_repaired: false,
+        control_waves: 0,
     }
 }
 
@@ -373,6 +385,16 @@ pub enum TreeMaintenance {
     /// beacons again) only when a sensor that was alive at build time has
     /// since died. What a Continuous query should do.
     Persistent,
+    /// Like [`Persistent`](Self::Persistent), but a battery death triggers
+    /// an *incremental repair* instead of a full rebuild: only the orphaned
+    /// region re-parents (see [`pg_net::repair`]), each changed node pays
+    /// one [`TREE_BEACON_BYTES`] beacon, and the control latency is the
+    /// repair's wavefront count instead of a whole-network flood. The tree
+    /// is the *canonical* shortest-path tree (lowest-id parent at each
+    /// depth), which repairs to exactly what a rebuild would produce.
+    /// Transient fault windows do not reshape the tree — they only degrade
+    /// delivery, as in every other mode.
+    Incremental,
 }
 
 impl TreeMaintenance {
@@ -382,6 +404,7 @@ impl TreeMaintenance {
             TreeMaintenance::Free => "free",
             TreeMaintenance::PerEpoch => "per_epoch",
             TreeMaintenance::Persistent => "persistent",
+            TreeMaintenance::Incremental => "incremental",
         }
     }
 }
@@ -411,6 +434,8 @@ pub struct SharedTreeSession {
     alive_at_build: Vec<NodeId>,
     /// Times the tree has been (re)built.
     pub rebuilds: u64,
+    /// Times the tree has been incrementally repaired (Incremental mode).
+    pub repairs: u64,
     /// Construction beacon bytes charged across the session's lifetime.
     pub control_bytes_total: u64,
 }
@@ -423,6 +448,7 @@ impl SharedTreeSession {
             tree: None,
             alive_at_build: Vec::new(),
             rebuilds: 0,
+            repairs: 0,
             control_bytes_total: 0,
         }
     }
@@ -466,6 +492,37 @@ impl SharedTreeSession {
             .any(|&id| !net.is_operational(id, t))
     }
 
+    /// Build the *canonical* tree over the battery-alive nodes and charge
+    /// every battery-alive sensor one construction beacon. Incremental
+    /// sessions repair this tree on later deaths instead of rebuilding;
+    /// `alive_at_build` tracks the battery-alive set (transient fault
+    /// windows never reshape an incremental tree).
+    fn build_canonical_tree(&mut self, net: &mut SensorNetwork) -> (RoutingTree, u64, f64) {
+        let base = net.base();
+        let tree = net
+            .topology()
+            .canonical_tree_filtered(base, |id| id == base || net.is_alive(id));
+        let range = net.topology().range();
+        let beacon_j = net.radio().tx_energy(TREE_BEACON_BYTES * 8, range);
+        let nodes: Vec<NodeId> = net
+            .topology()
+            .nodes()
+            .filter(|&id| id != base && net.is_alive(id))
+            .collect();
+        let mut bytes = 0u64;
+        let mut energy_j = 0.0;
+        for &id in &nodes {
+            if net.drain(id, beacon_j) {
+                bytes += TREE_BEACON_BYTES;
+                energy_j += beacon_j;
+            }
+        }
+        self.alive_at_build = nodes;
+        self.rebuilds += 1;
+        self.control_bytes_total += bytes;
+        (tree, bytes, energy_j)
+    }
+
     /// Run one shared collection epoch under the session's tree-lifetime
     /// policy. Control-plane charges (if the tree was built this epoch)
     /// land in the report's `control_bytes`/`control_energy_j`/
@@ -487,6 +544,7 @@ impl SharedTreeSession {
                 report.control_bytes = control_bytes;
                 report.control_energy_j = control_energy_j;
                 report.tree_rebuilt = true;
+                report.control_waves = tree.height() + 1;
                 report
             }
             TreeMaintenance::Persistent => {
@@ -508,6 +566,64 @@ impl SharedTreeSession {
                 report.control_bytes = control_bytes;
                 report.control_energy_j = control_energy_j;
                 report.tree_rebuilt = rebuilt;
+                if rebuilt {
+                    report.control_waves = tree.height() + 1;
+                }
+                report
+            }
+            TreeMaintenance::Incremental => {
+                let base = net.base();
+                let mut control_bytes = 0u64;
+                let mut control_energy_j = 0.0;
+                let mut control_waves = 0u32;
+                let mut rebuilt = false;
+                let mut repaired = false;
+                let mut tree = match self.tree.take() {
+                    None => {
+                        let (tree, bytes, energy_j) = self.build_canonical_tree(net);
+                        control_bytes = bytes;
+                        control_energy_j = energy_j;
+                        control_waves = tree.height() + 1;
+                        rebuilt = true;
+                        tree
+                    }
+                    Some(tree) => tree,
+                };
+                if !rebuilt {
+                    // Permanent battery deaths since the last epoch trigger
+                    // a localized repair, never a flood.
+                    let dead: Vec<NodeId> = self
+                        .alive_at_build
+                        .iter()
+                        .copied()
+                        .filter(|&id| !net.is_alive(id))
+                        .collect();
+                    if !dead.is_empty() {
+                        let stats = repair_after_deaths(net.topology(), &mut tree, &dead, |id| {
+                            id == base || net.is_alive(id)
+                        });
+                        let range = net.topology().range();
+                        let beacon_j = net.radio().tx_energy(TREE_BEACON_BYTES * 8, range);
+                        for &id in &stats.changed {
+                            if net.drain(id, beacon_j) {
+                                control_bytes += TREE_BEACON_BYTES;
+                                control_energy_j += beacon_j;
+                            }
+                        }
+                        self.alive_at_build.retain(|&id| net.is_alive(id));
+                        self.repairs += 1;
+                        self.control_bytes_total += control_bytes;
+                        control_waves = stats.waves;
+                        repaired = true;
+                    }
+                }
+                let mut report = collect_over_tree(net, &tree, queries, field, t, rng);
+                self.tree = Some(tree);
+                report.control_bytes = control_bytes;
+                report.control_energy_j = control_energy_j;
+                report.tree_rebuilt = rebuilt;
+                report.tree_repaired = repaired;
+                report.control_waves = control_waves;
                 report
             }
         }
@@ -829,6 +945,117 @@ mod tests {
         assert_eq!(session.rebuilds, 2);
         // The dead node no longer beacons (or answers).
         assert!(after.control_bytes < first.control_bytes);
+    }
+
+    #[test]
+    fn incremental_repair_beats_full_rebuild_on_death() {
+        let all = all_members(&lossless_net(5));
+        let run = |mode: TreeMaintenance| {
+            let mut net = lossless_net(5);
+            let mut rng = StdRng::seed_from_u64(11);
+            let mut session = SharedTreeSession::new(mode);
+            // Build epoch.
+            let first = session.collect(
+                &mut net,
+                &[avg_query(all.clone())],
+                &field(),
+                SimTime::ZERO,
+                &mut rng,
+            );
+            assert!(first.tree_rebuilt);
+            // Kill one non-cut sensor, then collect again.
+            let victim = *all.last().unwrap();
+            net.drain(victim, 1e9);
+            let after = session.collect(
+                &mut net,
+                &[avg_query(all.clone())],
+                &field(),
+                SimTime::from_secs(30),
+                &mut rng,
+            );
+            (first, after)
+        };
+        let (_, full) = run(TreeMaintenance::Persistent);
+        let (_, incr) = run(TreeMaintenance::Incremental);
+        assert!(full.tree_rebuilt, "persistent rebuilds on death");
+        assert!(!incr.tree_rebuilt, "incremental never rebuilds on death");
+        assert!(incr.tree_repaired);
+        assert!(
+            incr.control_bytes < full.control_bytes,
+            "repair {} bytes vs rebuild {} bytes",
+            incr.control_bytes,
+            full.control_bytes
+        );
+        assert!(
+            incr.control_waves < full.control_waves,
+            "repair {} waves vs rebuild {} waves",
+            incr.control_waves,
+            full.control_waves
+        );
+    }
+
+    #[test]
+    fn incremental_tree_matches_canonical_rebuild_after_churn() {
+        let all = all_members(&lossless_net(5));
+        let mut net = lossless_net(5);
+        let mut rng = StdRng::seed_from_u64(12);
+        let mut session = SharedTreeSession::new(TreeMaintenance::Incremental);
+        let _ = session.collect(
+            &mut net,
+            &[avg_query(all.clone())],
+            &field(),
+            SimTime::ZERO,
+            &mut rng,
+        );
+        for (round, victim) in [all[3], all[10], all[17]].into_iter().enumerate() {
+            net.drain(victim, 1e9);
+            let r = session.collect(
+                &mut net,
+                &[avg_query(all.clone())],
+                &field(),
+                SimTime::from_secs(30 * (round as u64 + 1)),
+                &mut rng,
+            );
+            assert!(r.tree_repaired && !r.tree_rebuilt);
+            let base = net.base();
+            let want = net
+                .topology()
+                .canonical_tree_filtered(base, |id| id == base || net.is_alive(id));
+            let got = session.tree.as_ref().unwrap();
+            assert_eq!(got.parent, want.parent, "round {round}");
+            assert_eq!(got.depth, want.depth, "round {round}");
+        }
+        assert_eq!(session.rebuilds, 1);
+        assert_eq!(session.repairs, 3);
+    }
+
+    #[test]
+    fn incremental_healthy_epochs_pay_no_control() {
+        let all = all_members(&lossless_net(4));
+        let mut net = lossless_net(4);
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut session = SharedTreeSession::new(TreeMaintenance::Incremental);
+        let first = session.collect(
+            &mut net,
+            &[avg_query(all.clone())],
+            &field(),
+            SimTime::ZERO,
+            &mut rng,
+        );
+        assert!(first.tree_rebuilt);
+        assert!(first.control_bytes > 0);
+        let steady = session.collect(
+            &mut net,
+            &[avg_query(all.clone())],
+            &field(),
+            SimTime::from_secs(30),
+            &mut rng,
+        );
+        assert!(!steady.tree_rebuilt && !steady.tree_repaired);
+        assert_eq!(steady.control_bytes, 0);
+        assert_eq!(steady.control_waves, 0);
+        // Answers still flow over the canonical tree.
+        assert_eq!(steady.per_query[0].value, Some(25.0));
     }
 
     #[test]

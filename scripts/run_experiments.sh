@@ -34,14 +34,37 @@ if [[ $rebaseline -eq 1 && ${#smoke[@]} -eq 0 ]]; then
 fi
 
 mkdir -p "$out"
-cargo build --release -p pg-bench
 # Discover the experiment binaries from the source tree: a new exp_*.rs is
-# picked up automatically and cannot be silently skipped here.
-exps=$(find crates/bench/src/bin -name 'exp_*.rs' -exec basename {} .rs \; | sort)
+# picked up automatically and cannot be silently skipped here. Anything in
+# src/bin that is neither an exp_* binary nor a known tool is an error —
+# a typo like ex_t19_foo.rs would otherwise never run anywhere.
+tools="regress microbench"
+exps=""
+unknown=""
+for src in crates/bench/src/bin/*.rs; do
+    name=$(basename "$src" .rs)
+    case "$name" in
+    exp_*) exps="$exps $name" ;;
+    *)
+        if [[ " $tools " != *" $name "* ]]; then
+            unknown="$unknown $name"
+        fi
+        ;;
+    esac
+done
+exps=$(echo "$exps" | tr ' ' '\n' | sed '/^$/d' | sort)
+if [[ -n "$unknown" ]]; then
+    echo "unknown binaries in crates/bench/src/bin (not exp_* and not a known tool):$unknown" >&2
+    echo "rename to exp_<name>.rs or add to the tool allowlist in $0" >&2
+    exit 1
+fi
 if [[ -z "$exps" ]]; then
     echo "no exp_*.rs binaries found under crates/bench/src/bin" >&2
     exit 1
 fi
+echo "discovered experiments:" $exps
+
+cargo build --release -p pg-bench
 for exp in $exps; do
     echo "== $exp =="
     # set -o pipefail makes a non-zero binary exit abort the whole run here.

@@ -1,19 +1,58 @@
 //! Hermetic stand-in for the `criterion` API surface the benches use.
 //!
 //! The build environment has no access to crates.io, so the workspace
-//! vendors this minimal harness: every `b.iter(..)` target is warmed up and
-//! then timed over a fixed number of iterations with `std::time::Instant`,
-//! and a single `name ... ns/iter` line is printed. There is no statistical
-//! analysis, no HTML report, and no comparison to saved runs — regression
-//! detection in this repository is the job of `pg-bench`'s `regress` gate,
-//! which works on experiment JSON reports instead.
+//! vendors this minimal harness: every `b.iter(..)` target is warmed up,
+//! timed over several sample blocks with `std::time::Instant`, and a single
+//! `name ... ns/iter` line carrying the **median** block mean is printed
+//! (the median shrugs off the one slow block a busy CI runner inflicts).
+//! There is no HTML report and no comparison to saved runs — regression
+//! detection in this repository is the job of `pg-bench`'s `regress` and
+//! `microbench` gates, which work on JSON reports instead.
+//!
+//! Environment knobs (all default-safe, clamped to at least 1):
+//!
+//! - `PG_BENCH_WARMUP` — warmup iterations before timing (default 3).
+//! - `PG_BENCH_SAMPLES` — timed sample blocks per bench (default 5).
+//! - `PG_BENCH_MEASURE` — iterations per sample block (default 2).
+//!
+//! The CI `bench-regression` job sets `PG_BENCH_WARMUP=2 PG_BENCH_SAMPLES=5
+//! PG_BENCH_MEASURE=2` to bound the job's wall-clock while keeping enough
+//! blocks for the median to shed the cold-start outlier.
 
 use std::time::Instant;
 
 pub use std::hint::black_box;
 
-const WARMUP_ITERS: u64 = 3;
-const MEASURE_ITERS: u64 = 10;
+fn knob(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(default)
+        .max(1)
+}
+
+fn warmup_iters() -> u64 {
+    knob("PG_BENCH_WARMUP", 3)
+}
+
+fn sample_blocks() -> u64 {
+    knob("PG_BENCH_SAMPLES", 5)
+}
+
+fn measure_iters() -> u64 {
+    knob("PG_BENCH_MEASURE", 2)
+}
+
+/// Median of the per-block means; the blocks list is never empty.
+fn median(mut blocks: Vec<f64>) -> f64 {
+    blocks.sort_by(f64::total_cmp);
+    let n = blocks.len();
+    if n % 2 == 1 {
+        blocks[n / 2]
+    } else {
+        (blocks[n / 2 - 1] + blocks[n / 2]) / 2.0
+    }
+}
 
 /// Batch-size hint for `iter_batched` (ignored; one batch per iteration).
 #[derive(Debug, Clone, Copy)]
@@ -65,21 +104,28 @@ impl std::fmt::Display for BenchmarkId {
 
 /// The timing loop handle passed to benchmark closures.
 pub struct Bencher {
-    /// Mean nanoseconds per iteration of the last `iter*` call.
+    /// Median nanoseconds per iteration of the last `iter*` call.
     last_ns: f64,
 }
 
 impl Bencher {
-    /// Time `routine`, keeping its output alive via [`black_box`].
+    /// Time `routine`, keeping its output alive via [`black_box`]:
+    /// the median over [`sample_blocks`] blocks of [`measure_iters`] calls.
     pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
-        for _ in 0..WARMUP_ITERS {
+        for _ in 0..warmup_iters() {
             black_box(routine());
         }
-        let start = Instant::now();
-        for _ in 0..MEASURE_ITERS {
-            black_box(routine());
-        }
-        self.last_ns = start.elapsed().as_nanos() as f64 / MEASURE_ITERS as f64;
+        let iters = measure_iters();
+        let blocks: Vec<f64> = (0..sample_blocks())
+            .map(|_| {
+                let start = Instant::now();
+                for _ in 0..iters {
+                    black_box(routine());
+                }
+                start.elapsed().as_nanos() as f64 / iters as f64
+            })
+            .collect();
+        self.last_ns = median(blocks);
     }
 
     /// Time `routine` over inputs produced by `setup` (setup excluded from
@@ -90,17 +136,23 @@ impl Bencher {
         mut routine: impl FnMut(I) -> O,
         _size: BatchSize,
     ) {
-        for _ in 0..WARMUP_ITERS {
+        for _ in 0..warmup_iters() {
             black_box(routine(setup()));
         }
-        let mut total_ns = 0u128;
-        for _ in 0..MEASURE_ITERS {
-            let input = setup();
-            let start = Instant::now();
-            black_box(routine(input));
-            total_ns += start.elapsed().as_nanos();
-        }
-        self.last_ns = total_ns as f64 / MEASURE_ITERS as f64;
+        let iters = measure_iters();
+        let blocks: Vec<f64> = (0..sample_blocks())
+            .map(|_| {
+                let mut total_ns = 0u128;
+                for _ in 0..iters {
+                    let input = setup();
+                    let start = Instant::now();
+                    black_box(routine(input));
+                    total_ns += start.elapsed().as_nanos();
+                }
+                total_ns as f64 / iters as f64
+            })
+            .collect();
+        self.last_ns = median(blocks);
     }
 }
 
@@ -254,5 +306,23 @@ mod tests {
     fn benchmark_id_formats() {
         assert_eq!(BenchmarkId::new("f", 32).to_string(), "f/32");
         assert_eq!(BenchmarkId::from_parameter(7).to_string(), "7");
+    }
+
+    #[test]
+    fn median_of_blocks() {
+        assert_eq!(median(vec![3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(vec![4.0, 1.0, 2.0, 3.0]), 2.5);
+        assert_eq!(median(vec![7.0]), 7.0);
+        // A single slow outlier block does not move the median.
+        assert_eq!(median(vec![1.0, 1.0, 1.0, 1.0, 100.0]), 1.0);
+    }
+
+    #[test]
+    fn knobs_default_and_clamp() {
+        assert_eq!(knob("PG_BENCH_NO_SUCH_KNOB", 5), 5);
+        std::env::set_var("PG_BENCH_TEST_KNOB_ZERO", "0");
+        assert_eq!(knob("PG_BENCH_TEST_KNOB_ZERO", 5), 1);
+        std::env::set_var("PG_BENCH_TEST_KNOB_BAD", "nope");
+        assert_eq!(knob("PG_BENCH_TEST_KNOB_BAD", 4), 4);
     }
 }
