@@ -1,0 +1,56 @@
+//! Microbenchmark: the shedding-decision hot path. `shed_victims` runs a
+//! policy-ordered survivor scan over the whole waiting queue at the top of
+//! every service round while the runtime is in the Shed state, so its cost
+//! lands on the overloaded path — exactly where there is no headroom.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pg_core::PervasiveGrid;
+use pg_runtime::{
+    MultiQueryRuntime, OverloadConfig, OverloadPolicy, QueryOpts, RuntimeConfig, SchedPolicy,
+};
+use pg_sim::Duration;
+
+/// A runtime whose queue holds `depth` deadline-carrying queries, mixed so
+/// the survivor scan sees both doomed and rescuable entries.
+fn backlogged(depth: usize) -> MultiQueryRuntime<PervasiveGrid> {
+    let cfg = RuntimeConfig::builder()
+        .capacity(depth + 1)
+        .epoch(Duration::from_secs(30))
+        .slots_per_epoch(4)
+        .policy(SchedPolicy::Edf)
+        .overload(OverloadConfig::watermarks(
+            OverloadPolicy::Shed,
+            0,
+            0,
+            depth + 1,
+            depth + 1,
+        ))
+        .build();
+    let pg = PervasiveGrid::building(1, 6, 7).build();
+    let mut rt = MultiQueryRuntime::new(cfg, pg);
+    for i in 0..depth {
+        let deadline = Duration::from_secs(30 + (i as u64 * 37) % 600);
+        let adm = rt.submit(
+            "SELECT AVG(temp) FROM sensors",
+            QueryOpts::with_deadline(deadline).priority((i % 3) as u8),
+        );
+        assert!(adm.is_accepted());
+    }
+    rt
+}
+
+fn bench_shed_victims(c: &mut Criterion) {
+    let mut g = c.benchmark_group("overload");
+    for &depth in &[64usize, 256] {
+        let rt = backlogged(depth);
+        g.bench_with_input(BenchmarkId::new("shed_victims", depth), &depth, |b, _| {
+            b.iter(|| rt.shed_victims());
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_shed_victims);
+criterion_main!(benches);

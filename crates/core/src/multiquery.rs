@@ -49,6 +49,10 @@ struct Shareable {
     idx: usize,
     query: Query,
     members: Vec<NodeId>,
+    /// The scheduler asked for brownout fidelity: `members` is already
+    /// the coarser stratum (every other member), and the response will be
+    /// annotated via `DegradationReport::brownout`.
+    brownout: bool,
 }
 
 impl PervasiveGrid {
@@ -77,10 +81,28 @@ impl PervasiveGrid {
             let Ok(members) = members_of(&ctx, &query) else {
                 continue;
             };
+            // Brownout: answer from a coarser stratum — roughly every
+            // other member — while the overload lasts. The cut is keyed on
+            // node id parity, not list position, so overlapping queries
+            // keep overlapping members and their stratum entries still
+            // merge on shared packets. A non-empty member set always keeps
+            // at least one node: degraded, never empty.
+            let members = if bq.brownout {
+                let coarse: Vec<NodeId> =
+                    members.iter().copied().filter(|n| n.0 % 2 == 0).collect();
+                if coarse.is_empty() {
+                    members
+                } else {
+                    coarse
+                }
+            } else {
+                members
+            };
             out.push(Shareable {
                 idx,
                 query,
                 members,
+                brownout: bq.brownout,
             });
         }
         if out.len() < 2 {
@@ -182,6 +204,7 @@ impl PervasiveGrid {
                 deadline_s,
                 deadline_exceeded: deadline_s.is_some_and(|d| latency_s > d),
                 fallback_model: false,
+                brownout: s.brownout,
             };
             let response = QueryResponse {
                 value: pq.value,
@@ -269,7 +292,11 @@ impl QueryEngine for PervasiveGrid {
                 continue;
             }
             let res = self.submit_inner(bq.text, bq.deadline.map(|d| d.as_secs_f64()));
-            slots[i] = Some(res.map(|r| {
+            slots[i] = Some(res.map(|mut r| {
+                // Single-path entries can't ride a coarser stratum, but a
+                // browned-out round is still annotated so the client (and
+                // the report's browned_out counter) see consistent books.
+                r.degradation.brownout |= bq.brownout;
                 let attribution = Attribution {
                     energy_j: r.cost.energy_j,
                     bytes: r.cost.bytes,

@@ -46,6 +46,10 @@ pub struct DegradationReport {
     /// No model satisfied the effective bounds and the runtime fell back
     /// to a degraded placement rather than rejecting the query.
     pub fallback_model: bool,
+    /// The query ran in brownout mode: the engine answered from a coarser
+    /// aggregation stratum (a subsample of the member set) to shed work
+    /// under overload instead of dropping the query outright.
+    pub brownout: bool,
 }
 
 impl DegradationReport {
@@ -55,6 +59,7 @@ impl DegradationReport {
             || self.base_outage_wait_s > 0.0
             || self.deadline_exceeded
             || self.fallback_model
+            || self.brownout
     }
 }
 
@@ -446,6 +451,7 @@ impl PervasiveGrid {
             deadline_s,
             deadline_exceeded: deadline_s.is_some_and(|d| cost.time_s > d),
             fallback_model,
+            brownout: false,
         };
         Ok(QueryResponse {
             value: outcome.value,

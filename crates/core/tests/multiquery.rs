@@ -198,12 +198,70 @@ fn batch_of_one_matches_plain_submit() {
     let batch = [BatchQuery {
         text,
         deadline: None,
+        brownout: false,
     }];
     let mut out = b.execute_batch(&batch);
     let (resp, attr) = out.pop().unwrap().unwrap();
     assert_eq!(resp, direct);
     assert!(!attr.shared);
     assert_eq!(attr.energy_j.to_bits(), direct.cost.energy_j.to_bits());
+}
+
+#[test]
+fn brownout_batches_answer_coarser_and_are_annotated() {
+    // The same two overlapping aggregates on identically-seeded grids:
+    // the browned-out batch answers from a subsampled stratum — cheaper
+    // on the wire, annotated in the degradation report, never empty.
+    let texts = [
+        "SELECT AVG(temp) FROM sensors",
+        "SELECT MAX(temp) FROM sensors WHERE region(west)",
+    ];
+    let run = |brownout: bool| {
+        let mut g = grid(23);
+        let batch: Vec<BatchQuery<'_>> = texts
+            .iter()
+            .map(|&text| BatchQuery {
+                text,
+                deadline: None,
+                brownout,
+            })
+            .collect();
+        g.execute_batch(&batch)
+    };
+    let full = run(false);
+    let brown = run(true);
+    let mut full_bytes = 0.0;
+    let mut brown_bytes = 0.0;
+    for (f, b) in full.iter().zip(&brown) {
+        let (fr, fa) = f.as_ref().unwrap();
+        let (br, ba) = b.as_ref().unwrap();
+        assert!(fa.shared && ba.shared, "both rides share the tree");
+        assert!(!fr.degradation.brownout);
+        assert!(br.degradation.brownout, "brownout must be annotated");
+        assert!(br.degradation.is_degraded());
+        assert!(br.value.is_some(), "brownout degrades, never drops answers");
+        full_bytes += fa.bytes;
+        brown_bytes += ba.bytes;
+    }
+    assert!(
+        brown_bytes < full_bytes,
+        "coarser strata must spend fewer bytes: {brown_bytes} vs {full_bytes}"
+    );
+}
+
+#[test]
+fn single_path_brownout_is_annotated() {
+    // Non-shareable entries can't ride a coarser stratum, but the client
+    // still learns the round ran browned out.
+    let mut g = grid(23);
+    let batch = [BatchQuery {
+        text: "SELECT temp FROM sensors WHERE sensor_id = 7",
+        deadline: None,
+        brownout: true,
+    }];
+    let (resp, attr) = g.execute_batch(&batch).pop().unwrap().unwrap();
+    assert!(!attr.shared);
+    assert!(resp.degradation.brownout);
 }
 
 #[test]

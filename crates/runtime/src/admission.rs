@@ -153,6 +153,21 @@ pub enum RejectReason {
         /// The scheduler's epoch length, seconds.
         epoch_s: f64,
     },
+    /// Overload backpressure: the queue depth crossed the shedding
+    /// watermark, so the runtime turns new work away *before* the queue is
+    /// physically full. Unlike [`RejectReason::QueueFull`] this carries a
+    /// machine-readable `retry_after` hint — the runtime's estimate of when
+    /// the backlog will have drained below the watermark — so a
+    /// well-behaved client (e.g. the metro workload generator's
+    /// exponential backoff) resubmits when the grid can actually take the
+    /// query instead of hammering a saturated base station.
+    Overloaded {
+        /// Resubmitting before this much time has passed will almost
+        /// certainly be rejected again.
+        retry_after: pg_sim::Duration,
+        /// Queue depth at the moment of rejection.
+        queue_depth: usize,
+    },
 }
 
 impl fmt::Display for RejectReason {
@@ -178,6 +193,14 @@ impl fmt::Display for RejectReason {
             } => write!(
                 f,
                 "deadline {deadline_s:.3} s shorter than one {epoch_s:.3} s epoch"
+            ),
+            RejectReason::Overloaded {
+                retry_after,
+                queue_depth,
+            } => write!(
+                f,
+                "overloaded ({queue_depth} queued); retry after {:.1} s",
+                retry_after.as_secs_f64()
             ),
         }
     }

@@ -8,22 +8,28 @@
 //! runtime is measured under the open-loop response-time regime §4 asks
 //! for (offered load does not slow down because the server is busy).
 //!
-//! Two implementations ship:
+//! Three implementations ship:
 //!
 //! * [`PoissonArrivals`] — deterministic seeded Poisson offered load:
 //!   exponential inter-arrival gaps at rate λ, rotating through a fixed
 //!   query mix. The same seed always produces the same arrival stream,
 //!   independent of what the scheduler does with it.
+//! * [`MetroWorkload`] — a metro-scale population model: 10^5+ simulated
+//!   users on a diurnal rate curve with Markov-modulated flash crowds,
+//!   heavy-tailed (Pareto) session lengths, per-device-class query mixes,
+//!   and client-side exponential backoff honoring the runtime's
+//!   [`Overloaded`](crate::RejectReason::Overloaded) backpressure hints.
 //! * [`TraceArrivals`] — replay of an explicit timestamped trace, for
 //!   regression pinning and for driving the runtime from recorded
 //!   workloads.
 
 use crate::admission::QueryOpts;
-use pg_sim::rng::RngStreams;
+use pg_sim::rng::{mix, RngStreams};
 use pg_sim::{Duration, SimTime};
 use rand::rngs::StdRng;
 use rand::Rng;
-use std::collections::VecDeque;
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, VecDeque};
 
 /// One query arriving at the base station.
 #[derive(Debug, Clone, PartialEq)]
@@ -52,6 +58,17 @@ pub trait ArrivalProcess {
     /// True when the stream is exhausted.
     fn is_exhausted(&mut self) -> bool {
         self.peek().is_none()
+    }
+
+    /// Backpressure feedback: the runtime rejected the *most recently
+    /// consumed* arrival as
+    /// [`Overloaded`](crate::RejectReason::Overloaded), suggesting the
+    /// client retry no sooner than `retry_after` past `now`. Processes
+    /// modelling well-behaved clients (see [`MetroWorkload`]) re-enqueue
+    /// the arrival with exponential backoff; the default drops it — an
+    /// open-loop source that never retries.
+    fn on_overload(&mut self, arrival: Arrival, retry_after: Duration, now: SimTime) {
+        let _ = (arrival, retry_after, now);
     }
 }
 
@@ -132,6 +149,438 @@ impl ArrivalProcess for PoissonArrivals {
         self.emitted += 1;
         self.next_at = self.draw_from(at);
         Some(Arrival { at, text, opts })
+    }
+}
+
+/// One device population stratum of a [`MetroWorkload`]: a class of
+/// handheld (or wall-panel, or feed) devices sharing a query mix.
+///
+/// Each simulated user is deterministically bound to one class (a hash of
+/// the user id against the class weights), so a user's sessions always
+/// speak the same dialect; within a session the class mix rotates in
+/// order.
+#[derive(Debug, Clone)]
+pub struct DeviceClass {
+    /// Class label (report keys, debugging).
+    pub name: String,
+    /// Relative share of the user population in this class.
+    pub weight: f64,
+    /// The queries this class issues, rotated in order within a session.
+    pub mix: Vec<(String, QueryOpts)>,
+}
+
+/// Knobs of the [`MetroWorkload`] population model. All fields are public
+/// so experiments can build one with struct-update syntax from
+/// [`MetroConfig::default`].
+#[derive(Debug, Clone)]
+pub struct MetroConfig {
+    /// Simulated user population size (user ids are drawn from this
+    /// range; each user keeps a stable device class).
+    pub users: u64,
+    /// Mean sessions each user starts per diurnal period.
+    pub sessions_per_user_day: f64,
+    /// Diurnal period: the rate curve completes one trough-peak-trough
+    /// cycle over this long. Shrinking it compresses a "day" into a short
+    /// simulation horizon.
+    pub day: Duration,
+    /// No arrivals are generated at or past this instant.
+    pub horizon: SimTime,
+    /// Night-time rate as a fraction of the mid-day peak, in (0, 1].
+    pub diurnal_floor: f64,
+    /// Session-rate multiplier while a flash crowd is active (≥ 1).
+    pub flash_rate_mult: f64,
+    /// Mean calm time between flash crowds (exponential).
+    pub flash_every: Duration,
+    /// Mean flash-crowd duration (exponential).
+    pub flash_len: Duration,
+    /// Pareto tail index of the per-session query count (> 1 keeps the
+    /// mean finite; smaller is heavier-tailed).
+    pub pareto_alpha: f64,
+    /// Pareto scale: the minimum queries per session (≥ 1).
+    pub queries_min: f64,
+    /// Hard cap on queries per session, so a heavy-tail draw cannot
+    /// degenerate into one unbounded session.
+    pub queries_cap: u64,
+    /// Mean think time between a session's consecutive queries.
+    pub think_mean: Duration,
+    /// Backoff attempts before a rejected query's client gives up.
+    pub retry_max: u32,
+    /// The device-class strata (must be non-empty, weights positive).
+    pub classes: Vec<DeviceClass>,
+}
+
+impl Default for MetroConfig {
+    fn default() -> Self {
+        MetroConfig {
+            users: 100_000,
+            sessions_per_user_day: 2.0,
+            day: Duration::from_secs(86_400),
+            horizon: SimTime::from_secs(86_400),
+            diurnal_floor: 0.2,
+            flash_rate_mult: 8.0,
+            flash_every: Duration::from_secs(4 * 3600),
+            flash_len: Duration::from_secs(600),
+            pareto_alpha: 1.5,
+            queries_min: 1.0,
+            queries_cap: 200,
+            think_mean: Duration::from_secs(15),
+            retry_max: 5,
+            classes: vec![DeviceClass {
+                name: "handheld".to_string(),
+                weight: 1.0,
+                mix: vec![(
+                    "SELECT AVG(temp) FROM sensors".to_string(),
+                    QueryOpts::default(),
+                )],
+            }],
+        }
+    }
+}
+
+impl MetroConfig {
+    /// Mean session-arrival rate over one diurnal cycle ignoring the
+    /// curve and flash crowds: `users * sessions_per_user_day / day`.
+    pub fn base_session_rate_hz(&self) -> f64 {
+        self.users as f64 * self.sessions_per_user_day / self.day.as_secs_f64()
+    }
+}
+
+/// One future query event in the metro heap, min-ordered by
+/// `(at, seq)` — `seq` is an insertion counter, so ties replay in
+/// generation order and the order is total without comparing payloads.
+#[derive(Debug)]
+struct MetroEvent {
+    at: SimTime,
+    seq: u64,
+    attempt: u32,
+    text: String,
+    opts: QueryOpts,
+}
+
+impl PartialEq for MetroEvent {
+    fn eq(&self, other: &Self) -> bool {
+        (self.at, self.seq) == (other.at, other.seq)
+    }
+}
+impl Eq for MetroEvent {}
+impl PartialOrd for MetroEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for MetroEvent {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest first.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// Metro-scale offered load: a population of simulated users issuing
+/// query *sessions* against the grid.
+///
+/// The generative model, every stage seeded and replayable:
+///
+/// * **Sessions** arrive as a non-homogeneous Poisson process, realized
+///   by thinning against the envelope rate `base × flash_rate_mult`. The
+///   instantaneous rate is `base_session_rate_hz × diurnal(t) ×
+///   burst(t)`: a raised-cosine diurnal curve (trough at t = 0 and t =
+///   `day`, peak mid-period, floor `diurnal_floor`) modulated by a
+///   two-state Markov process whose flash state multiplies the rate by
+///   `flash_rate_mult` — the fire-alarm moment when everyone's handheld
+///   queries at once.
+/// * **Each session** belongs to one user (uniform over `users`), whose
+///   [`DeviceClass`] is a stable hash of the user id; the session issues
+///   a Pareto(`pareto_alpha`, `queries_min`)-distributed number of
+///   queries separated by exponential think times, rotating through the
+///   class mix.
+/// * **Backpressure**: when the runtime answers a submission with
+///   [`Overloaded`](crate::RejectReason::Overloaded), the event loop
+///   hands the arrival back through [`ArrivalProcess::on_overload`]; the
+///   client retries with exponential backoff (`retry_after × 2^attempt`,
+///   deterministically jittered) up to `retry_max` attempts, then gives
+///   up — counted, never silent.
+///
+/// The offered stream (without backoff retries) can be captured once and
+/// replayed through [`TraceArrivals`] via [`MetroWorkload::into_trace`].
+#[derive(Debug)]
+pub struct MetroWorkload {
+    cfg: MetroConfig,
+    /// Candidate gaps + thinning acceptance.
+    arrival_rng: StdRng,
+    /// Session shape: user id, query count, think gaps.
+    shape_rng: StdRng,
+    /// Flash-crowd interval process.
+    flash_rng: StdRng,
+    /// Backoff jitter.
+    backoff_rng: StdRng,
+    /// Salt binding user ids to device classes.
+    class_salt: u64,
+    /// Envelope rate the thinning rejects against, Hz.
+    envelope_hz: f64,
+    total_weight: f64,
+    /// Next un-thinned candidate session start.
+    next_candidate: Option<SimTime>,
+    /// Generated-but-unconsumed query events (sessions + retries).
+    heap: BinaryHeap<MetroEvent>,
+    seq: u64,
+    /// Flash intervals generated so far reach up to this instant.
+    flash_frontier: SimTime,
+    /// Active/pending flash intervals (start, end), time-ordered.
+    flash_windows: VecDeque<(SimTime, SimTime)>,
+    /// Attempt count of the most recently consumed arrival.
+    last_attempt: u32,
+    emitted: u64,
+    sessions: u64,
+    retries: u64,
+    gave_up: u64,
+}
+
+impl MetroWorkload {
+    /// A seeded metro workload. Same seed + same config ⇒ bit-identical
+    /// offered stream, independent of what the consumer does with it
+    /// (backoff retries are the one exception: they exist only when the
+    /// runtime pushes back).
+    ///
+    /// # Panics
+    /// Panics on non-generative configs: no users, no classes, zero
+    /// session rate, a flash multiplier below 1, a Pareto index ≤ 1, or a
+    /// diurnal floor outside (0, 1] — configuration errors, not runtime
+    /// conditions.
+    pub fn new(seed: u64, cfg: MetroConfig) -> Self {
+        assert!(cfg.users > 0, "metro workload needs users");
+        assert!(
+            !cfg.classes.is_empty(),
+            "metro workload needs device classes"
+        );
+        assert!(
+            cfg.classes
+                .iter()
+                .all(|c| c.weight > 0.0 && !c.mix.is_empty()),
+            "every device class needs a positive weight and a non-empty mix"
+        );
+        assert!(
+            cfg.base_session_rate_hz() > 0.0,
+            "session rate must be positive"
+        );
+        assert!(cfg.flash_rate_mult >= 1.0, "flash multiplier must be >= 1");
+        assert!(cfg.pareto_alpha > 1.0, "pareto index must be > 1");
+        assert!(cfg.queries_min >= 1.0, "sessions have at least one query");
+        assert!(
+            cfg.diurnal_floor > 0.0 && cfg.diurnal_floor <= 1.0,
+            "diurnal floor must be in (0, 1]"
+        );
+        let streams = RngStreams::new(seed);
+        let envelope_hz = cfg.base_session_rate_hz() * cfg.flash_rate_mult;
+        let total_weight = cfg.classes.iter().map(|c| c.weight).sum();
+        let mut w = MetroWorkload {
+            cfg,
+            arrival_rng: streams.fork("metro-arrivals"),
+            shape_rng: streams.fork("metro-shape"),
+            flash_rng: streams.fork("metro-flash"),
+            backoff_rng: streams.fork("metro-backoff"),
+            class_salt: mix(seed, 0x6d65_7472_6f00_0001),
+            envelope_hz,
+            total_weight,
+            next_candidate: None,
+            heap: BinaryHeap::new(),
+            seq: 0,
+            flash_frontier: SimTime::ZERO,
+            flash_windows: VecDeque::new(),
+            last_attempt: 0,
+            emitted: 0,
+            sessions: 0,
+            retries: 0,
+            gave_up: 0,
+        };
+        w.next_candidate = w.draw_candidate(SimTime::ZERO);
+        w
+    }
+
+    /// Arrivals emitted so far (retries included).
+    pub fn emitted(&self) -> u64 {
+        self.emitted
+    }
+
+    /// Sessions started so far.
+    pub fn sessions(&self) -> u64 {
+        self.sessions
+    }
+
+    /// Backoff retries scheduled so far.
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+
+    /// Clients that exhausted their backoff budget (or whose retry would
+    /// land past the horizon) and abandoned the query.
+    pub fn gave_up(&self) -> u64 {
+        self.gave_up
+    }
+
+    /// Drain the remaining offered stream into a [`TraceArrivals`] for
+    /// replay — the "record once, replay exactly" path the regression
+    /// experiments use.
+    pub fn into_trace(mut self) -> TraceArrivals {
+        let mut all = Vec::new();
+        while let Some(a) = self.next_arrival() {
+            all.push(a);
+        }
+        TraceArrivals::new(all)
+    }
+
+    fn exp_gap(rng: &mut StdRng, mean_s: f64) -> f64 {
+        let u: f64 = rng.gen();
+        -(1.0 - u).ln() * mean_s
+    }
+
+    fn draw_candidate(&mut self, prev: SimTime) -> Option<SimTime> {
+        let gap_s = Self::exp_gap(&mut self.arrival_rng, 1.0 / self.envelope_hz);
+        let at = prev + Duration::from_secs_f64(gap_s);
+        (at < self.cfg.horizon).then_some(at)
+    }
+
+    /// Raised-cosine diurnal factor in [`diurnal_floor`, 1].
+    fn diurnal(&self, t: SimTime) -> f64 {
+        let phase = std::f64::consts::TAU * t.as_secs_f64() / self.cfg.day.as_secs_f64();
+        let shape = 0.5 * (1.0 - phase.cos());
+        self.cfg.diurnal_floor + (1.0 - self.cfg.diurnal_floor) * shape
+    }
+
+    /// Flash-crowd multiplier at `t`: `flash_rate_mult` inside a flash
+    /// window, 1 outside. `t` calls must be non-decreasing (candidates
+    /// are generated in time order), so windows are generated lazily and
+    /// discarded once past.
+    fn burst_mult_at(&mut self, t: SimTime) -> f64 {
+        while self.flash_frontier <= t {
+            let calm_s = Self::exp_gap(&mut self.flash_rng, self.cfg.flash_every.as_secs_f64());
+            let flash_s = Self::exp_gap(&mut self.flash_rng, self.cfg.flash_len.as_secs_f64());
+            let start = self.flash_frontier + Duration::from_secs_f64(calm_s);
+            let end = start + Duration::from_secs_f64(flash_s);
+            self.flash_windows.push_back((start, end));
+            self.flash_frontier = end;
+        }
+        while let Some(&(_, end)) = self.flash_windows.front() {
+            if end <= t {
+                self.flash_windows.pop_front();
+            } else {
+                break;
+            }
+        }
+        match self.flash_windows.front() {
+            Some(&(start, _)) if start <= t => self.cfg.flash_rate_mult,
+            _ => 1.0,
+        }
+    }
+
+    /// The device class a user is bound to, by stable hash.
+    fn class_of(&self, user: u64) -> &DeviceClass {
+        let r = (mix(self.class_salt, user) >> 11) as f64 / (1u64 << 53) as f64;
+        let mut mark = r * self.total_weight;
+        for c in &self.cfg.classes {
+            mark -= c.weight;
+            if mark < 0.0 {
+                return c;
+            }
+        }
+        // Rounding can leave `mark` at exactly 0 after the last class.
+        &self.cfg.classes[self.cfg.classes.len() - 1]
+    }
+
+    /// Materialize one session starting at `start` into heap events.
+    fn start_session(&mut self, start: SimTime) {
+        self.sessions += 1;
+        let user = self.shape_rng.gen_range(0..self.cfg.users);
+        // Pareto(alpha, xm): xm / u^(1/alpha) with u in (0, 1].
+        let u: f64 = 1.0 - self.shape_rng.gen::<f64>();
+        let raw = self.cfg.queries_min / u.powf(1.0 / self.cfg.pareto_alpha);
+        let n_q = (raw.ceil() as u64).clamp(1, self.cfg.queries_cap);
+        let think_mean_s = self.cfg.think_mean.as_secs_f64();
+        let mut at = start;
+        for i in 0..n_q {
+            if i > 0 {
+                let gap_s = Self::exp_gap(&mut self.shape_rng, think_mean_s);
+                at += Duration::from_secs_f64(gap_s);
+            }
+            if at >= self.cfg.horizon {
+                break;
+            }
+            let class = self.class_of(user);
+            let (text, opts) = class.mix[(i as usize) % class.mix.len()].clone();
+            self.heap.push(MetroEvent {
+                at,
+                seq: self.seq,
+                attempt: 0,
+                text,
+                opts,
+            });
+            self.seq += 1;
+        }
+    }
+
+    /// Generate sessions until the earliest pending event (if any) is
+    /// guaranteed to precede every not-yet-generated one. A session's
+    /// queries never precede its start, so the heap top is final once the
+    /// next candidate start lies at or beyond it.
+    fn pump(&mut self) {
+        while let Some(cand) = self.next_candidate {
+            if let Some(top) = self.heap.peek() {
+                if top.at <= cand {
+                    break;
+                }
+            }
+            self.next_candidate = self.draw_candidate(cand);
+            let accept_p = self.diurnal(cand) * self.burst_mult_at(cand) / self.cfg.flash_rate_mult;
+            let u: f64 = self.arrival_rng.gen();
+            if u < accept_p {
+                self.start_session(cand);
+            }
+        }
+    }
+}
+
+impl ArrivalProcess for MetroWorkload {
+    fn peek(&mut self) -> Option<SimTime> {
+        self.pump();
+        self.heap.peek().map(|e| e.at)
+    }
+
+    fn next_arrival(&mut self) -> Option<Arrival> {
+        self.pump();
+        let ev = self.heap.pop()?;
+        self.last_attempt = ev.attempt;
+        self.emitted += 1;
+        Some(Arrival {
+            at: ev.at,
+            text: ev.text,
+            opts: ev.opts,
+        })
+    }
+
+    /// Exponential backoff: re-enqueue at `now + retry_after × 2^attempt`
+    /// with deterministic multiplicative jitter; give up past `retry_max`
+    /// attempts or the horizon.
+    fn on_overload(&mut self, arrival: Arrival, retry_after: Duration, now: SimTime) {
+        let attempt = self.last_attempt;
+        if attempt >= self.cfg.retry_max {
+            self.gave_up += 1;
+            return;
+        }
+        let jitter: f64 = 1.0 + 0.25 * self.backoff_rng.gen::<f64>();
+        let delay_s = retry_after.as_secs_f64().max(1e-3) * f64::from(1u32 << attempt) * jitter;
+        let at = now + Duration::from_secs_f64(delay_s);
+        if at >= self.cfg.horizon {
+            self.gave_up += 1;
+            return;
+        }
+        self.retries += 1;
+        self.heap.push(MetroEvent {
+            at,
+            seq: self.seq,
+            attempt: attempt + 1,
+            text: arrival.text,
+            opts: arrival.opts,
+        });
+        self.seq += 1;
     }
 }
 
@@ -260,6 +709,177 @@ mod tests {
     #[should_panic(expected = "arrival rate must be positive")]
     fn zero_rate_panics() {
         let _ = PoissonArrivals::new(0, 0.0, SimTime::from_secs(1), mix());
+    }
+
+    /// A metro config small and hot enough to drain in a test: one
+    /// compressed day, two device classes, frequent flash crowds.
+    fn metro_cfg() -> MetroConfig {
+        MetroConfig {
+            users: 120_000,
+            sessions_per_user_day: 0.5,
+            day: Duration::from_secs(3600),
+            horizon: SimTime::from_secs(3600),
+            diurnal_floor: 0.1,
+            flash_rate_mult: 6.0,
+            flash_every: Duration::from_secs(900),
+            flash_len: Duration::from_secs(60),
+            classes: vec![
+                DeviceClass {
+                    name: "handheld".to_string(),
+                    weight: 3.0,
+                    mix: vec![
+                        (
+                            "SELECT AVG(temp) FROM sensors".to_string(),
+                            QueryOpts::default(),
+                        ),
+                        (
+                            "SELECT MAX(temp) FROM sensors".to_string(),
+                            QueryOpts::default(),
+                        ),
+                    ],
+                },
+                DeviceClass {
+                    name: "feed".to_string(),
+                    weight: 1.0,
+                    mix: vec![(
+                        "SELECT AVG(co2) FROM sensors".to_string(),
+                        QueryOpts::default().priority(2),
+                    )],
+                },
+            ],
+            ..MetroConfig::default()
+        }
+    }
+
+    fn drain_metro(seed: u64) -> Vec<Arrival> {
+        let mut w = MetroWorkload::new(seed, metro_cfg());
+        let mut out = Vec::new();
+        while let Some(a) = w.next_arrival() {
+            out.push(a);
+        }
+        out
+    }
+
+    #[test]
+    fn metro_is_deterministic_per_seed_and_time_ordered() {
+        let a = drain_metro(11);
+        let b = drain_metro(11);
+        assert_eq!(a, b, "same seed must replay bit-identically");
+        assert_ne!(a, drain_metro(12));
+        assert!(!a.is_empty());
+        for w in a.windows(2) {
+            assert!(w[0].at <= w[1].at, "arrivals must be time-ordered");
+        }
+        assert!(a.iter().all(|x| x.at < SimTime::from_secs(3600)));
+    }
+
+    #[test]
+    fn metro_diurnal_curve_shapes_the_rate() {
+        // Floor 0.1 at the edges vs 1.0 mid-day: the middle third of the
+        // day must carry far more than the first third.
+        let a = drain_metro(21);
+        let third = 1200.0;
+        let first = a.iter().filter(|x| x.at.as_secs_f64() < third).count();
+        let middle = a
+            .iter()
+            .filter(|x| (third..2.0 * third).contains(&x.at.as_secs_f64()))
+            .count();
+        assert!(
+            middle > 2 * first,
+            "diurnal peak must dominate the trough: {first} vs {middle}"
+        );
+    }
+
+    #[test]
+    fn metro_sessions_are_heavy_tailed_bursts() {
+        let mut w = MetroWorkload::new(31, metro_cfg());
+        let mut n = 0u64;
+        while w.next_arrival().is_some() {
+            n += 1;
+        }
+        assert_eq!(w.emitted(), n);
+        // Pareto(1.5, 1) sessions average ~3 queries: strictly more
+        // arrivals than sessions, by a clear margin.
+        assert!(w.sessions() > 0);
+        assert!(
+            n as f64 > 1.5 * w.sessions() as f64,
+            "sessions must fan out into multiple queries: {n} arrivals / {} sessions",
+            w.sessions()
+        );
+    }
+
+    #[test]
+    fn metro_classes_mix_by_stable_user_hash() {
+        let a = drain_metro(41);
+        let feed = a.iter().filter(|x| x.text.contains("co2")).count();
+        let handheld = a.len() - feed;
+        // 3:1 weights — both classes must appear, handhelds dominating.
+        assert!(feed > 0, "the minority class must appear");
+        assert!(handheld > feed, "weights must bias the population");
+        // Priority survives the pipeline: every feed query carries it.
+        assert!(a
+            .iter()
+            .filter(|x| x.text.contains("co2"))
+            .all(|x| x.opts.priority == 2));
+    }
+
+    #[test]
+    fn metro_replays_through_trace_arrivals() {
+        let offered = drain_metro(51);
+        let mut trace = MetroWorkload::new(51, metro_cfg()).into_trace();
+        let mut replayed = Vec::new();
+        while let Some(a) = trace.next_arrival() {
+            replayed.push(a);
+        }
+        assert_eq!(offered, replayed);
+    }
+
+    #[test]
+    fn metro_backoff_retries_then_gives_up() {
+        // A fully saturated runtime: every emitted arrival is rejected
+        // with `retry_after` backpressure. Each offered query must be
+        // retried (with growing delay) until its backoff budget runs out,
+        // then abandoned — and every emission must be accounted for.
+        let mut cfg = metro_cfg();
+        cfg.retry_max = 2;
+        let mut w = MetroWorkload::new(61, cfg);
+        let retry_after = Duration::from_secs(30);
+        let mut delivered = 0u64;
+        while let Some(a) = w.next_arrival() {
+            delivered += 1;
+            let at = a.at;
+            w.on_overload(a, retry_after, at);
+        }
+        assert_eq!(w.emitted(), delivered);
+        assert!(w.retries() > 0, "rejections must schedule retries");
+        // Every emission either became a scheduled retry or a give-up:
+        // nothing vanishes silently.
+        assert_eq!(w.retries() + w.gave_up(), delivered);
+        // Each retry chain ends in exactly one give-up, so give-ups count
+        // the original queries and retries the extra backoff traffic.
+        assert_eq!(delivered, w.gave_up() + w.retries());
+        assert!(w.gave_up() > 0);
+    }
+
+    #[test]
+    fn default_on_overload_drops_the_arrival() {
+        // PoissonArrivals does not model retrying clients: the hook is a
+        // no-op and the stream is unchanged.
+        let mut p = PoissonArrivals::new(9, 0.5, SimTime::from_secs(120), mix());
+        let a = p.next_arrival().unwrap();
+        let before = p.peek();
+        p.on_overload(a, Duration::from_secs(10), SimTime::from_secs(5));
+        assert_eq!(p.peek(), before);
+    }
+
+    #[test]
+    #[should_panic(expected = "metro workload needs device classes")]
+    fn metro_empty_classes_panic() {
+        let cfg = MetroConfig {
+            classes: Vec::new(),
+            ..MetroConfig::default()
+        };
+        let _ = MetroWorkload::new(0, cfg);
     }
 
     #[test]

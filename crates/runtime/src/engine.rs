@@ -15,6 +15,11 @@ pub struct BatchQuery<'a> {
     pub text: &'a str,
     /// Remaining deadline budget at epoch start, if the query has one.
     pub deadline: Option<Duration>,
+    /// The scheduler is in brownout: the engine should trade answer
+    /// fidelity for cost (coarser aggregation strata, reused trees) and
+    /// annotate the response as degraded. Engines without a cheaper mode
+    /// may ignore the flag — it is a request, not a contract.
+    pub brownout: bool,
 }
 
 /// Per-query share of one epoch's measured cost, attributed by the engine.

@@ -50,6 +50,11 @@ pub enum QueryStatus<'a, R, E> {
     Completed(&'a QueryOutcome<R, E>),
     /// Cancelled by the caller before it was serviced.
     Cancelled,
+    /// Dropped by overload shedding: the runtime judged the query could
+    /// no longer meet its deadline behind the backlog and freed its slot
+    /// for queries that still can. Recorded, never silent — the shed
+    /// counter and shed log account for every one.
+    Shed,
     /// The runtime has never seen this handle (e.g. it belongs to another
     /// runtime instance).
     Unknown,

@@ -12,9 +12,15 @@
 //!   ([`admission`]); accepted queries come back with a [`QueryHandle`]
 //!   the caller can poll, cancel, or tighten the deadline on;
 //! * **open-loop streaming** — an [`ArrivalProcess`] (seeded Poisson
-//!   offered load or trace replay) feeds the event-driven
-//!   [`MultiQueryRuntime::step`] loop, which interleaves arrivals,
-//!   admission, epoch scheduling, and completion ([`arrivals`]);
+//!   offered load, the metro-scale [`MetroWorkload`] population model, or
+//!   trace replay) feeds the event-driven [`MultiQueryRuntime::step`]
+//!   loop, which interleaves arrivals, admission, epoch scheduling, and
+//!   completion ([`arrivals`]);
+//! * **overload control** — queue-depth watermarks with hysteresis drive
+//!   a brownout mode (the engine trades answer fidelity for cost) and a
+//!   shed mode (backpressure rejections carrying a `retry_after` hint,
+//!   plus dropping queued queries that can no longer meet their
+//!   deadline), every affected query accounted for ([`overload`]);
 //! * **epoch scheduling** — simulated time advances in shared epochs, each
 //!   epoch's work interleaved across active queries under a
 //!   [`SchedPolicy`] (FIFO, earliest-deadline-first, energy-weighted fair
@@ -97,14 +103,19 @@ pub mod admission;
 pub mod arrivals;
 pub mod engine;
 pub mod handle;
+pub mod overload;
 pub mod scheduler;
 
 pub use admission::{Admission, QueryId, QueryOpts, RejectReason};
-pub use arrivals::{Arrival, ArrivalProcess, PoissonArrivals, TraceArrivals};
+pub use arrivals::{
+    Arrival, ArrivalProcess, DeviceClass, MetroConfig, MetroWorkload, PoissonArrivals,
+    TraceArrivals,
+};
 pub use engine::{Attribution, BatchQuery, EngineOutcome, QueryEngine};
 pub use handle::{QueryHandle, QueryStatus};
+pub use overload::{OverloadConfig, OverloadPolicy, OverloadState};
 pub use scheduler::{
-    MultiQueryRuntime, QueryOutcome, RuntimeConfig, RuntimeConfigBuilder, SchedPolicy,
+    MultiQueryRuntime, QueryOutcome, RuntimeConfig, RuntimeConfigBuilder, SchedPolicy, ShedRecord,
 };
 
 #[cfg(test)]
@@ -533,6 +544,273 @@ mod tests {
         // Completed queries can no longer be tightened.
         assert!(!rt.tighten_deadline(urgent, Duration::from_secs(30)));
         assert!(rt.tighten_deadline(slow, Duration::from_secs(30)));
+    }
+
+    #[test]
+    fn cancel_on_the_deferred_backlog_promotes_later_work() {
+        let mut rt = MultiQueryRuntime::new(
+            RuntimeConfig::builder()
+                .capacity(8)
+                .slots_per_epoch(1)
+                .build(),
+            Mock::new(100.0),
+        );
+        let _a = rt.submit("a", QueryOpts::default()).handle().unwrap();
+        let b = rt.submit("b", QueryOpts::default());
+        assert!(
+            matches!(b, Admission::Deferred { .. }),
+            "b sits in the backlog"
+        );
+        let b = b.handle().unwrap();
+        let c = rt.submit("c", QueryOpts::default()).handle().unwrap();
+        match rt.poll(c) {
+            QueryStatus::Queued { rank, depth } => {
+                assert_eq!((rank, depth), (2, 3));
+            }
+            other => panic!("expected queued, got {other:?}"),
+        }
+        // Cancelling the deferred b moves c up one backlog slot.
+        assert!(rt.cancel(b));
+        match rt.poll(c) {
+            QueryStatus::Queued { rank, depth } => {
+                assert_eq!((rank, depth), (1, 2));
+            }
+            other => panic!("expected queued, got {other:?}"),
+        }
+        rt.run_until_idle(8);
+        assert_eq!(rt.engine().executed, ["a", "c"]);
+        assert!(matches!(rt.poll(b), QueryStatus::Cancelled));
+    }
+
+    #[test]
+    fn tighten_deadline_on_deferred_work_drives_preemption() {
+        let run = |tighten: bool| {
+            let mut rt = MultiQueryRuntime::new(
+                RuntimeConfig::builder()
+                    .capacity(8)
+                    .slots_per_epoch(1)
+                    .preemption(true)
+                    .build(),
+                Mock::new(100.0),
+            );
+            rt.submit("a", QueryOpts::default());
+            rt.submit("b", QueryOpts::default());
+            let c = rt.submit("c", QueryOpts::default()).handle().unwrap();
+            if tighten {
+                // c sits third under FIFO; a 40 s deadline makes the 30 s
+                // round its last chance, so preemption must lift it over b.
+                assert!(rt.tighten_deadline(c, Duration::from_secs(40)));
+            }
+            rt.run_until_idle(8);
+            rt
+        };
+        let plain = run(false);
+        assert_eq!(plain.engine().executed, ["a", "b", "c"]);
+        assert_eq!(plain.preemptions, 0);
+        let tightened = run(true);
+        assert_eq!(tightened.engine().executed, ["a", "c", "b"]);
+        assert_eq!(tightened.preemptions, 1);
+        let c = tightened.outcomes().iter().find(|o| o.text == "c").unwrap();
+        assert!(!c.deadline_exceeded());
+    }
+
+    #[test]
+    fn cancelled_critical_work_never_preempts() {
+        // Cancel interacts with preemption: a deferred query tightened
+        // into criticality then cancelled must neither run nor count a
+        // preemptive jump.
+        let mut rt = MultiQueryRuntime::new(
+            RuntimeConfig::builder()
+                .capacity(8)
+                .slots_per_epoch(1)
+                .preemption(true)
+                .build(),
+            Mock::new(100.0),
+        );
+        rt.submit("a", QueryOpts::default());
+        rt.submit("b", QueryOpts::default());
+        let c = rt.submit("c", QueryOpts::default()).handle().unwrap();
+        assert!(rt.tighten_deadline(c, Duration::from_secs(40)));
+        assert!(rt.cancel(c));
+        rt.run_until_idle(8);
+        assert_eq!(rt.engine().executed, ["a", "b"]);
+        assert_eq!(rt.preemptions, 0);
+        assert!(matches!(rt.poll(c), QueryStatus::Cancelled));
+    }
+
+    #[test]
+    fn shed_mode_rejects_with_a_retry_after_hint() {
+        let mut rt = MultiQueryRuntime::new(
+            RuntimeConfig::builder()
+                .capacity(32)
+                .slots_per_epoch(2)
+                .overload(OverloadConfig::watermarks(OverloadPolicy::Shed, 0, 0, 2, 4))
+                .build(),
+            Mock::new(100.0),
+        );
+        for q in ["a", "b", "c", "d"] {
+            assert!(rt.submit(q, QueryOpts::default()).is_accepted());
+        }
+        assert_eq!(rt.overload_state(), OverloadState::Shed);
+        let fifth = rt.submit("e", QueryOpts::default());
+        let Admission::Rejected {
+            reason:
+                RejectReason::Overloaded {
+                    retry_after,
+                    queue_depth,
+                },
+            ..
+        } = fifth
+        else {
+            panic!("expected overload rejection, got {fifth:?}");
+        };
+        // Depth 4, exit watermark 2, 2 slots/epoch: one 30 s round drains
+        // the excess.
+        assert_eq!(retry_after, Duration::from_secs(30));
+        assert_eq!(queue_depth, 4);
+        assert!(!fifth.is_accepted());
+        if let Admission::Rejected { reason, .. } = fifth {
+            assert!(reason.to_string().contains("retry after"));
+        }
+        // Draining below the low watermark reopens the door (hysteresis:
+        // depth must reach shed_low, not merely dip under shed_high).
+        rt.run_epoch();
+        assert_eq!(rt.queue_depth(), 2);
+        assert_eq!(rt.overload_state(), OverloadState::Normal);
+        assert!(rt.submit("f", QueryOpts::default()).is_accepted());
+        rt.run_until_idle(8);
+        // No deadlines anywhere: shedding never touched queued work.
+        assert_eq!(rt.shed, 0);
+        assert_eq!(rt.report("m").counters["shed"], 0);
+    }
+
+    #[test]
+    fn doomed_queries_are_shed_with_full_accounting() {
+        let mut rt = MultiQueryRuntime::new(
+            RuntimeConfig::builder()
+                .capacity(32)
+                .slots_per_epoch(1)
+                .overload(OverloadConfig::watermarks(OverloadPolicy::Shed, 0, 0, 2, 4))
+                .build(),
+            Mock::new(100.0),
+        );
+        let handles: Vec<_> = ["a", "b", "c", "d"]
+            .iter()
+            .map(|q| {
+                rt.submit(q, QueryOpts::with_deadline(Duration::from_secs(45)))
+                    .handle()
+                    .unwrap()
+            })
+            .collect();
+        assert_eq!(rt.overload_state(), OverloadState::Shed);
+        rt.run_until_idle(8);
+        // One slot per 30 s round against 45 s deadlines: ranks 2 and 3
+        // would start at 60 s and 90 s — guaranteed misses, shed at the
+        // first round. Ranks 0 and 1 complete in time.
+        assert_eq!(rt.engine().executed, ["a", "b"]);
+        assert_eq!(rt.shed, 2);
+        let records = rt.shed_records();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].text, "c");
+        assert_eq!(records[1].text, "d");
+        assert_eq!(records[0].shed_at, SimTime::ZERO);
+        assert!(matches!(rt.poll(handles[2]), QueryStatus::Shed));
+        assert!(matches!(rt.poll(handles[3]), QueryStatus::Shed));
+        assert!(rt.poll(handles[0]).is_completed());
+        // Nothing serviced missed its deadline; nothing vanished.
+        assert!(rt.outcomes().iter().all(|o| !o.deadline_exceeded()));
+        let r = rt.report("m");
+        assert_eq!(r.counters["shed"], 2);
+        assert_eq!(r.counters["admitted"], 4);
+        assert_eq!(r.counters["completed"] + r.counters["shed"], 4);
+    }
+
+    #[test]
+    fn brownout_marks_rounds_then_recovers() {
+        let mut rt = MultiQueryRuntime::new(
+            RuntimeConfig::builder()
+                .capacity(32)
+                .slots_per_epoch(2)
+                .overload(OverloadConfig::watermarks(
+                    OverloadPolicy::BrownoutShed,
+                    1,
+                    2,
+                    8,
+                    16,
+                ))
+                .build(),
+            Mock::new(100.0),
+        );
+        for q in ["a", "b", "c"] {
+            rt.submit(q, QueryOpts::default());
+        }
+        assert_eq!(rt.overload_state(), OverloadState::Brownout);
+        rt.run_epoch();
+        // The round drained to depth 1 = brownout_low: fidelity recovers.
+        assert_eq!(rt.overload_state(), OverloadState::Normal);
+        rt.run_until_idle(8);
+        let browned: Vec<bool> = rt.outcomes().iter().map(|o| o.brownout).collect();
+        assert_eq!(browned, [true, true, false]);
+        assert_eq!(rt.browned_out, 2);
+        assert_eq!(rt.report("m").counters["browned_out"], 2);
+        // Shed-only policy never browns out.
+        let mut rt = MultiQueryRuntime::new(
+            RuntimeConfig::builder()
+                .capacity(32)
+                .slots_per_epoch(2)
+                .overload(OverloadConfig::watermarks(
+                    OverloadPolicy::Shed,
+                    1,
+                    2,
+                    8,
+                    16,
+                ))
+                .build(),
+            Mock::new(100.0),
+        );
+        for q in ["a", "b", "c"] {
+            rt.submit(q, QueryOpts::default());
+        }
+        rt.run_until_idle(8);
+        assert_eq!(rt.browned_out, 0);
+        assert!(rt.outcomes().iter().all(|o| !o.brownout));
+    }
+
+    #[test]
+    fn step_feeds_overload_rejections_back_to_the_client() {
+        // A saturating metro stream against a tiny shed watermark: every
+        // Overloaded rejection must reach the workload's backoff hook,
+        // and the final books must balance — nothing vanishes.
+        let cfg = MetroConfig {
+            users: 50_000,
+            sessions_per_user_day: 0.04,
+            day: Duration::from_secs(1800),
+            horizon: SimTime::from_secs(1800),
+            retry_max: 2,
+            ..MetroConfig::default()
+        };
+        let mut w = MetroWorkload::new(77, cfg);
+        let mut rt = MultiQueryRuntime::new(
+            RuntimeConfig::builder()
+                .capacity(32)
+                .slots_per_epoch(1)
+                .overload(OverloadConfig::watermarks(OverloadPolicy::Shed, 0, 0, 2, 4))
+                .build(),
+            Mock::new(1e9),
+        );
+        rt.run_stream(&mut w, 100_000);
+        assert!(rt.rejected > 0, "the stream must overload the runtime");
+        assert!(w.retries() > 0, "rejections must schedule backoff retries");
+        // Every rejection here is an Overloaded one (the watermark sits
+        // far below capacity), and each reached the hook: it either
+        // became a retry or a give-up.
+        assert_eq!(w.retries() + w.gave_up(), rt.rejected);
+        // Conservation: every delivered arrival was completed, rejected,
+        // or shed — the queue is drained and nothing is unaccounted.
+        assert_eq!(rt.queue_depth(), 0);
+        let completed = rt.outcomes().len() as u64;
+        assert_eq!(rt.arrived, completed + rt.rejected + rt.shed);
+        assert_eq!(rt.arrived, w.emitted());
     }
 
     #[test]

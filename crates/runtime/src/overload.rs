@@ -1,0 +1,237 @@
+//! Overload control: watermarks, load shedding, and brownout.
+//!
+//! The paper's grid fronts interactive handheld queries against a shared
+//! sensor fabric; when a fire alarm empties the building, offered load
+//! spikes far past the 4-slots-per-epoch service capacity. A runtime that
+//! only defers queues forever: response times grow without bound and the
+//! scheduler spends its slots answering queries whose deadlines are long
+//! gone. This module gives [`MultiQueryRuntime`](crate::MultiQueryRuntime)
+//! the standard three-stage response instead:
+//!
+//! 1. **Normal** — nothing changes; the default [`OverloadConfig`] keeps
+//!    the policy at [`OverloadPolicy::None`], so every existing workload
+//!    (and the batch/streaming equivalence property) is bit-identical.
+//! 2. **Brownout** — above `brownout_high` queued queries the runtime
+//!    marks each service round `brownout`: the engine degrades answer
+//!    *fidelity* (coarser aggregation strata over subsampled members)
+//!    instead of refusing work, and every affected response is annotated
+//!    through the engine's degradation path — fidelity is traded, never
+//!    silently.
+//! 3. **Shed** — above `shed_high` the runtime (a) rejects new
+//!    submissions with [`RejectReason::Overloaded`](crate::RejectReason)
+//!    carrying a drain-estimate `retry_after`, and (b) at each round start
+//!    drops the queued queries *least likely to meet their deadline* —
+//!    those whose estimated service start under the current policy order
+//!    already lies past their deadline. Shed queries are fully accounted:
+//!    a `shed` counter, a per-query shed record, and a
+//!    [`QueryStatus::Shed`](crate::QueryStatus) poll result.
+//!
+//! Both thresholds have hysteresis (`*_low` re-entry watermarks) so the
+//! mode does not flap at the boundary: once shedding starts it continues
+//! until the backlog has genuinely drained, not merely dipped one query
+//! below the trigger.
+
+/// Which overload response the runtime is allowed to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OverloadPolicy {
+    /// No overload control: v1/v2 behavior, queue-full is the only limit.
+    #[default]
+    None,
+    /// Load shedding only: backpressure rejections plus dropping doomed
+    /// queued queries, but full-fidelity answers for everything serviced.
+    Shed,
+    /// Brownout first, shedding second: degrade answer fidelity at the
+    /// lower watermark, shed only when that is not enough.
+    BrownoutShed,
+}
+
+impl OverloadPolicy {
+    /// Canonical lower-case name (report keys, CLI).
+    pub fn name(&self) -> &'static str {
+        match self {
+            OverloadPolicy::None => "no_control",
+            OverloadPolicy::Shed => "shed",
+            OverloadPolicy::BrownoutShed => "brownout_shed",
+        }
+    }
+}
+
+/// Queue-depth watermarks with hysteresis.
+///
+/// Depth at or above a `*_high` watermark enters the mode; the mode is
+/// left only when depth falls to or below the matching `*_low`. The
+/// brownout band should sit below the shed band
+/// (`brownout_high < shed_high`) so fidelity degrades before any query is
+/// refused — [`OverloadConfig::watermarks`] enforces the ordering.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OverloadConfig {
+    /// Which responses are enabled.
+    pub policy: OverloadPolicy,
+    /// Enter brownout at this queue depth (used by `BrownoutShed`).
+    pub brownout_high: usize,
+    /// Leave brownout when depth falls back to this.
+    pub brownout_low: usize,
+    /// Enter shedding at this queue depth.
+    pub shed_high: usize,
+    /// Leave shedding when depth falls back to this.
+    pub shed_low: usize,
+}
+
+impl Default for OverloadConfig {
+    fn default() -> Self {
+        OverloadConfig {
+            policy: OverloadPolicy::None,
+            brownout_high: 8,
+            brownout_low: 4,
+            shed_high: 16,
+            shed_low: 8,
+        }
+    }
+}
+
+impl OverloadConfig {
+    /// A config with the given policy and watermark bands.
+    ///
+    /// # Panics
+    /// Panics unless `brownout_low <= brownout_high <= shed_low <=
+    /// shed_high` — out-of-order watermarks would make the hysteresis
+    /// oscillate, which is a configuration error.
+    pub fn watermarks(
+        policy: OverloadPolicy,
+        brownout_low: usize,
+        brownout_high: usize,
+        shed_low: usize,
+        shed_high: usize,
+    ) -> Self {
+        assert!(
+            brownout_low <= brownout_high && brownout_high <= shed_low && shed_low <= shed_high,
+            "watermarks must be ordered: brownout {brownout_low}..{brownout_high} \
+             below shed {shed_low}..{shed_high}"
+        );
+        OverloadConfig {
+            policy,
+            brownout_high,
+            brownout_low,
+            shed_high,
+            shed_low,
+        }
+    }
+}
+
+/// The runtime's current overload mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OverloadState {
+    /// Below every watermark: full fidelity, no backpressure.
+    #[default]
+    Normal,
+    /// Fidelity degraded (coarser strata); nothing refused yet.
+    Brownout,
+    /// Backpressure rejections and doomed-query shedding active.
+    Shed,
+}
+
+impl OverloadState {
+    /// Step the hysteresis state machine for the current queue depth.
+    pub(crate) fn update(self, cfg: &OverloadConfig, depth: usize) -> OverloadState {
+        match cfg.policy {
+            OverloadPolicy::None => OverloadState::Normal,
+            OverloadPolicy::Shed => match self {
+                OverloadState::Shed if depth > cfg.shed_low => OverloadState::Shed,
+                _ if depth >= cfg.shed_high => OverloadState::Shed,
+                _ => OverloadState::Normal,
+            },
+            OverloadPolicy::BrownoutShed => {
+                // Resolve the shed band first, then the brownout band: a
+                // queue draining out of shedding lands in brownout until
+                // it clears the lower watermark too.
+                let shedding = match self {
+                    OverloadState::Shed => depth > cfg.shed_low,
+                    _ => depth >= cfg.shed_high,
+                };
+                if shedding {
+                    return OverloadState::Shed;
+                }
+                let browned = match self {
+                    OverloadState::Normal => depth >= cfg.brownout_high,
+                    _ => depth > cfg.brownout_low,
+                };
+                if browned {
+                    OverloadState::Brownout
+                } else {
+                    OverloadState::Normal
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_policy_never_leaves_normal() {
+        let cfg = OverloadConfig::default();
+        let mut s = OverloadState::Normal;
+        for depth in [0, 10, 100, 1000] {
+            s = s.update(&cfg, depth);
+            assert_eq!(s, OverloadState::Normal);
+        }
+    }
+
+    #[test]
+    fn shed_band_has_hysteresis() {
+        let cfg = OverloadConfig::watermarks(OverloadPolicy::Shed, 0, 0, 8, 16);
+        let mut s = OverloadState::Normal;
+        s = s.update(&cfg, 15);
+        assert_eq!(s, OverloadState::Normal);
+        s = s.update(&cfg, 16);
+        assert_eq!(s, OverloadState::Shed);
+        // Dipping below the trigger is not enough...
+        s = s.update(&cfg, 12);
+        assert_eq!(s, OverloadState::Shed);
+        s = s.update(&cfg, 9);
+        assert_eq!(s, OverloadState::Shed);
+        // ...only draining to the low watermark leaves the mode.
+        s = s.update(&cfg, 8);
+        assert_eq!(s, OverloadState::Normal);
+    }
+
+    #[test]
+    fn brownout_engages_before_shedding_and_drains_through_it() {
+        let cfg = OverloadConfig::watermarks(OverloadPolicy::BrownoutShed, 4, 8, 12, 16);
+        let mut s = OverloadState::Normal;
+        s = s.update(&cfg, 8);
+        assert_eq!(s, OverloadState::Brownout);
+        s = s.update(&cfg, 16);
+        assert_eq!(s, OverloadState::Shed);
+        // Draining out of shed passes through brownout, not straight to
+        // normal: fidelity recovers last.
+        s = s.update(&cfg, 12);
+        assert_eq!(s, OverloadState::Brownout);
+        s = s.update(&cfg, 5);
+        assert_eq!(s, OverloadState::Brownout);
+        s = s.update(&cfg, 4);
+        assert_eq!(s, OverloadState::Normal);
+    }
+
+    #[test]
+    fn shed_only_policy_never_browns_out() {
+        let cfg = OverloadConfig::watermarks(OverloadPolicy::Shed, 2, 4, 8, 16);
+        let s = OverloadState::Normal.update(&cfg, 10);
+        assert_eq!(s, OverloadState::Normal);
+    }
+
+    #[test]
+    #[should_panic(expected = "watermarks must be ordered")]
+    fn inverted_watermarks_panic() {
+        let _ = OverloadConfig::watermarks(OverloadPolicy::Shed, 0, 0, 16, 8);
+    }
+
+    #[test]
+    fn names_are_stable_report_keys() {
+        assert_eq!(OverloadPolicy::None.name(), "no_control");
+        assert_eq!(OverloadPolicy::Shed.name(), "shed");
+        assert_eq!(OverloadPolicy::BrownoutShed.name(), "brownout_shed");
+    }
+}

@@ -24,6 +24,7 @@ use crate::admission::{Admission, QueryId, QueryOpts, RejectReason};
 use crate::arrivals::ArrivalProcess;
 use crate::engine::{Attribution, BatchQuery, QueryEngine};
 use crate::handle::{QueryHandle, QueryStatus};
+use crate::overload::{OverloadConfig, OverloadPolicy, OverloadState};
 use pg_sim::metrics::Samples;
 use pg_sim::report::Report;
 use pg_sim::{Duration, SimTime};
@@ -94,6 +95,10 @@ pub struct RuntimeConfig {
     /// the policy order (critical queries first, earliest deadline first
     /// among them). Off by default: v1 semantics are pure policy order.
     pub preemption: bool,
+    /// Overload control: watermarks, shedding, brownout. The default
+    /// policy is [`OverloadPolicy::None`], which leaves every existing
+    /// workload bit-identical.
+    pub overload: OverloadConfig,
 }
 
 impl Default for RuntimeConfig {
@@ -106,6 +111,7 @@ impl Default for RuntimeConfig {
             energy_budget_j: None,
             advance_clock: true,
             preemption: false,
+            overload: OverloadConfig::default(),
         }
     }
 }
@@ -182,6 +188,12 @@ impl RuntimeConfigBuilder {
         self
     }
 
+    /// Install an overload-control configuration (watermarks + policy).
+    pub fn overload(mut self, overload: OverloadConfig) -> Self {
+        self.cfg.overload = overload;
+        self
+    }
+
     /// Finish: the assembled configuration.
     pub fn build(self) -> RuntimeConfig {
         self.cfg
@@ -217,6 +229,35 @@ fn policy_cmp(policy: SchedPolicy, a: &Pending, b: &Pending) -> Ordering {
     })
 }
 
+/// The effective order a round drains the queue in: pure policy order, or
+/// critical-deadline queries first (earliest deadline, then id) when
+/// preemption is enabled — shared by `service_round` and the shedding
+/// victim scan so both see the same future.
+fn round_cmp(
+    policy: SchedPolicy,
+    preemption: bool,
+    round_start: SimTime,
+    epoch: Duration,
+    a: &Pending,
+    b: &Pending,
+) -> Ordering {
+    if !preemption {
+        return policy_cmp(policy, a, b);
+    }
+    let crit_a = a.deadline_abs.is_some_and(|d| d < round_start + epoch);
+    let crit_b = b.deadline_abs.is_some_and(|d| d < round_start + epoch);
+    crit_b
+        .cmp(&crit_a)
+        .then_with(|| {
+            if crit_a && crit_b {
+                a.deadline_abs.cmp(&b.deadline_abs).then(a.id.cmp(&b.id))
+            } else {
+                Ordering::Equal
+            }
+        })
+        .then_with(|| policy_cmp(policy, a, b))
+}
+
 /// What happened to one admitted query.
 #[derive(Debug, Clone)]
 pub struct QueryOutcome<R, E> {
@@ -234,6 +275,10 @@ pub struct QueryOutcome<R, E> {
     pub queue_wait_s: f64,
     /// Absolute deadline, when one was requested.
     pub deadline: Option<SimTime>,
+    /// The query was serviced in a brownout round: the engine was asked
+    /// to trade fidelity for cost (see
+    /// [`OverloadPolicy::BrownoutShed`](crate::OverloadPolicy)).
+    pub brownout: bool,
     /// The engine's answer (or per-query failure).
     pub response: Result<R, E>,
     /// The engine's per-query cost attribution (zeros on failure).
@@ -260,6 +305,25 @@ impl<R, E> QueryOutcome<R, E> {
             None => false,
         }
     }
+}
+
+/// The audit record of one shed query: who was dropped, when, and with
+/// what deadline — overload control never makes work disappear silently.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShedRecord {
+    /// The id assigned at admission.
+    pub id: QueryId,
+    /// The raw query text.
+    pub text: String,
+    /// When the query entered the queue.
+    pub submitted_at: SimTime,
+    /// The round start at which it was shed.
+    pub shed_at: SimTime,
+    /// Its absolute deadline (shedding targets guaranteed misses, so in
+    /// practice this is always in the unreachable past at `shed_at`).
+    pub deadline: Option<SimTime>,
+    /// Its scheduling priority.
+    pub priority: u8,
 }
 
 /// The multi-query runtime: N in-flight queries over one shared engine.
@@ -293,6 +357,15 @@ pub struct MultiQueryRuntime<E: QueryEngine> {
     /// Critical queries that jumped the policy order into a round they
     /// would not otherwise have made (only grows with preemption enabled).
     pub preemptions: u64,
+    /// Queued queries dropped by overload shedding (each has a
+    /// [`ShedRecord`]; only grows with an overload policy installed).
+    pub shed: u64,
+    /// Queries serviced in brownout rounds (degraded fidelity).
+    pub browned_out: u64,
+    /// Overload hysteresis state, stepped on every queue-depth change.
+    overload_state: OverloadState,
+    /// Audit log of shed queries, in shed order.
+    shed_records: Vec<ShedRecord>,
 }
 
 impl<E: QueryEngine> MultiQueryRuntime<E> {
@@ -315,6 +388,10 @@ impl<E: QueryEngine> MultiQueryRuntime<E> {
             cancelled: 0,
             arrived: 0,
             preemptions: 0,
+            shed: 0,
+            browned_out: 0,
+            overload_state: OverloadState::Normal,
+            shed_records: Vec::new(),
         }
     }
 
@@ -338,6 +415,36 @@ impl<E: QueryEngine> MultiQueryRuntime<E> {
         self.waiting.len()
     }
 
+    /// The current overload mode (normal, brownout, or shed).
+    pub fn overload_state(&self) -> OverloadState {
+        self.overload_state
+    }
+
+    /// Audit log of shed queries, in shed order.
+    pub fn shed_records(&self) -> &[ShedRecord] {
+        &self.shed_records
+    }
+
+    /// Re-evaluate the hysteresis state machine against the current queue
+    /// depth; call after every mutation of `waiting`.
+    fn update_overload_state(&mut self) {
+        self.overload_state = self
+            .overload_state
+            .update(&self.cfg.overload, self.waiting.len());
+    }
+
+    /// How long a rejected client should wait before resubmitting: the
+    /// epochs needed to drain the backlog below the shed-exit watermark.
+    fn retry_after_estimate(&self) -> Duration {
+        let slots = self.cfg.slots_per_epoch.max(1);
+        let excess = self
+            .waiting
+            .len()
+            .saturating_sub(self.cfg.overload.shed_low);
+        let rounds = excess.div_ceil(slots).max(1);
+        Duration::from_secs_f64(self.cfg.epoch.as_secs_f64() * rounds as f64)
+    }
+
     /// Energy attributed to completed queries so far, joules.
     pub fn energy_spent_j(&self) -> f64 {
         self.spent_j
@@ -356,6 +463,21 @@ impl<E: QueryEngine> MultiQueryRuntime<E> {
 
     /// Submit query text for execution in a future epoch.
     pub fn submit(&mut self, text: &str, opts: QueryOpts) -> Admission {
+        // Overload backpressure comes before the hard queue bound: in shed
+        // mode the door closes at the watermark, with a drain-estimate
+        // retry hint, instead of slamming shut at capacity.
+        if self.cfg.overload.policy != OverloadPolicy::None
+            && self.overload_state == OverloadState::Shed
+        {
+            self.rejected += 1;
+            return Admission::Rejected {
+                reason: RejectReason::Overloaded {
+                    retry_after: self.retry_after_estimate(),
+                    queue_depth: self.waiting.len(),
+                },
+                opts,
+            };
+        }
         if self.waiting.len() >= self.cfg.capacity {
             self.rejected += 1;
             return Admission::Rejected {
@@ -425,6 +547,7 @@ impl<E: QueryEngine> MultiQueryRuntime<E> {
             estimate_j,
             priority: opts.priority,
         });
+        self.update_overload_state();
 
         // Admitted when it lands within the next epoch's slots under the
         // current policy ordering; deferred behind the backlog otherwise.
@@ -457,6 +580,9 @@ impl<E: QueryEngine> MultiQueryRuntime<E> {
         if self.cancelled_ids.contains(&id) {
             return QueryStatus::Cancelled;
         }
+        if self.shed_records.iter().any(|s| s.id == id) {
+            return QueryStatus::Shed;
+        }
         QueryStatus::Unknown
     }
 
@@ -474,6 +600,7 @@ impl<E: QueryEngine> MultiQueryRuntime<E> {
         self.committed_j -= p.estimate_j;
         self.cancelled_ids.insert(id);
         self.cancelled += 1;
+        self.update_overload_state();
         true
     }
 
@@ -516,13 +643,98 @@ impl<E: QueryEngine> MultiQueryRuntime<E> {
         }
     }
 
+    /// Ids of queued queries that can no longer meet their deadline from
+    /// their position in the coming service order: with `s` slots per
+    /// round, the `r`-th surviving query starts no earlier than
+    /// `floor(r/s)` epochs from now — when that instant already lies past
+    /// its deadline, a slot spent on it is a guaranteed miss. Survivors
+    /// are counted as the scan goes, so a query is only doomed against the
+    /// queue as it would look *after* earlier victims are gone.
+    ///
+    /// Pure (no mutation): this is the shedding decision hot path, run at
+    /// every round start under overload and pinned by the `overload`
+    /// microbench.
+    pub fn shed_victims(&self) -> Vec<QueryId> {
+        let round_start = self.engine.now();
+        let mut order: Vec<&Pending> = self.waiting.iter().collect();
+        order.sort_by(|a, b| {
+            round_cmp(
+                self.cfg.policy,
+                self.cfg.preemption,
+                round_start,
+                self.cfg.epoch,
+                a,
+                b,
+            )
+        });
+        let slots = self.cfg.slots_per_epoch.max(1);
+        let epoch_s = self.cfg.epoch.as_secs_f64();
+        let mut kept = 0usize;
+        let mut victims = Vec::new();
+        for p in order {
+            let Some(d) = p.deadline_abs else {
+                kept += 1;
+                continue;
+            };
+            let start = round_start + Duration::from_secs_f64(epoch_s * (kept / slots) as f64);
+            if start > d {
+                victims.push(p.id);
+            } else {
+                kept += 1;
+            }
+        }
+        victims
+    }
+
+    /// Drop every doomed queued query (see [`shed_victims`]), releasing
+    /// its energy commitment and recording a [`ShedRecord`].
+    ///
+    /// [`shed_victims`]: MultiQueryRuntime::shed_victims
+    fn shed_doomed(&mut self, round_start: SimTime) {
+        let victims: HashSet<QueryId> = self.shed_victims().into_iter().collect();
+        if victims.is_empty() {
+            return;
+        }
+        let mut i = 0;
+        while i < self.waiting.len() {
+            if victims.contains(&self.waiting[i].id) {
+                let p = self.waiting.remove(i);
+                self.committed_j -= p.estimate_j;
+                self.shed += 1;
+                self.shed_records.push(ShedRecord {
+                    id: p.id,
+                    text: p.text,
+                    submitted_at: p.submitted_at,
+                    shed_at: round_start,
+                    deadline: p.deadline_abs,
+                    priority: p.priority,
+                });
+            } else {
+                i += 1;
+            }
+        }
+        self.update_overload_state();
+    }
+
     /// Service one round at the current engine clock: order the queue
     /// (policy order; critical queries first when preemption is on), hand
     /// the engine up to `slots_per_epoch` queries as one batch, and record
     /// outcomes. Does not move the clock. Returns queries completed.
+    ///
+    /// Under an overload policy, shed mode drops doomed queries before
+    /// the slate is cut, and brownout mode marks the batch so the engine
+    /// degrades fidelity instead of the queue degrading everyone's
+    /// response time.
     fn service_round(&mut self) -> usize {
         let policy = self.cfg.policy;
         let epoch_start = self.engine.now();
+        if self.cfg.overload.policy != OverloadPolicy::None
+            && self.overload_state == OverloadState::Shed
+        {
+            self.shed_doomed(epoch_start);
+        }
+        let brownout = self.cfg.overload.policy == OverloadPolicy::BrownoutShed
+            && self.overload_state != OverloadState::Normal;
         if self.cfg.preemption {
             // Count queue jumps before re-sorting: a critical query that
             // sat beyond the slot cutoff under pure policy order is about
@@ -535,20 +747,8 @@ impl<E: QueryEngine> MultiQueryRuntime<E> {
             };
             by_policy.truncate(k);
             let epoch = self.cfg.epoch;
-            self.waiting.sort_by(|a, b| {
-                let crit_a = a.deadline_abs.is_some_and(|d| d < epoch_start + epoch);
-                let crit_b = b.deadline_abs.is_some_and(|d| d < epoch_start + epoch);
-                crit_b
-                    .cmp(&crit_a)
-                    .then_with(|| {
-                        if crit_a && crit_b {
-                            a.deadline_abs.cmp(&b.deadline_abs).then(a.id.cmp(&b.id))
-                        } else {
-                            Ordering::Equal
-                        }
-                    })
-                    .then_with(|| policy_cmp(policy, a, b))
-            });
+            self.waiting
+                .sort_by(|a, b| round_cmp(policy, true, epoch_start, epoch, a, b));
             let jumps = self
                 .waiting
                 .iter()
@@ -561,6 +761,7 @@ impl<E: QueryEngine> MultiQueryRuntime<E> {
         }
         let k = self.cfg.slots_per_epoch.min(self.waiting.len());
         let batch: Vec<Pending> = self.waiting.drain(..k).collect();
+        self.update_overload_state();
 
         let requests: Vec<BatchQuery<'_>> = batch
             .iter()
@@ -573,6 +774,7 @@ impl<E: QueryEngine> MultiQueryRuntime<E> {
                         Duration::ZERO
                     }
                 }),
+                brownout,
             })
             .collect();
         let mut results = self.engine.execute_batch(&requests);
@@ -592,6 +794,9 @@ impl<E: QueryEngine> MultiQueryRuntime<E> {
                 Err(e) => (Err(e), Attribution::default()),
             };
             let queue_wait_s = epoch_start.since(p.submitted_at).as_secs_f64();
+            if brownout {
+                self.browned_out += 1;
+            }
             self.outcomes.push(QueryOutcome {
                 id: p.id,
                 text: p.text,
@@ -600,6 +805,7 @@ impl<E: QueryEngine> MultiQueryRuntime<E> {
                 completion_index: self.completions,
                 queue_wait_s,
                 deadline: p.deadline_abs,
+                brownout,
                 response,
                 attribution,
             });
@@ -699,7 +905,18 @@ impl<E: QueryEngine> MultiQueryRuntime<E> {
                 };
                 self.advance_engine_to(arrival.at);
                 self.arrived += 1;
-                let _ = self.submit(&arrival.text, arrival.opts);
+                let verdict = self.submit(&arrival.text, arrival.opts);
+                // Backpressure closes the loop: an Overloaded rejection
+                // goes back to the arrival process, which may model a
+                // retrying client (exponential backoff) or drop it.
+                if let Admission::Rejected {
+                    reason: RejectReason::Overloaded { retry_after, .. },
+                    ..
+                } = verdict
+                {
+                    let now = self.engine.now();
+                    arrivals.on_overload(arrival, retry_after, now);
+                }
             } else if let Some(round) = next_round {
                 self.advance_engine_to(round);
                 completed += self.service_round();
@@ -735,6 +952,8 @@ impl<E: QueryEngine> MultiQueryRuntime<E> {
         r.set_counter("rejected", self.rejected);
         r.set_counter("cancelled", self.cancelled);
         r.set_counter("preemptions", self.preemptions);
+        r.set_counter("shed", self.shed);
+        r.set_counter("browned_out", self.browned_out);
         r.set_counter("completed", self.completions);
         let errors = self.outcomes.iter().filter(|o| o.response.is_err()).count() as u64;
         r.set_counter("errors", errors);
