@@ -113,6 +113,19 @@ impl Envelope {
         Envelope::new(from, to, content_type, "pg:acl", Payload::Text(body.into()))
     }
 
+    /// Shorthand for a binary envelope on the default ontology — the
+    /// shape cross-cell handoffs use to carry partial results and
+    /// forwarded answers, where only the byte count matters to the wire.
+    pub fn binary(from: AgentId, to: AgentId, content_type: &str, body: impl Into<Bytes>) -> Self {
+        Envelope::new(
+            from,
+            to,
+            content_type,
+            "pg:acl",
+            Payload::Binary(body.into()),
+        )
+    }
+
     /// Total wire size: payload plus a fixed 64-byte envelope header
     /// (addresses, type and ontology tags).
     pub fn wire_bytes(&self) -> u64 {

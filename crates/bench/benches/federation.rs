@@ -1,0 +1,97 @@
+//! Microbenchmarks: the federation control plane. One gossip round is the
+//! recurring cost every cell pays forever, and handoff-ledger merges ride
+//! on every gossip contact — both scale with federation size, so they are
+//! measured at 64 and 256 cells.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pg_federation::handoff::{HandoffId, HandoffKind, HandoffPhase, HandoffRecord, HandoffStore};
+use pg_federation::{gossip_round, CellId, GossipConfig, LoadDigest, Membership};
+use pg_sim::SimTime;
+
+/// A federation of `n` cells with fully converged membership views (the
+/// steady state: every digest carries all `n` entries).
+fn converged(n: usize) -> (Vec<Membership>, Vec<HandoffStore>, Vec<bool>) {
+    let mut members: Vec<Membership> = (0..n)
+        .map(|i| Membership::new(CellId(i as u32), &[CellId(0)], SimTime::ZERO))
+        .collect();
+    let mut handoffs: Vec<HandoffStore> = (0..n).map(|_| HandoffStore::new()).collect();
+    let up = vec![true; n];
+    let cfg = GossipConfig::default();
+    for round in 1..=32u64 {
+        let now = SimTime::from_secs(30 * round);
+        for m in &mut members {
+            m.beat(now, LoadDigest::default());
+        }
+        gossip_round(&mut members, &mut handoffs, &up, now, &cfg, 7, round);
+    }
+    (members, handoffs, up)
+}
+
+/// A ledger holding `n` handoff records spread across `cells` cells.
+fn ledger(cells: u32, n: u64) -> HandoffStore {
+    let mut store = HandoffStore::new();
+    for seq in 0..n {
+        let from = CellId((seq % u64::from(cells)) as u32);
+        let to = CellId(((seq + 1) % u64::from(cells)) as u32);
+        store.open(HandoffRecord {
+            id: HandoffId::mint(from, seq),
+            user: seq,
+            from,
+            to,
+            kind: if seq % 3 == 0 {
+                HandoffKind::ForwardHome
+            } else {
+                HandoffKind::Migrate
+            },
+            phase: match seq % 3 {
+                0 => HandoffPhase::Pending,
+                1 => HandoffPhase::InProgress,
+                _ => HandoffPhase::Completed,
+            },
+            opened_at: SimTime::from_secs(seq),
+            completed_at: None,
+            latency_s: None,
+            warm: seq % 2 == 0,
+        });
+    }
+    store
+}
+
+fn bench_gossip_round(c: &mut Criterion) {
+    let mut g = c.benchmark_group("federation");
+    for &n in &[64usize, 256] {
+        let (mut members, mut handoffs, up) = converged(n);
+        let cfg = GossipConfig::default();
+        let mut round = 1_000u64;
+        g.bench_with_input(BenchmarkId::new("gossip_round", n), &n, |b, _| {
+            b.iter(|| {
+                round += 1;
+                let now = SimTime::from_secs(30 * round);
+                for m in &mut members {
+                    m.beat(now, LoadDigest::default());
+                }
+                gossip_round(&mut members, &mut handoffs, &up, now, &cfg, 7, round);
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_handoff_merge(c: &mut Criterion) {
+    let mut g = c.benchmark_group("federation");
+    for &cells in &[64u32, 256] {
+        // Steady-state anti-entropy: merging a full peer snapshot into a
+        // replica that already knows every record (4 records per cell).
+        let snapshot = ledger(cells, u64::from(cells) * 4).snapshot();
+        let mut replica = ledger(cells, u64::from(cells) * 4);
+        g.bench_with_input(BenchmarkId::new("handoff_merge", cells), &cells, |b, _| {
+            b.iter(|| replica.merge(&snapshot));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_gossip_round, bench_handoff_merge);
+criterion_main!(benches);

@@ -1,0 +1,360 @@
+//! **T20** — multi-cell federation: gossip membership, roaming handoff,
+//! and peer load absorption, swept across federation size × cell churn ×
+//! user mobility. Each cell owns its own streaming runtime over its own
+//! grid; cells are stitched together only by seeded gossip (anti-entropy
+//! membership + load digests + replicated handoff records) with no
+//! central orchestrator.
+//!
+//! Three variants run per point:
+//!
+//! * **federated** — absorption on, next-cell predictor pre-warming plan
+//!   caches at predicted destinations (warm handoffs);
+//! * **cold** — absorption on but purely reactive planning (predictor
+//!   off, zero cache TTL): every migration pays the full plan + discovery
+//!   path at the destination;
+//! * **isolated** — absorption off (cells ignore each other), only run
+//!   under churn as the baseline the tentpole assertion compares against.
+//!
+//! Per-seed acceptance asserts: under a single-cell kill, federated
+//! goodput strictly beats isolated cells (neighbors discovered via gossip
+//! absorb the dead cell's admissions, honoring their own watermarks); and
+//! warm handoff p99 is strictly below cold handoff p99 (the predictor's
+//! pre-warm turns the 370 ms plan+discovery path into a 30 ms
+//! revalidation).
+//!
+//! ```sh
+//! cargo run --release -p pg-bench --bin exp_t20_federation [-- --smoke]
+//! ```
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use pg_bench::{header, Experiment};
+use pg_core::PervasiveGrid;
+use pg_federation::{commute_traces, quantile, Federation, FederationConfig, RoamingConfig};
+use pg_runtime::{
+    MultiQueryRuntime, OverloadConfig, OverloadPolicy, QueryOpts, RuntimeConfig, SchedPolicy,
+};
+use pg_sim::fault::FaultPlan;
+use pg_sim::rng::RngStreams;
+use pg_sim::{Duration, SimTime};
+use rand::Rng;
+use rayon::prelude::*;
+use std::process::ExitCode;
+
+/// Per-cell service capacity: 2 slots per 30 s epoch.
+const CAPACITY_HZ: f64 = 2.0 / 30.0;
+const HORIZON_S: u64 = 3_600;
+
+#[derive(Clone, Copy)]
+struct Churn {
+    name: &'static str,
+    /// Kill cell 1's base station mid-run?
+    kill: bool,
+}
+
+#[derive(Clone, Copy)]
+struct Mobility {
+    name: &'static str,
+    dwell_min: u64,
+    dwell_max: u64,
+}
+
+const CHURNS: [Churn; 2] = [
+    Churn {
+        name: "steady",
+        kill: false,
+    },
+    Churn {
+        name: "kill1",
+        kill: true,
+    },
+];
+const MOBILITIES: [Mobility; 2] = [
+    Mobility {
+        name: "slow",
+        dwell_min: 500,
+        dwell_max: 900,
+    },
+    Mobility {
+        name: "fast",
+        dwell_min: 150,
+        dwell_max: 300,
+    },
+];
+
+fn cell_runtime(seed: u64, faults: Option<FaultPlan>) -> MultiQueryRuntime<PervasiveGrid> {
+    let mut b = PervasiveGrid::building(1, 4, seed);
+    if let Some(plan) = faults {
+        b = b.faults(plan);
+    }
+    let cfg = RuntimeConfig::builder()
+        .capacity(32)
+        .epoch(Duration::from_secs(30))
+        .slots_per_epoch(2)
+        .policy(SchedPolicy::Edf)
+        .overload(OverloadConfig::watermarks(
+            OverloadPolicy::Shed,
+            0,
+            0,
+            16,
+            24,
+        ))
+        .build();
+    MultiQueryRuntime::new(cfg, b.build())
+}
+
+/// One federation run. `seed` derives everything: grids, mobility traces,
+/// arrivals, gossip peer selection, bus jitter.
+fn run_one(
+    cells: usize,
+    churn: Churn,
+    mobility: Mobility,
+    seed: u64,
+    redirect: bool,
+    warm: bool,
+) -> Federation {
+    let runtimes = (0..cells)
+        .map(|i| {
+            let cell_seed = seed * 1_000 + i as u64;
+            let faults = (churn.kill && i == 1).then(|| {
+                FaultPlan::builder(cell_seed)
+                    .base_outage(
+                        SimTime::from_secs(HORIZON_S / 6),
+                        SimTime::from_secs(2 * HORIZON_S / 3),
+                    )
+                    .build()
+                    .unwrap()
+            });
+            cell_runtime(cell_seed, faults)
+        })
+        .collect();
+    let users = 4 * cells;
+    let traces = commute_traces(
+        seed,
+        &RoamingConfig {
+            users,
+            cells,
+            horizon: Duration::from_secs(HORIZON_S),
+            dwell_min: Duration::from_secs(mobility.dwell_min),
+            dwell_max: Duration::from_secs(mobility.dwell_max),
+        },
+    );
+    let fcfg = FederationConfig {
+        seed,
+        redirect,
+        predictor: warm,
+        cache_ttl: if warm {
+            Duration::from_secs(600)
+        } else {
+            Duration::ZERO
+        },
+        ..FederationConfig::default()
+    };
+    let mut fed = Federation::new(fcfg, runtimes, traces);
+
+    // Offered load ~60% of aggregate capacity: bursts queue deep enough
+    // that roaming users leave in-flight queries behind (migrations), yet
+    // live cells keep the headroom that makes absorbing a dead neighbor's
+    // admissions a win rather than a cascade.
+    let rate_hz = 0.6 * CAPACITY_HZ * cells as f64;
+    let mut rng = RngStreams::new(seed).fork("t20-arrivals");
+    let texts = [
+        "SELECT AVG(temp) FROM sensors",
+        "SELECT MAX(temp) FROM sensors",
+        "SELECT temp FROM sensors WHERE sensor_id = 3",
+    ];
+    let mut t = 0.0;
+    loop {
+        t += -rng.gen::<f64>().max(1e-12).ln() / rate_hz;
+        if t >= HORIZON_S as f64 {
+            break;
+        }
+        let user = rng.gen_range(0..users as u64);
+        let text = texts[rng.gen_range(0..texts.len())];
+        fed.offer(
+            SimTime::from_secs_f64(t),
+            user,
+            text,
+            QueryOpts::with_deadline(Duration::from_secs(120)),
+        );
+    }
+    fed.run(SimTime::from_secs(HORIZON_S));
+    fed
+}
+
+fn main() -> ExitCode {
+    let mut exp = Experiment::from_args("exp_t20_federation");
+    let reps: u64 = exp.scale(4, 2);
+    let cell_counts: Vec<usize> = exp.scale(vec![3, 6], vec![3]);
+    exp.set_meta("reps", reps.to_string());
+    exp.set_meta("horizon_s", HORIZON_S.to_string());
+
+    println!(
+        "T20: federation size x cell churn x user mobility, {reps} seeds \
+         per point ({HORIZON_S} s horizon, ~60% aggregate load, commute-ring \
+         mobility; kill1 = cell 1 base down for half the run)"
+    );
+    header(
+        "federated vs isolated goodput; warm (pre-warmed) vs cold (reactive) handoff p99",
+        &[
+            ("cells", 5),
+            ("churn", 6),
+            ("move", 4),
+            ("good fed", 8),
+            ("good iso", 8),
+            ("absorb", 6),
+            ("migr", 5),
+            ("fwd", 4),
+            ("lost", 4),
+            ("warm p99", 8),
+            ("cold p99", 8),
+            ("prewarm", 7),
+        ],
+    );
+
+    for &cells in &cell_counts {
+        for churn in CHURNS {
+            for mobility in MOBILITIES {
+                struct Point {
+                    met_fed: u64,
+                    met_iso: u64,
+                    absorbed: u64,
+                    migrations: u64,
+                    forwards: u64,
+                    lost: u64,
+                    prewarms: u64,
+                    warm_lat: Vec<f64>,
+                    cold_lat: Vec<f64>,
+                }
+                let points: Vec<Point> = (0..reps)
+                    .into_par_iter()
+                    .map(|rep| {
+                        let seed = rep * 100 + cells as u64;
+                        let fed = run_one(cells, churn, mobility, seed, true, true);
+                        let cold = run_one(cells, churn, mobility, seed, true, false);
+                        let (_, met_fed) = fed.goodput();
+
+                        // Warm-vs-cold: the predictor's pre-warm must beat
+                        // reactive re-planning at the tail, per seed.
+                        let warm_lat = fed.stats.warm_handoff_latencies_s.clone();
+                        let cold_lat = cold.stats.cold_handoff_latencies_s.clone();
+                        assert!(
+                            !warm_lat.is_empty(),
+                            "seed {seed} c{cells} {}/{}: no warm handoffs landed",
+                            churn.name,
+                            mobility.name
+                        );
+                        assert!(
+                            !cold_lat.is_empty(),
+                            "seed {seed} c{cells} {}/{}: no cold handoffs landed",
+                            churn.name,
+                            mobility.name
+                        );
+                        let warm_p99 = quantile(&warm_lat, 0.99).unwrap();
+                        let cold_p99 = quantile(&cold_lat, 0.99).unwrap();
+                        assert!(
+                            warm_p99 < cold_p99,
+                            "seed {seed} c{cells} {}/{}: warm handoff p99 {warm_p99:.3} s \
+                             not below cold {cold_p99:.3} s",
+                            churn.name,
+                            mobility.name
+                        );
+
+                        // Tentpole: under a single-cell kill, the federation
+                        // strictly beats the same cells running isolated.
+                        let met_iso = if churn.kill {
+                            let iso = run_one(cells, churn, mobility, seed, false, true);
+                            let (_, met_iso) = iso.goodput();
+                            assert!(
+                                fed.stats.absorbed > 0,
+                                "seed {seed} c{cells} {}: kill produced no absorption",
+                                mobility.name
+                            );
+                            assert!(
+                                met_fed > met_iso,
+                                "seed {seed} c{cells} {}: federated goodput {met_fed} \
+                                 not above isolated {met_iso}",
+                                mobility.name
+                            );
+                            met_iso
+                        } else {
+                            0
+                        };
+
+                        let s = &fed.stats;
+                        Point {
+                            met_fed,
+                            met_iso,
+                            absorbed: s.absorbed,
+                            migrations: s.migrations_completed,
+                            forwards: s.forwards_completed,
+                            lost: s.migrations_lost + s.forwards_lost,
+                            prewarms: s.prewarms,
+                            warm_lat,
+                            cold_lat,
+                        }
+                    })
+                    .collect();
+
+                let n = reps as f64;
+                let sum = |f: fn(&Point) -> u64| points.iter().map(f).sum::<u64>();
+                let (met_fed, met_iso) = (sum(|p| p.met_fed), sum(|p| p.met_iso));
+                let (absorbed, migrations) = (sum(|p| p.absorbed), sum(|p| p.migrations));
+                let (forwards, lost) = (sum(|p| p.forwards), sum(|p| p.lost));
+                let prewarms = sum(|p| p.prewarms);
+                let warm_all: Vec<f64> = points
+                    .iter()
+                    .flat_map(|p| p.warm_lat.iter().copied())
+                    .collect();
+                let cold_all: Vec<f64> = points
+                    .iter()
+                    .flat_map(|p| p.cold_lat.iter().copied())
+                    .collect();
+                let warm_p99 = quantile(&warm_all, 0.99).unwrap_or(0.0);
+                let cold_p99 = quantile(&cold_all, 0.99).unwrap_or(0.0);
+
+                let key = format!("c{cells}.{}.{}", churn.name, mobility.name);
+                let goodput_fed = met_fed as f64 * 3_600.0 / (HORIZON_S as f64 * n);
+                exp.set_scalar(format!("{key}.goodput_fed_per_h"), goodput_fed);
+                if churn.kill {
+                    let goodput_iso = met_iso as f64 * 3_600.0 / (HORIZON_S as f64 * n);
+                    exp.set_scalar(format!("{key}.goodput_iso_per_h"), goodput_iso);
+                }
+                exp.set_scalar(format!("{key}.warm_handoff_p99_s"), warm_p99);
+                exp.set_scalar(format!("{key}.cold_handoff_p99_s"), cold_p99);
+                exp.set_counter(format!("{key}.absorbed"), absorbed);
+                exp.set_counter(format!("{key}.migrations_completed"), migrations);
+                exp.set_counter(format!("{key}.forwards_completed"), forwards);
+                exp.set_counter(format!("{key}.handoffs_lost"), lost);
+                exp.set_counter(format!("{key}.prewarms"), prewarms);
+                println!(
+                    "{cells:>5}  {:>6}  {:>4}  {met_fed:>8}  {:>8}  {absorbed:>6}  \
+                     {migrations:>5}  {forwards:>4}  {lost:>4}  {warm_p99:>8.3}  \
+                     {cold_p99:>8.3}  {prewarms:>7}",
+                    churn.name,
+                    mobility.name,
+                    if churn.kill {
+                        met_iso.to_string()
+                    } else {
+                        "-".into()
+                    },
+                );
+            }
+        }
+    }
+
+    println!(
+        "shape to check: under kill1 the federated column strictly beats \
+         isolated on every seed — the dead cell's users are rerouted into \
+         live neighbors picked from gossiped load digests, each neighbor \
+         still honoring its own shed watermarks (absorb > 0). Warm handoff \
+         p99 sits ~340 ms under cold on every seed: the next-cell predictor \
+         pre-warms the destination's plan cache so a migration pays a 30 ms \
+         revalidation instead of the full 370 ms plan + discovery path. \
+         Faster mobility raises migrations and forwards roughly in \
+         proportion to move frequency; lost handoffs stay 0 with a clean \
+         bus (dead-letters only appear under bus fault plans)."
+    );
+
+    exp.finish()
+}

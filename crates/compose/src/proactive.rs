@@ -61,6 +61,8 @@ pub struct PlanCache {
     pub hits: u64,
     /// Misses served so far.
     pub misses: u64,
+    /// Entries pre-warmed ahead of demand (see [`PlanCache::warm`]).
+    pub prewarms: u64,
 }
 
 impl PlanCache {
@@ -72,7 +74,31 @@ impl PlanCache {
             entries: BTreeMap::new(),
             hits: 0,
             misses: 0,
+            prewarms: 0,
         }
+    }
+
+    /// Pre-warm the cache for `task` at time `now`, ahead of any demand —
+    /// the proactive half of §3 driven from outside (e.g. a mobility
+    /// predictor warming the cell a roaming user is expected to enter
+    /// next). The decomposition work happens off the request path, so it
+    /// counts as neither a hit nor a miss; the next [`request`] within the
+    /// TTL is a [`CacheResult::Hit`] paying only revalidation. Re-warming
+    /// an existing entry refreshes its stamp.
+    ///
+    /// [`request`]: PlanCache::request
+    pub fn warm(&mut self, task: &str, now: SimTime) -> Result<(), DecomposeError> {
+        let plan = self.lib.decompose(task)?;
+        self.entries.insert(task.to_string(), (plan, now));
+        self.prewarms += 1;
+        Ok(())
+    }
+
+    /// Is a fresh (unexpired) entry for `task` present at time `now`?
+    pub fn is_warm(&self, task: &str, now: SimTime) -> bool {
+        self.entries
+            .get(task)
+            .is_some_and(|(_, stamp)| now.since(*stamp) <= self.ttl)
     }
 
     /// Serve a composition request at time `now`: returns the plan, how it
@@ -168,6 +194,34 @@ mod tests {
             .unwrap();
         assert_eq!(r, CacheResult::Miss);
         assert_eq!(c.misses, 2);
+    }
+
+    #[test]
+    fn prewarmed_entry_serves_first_request_as_hit() {
+        let mut c = cache(60);
+        let costs = ComposeCosts::default();
+        c.warm("temperature-distribution", SimTime::ZERO).unwrap();
+        assert!(c.is_warm("temperature-distribution", SimTime::from_secs(5)));
+        let (_, r, l) = c
+            .request("temperature-distribution", SimTime::from_secs(5), &costs)
+            .unwrap();
+        assert_eq!(r, CacheResult::Hit);
+        assert_eq!(l, costs.revalidate_time);
+        assert_eq!((c.hits, c.misses, c.prewarms), (1, 0, 1));
+        // Past the TTL the warmth has faded: full reactive path again.
+        assert!(!c.is_warm("temperature-distribution", SimTime::from_secs(120)));
+        let (_, r2, _) = c
+            .request("temperature-distribution", SimTime::from_secs(120), &costs)
+            .unwrap();
+        assert_eq!(r2, CacheResult::Miss);
+    }
+
+    #[test]
+    fn warming_unknown_task_errors_and_stays_cold() {
+        let mut c = cache(60);
+        assert!(c.warm("bogus", SimTime::ZERO).is_err());
+        assert!(c.is_empty());
+        assert_eq!(c.prewarms, 0);
     }
 
     #[test]

@@ -31,5 +31,8 @@ pub mod scenario;
 pub use error::PgError;
 pub use multiquery::GridRuntime;
 pub use pg_sensornet::shared::{SharedTreeSession, TreeMaintenance};
-pub use runtime::{DegradationReport, GridBuilder, PervasiveGrid, QueryRecord, QueryResponse};
+pub use runtime::{
+    CrossCellHandoff, DegradationReport, GridBuilder, PervasiveGrid, Provenance, QueryRecord,
+    QueryResponse,
+};
 pub use scenario::FireScenario;

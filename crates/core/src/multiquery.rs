@@ -25,7 +25,7 @@
 //! shared collection itself and sums to the measured totals.
 
 use crate::error::PgError;
-use crate::runtime::{DegradationReport, PervasiveGrid, QueryResponse};
+use crate::runtime::{DegradationReport, PervasiveGrid, Provenance, QueryResponse};
 use pg_net::topology::NodeId;
 use pg_partition::exec::{members_of, rel_err, truth_aggregate, value_filter, ExecContext};
 use pg_partition::features::QueryFeatures;
@@ -214,6 +214,7 @@ impl PervasiveGrid {
                 delivered_frac: pq.delivery_ratio(),
                 accuracy_err,
                 degradation,
+                provenance: Provenance::default(),
             };
             let attribution = Attribution {
                 energy_j: pq.energy_j + control_energy_share,

@@ -63,6 +63,49 @@ impl DegradationReport {
     }
 }
 
+/// How a response crossed cells on its way to the user, when it did.
+///
+/// A single-cell deployment never sets this: `submit` and the multi-query
+/// engine leave it [`Default`] (no cells, no handoff). The federation
+/// layer stamps it when a roaming user's query migrates between cells or
+/// completes remotely with the result forwarded home, so the client can
+/// always audit *where* an answer was computed relative to where it was
+/// asked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Provenance {
+    /// The cell the query was originally admitted at.
+    pub origin_cell: Option<u32>,
+    /// The cell whose base station actually serviced it.
+    pub served_cell: Option<u32>,
+    /// The cross-cell path the answer took, if any.
+    pub handoff: Option<CrossCellHandoff>,
+}
+
+impl Provenance {
+    /// True when the answer crossed a cell boundary.
+    pub fn is_cross_cell(&self) -> bool {
+        self.handoff.is_some()
+            || match (self.origin_cell, self.served_cell) {
+                (Some(o), Some(s)) => o != s,
+                _ => false,
+            }
+    }
+}
+
+/// The cross-cell route a roaming user's answer took.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrossCellHandoff {
+    /// The queued query migrated with the user and was re-planned and
+    /// serviced at the destination cell.
+    Migrated,
+    /// The query completed at its origin cell after the user left; the
+    /// result was forwarded to the user's new cell.
+    ForwardedHome,
+    /// The origin cell was dead or shedding at admission; a gossip-chosen
+    /// neighbor absorbed the query.
+    Absorbed,
+}
+
 /// The answer returned to the client for one query.
 #[derive(Debug, Clone, PartialEq)]
 pub struct QueryResponse {
@@ -80,6 +123,8 @@ pub struct QueryResponse {
     pub accuracy_err: Option<f64>,
     /// What the faults and deadline budget cost this answer.
     pub degradation: DegradationReport,
+    /// Which cell(s) produced this answer, when a federation is involved.
+    pub provenance: Provenance,
 }
 
 /// One entry of the runtime's query log (for experiments and audits).
@@ -346,6 +391,7 @@ impl PervasiveGrid {
                                 faults_active: self.faults.is_active(),
                                 ..DegradationReport::default()
                             },
+                            provenance: Provenance::default(),
                         });
                     }
                 }
@@ -461,6 +507,7 @@ impl PervasiveGrid {
             delivered_frac: outcome.delivered_frac,
             accuracy_err: outcome.accuracy_err,
             degradation,
+            provenance: Provenance::default(),
         })
     }
 

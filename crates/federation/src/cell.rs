@@ -1,0 +1,208 @@
+//! One base-station cell of the federation.
+//!
+//! A [`Cell`] is the paper's Figure 1 unit — one base station fronting one
+//! sensor field — wrapped for federation: it owns its
+//! [`MultiQueryRuntime`] over a [`PervasiveGrid`], a proactive
+//! [`PlanCache`] (warmed by the next-cell predictor when roaming users are
+//! predicted to arrive), an inter-cell agent address on the federation
+//! bus, and the per-window bookkeeping the driver needs to correlate
+//! streamed admissions with the roaming users that offered them.
+
+use crate::gossip::{CellId, LoadDigest};
+use crate::handoff::HandoffId;
+use pg_agent::AgentId;
+use pg_compose::proactive::PlanCache;
+use pg_compose::MethodLibrary;
+use pg_core::{PervasiveGrid, Provenance};
+use pg_runtime::arrivals::{Arrival, ArrivalProcess};
+use pg_runtime::{MultiQueryRuntime, QueryId};
+use pg_sim::{Duration, SimTime};
+use std::collections::{BTreeMap, VecDeque};
+
+/// A result-forwarding obligation: the query completed (or will complete)
+/// at this cell after its user roamed away, and the answer must travel.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct PendingForward {
+    /// The roaming user the answer belongs to.
+    pub user: u64,
+    /// The replicated handoff record tracking the forward.
+    pub handoff: HandoffId,
+}
+
+/// The per-window arrival feed for one cell.
+///
+/// The federation routes each window's due arrivals here (tagged with the
+/// offering user and, for redirected admissions, their cross-cell
+/// provenance), then drives the cell's runtime with
+/// [`MultiQueryRuntime::step`] — which pulls them back out through the
+/// [`ArrivalProcess`] trait exactly as a standalone cell would pull from
+/// its own workload. Arrivals the runtime bounces with `Overloaded`
+/// backpressure land in `bounced` for the federation to redirect (peer
+/// load absorption) or drop.
+#[derive(Debug, Default)]
+pub struct WindowArrivals {
+    due: VecDeque<(Arrival, u64, Option<Provenance>)>,
+    delivered: Vec<(u64, Option<Provenance>)>,
+    last_user: Option<u64>,
+    bounced: Vec<(Arrival, u64)>,
+}
+
+impl WindowArrivals {
+    /// Queue one routed arrival for the coming window. Must be pushed in
+    /// non-decreasing time order (the federation routes in time order).
+    pub(crate) fn push(&mut self, arrival: Arrival, user: u64, tag: Option<Provenance>) {
+        debug_assert!(
+            self.due.back().is_none_or(|(a, _, _)| a.at <= arrival.at),
+            "window arrivals must be pushed in time order"
+        );
+        self.due.push_back((arrival, user, tag));
+    }
+
+    /// Users (and provenance tags) of arrivals delivered into the runtime
+    /// this window, in submission order — zipped against the runtime's
+    /// admission log to learn the handle each one got.
+    pub(crate) fn take_delivered(&mut self) -> Vec<(u64, Option<Provenance>)> {
+        std::mem::take(&mut self.delivered)
+    }
+
+    /// Arrivals the runtime refused with `Overloaded` backpressure.
+    pub(crate) fn take_bounced(&mut self) -> Vec<(Arrival, u64)> {
+        std::mem::take(&mut self.bounced)
+    }
+
+    /// Anything still queued (should be empty after a full window step).
+    pub(crate) fn pending(&self) -> usize {
+        self.due.len()
+    }
+}
+
+impl ArrivalProcess for WindowArrivals {
+    fn peek(&mut self) -> Option<SimTime> {
+        self.due.front().map(|(a, _, _)| a.at)
+    }
+
+    fn next_arrival(&mut self) -> Option<Arrival> {
+        let (a, user, tag) = self.due.pop_front()?;
+        self.delivered.push((user, tag));
+        self.last_user = Some(user);
+        Some(a)
+    }
+
+    fn on_overload(&mut self, arrival: Arrival, _retry_after: Duration, _now: SimTime) {
+        // The runtime hands back the most recently consumed arrival, so
+        // `last_user` is exactly its offerer.
+        self.bounced.push((arrival, self.last_user.unwrap_or(0)));
+    }
+}
+
+/// One base-station cell: identity, runtime, proactive plan cache, bus
+/// address, and the driver-side bookkeeping for roaming users.
+#[derive(Debug)]
+pub struct Cell {
+    /// Federation-wide identity (index into the cell slice).
+    pub id: CellId,
+    /// The cell's own streaming runtime over its own grid.
+    pub rt: MultiQueryRuntime<PervasiveGrid>,
+    /// Proactive plan cache, pre-warmed by the next-cell predictor.
+    pub cache: PlanCache,
+    /// This cell's endpoint on the inter-cell agent bus.
+    pub agent: AgentId,
+    /// The per-window arrival feed.
+    pub(crate) window: WindowArrivals,
+    /// Outcomes already harvested (index into `rt.outcomes()`).
+    pub(crate) outcomes_seen: usize,
+    /// Cross-cell provenance to stamp on outcomes once they complete.
+    pub(crate) annotations: BTreeMap<QueryId, Provenance>,
+    /// Queries whose results must be forwarded to a departed user.
+    pub(crate) forwards: BTreeMap<QueryId, PendingForward>,
+    /// Shed count at the last load digest (for the shed-rate window).
+    last_shed: usize,
+    /// When the last load digest was taken.
+    last_digest_at: SimTime,
+}
+
+impl Cell {
+    /// Wrap a ready runtime as federation cell `id`, reachable at `agent`
+    /// on the bus. The plan cache covers the standard pervasive-grid task
+    /// library with the given TTL (`Duration::ZERO` = purely reactive:
+    /// every migration pays the full re-planning path).
+    pub fn new(
+        id: CellId,
+        rt: MultiQueryRuntime<PervasiveGrid>,
+        agent: AgentId,
+        cache_ttl: Duration,
+    ) -> Self {
+        Cell {
+            id,
+            rt,
+            cache: PlanCache::new(MethodLibrary::pervasive_grid(), cache_ttl),
+            agent,
+            window: WindowArrivals::default(),
+            outcomes_seen: 0,
+            annotations: BTreeMap::new(),
+            forwards: BTreeMap::new(),
+            last_shed: 0,
+            last_digest_at: SimTime::ZERO,
+        }
+    }
+
+    /// Is this cell's base station down at `t` (per its own fault plan)?
+    pub fn is_down(&self, t: SimTime) -> bool {
+        self.rt.engine().faults.is_base_down(t)
+    }
+
+    /// The load summary this cell would gossip at `now`: live queue depth
+    /// and overload state, plus the shed rate over the window since the
+    /// last digest.
+    pub fn load_digest(&mut self, now: SimTime) -> LoadDigest {
+        let shed_total = self.rt.shed_records().len();
+        let window_h = now.since(self.last_digest_at).as_secs_f64() / 3_600.0;
+        let shed_rate_per_h = if window_h > 0.0 {
+            (shed_total - self.last_shed) as f64 / window_h
+        } else {
+            0.0
+        };
+        self.last_shed = shed_total;
+        self.last_digest_at = now;
+        LoadDigest {
+            queue_depth: self.rt.queue_depth() as u32,
+            overload: self.rt.overload_state(),
+            shed_rate_per_h,
+            base_down: self.is_down(now),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pg_runtime::QueryOpts;
+
+    #[test]
+    fn window_arrivals_track_users_and_bounces() {
+        let mut w = WindowArrivals::default();
+        let arr = |t: f64| Arrival {
+            at: SimTime::from_secs_f64(t),
+            text: "temperature".into(),
+            opts: QueryOpts::default(),
+        };
+        w.push(arr(1.0), 7, None);
+        w.push(arr(2.0), 8, Some(Provenance::default()));
+        assert_eq!(w.peek(), Some(SimTime::from_secs_f64(1.0)));
+        let a = w.next_arrival().unwrap();
+        assert_eq!(a.at, SimTime::from_secs_f64(1.0));
+        // The runtime bounces the arrival it just consumed: attributed to
+        // user 7.
+        w.on_overload(a, Duration::from_secs(5), SimTime::from_secs_f64(1.0));
+        let _ = w.next_arrival().unwrap();
+        assert!(w.is_exhausted());
+        let delivered = w.take_delivered();
+        assert_eq!(delivered.len(), 2);
+        assert_eq!(delivered[0].0, 7);
+        assert_eq!(delivered[1].0, 8);
+        assert!(delivered[1].1.is_some());
+        let bounced = w.take_bounced();
+        assert_eq!(bounced.len(), 1);
+        assert_eq!(bounced[0].1, 7);
+    }
+}

@@ -1,0 +1,432 @@
+//! Anti-entropy gossip membership with heartbeat suspicion and eviction.
+//!
+//! Every cell keeps a [`Membership`] table mapping peers to their latest
+//! heartbeat, load digest, and liveness classification. Each gossip round
+//! a live cell increments its own heartbeat, picks a seeded random fanout
+//! of known peers, and performs a push-pull digest exchange: both sides
+//! merge entry-wise by heartbeat max, so fresher information always wins
+//! (SNIPPETS #2's introducer idiom: a new cell bootstraps knowing only the
+//! introducer and learns the rest by anti-entropy). Liveness is a local
+//! judgment from staleness — a peer whose heartbeat has not advanced for
+//! `suspect_after` is *Suspect*, for `evict_after` *Dead* — so a crashed
+//! base station is discovered without any central orchestrator, and a cell
+//! that recovers (volunteer churn) is rehabilitated the moment its
+//! heartbeat advances again.
+//!
+//! Digests piggyback a [`LoadDigest`] per cell — queue depth, overload
+//! state, shed rate, base-station health — which is what peer load
+//! absorption steers by, and [`gossip_round`] also merges the replicated
+//! [`HandoffStore`](crate::handoff::HandoffStore)s D-GRID-style so every
+//! cell converges on the same pending/in-progress/completed handoff view.
+
+use crate::handoff::HandoffStore;
+use pg_runtime::OverloadState;
+use pg_sim::rng::mix;
+use pg_sim::{Duration, SimTime};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Identity of one base-station cell in the federation.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CellId(pub u32);
+
+impl fmt::Debug for CellId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cell#{}", self.0)
+    }
+}
+
+impl fmt::Display for CellId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cell#{}", self.0)
+    }
+}
+
+/// The per-cell load summary piggybacked on every gossip digest — what
+/// neighbors steer redirected admissions by.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LoadDigest {
+    /// Queries waiting in the cell's admission queue.
+    pub queue_depth: u32,
+    /// The cell's overload hysteresis state at digest time.
+    pub overload: OverloadState,
+    /// Queries shed per hour over the last digest window.
+    pub shed_rate_per_h: f64,
+    /// The cell's base station was down at digest time.
+    pub base_down: bool,
+}
+
+impl Default for LoadDigest {
+    fn default() -> Self {
+        LoadDigest {
+            queue_depth: 0,
+            overload: OverloadState::Normal,
+            shed_rate_per_h: 0.0,
+            base_down: false,
+        }
+    }
+}
+
+impl LoadDigest {
+    /// Can this cell accept redirected admissions right now, as far as the
+    /// digest knows? Shedding or headless cells cannot.
+    pub fn can_absorb(&self) -> bool {
+        !self.base_down && self.overload != OverloadState::Shed
+    }
+}
+
+/// Liveness judgment a cell holds about a peer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemberState {
+    /// Heartbeat advancing recently.
+    Alive,
+    /// Heartbeat stale past `suspect_after`; still counted live.
+    Suspect,
+    /// Heartbeat stale past `evict_after`; evicted from the live set.
+    Dead,
+}
+
+/// The gossiped payload for one cell: its heartbeat and load digest.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MemberEntry {
+    /// Monotone counter the owner increments each gossip round it is up.
+    pub heartbeat: u64,
+    /// The owner's load summary as of that heartbeat.
+    pub load: LoadDigest,
+}
+
+/// What one cell knows about one peer.
+#[derive(Debug, Clone)]
+pub struct MemberInfo {
+    /// Latest gossiped entry.
+    pub entry: MemberEntry,
+    /// Local time the heartbeat last advanced.
+    pub last_heard: SimTime,
+    /// Current liveness classification.
+    pub state: MemberState,
+}
+
+/// Gossip-layer tuning.
+#[derive(Debug, Clone, Copy)]
+pub struct GossipConfig {
+    /// Peers contacted per round per cell.
+    pub fanout: usize,
+    /// Gossip period (one round every this often).
+    pub round: Duration,
+    /// Staleness after which a peer becomes Suspect.
+    pub suspect_after: Duration,
+    /// Staleness after which a peer is evicted (Dead).
+    pub evict_after: Duration,
+}
+
+impl Default for GossipConfig {
+    fn default() -> Self {
+        GossipConfig {
+            fanout: 2,
+            round: Duration::from_secs(30),
+            suspect_after: Duration::from_secs(120),
+            evict_after: Duration::from_secs(300),
+        }
+    }
+}
+
+/// One cell's membership table.
+#[derive(Debug, Clone)]
+pub struct Membership {
+    /// The owning cell.
+    pub me: CellId,
+    table: BTreeMap<CellId, MemberInfo>,
+}
+
+impl Membership {
+    /// Bootstrap: a fresh cell knows itself and its introducers only; the
+    /// rest of the federation is learned by anti-entropy.
+    pub fn new(me: CellId, introducers: &[CellId], now: SimTime) -> Self {
+        let mut table = BTreeMap::new();
+        let fresh = |hb| MemberInfo {
+            entry: MemberEntry {
+                heartbeat: hb,
+                load: LoadDigest::default(),
+            },
+            last_heard: now,
+            state: MemberState::Alive,
+        };
+        table.insert(me, fresh(1));
+        for &i in introducers {
+            if i != me {
+                table.insert(i, fresh(0));
+            }
+        }
+        Membership { me, table }
+    }
+
+    /// The owner is up at `now`: advance its heartbeat and publish `load`.
+    pub fn beat(&mut self, now: SimTime, load: LoadDigest) {
+        let info = self.table.entry(self.me).or_insert(MemberInfo {
+            entry: MemberEntry { heartbeat: 0, load },
+            last_heard: now,
+            state: MemberState::Alive,
+        });
+        info.entry.heartbeat += 1;
+        info.entry.load = load;
+        info.last_heard = now;
+        info.state = MemberState::Alive;
+    }
+
+    /// Snapshot of everything this cell would gossip: all non-dead entries
+    /// (dead peers are withheld so eviction stays a local staleness
+    /// judgment rather than a rumor).
+    pub fn digest(&self) -> Vec<(CellId, MemberEntry)> {
+        self.table
+            .iter()
+            .filter(|(_, i)| i.state != MemberState::Dead)
+            .map(|(&c, i)| (c, i.entry))
+            .collect()
+    }
+
+    /// Merge a peer's digest: entry-wise heartbeat max. A strictly newer
+    /// heartbeat refreshes `last_heard` and rehabilitates a Suspect; the
+    /// owner's own row is authoritative and never overwritten by rumor.
+    pub fn merge(&mut self, digest: &[(CellId, MemberEntry)], now: SimTime) {
+        for &(cell, entry) in digest {
+            if cell == self.me {
+                continue;
+            }
+            match self.table.get_mut(&cell) {
+                Some(info) => {
+                    if entry.heartbeat > info.entry.heartbeat {
+                        info.entry = entry;
+                        info.last_heard = now;
+                        info.state = MemberState::Alive;
+                    }
+                }
+                None => {
+                    self.table.insert(
+                        cell,
+                        MemberInfo {
+                            entry,
+                            last_heard: now,
+                            state: MemberState::Alive,
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    /// Re-classify every peer by heartbeat staleness at `now`.
+    pub fn classify(&mut self, now: SimTime, cfg: &GossipConfig) {
+        for (&cell, info) in self.table.iter_mut() {
+            if cell == self.me {
+                continue;
+            }
+            let stale = now.since(info.last_heard);
+            info.state = if stale >= cfg.evict_after {
+                MemberState::Dead
+            } else if stale >= cfg.suspect_after {
+                MemberState::Suspect
+            } else {
+                MemberState::Alive
+            };
+        }
+    }
+
+    /// Cells this table counts as live (self plus every non-Dead peer).
+    pub fn live_set(&self) -> Vec<CellId> {
+        self.table
+            .iter()
+            .filter(|(_, i)| i.state != MemberState::Dead)
+            .map(|(&c, _)| c)
+            .collect()
+    }
+
+    /// The last gossiped load digest for `cell`, if known and not evicted.
+    pub fn load_of(&self, cell: CellId) -> Option<&LoadDigest> {
+        self.table
+            .get(&cell)
+            .filter(|i| i.state != MemberState::Dead)
+            .map(|i| &i.entry.load)
+    }
+
+    /// Full table view (tests, experiments).
+    pub fn members(&self) -> impl Iterator<Item = (CellId, &MemberInfo)> {
+        self.table.iter().map(|(&c, i)| (c, i))
+    }
+
+    /// Known (non-evicted) peers other than self — gossip target pool.
+    fn gossip_candidates(&self) -> Vec<CellId> {
+        self.table
+            .iter()
+            .filter(|(&c, i)| c != self.me && i.state != MemberState::Dead)
+            .map(|(&c, _)| c)
+            .collect()
+    }
+}
+
+/// Run one synchronous gossip round at `now` over the whole federation.
+///
+/// Each cell with `up[i] == true` (index = `CellId.0`) beats beforehand
+/// (caller's job), then contacts up to `fanout` distinct seeded-random
+/// targets from its candidate pool. A contact with an up target is a
+/// push-pull exchange: both membership digests merge both ways, and the
+/// paired [`HandoffStore`]s merge both ways too (the D-GRID replication
+/// ride-along). A contact with a down target is simply lost — that is how
+/// crashes are discovered, by silence. Afterwards every up cell
+/// re-classifies its table.
+///
+/// Peer selection derives from `(seed, round_idx, cell)` alone, so rounds
+/// replay bit-identically regardless of caller structure.
+pub fn gossip_round(
+    members: &mut [Membership],
+    handoffs: &mut [HandoffStore],
+    up: &[bool],
+    now: SimTime,
+    cfg: &GossipConfig,
+    seed: u64,
+    round_idx: u64,
+) {
+    debug_assert_eq!(members.len(), up.len());
+    for i in 0..members.len() {
+        if !up[i] {
+            continue;
+        }
+        let mut candidates = members[i].gossip_candidates();
+        let mut rng = StdRng::seed_from_u64(mix(mix(seed, round_idx), i as u64));
+        let picks = cfg.fanout.min(candidates.len());
+        for k in 0..picks {
+            let j = rng.gen_range(k..candidates.len());
+            candidates.swap(k, j);
+            let target = candidates[k];
+            let t = target.0 as usize;
+            if t >= up.len() || !up[t] {
+                continue; // contact lost: the silence that reveals a crash
+            }
+            let di = members[i].digest();
+            members[t].merge(&di, now);
+            let dt = members[t].digest();
+            members[i].merge(&dt, now);
+            if !handoffs.is_empty() {
+                let hi = handoffs[i].snapshot();
+                handoffs[t].merge(&hi);
+                let ht = handoffs[t].snapshot();
+                handoffs[i].merge(&ht);
+            }
+        }
+    }
+    for (i, m) in members.iter_mut().enumerate() {
+        if up[i] {
+            m.classify(now, cfg);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bootstrap(n: usize) -> (Vec<Membership>, Vec<HandoffStore>, Vec<bool>) {
+        // Cell 0 is the introducer: everyone else starts knowing only it.
+        let members = (0..n)
+            .map(|i| Membership::new(CellId(i as u32), &[CellId(0)], SimTime::ZERO))
+            .collect();
+        let handoffs = (0..n).map(|_| HandoffStore::new()).collect();
+        (members, handoffs, vec![true; n])
+    }
+
+    #[test]
+    fn introducer_bootstrap_converges_to_full_view() {
+        let n = 16;
+        let (mut members, mut handoffs, up) = bootstrap(n);
+        let cfg = GossipConfig::default();
+        for round in 0..12u64 {
+            let now = SimTime::from_secs(30 * (round + 1));
+            for m in members.iter_mut() {
+                m.beat(now, LoadDigest::default());
+            }
+            gossip_round(&mut members, &mut handoffs, &up, now, &cfg, 7, round);
+        }
+        for m in &members {
+            assert_eq!(m.live_set().len(), n, "{} sees a partial view", m.me);
+        }
+    }
+
+    #[test]
+    fn crashed_cell_is_suspected_then_evicted_then_rehabilitated() {
+        let n = 8;
+        let (mut members, mut handoffs, mut up) = bootstrap(n);
+        let cfg = GossipConfig::default();
+        let mut round = 0u64;
+        let mut now = SimTime::ZERO;
+        let mut run = |members: &mut Vec<Membership>,
+                       handoffs: &mut Vec<HandoffStore>,
+                       up: &[bool],
+                       rounds: u64| {
+            for _ in 0..rounds {
+                round += 1;
+                now = SimTime::from_secs(30 * round);
+                for (i, m) in members.iter_mut().enumerate() {
+                    if up[i] {
+                        m.beat(now, LoadDigest::default());
+                    }
+                }
+                gossip_round(members, handoffs, up, now, &cfg, 11, round);
+            }
+        };
+        run(&mut members, &mut handoffs, &up.clone(), 10); // full view
+        up[3] = false;
+        run(&mut members, &mut handoffs, &up.clone(), 15); // > evict_after
+        for (i, m) in members.iter().enumerate() {
+            if i == 3 {
+                continue;
+            }
+            assert!(
+                !m.live_set().contains(&CellId(3)),
+                "{} still counts the crashed cell live",
+                m.me
+            );
+        }
+        // Volunteer churn: the cell comes back; its advancing heartbeat
+        // rehabilitates it everywhere.
+        up[3] = true;
+        run(&mut members, &mut handoffs, &up.clone(), 12);
+        for m in &members {
+            assert!(
+                m.live_set().contains(&CellId(3)),
+                "{} did not rehabilitate the returned cell",
+                m.me
+            );
+        }
+    }
+
+    #[test]
+    fn load_digests_propagate() {
+        let n = 6;
+        let (mut members, mut handoffs, up) = bootstrap(n);
+        let cfg = GossipConfig::default();
+        for round in 0..10u64 {
+            let now = SimTime::from_secs(30 * (round + 1));
+            for (i, m) in members.iter_mut().enumerate() {
+                let load = LoadDigest {
+                    queue_depth: (i as u32 + 1) * 10,
+                    overload: if i == 2 {
+                        OverloadState::Shed
+                    } else {
+                        OverloadState::Normal
+                    },
+                    shed_rate_per_h: 0.0,
+                    base_down: false,
+                };
+                m.beat(now, load);
+            }
+            gossip_round(&mut members, &mut handoffs, &up, now, &cfg, 3, round);
+        }
+        let view = &members[5];
+        let l2 = view.load_of(CellId(2)).expect("cell 2 known");
+        assert_eq!(l2.queue_depth, 30);
+        assert!(!l2.can_absorb(), "a shedding cell must not absorb");
+        let l1 = view.load_of(CellId(1)).expect("cell 1 known");
+        assert!(l1.can_absorb());
+    }
+}

@@ -1,0 +1,269 @@
+//! Replicated handoff records, D-GRID style.
+//!
+//! Every cross-cell handoff — a migrating in-flight query or a result
+//! forwarded home — is tracked by a [`HandoffRecord`] that moves through
+//! `Pending → InProgress → Completed`. Records live in per-cell
+//! [`HandoffStore`]s replicated by the gossip layer (SNIPPETS #1: queue /
+//! in-progress / completed state replicated between peers with no central
+//! orchestrator), merging by phase dominance: a record can only move
+//! forward, so whichever replica has seen more of the handoff wins and
+//! every cell converges on the same view.
+
+use crate::gossip::CellId;
+use pg_sim::SimTime;
+use std::collections::BTreeMap;
+
+/// Globally unique handoff identity: the opening cell in the high bits,
+/// its local sequence number in the low bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct HandoffId(pub u64);
+
+impl HandoffId {
+    /// Mint the `seq`-th handoff opened by `cell`.
+    pub fn mint(cell: CellId, seq: u64) -> Self {
+        debug_assert!(seq < (1 << 32));
+        HandoffId(((cell.0 as u64) << 32) | (seq & 0xffff_ffff))
+    }
+}
+
+/// Which way the handoff moves work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HandoffKind {
+    /// The queued query migrates with the roaming user: extracted at the
+    /// origin, re-planned and re-admitted at the destination, partial
+    /// results riding in the envelope.
+    Migrate,
+    /// The query completes at its origin after the user left; only the
+    /// result travels, forwarded to the user's new cell.
+    ForwardHome,
+}
+
+/// Lifecycle phase. Ordered: merge keeps the furthest-along phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum HandoffPhase {
+    /// Opened at the origin; the envelope is in flight.
+    Pending,
+    /// The destination has the envelope and is re-planning / admitting.
+    InProgress,
+    /// Done: re-admitted at the destination, or the result delivered.
+    Completed,
+}
+
+/// One replicated handoff record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HandoffRecord {
+    /// Globally unique id (see [`HandoffId::mint`]).
+    pub id: HandoffId,
+    /// The roaming user whose query this is.
+    pub user: u64,
+    /// Origin cell.
+    pub from: CellId,
+    /// Destination cell.
+    pub to: CellId,
+    /// Migration or forward-home.
+    pub kind: HandoffKind,
+    /// Current phase (monotone).
+    pub phase: HandoffPhase,
+    /// When the origin opened the record.
+    pub opened_at: SimTime,
+    /// When it completed, once it has.
+    pub completed_at: Option<SimTime>,
+    /// Measured end-to-end handoff latency, seconds (transport plus, for
+    /// migrations, destination re-planning), once completed.
+    pub latency_s: Option<f64>,
+    /// The destination plan cache was warm when the handoff landed
+    /// (pre-warmed by the next-cell predictor or still fresh).
+    pub warm: bool,
+}
+
+impl HandoffRecord {
+    /// Phase-dominant merge: adopt `other` when it is further along.
+    fn absorb(&mut self, other: &HandoffRecord) {
+        if other.phase > self.phase {
+            self.phase = other.phase;
+            self.completed_at = other.completed_at;
+            self.latency_s = other.latency_s;
+            self.warm = other.warm;
+        }
+    }
+}
+
+/// One cell's replica of the federation-wide handoff ledger.
+#[derive(Debug, Clone, Default)]
+pub struct HandoffStore {
+    records: BTreeMap<HandoffId, HandoffRecord>,
+}
+
+impl HandoffStore {
+    /// An empty ledger.
+    pub fn new() -> Self {
+        HandoffStore::default()
+    }
+
+    /// Open (or overwrite) a record — callers mint fresh ids, so
+    /// overwrites only happen when replaying the owner's own update.
+    pub fn open(&mut self, record: HandoffRecord) {
+        self.records.insert(record.id, record);
+    }
+
+    /// Advance `id` to `phase` if that moves it forward; stamps completion
+    /// time and measured latency when `phase` is Completed.
+    pub fn advance(
+        &mut self,
+        id: HandoffId,
+        phase: HandoffPhase,
+        now: SimTime,
+        latency_s: Option<f64>,
+        warm: bool,
+    ) {
+        if let Some(r) = self.records.get_mut(&id) {
+            if phase > r.phase {
+                r.phase = phase;
+                r.warm = warm;
+                if phase == HandoffPhase::Completed {
+                    r.completed_at = Some(now);
+                    r.latency_s = latency_s;
+                }
+            }
+        }
+    }
+
+    /// Look up one record.
+    pub fn get(&self, id: HandoffId) -> Option<&HandoffRecord> {
+        self.records.get(&id)
+    }
+
+    /// Every record, for replication.
+    pub fn snapshot(&self) -> Vec<HandoffRecord> {
+        self.records.values().cloned().collect()
+    }
+
+    /// Merge a peer's snapshot: unknown records are adopted, known ones
+    /// phase-dominantly absorbed. Idempotent and commutative up to phase
+    /// monotonicity, so gossip order never matters.
+    pub fn merge(&mut self, snapshot: &[HandoffRecord]) {
+        for r in snapshot {
+            match self.records.get_mut(&r.id) {
+                Some(mine) => mine.absorb(r),
+                None => {
+                    self.records.insert(r.id, r.clone());
+                }
+            }
+        }
+    }
+
+    /// Total records known.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Is the ledger empty?
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// How many records sit in each phase: `(pending, in_progress,
+    /// completed)`.
+    pub fn phase_counts(&self) -> (usize, usize, usize) {
+        let mut c = (0, 0, 0);
+        for r in self.records.values() {
+            match r.phase {
+                HandoffPhase::Pending => c.0 += 1,
+                HandoffPhase::InProgress => c.1 += 1,
+                HandoffPhase::Completed => c.2 += 1,
+            }
+        }
+        c
+    }
+
+    /// Iterate all records.
+    pub fn records(&self) -> impl Iterator<Item = &HandoffRecord> {
+        self.records.values()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(id: u64, phase: HandoffPhase) -> HandoffRecord {
+        HandoffRecord {
+            id: HandoffId(id),
+            user: 1,
+            from: CellId(0),
+            to: CellId(1),
+            kind: HandoffKind::Migrate,
+            phase,
+            opened_at: SimTime::ZERO,
+            completed_at: None,
+            latency_s: None,
+            warm: false,
+        }
+    }
+
+    #[test]
+    fn merge_is_phase_dominant_and_idempotent() {
+        let mut a = HandoffStore::new();
+        let mut b = HandoffStore::new();
+        a.open(rec(1, HandoffPhase::Pending));
+        b.open(rec(1, HandoffPhase::Completed));
+        b.open(rec(2, HandoffPhase::InProgress));
+        let sb = b.snapshot();
+        a.merge(&sb);
+        assert_eq!(a.len(), 2);
+        assert_eq!(
+            a.get(HandoffId(1)).map(|r| r.phase),
+            Some(HandoffPhase::Completed)
+        );
+        // Merging an older view back never regresses.
+        let mut stale = HandoffStore::new();
+        stale.open(rec(1, HandoffPhase::Pending));
+        a.merge(&stale.snapshot());
+        assert_eq!(
+            a.get(HandoffId(1)).map(|r| r.phase),
+            Some(HandoffPhase::Completed)
+        );
+        // Idempotent.
+        let before = a.snapshot();
+        a.merge(&sb);
+        assert_eq!(a.snapshot(), before);
+    }
+
+    #[test]
+    fn advance_is_monotone_and_stamps_completion() {
+        let mut s = HandoffStore::new();
+        s.open(rec(7, HandoffPhase::Pending));
+        s.advance(
+            HandoffId(7),
+            HandoffPhase::InProgress,
+            SimTime::from_secs(1),
+            None,
+            false,
+        );
+        s.advance(
+            HandoffId(7),
+            HandoffPhase::Completed,
+            SimTime::from_secs(2),
+            Some(0.25),
+            true,
+        );
+        let r = s.get(HandoffId(7)).expect("present");
+        assert_eq!(r.phase, HandoffPhase::Completed);
+        assert_eq!(r.completed_at, Some(SimTime::from_secs(2)));
+        assert_eq!(r.latency_s, Some(0.25));
+        assert!(r.warm);
+        // A late Pending replay changes nothing.
+        s.advance(
+            HandoffId(7),
+            HandoffPhase::Pending,
+            SimTime::from_secs(3),
+            None,
+            false,
+        );
+        assert_eq!(
+            s.get(HandoffId(7)).map(|r| r.phase),
+            Some(HandoffPhase::Completed)
+        );
+        assert_eq!(s.phase_counts(), (0, 0, 1));
+    }
+}

@@ -115,7 +115,8 @@ pub use engine::{Attribution, BatchQuery, EngineOutcome, QueryEngine};
 pub use handle::{QueryHandle, QueryStatus};
 pub use overload::{OverloadConfig, OverloadPolicy, OverloadState};
 pub use scheduler::{
-    MultiQueryRuntime, QueryOutcome, RuntimeConfig, RuntimeConfigBuilder, SchedPolicy, ShedRecord,
+    MigratedQuery, MultiQueryRuntime, QueryOutcome, RuntimeConfig, RuntimeConfigBuilder,
+    SchedPolicy, ShedRecord,
 };
 
 #[cfg(test)]

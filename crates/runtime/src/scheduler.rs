@@ -99,6 +99,16 @@ pub struct RuntimeConfig {
     /// policy is [`OverloadPolicy::None`], which leaves every existing
     /// workload bit-identical.
     pub overload: OverloadConfig,
+    /// Record the verdict of every [`submit`] into an admission log the
+    /// caller can drain with [`take_admission_log`] — how a layer driving
+    /// the runtime through [`step`] (which submits internally) learns the
+    /// handles of streamed arrivals, e.g. to migrate them later. Off by
+    /// default: nothing is recorded and nothing changes.
+    ///
+    /// [`submit`]: MultiQueryRuntime::submit
+    /// [`take_admission_log`]: MultiQueryRuntime::take_admission_log
+    /// [`step`]: MultiQueryRuntime::step
+    pub record_admissions: bool,
 }
 
 impl Default for RuntimeConfig {
@@ -112,6 +122,7 @@ impl Default for RuntimeConfig {
             advance_clock: true,
             preemption: false,
             overload: OverloadConfig::default(),
+            record_admissions: false,
         }
     }
 }
@@ -191,6 +202,13 @@ impl RuntimeConfigBuilder {
     /// Install an overload-control configuration (watermarks + policy).
     pub fn overload(mut self, overload: OverloadConfig) -> Self {
         self.cfg.overload = overload;
+        self
+    }
+
+    /// Record every submission verdict for the caller to drain (see
+    /// [`RuntimeConfig::record_admissions`]).
+    pub fn record_admissions(mut self, record: bool) -> Self {
+        self.cfg.record_admissions = record;
         self
     }
 
@@ -307,6 +325,24 @@ impl<R, E> QueryOutcome<R, E> {
     }
 }
 
+/// A queued query lifted out of one runtime for re-admission in another —
+/// the handle-migration unit the federation layer moves between cells when
+/// a roaming user leaves mid-query. Carries everything the destination
+/// needs to preserve end-to-end accounting: the original submission
+/// instant (queue wait keeps accruing across the move) and the *absolute*
+/// deadline (a handoff never resets the clock the user is watching).
+#[derive(Debug, Clone)]
+pub struct MigratedQuery {
+    /// The raw query text.
+    pub text: String,
+    /// When the query first entered a queue, anywhere.
+    pub submitted_at: SimTime,
+    /// Absolute deadline, when one was requested at submission.
+    pub deadline_abs: Option<SimTime>,
+    /// Scheduling priority.
+    pub priority: u8,
+}
+
 /// The audit record of one shed query: who was dropped, when, and with
 /// what deadline — overload control never makes work disappear silently.
 #[derive(Debug, Clone, PartialEq)]
@@ -362,10 +398,18 @@ pub struct MultiQueryRuntime<E: QueryEngine> {
     pub shed: u64,
     /// Queries serviced in brownout rounds (degraded fidelity).
     pub browned_out: u64,
+    /// Queued queries extracted for migration to another runtime.
+    pub migrated_out: u64,
+    /// Queries re-admitted here after migrating from another runtime.
+    pub migrated_in: u64,
     /// Overload hysteresis state, stepped on every queue-depth change.
     overload_state: OverloadState,
     /// Audit log of shed queries, in shed order.
     shed_records: Vec<ShedRecord>,
+    /// Submission verdicts since the last drain (only fed when
+    /// `cfg.record_admissions` is set): `Some(handle)` for accepted,
+    /// `None` for rejected — one entry per `submit`, in call order.
+    admission_log: Vec<Option<QueryHandle>>,
 }
 
 impl<E: QueryEngine> MultiQueryRuntime<E> {
@@ -390,8 +434,11 @@ impl<E: QueryEngine> MultiQueryRuntime<E> {
             preemptions: 0,
             shed: 0,
             browned_out: 0,
+            migrated_out: 0,
+            migrated_in: 0,
             overload_state: OverloadState::Normal,
             shed_records: Vec::new(),
+            admission_log: Vec::new(),
         }
     }
 
@@ -455,14 +502,49 @@ impl<E: QueryEngine> MultiQueryRuntime<E> {
         &self.outcomes
     }
 
+    /// Completed outcomes, mutably — post-hoc annotation (e.g. a
+    /// federation layer stamping cross-cell provenance onto responses)
+    /// without reopening the service path.
+    pub fn outcomes_mut(&mut self) -> &mut [QueryOutcome<E::Response, E::Error>] {
+        &mut self.outcomes
+    }
+
     /// Tear down into the engine and the completed outcomes.
     #[allow(clippy::type_complexity)]
     pub fn into_parts(self) -> (E, Vec<QueryOutcome<E::Response, E::Error>>) {
         (self.engine, self.outcomes)
     }
 
+    /// Submission verdicts recorded since the last call (empty unless
+    /// [`RuntimeConfig::record_admissions`] is set): one entry per
+    /// [`submit`], in call order — `Some(handle)` when accepted, `None`
+    /// when rejected at the door. [`admit_migrated`] is not logged; its
+    /// caller already holds the verdict.
+    ///
+    /// [`submit`]: MultiQueryRuntime::submit
+    /// [`admit_migrated`]: MultiQueryRuntime::admit_migrated
+    pub fn take_admission_log(&mut self) -> Vec<Option<QueryHandle>> {
+        std::mem::take(&mut self.admission_log)
+    }
+
+    /// Toggle admission logging after construction (see
+    /// [`RuntimeConfigBuilder::record_admissions`]) — for layers that take
+    /// ownership of an already-built runtime and need handle correlation.
+    pub fn record_admissions(&mut self, on: bool) {
+        self.cfg.record_admissions = on;
+    }
+
     /// Submit query text for execution in a future epoch.
     pub fn submit(&mut self, text: &str, opts: QueryOpts) -> Admission {
+        let verdict = self.submit_gated(text, opts);
+        if self.cfg.record_admissions {
+            self.admission_log.push(verdict.handle());
+        }
+        verdict
+    }
+
+    /// The admission pipeline behind [`submit`](MultiQueryRuntime::submit).
+    fn submit_gated(&mut self, text: &str, opts: QueryOpts) -> Admission {
         // Overload backpressure comes before the hard queue bound: in shed
         // mode the door closes at the watermark, with a drain-estimate
         // retry hint, instead of slamming shut at capacity.
@@ -602,6 +684,123 @@ impl<E: QueryEngine> MultiQueryRuntime<E> {
         self.cancelled += 1;
         self.update_overload_state();
         true
+    }
+
+    /// Lift a still-queued query out of this runtime for re-admission
+    /// elsewhere (roaming handoff). Like [`cancel`] it leaves the queue and
+    /// releases its energy commitment, but it is counted as `migrated_out`
+    /// rather than `cancelled` and the caller gets everything needed to
+    /// [`admit_migrated`] it at the destination. Returns `None` when the
+    /// query is no longer queued here (already serviced, cancelled, or
+    /// shed — too late to move).
+    ///
+    /// [`cancel`]: MultiQueryRuntime::cancel
+    /// [`admit_migrated`]: MultiQueryRuntime::admit_migrated
+    pub fn extract(&mut self, handle: QueryHandle) -> Option<MigratedQuery> {
+        let id = handle.id();
+        let pos = self.waiting.iter().position(|p| p.id == id)?;
+        let p = self.waiting.remove(pos);
+        self.committed_j -= p.estimate_j;
+        self.migrated_out += 1;
+        self.update_overload_state();
+        Some(MigratedQuery {
+            text: p.text,
+            submitted_at: p.submitted_at,
+            deadline_abs: p.deadline_abs,
+            priority: p.priority,
+        })
+    }
+
+    /// Re-admit a query lifted out of another runtime with [`extract`].
+    ///
+    /// The migrated query passes the same door as a fresh [`submit`] —
+    /// shed-state backpressure, the queue bound, and the energy gates all
+    /// apply, so an overloaded destination honors its own watermarks
+    /// instead of absorbing unconditionally. What differs is accounting:
+    /// the original submission instant and absolute deadline are preserved
+    /// (queue wait accrues across cells; the deadline never resets), and
+    /// acceptance counts as `migrated_in`.
+    ///
+    /// [`extract`]: MultiQueryRuntime::extract
+    /// [`submit`]: MultiQueryRuntime::submit
+    pub fn admit_migrated(&mut self, m: MigratedQuery) -> Admission {
+        // Reconstruct caller-side options for rejection reporting: the
+        // deadline is re-expressed relative to now (clamped at zero when
+        // already past — the destination may still answer it late).
+        let now = self.engine.now();
+        let mut opts = QueryOpts::default().priority(m.priority);
+        if let Some(d) = m.deadline_abs {
+            opts.deadline = Some(if d >= now {
+                d.since(now)
+            } else {
+                Duration::ZERO
+            });
+        }
+        if self.cfg.overload.policy != OverloadPolicy::None
+            && self.overload_state == OverloadState::Shed
+        {
+            self.rejected += 1;
+            return Admission::Rejected {
+                reason: RejectReason::Overloaded {
+                    retry_after: self.retry_after_estimate(),
+                    queue_depth: self.waiting.len(),
+                },
+                opts,
+            };
+        }
+        if self.waiting.len() >= self.cfg.capacity {
+            self.rejected += 1;
+            return Admission::Rejected {
+                reason: RejectReason::QueueFull {
+                    capacity: self.cfg.capacity,
+                },
+                opts,
+            };
+        }
+        let mut estimate_j = 0.0;
+        if self.cfg.energy_budget_j.is_some() {
+            estimate_j = self.engine.estimate_energy_j(&m.text).unwrap_or(0.0);
+        }
+        if let Some(budget) = self.cfg.energy_budget_j {
+            let headroom = (budget - self.spent_j).min(self.engine.available_energy_j());
+            let available = headroom - self.committed_j;
+            if estimate_j > available {
+                self.rejected += 1;
+                return Admission::Rejected {
+                    reason: RejectReason::EnergyBudget {
+                        estimate_j,
+                        available_j: available.max(0.0),
+                    },
+                    opts,
+                };
+            }
+            self.committed_j += estimate_j;
+        }
+
+        let id = QueryId(self.next_id);
+        self.next_id += 1;
+        self.admitted += 1;
+        self.migrated_in += 1;
+        self.waiting.push(Pending {
+            id,
+            text: m.text,
+            submitted_at: m.submitted_at,
+            deadline_abs: m.deadline_abs,
+            estimate_j,
+            priority: m.priority,
+        });
+        self.update_overload_state();
+        let handle = QueryHandle::new(id);
+        let rank = self.policy_rank(id);
+        if rank < self.cfg.slots_per_epoch {
+            Admission::Admitted { handle }
+        } else {
+            self.deferred += 1;
+            Admission::Deferred {
+                handle,
+                queue_depth: self.waiting.len(),
+            }
+        }
     }
 
     /// Tighten a queued query's deadline to `deadline` from now. Only ever

@@ -63,6 +63,16 @@ if [[ -z "$exps" ]]; then
     exit 1
 fi
 echo "discovered experiments:" $exps
+# Surface experiments that have no committed baseline yet: regress only
+# compares keys present on both sides, so a brand-new exp_* would
+# otherwise sail through CI ungated until someone notices.
+missing=""
+for exp in $exps; do
+    [[ -f "baselines/BENCH_$exp.json" ]] || missing="$missing $exp"
+done
+if [[ -n "$missing" ]]; then
+    echo "missing baselines (run --smoke --rebaseline to create):$missing"
+fi
 
 cargo build --release -p pg-bench
 for exp in $exps; do

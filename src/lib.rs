@@ -53,6 +53,7 @@ pub use pg_agent as agent;
 pub use pg_compose as compose;
 pub use pg_core as core;
 pub use pg_discovery as discovery;
+pub use pg_federation as federation;
 pub use pg_grid as grid;
 pub use pg_net as net;
 pub use pg_partition as partition;
