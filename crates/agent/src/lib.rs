@@ -47,4 +47,4 @@ pub mod system;
 pub use deputy::{DeliveryOutcome, Deputy, DirectDeputy, DisconnectionDeputy, TranscodingDeputy};
 pub use envelope::{AgentId, Envelope, Payload};
 pub use profile::{AgentAttribute, AgentProfile};
-pub use system::{Agent, AgentSystem, AsAny, ReliableConfig};
+pub use system::{Agent, AgentSystem, AsAny, BreakerConfig, ReliableConfig};

@@ -44,6 +44,10 @@ pub struct ReliableConfig {
     pub jitter_frac: f64,
     /// Receiver-side processing delay before the ack is considered sent.
     pub ack_delay: Duration,
+    /// Per-peer circuit breaker over dead-letter outcomes. `None` (the
+    /// default) keeps the classic behavior: every send to a dead peer
+    /// burns its full retry budget.
+    pub breaker: Option<BreakerConfig>,
 }
 
 impl Default for ReliableConfig {
@@ -54,8 +58,60 @@ impl Default for ReliableConfig {
             backoff: 2.0,
             jitter_frac: 0.1,
             ack_delay: Duration::from_millis(10),
+            breaker: None,
         }
     }
+}
+
+/// Circuit-breaker tuning for per-peer reliable delivery.
+///
+/// The breaker sits between `dispatch` and the wire, one instance per
+/// destination. **Closed** passes everything through; each dead-lettered
+/// envelope toward the peer counts a consecutive failure, and reaching
+/// [`failure_threshold`](BreakerConfig::failure_threshold) trips the
+/// breaker **open**: sends short-circuit immediately (counted
+/// `breaker.short_circuit`), spending zero wire attempts on a peer that
+/// is demonstrably unreachable. After
+/// [`open_for`](BreakerConfig::open_for) the first send transitions to
+/// **half-open** and goes through as a probe; its ack closes the breaker
+/// (normal service resumes), its dead-letter re-opens for another
+/// cooldown. Any ack from the peer resets the failure count.
+#[derive(Debug, Clone, Copy)]
+pub struct BreakerConfig {
+    /// Consecutive dead letters toward one peer that trip the breaker.
+    pub failure_threshold: u32,
+    /// How long an open breaker short-circuits before probing again.
+    pub open_for: Duration,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            failure_threshold: 3,
+            open_for: Duration::from_secs(60),
+        }
+    }
+}
+
+/// One peer's breaker position.
+#[derive(Debug, Clone, Copy)]
+enum BreakerState {
+    /// Traffic flows; counts consecutive dead letters.
+    Closed { failures: u32 },
+    /// Short-circuiting until the cooldown elapses.
+    Open { until: SimTime },
+    /// One probe is in flight; everything else short-circuits.
+    HalfOpen,
+}
+
+/// What the breaker says about one send.
+enum BreakerGate {
+    /// Closed (or no breaker configured): send normally.
+    Admit,
+    /// Cooldown elapsed: this send is the half-open probe.
+    Probe,
+    /// Open (or probe already in flight): drop without touching the wire.
+    ShortCircuit,
 }
 
 /// One reliably-sent envelope awaiting its ack.
@@ -73,6 +129,7 @@ struct Reliable {
     jitter_counter: u64,
     pending: BTreeMap<u64, PendingSend>,
     delivered: BTreeSet<u64>,
+    breakers: BTreeMap<AgentId, BreakerState>,
 }
 
 impl Reliable {
@@ -86,6 +143,71 @@ impl Reliable {
             jitter_counter: 0,
             pending: BTreeMap::new(),
             delivered: BTreeSet::new(),
+            breakers: BTreeMap::new(),
+        }
+    }
+
+    /// May this send toward `to` touch the wire at `now`?
+    fn breaker_gate(&mut self, to: AgentId, now: SimTime) -> BreakerGate {
+        if self.cfg.breaker.is_none() {
+            return BreakerGate::Admit;
+        }
+        match self.breakers.get_mut(&to) {
+            None => BreakerGate::Admit,
+            Some(st) => match *st {
+                BreakerState::Closed { .. } => BreakerGate::Admit,
+                BreakerState::Open { until } if now >= until => {
+                    *st = BreakerState::HalfOpen;
+                    BreakerGate::Probe
+                }
+                BreakerState::Open { .. } | BreakerState::HalfOpen => BreakerGate::ShortCircuit,
+            },
+        }
+    }
+
+    /// An envelope toward `to` dead-lettered; returns true when the
+    /// breaker (re)opened.
+    fn breaker_trip(&mut self, to: AgentId, now: SimTime) -> bool {
+        let Some(bc) = self.cfg.breaker else {
+            return false;
+        };
+        let st = self
+            .breakers
+            .entry(to)
+            .or_insert(BreakerState::Closed { failures: 0 });
+        match st {
+            BreakerState::Closed { failures } => {
+                *failures += 1;
+                if *failures >= bc.failure_threshold {
+                    *st = BreakerState::Open {
+                        until: now + bc.open_for,
+                    };
+                    true
+                } else {
+                    false
+                }
+            }
+            // The half-open probe itself died: back to cooldown.
+            BreakerState::HalfOpen => {
+                *st = BreakerState::Open {
+                    until: now + bc.open_for,
+                };
+                true
+            }
+            BreakerState::Open { .. } => false,
+        }
+    }
+
+    /// An ack from `to` arrived; returns true when a tripped breaker
+    /// closed (half-open probe succeeded, or a straggler ack landed).
+    fn breaker_reset(&mut self, to: AgentId) -> bool {
+        match self.breakers.get_mut(&to) {
+            Some(st) => {
+                let was_tripped = !matches!(st, BreakerState::Closed { .. });
+                *st = BreakerState::Closed { failures: 0 };
+                was_tripped
+            }
+            None => false,
         }
     }
 
@@ -154,6 +276,10 @@ enum Ev {
     AckArrives(u64),
 }
 
+/// Dynamic wire predicate: `filter(from, to, now)` == false severs the
+/// link for that frame (network partition / one-way cut).
+type LinkFilter = Box<dyn Fn(AgentId, AgentId, SimTime) -> bool>;
+
 struct World {
     agents: BTreeMap<AgentId, Box<dyn Agent>>,
     deputies: BTreeMap<AgentId, Box<dyn Deputy>>,
@@ -162,6 +288,7 @@ struct World {
     idle_after: Option<SimTime>,
     injector: FaultInjector,
     reliable: Option<Reliable>,
+    link_filter: Option<LinkFilter>,
 }
 
 impl Model for World {
@@ -173,8 +300,12 @@ impl Model for World {
             Ev::RetryTimer(seq) => self.retry(now, seq, sched),
             Ev::AckArrives(seq) => {
                 if let Some(r) = self.reliable.as_mut() {
-                    if r.pending.remove(&seq).is_some() {
+                    if let Some(p) = r.pending.remove(&seq) {
+                        let closed = r.breaker_reset(p.env.to);
                         self.metrics.count("reliable.acked", 1);
+                        if closed {
+                            self.metrics.count("breaker.closed", 1);
+                        }
                     }
                 }
             }
@@ -211,6 +342,17 @@ impl World {
     fn dispatch(&mut self, at: SimTime, mut env: Envelope, sched: &mut Scheduler<Ev>) {
         env.sent_at = at;
         if let Some(r) = self.reliable.as_mut() {
+            match r.breaker_gate(env.to, at) {
+                BreakerGate::Admit => {}
+                BreakerGate::Probe => self.metrics.count("breaker.probe", 1),
+                BreakerGate::ShortCircuit => {
+                    // Fail fast: no pending entry, no retry timers, no wire
+                    // bytes — the peer was unreachable moments ago and the
+                    // cooldown has not elapsed.
+                    self.metrics.count("breaker.short_circuit", 1);
+                    return;
+                }
+            }
             if env.seq == 0 {
                 env.seq = r.next_seq;
                 r.next_seq += 1;
@@ -238,8 +380,13 @@ impl World {
             return; // acked in the meantime
         };
         if p.attempt >= r.cfg.max_retries {
+            let to = p.env.to;
             r.pending.remove(&seq);
+            let opened = r.breaker_trip(to, now);
             self.metrics.count("reliable.dead_letter", 1);
+            if opened {
+                self.metrics.count("breaker.opened", 1);
+            }
             return;
         }
         p.attempt += 1;
@@ -260,6 +407,16 @@ impl World {
         }
         self.metrics.count("route.sent", 1);
         self.metrics.count("route.bytes", env.wire_bytes());
+        // A severed link (partition window, one-way cut) eats the frame on
+        // the wire; reliable retries keep the envelope pending, so a cut
+        // that heals within the retry budget costs latency, not the
+        // message.
+        if let Some(filter) = &self.link_filter {
+            if !filter(env.from, env.to, now) {
+                self.metrics.count("fault.link_cut", 1);
+                return;
+            }
+        }
         // Injected faults act on the wire, before the deputy sees the
         // frame. A reliably-sent envelope that is killed here stays in the
         // pending table; its retry timer recovers it.
@@ -357,6 +514,7 @@ impl AgentSystem {
                 idle_after: None,
                 injector: FaultInjector::new(FaultPlan::none()),
                 reliable: None,
+                link_filter: None,
             }),
             next_id: 1,
         }
@@ -374,6 +532,34 @@ impl AgentSystem {
     /// (the default) changes nothing.
     pub fn set_fault_plan(&mut self, plan: FaultPlan) {
         self.sim.model.injector = FaultInjector::new(plan);
+    }
+
+    /// Install a dynamic wire predicate: a frame from `from` to `to` at
+    /// `now` for which the filter returns false is dropped on the wire
+    /// (counted `fault.link_cut`). Models network partitions and
+    /// asymmetric one-way cuts; with reliability on, the envelope stays
+    /// pending and its retries go through once the filter heals — or
+    /// dead-letter (tripping the per-peer breaker) if it does not.
+    pub fn set_link_filter(
+        &mut self,
+        filter: impl Fn(AgentId, AgentId, SimTime) -> bool + 'static,
+    ) {
+        self.sim.model.link_filter = Some(Box::new(filter));
+    }
+
+    /// Advance the bus clock to `t`, processing everything due before it.
+    /// No-op when the clock is already at or past `t`. Federated drivers
+    /// with time-windowed link faults call this at each window boundary so
+    /// in-flight retries experience cut and heal at the right instants.
+    pub fn advance_to(&mut self, t: SimTime) {
+        if t <= self.sim.now() {
+            return;
+        }
+        // A flush tick at exactly `t` is both harmless and useful (it
+        // releases any reconnected deputy queues) and pins the clock to
+        // `t` once processed.
+        self.sim.sched.schedule_at(t, Ev::FlushTick);
+        self.sim.run_until(t);
     }
 
     /// `(dropped, corrupted, delayed)` tallies from the installed fault
@@ -626,6 +812,160 @@ mod tests {
         };
         assert_eq!(run(9), run(9));
         assert_ne!(run(9), run(10), "different seeds see different faults");
+    }
+
+    #[test]
+    fn breaker_caps_wasted_attempts_toward_a_dead_peer() {
+        // 20 sends into total loss. Without the breaker every one burns
+        // its full retry budget; with it, only the first few do.
+        let run = |breaker: Option<BreakerConfig>| {
+            let mut sys = AgentSystem::new();
+            let cfg = ReliableConfig {
+                max_retries: 3,
+                breaker,
+                ..ReliableConfig::default()
+            };
+            sys.enable_reliability(cfg, 11);
+            sys.set_fault_plan(FaultPlan::builder(11).message_loss(1.0).build().unwrap());
+            let pinger = sys.register(Box::new(Pinger::new()), direct());
+            let ponger = sys.register(Box::new(Ponger::new()), direct());
+            // One send per "window", each given time to resolve — the
+            // shape a federated driver produces, and the one a breaker can
+            // actually help with (a burst dispatched before the first
+            // dead-letter is already on the wire).
+            for _ in 0..20 {
+                sys.send(Envelope::text(pinger, ponger, "acl/ping", "ping"));
+                sys.run_to_quiescence();
+            }
+            (
+                sys.metrics().counter("route.sent"),
+                sys.metrics().counter("reliable.dead_letter"),
+                sys.metrics().counter("breaker.short_circuit"),
+                sys.metrics().counter("breaker.opened"),
+            )
+        };
+        let bc = BreakerConfig {
+            failure_threshold: 2,
+            open_for: Duration::from_secs(3_600),
+        };
+        let (sent_off, dead_off, sc_off, opened_off) = run(None);
+        let (sent_on, dead_on, sc_on, opened_on) = run(Some(bc));
+        assert_eq!(sc_off, 0);
+        assert_eq!(opened_off, 0);
+        assert_eq!(dead_off, 20, "every send dead-letters without a breaker");
+        assert_eq!(opened_on, 1, "breaker trips exactly once");
+        assert_eq!(
+            dead_on, 2,
+            "only the threshold-tripping sends burn retry budgets"
+        );
+        assert_eq!(sc_on + dead_on, 20, "every send accounted for");
+        assert!(
+            sent_on * 4 < sent_off,
+            "breaker must cap wire attempts: {sent_on} vs {sent_off}"
+        );
+    }
+
+    #[test]
+    fn breaker_half_open_probe_recloses_after_heal() {
+        // The link to the ponger is physically cut for the first 100 s,
+        // then heals. The breaker opens during the cut, short-circuits the
+        // traffic offered meanwhile, probes after its cooldown, and closes
+        // — after which delivery resumes end-to-end.
+        let mut sys = AgentSystem::new();
+        let cfg = ReliableConfig {
+            max_retries: 1,
+            ack_timeout: Duration::from_secs(2),
+            breaker: Some(BreakerConfig {
+                failure_threshold: 2,
+                open_for: Duration::from_secs(30),
+            }),
+            ..ReliableConfig::default()
+        };
+        sys.enable_reliability(cfg, 13);
+        let pinger = sys.register(Box::new(Pinger::new()), direct());
+        let ponger = sys.register(Box::new(Ponger::new()), direct());
+        let cut_until = SimTime::from_secs(100);
+        sys.set_link_filter(move |_, to, now| !(to == ponger && now < cut_until));
+        // Phase 1: the cut is active. Two sends dead-letter and trip the
+        // breaker; two more are short-circuited without touching the wire.
+        for _ in 0..2 {
+            sys.send(Envelope::text(pinger, ponger, "acl/ping", "ping"));
+        }
+        sys.run_to_quiescence();
+        assert_eq!(sys.metrics().counter("reliable.dead_letter"), 2);
+        assert_eq!(sys.metrics().counter("breaker.opened"), 1);
+        for _ in 0..2 {
+            sys.send(Envelope::text(pinger, ponger, "acl/ping", "ping"));
+        }
+        sys.run_to_quiescence();
+        assert_eq!(sys.metrics().counter("breaker.short_circuit"), 2);
+        assert!(sys.metrics().counter("fault.link_cut") > 0);
+        // Phase 2: past the heal and past the cooldown, the next send is
+        // the half-open probe; its ack closes the breaker and everything
+        // after it flows normally.
+        sys.advance_to(SimTime::from_secs(150));
+        for _ in 0..3 {
+            sys.send(Envelope::text(pinger, ponger, "acl/ping", "ping"));
+        }
+        sys.run_to_quiescence();
+        assert_eq!(sys.metrics().counter("breaker.probe"), 1);
+        assert_eq!(sys.metrics().counter("breaker.closed"), 1);
+        let pongs = sys
+            .agent(pinger)
+            .and_then(|a| a.downcast_ref::<Pinger>())
+            .map(|p| p.pongs)
+            .unwrap();
+        // The probe went through while the rest of its batch was still
+        // short-circuited; the breaker then closed for the remainder.
+        assert!(pongs >= 1, "no delivery after heal");
+        assert_eq!(
+            sys.metrics().counter("reliable.dead_letter"),
+            2,
+            "no new dead letters after the heal"
+        );
+    }
+
+    #[test]
+    fn one_way_link_cut_is_directional() {
+        // Frames toward the ponger pass; the ponger's replies (and acks'
+        // underlying frames travel as normal envelopes only one way here)
+        // are cut. The ping is delivered, the pong never comes back.
+        let mut sys = AgentSystem::new();
+        let pinger = sys.register(Box::new(Pinger::new()), direct());
+        let ponger = sys.register(Box::new(Ponger::new()), direct());
+        sys.set_link_filter(move |from, _, _| from != ponger);
+        sys.send(Envelope::text(pinger, ponger, "acl/ping", "ping"));
+        sys.run_to_quiescence();
+        let pings = sys
+            .agent(ponger)
+            .and_then(|a| a.downcast_ref::<Ponger>())
+            .map(|p| p.pings)
+            .unwrap();
+        let pongs = sys
+            .agent(pinger)
+            .and_then(|a| a.downcast_ref::<Pinger>())
+            .map(|p| p.pongs)
+            .unwrap();
+        assert_eq!(pings, 1, "forward direction must deliver");
+        assert_eq!(pongs, 0, "reverse direction must be cut");
+        assert_eq!(sys.metrics().counter("fault.link_cut"), 1);
+    }
+
+    #[test]
+    fn advance_to_moves_the_idle_clock_monotonically() {
+        let mut sys = AgentSystem::new();
+        sys.advance_to(SimTime::from_secs(40));
+        assert_eq!(sys.now(), SimTime::from_secs(40));
+        // Backwards is a no-op.
+        sys.advance_to(SimTime::from_secs(10));
+        assert_eq!(sys.now(), SimTime::from_secs(40));
+        // Sends after the jump are stamped at the advanced clock.
+        let pinger = sys.register(Box::new(Pinger::new()), direct());
+        let ponger = sys.register(Box::new(Ponger::new()), direct());
+        sys.send(Envelope::text(pinger, ponger, "acl/ping", "ping"));
+        sys.run_to_quiescence();
+        assert!(sys.now() > SimTime::from_secs(40));
+        assert_eq!(sys.metrics().counter("route.delivered"), 2);
     }
 
     #[test]

@@ -10,8 +10,13 @@ use pg_federation::handoff::{HandoffId, HandoffKind, HandoffPhase, HandoffRecord
 use pg_federation::{gossip_round, CellId, GossipConfig, LoadDigest, Membership};
 use pg_sim::SimTime;
 
+/// Rounds of warm-up gossip before measurement starts.
+const WARM_ROUNDS: u64 = 32;
+
 /// A federation of `n` cells with fully converged membership views (the
-/// steady state: every digest carries all `n` entries).
+/// steady state: every digest carries all `n` entries). Callers must keep
+/// advancing sim time from `WARM_ROUNDS` — a gap larger than the eviction
+/// timeout would mass-evict the whole table and measure a frozen world.
 fn converged(n: usize) -> (Vec<Membership>, Vec<HandoffStore>, Vec<bool>) {
     let mut members: Vec<Membership> = (0..n)
         .map(|i| Membership::new(CellId(i as u32), &[CellId(0)], SimTime::ZERO))
@@ -19,13 +24,17 @@ fn converged(n: usize) -> (Vec<Membership>, Vec<HandoffStore>, Vec<bool>) {
     let mut handoffs: Vec<HandoffStore> = (0..n).map(|_| HandoffStore::new()).collect();
     let up = vec![true; n];
     let cfg = GossipConfig::default();
-    for round in 1..=32u64 {
+    for round in 1..=WARM_ROUNDS {
         let now = SimTime::from_secs(30 * round);
         for m in &mut members {
             m.beat(now, LoadDigest::default());
         }
         gossip_round(&mut members, &mut handoffs, &up, now, &cfg, 7, round);
     }
+    assert!(
+        members.iter().all(|m| m.live_set().len() == n),
+        "warm-up did not converge: the bench would measure a degraded world"
+    );
     (members, handoffs, up)
 }
 
@@ -64,7 +73,9 @@ fn bench_gossip_round(c: &mut Criterion) {
     for &n in &[64usize, 256] {
         let (mut members, mut handoffs, up) = converged(n);
         let cfg = GossipConfig::default();
-        let mut round = 1_000u64;
+        // Continue sim time from the warm-up rounds: a time jump here would
+        // exceed `evict_after` and silently bench a mass-evicted table.
+        let mut round = WARM_ROUNDS;
         g.bench_with_input(BenchmarkId::new("gossip_round", n), &n, |b, _| {
             b.iter(|| {
                 round += 1;

@@ -132,7 +132,7 @@ fn policy_key(policy: &Policy) -> String {
 
 fn main() -> ExitCode {
     let mut exp = Experiment::from_args("exp_t15_chaos");
-    let reps: u64 = exp.scale(12, 4);
+    let reps: u64 = exp.scale3(12, 4, 32);
     exp.set_meta("reps", reps.to_string());
 
     // --- T15a: fault intensity × policy through the full runtime. ---
@@ -206,7 +206,7 @@ fn main() -> ExitCode {
     );
 
     // --- T15b: reliable agent messaging under rising loss. ---
-    let pings: u32 = exp.scale(40, 15);
+    let pings: u32 = exp.scale3(40, 15, 120);
     println!("\nT15b: ack/retry agent messaging, {pings} request/reply pairs per cell");
     header(
         "reliable delivery vs wire loss (5 retries, exp. backoff)",

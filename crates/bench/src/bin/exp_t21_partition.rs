@@ -1,0 +1,510 @@
+//! **T21** — partition tolerance and crash recovery: a bipartitioned
+//! federation must heal without membership flapping while the per-peer
+//! circuit breaker caps the wire attempts wasted on unreachable cells,
+//! and a crash-stopped cell with a write-ahead query journal must beat
+//! the same cell restarting with an empty queue.
+//!
+//! Two scenarios run per seed:
+//!
+//! * **partition** — six cells split {0,1,2} | {3,4,5} for a window
+//!   mid-run, swept over cut duration × breaker on/off. Per-seed
+//!   asserts: every cell's membership view reconverges to all-alive
+//!   after the heal; no peer is resurrected more than once (evict →
+//!   resurrect is allowed exactly once per genuine cut — more is
+//!   flapping) and same-side peers are never evicted at all; handoff
+//!   accounting stays closed; and when the breaker short-circuits at
+//!   all, the wasted wire attempts (retries + dead letters) stay
+//!   strictly below the breaker-less run.
+//! * **crash** — cell 1 of three crash-stops mid-run (volatile queue
+//!   destroyed), journal on/off. Per-seed asserts: the journal recovers
+//!   exactly what the crash destroyed, goodput with recovery strictly
+//!   beats the recovery-free restart, and the exactly-once conservation
+//!   identity (`admitted = completed + cancelled + shed + migrated_out
+//!   + lost`) holds per cell in both runs.
+//!
+//! ```sh
+//! cargo run --release -p pg-bench --bin exp_t21_partition [-- --smoke]
+//! ```
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use pg_agent::{BreakerConfig, ReliableConfig};
+use pg_bench::{header, Experiment};
+use pg_core::PervasiveGrid;
+use pg_federation::{commute_traces, CellId, Federation, FederationConfig, RoamingConfig, Trace};
+use pg_runtime::{
+    MultiQueryRuntime, OverloadConfig, OverloadPolicy, QueryOpts, RuntimeConfig, SchedPolicy,
+};
+use pg_sim::fault::FaultPlan;
+use pg_sim::rng::RngStreams;
+use pg_sim::{Duration, SimTime};
+use rand::Rng;
+use rayon::prelude::*;
+use std::process::ExitCode;
+
+/// Per-cell service capacity: 2 slots per 30 s epoch.
+const CAPACITY_HZ: f64 = 2.0 / 30.0;
+/// Cells in the partition scenario (split down the middle).
+const PART_CELLS: usize = 6;
+/// Cells in the crash scenario.
+const CRASH_CELLS: usize = 3;
+
+fn cell_runtime(seed: u64) -> MultiQueryRuntime<PervasiveGrid> {
+    let pg = PervasiveGrid::building(1, 4, seed).build();
+    let cfg = RuntimeConfig::builder()
+        .capacity(32)
+        .epoch(Duration::from_secs(30))
+        .slots_per_epoch(2)
+        .policy(SchedPolicy::Edf)
+        .overload(OverloadConfig::watermarks(
+            OverloadPolicy::Shed,
+            0,
+            0,
+            16,
+            24,
+        ))
+        .build();
+    MultiQueryRuntime::new(cfg, pg)
+}
+
+/// Wire attempts that never earned an ack: every retransmission plus the
+/// final dead-letter give-up. This is what the breaker exists to cap.
+fn wasted_attempts(fed: &Federation) -> u64 {
+    let m = fed.bus_metrics();
+    m.counter("reliable.retries") + m.counter("reliable.dead_letter")
+}
+
+/// One partition run: {0..cells/2} | {cells/2..cells} cut for
+/// `[start, start + dur)`, fast-roaming users at ~60 % aggregate load.
+fn run_partition(horizon_s: u64, start_s: u64, dur_s: u64, seed: u64, breaker: bool) -> Federation {
+    let cells = PART_CELLS;
+    let left: Vec<u64> = (0..cells as u64 / 2).collect();
+    let plan = FaultPlan::builder(seed ^ 0x7A21)
+        .cell_partition(
+            &left,
+            SimTime::from_secs(start_s),
+            SimTime::from_secs(start_s + dur_s),
+        )
+        .build()
+        .unwrap();
+    let runtimes = (0..cells)
+        .map(|i| cell_runtime(seed * 1_000 + i as u64))
+        .collect();
+    let users = 4 * cells;
+    let traces = commute_traces(
+        seed,
+        &RoamingConfig {
+            users,
+            cells,
+            horizon: Duration::from_secs(horizon_s),
+            dwell_min: Duration::from_secs(100),
+            dwell_max: Duration::from_secs(220),
+        },
+    );
+    let fcfg = FederationConfig {
+        seed,
+        cell_faults: plan,
+        reliable: ReliableConfig {
+            // Trip on the first dead letter and cool down for 10 min:
+            // half-open probes still burn a full retry budget, so a
+            // cooldown shorter than the typical inter-send gap would turn
+            // every suppressed send into a probe and cap nothing.
+            breaker: breaker.then(|| BreakerConfig {
+                failure_threshold: 1,
+                open_for: Duration::from_secs(600),
+            }),
+            ..ReliableConfig::default()
+        },
+        ..FederationConfig::default()
+    };
+    let mut fed = Federation::new(fcfg, runtimes, traces);
+    let rate_hz = 0.7 * CAPACITY_HZ * cells as f64;
+    let mut rng = RngStreams::new(seed).fork("t21-part-arrivals");
+    let mut t = 0.0;
+    loop {
+        t += -rng.gen::<f64>().max(1e-12).ln() / rate_hz;
+        if t >= horizon_s as f64 {
+            break;
+        }
+        let user = rng.gen_range(0..users as u64);
+        fed.offer(
+            SimTime::from_secs_f64(t),
+            user,
+            "SELECT AVG(temp) FROM sensors",
+            QueryOpts::with_deadline(Duration::from_secs(120)),
+        );
+    }
+    fed.run(SimTime::from_secs(horizon_s));
+    fed
+}
+
+/// One crash run: cell 1 of three crash-stops for the middle third of the
+/// run. Moderate base load plus a deterministic arrival burst just before
+/// the down edge: deep queues at the crash are what the journal exists to
+/// save, while post-restart headroom keeps recovered queries from
+/// crowding fresh ones into the shed watermarks. Deadlines are long
+/// enough that recovered queries can still complete.
+fn run_crash(horizon_s: u64, seed: u64, journal: bool) -> Federation {
+    let cells = CRASH_CELLS;
+    let plan = FaultPlan::builder(seed ^ 0xC4A5)
+        .cell_crash(
+            1,
+            SimTime::from_secs(horizon_s / 4),
+            SimTime::from_secs(7 * horizon_s / 12),
+        )
+        .build()
+        .unwrap();
+    let runtimes = (0..cells)
+        .map(|i| cell_runtime(seed * 1_000 + i as u64))
+        .collect();
+    let mut traces = commute_traces(
+        seed,
+        &RoamingConfig {
+            users: 8,
+            cells,
+            horizon: Duration::from_secs(horizon_s),
+            dwell_min: Duration::from_secs(120),
+            dwell_max: Duration::from_secs(300),
+        },
+    );
+    // Pin one user to the doomed cell: for some seeds every roamer
+    // happens to be elsewhere during the burst window, which would leave
+    // the crash with nothing to destroy.
+    traces[0] = Trace {
+        user: traces[0].user,
+        start: CellId(1),
+        moves: Vec::new(),
+    };
+    let mut rng = RngStreams::new(seed).fork("t21-crash-arrivals");
+    let mut arrivals: Vec<(f64, u64)> = Vec::new();
+    let mut t = 0.0;
+    loop {
+        // Base load ~40 % of aggregate capacity.
+        t += -rng.gen::<f64>().max(1e-12).ln() / (0.4 * CAPACITY_HZ * cells as f64);
+        if t >= horizon_s as f64 {
+            break;
+        }
+        arrivals.push((t, rng.gen_range(0..8u64)));
+    }
+    // Tight burst in the last 45 s before the down edge, aimed at users
+    // standing in the doomed cell (a burst routed through other cells
+    // proves nothing about the journal) — faster than the cell can
+    // drain, so its queue is deep when it dies.
+    let crash_start = horizon_s as f64 / 4.0;
+    for k in 0..36u64 {
+        let jitter: f64 = rng.gen::<f64>();
+        let tb = crash_start - 45.0 + 1.2 * k as f64 + jitter;
+        let on_doomed: Vec<u64> = traces
+            .iter()
+            .filter(|tr| tr.cell_at(SimTime::from_secs_f64(tb)) == CellId(1))
+            .map(|tr| tr.user)
+            .collect();
+        let user = if on_doomed.is_empty() {
+            rng.gen_range(0..8u64)
+        } else {
+            on_doomed[k as usize % on_doomed.len()]
+        };
+        arrivals.push((tb, user));
+    }
+    arrivals.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+    let fcfg = FederationConfig {
+        seed,
+        cell_faults: plan,
+        journal,
+        ..FederationConfig::default()
+    };
+    let mut fed = Federation::new(fcfg, runtimes, traces);
+    for (t, user) in arrivals {
+        fed.offer(
+            SimTime::from_secs_f64(t),
+            user,
+            "SELECT AVG(temp) FROM sensors",
+            QueryOpts::with_deadline(Duration::from_secs(2 * horizon_s / 3)),
+        );
+    }
+    fed.run(SimTime::from_secs(horizon_s));
+    fed
+}
+
+/// The exactly-once conservation identity, asserted per cell at drain.
+fn assert_conservation(fed: &Federation, ctx: &str) {
+    for c in fed.cells() {
+        assert_eq!(
+            c.rt.admitted,
+            c.rt.outcomes().len() as u64
+                + c.rt.cancelled
+                + c.rt.shed
+                + c.rt.migrated_out
+                + c.rt.lost,
+            "{ctx}: conservation identity broken at cell {}",
+            c.id
+        );
+    }
+}
+
+fn main() -> ExitCode {
+    let mut exp = Experiment::from_args("exp_t21_partition");
+    let reps: u64 = exp.scale3(4, 2, 10);
+    let horizon_s: u64 = exp.scale3(3_600, 3_600, 7_200);
+    // Cuts start at T/4; the longest ends at 3T/4, leaving a quarter of
+    // the run for the views to reconverge after the heal.
+    let durations: Vec<u64> = exp.scale3(
+        vec![horizon_s / 6, horizon_s / 2],
+        vec![horizon_s / 4],
+        vec![horizon_s / 6, horizon_s / 4, horizon_s / 2],
+    );
+    exp.set_meta("reps", reps.to_string());
+    exp.set_meta("horizon_s", horizon_s.to_string());
+
+    println!(
+        "T21a: bipartition {{0,1,2}}|{{3,4,5}} x cut duration x circuit \
+         breaker, {reps} seeds per point ({horizon_s} s horizon, cut starts \
+         at T/4, ~60% aggregate load, fast commute-ring mobility)"
+    );
+    header(
+        "wasted = unacked wire attempts (retries + dead letters); views must reconverge per seed",
+        &[
+            ("cut s", 6),
+            ("good brk", 8),
+            ("good off", 8),
+            ("waste brk", 9),
+            ("waste off", 9),
+            ("shortcut", 8),
+            ("opened", 6),
+            ("resurr", 6),
+        ],
+    );
+
+    for &dur in &durations {
+        struct Point {
+            met_on: u64,
+            met_off: u64,
+            wasted_on: u64,
+            wasted_off: u64,
+            short_circuits: u64,
+            opened: u64,
+            resurrections: u64,
+        }
+        let start = horizon_s / 4;
+        let points: Vec<Point> = (0..reps)
+            .into_par_iter()
+            .map(|rep| {
+                let seed = rep * 100 + dur;
+                let on = run_partition(horizon_s, start, dur, seed, true);
+                let off = run_partition(horizon_s, start, dur, seed, false);
+
+                for fed in [&on, &off] {
+                    // Every view reconverges to all-alive after the heal,
+                    // and nobody flapped: a cross-cut peer is resurrected
+                    // at most once, a same-side peer was never evicted.
+                    for m in fed.members() {
+                        let live = m.live_set();
+                        assert_eq!(
+                            live.len(),
+                            PART_CELLS,
+                            "seed {seed} cut {dur}: cell {} did not reconverge: {live:?}",
+                            m.me
+                        );
+                        let half = PART_CELLS as u32 / 2;
+                        for j in 0..PART_CELLS as u32 {
+                            let r = m.resurrections_of(CellId(j));
+                            let same_side = (m.me.0 < half) == (j < half);
+                            let cap = if same_side { 0 } else { 1 };
+                            assert!(
+                                r <= cap,
+                                "seed {seed} cut {dur}: cell {} resurrected {:?} {r} times \
+                                 (flapping; same_side={same_side})",
+                                m.me,
+                                CellId(j)
+                            );
+                        }
+                    }
+                    // Handoff accounting stays closed across the cut.
+                    let s = &fed.stats;
+                    assert_eq!(
+                        s.migrations_completed + s.migrations_rejected + s.migrations_lost,
+                        s.migrations_opened,
+                        "seed {seed} cut {dur}: migrations unaccounted for"
+                    );
+                }
+                let resurrections = fed_resurrections(&on);
+
+                // The breaker caps wasted delivery attempts: whenever it
+                // short-circuited at all, the unacked wire attempts must
+                // come in strictly below the breaker-less run.
+                let wasted_on = wasted_attempts(&on);
+                let wasted_off = wasted_attempts(&off);
+                let short_circuits = on.bus_metrics().counter("breaker.short_circuit");
+                let opened = on.bus_metrics().counter("breaker.opened");
+                assert_eq!(
+                    off.bus_metrics().counter("breaker.short_circuit"),
+                    0,
+                    "seed {seed} cut {dur}: breaker-off run short-circuited"
+                );
+                // Per seed the breaker may only tie (a boundary pair that
+                // carries exactly one message trips without saving
+                // anything); strictly-below is asserted on the sweep-point
+                // aggregate where suppressed sends dominate.
+                assert!(
+                    wasted_on <= wasted_off,
+                    "seed {seed} cut {dur}: breaker wasted {wasted_on} attempts, \
+                     above breaker-less {wasted_off}"
+                );
+
+                let (_, met_on) = on.goodput();
+                let (_, met_off) = off.goodput();
+                Point {
+                    met_on,
+                    met_off,
+                    wasted_on,
+                    wasted_off,
+                    short_circuits,
+                    opened,
+                    resurrections,
+                }
+            })
+            .collect();
+
+        let sum = |f: fn(&Point) -> u64| points.iter().map(f).sum::<u64>();
+        let (met_on, met_off) = (sum(|p| p.met_on), sum(|p| p.met_off));
+        let (wasted_on, wasted_off) = (sum(|p| p.wasted_on), sum(|p| p.wasted_off));
+        let short_circuits = sum(|p| p.short_circuits);
+        let opened = sum(|p| p.opened);
+        let resurrections = sum(|p| p.resurrections);
+        // Across the sweep point the breaker must actually have engaged
+        // and saved wire attempts — a cut this long with roaming users
+        // always pushes handoffs into the dead window.
+        assert!(
+            short_circuits > 0,
+            "cut {dur}: the breaker never short-circuited over {reps} seeds"
+        );
+        assert!(
+            wasted_on < wasted_off,
+            "cut {dur}: breaker did not reduce wasted attempts ({wasted_on} vs {wasted_off})"
+        );
+
+        let n = reps as f64;
+        let key = format!("part{dur}");
+        let per_h = |met: u64| met as f64 * 3_600.0 / (horizon_s as f64 * n);
+        exp.set_scalar(format!("{key}.breaker.goodput_per_h"), per_h(met_on));
+        exp.set_scalar(format!("{key}.none.goodput_per_h"), per_h(met_off));
+        exp.set_counter(format!("{key}.breaker.wasted_attempts"), wasted_on);
+        exp.set_counter(format!("{key}.none.wasted_attempts"), wasted_off);
+        exp.set_counter(format!("{key}.breaker.short_circuits"), short_circuits);
+        exp.set_counter(format!("{key}.breaker.opened"), opened);
+        exp.set_counter(format!("{key}.resurrections"), resurrections);
+        println!(
+            "{dur:>6}  {met_on:>8}  {met_off:>8}  {wasted_on:>9}  {wasted_off:>9}  \
+             {short_circuits:>8}  {opened:>6}  {resurrections:>6}"
+        );
+    }
+
+    // --- T21b: crash-stop × write-ahead journal. ---
+    println!(
+        "\nT21b: cell 1/3 crash-stops for the middle third, journal on vs \
+         off, {reps} seeds (~40% base load plus a pre-crash burst so the \
+         dying queue is deep; deadlines at 2T/3 so recovered queries still \
+         count)"
+    );
+    header(
+        "recovered must equal crash-lost with the journal; goodput must strictly beat no-journal",
+        &[
+            ("seed", 5),
+            ("good jrnl", 9),
+            ("good none", 9),
+            ("lost", 5),
+            ("recov", 6),
+            ("crashes", 7),
+        ],
+    );
+
+    struct CrashPoint {
+        total_j: u64,
+        total_n: u64,
+        lost_n: u64,
+        recovered: u64,
+        crashes: u64,
+    }
+    let crash_points: Vec<CrashPoint> = (0..reps)
+        .into_par_iter()
+        .map(|rep| {
+            let seed = rep * 100 + 21;
+            let with = run_crash(horizon_s, seed, true);
+            let without = run_crash(horizon_s, seed, false);
+            assert!(
+                with.stats.crashes >= 1,
+                "seed {seed}: the crash window never applied"
+            );
+            assert!(
+                without.stats.crash_lost > 0,
+                "seed {seed}: the crash destroyed nothing — the scenario is vacuous"
+            );
+            // Exactly-once: the journal re-admits precisely what the crash
+            // destroyed, never more, and the recovery-free run recovers 0.
+            assert_eq!(
+                with.stats.journal_recovered, with.stats.crash_lost,
+                "seed {seed}: journal recovery incomplete"
+            );
+            assert_eq!(without.stats.journal_recovered, 0);
+            let (total_j, _) = with.goodput();
+            let (total_n, _) = without.goodput();
+            assert!(
+                total_j > total_n,
+                "seed {seed}: journal-recovered goodput {total_j} not strictly \
+                 above recovery-free restart {total_n}"
+            );
+            assert_conservation(&with, &format!("seed {seed} journal"));
+            assert_conservation(&without, &format!("seed {seed} no-journal"));
+            println!(
+                "{seed:>5}  {total_j:>9}  {total_n:>9}  {:>5}  {:>6}  {:>7}",
+                without.stats.crash_lost, with.stats.journal_recovered, with.stats.crashes
+            );
+            CrashPoint {
+                total_j,
+                total_n,
+                lost_n: without.stats.crash_lost,
+                recovered: with.stats.journal_recovered,
+                crashes: with.stats.crashes,
+            }
+        })
+        .collect();
+
+    let n = reps as f64;
+    let sum = |f: fn(&CrashPoint) -> u64| crash_points.iter().map(f).sum::<u64>();
+    exp.set_scalar(
+        "crash.journal.goodput_per_h",
+        sum(|p| p.total_j) as f64 * 3_600.0 / (horizon_s as f64 * n),
+    );
+    exp.set_scalar(
+        "crash.none.goodput_per_h",
+        sum(|p| p.total_n) as f64 * 3_600.0 / (horizon_s as f64 * n),
+    );
+    exp.set_counter("crash.journal.recovered", sum(|p| p.recovered));
+    exp.set_counter("crash.none.lost", sum(|p| p.lost_n));
+    exp.set_counter("crash.crashes", sum(|p| p.crashes));
+
+    println!(
+        "\nshape to check: every membership view reconverges after the heal \
+         with at most one resurrection per cross-cut pair (sticky-Dead + \
+         incarnation guard — no flapping); the breaker cuts wasted wire \
+         attempts well below the breaker-less run while short-circuits \
+         absorb the difference; with the journal, recovered == crash-lost \
+         exactly and restart goodput strictly beats the empty-queue restart \
+         on every seed."
+    );
+
+    exp.finish()
+}
+
+/// Total resurrections observed across every view — the flap budget the
+/// per-seed asserts bound pairwise.
+fn fed_resurrections(fed: &Federation) -> u64 {
+    fed.members()
+        .iter()
+        .map(|m| {
+            (0..PART_CELLS as u32)
+                .map(|j| m.resurrections_of(CellId(j)))
+                .sum::<u64>()
+        })
+        .sum()
+}

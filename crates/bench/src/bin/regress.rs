@@ -16,7 +16,7 @@
 
 #![allow(clippy::unwrap_used, clippy::expect_used)]
 
-use pg_bench::regress::{compare, drift_table, Tolerances};
+use pg_bench::regress::{compare, drift_table, key_mismatch_report, Tolerances};
 use pg_sim::report::Report;
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -135,13 +135,25 @@ fn main() -> ExitCode {
         warnings += cmp.warnings.len();
         if cmp.ok() {
             println!("ok   {exp}: {} metrics within tolerance", cmp.matched);
+            // Key-set drift that does not fail the gate (extra leaves)
+            // still prints its explicit paths so a stale baseline is
+            // one copy-paste away from being refreshed.
+            print!("{}", key_mismatch_report(&cmp));
         } else {
             failures += 1;
             println!("FAIL {exp}: {} violation(s)", cmp.violations.len());
             if !cmp.drifts.is_empty() {
                 print!("{}", drift_table(&cmp.drifts));
             }
-            for v in cmp.violations.iter().filter(|v| !v.starts_with("drift:")) {
+            // Missing/extra leaf paths, each under its own heading with
+            // the exact flattened key — a renamed metric reads as one
+            // `-` line plus one `+` line instead of a wall of text.
+            print!("{}", key_mismatch_report(&cmp));
+            for v in cmp
+                .violations
+                .iter()
+                .filter(|v| !v.starts_with("drift:") && !v.starts_with("missing metric:"))
+            {
                 println!("  {v}");
             }
         }

@@ -14,10 +14,17 @@
 //! - `--smoke` — run a reduced sweep (fewer seeds, smaller worlds) sized
 //!   for CI; the report's `meta.mode` records which mode produced it so
 //!   smoke reports are never diffed against full baselines.
+//! - `--chaos` — run an *extended* sweep (longer horizons, higher fault
+//!   rates, extra seeds) for the nightly chaos-soak job. Chaos reports
+//!   carry `meta.mode = "chaos"`, so the regress gate's mode check keeps
+//!   them from ever being diffed against smoke or full baselines — the
+//!   soak's value is the per-seed asserts inside the binaries, not a
+//!   numeric diff.
 //! - `--out DIR` — write the JSON report into `DIR` (default `results`,
 //!   or `$PG_RESULTS_DIR`).
 //!
-//! `PG_SMOKE=1` in the environment is equivalent to `--smoke`.
+//! `PG_SMOKE=1` / `PG_CHAOS=1` in the environment are equivalent to the
+//! flags; chaos wins when both are set.
 //!
 //! Wall-clock timings are deliberately **never** recorded into reports
 //! (they stay on stdout): reports only carry simulation-deterministic
@@ -33,6 +40,7 @@ use std::process::ExitCode;
 pub struct Experiment {
     report: Report,
     smoke: bool,
+    chaos: bool,
     out_dir: PathBuf,
 }
 
@@ -43,11 +51,13 @@ impl Experiment {
     /// `exp_*` binaries take no other flags.
     pub fn from_args(name: &str) -> Experiment {
         let mut smoke = std::env::var("PG_SMOKE").is_ok_and(|v| v == "1");
+        let mut chaos = std::env::var("PG_CHAOS").is_ok_and(|v| v == "1");
         let mut out_dir: Option<PathBuf> = std::env::var_os("PG_RESULTS_DIR").map(PathBuf::from);
         let mut args = std::env::args().skip(1);
         while let Some(arg) = args.next() {
             match arg.as_str() {
                 "--smoke" => smoke = true,
+                "--chaos" => chaos = true,
                 "--out" => match args.next() {
                     Some(dir) => out_dir = Some(PathBuf::from(dir)),
                     None => {
@@ -57,16 +67,29 @@ impl Experiment {
                 },
                 other => {
                     eprintln!("{name}: unknown argument {other:?}");
-                    eprintln!("usage: {name} [--smoke] [--out DIR]");
+                    eprintln!("usage: {name} [--smoke] [--chaos] [--out DIR]");
                     std::process::exit(2);
                 }
             }
         }
+        if chaos {
+            smoke = false;
+        }
         let mut report = Report::new(name);
-        report.set_meta("mode", if smoke { "smoke" } else { "full" });
+        report.set_meta(
+            "mode",
+            if chaos {
+                "chaos"
+            } else if smoke {
+                "smoke"
+            } else {
+                "full"
+            },
+        );
         Experiment {
             report,
             smoke,
+            chaos,
             out_dir: out_dir.unwrap_or_else(|| PathBuf::from("results")),
         }
     }
@@ -76,9 +99,28 @@ impl Experiment {
         self.smoke
     }
 
-    /// Pick the full-run or smoke-run value of a sweep parameter.
+    /// True when running the extended nightly chaos soak.
+    pub fn chaos(&self) -> bool {
+        self.chaos
+    }
+
+    /// Pick the full-run or smoke-run value of a sweep parameter. Chaos
+    /// runs take the full value; use [`scale3`](Experiment::scale3) where
+    /// the soak should push further than full.
     pub fn scale<T>(&self, full: T, smoke: T) -> T {
         if self.smoke {
+            smoke
+        } else {
+            full
+        }
+    }
+
+    /// Pick the full-, smoke-, or chaos-run value of a sweep parameter
+    /// (longer horizons, higher fault rates, extra seeds in the soak).
+    pub fn scale3<T>(&self, full: T, smoke: T, chaos: T) -> T {
+        if self.chaos {
+            chaos
+        } else if self.smoke {
             smoke
         } else {
             full

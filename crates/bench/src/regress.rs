@@ -100,6 +100,13 @@ pub struct Comparison {
     /// Soft findings: metrics present in the fresh report but absent from
     /// the baseline (the baseline is stale but nothing regressed).
     pub warnings: Vec<String>,
+    /// Leaf key paths present in the baseline but absent from the fresh
+    /// report (also mirrored into `violations`). A renamed or dropped
+    /// metric shows up here by its exact flattened path.
+    pub missing: Vec<String>,
+    /// Leaf key paths present in the fresh report but absent from the
+    /// baseline (also mirrored into `warnings`).
+    pub extra: Vec<String>,
     /// Number of metrics compared within tolerance.
     pub matched: usize,
 }
@@ -136,6 +143,7 @@ pub fn compare(baseline: &Report, fresh: &Report, tol: &Tolerances) -> Compariso
         seen.insert(path.clone());
         let Some(&fresh_value) = fresh_flat.get(&path) else {
             cmp.violations.push(format!("missing metric: {path}"));
+            cmp.missing.push(path);
             continue;
         };
         let rel = tol.rel_for(&path);
@@ -166,9 +174,38 @@ pub fn compare(baseline: &Report, fresh: &Report, tol: &Tolerances) -> Compariso
         if !seen.contains(&path) {
             cmp.warnings
                 .push(format!("extra metric (not in baseline): {path}"));
+            cmp.extra.push(path);
         }
     }
     cmp
+}
+
+/// Render the missing/extra leaf paths of a comparison as explicit
+/// labelled blocks — empty string when the key sets match. This is what
+/// the `regress` binary prints on a mismatch, so a renamed metric shows
+/// up as one line under each heading instead of being buried in the
+/// violation stream.
+pub fn key_mismatch_report(cmp: &Comparison) -> String {
+    let mut out = String::new();
+    if !cmp.missing.is_empty() {
+        out.push_str(&format!(
+            "  missing leaf paths (in baseline, absent from fresh): {}\n",
+            cmp.missing.len()
+        ));
+        for p in &cmp.missing {
+            out.push_str(&format!("    - {p}\n"));
+        }
+    }
+    if !cmp.extra.is_empty() {
+        out.push_str(&format!(
+            "  extra leaf paths (in fresh, absent from baseline): {}\n",
+            cmp.extra.len()
+        ));
+        for p in &cmp.extra {
+            out.push_str(&format!("    + {p}\n"));
+        }
+    }
+    out
 }
 
 /// Render drifted metrics as an aligned human-readable table.
@@ -268,6 +305,30 @@ mod tests {
             "{:?}",
             cmp.warnings
         );
+    }
+
+    #[test]
+    fn missing_and_extra_leaf_paths_are_listed_explicitly() {
+        // A renamed metric = one missing + one extra; both exact paths
+        // must be carried structurally and rendered under headings.
+        let base = report("e", "smoke", &[("x", 1.0), ("old_name", 2.0)]);
+        let fresh = report("e", "smoke", &[("x", 1.0), ("new_name", 2.0)]);
+        let cmp = compare(&base, &fresh, &Tolerances::default());
+        assert!(!cmp.ok());
+        assert_eq!(cmp.missing, vec!["scalars.old_name".to_string()]);
+        assert_eq!(cmp.extra, vec!["scalars.new_name".to_string()]);
+        let rendered = key_mismatch_report(&cmp);
+        assert!(
+            rendered.contains("missing leaf paths") && rendered.contains("- scalars.old_name"),
+            "missing block absent: {rendered}"
+        );
+        assert!(
+            rendered.contains("extra leaf paths") && rendered.contains("+ scalars.new_name"),
+            "extra block absent: {rendered}"
+        );
+        // A clean comparison renders nothing.
+        let clean = compare(&base, &base.clone(), &Tolerances::default());
+        assert_eq!(key_mismatch_report(&clean), "");
     }
 
     #[test]

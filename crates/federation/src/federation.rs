@@ -27,7 +27,7 @@
 //! applies deliveries.
 
 use crate::cell::{Cell, PendingForward};
-use crate::gossip::{gossip_round, CellId, GossipConfig, MemberState, Membership};
+use crate::gossip::{gossip_round_ctx, CellId, GossipConfig, MemberState, Membership, RoundCtx};
 use crate::handoff::{HandoffId, HandoffKind, HandoffPhase, HandoffRecord, HandoffStore};
 use crate::roaming::{NextCellPredictor, Trace};
 use pg_agent::{Agent, AgentProfile, AgentSystem, DirectDeputy, Envelope, ReliableConfig};
@@ -68,11 +68,24 @@ pub struct FederationConfig {
     /// Payload size modeling a migrating query's partial results (and a
     /// forwarded answer) on the wire.
     pub payload_bytes: usize,
-    /// Reliable-bus tuning (ack timeout, retries, backoff).
+    /// Reliable-bus tuning (ack timeout, retries, backoff, and the
+    /// optional per-peer circuit breaker over dead-letter outcomes).
     pub reliable: ReliableConfig,
     /// Fault plan for the inter-cell bus (message loss exercises
     /// ack/retry/dead-letter on handoff envelopes).
     pub bus_faults: FaultPlan,
+    /// Cell-level fault plan: partition windows and one-way cuts sever
+    /// inter-cell links (gossip and bus alike, cells addressed by
+    /// `CellId.0 as u64`); `cell_crash` windows crash-stop whole cell
+    /// processes — the volatile queue is destroyed at the down edge and,
+    /// when [`journal`](FederationConfig::journal) is on, replayed at the
+    /// up edge. The empty plan (the default) changes nothing.
+    pub cell_faults: FaultPlan,
+    /// Write-ahead query journal per cell: admission-state transitions
+    /// are logged so a crashed-then-restarted cell re-admits its
+    /// in-flight queries under their original ids (exactly-once
+    /// accounting). Off = a crash loses the queue outright.
+    pub journal: bool,
 }
 
 impl Default for FederationConfig {
@@ -88,6 +101,8 @@ impl Default for FederationConfig {
             payload_bytes: 2048,
             reliable: ReliableConfig::default(),
             bus_faults: FaultPlan::none(),
+            cell_faults: FaultPlan::none(),
+            journal: false,
         }
     }
 }
@@ -127,6 +142,13 @@ pub struct FederationStats {
     pub cold_handoff_latencies_s: Vec<f64>,
     /// Forward-home delivery latencies (transport only), seconds.
     pub forward_latencies_s: Vec<f64>,
+    /// Cell-process crash-stops applied from the cell fault plan.
+    pub crashes: u64,
+    /// Queries destroyed in those crashes (before any journal replay).
+    pub crash_lost: u64,
+    /// Crash-lost queries re-admitted by write-ahead journal replay at
+    /// the restart edge.
+    pub journal_recovered: u64,
 }
 
 /// The `q`-quantile of a latency sample set (nearest-rank), if non-empty.
@@ -192,6 +214,8 @@ pub struct Federation {
     forwarding: BTreeMap<HandoffId, ForwardInFlight>,
     predictor: NextCellPredictor,
     tasks: Vec<String>,
+    /// Which cells are currently crash-stopped (cell fault plan).
+    crashed: Vec<bool>,
     now: SimTime,
     round_idx: u64,
     next_gossip: SimTime,
@@ -220,6 +244,9 @@ impl Federation {
         let mut cells = Vec::with_capacity(runtimes.len());
         for (i, mut rt) in runtimes.into_iter().enumerate() {
             rt.record_admissions(true);
+            if cfg.journal {
+                rt.enable_journal();
+            }
             let endpoint = CellEndpoint {
                 profile: AgentProfile::new(),
                 inbox: Vec::new(),
@@ -231,6 +258,28 @@ impl Federation {
             cells.push(Cell::new(CellId(i as u32), rt, agent, cfg.cache_ttl));
         }
         let n = cells.len();
+        if cfg.cell_faults.has_cell_faults() {
+            // Project the cell-level plan onto the bus wire: a frame
+            // between two cells is eaten while their link is severed or
+            // either endpoint's process is down. Reliable retries (and the
+            // per-peer breaker, when configured) do the rest.
+            let plan = cfg.cell_faults.clone();
+            let agent_cell: BTreeMap<pg_agent::AgentId, u64> = cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| (c.agent, i as u64))
+                .collect();
+            bus.set_link_filter(move |from, to, now| {
+                match (agent_cell.get(&from), agent_cell.get(&to)) {
+                    (Some(&f), Some(&t)) => {
+                        plan.cell_link_up(f, t, now)
+                            && !plan.is_cell_down(f, now)
+                            && !plan.is_cell_down(t, now)
+                    }
+                    _ => true,
+                }
+            });
+        }
         let introducer = [CellId(0)];
         let members = (0..n)
             .map(|i| Membership::new(CellId(i as u32), &introducer, SimTime::ZERO))
@@ -269,6 +318,7 @@ impl Federation {
             forwarding: BTreeMap::new(),
             predictor,
             tasks,
+            crashed: vec![false; n],
             now: SimTime::ZERO,
             round_idx: 0,
             next_gossip: SimTime::ZERO,
@@ -306,10 +356,18 @@ impl Federation {
         assert!(dt > Duration::ZERO, "window must be positive");
         self.offered[self.offered_idx..].sort_by_key(|(_, a)| a.at);
         let mut windows = 0u64;
+        let cell_faults_on = self.cfg.cell_faults.has_cell_faults();
         loop {
             let start = self.now;
             let end = start + dt;
             let draining = start >= horizon;
+            if cell_faults_on {
+                // Keep the bus clock in lockstep with the federation so
+                // time-windowed link cuts bite (and heal) at the right
+                // instants for in-flight retries.
+                self.bus.advance_to(start);
+                self.apply_cell_faults(start);
+            }
             self.route_moves(end);
             self.route_arrivals(end);
             self.run_gossip(start);
@@ -370,6 +428,36 @@ impl Federation {
         (total, met)
     }
 
+    /// Is cell `i` out of service at `t` — base station down (its own
+    /// grid's fault plan) or process crash-stopped (the federation's
+    /// cell fault plan)?
+    fn cell_down(&self, i: usize, t: SimTime) -> bool {
+        self.cells[i].is_down(t) || self.cfg.cell_faults.is_cell_down(i as u64, t)
+    }
+
+    /// Apply crash-stop edges from the cell fault plan at a window
+    /// boundary: a cell entering a down window loses its volatile queue
+    /// on the spot ([`MultiQueryRuntime::crash`]); a cell leaving one
+    /// restarts — replaying its write-ahead journal when enabled, and
+    /// announcing itself with a bumped gossip incarnation so peers
+    /// resurrect it deterministically instead of trusting stale rumors.
+    fn apply_cell_faults(&mut self, start: SimTime) {
+        for i in 0..self.cells.len() {
+            let down = self.cfg.cell_faults.is_cell_down(i as u64, start);
+            if down && !self.crashed[i] {
+                self.crashed[i] = true;
+                let lost = self.cells[i].rt.crash();
+                self.stats.crashes += 1;
+                self.stats.crash_lost += lost as u64;
+            } else if !down && self.crashed[i] {
+                self.crashed[i] = false;
+                let recovered = self.cells[i].rt.recover_from_journal();
+                self.stats.journal_recovered += recovered as u64;
+                self.members[i].bump_incarnation();
+            }
+        }
+    }
+
     /// The task a user's queries plan against (for destination
     /// re-planning and predictive pre-warming).
     fn task_of(&self, user: u64) -> String {
@@ -407,12 +495,12 @@ impl Federation {
     /// actually down fails the redirect handshake and is skipped.
     fn absorption_target(&self, home: usize, at: SimTime) -> Option<CellId> {
         let n = self.cells.len();
-        let decider = if !self.cells[home].is_down(at) {
+        let decider = if !self.cell_down(home, at) {
             home
         } else {
             (1..n)
                 .map(|k| (home + k) % n)
-                .find(|&j| !self.cells[j].is_down(at))?
+                .find(|&j| !self.cell_down(j, at))?
         };
         self.members[decider]
             .members()
@@ -422,7 +510,11 @@ impl Federation {
                     && j < n
                     && info.state != MemberState::Dead
                     && info.entry.load.can_absorb()
-                    && !self.cells[j].is_down(at)
+                    && !self.cell_down(j, at)
+                    // A partitioned-away peer may look alive in the view
+                    // (stale entries persist through the suspicion
+                    // window) but cannot be reached to absorb anything.
+                    && self.cfg.cell_faults.cell_link_up(decider as u64, j as u64, at)
             })
             .map(|(c, info)| (info.entry.load.queue_depth, c))
             .min()
@@ -487,7 +579,7 @@ impl Federation {
             };
             // A user walking into a dead cell gets an absorbing neighbor
             // as the migration target instead (when redirect is on).
-            let dest = if !self.cells[to.0 as usize].is_down(at) {
+            let dest = if !self.cell_down(to.0 as usize, at) {
                 Some(to.0 as usize)
             } else if self.cfg.redirect {
                 self.absorption_target(to.0 as usize, at)
@@ -581,7 +673,7 @@ impl Federation {
             .unwrap_or(CellId((user % n as u64) as u32));
         let h = home.0 as usize;
         let at = arrival.at;
-        let home_down = self.cells[h].is_down(at);
+        let home_down = self.cell_down(h, at);
         let home_shedding = self.cells[h].rt.overload_state() == OverloadState::Shed;
         if (home_down || home_shedding) && self.cfg.redirect {
             if let Some(t) = self.absorption_target(h, at) {
@@ -614,21 +706,26 @@ impl Federation {
     fn run_gossip(&mut self, start: SimTime) {
         while self.next_gossip <= start {
             let now = self.next_gossip;
-            let up: Vec<bool> = self.cells.iter().map(|c| !c.is_down(now)).collect();
+            let up: Vec<bool> = (0..self.cells.len())
+                .map(|i| !self.cell_down(i, now))
+                .collect();
             for (i, c) in self.cells.iter_mut().enumerate() {
                 if up[i] {
                     let digest = c.load_digest(now);
                     self.members[i].beat(now, digest);
                 }
             }
-            gossip_round(
+            gossip_round_ctx(
                 &mut self.members,
                 &mut self.handoffs,
                 &up,
-                now,
-                &self.cfg.gossip,
-                self.cfg.seed,
-                self.round_idx,
+                &RoundCtx {
+                    now,
+                    cfg: &self.cfg.gossip,
+                    seed: self.cfg.seed,
+                    round_idx: self.round_idx,
+                    faults: Some(&self.cfg.cell_faults),
+                },
             );
             self.round_idx += 1;
             self.next_gossip += self.cfg.gossip.round;
@@ -973,6 +1070,112 @@ mod tests {
             )
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn bipartition_heals_and_views_reconverge() {
+        // {0,1} | {2,3} for half an hour mid-run. During the cut the two
+        // sides must not exchange anything; after the heal every view must
+        // reconverge to all four cells alive — the incarnation-guarded
+        // sticky-Dead rule plus dead-peer probing doing their job.
+        let cfg = FederationConfig {
+            cell_faults: FaultPlan::builder(7)
+                .cell_partition(&[0, 1], SimTime::from_secs(600), SimTime::from_secs(2_400))
+                .build()
+                .unwrap(),
+            reliable: ReliableConfig {
+                breaker: Some(pg_agent::BreakerConfig::default()),
+                ..ReliableConfig::default()
+            },
+            ..FederationConfig::default()
+        };
+        let mut fed = small_federation(7, 4, cfg);
+        offer_poisson(&mut fed, 7, 0.08, 3_600);
+        fed.run(SimTime::from_secs(3_600));
+        let (total, met) = fed.goodput();
+        assert!(total > 0 && met > 0, "partition starved the federation");
+        for m in fed.members() {
+            let live = m.live_set();
+            assert_eq!(
+                live.len(),
+                4,
+                "cell {} did not reconverge after the heal: {live:?}",
+                m.me
+            );
+        }
+        // Accounting stays closed even with handoffs dying on the cut.
+        let s = &fed.stats;
+        assert_eq!(
+            s.migrations_completed + s.migrations_rejected + s.migrations_lost,
+            s.migrations_opened,
+            "migrations unaccounted for across the partition"
+        );
+    }
+
+    #[test]
+    fn crash_restart_with_journal_beats_recovery_free_restart() {
+        // Cell 1 crash-stops from t=900 to t=2100. With the write-ahead
+        // journal its queued queries survive the restart; without it they
+        // are simply gone. Long deadlines so recovered queries still count.
+        let build = |journal: bool| {
+            let cfg = FederationConfig {
+                cell_faults: FaultPlan::builder(31)
+                    .cell_crash(1, SimTime::from_secs(900), SimTime::from_secs(2_100))
+                    .build()
+                    .unwrap(),
+                journal,
+                ..FederationConfig::default()
+            };
+            let mut fed = small_federation(31, 3, cfg);
+            let mut rng = RngStreams::new(31).fork("crash-arrivals");
+            let mut t = 0.0;
+            // Hot enough that queues are non-empty at the crash edge.
+            while t < 3_600.0 {
+                t += -rng.gen::<f64>().max(1e-12).ln() / 0.35;
+                let user = rng.gen_range(0..8u64);
+                fed.offer(
+                    SimTime::from_secs_f64(t),
+                    user,
+                    "SELECT AVG(temp) FROM sensors",
+                    QueryOpts::with_deadline(Duration::from_secs(2_400)),
+                );
+            }
+            fed.run(SimTime::from_secs(3_600));
+            fed
+        };
+        let with = build(true);
+        let without = build(false);
+        assert!(with.stats.crashes >= 1, "the crash window never applied");
+        assert!(
+            without.stats.crash_lost > 0,
+            "the crash destroyed nothing — the scenario is vacuous"
+        );
+        assert_eq!(with.stats.journal_recovered, with.stats.crash_lost);
+        assert_eq!(without.stats.journal_recovered, 0);
+        let (total_with, _) = with.goodput();
+        let (total_without, _) = without.goodput();
+        assert!(
+            total_with > total_without,
+            "journal recovery must strictly beat a recovery-free restart: \
+             {total_with} vs {total_without}"
+        );
+        // Exactly-once conservation per cell, at drain (queues empty):
+        // everything admitted is completed, cancelled, shed, migrated
+        // away, or (net of recovery) lost — nothing double-counted.
+        for fed in [&with, &without] {
+            for c in fed.cells() {
+                assert_eq!(
+                    c.rt.admitted,
+                    c.rt.outcomes().len() as u64
+                        + c.rt.cancelled
+                        + c.rt.shed
+                        + c.rt.migrated_out
+                        + c.rt.lost,
+                    "conservation identity broken at cell {}",
+                    c.id
+                );
+            }
+        }
     }
 
     #[test]

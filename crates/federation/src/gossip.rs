@@ -21,6 +21,7 @@
 
 use crate::handoff::HandoffStore;
 use pg_runtime::OverloadState;
+use pg_sim::fault::FaultPlan;
 use pg_sim::rng::mix;
 use pg_sim::{Duration, SimTime};
 use rand::rngs::StdRng;
@@ -93,8 +94,22 @@ pub enum MemberState {
 pub struct MemberEntry {
     /// Monotone counter the owner increments each gossip round it is up.
     pub heartbeat: u64,
+    /// Owner-only epoch counter, bumped when the cell's process restarts
+    /// (crash recovery). Entries order lexicographically by
+    /// `(incarnation, heartbeat)`, so a restarted cell whose heartbeat
+    /// reset still dominates its own pre-crash rumors, and an evicted
+    /// peer can be resurrected by rumor only when a strictly higher
+    /// incarnation proves the owner itself declared a new life.
+    pub incarnation: u64,
     /// The owner's load summary as of that heartbeat.
     pub load: LoadDigest,
+}
+
+impl MemberEntry {
+    /// Freshness order: incarnation dominates heartbeat.
+    fn key(&self) -> (u64, u64) {
+        (self.incarnation, self.heartbeat)
+    }
 }
 
 /// What one cell knows about one peer.
@@ -138,6 +153,13 @@ pub struct Membership {
     /// The owning cell.
     pub me: CellId,
     table: BTreeMap<CellId, MemberInfo>,
+    resurrections: BTreeMap<CellId, u64>,
+    /// Count of peers currently in [`MemberState::Dead`]. Only
+    /// [`classify`](Membership::classify) kills and only
+    /// [`absorb`](Membership::absorb) resurrects, so those two points keep
+    /// it exact — and the fault-free steady state (no dead peers, every
+    /// cell, every round) skips the probe-pool table scan entirely.
+    dead_count: u32,
 }
 
 impl Membership {
@@ -148,6 +170,7 @@ impl Membership {
         let fresh = |hb| MemberInfo {
             entry: MemberEntry {
                 heartbeat: hb,
+                incarnation: 0,
                 load: LoadDigest::default(),
             },
             last_heard: now,
@@ -159,13 +182,22 @@ impl Membership {
                 table.insert(i, fresh(0));
             }
         }
-        Membership { me, table }
+        Membership {
+            me,
+            table,
+            resurrections: BTreeMap::new(),
+            dead_count: 0,
+        }
     }
 
     /// The owner is up at `now`: advance its heartbeat and publish `load`.
     pub fn beat(&mut self, now: SimTime, load: LoadDigest) {
         let info = self.table.entry(self.me).or_insert(MemberInfo {
-            entry: MemberEntry { heartbeat: 0, load },
+            entry: MemberEntry {
+                heartbeat: 0,
+                incarnation: 0,
+                load,
+            },
             last_heard: now,
             state: MemberState::Alive,
         });
@@ -173,6 +205,29 @@ impl Membership {
         info.entry.load = load;
         info.last_heard = now;
         info.state = MemberState::Alive;
+    }
+
+    /// The owner declares a new life — called on crash recovery, before
+    /// the first post-restart beat. The bumped incarnation dominates every
+    /// pre-crash rumor about this cell and is the one piece of evidence
+    /// (besides first-hand contact) that resurrects it at peers that
+    /// already evicted it.
+    pub fn bump_incarnation(&mut self) {
+        if let Some(info) = self.table.get_mut(&self.me) {
+            info.entry.incarnation += 1;
+        }
+    }
+
+    /// The owner's current incarnation number.
+    pub fn incarnation(&self) -> u64 {
+        self.table.get(&self.me).map_or(0, |i| i.entry.incarnation)
+    }
+
+    /// How many times this table has resurrected `cell` (Dead -> Alive).
+    /// A stable protocol resurrects an evicted peer at most once per
+    /// genuine recovery; flapping shows up as a higher count.
+    pub fn resurrections_of(&self, cell: CellId) -> u64 {
+        self.resurrections.get(&cell).copied().unwrap_or(0)
     }
 
     /// Snapshot of everything this cell would gossip: all non-dead entries
@@ -186,44 +241,91 @@ impl Membership {
             .collect()
     }
 
-    /// Merge a peer's digest: entry-wise heartbeat max. A strictly newer
-    /// heartbeat refreshes `last_heard` and rehabilitates a Suspect; the
-    /// owner's own row is authoritative and never overwritten by rumor.
-    pub fn merge(&mut self, digest: &[(CellId, MemberEntry)], now: SimTime) {
+    /// Merge a digest received from `from`: entry-wise `(incarnation,
+    /// heartbeat)` max. A strictly newer entry refreshes `last_heard` and
+    /// rehabilitates a Suspect; the owner's own row is authoritative and
+    /// never overwritten by rumor.
+    ///
+    /// A **Dead** peer is held Dead against rumor: third-party entries at
+    /// the same incarnation adopt the payload but do not resurrect, because
+    /// that is exactly the stale-rumor path that used to flap an evicted
+    /// peer live/dead around a partition (a lagging cell's "newer"
+    /// heartbeat can still be ancient). Resurrection needs first-hand
+    /// evidence — the digest came from the evicted peer itself — or a
+    /// strictly higher incarnation, the owner's own declaration of a new
+    /// life after a crash.
+    pub fn merge(&mut self, from: CellId, digest: &[(CellId, MemberEntry)], now: SimTime) {
         for &(cell, entry) in digest {
-            if cell == self.me {
-                continue;
+            self.absorb(from, cell, entry, now);
+        }
+    }
+
+    /// Merge directly from a peer's table — semantically identical to
+    /// `self.merge(other.me, &other.digest(), now)` but without
+    /// materializing the digest snapshot. Two of these run per gossip
+    /// contact, every round, for every cell: the snapshot allocation sat
+    /// on the control plane's hottest path.
+    pub fn merge_from(&mut self, other: &Membership, now: SimTime) {
+        for (&cell, info) in &other.table {
+            if info.state == MemberState::Dead {
+                continue; // digest() withholds dead peers; so do we
             }
-            match self.table.get_mut(&cell) {
-                Some(info) => {
-                    if entry.heartbeat > info.entry.heartbeat {
-                        info.entry = entry;
-                        info.last_heard = now;
-                        info.state = MemberState::Alive;
+            self.absorb(other.me, cell, info.entry, now);
+        }
+    }
+
+    /// One digest entry's worth of [`merge`](Membership::merge).
+    fn absorb(&mut self, from: CellId, cell: CellId, entry: MemberEntry, now: SimTime) {
+        if cell == self.me {
+            return;
+        }
+        match self.table.get_mut(&cell) {
+            Some(info) => {
+                let newer = entry.key() > info.entry.key();
+                let was_dead = info.state == MemberState::Dead;
+                // First-hand: the evicted peer itself sent this digest
+                // — proof of life even when its entry is no newer than
+                // the rumors we already absorbed while holding it Dead.
+                let resurrect = if was_dead {
+                    cell == from || entry.incarnation > info.entry.incarnation
+                } else {
+                    newer
+                };
+                if newer {
+                    info.entry = entry;
+                }
+                if resurrect {
+                    info.last_heard = now;
+                    info.state = MemberState::Alive;
+                    if was_dead {
+                        *self.resurrections.entry(cell).or_default() += 1;
+                        self.dead_count -= 1;
                     }
                 }
-                None => {
-                    self.table.insert(
-                        cell,
-                        MemberInfo {
-                            entry,
-                            last_heard: now,
-                            state: MemberState::Alive,
-                        },
-                    );
-                }
+            }
+            None => {
+                self.table.insert(
+                    cell,
+                    MemberInfo {
+                        entry,
+                        last_heard: now,
+                        state: MemberState::Alive,
+                    },
+                );
             }
         }
     }
 
     /// Re-classify every peer by heartbeat staleness at `now`.
     pub fn classify(&mut self, now: SimTime, cfg: &GossipConfig) {
+        let mut dead = 0;
         for (&cell, info) in self.table.iter_mut() {
             if cell == self.me {
                 continue;
             }
             let stale = now.since(info.last_heard);
             info.state = if stale >= cfg.evict_after {
+                dead += 1;
                 MemberState::Dead
             } else if stale >= cfg.suspect_after {
                 MemberState::Suspect
@@ -231,6 +333,7 @@ impl Membership {
                 MemberState::Alive
             };
         }
+        self.dead_count = dead;
     }
 
     /// Cells this table counts as live (self plus every non-Dead peer).
@@ -263,6 +366,36 @@ impl Membership {
             .map(|(&c, _)| c)
             .collect()
     }
+
+    /// Evicted peers — the dead-probe pool that re-discovers a healed
+    /// partition (an evicted peer never re-enters the candidate pool on
+    /// its own, so somebody has to keep knocking).
+    fn dead_peers(&self) -> Vec<CellId> {
+        if self.dead_count == 0 {
+            return Vec::new();
+        }
+        self.table
+            .iter()
+            .filter(|(&c, i)| c != self.me && i.state == MemberState::Dead)
+            .map(|(&c, _)| c)
+            .collect()
+    }
+}
+
+/// Everything a gossip round needs besides the tables themselves. Bundled
+/// so fault-aware callers have one place to hand over the script.
+pub struct RoundCtx<'a> {
+    /// The instant the round runs at.
+    pub now: SimTime,
+    /// Gossip tuning.
+    pub cfg: &'a GossipConfig,
+    /// Seed for the deterministic peer selection.
+    pub seed: u64,
+    /// Monotone round counter (selection salt and dead-probe rotor).
+    pub round_idx: u64,
+    /// Optional fault script: inter-cell contacts honor its partition and
+    /// one-way-cut windows. `None` behaves exactly like a fault-free plan.
+    pub faults: Option<&'a FaultPlan>,
 }
 
 /// Run one synchronous gossip round at `now` over the whole federation.
@@ -287,31 +420,97 @@ pub fn gossip_round(
     seed: u64,
     round_idx: u64,
 ) {
+    gossip_round_ctx(
+        members,
+        handoffs,
+        up,
+        &RoundCtx {
+            now,
+            cfg,
+            seed,
+            round_idx,
+            faults: None,
+        },
+    );
+}
+
+/// [`gossip_round`] with a [`RoundCtx`], the fault-aware form.
+///
+/// On top of the base round: the push leg `i -> t` and the pull reply
+/// `t -> i` are gated *independently* on [`FaultPlan::cell_link_up`], so a
+/// bipartition silences both ways while an asymmetric one-way cut lets a
+/// cell keep hearing a peer it can no longer reach — the peer passes
+/// through suspicion to eviction without flapping (see
+/// [`Membership::merge`]). Each cell additionally probes one evicted peer
+/// per round (round-robin over its dead pool, no RNG draw, so fault-free
+/// runs are untouched): a healed partition is re-discovered first-hand
+/// instead of staying split forever once both sides evicted each other.
+pub fn gossip_round_ctx(
+    members: &mut [Membership],
+    handoffs: &mut [HandoffStore],
+    up: &[bool],
+    ctx: &RoundCtx<'_>,
+) {
     debug_assert_eq!(members.len(), up.len());
+    let (now, cfg) = (ctx.now, ctx.cfg);
+    let link_up = |from: usize, to: usize| {
+        ctx.faults
+            .is_none_or(|f| f.cell_link_up(from as u64, to as u64, now))
+    };
     for i in 0..members.len() {
         if !up[i] {
             continue;
         }
         let mut candidates = members[i].gossip_candidates();
-        let mut rng = StdRng::seed_from_u64(mix(mix(seed, round_idx), i as u64));
+        let mut rng = StdRng::seed_from_u64(mix(mix(ctx.seed, ctx.round_idx), i as u64));
         let picks = cfg.fanout.min(candidates.len());
+        let mut targets = Vec::with_capacity(picks + 1);
         for k in 0..picks {
             let j = rng.gen_range(k..candidates.len());
             candidates.swap(k, j);
-            let target = candidates[k];
+            targets.push(candidates[k]);
+        }
+        let dead = members[i].dead_peers();
+        if !dead.is_empty() {
+            let probe = dead[(ctx.round_idx as usize) % dead.len()];
+            if !targets.contains(&probe) {
+                targets.push(probe);
+            }
+        }
+        for target in targets {
             let t = target.0 as usize;
             if t >= up.len() || !up[t] {
                 continue; // contact lost: the silence that reveals a crash
             }
-            let di = members[i].digest();
-            members[t].merge(&di, now);
-            let dt = members[t].digest();
-            members[i].merge(&dt, now);
+            // The push request and the pull reply travel opposite
+            // directions; each leg is lost independently, and no request
+            // means no reply.
+            let push_ok = link_up(i, t);
+            let pull_ok = push_ok && link_up(t, i);
+            // Candidates never include self, so i != t and the slice
+            // splits cleanly into the two tables of the contact.
+            let (mi, mt) = if i < t {
+                let (l, r) = members.split_at_mut(t);
+                (&mut l[i], &mut r[0])
+            } else {
+                let (l, r) = members.split_at_mut(i);
+                (&mut r[0], &mut l[t])
+            };
+            if push_ok {
+                mt.merge_from(mi, now);
+            }
+            if pull_ok {
+                mi.merge_from(mt, now);
+            }
             if !handoffs.is_empty() {
-                let hi = handoffs[i].snapshot();
-                handoffs[t].merge(&hi);
-                let ht = handoffs[t].snapshot();
-                handoffs[i].merge(&ht);
+                if push_ok {
+                    let hi = handoffs[i].snapshot();
+                    handoffs[t].merge(&hi);
+                }
+                if pull_ok {
+                    let ht = handoffs[t].snapshot();
+                    handoffs[i].merge(&ht);
+                }
             }
         }
     }
@@ -397,6 +596,196 @@ mod tests {
                 "{} did not rehabilitate the returned cell",
                 m.me
             );
+        }
+    }
+
+    /// Regression (stale-rumor flapping): an evicted peer must not be
+    /// resurrected by a third-party rumor carrying a newer-but-stale
+    /// heartbeat at the same incarnation — only first-hand contact or a
+    /// higher incarnation may bring it back. The old heartbeat-max merge
+    /// resurrected on any newer rumor, which oscillated an evicted peer
+    /// live/dead as lagging cells traded ancient "news" around a
+    /// partition.
+    #[test]
+    fn dead_peer_ignores_same_incarnation_rumor() {
+        let now = SimTime::from_secs(1000);
+        let mut q = Membership::new(CellId(0), &[CellId(1), CellId(2)], SimTime::ZERO);
+        // Q evicted peer 2 (staleness past evict_after).
+        let cfg = GossipConfig::default();
+        q.classify(now, &cfg);
+        assert_eq!(
+            q.members()
+                .find(|(c, _)| *c == CellId(2))
+                .map(|(_, i)| i.state),
+            Some(MemberState::Dead)
+        );
+        let rumor = |hb, inc| MemberEntry {
+            heartbeat: hb,
+            incarnation: inc,
+            load: LoadDigest::default(),
+        };
+        // A rumor from cell 1 with a newer heartbeat: adopted, not revived.
+        q.merge(CellId(1), &[(CellId(2), rumor(50, 0))], now);
+        let info = |q: &Membership| {
+            q.members()
+                .find(|(c, _)| *c == CellId(2))
+                .map(|(_, i)| (i.state, i.entry.heartbeat))
+                .expect("row")
+        };
+        assert_eq!(info(&q), (MemberState::Dead, 50));
+        assert_eq!(q.resurrections_of(CellId(2)), 0);
+        // Repeated rumors never flap it back either.
+        q.merge(CellId(1), &[(CellId(2), rumor(60, 0))], now);
+        assert_eq!(info(&q).0, MemberState::Dead);
+        assert_eq!(q.resurrections_of(CellId(2)), 0);
+        // First-hand contact revives, even without a newer entry…
+        q.merge(CellId(2), &[(CellId(2), rumor(60, 0))], now);
+        assert_eq!(info(&q).0, MemberState::Alive);
+        assert_eq!(q.resurrections_of(CellId(2)), 1);
+        // …and a higher incarnation (crash-recovery refutation) revives
+        // via rumor.
+        q.classify(SimTime::from_secs(2000), &cfg);
+        assert_eq!(info(&q).0, MemberState::Dead);
+        q.merge(
+            CellId(1),
+            &[(CellId(2), rumor(61, 1))],
+            SimTime::from_secs(2000),
+        );
+        assert_eq!(info(&q).0, MemberState::Alive);
+        assert_eq!(q.resurrections_of(CellId(2)), 2);
+    }
+
+    /// Regression (satellite): a peer that can hear but not be heard — all
+    /// its outbound links cut — passes monotonically through suspicion to
+    /// eviction everywhere and never oscillates live/evicted; after the
+    /// heal it is rehabilitated exactly once per observer.
+    #[test]
+    fn one_way_deaf_peer_passes_through_suspicion_without_flapping() {
+        let n = 6usize;
+        let p = 3u64; // the peer nobody can hear
+        let cut_start = SimTime::from_secs(30 * 10);
+        let cut_end = SimTime::from_secs(30 * 40);
+        let mut b = FaultPlan::builder(5);
+        for x in 0..n as u64 {
+            if x != p {
+                b = b.one_way_link_cut(p, x, cut_start, cut_end);
+            }
+        }
+        let plan = b.build().expect("valid plan");
+        let (mut members, mut handoffs, up) = bootstrap(n);
+        let cfg = GossipConfig::default();
+        for round in 0..60u64 {
+            let now = SimTime::from_secs(30 * (round + 1));
+            for m in members.iter_mut() {
+                m.beat(now, LoadDigest::default());
+            }
+            gossip_round_ctx(
+                &mut members,
+                &mut handoffs,
+                &up,
+                &RoundCtx {
+                    now,
+                    cfg: &cfg,
+                    seed: 7,
+                    round_idx: round,
+                    faults: Some(&plan),
+                },
+            );
+            if now >= cut_start && now < cut_end {
+                // During the cut nobody ever resurrects the deaf peer:
+                // its state decays monotonically, no flapping.
+                for (i, m) in members.iter().enumerate() {
+                    if i as u64 != p {
+                        assert_eq!(
+                            m.resurrections_of(CellId(p as u32)),
+                            0,
+                            "{} flapped the deaf peer live at {:?}",
+                            m.me,
+                            now
+                        );
+                    }
+                }
+            }
+        }
+        for (i, m) in members.iter().enumerate() {
+            if i as u64 == p {
+                // The deaf peer heard everyone throughout.
+                assert_eq!(m.live_set().len(), n);
+                continue;
+            }
+            assert!(
+                m.live_set().contains(&CellId(p as u32)),
+                "{} did not rehabilitate the healed peer",
+                m.me
+            );
+            assert!(
+                m.resurrections_of(CellId(p as u32)) <= 1,
+                "{} resurrected the peer more than once",
+                m.me
+            );
+        }
+    }
+
+    /// A clean bipartition: each side converges on exactly its own side,
+    /// and after the heal every cell recovers the full view (dead-probing
+    /// re-discovers peers both sides already evicted) with at most one
+    /// resurrection per peer.
+    #[test]
+    fn bipartition_heals_without_false_evictions() {
+        let n = 6usize;
+        let side: Vec<u64> = vec![0, 1, 2];
+        let cut_start = SimTime::from_secs(30 * 10);
+        let cut_end = SimTime::from_secs(30 * 30);
+        let plan = FaultPlan::builder(9)
+            .cell_partition(&side, cut_start, cut_end)
+            .build()
+            .expect("valid plan");
+        let (mut members, mut handoffs, up) = bootstrap(n);
+        let cfg = GossipConfig::default();
+        let run =
+            |members: &mut Vec<Membership>, handoffs: &mut Vec<HandoffStore>, lo: u64, hi: u64| {
+                for round in lo..hi {
+                    let now = SimTime::from_secs(30 * (round + 1));
+                    for m in members.iter_mut() {
+                        m.beat(now, LoadDigest::default());
+                    }
+                    gossip_round_ctx(
+                        members,
+                        handoffs,
+                        &up,
+                        &RoundCtx {
+                            now,
+                            cfg: &cfg,
+                            seed: 13,
+                            round_idx: round,
+                            faults: Some(&plan),
+                        },
+                    );
+                }
+            };
+        // Converge, then sit out the whole partition.
+        run(&mut members, &mut handoffs, 0, 29);
+        for (i, m) in members.iter().enumerate() {
+            let mut live = m.live_set();
+            live.sort();
+            let mine: Vec<CellId> = (0..n as u64)
+                .filter(|x| side.contains(x) == side.contains(&(i as u64)))
+                .map(|x| CellId(x as u32))
+                .collect();
+            assert_eq!(live, mine, "{} sees across the partition", m.me);
+        }
+        // Heal and give dead-probing time to knit the views back.
+        run(&mut members, &mut handoffs, 29, 45);
+        for m in &members {
+            assert_eq!(m.live_set().len(), n, "{} still split after heal", m.me);
+            for x in 0..n as u32 {
+                assert!(
+                    m.resurrections_of(CellId(x)) <= 1,
+                    "{} flapped {} across the heal",
+                    m.me,
+                    CellId(x)
+                );
+            }
         }
     }
 

@@ -77,14 +77,62 @@ pub struct HandoffRecord {
 }
 
 impl HandoffRecord {
-    /// Phase-dominant merge: adopt `other` when it is further along.
-    fn absorb(&mut self, other: &HandoffRecord) {
+    /// Anti-entropy merge: phase dominance first, then — when both
+    /// replicas sit at the *same* phase but diverged on the two sides of a
+    /// partition — a deterministic field-wise join so every merge order
+    /// converges on one value: earliest completion wins (ties broken by
+    /// smaller latency), and `warm` joins by OR (either side saw a warm
+    /// landing). Returns true when anything changed.
+    fn absorb(&mut self, other: &HandoffRecord) -> bool {
         if other.phase > self.phase {
             self.phase = other.phase;
             self.completed_at = other.completed_at;
             self.latency_s = other.latency_s;
             self.warm = other.warm;
+            return true;
         }
+        if other.phase < self.phase {
+            return false;
+        }
+        let mut changed = false;
+        let other_key = (other.completed_at, other.latency_s.map(f64::to_bits));
+        let my_key = (self.completed_at, self.latency_s.map(f64::to_bits));
+        if other.completed_at.is_some() && (self.completed_at.is_none() || other_key < my_key) {
+            self.completed_at = other.completed_at;
+            self.latency_s = other.latency_s;
+            changed = true;
+        }
+        if other.warm && !self.warm {
+            self.warm = true;
+            changed = true;
+        }
+        changed
+    }
+
+    /// Fold this record into a running FNV-1a hash — the ledger
+    /// fingerprint two replicas compare to assert convergence.
+    fn hash_into(&self, h: &mut u64) {
+        let mut mixin = |v: u64| {
+            *h ^= v;
+            *h = h.wrapping_mul(0x100_0000_01b3);
+        };
+        mixin(self.id.0);
+        mixin(self.user);
+        mixin(self.from.0 as u64);
+        mixin(self.to.0 as u64);
+        mixin(match self.kind {
+            HandoffKind::Migrate => 1,
+            HandoffKind::ForwardHome => 2,
+        });
+        mixin(match self.phase {
+            HandoffPhase::Pending => 1,
+            HandoffPhase::InProgress => 2,
+            HandoffPhase::Completed => 3,
+        });
+        mixin(self.opened_at.as_nanos());
+        mixin(self.completed_at.map_or(u64::MAX, |t| t.as_nanos()));
+        mixin(self.latency_s.map_or(u64::MAX, f64::to_bits));
+        mixin(self.warm as u64);
     }
 }
 
@@ -139,17 +187,37 @@ impl HandoffStore {
     }
 
     /// Merge a peer's snapshot: unknown records are adopted, known ones
-    /// phase-dominantly absorbed. Idempotent and commutative up to phase
-    /// monotonicity, so gossip order never matters.
-    pub fn merge(&mut self, snapshot: &[HandoffRecord]) {
+    /// absorbed (phase dominance, then the field-wise join for equal
+    /// phases). Idempotent and commutative, so gossip order never
+    /// matters. Returns how many records were adopted or changed — the
+    /// anti-entropy delta, zero once two replicas have converged.
+    pub fn merge(&mut self, snapshot: &[HandoffRecord]) -> usize {
+        let mut delta = 0;
         for r in snapshot {
             match self.records.get_mut(&r.id) {
-                Some(mine) => mine.absorb(r),
+                Some(mine) => {
+                    if mine.absorb(r) {
+                        delta += 1;
+                    }
+                }
                 None => {
                     self.records.insert(r.id, r.clone());
+                    delta += 1;
                 }
             }
         }
+        delta
+    }
+
+    /// Order-independent fingerprint of the whole ledger: two replicas
+    /// that gossiped to convergence hash identically, however their
+    /// updates interleaved across a partition.
+    pub fn ledger_hash(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for r in self.records.values() {
+            r.hash_into(&mut h);
+        }
+        h
     }
 
     /// Total records known.
@@ -227,6 +295,49 @@ mod tests {
         let before = a.snapshot();
         a.merge(&sb);
         assert_eq!(a.snapshot(), before);
+    }
+
+    #[test]
+    fn split_brain_equal_phase_divergence_converges_both_ways() {
+        // Both sides of a partition completed the same record with
+        // different observations; after anti-entropy the replicas agree
+        // bit-for-bit whichever direction merged first.
+        let mut left = rec(9, HandoffPhase::Completed);
+        left.completed_at = Some(SimTime::from_secs(10));
+        left.latency_s = Some(2.0);
+        left.warm = false;
+        let mut right = rec(9, HandoffPhase::Completed);
+        right.completed_at = Some(SimTime::from_secs(8));
+        right.latency_s = Some(3.5);
+        right.warm = true;
+
+        let mut a = HandoffStore::new();
+        let mut b = HandoffStore::new();
+        a.open(left.clone());
+        b.open(right.clone());
+        let d1 = a.merge(&b.snapshot());
+        let d2 = b.merge(&a.snapshot());
+        assert!(d1 > 0, "divergent replicas must report a merge delta");
+        assert_eq!(a.ledger_hash(), b.ledger_hash(), "replicas diverge");
+        // Earliest completion won; warm joined by OR.
+        let r = a.get(HandoffId(9)).expect("present");
+        assert_eq!(r.completed_at, Some(SimTime::from_secs(8)));
+        assert_eq!(r.latency_s, Some(3.5));
+        assert!(r.warm);
+        // Converged replicas exchange zero delta from then on.
+        assert_eq!(a.merge(&b.snapshot()), 0);
+        assert_eq!(b.merge(&a.snapshot()), 0);
+        let _ = d2;
+
+        // The reverse merge order lands on the same value.
+        let mut c = HandoffStore::new();
+        let mut d = HandoffStore::new();
+        c.open(right);
+        d.open(left);
+        c.merge(&d.snapshot());
+        d.merge(&c.snapshot());
+        assert_eq!(c.ledger_hash(), a.ledger_hash());
+        assert_eq!(d.ledger_hash(), a.ledger_hash());
     }
 
     #[test]

@@ -32,6 +32,9 @@ pub mod roaming;
 
 pub use cell::Cell;
 pub use federation::{quantile, Federation, FederationConfig, FederationStats};
-pub use gossip::{gossip_round, CellId, GossipConfig, LoadDigest, MemberState, Membership};
+pub use gossip::{
+    gossip_round, gossip_round_ctx, CellId, GossipConfig, LoadDigest, MemberState, Membership,
+    RoundCtx,
+};
 pub use handoff::{HandoffId, HandoffKind, HandoffPhase, HandoffRecord, HandoffStore};
 pub use roaming::{commute_traces, Move, NextCellPredictor, RoamingConfig, Trace};

@@ -55,6 +55,14 @@ pub enum QueryStatus<'a, R, E> {
     /// for queries that still can. Recorded, never silent — the shed
     /// counter and shed log account for every one.
     Shed,
+    /// Destroyed by a process crash while queued and not (yet) recovered
+    /// from the write-ahead journal. With journaling enabled a restart
+    /// moves the query back to `Queued` under the same handle.
+    Lost,
+    /// Extracted from this runtime for re-admission elsewhere (roaming
+    /// handoff): this handle no longer controls it — poll the
+    /// destination's handle instead.
+    Migrated,
     /// The runtime has never seen this handle (e.g. it belongs to another
     /// runtime instance).
     Unknown,

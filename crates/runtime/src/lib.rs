@@ -103,6 +103,7 @@ pub mod admission;
 pub mod arrivals;
 pub mod engine;
 pub mod handle;
+pub mod journal;
 pub mod overload;
 pub mod scheduler;
 
@@ -113,6 +114,7 @@ pub use arrivals::{
 };
 pub use engine::{Attribution, BatchQuery, EngineOutcome, QueryEngine};
 pub use handle::{QueryHandle, QueryStatus};
+pub use journal::{JournalRecord, OpenQuery, QueryJournal};
 pub use overload::{OverloadConfig, OverloadPolicy, OverloadState};
 pub use scheduler::{
     MigratedQuery, MultiQueryRuntime, QueryOutcome, RuntimeConfig, RuntimeConfigBuilder,

@@ -24,6 +24,7 @@ use crate::admission::{Admission, QueryId, QueryOpts, RejectReason};
 use crate::arrivals::ArrivalProcess;
 use crate::engine::{Attribution, BatchQuery, QueryEngine};
 use crate::handle::{QueryHandle, QueryStatus};
+use crate::journal::{JournalRecord, QueryJournal};
 use crate::overload::{OverloadConfig, OverloadPolicy, OverloadState};
 use pg_sim::metrics::Samples;
 use pg_sim::report::Report;
@@ -402,8 +403,24 @@ pub struct MultiQueryRuntime<E: QueryEngine> {
     pub migrated_out: u64,
     /// Queries re-admitted here after migrating from another runtime.
     pub migrated_in: u64,
+    /// Queued queries destroyed by a process crash ([`crash`]) and not
+    /// (yet) recovered from the journal.
+    ///
+    /// [`crash`]: MultiQueryRuntime::crash
+    pub lost: u64,
+    /// Crash-lost queries re-admitted by journal replay
+    /// ([`recover_from_journal`]).
+    ///
+    /// [`recover_from_journal`]: MultiQueryRuntime::recover_from_journal
+    pub recovered: u64,
     /// Overload hysteresis state, stepped on every queue-depth change.
     overload_state: OverloadState,
+    /// Ids destroyed by a crash and still unrecovered.
+    lost_ids: HashSet<QueryId>,
+    /// Ids extracted for migration to another runtime.
+    migrated_ids: HashSet<QueryId>,
+    /// Write-ahead journal of admission-state transitions, when enabled.
+    journal: Option<QueryJournal>,
     /// Audit log of shed queries, in shed order.
     shed_records: Vec<ShedRecord>,
     /// Submission verdicts since the last drain (only fed when
@@ -436,7 +453,12 @@ impl<E: QueryEngine> MultiQueryRuntime<E> {
             browned_out: 0,
             migrated_out: 0,
             migrated_in: 0,
+            lost: 0,
+            recovered: 0,
             overload_state: OverloadState::Normal,
+            lost_ids: HashSet::new(),
+            migrated_ids: HashSet::new(),
+            journal: None,
             shed_records: Vec::new(),
             admission_log: Vec::new(),
         }
@@ -534,6 +556,89 @@ impl<E: QueryEngine> MultiQueryRuntime<E> {
         self.cfg.record_admissions = on;
     }
 
+    /// Turn on the write-ahead query journal. From here on every
+    /// admission-state transition is recorded, so a later [`crash`] can be
+    /// undone by [`recover_from_journal`]. Journaling never perturbs
+    /// scheduling: a fault-free run with it enabled is bit-identical to
+    /// one without (property-tested).
+    ///
+    /// [`crash`]: MultiQueryRuntime::crash
+    /// [`recover_from_journal`]: MultiQueryRuntime::recover_from_journal
+    pub fn enable_journal(&mut self) {
+        if self.journal.is_none() {
+            self.journal = Some(QueryJournal::new());
+        }
+    }
+
+    /// The write-ahead journal, when enabled.
+    pub fn journal(&self) -> Option<&QueryJournal> {
+        self.journal.as_ref()
+    }
+
+    /// The process crashes: every waiting query is destroyed — counted
+    /// `lost`, polls report [`QueryStatus::Lost`] — committed energy is
+    /// released, and the epoch grid loses its anchor (a restart re-anchors
+    /// at the first post-recovery round). Completed outcomes, counters,
+    /// and the journal survive: they model state that was already
+    /// delivered or durably recorded before the crash. Returns how many
+    /// queries were destroyed.
+    ///
+    /// With the journal enabled, [`recover_from_journal`] afterwards
+    /// re-admits exactly the destroyed queries under their original ids;
+    /// without it the loss is permanent — that difference is the measured
+    /// value of the journal.
+    ///
+    /// [`recover_from_journal`]: MultiQueryRuntime::recover_from_journal
+    pub fn crash(&mut self) -> usize {
+        let n = self.waiting.len();
+        for p in self.waiting.drain(..) {
+            self.committed_j -= p.estimate_j;
+            self.lost += 1;
+            self.lost_ids.insert(p.id);
+        }
+        self.next_round_at = None;
+        self.update_overload_state();
+        n
+    }
+
+    /// Restart from the journal: every query the journal proves open and
+    /// the crash destroyed is re-inserted into the queue under its
+    /// **original id** — handles held across the crash stay valid — with
+    /// its original submission instant and absolute deadline, so queue
+    /// wait keeps accruing and the deadline the user watches never
+    /// resets. Each is moved from `lost` to `recovered` accounting
+    /// (exactly-once: a query is never simultaneously lost and queued).
+    /// Returns how many queries were recovered. A no-op without a journal
+    /// or after a clean shutdown.
+    pub fn recover_from_journal(&mut self) -> usize {
+        let open = match &self.journal {
+            Some(j) => j.open_queries(),
+            None => return 0,
+        };
+        let mut n = 0;
+        for q in open {
+            // Only revive what the crash actually destroyed: anything
+            // else is still live, already closed, or was never lost.
+            if !self.lost_ids.remove(&q.id) {
+                continue;
+            }
+            self.lost -= 1;
+            self.recovered += 1;
+            self.committed_j += q.estimate_j;
+            self.waiting.push(Pending {
+                id: q.id,
+                text: q.text,
+                submitted_at: q.submitted_at,
+                deadline_abs: q.deadline_abs,
+                estimate_j: q.estimate_j,
+                priority: q.priority,
+            });
+            n += 1;
+        }
+        self.update_overload_state();
+        n
+    }
+
     /// Submit query text for execution in a future epoch.
     pub fn submit(&mut self, text: &str, opts: QueryOpts) -> Admission {
         let verdict = self.submit_gated(text, opts);
@@ -621,11 +726,22 @@ impl<E: QueryEngine> MultiQueryRuntime<E> {
         self.next_id += 1;
         self.admitted += 1;
         let now = self.engine.now();
+        let deadline_abs = opts.deadline.map(|d| now + d);
+        if let Some(j) = self.journal.as_mut() {
+            j.append(JournalRecord::Admitted {
+                id,
+                text: text.to_string(),
+                submitted_at: now,
+                deadline_abs,
+                estimate_j,
+                priority: opts.priority,
+            });
+        }
         self.waiting.push(Pending {
             id,
             text: text.to_string(),
             submitted_at: now,
-            deadline_abs: opts.deadline.map(|d| now + d),
+            deadline_abs,
             estimate_j,
             priority: opts.priority,
         });
@@ -665,6 +781,12 @@ impl<E: QueryEngine> MultiQueryRuntime<E> {
         if self.shed_records.iter().any(|s| s.id == id) {
             return QueryStatus::Shed;
         }
+        if self.lost_ids.contains(&id) {
+            return QueryStatus::Lost;
+        }
+        if self.migrated_ids.contains(&id) {
+            return QueryStatus::Migrated;
+        }
         QueryStatus::Unknown
     }
 
@@ -682,6 +804,9 @@ impl<E: QueryEngine> MultiQueryRuntime<E> {
         self.committed_j -= p.estimate_j;
         self.cancelled_ids.insert(id);
         self.cancelled += 1;
+        if let Some(j) = self.journal.as_mut() {
+            j.append(JournalRecord::Cancelled { id });
+        }
         self.update_overload_state();
         true
     }
@@ -702,6 +827,10 @@ impl<E: QueryEngine> MultiQueryRuntime<E> {
         let p = self.waiting.remove(pos);
         self.committed_j -= p.estimate_j;
         self.migrated_out += 1;
+        self.migrated_ids.insert(id);
+        if let Some(j) = self.journal.as_mut() {
+            j.append(JournalRecord::MigratedOut { id });
+        }
         self.update_overload_state();
         Some(MigratedQuery {
             text: p.text,
@@ -781,6 +910,16 @@ impl<E: QueryEngine> MultiQueryRuntime<E> {
         self.next_id += 1;
         self.admitted += 1;
         self.migrated_in += 1;
+        if let Some(j) = self.journal.as_mut() {
+            j.append(JournalRecord::MigratedIn {
+                id,
+                text: m.text.clone(),
+                submitted_at: m.submitted_at,
+                deadline_abs: m.deadline_abs,
+                estimate_j,
+                priority: m.priority,
+            });
+        }
         self.waiting.push(Pending {
             id,
             text: m.text,
@@ -900,6 +1039,9 @@ impl<E: QueryEngine> MultiQueryRuntime<E> {
                 let p = self.waiting.remove(i);
                 self.committed_j -= p.estimate_j;
                 self.shed += 1;
+                if let Some(j) = self.journal.as_mut() {
+                    j.append(JournalRecord::Shed { id: p.id });
+                }
                 self.shed_records.push(ShedRecord {
                     id: p.id,
                     text: p.text,
@@ -995,6 +1137,9 @@ impl<E: QueryEngine> MultiQueryRuntime<E> {
             let queue_wait_s = epoch_start.since(p.submitted_at).as_secs_f64();
             if brownout {
                 self.browned_out += 1;
+            }
+            if let Some(j) = self.journal.as_mut() {
+                j.append(JournalRecord::Completed { id: p.id });
             }
             self.outcomes.push(QueryOutcome {
                 id: p.id,

@@ -79,6 +79,9 @@ pub struct FaultPlan {
     base_outages: Vec<Window>,
     link_blackouts: Vec<Window>,
     worker_down: BTreeMap<usize, Vec<Window>>,
+    cell_partitions: Vec<(Window, Vec<u64>)>,
+    one_way_cuts: Vec<(Window, u64, u64)>,
+    cell_down: BTreeMap<u64, Vec<Window>>,
     msg_loss: f64,
     msg_corrupt: f64,
     msg_delay_prob: f64,
@@ -178,6 +181,64 @@ impl FaultPlan {
         self.node_down.keys().copied()
     }
 
+    /// Can inter-cell traffic flow from cell `from` to cell `to` at `t`?
+    ///
+    /// A bipartition window severs the link when exactly one endpoint sits
+    /// on the listed side (traffic *within* either side still flows); a
+    /// one-way cut severs only the `from -> to` direction, modelling the
+    /// asymmetric radio links the sensornet layer already suffers from.
+    /// Intra-cell traffic (`from == to`) is never partitioned.
+    pub fn cell_link_up(&self, from: u64, to: u64, t: SimTime) -> bool {
+        if from == to {
+            return true;
+        }
+        for (w, side) in &self.cell_partitions {
+            if w.contains(t) && (side.contains(&from) != side.contains(&to)) {
+                return false;
+            }
+        }
+        for (w, f, tt) in &self.one_way_cuts {
+            if w.contains(t) && *f == from && *tt == to {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Is the cell process itself (runtime + agent endpoint) crashed at
+    /// instant `t`? Distinct from a base-station outage: a crashed cell
+    /// loses volatile state and must recover, a base outage merely
+    /// disconnects an otherwise-healthy runtime.
+    pub fn is_cell_down(&self, cell: u64, t: SimTime) -> bool {
+        self.cell_down
+            .get(&cell)
+            .is_some_and(|ws| in_windows(ws, t))
+    }
+
+    /// Earliest instant `>= t` at which cell `cell` is up again (`t`
+    /// itself when it is currently up).
+    pub fn cell_up_at(&self, cell: u64, t: SimTime) -> SimTime {
+        let mut at = t;
+        if let Some(ws) = self.cell_down.get(&cell) {
+            // Windows are kept sorted; walk forward through overlaps.
+            for w in ws {
+                if w.contains(at) {
+                    at = w.end;
+                }
+            }
+        }
+        at
+    }
+
+    /// True when any cell-level fault (partition, one-way cut or cell
+    /// crash) is scripted. Federation consumers use this to keep
+    /// fault-free runs byte-identical to builds without the feature.
+    pub fn has_cell_faults(&self) -> bool {
+        !self.cell_partitions.is_empty()
+            || !self.one_way_cuts.is_empty()
+            || !self.cell_down.is_empty()
+    }
+
     /// Stochastic per-message loss against a caller-supplied stream. Draws
     /// from `rng` **only** when a loss probability is configured, so empty
     /// plans never perturb existing random sequences.
@@ -269,6 +330,53 @@ impl FaultPlanBuilder {
     pub fn worker_outage(mut self, idx: usize, start: SimTime, end: SimTime) -> Self {
         if let Some(w) = self.window("worker outage", start, end) {
             let ws = self.plan.worker_down.entry(idx).or_default();
+            ws.push(w);
+            ws.sort_by_key(|w| w.start);
+        }
+        self
+    }
+
+    /// Bipartition the federation for `[start, end)`: every inter-cell
+    /// link with exactly one endpoint in `side` is severed both ways.
+    /// Cells not listed form the other side implicitly.
+    pub fn cell_partition(mut self, side: &[u64], start: SimTime, end: SimTime) -> Self {
+        if side.is_empty() {
+            self.error
+                .get_or_insert_with(|| FaultConfigError("partition side must be non-empty".into()));
+            return self;
+        }
+        if let Some(w) = self.window("cell partition", start, end) {
+            let mut side = side.to_vec();
+            side.sort_unstable();
+            side.dedup();
+            self.plan.cell_partitions.push((w, side));
+            self.plan.cell_partitions.sort_by_key(|(w, _)| w.start);
+        }
+        self
+    }
+
+    /// Sever only the `from -> to` direction for `[start, end)`: `to` can
+    /// still reach `from`, so `from` hears the peer while never being
+    /// heard — the asymmetric-link case that makes naive gossip flap.
+    pub fn one_way_link_cut(mut self, from: u64, to: u64, start: SimTime, end: SimTime) -> Self {
+        if from == to {
+            self.error.get_or_insert_with(|| {
+                FaultConfigError("one-way cut endpoints must differ".into())
+            });
+            return self;
+        }
+        if let Some(w) = self.window("one-way cut", start, end) {
+            self.plan.one_way_cuts.push((w, from, to));
+            self.plan.one_way_cuts.sort_by_key(|(w, ..)| w.start);
+        }
+        self
+    }
+
+    /// Crash cell `cell`'s process for `[start, end)`; volatile runtime
+    /// state is lost at `start` and the cell restarts at `end`.
+    pub fn cell_crash(mut self, cell: u64, start: SimTime, end: SimTime) -> Self {
+        if let Some(w) = self.window("cell crash", start, end) {
+            let ws = self.plan.cell_down.entry(cell).or_default();
             ws.push(w);
             ws.sort_by_key(|w| w.start);
         }
@@ -486,6 +594,59 @@ mod tests {
         }
         assert_eq!(delivered + (inj.dropped - 10) as usize, 100);
         assert!(delivered > 20 && delivered < 80);
+    }
+
+    #[test]
+    fn bipartition_severs_only_cross_side_links() {
+        let p = FaultPlan::builder(1)
+            .cell_partition(&[0, 1], secs(100), secs(200))
+            .build()
+            .unwrap();
+        assert!(p.has_cell_faults());
+        // Before / after the window everything flows.
+        assert!(p.cell_link_up(0, 3, secs(99)));
+        assert!(p.cell_link_up(0, 3, secs(200)));
+        // Inside: cross-side severed both ways, same-side untouched.
+        assert!(!p.cell_link_up(0, 3, secs(150)));
+        assert!(!p.cell_link_up(3, 0, secs(150)));
+        assert!(p.cell_link_up(0, 1, secs(150)));
+        assert!(p.cell_link_up(2, 3, secs(150)));
+        // Intra-cell never partitioned.
+        assert!(p.cell_link_up(0, 0, secs(150)));
+    }
+
+    #[test]
+    fn one_way_cut_is_directional() {
+        let p = FaultPlan::builder(1)
+            .one_way_link_cut(2, 5, secs(10), secs(20))
+            .build()
+            .unwrap();
+        assert!(!p.cell_link_up(2, 5, secs(15)));
+        assert!(p.cell_link_up(5, 2, secs(15)));
+        assert!(p.cell_link_up(2, 5, secs(20)));
+        assert!(FaultPlan::builder(1)
+            .one_way_link_cut(3, 3, secs(10), secs(20))
+            .build()
+            .is_err());
+        assert!(FaultPlan::builder(1)
+            .cell_partition(&[], secs(10), secs(20))
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn cell_crash_windows_and_recovery() {
+        let p = FaultPlan::builder(1)
+            .cell_crash(1, secs(100), secs(300))
+            .cell_crash(1, secs(250), secs(400))
+            .build()
+            .unwrap();
+        assert!(!p.is_cell_down(1, secs(99)));
+        assert!(p.is_cell_down(1, secs(100)));
+        assert!(!p.is_cell_down(0, secs(150)));
+        assert_eq!(p.cell_up_at(1, secs(150)), secs(400));
+        assert_eq!(p.cell_up_at(1, secs(400)), secs(400));
+        assert_eq!(p.cell_up_at(0, secs(150)), secs(150));
     }
 
     #[test]

@@ -3,22 +3,25 @@
 # writes a stdout table (captured to <out>/<exp>.txt) and a machine-readable
 # report <out>/<exp>.json.
 #
-# Usage: scripts/run_experiments.sh [--smoke] [--rebaseline] [output-dir]
+# Usage: scripts/run_experiments.sh [--smoke|--chaos] [--rebaseline] [output-dir]
 #   --smoke       run the reduced parameter grids (what CI runs; required
 #                 before --rebaseline, since committed baselines are smoke)
+#   --chaos       run the extended nightly soak grids (longer horizons,
+#                 higher fault rates, extra seeds; reports are never diffed)
 #   --rebaseline  after a clean run, copy each fresh <out>/<exp>.json over
 #                 baselines/BENCH_<exp>.json
 set -euo pipefail
 
-smoke=()
+mode=()
 rebaseline=0
 out="results"
 for arg in "$@"; do
     case "$arg" in
-    --smoke) smoke=(--smoke) ;;
+    --smoke) mode=(--smoke) ;;
+    --chaos) mode=(--chaos) ;;
     --rebaseline) rebaseline=1 ;;
     -h | --help)
-        sed -n '2,10p' "$0"
+        sed -n '2,12p' "$0"
         exit 0
         ;;
     -*)
@@ -28,7 +31,7 @@ for arg in "$@"; do
     *) out="$arg" ;;
     esac
 done
-if [[ $rebaseline -eq 1 && ${#smoke[@]} -eq 0 ]]; then
+if [[ $rebaseline -eq 1 && ${mode[0]-} != "--smoke" ]]; then
     echo "--rebaseline requires --smoke: committed baselines are smoke-mode" >&2
     exit 2
 fi
@@ -78,7 +81,7 @@ cargo build --release -p pg-bench
 for exp in $exps; do
     echo "== $exp =="
     # set -o pipefail makes a non-zero binary exit abort the whole run here.
-    ./target/release/"$exp" "${smoke[@]}" --out "$out" | tee "$out/$exp.txt"
+    ./target/release/"$exp" "${mode[@]}" --out "$out" | tee "$out/$exp.txt"
 done
 echo "all experiment outputs written to $out/"
 
