@@ -5,10 +5,13 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pg_bench::standard_world;
-use pg_partition::decide::{DecisionMaker, Policy};
+use pg_partition::decide::{DecisionConfig, DecisionMaker, Policy};
 use pg_partition::exec::ExecContext;
 use pg_partition::features::QueryFeatures;
-use pg_partition::model::{CostVector, SolutionModel};
+use pg_partition::learn::{
+    BanditConfig, CandidateArm, LearnContext, Learner, LinUcbLearner, Reward,
+};
+use pg_partition::model::{CostVector, CostWeights, SolutionModel};
 
 fn bench_parse_classify(c: &mut Criterion) {
     let text = "SELECT {MAX(temp), temp} from sensors WHERE {region(floor2) AND temp > 40} \
@@ -36,8 +39,11 @@ fn bench_choose(c: &mut Criterion) {
     };
     let mut g = c.benchmark_group("decision_maker");
     for &history in &[0usize, 100, 1_000] {
-        let mut dm = DecisionMaker::new(Policy::Adaptive, 5);
-        dm.epsilon = 0.0;
+        let mut dm = DecisionMaker::with_config(
+            Policy::Adaptive,
+            5,
+            DecisionConfig::builder().epsilon(0.0).build(),
+        );
         for i in 0..history {
             let mut f = features;
             f.members = 10 + (i % 90);
@@ -65,5 +71,62 @@ fn bench_choose(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_parse_classify, bench_choose);
+fn bench_bandit(c: &mut Criterion) {
+    let mut w = standard_world(100, 4);
+    let query = pg_query::parse("SELECT AVG(temp) FROM sensors").unwrap();
+    let features = {
+        let ctx = ExecContext {
+            net: &mut w.net,
+            grid: &w.grid,
+            field: &w.field,
+            regions: &w.regions,
+            now: w.now,
+        };
+        QueryFeatures::extract(&ctx, &query).unwrap()
+    };
+    let ctx = LearnContext {
+        features,
+        health: Default::default(),
+        energy_bound: None,
+        time_bound: None,
+    };
+    let arm = |key: usize| {
+        let cost = CostVector {
+            energy_j: 0.001 * (key as f64 + 1.0),
+            time_s: 0.1 * (key as f64 + 1.0),
+            bytes: 100.0,
+            ops: 100.0,
+        };
+        CandidateArm {
+            key,
+            model: SolutionModel::candidates(features.members)[key % 5],
+            analytic: cost,
+            predicted: cost,
+            score: key as f64 + 1.0,
+        }
+    };
+    let mut g = c.benchmark_group("decision_maker");
+    for &n in &[8usize, 64] {
+        let arms: Vec<CandidateArm> = (0..n).map(arm).collect();
+        // Warm every arm so select pays the full per-arm UCB cost.
+        let mut learner = LinUcbLearner::new(BanditConfig::default(), CostWeights::default(), 5);
+        for a in &arms {
+            learner.observe(&ctx, a, &Reward::from_cost(a.analytic));
+        }
+        g.bench_with_input(BenchmarkId::new("bandit_select", n), &n, |b, _| {
+            b.iter(|| learner.select(&ctx, &arms).unwrap());
+        });
+        g.bench_with_input(BenchmarkId::new("bandit_observe", n), &n, |b, _| {
+            let mut i = 0usize;
+            b.iter(|| {
+                let a = &arms[i % n];
+                learner.observe(&ctx, a, &Reward::from_cost(a.analytic));
+                i += 1;
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_parse_classify, bench_choose, bench_bandit);
 criterion_main!(benches);

@@ -9,7 +9,7 @@
 #![allow(clippy::unwrap_used, clippy::expect_used)]
 
 use pg_bench::{fmt, header, standard_world, Experiment};
-use pg_partition::decide::{DecisionMaker, Policy};
+use pg_partition::decide::{DecisionConfig, DecisionMaker, Policy};
 use pg_partition::exec::{execute_once, ExecContext};
 use pg_partition::features::QueryFeatures;
 use pg_partition::model::CostWeights;
@@ -37,10 +37,15 @@ fn stream(seed: u64, len: usize) -> Vec<String> {
 fn run(blend: bool, safe: bool, epsilon: f64, seed: u64, len: usize) -> f64 {
     let weights = CostWeights::default();
     let mut w = standard_world(N, seed);
-    let mut dm = DecisionMaker::new(Policy::Adaptive, seed);
-    dm.blend = blend;
-    dm.safe_explore = safe;
-    dm.epsilon = epsilon;
+    let mut dm = DecisionMaker::with_config(
+        Policy::Adaptive,
+        seed,
+        DecisionConfig::builder()
+            .blend(blend)
+            .safe_explore(safe)
+            .epsilon(epsilon)
+            .build(),
+    );
     let mut total = 0.0;
     for (i, text) in stream(seed, len).iter().enumerate() {
         let query = pg_query::parse(text).expect("valid query");

@@ -10,7 +10,7 @@
 #![allow(clippy::unwrap_used, clippy::expect_used)]
 
 use pg_bench::{header, key_part, standard_world, Experiment};
-use pg_partition::decide::{DecisionMaker, Policy};
+use pg_partition::decide::{DecisionConfig, DecisionMaker, Policy};
 use pg_partition::exec::{execute_once, ExecContext};
 use pg_partition::features::QueryFeatures;
 use rand::rngs::StdRng;
@@ -27,8 +27,11 @@ fn run_bound(clause: &str, reps: u64) -> (f64, String, f64, f64) {
     let mut time = 0.0;
     for seed in 0..reps {
         let mut w = standard_world(N, seed);
-        let mut dm = DecisionMaker::new(Policy::Adaptive, seed);
-        dm.epsilon = 0.0;
+        let mut dm = DecisionMaker::with_config(
+            Policy::Adaptive,
+            seed,
+            DecisionConfig::builder().epsilon(0.0).build(),
+        );
         let text = format!("SELECT AVG(temp) FROM sensors{clause}");
         let query = pg_query::parse(&text).expect("valid query");
         let features = {

@@ -125,6 +125,7 @@ fn run_cell(level: usize, policy: Policy, seed: u64) -> CellStats {
 fn policy_key(policy: &Policy) -> String {
     match policy {
         Policy::Adaptive => "adaptive".into(),
+        Policy::Bandit => "bandit".into(),
         Policy::Random => "random".into(),
         Policy::Static(m) => key_part(&format!("static_{}", m.name())),
     }

@@ -29,6 +29,7 @@ use crate::runtime::{DegradationReport, PervasiveGrid, Provenance, QueryResponse
 use pg_net::topology::NodeId;
 use pg_partition::exec::{members_of, rel_err, truth_aggregate, value_filter, ExecContext};
 use pg_partition::features::QueryFeatures;
+use pg_partition::learn::Reward;
 use pg_partition::model::{CostVector, SolutionModel};
 use pg_query::ast::Query;
 use pg_query::classify::{classify, QueryKind};
@@ -142,6 +143,14 @@ impl PervasiveGrid {
                 agg: s.query.first_agg().unwrap_or(AggFn::Avg),
             })
             .collect();
+        // Joint selection: under the bandit policy the learner also picks
+        // the tree-maintenance mode for this chunk (placement × tree
+        // lifetime), conditioned on chunk size and live health. Other
+        // policies keep the configured mode.
+        if let Some(mode) = self.decision.select_tree_mode(chunk.len()) {
+            self.tree_session.set_maintenance(mode);
+        }
+        let tree_mode = self.tree_session.maintenance();
         // The chunk rides the grid's tree session: in the default Free mode
         // this is exactly `shared_tree_collection` (v1 semantics); under
         // PerEpoch/Persistent maintenance the session also charges tree
@@ -156,6 +165,7 @@ impl PervasiveGrid {
         let latency_s = report.latency.as_secs_f64();
         let control_bytes_share = report.control_bytes as f64 / chunk.len() as f64;
         let control_energy_share = report.control_energy_j / chunk.len() as f64;
+        let mut chunk_scalar_cost = 0.0;
 
         for ((s, feats), (pq, sq)) in chunk
             .iter()
@@ -168,12 +178,34 @@ impl PervasiveGrid {
                 bytes: pq.bytes + control_bytes_share,
                 ops: pq.ops,
             };
+            // Shareable queries carry no COST time bound, so the budget is
+            // the builder deadline or the scheduler's remaining budget.
+            let deadline_s = [
+                self.deadline.map(|d| d.as_secs_f64()),
+                batch[s.idx].deadline.map(|d| d.as_secs_f64()),
+            ]
+            .into_iter()
+            .flatten()
+            .reduce(f64::min);
             // Adaptive feedback: the learner sees each query's attributed
-            // share as an InNetworkTree actual.
+            // share as an InNetworkTree actual, plus the degradation it
+            // came with (delivery loss, deadline fate, retries).
             if let Some(f) = feats {
-                self.decision
-                    .record(&self.net, &self.grid, f, SolutionModel::InNetworkTree, cost);
+                self.decision.observe(
+                    &self.net,
+                    &self.grid,
+                    f,
+                    SolutionModel::InNetworkTree,
+                    Reward {
+                        cost,
+                        loss_frac: (1.0 - pq.delivery_ratio()).clamp(0.0, 1.0),
+                        deadline_missed: deadline_s.is_some_and(|d| latency_s > d),
+                        retries: pq.retries,
+                        dead_letters: 0,
+                    },
+                );
             }
+            chunk_scalar_cost += self.decision.config().weights().scalar(&cost);
             let truth = {
                 let ctx = ExecContext {
                     net: &mut self.net,
@@ -188,15 +220,6 @@ impl PervasiveGrid {
                 (Some(v), Some(t)) => Some(rel_err(v, t)),
                 _ => None,
             };
-            // Shareable queries carry no COST time bound, so the budget is
-            // the builder deadline or the scheduler's remaining budget.
-            let deadline_s = [
-                self.deadline.map(|d| d.as_secs_f64()),
-                batch[s.idx].deadline.map(|d| d.as_secs_f64()),
-            ]
-            .into_iter()
-            .flatten()
-            .reduce(f64::min);
             let degradation = DegradationReport {
                 faults_active: self.faults.is_active(),
                 retries: pq.retries,
@@ -225,6 +248,13 @@ impl PervasiveGrid {
             };
             slots[s.idx] = Some(Ok((response, attribution)));
         }
+        // Close the joint loop: credit the tree mode that ran this chunk
+        // with its per-query attributed scalar cost (no-op off-bandit).
+        self.decision.observe_tree_mode(
+            tree_mode,
+            chunk.len(),
+            chunk_scalar_cost / chunk.len() as f64,
+        );
     }
 }
 
@@ -248,6 +278,13 @@ impl QueryEngine for PervasiveGrid {
             .filter(|&n| n != base)
             .map(|n| self.net.remaining_energy(n))
             .sum()
+    }
+
+    /// Scheduler pressure flows straight into the decision maker's health
+    /// context: the bandit's selections condition on queue depth and
+    /// overload level the moment the scheduler observes them.
+    fn note_pressure(&mut self, queue_depth: usize, overload_level: f64) {
+        self.decision.note_pressure(queue_depth, overload_level);
     }
 
     /// Deterministic first-order cost model for admission control: every

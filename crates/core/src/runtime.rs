@@ -6,9 +6,10 @@ use pg_net::energy::RadioModel;
 use pg_net::geom::Point;
 use pg_net::link::LinkModel;
 use pg_net::topology::{NodeId, Topology};
-use pg_partition::decide::{DecisionMaker, Policy};
+use pg_partition::decide::{DecisionConfig, DecisionMaker, Policy};
 use pg_partition::exec::{execute_once, ExecContext};
 use pg_partition::features::QueryFeatures;
+use pg_partition::learn::Reward;
 use pg_partition::model::{CostVector, SolutionModel};
 use pg_query::classify::{classify, QueryKind};
 use pg_sensornet::field::TemperatureField;
@@ -153,6 +154,7 @@ pub struct GridBuilder {
     faults: FaultPlan,
     deadline: Option<Duration>,
     tree_maintenance: TreeMaintenance,
+    decision: Option<DecisionConfig>,
 }
 
 impl GridBuilder {
@@ -171,6 +173,7 @@ impl GridBuilder {
             faults: FaultPlan::none(),
             deadline: None,
             tree_maintenance: TreeMaintenance::Free,
+            decision: None,
         }
     }
 
@@ -201,6 +204,15 @@ impl GridBuilder {
     /// Set the decision policy.
     pub fn policy(mut self, policy: Policy) -> Self {
         self.policy = policy;
+        self
+    }
+
+    /// Configure the decision maker (weights, exploration, reward blend,
+    /// bandit hyper-parameters) via [`DecisionConfig::builder`]. When not
+    /// set, the policy runs under the defaults — bit-identical to the
+    /// pre-builder behaviour.
+    pub fn decision_config(mut self, cfg: DecisionConfig) -> Self {
+        self.decision = Some(cfg);
         self
     }
 
@@ -261,7 +273,11 @@ impl GridBuilder {
             grid,
             field: self.field,
             regions: self.regions,
-            decision: DecisionMaker::new(self.policy, self.seed),
+            decision: DecisionMaker::with_config(
+                self.policy,
+                self.seed,
+                self.decision.unwrap_or_default(),
+            ),
             now: SimTime::ZERO,
             log: Vec::new(),
             proxy: None,
@@ -484,9 +500,22 @@ impl PervasiveGrid {
 
         // 5. Adaptive feedback: incorporate actuals into the learner. The
         // outage wait is not a property of the placement, so the learner
-        // sees the execution cost alone.
-        self.decision
-            .record(&self.net, &self.grid, features, model, outcome.cost);
+        // sees the execution cost alone — but the full outcome signal
+        // (loss, deadline fate including the wait, retries) rides along
+        // for the composite-reward policies.
+        self.decision.observe(
+            &self.net,
+            &self.grid,
+            features,
+            model,
+            Reward {
+                cost: outcome.cost,
+                loss_frac: (1.0 - outcome.delivered_frac).clamp(0.0, 1.0),
+                deadline_missed: deadline_s.is_some_and(|d| outcome.cost.time_s + wait_s > d),
+                retries: outcome.retries,
+                dead_letters: 0,
+            },
+        );
 
         let mut cost = outcome.cost;
         cost.time_s += wait_s;
@@ -583,11 +612,11 @@ mod tests {
     #[test]
     fn queries_drain_energy_and_feed_the_learner() {
         let mut pg = runtime();
-        assert_eq!(pg.decision.knn.len(), 0);
+        assert_eq!(pg.decision.history_len(), 0);
         let before = pg.energy_consumed();
         pg.submit("SELECT MAX(temp) FROM sensors").unwrap();
         assert!(pg.energy_consumed() > before);
-        assert_eq!(pg.decision.knn.len(), 1);
+        assert_eq!(pg.decision.history_len(), 1);
     }
 
     #[test]

@@ -10,19 +10,33 @@
 //! [`Policy::Adaptive`] predicts each candidate's cost from k-NN history
 //! (falling back to the analytic estimator while history is thin), applies
 //! the query's COST bounds as a hard filter, picks the cheapest under the
-//! scalarization weights, and explores ε-greedily. Static policies and a
-//! clairvoyant [`oracle_choice`] bound it from below and above.
+//! scalarization weights, and explores ε-greedily. [`Policy::Bandit`]
+//! replaces the case memory with a contextual LinUCB learner over an
+//! extended arm space, steering by the composite outcome reward (cost +
+//! observed degradation) and the live health context — see [`crate::learn`].
+//! Static policies and a clairvoyant [`oracle_choice`] bound both from
+//! below and above.
+//!
+//! Construction goes through [`DecisionConfig::builder`] (mirroring
+//! `RuntimeConfig::builder()`); [`DecisionMaker::new`] is the thin
+//! defaults shim, pinned bit-identical to `with_config(…, default)` by a
+//! proptest below.
 
 use crate::estimate::estimate;
 use crate::exec::{execute_once, ExecContext};
 use crate::features::QueryFeatures;
 use crate::knn::KnnRegressor;
+use crate::learn::{
+    bandit_candidates, BanditConfig, CandidateArm, KnnLearner, LearnContext, Learner,
+    LinUcbLearner, NetHealth, Reward, RewardWeights, TreeModeBandit,
+};
 use crate::model::{within_bounds, CostVector, CostWeights, SolutionModel};
 use pg_grid::sched::GridCluster;
 use pg_query::ast::Query;
 use pg_sensornet::field::TemperatureField;
 use pg_sensornet::network::SensorNetwork;
 use pg_sensornet::region::Region;
+use pg_sensornet::shared::TreeMaintenance;
 use pg_sim::SimTime;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -37,46 +51,248 @@ pub enum Policy {
     Random,
     /// k-NN history + analytic fallback + ε-greedy exploration.
     Adaptive,
+    /// Contextual LinUCB bandit over the extended arm space, learning from
+    /// the composite outcome reward (T22).
+    Bandit,
 }
 
 /// Why no model could be chosen.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct NoFeasibleModel;
 
-/// The adaptive decision maker.
-#[derive(Debug)]
-pub struct DecisionMaker {
-    /// The case memory.
-    pub knn: KnnRegressor,
-    /// Scalarization weights.
-    pub weights: CostWeights,
-    /// Exploration rate for the adaptive policy.
-    pub epsilon: f64,
-    /// Blend k-NN predictions with the analytic estimate by neighbour
-    /// distance (ablation A1 switches this off: pure k-NN once any history
-    /// exists).
-    pub blend: bool,
-    /// Restrict exploration to candidates predicted within 5× of the best
-    /// (ablation A1 switches this off: uniform ε-greedy).
-    pub safe_explore: bool,
-    policy: Policy,
-    rng: StdRng,
-    /// `(predicted, actual)` scalar-cost pairs, for calibration reporting.
-    pub calibration: Vec<(f64, f64)>,
+/// Immutable configuration of a [`DecisionMaker`], built via
+/// [`DecisionConfig::builder`].
+#[derive(Debug, Clone, Copy)]
+pub struct DecisionConfig {
+    weights: CostWeights,
+    epsilon: f64,
+    blend: bool,
+    safe_explore: bool,
+    knn_k: usize,
+    calibration_cap: usize,
+    reward: RewardWeights,
+    bandit: BanditConfig,
 }
 
-impl DecisionMaker {
-    /// A decision maker with the given policy and RNG seed.
-    pub fn new(policy: Policy, seed: u64) -> Self {
-        DecisionMaker {
-            knn: KnnRegressor::new(),
+impl Default for DecisionConfig {
+    fn default() -> Self {
+        DecisionConfig {
             weights: CostWeights::default(),
             epsilon: 0.1,
             blend: true,
             safe_explore: true,
+            knn_k: 5,
+            calibration_cap: 1024,
+            reward: RewardWeights::default(),
+            bandit: BanditConfig::default(),
+        }
+    }
+}
+
+impl DecisionConfig {
+    /// Start a chainable builder from the defaults.
+    pub fn builder() -> DecisionConfigBuilder {
+        DecisionConfigBuilder {
+            cfg: DecisionConfig::default(),
+        }
+    }
+
+    /// Scalarization weights in force.
+    pub fn weights(&self) -> CostWeights {
+        self.weights
+    }
+
+    /// ε-greedy exploration rate of the adaptive (k-NN) policy.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// Distance-blend k-NN predictions with the analytic estimate?
+    pub fn blend(&self) -> bool {
+        self.blend
+    }
+
+    /// Restrict ε-exploration to candidates within 5× of the best?
+    pub fn safe_explore(&self) -> bool {
+        self.safe_explore
+    }
+
+    /// k-NN neighbourhood size.
+    pub fn knn_k(&self) -> usize {
+        self.knn_k
+    }
+
+    /// Capacity of the calibration ring.
+    pub fn calibration_cap(&self) -> usize {
+        self.calibration_cap
+    }
+
+    /// Composite-reward blend for the bandit.
+    pub fn reward(&self) -> RewardWeights {
+        self.reward
+    }
+
+    /// Bandit hyper-parameters.
+    pub fn bandit(&self) -> BanditConfig {
+        self.bandit
+    }
+}
+
+/// Chainable constructor for [`DecisionConfig`], mirroring
+/// `RuntimeConfig::builder()`.
+#[derive(Debug, Clone)]
+pub struct DecisionConfigBuilder {
+    cfg: DecisionConfig,
+}
+
+impl DecisionConfigBuilder {
+    /// Scalarization weights for comparing cost vectors.
+    pub fn weights(mut self, weights: CostWeights) -> Self {
+        self.cfg.weights = weights;
+        self
+    }
+
+    /// ε-greedy exploration rate for the adaptive (k-NN) policy.
+    pub fn epsilon(mut self, epsilon: f64) -> Self {
+        self.cfg.epsilon = epsilon;
+        self
+    }
+
+    /// Blend k-NN predictions with the analytic estimate by neighbour
+    /// distance (ablation A1 switches this off: pure k-NN once any history
+    /// exists).
+    pub fn blend(mut self, blend: bool) -> Self {
+        self.cfg.blend = blend;
+        self
+    }
+
+    /// Restrict exploration to candidates predicted within 5× of the best
+    /// (ablation A1 switches this off: uniform ε-greedy).
+    pub fn safe_explore(mut self, safe: bool) -> Self {
+        self.cfg.safe_explore = safe;
+        self
+    }
+
+    /// k-NN neighbourhood size.
+    pub fn knn_k(mut self, k: usize) -> Self {
+        self.cfg.knn_k = k.max(1);
+        self
+    }
+
+    /// Capacity of the `(predicted, actual)` calibration ring — long
+    /// streaming runs keep a bounded window instead of growing per query.
+    pub fn calibration_cap(mut self, cap: usize) -> Self {
+        self.cfg.calibration_cap = cap.max(1);
+        self
+    }
+
+    /// Composite-reward blend for the bandit policy.
+    pub fn reward(mut self, reward: RewardWeights) -> Self {
+        self.cfg.reward = reward;
+        self
+    }
+
+    /// Bandit hyper-parameters (α optimism, γ discount).
+    pub fn bandit(mut self, bandit: BanditConfig) -> Self {
+        self.cfg.bandit = bandit;
+        self
+    }
+
+    /// Finish the configuration.
+    pub fn build(self) -> DecisionConfig {
+        self.cfg
+    }
+}
+
+/// Fixed-capacity ring of `(predicted, actual)` scalar-cost pairs.
+#[derive(Debug, Clone)]
+struct CalibrationRing {
+    buf: Vec<(f64, f64)>,
+    head: usize,
+    cap: usize,
+}
+
+impl CalibrationRing {
+    fn new(cap: usize) -> Self {
+        CalibrationRing {
+            buf: Vec::new(),
+            head: 0,
+            cap: cap.max(1),
+        }
+    }
+
+    fn push(&mut self, v: (f64, f64)) {
+        if self.buf.len() < self.cap {
+            self.buf.push(v);
+        } else {
+            self.buf[self.head] = v;
+            self.head = (self.head + 1) % self.cap;
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Entries most-recent-first.
+    fn iter_recent(&self) -> impl Iterator<Item = &(f64, f64)> {
+        let n = self.buf.len();
+        (0..n).map(move |i| {
+            // head is the *oldest* entry once the ring is full; newest is
+            // head-1. While filling, newest is the last element.
+            let idx = (self.head + n - 1 - i) % n.max(1);
+            &self.buf[idx]
+        })
+    }
+}
+
+/// The adaptive decision maker: policy + learner + health telemetry.
+///
+/// All former loose public fields (`knn`, `weights`, `epsilon`, `blend`,
+/// `safe_explore`, `calibration`) are now configured through
+/// [`DecisionConfig::builder`] and read through accessors; the learning
+/// state lives behind the [`Learner`] trait.
+#[derive(Debug)]
+pub struct DecisionMaker {
+    cfg: DecisionConfig,
+    policy: Policy,
+    learner: Box<dyn Learner>,
+    /// Joint tree-maintenance bandit, present under [`Policy::Bandit`].
+    tree_bandit: Option<TreeModeBandit>,
+    rng: StdRng,
+    calibration: CalibrationRing,
+    health: NetHealth,
+}
+
+impl DecisionMaker {
+    /// A decision maker with the given policy, RNG seed, and the default
+    /// configuration — the thin back-compat shim over
+    /// [`DecisionMaker::with_config`], bit-identical to the pre-builder
+    /// defaults (pinned by proptest).
+    pub fn new(policy: Policy, seed: u64) -> Self {
+        Self::with_config(policy, seed, DecisionConfig::default())
+    }
+
+    /// A decision maker with an explicit configuration.
+    pub fn with_config(policy: Policy, seed: u64, cfg: DecisionConfig) -> Self {
+        let learner: Box<dyn Learner> = match policy {
+            Policy::Bandit => Box::new(LinUcbLearner::new(cfg.bandit, cfg.weights, seed)),
+            _ => Box::new(KnnLearner::new(
+                cfg.knn_k,
+                cfg.epsilon,
+                cfg.blend,
+                cfg.safe_explore,
+                seed,
+            )),
+        };
+        DecisionMaker {
+            cfg,
             policy,
+            learner,
+            tree_bandit: matches!(policy, Policy::Bandit).then(|| TreeModeBandit::new(&cfg.bandit)),
             rng: StdRng::seed_from_u64(seed),
-            calibration: Vec::new(),
+            calibration: CalibrationRing::new(cfg.calibration_cap),
+            health: NetHealth::default(),
         }
     }
 
@@ -85,12 +301,55 @@ impl DecisionMaker {
         self.policy
     }
 
-    /// Predicted cost of one candidate: a confidence-weighted blend of the
-    /// k-NN history and the analytic estimate. A replayed situation
-    /// (nearest case at distance ~0) trusts history fully; a novel
-    /// situation (e.g. the first Complex query after only Aggregates)
-    /// leans on the estimator, which already knows an in-network PDE solve
-    /// is ruinous.
+    /// The configuration in force.
+    pub fn config(&self) -> &DecisionConfig {
+        &self.cfg
+    }
+
+    /// The learner behind the policy.
+    pub fn learner(&self) -> &dyn Learner {
+        self.learner.as_ref()
+    }
+
+    /// Number of outcomes the learner has absorbed.
+    pub fn history_len(&self) -> usize {
+        self.learner.observations()
+    }
+
+    /// The k-NN case memory, when the active learner keeps one.
+    pub fn knn(&self) -> Option<&KnnRegressor> {
+        self.learner.knn()
+    }
+
+    /// Live health telemetry (EWMAs of observed degradation + scheduler
+    /// pressure).
+    pub fn health(&self) -> NetHealth {
+        self.health
+    }
+
+    /// Publish the scheduler's queue pressure: waiting-queue depth and
+    /// overload level (0 normal, 0.5 brownout, 1 shed). Context for the
+    /// bandit; a no-op for every other policy's choices.
+    pub fn note_pressure(&mut self, queue_depth: usize, overload_level: f64) {
+        self.health.set_pressure(queue_depth, overload_level);
+    }
+
+    /// Attribute agent-bus dead letters observed since the last query to
+    /// the health tracker (they feed the composite reward's EWMA context).
+    pub fn note_dead_letters(&mut self, count: u64) {
+        let r = Reward {
+            cost: CostVector::default(),
+            loss_frac: 0.0,
+            deadline_missed: false,
+            retries: 0,
+            dead_letters: count,
+        };
+        self.health.absorb(&r);
+    }
+
+    /// Predicted cost of one candidate, by the active learner: for k-NN, a
+    /// confidence-weighted blend of history and the analytic estimate; for
+    /// the bandit, the analytic prior (its own value model is scalar).
     pub fn predict(
         &self,
         net: &SensorNetwork,
@@ -99,22 +358,47 @@ impl DecisionMaker {
         model: &SolutionModel,
     ) -> CostVector {
         let analytic = estimate(net, grid, features, model);
-        match self.knn.predict_detailed(features, model) {
-            None => analytic,
-            Some((learned, _)) if !self.blend => learned,
-            Some((learned, nearest)) => {
-                let w = 1.0 / (1.0 + nearest * nearest * 4.0);
-                learned.scale(w).add(&analytic.scale(1.0 - w))
-            }
+        self.learner.predict_cost(features, model, analytic)
+    }
+
+    fn learn_context(&self, features: &QueryFeatures, query: Option<&Query>) -> LearnContext {
+        LearnContext {
+            features: *features,
+            health: self.health,
+            energy_bound: query.and_then(Query::energy_bound),
+            time_bound: query.and_then(Query::time_bound),
         }
+    }
+
+    /// Build the scored arm list for the learner policies: every candidate
+    /// with its analytic prior, learner prediction, and scalar score.
+    fn score_arms(
+        &self,
+        net: &SensorNetwork,
+        grid: &GridCluster,
+        features: &QueryFeatures,
+        candidates: &[SolutionModel],
+    ) -> Vec<CandidateArm> {
+        candidates
+            .iter()
+            .enumerate()
+            .map(|(key, m)| {
+                let analytic = estimate(net, grid, features, m);
+                let predicted = self.learner.predict_cost(features, m, analytic);
+                CandidateArm {
+                    key,
+                    model: *m,
+                    analytic,
+                    predicted,
+                    score: self.cfg.weights.scalar(&predicted),
+                }
+            })
+            .collect()
     }
 
     /// Choose a placement for `query`. Returns `Err(NoFeasibleModel)` when
     /// every candidate's *predicted* cost violates the query's COST bounds
     /// — the cost-bounded rejection of experiment T10.
-    // Scalarized costs are weighted sums of finite predictions (never NaN)
-    // and the feasible set is checked non-empty before taking the min.
-    #[allow(clippy::expect_used)]
     pub fn choose(
         &mut self,
         net: &SensorNetwork,
@@ -122,7 +406,6 @@ impl DecisionMaker {
         query: &Query,
         features: &QueryFeatures,
     ) -> Result<SolutionModel, NoFeasibleModel> {
-        let candidates = SolutionModel::candidates(features.members);
         match self.policy {
             Policy::Static(m) => {
                 let predicted = self.predict(net, grid, features, &m);
@@ -133,6 +416,7 @@ impl DecisionMaker {
                 }
             }
             Policy::Random => {
+                let candidates = SolutionModel::candidates(features.members);
                 let feasible: Vec<SolutionModel> = candidates
                     .into_iter()
                     .filter(|m| within_bounds(query, &self.predict(net, grid, features, m), None))
@@ -142,51 +426,33 @@ impl DecisionMaker {
                 }
                 Ok(feasible[self.rng.gen_range(0..feasible.len())])
             }
-            Policy::Adaptive => {
-                let scored: Vec<(SolutionModel, CostVector, f64)> = candidates
-                    .iter()
-                    .map(|m| {
-                        let c = self.predict(net, grid, features, m);
-                        let s = self.weights.scalar(&c);
-                        (*m, c, s)
-                    })
-                    .collect();
-                let feasible: Vec<&(SolutionModel, CostVector, f64)> = scored
-                    .iter()
-                    .filter(|(_, c, _)| within_bounds(query, c, None))
+            Policy::Adaptive | Policy::Bandit => {
+                let candidates = if self.policy == Policy::Bandit {
+                    bandit_candidates(features.members)
+                } else {
+                    SolutionModel::candidates(features.members)
+                };
+                let arms = self.score_arms(net, grid, features, &candidates);
+                let feasible: Vec<CandidateArm> = arms
+                    .into_iter()
+                    .filter(|a| within_bounds(query, &a.predicted, None))
                     .collect();
                 if feasible.is_empty() {
                     return Err(NoFeasibleModel);
                 }
-                let best = feasible
-                    .iter()
-                    .min_by(|a, b| a.2.partial_cmp(&b.2).expect("scores are never NaN"))
-                    .expect("feasible set is non-empty");
-                // Safe ε-greedy: explore only among candidates predicted
-                // within 5× of the best (a placement already predicted to
-                // be 100× dearer — e.g. an in-network PDE solve — teaches
-                // nothing worth its price), and decay exploration as
-                // history accumulates.
-                let eps = self.epsilon / (1.0 + self.knn.len() as f64 / 25.0);
-                if self.rng.gen::<f64>() < eps {
-                    let near: Vec<_> = if self.safe_explore {
-                        feasible
-                            .iter()
-                            .filter(|(_, _, s)| *s <= 5.0 * best.2 + 1e-12)
-                            .collect()
-                    } else {
-                        feasible.iter().collect()
-                    };
-                    let pick = near[self.rng.gen_range(0..near.len())];
-                    return Ok(pick.0);
+                let ctx = self.learn_context(features, Some(query));
+                match self.learner.select(&ctx, &feasible) {
+                    Some(i) => Ok(feasible[i].model),
+                    None => Err(NoFeasibleModel),
                 }
-                Ok(best.0)
             }
         }
     }
 
     /// Feed back the measured cost of an execution ("comparing the
-    /// estimates … with the actual values" — §4).
+    /// estimates … with the actual values" — §4). The legacy pure-cost
+    /// path: no degradation observed. See [`DecisionMaker::observe`] for
+    /// the full outcome signal.
     pub fn record(
         &mut self,
         net: &SensorNetwork,
@@ -195,18 +461,58 @@ impl DecisionMaker {
         model: SolutionModel,
         actual: CostVector,
     ) {
+        self.observe(net, grid, features, model, Reward::from_cost(actual));
+    }
+
+    /// Feed back the full outcome of an execution: cost actuals *and*
+    /// observed degradation (loss fraction, deadline miss, retries, dead
+    /// letters). The k-NN learner consumes the cost exactly as `record`
+    /// always did; the bandit consumes the composite reward; the health
+    /// EWMAs absorb the degradation either way.
+    pub fn observe(
+        &mut self,
+        net: &SensorNetwork,
+        grid: &GridCluster,
+        features: QueryFeatures,
+        model: SolutionModel,
+        reward: Reward,
+    ) {
         let predicted = self.predict(net, grid, &features, &model);
         self.calibration.push((
-            self.weights.scalar(&predicted),
-            self.weights.scalar(&actual),
+            self.cfg.weights.scalar(&predicted),
+            self.cfg.weights.scalar(&reward.cost),
         ));
-        self.knn.record(features, model, actual);
+        let ctx = self.learn_context(&features, None);
+        let analytic = estimate(net, grid, &features, &model);
+        // Recover the arm key within the policy's candidate space so the
+        // bandit updates the right per-arm model. A model outside the
+        // space (e.g. a forced fallback placement) maps onto its family
+        // representative.
+        let candidates = if self.policy == Policy::Bandit {
+            bandit_candidates(features.members)
+        } else {
+            SolutionModel::candidates(features.members)
+        };
+        let key = candidates
+            .iter()
+            .position(|m| *m == model)
+            .or_else(|| candidates.iter().position(|m| m.family() == model.family()))
+            .unwrap_or(0);
+        let arm = CandidateArm {
+            key,
+            model,
+            analytic,
+            predicted,
+            score: self.cfg.weights.scalar(&predicted),
+        };
+        self.learner.observe(&ctx, &arm, &reward);
+        self.health.absorb(&reward);
     }
 
     /// Mean relative calibration error over the last `window` recordings —
     /// drops as the learner absorbs actuals.
     pub fn calibration_error(&self, window: usize) -> f64 {
-        let tail: Vec<&(f64, f64)> = self.calibration.iter().rev().take(window.max(1)).collect();
+        let tail: Vec<&(f64, f64)> = self.calibration.iter_recent().take(window.max(1)).collect();
         if tail.is_empty() {
             return 0.0;
         }
@@ -214,6 +520,37 @@ impl DecisionMaker {
             .map(|(p, a)| (p - a).abs() / a.abs().max(1e-9))
             .sum::<f64>()
             / tail.len() as f64
+    }
+
+    /// Number of calibration pairs currently held (bounded by
+    /// [`DecisionConfig::calibration_cap`]).
+    pub fn calibration_len(&self) -> usize {
+        self.calibration.len()
+    }
+
+    /// Under [`Policy::Bandit`], pick the tree-maintenance mode for a
+    /// shared-collection chunk of `group` queries (the joint placement ×
+    /// tree-lifetime selection). `None` for every other policy — callers
+    /// keep their configured mode.
+    pub fn select_tree_mode(&mut self, group: usize) -> Option<TreeMaintenance> {
+        let health = self.health;
+        self.tree_bandit
+            .as_mut()
+            .map(|tb| tb.select(group, &health))
+    }
+
+    /// Feed back a shared chunk's per-query attributed scalar cost for the
+    /// tree mode that ran it (no-op unless [`Policy::Bandit`]).
+    pub fn observe_tree_mode(
+        &mut self,
+        mode: TreeMaintenance,
+        group: usize,
+        per_query_scalar_cost: f64,
+    ) {
+        let health = self.health;
+        if let Some(tb) = self.tree_bandit.as_mut() {
+            tb.observe(mode, group, &health, per_query_scalar_cost);
+        }
     }
 }
 
@@ -276,7 +613,7 @@ mod tests {
     use pg_query::parse;
     use pg_sim::Duration;
 
-    fn world() -> (
+    pub(super) fn world() -> (
         SensorNetwork,
         GridCluster,
         TemperatureField,
@@ -335,9 +672,12 @@ mod tests {
         let (mut net, grid, field, regions) = world();
         let q = parse("SELECT AVG(temp) FROM sensors").unwrap();
         let f = features(&mut net, &grid, &field, &regions, &q);
-        let mut dm = DecisionMaker::new(Policy::Adaptive, 2);
-        dm.epsilon = 0.0; // pure exploitation for determinism
-                          // Teach it that BaseStation is catastrophically expensive here.
+        let mut dm = DecisionMaker::with_config(
+            Policy::Adaptive,
+            2,
+            DecisionConfig::builder().epsilon(0.0).build(), // pure exploitation for determinism
+        );
+        // Teach it that BaseStation is catastrophically expensive here.
         let awful = CostVector {
             energy_j: 100.0,
             time_s: 1_000.0,
@@ -364,6 +704,8 @@ mod tests {
         let f = features(&mut net, &grid, &field, &regions, &q);
         let mut dm = DecisionMaker::new(Policy::Adaptive, 3);
         assert_eq!(dm.choose(&net, &grid, &q, &f), Err(NoFeasibleModel));
+        let mut bandit = DecisionMaker::new(Policy::Bandit, 3);
+        assert_eq!(bandit.choose(&net, &grid, &q, &f), Err(NoFeasibleModel));
     }
 
     #[test]
@@ -391,6 +733,31 @@ mod tests {
             "calibration must improve: {early} -> {late}"
         );
         assert!(late < 1e-6);
+    }
+
+    #[test]
+    fn calibration_ring_is_bounded() {
+        let (mut net, grid, field, regions) = world();
+        let q = parse("SELECT AVG(temp) FROM sensors").unwrap();
+        let f = features(&mut net, &grid, &field, &regions, &q);
+        let mut dm = DecisionMaker::with_config(
+            Policy::Adaptive,
+            4,
+            DecisionConfig::builder().calibration_cap(8).build(),
+        );
+        let actual = CostVector {
+            energy_j: 0.02,
+            time_s: 1.0,
+            bytes: 5_000.0,
+            ops: 3_000.0,
+        };
+        for _ in 0..50 {
+            dm.record(&net, &grid, f, SolutionModel::BaseStation, actual);
+        }
+        assert_eq!(dm.calibration_len(), 8);
+        assert_eq!(dm.history_len(), 50, "the case memory itself still grows");
+        // The error over the retained window still reflects recent history.
+        assert!(dm.calibration_error(8) < 1e-6);
     }
 
     #[test]
@@ -442,5 +809,221 @@ mod tests {
                 .collect::<Vec<_>>()
         };
         assert_eq!(run(5), run(5));
+    }
+
+    #[test]
+    fn bandit_choices_are_seeded_deterministic() {
+        let (mut net, grid, field, regions) = world();
+        let q = parse("SELECT AVG(temp) FROM sensors").unwrap();
+        let f = features(&mut net, &grid, &field, &regions, &q);
+        let run = |seed| {
+            let mut dm = DecisionMaker::new(Policy::Bandit, seed);
+            let mut names = Vec::new();
+            for i in 0..30 {
+                let m = dm.choose(&net, &grid, &q, &f).unwrap();
+                names.push(m.name());
+                let actual = CostVector {
+                    energy_j: 0.001 * (1 + m.family()) as f64,
+                    time_s: 0.2 * (1 + i % 3) as f64,
+                    bytes: 100.0,
+                    ops: 100.0,
+                };
+                dm.record(&net, &grid, f, m, actual);
+            }
+            names
+        };
+        assert_eq!(run(5), run(5));
+    }
+
+    #[test]
+    fn bandit_exploits_the_consistently_cheap_arm() {
+        let (mut net, grid, field, regions) = world();
+        let q = parse("SELECT AVG(temp) FROM sensors").unwrap();
+        let f = features(&mut net, &grid, &field, &regions, &q);
+        let mut dm = DecisionMaker::new(Policy::Bandit, 6);
+        // Tree is cheap, everything else dear.
+        let cost_of = |m: &SolutionModel| {
+            let s = if m.family() == 0 { 0.05 } else { 3.0 };
+            CostVector {
+                energy_j: s * 0.1,
+                time_s: 0.1,
+                bytes: 100.0,
+                ops: 100.0,
+            }
+        };
+        for _ in 0..60 {
+            let m = dm.choose(&net, &grid, &q, &f).unwrap();
+            dm.record(&net, &grid, f, m, cost_of(&m));
+        }
+        let mut tree_picks = 0;
+        for _ in 0..10 {
+            let m = dm.choose(&net, &grid, &q, &f).unwrap();
+            if m.family() == 0 {
+                tree_picks += 1;
+            }
+            dm.record(&net, &grid, f, m, cost_of(&m));
+        }
+        assert!(tree_picks >= 8, "bandit must exploit: {tree_picks}/10");
+    }
+
+    #[test]
+    fn health_tracks_degradation_and_pressure() {
+        let (net, grid, field, regions) = world();
+        let q = parse("SELECT AVG(temp) FROM sensors").unwrap();
+        let mut n = net;
+        let f = features(&mut n, &grid, &field, &regions, &q);
+        let mut dm = DecisionMaker::new(Policy::Bandit, 9);
+        dm.note_pressure(32, 1.0);
+        assert_eq!(dm.health().queue_depth, 32);
+        assert_eq!(dm.health().overload_level, 1.0);
+        dm.observe(
+            &n,
+            &grid,
+            f,
+            SolutionModel::BaseStation,
+            Reward {
+                cost: CostVector::default(),
+                loss_frac: 0.8,
+                deadline_missed: true,
+                retries: 3,
+                dead_letters: 1,
+            },
+        );
+        assert!(dm.health().loss_ewma > 0.0);
+        assert!(dm.health().miss_ewma > 0.0);
+        dm.note_dead_letters(2);
+        assert!(dm.health().dead_letter_ewma > 0.0);
+    }
+
+    #[test]
+    fn tree_mode_selection_is_bandit_only() {
+        let mut knn = DecisionMaker::new(Policy::Adaptive, 1);
+        assert_eq!(knn.select_tree_mode(8), None);
+        let mut bandit = DecisionMaker::new(Policy::Bandit, 1);
+        let mode = bandit.select_tree_mode(8).unwrap();
+        bandit.observe_tree_mode(mode, 8, 0.5);
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use pg_query::classify::QueryKind;
+    use proptest::prelude::*;
+
+    fn synthetic_features(members: usize, kind_idx: usize) -> QueryFeatures {
+        QueryFeatures {
+            kind: [QueryKind::Simple, QueryKind::Aggregate, QueryKind::Complex][kind_idx % 3],
+            continuous: false,
+            members,
+            mean_hops: 1.0 + (members % 7) as f64 / 2.0,
+            network_size: 100,
+            epoch_s: 0.0,
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// `DecisionMaker::new(policy, seed)` is a thin shim: its choice
+        /// sequence is bit-identical to `with_config` under the default
+        /// configuration, for every policy, across interleaved choose/
+        /// record streams.
+        #[test]
+        fn new_is_bit_identical_to_default_config(
+            seed in 0u64..1_000,
+            picks in proptest::collection::vec((5usize..60, 0usize..3, 0u8..4), 1..40),
+            policy_idx in 0usize..4,
+        ) {
+            let policy = [
+                Policy::Adaptive,
+                Policy::Random,
+                Policy::Static(SolutionModel::BaseStation),
+                Policy::Bandit,
+            ][policy_idx];
+            let (mut net, grid, field, regions) = super::tests::world();
+            let q = pg_query::parse("SELECT AVG(temp) FROM sensors").unwrap();
+            let base = {
+                let ctx = ExecContext {
+                    net: &mut net,
+                    grid: &grid,
+                    field: &field,
+                    regions: &regions,
+                    now: SimTime::from_secs(600),
+                };
+                QueryFeatures::extract(&ctx, &q).unwrap()
+            };
+            let run = |mk: &dyn Fn() -> DecisionMaker| {
+                let mut dm = mk();
+                let mut out = Vec::new();
+                for (members, kind_idx, cost_mult) in &picks {
+                    let mut f = synthetic_features(*members, *kind_idx);
+                    f.mean_hops = base.mean_hops;
+                    let choice = dm.choose(&net, &grid, &q, &f).ok();
+                    out.push(choice.map(|m| m.name()));
+                    if let Some(m) = choice {
+                        let actual = CostVector {
+                            energy_j: 0.001 * f64::from(*cost_mult + 1),
+                            time_s: 0.1,
+                            bytes: 100.0,
+                            ops: 100.0,
+                        };
+                        dm.record(&net, &grid, f, m, actual);
+                    }
+                }
+                (out, dm.calibration_error(8))
+            };
+            let shim = run(&|| DecisionMaker::new(policy, seed));
+            let explicit = run(&|| {
+                DecisionMaker::with_config(policy, seed, DecisionConfig::default())
+            });
+            let built = run(&|| {
+                DecisionMaker::with_config(policy, seed, DecisionConfig::builder().build())
+            });
+            prop_assert_eq!(&shim, &explicit);
+            prop_assert_eq!(&shim, &built);
+        }
+
+        /// With exploration disabled (α = 0) under stationary per-arm
+        /// rewards, the bandit converges to the static-best arm and stays
+        /// there, for every seed.
+        #[test]
+        fn bandit_converges_to_static_best_per_seed(
+            seed in 0u64..1_000,
+            best_family in 0usize..5,
+        ) {
+            let (mut net, grid, field, regions) = super::tests::world();
+            let q = pg_query::parse("SELECT AVG(temp) FROM sensors").unwrap();
+            let f = {
+                let ctx = ExecContext {
+                    net: &mut net,
+                    grid: &grid,
+                    field: &field,
+                    regions: &regions,
+                    now: SimTime::from_secs(600),
+                };
+                QueryFeatures::extract(&ctx, &q).unwrap()
+            };
+            let mut dm = DecisionMaker::with_config(
+                Policy::Bandit,
+                seed,
+                DecisionConfig::builder()
+                    .bandit(BanditConfig { alpha: 0.0, gamma: 1.0, ..BanditConfig::default() })
+                    .build(),
+            );
+            let cost_of = |m: &SolutionModel| {
+                let s = if m.family() == best_family { 0.05 } else { 4.0 };
+                CostVector { energy_j: s * 0.1, time_s: 0.1, bytes: 0.0, ops: 0.0 }
+            };
+            for _ in 0..60 {
+                let m = dm.choose(&net, &grid, &q, &f).unwrap();
+                dm.record(&net, &grid, f, m, cost_of(&m));
+            }
+            for _ in 0..10 {
+                let m = dm.choose(&net, &grid, &q, &f).unwrap();
+                prop_assert_eq!(m.family(), best_family);
+                dm.record(&net, &grid, f, m, cost_of(&m));
+            }
+        }
     }
 }

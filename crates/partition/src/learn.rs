@@ -1,0 +1,825 @@
+//! Online learning behind the decision maker: the [`Learner`] trait and
+//! its two implementations — the k-NN case memory ([`KnnLearner`], the
+//! Pythia-style regressor the repo started with) and a contextual LinUCB
+//! bandit ([`LinUcbLearner`]) that closes §4's adaptive loop on the *full*
+//! outcome signal, not cost actuals alone.
+//!
+//! §4: "standard machine learning techniques would be used on the data to
+//! select the right approach", made adaptive "by comparing the estimates
+//! with the actual values during the execution". The bandit takes that
+//! literally as an online decision problem: each query is a context (query
+//! features + live network health + scheduler pressure), each solution
+//! model is an arm, and the composite [`Reward`] blends the scalar cost
+//! actual with observed degradation — loss fraction, deadline misses,
+//! retries, dead letters — so the learner steers by what the runtime
+//! *experienced*, not just what the radio billed.
+//!
+//! The LinUCB estimator is per-arm ridge regression maintained via
+//! Sherman–Morrison rank-one updates, with a per-observation discount
+//! (`gamma < 1`) that ages out stale evidence — the mechanism that lets it
+//! track a mid-run environment shift (faults ramping, load ramping) that
+//! the k-NN memory is structurally slow to follow (its distance-0
+//! neighbours are the oldest cases, which never age).
+
+use crate::features::QueryFeatures;
+use crate::knn::KnnRegressor;
+use crate::model::{CostVector, CostWeights, SolutionModel};
+use pg_query::classify::QueryKind;
+use pg_sensornet::shared::TreeMaintenance;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+
+/// Live network-health telemetry: EWMA of per-query degradation signals
+/// plus the scheduler's queue pressure, maintained by the decision maker
+/// and fed to the bandit as context.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct NetHealth {
+    /// EWMA of the per-query loss fraction (`1 - delivered_frac`).
+    pub loss_ewma: f64,
+    /// EWMA of deadline misses (0/1 per query).
+    pub miss_ewma: f64,
+    /// EWMA of link-layer retransmissions per query.
+    pub retry_ewma: f64,
+    /// EWMA of agent-bus dead letters attributed per query.
+    pub dead_letter_ewma: f64,
+    /// Waiting-queue depth last published by the scheduler.
+    pub queue_depth: usize,
+    /// Overload level last published by the scheduler: 0 normal,
+    /// 0.5 brownout, 1 shed.
+    pub overload_level: f64,
+}
+
+/// EWMA smoothing factor for the health tracker.
+const HEALTH_ALPHA: f64 = 0.2;
+
+impl NetHealth {
+    /// Fold one observed outcome into the EWMAs.
+    pub fn absorb(&mut self, reward: &Reward) {
+        let ewma = |prev: f64, x: f64| (1.0 - HEALTH_ALPHA) * prev + HEALTH_ALPHA * x;
+        self.loss_ewma = ewma(self.loss_ewma, reward.loss_frac.clamp(0.0, 1.0));
+        self.miss_ewma = ewma(self.miss_ewma, f64::from(reward.deadline_missed));
+        self.retry_ewma = ewma(self.retry_ewma, reward.retries as f64);
+        self.dead_letter_ewma = ewma(self.dead_letter_ewma, reward.dead_letters as f64);
+    }
+
+    /// Record the scheduler's queue pressure (depth + overload level).
+    pub fn set_pressure(&mut self, queue_depth: usize, overload_level: f64) {
+        self.queue_depth = queue_depth;
+        self.overload_level = overload_level.clamp(0.0, 1.0);
+    }
+}
+
+/// The full outcome signal of one executed query, as seen by the learner.
+///
+/// [`KnnLearner`] consumes only `cost` (exactly the pre-existing k-NN
+/// feedback path); [`LinUcbLearner`] collapses everything into a composite
+/// scalar via [`RewardWeights`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Reward {
+    /// Measured execution cost (excludes queue wait and outage wait).
+    pub cost: CostVector,
+    /// Fraction of requested readings that did *not* arrive.
+    pub loss_frac: f64,
+    /// The response missed its effective deadline budget.
+    pub deadline_missed: bool,
+    /// Link-layer retransmissions spent on this answer.
+    pub retries: u64,
+    /// Agent-bus dead letters attributed to this query's window.
+    pub dead_letters: u64,
+}
+
+impl Reward {
+    /// A pure-cost reward: no degradation observed (the legacy feedback
+    /// path, and the fault-free common case).
+    pub fn from_cost(cost: CostVector) -> Reward {
+        Reward {
+            cost,
+            loss_frac: 0.0,
+            deadline_missed: false,
+            retries: 0,
+            dead_letters: 0,
+        }
+    }
+}
+
+/// How the composite bandit reward blends cost with degradation.
+///
+/// The scalar cost is squashed to `(0, 1)` by `s / (s + cost_scale)` so a
+/// single catastrophic pull cannot blow up the ridge estimate; degradation
+/// terms are already bounded. The composite reward is the *negative*
+/// weighted sum — higher is better, and everything lives in a bounded
+/// range, which keeps the linear model well-conditioned.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RewardWeights {
+    /// Weight on the squashed scalar cost.
+    pub cost: f64,
+    /// Weight on the loss fraction.
+    pub loss: f64,
+    /// Weight on a deadline miss.
+    pub deadline: f64,
+    /// Weight on dead letters (saturating at 4 per query).
+    pub dead_letter: f64,
+    /// Scalar-cost squash midpoint: a cost of `cost_scale` maps to 0.5.
+    pub cost_scale: f64,
+}
+
+impl Default for RewardWeights {
+    fn default() -> Self {
+        RewardWeights {
+            cost: 1.0,
+            loss: 0.5,
+            deadline: 1.0,
+            dead_letter: 0.25,
+            cost_scale: 5.0,
+        }
+    }
+}
+
+impl RewardWeights {
+    /// Collapse an outcome into the composite scalar reward (≤ 0; higher
+    /// is better). `scalar_cost` is the cost vector under the decision
+    /// maker's scalarization weights.
+    pub fn composite(&self, scalar_cost: f64, r: &Reward) -> f64 {
+        let s = scalar_cost.max(0.0);
+        -(self.cost * (s / (s + self.cost_scale.max(1e-9)))
+            + self.loss * r.loss_frac.clamp(0.0, 1.0)
+            + self.deadline * f64::from(r.deadline_missed)
+            + self.dead_letter * (r.dead_letters.min(4) as f64 / 4.0))
+    }
+}
+
+/// The context of one selection: what the learner may condition on.
+#[derive(Debug, Clone, Copy)]
+pub struct LearnContext {
+    /// Query/network features.
+    pub features: QueryFeatures,
+    /// Live health telemetry.
+    pub health: NetHealth,
+    /// The query's COST energy bound, if any.
+    pub energy_bound: Option<f64>,
+    /// The query's COST time bound, if any.
+    pub time_bound: Option<f64>,
+}
+
+/// One candidate placement as presented to the learner: the arm, its
+/// analytic prior, and the learner's own prediction (filled by the
+/// decision maker via [`Learner::predict_cost`]) with its scalar score.
+#[derive(Debug, Clone, Copy)]
+pub struct CandidateArm {
+    /// Stable arm index within the full (unfiltered) candidate set — the
+    /// bandit's per-arm model key, invariant under feasibility filtering.
+    pub key: usize,
+    /// The placement.
+    pub model: SolutionModel,
+    /// Analytic cost estimate (the prior the paper's estimator provides).
+    pub analytic: CostVector,
+    /// The learner's cost prediction for this arm.
+    pub predicted: CostVector,
+    /// Scalarized `predicted` under the weights in force.
+    pub score: f64,
+}
+
+/// An online placement learner: `select` an arm for a context, `observe`
+/// the outcome of an executed arm. Implemented by the k-NN case memory
+/// (the pre-existing `Policy::Adaptive` path, bit-identical through this
+/// trait) and the LinUCB contextual bandit (`Policy::Bandit`).
+pub trait Learner: std::fmt::Debug {
+    /// Pick an arm: the returned value indexes into `arms` (which the
+    /// decision maker has already filtered to COST-feasible candidates).
+    /// `None` only when `arms` is empty.
+    fn select(&mut self, ctx: &LearnContext, arms: &[CandidateArm]) -> Option<usize>;
+
+    /// Feed back the measured outcome of executing `arm` under `ctx`.
+    fn observe(&mut self, ctx: &LearnContext, arm: &CandidateArm, reward: &Reward);
+
+    /// Predicted cost of running `model` given the analytic prior. The
+    /// default trusts the prior; the k-NN learner blends in its history.
+    fn predict_cost(
+        &self,
+        _features: &QueryFeatures,
+        _model: &SolutionModel,
+        analytic: CostVector,
+    ) -> CostVector {
+        analytic
+    }
+
+    /// Number of outcomes absorbed so far.
+    fn observations(&self) -> usize;
+
+    /// The underlying case memory, when the learner keeps one.
+    fn knn(&self) -> Option<&KnnRegressor> {
+        None
+    }
+}
+
+/// The k-NN case-memory learner: the original `Policy::Adaptive` logic
+/// (distance-blended prediction, decayed safe ε-greedy exploration) moved
+/// behind the [`Learner`] trait, bit-identical to the pre-trait code — the
+/// RNG draw order and every floating-point expression are unchanged.
+#[derive(Debug)]
+pub struct KnnLearner {
+    knn: KnnRegressor,
+    epsilon: f64,
+    blend: bool,
+    safe_explore: bool,
+    rng: StdRng,
+}
+
+impl KnnLearner {
+    /// A learner over an empty case memory.
+    pub fn new(k: usize, epsilon: f64, blend: bool, safe_explore: bool, seed: u64) -> Self {
+        let mut knn = KnnRegressor::new();
+        knn.k = k;
+        KnnLearner {
+            knn,
+            epsilon,
+            blend,
+            safe_explore,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl Learner for KnnLearner {
+    // Scalar scores are weighted sums of finite predictions (never NaN)
+    // and the arm set is checked non-empty before taking the min.
+    #[allow(clippy::expect_used)]
+    fn select(&mut self, _ctx: &LearnContext, arms: &[CandidateArm]) -> Option<usize> {
+        if arms.is_empty() {
+            return None;
+        }
+        let best = arms
+            .iter()
+            .enumerate()
+            .min_by(|a, b| {
+                a.1.score
+                    .partial_cmp(&b.1.score)
+                    .expect("scores are never NaN")
+            })
+            .expect("arm set is non-empty");
+        // Safe ε-greedy: explore only among candidates predicted within 5×
+        // of the best (a placement already predicted to be 100× dearer —
+        // e.g. an in-network PDE solve — teaches nothing worth its price),
+        // and decay exploration as history accumulates.
+        let eps = self.epsilon / (1.0 + self.knn.len() as f64 / 25.0);
+        if self.rng.gen::<f64>() < eps {
+            let near: Vec<usize> = if self.safe_explore {
+                arms.iter()
+                    .enumerate()
+                    .filter(|(_, a)| a.score <= 5.0 * best.1.score + 1e-12)
+                    .map(|(i, _)| i)
+                    .collect()
+            } else {
+                (0..arms.len()).collect()
+            };
+            return Some(near[self.rng.gen_range(0..near.len())]);
+        }
+        Some(best.0)
+    }
+
+    fn observe(&mut self, ctx: &LearnContext, arm: &CandidateArm, reward: &Reward) {
+        self.knn.record(ctx.features, arm.model, reward.cost);
+    }
+
+    fn predict_cost(
+        &self,
+        features: &QueryFeatures,
+        model: &SolutionModel,
+        analytic: CostVector,
+    ) -> CostVector {
+        match self.knn.predict_detailed(features, model) {
+            None => analytic,
+            Some((learned, _)) if !self.blend => learned,
+            Some((learned, nearest)) => {
+                let w = 1.0 / (1.0 + nearest * nearest * 4.0);
+                learned.scale(w).add(&analytic.scale(1.0 - w))
+            }
+        }
+    }
+
+    fn observations(&self) -> usize {
+        self.knn.len()
+    }
+
+    fn knn(&self) -> Option<&KnnRegressor> {
+        Some(&self.knn)
+    }
+}
+
+/// LinUCB hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BanditConfig {
+    /// UCB exploration width (0 disables optimism beyond the one free
+    /// pull every unseen arm gets).
+    pub alpha: f64,
+    /// Per-observation evidence discount (`< 1` tracks nonstationary
+    /// environments; `1` is the stationary textbook update).
+    pub gamma: f64,
+    /// Composite-reward blend.
+    pub reward: RewardWeights,
+}
+
+impl Default for BanditConfig {
+    fn default() -> Self {
+        BanditConfig {
+            alpha: 0.8,
+            gamma: 0.98,
+            reward: RewardWeights::default(),
+        }
+    }
+}
+
+/// Context dimensionality of the placement bandit.
+pub const BANDIT_DIM: usize = 10;
+
+/// Evidence-decayed exploration width: `alpha / (1 + n/64)`.
+fn decayed_alpha(alpha: f64, observations: usize) -> f64 {
+    alpha / (1.0 + observations as f64 / 64.0)
+}
+
+/// One arm's discounted ridge regression, maintained as `A⁻¹` directly
+/// via Sherman–Morrison rank-one updates (no matrix inversion on the hot
+/// path — `select` is O(arms · D²), `observe` is O(D²)).
+#[derive(Debug, Clone)]
+struct LinArm<const D: usize> {
+    a_inv: [[f64; D]; D],
+    b: [f64; D],
+    pulls: u64,
+}
+
+impl<const D: usize> LinArm<D> {
+    fn new() -> Self {
+        let mut a_inv = [[0.0; D]; D];
+        for (i, row) in a_inv.iter_mut().enumerate() {
+            row[i] = 1.0; // ridge prior A = I
+        }
+        LinArm {
+            a_inv,
+            b: [0.0; D],
+            pulls: 0,
+        }
+    }
+
+    /// `θᵀx + alpha·sqrt(xᵀA⁻¹x)` — the UCB index.
+    fn ucb(&self, x: &[f64; D], alpha: f64) -> f64 {
+        let mut mean = 0.0;
+        let mut width2 = 0.0;
+        for (i, row) in self.a_inv.iter().enumerate() {
+            let ainv_x_i: f64 = row.iter().zip(x.iter()).map(|(a, xj)| a * xj).sum();
+            // θ_i = (A⁻¹ b)_i; θᵀx accumulated as bᵀ(A⁻¹x) since A⁻¹ is
+            // symmetric.
+            mean += self.b[i] * ainv_x_i;
+            width2 += x[i] * ainv_x_i;
+        }
+        mean + alpha * width2.max(0.0).sqrt()
+    }
+
+    /// Discounted rank-one update: `A ← γA + xxᵀ`, `b ← γb + r·x`,
+    /// maintaining `A⁻¹` by Sherman–Morrison on `(γA)⁻¹ = A⁻¹/γ`.
+    fn update(&mut self, x: &[f64; D], r: f64, gamma: f64) {
+        let g = gamma.clamp(1e-3, 1.0);
+        for row in self.a_inv.iter_mut() {
+            for v in row.iter_mut() {
+                *v /= g;
+            }
+        }
+        // u = A⁻¹x; denom = 1 + xᵀA⁻¹x; A⁻¹ ← A⁻¹ − u uᵀ / denom.
+        let mut u = [0.0; D];
+        for (ui, row) in u.iter_mut().zip(self.a_inv.iter()) {
+            *ui = row.iter().zip(x.iter()).map(|(a, xj)| a * xj).sum();
+        }
+        let denom = 1.0 + x.iter().zip(u.iter()).map(|(xi, ui)| xi * ui).sum::<f64>();
+        for i in 0..D {
+            for j in 0..D {
+                self.a_inv[i][j] -= u[i] * u[j] / denom;
+            }
+        }
+        for (bi, xi) in self.b.iter_mut().zip(x.iter()) {
+            *bi = g * *bi + r * xi;
+        }
+        self.pulls += 1;
+    }
+}
+
+/// The contextual LinUCB placement bandit (`Policy::Bandit`).
+///
+/// Per-arm disjoint linear models over a small hand-crafted context:
+/// the analytic cost prior (squashed), the query class, the member count,
+/// and the live health/pressure telemetry. Unseen arms predict reward 0 —
+/// above every seen arm's (negative) reward — so each arm is explored
+/// once before optimism takes over; ties break toward the lowest arm
+/// index, keeping selection fully deterministic.
+#[derive(Debug)]
+pub struct LinUcbLearner {
+    cfg: BanditConfig,
+    weights: CostWeights,
+    arms: BTreeMap<usize, LinArm<BANDIT_DIM>>,
+    observations: usize,
+}
+
+impl LinUcbLearner {
+    /// A fresh bandit. `_seed` is accepted for interface symmetry with the
+    /// other learners; selection is deterministic and draws no randomness.
+    pub fn new(cfg: BanditConfig, weights: CostWeights, _seed: u64) -> Self {
+        LinUcbLearner {
+            cfg,
+            weights,
+            arms: BTreeMap::new(),
+            observations: 0,
+        }
+    }
+
+    /// The context vector for one (context, arm) pair.
+    fn context_vector(
+        ctx: &LearnContext,
+        arm: &CandidateArm,
+        cost_scale: f64,
+    ) -> [f64; BANDIT_DIM] {
+        let one_hot = |k| if ctx.features.kind == k { 1.0 } else { 0.0 };
+        let s = arm.score.max(0.0);
+        [
+            1.0,
+            s / (s + cost_scale.max(1e-9)),
+            one_hot(QueryKind::Simple),
+            one_hot(QueryKind::Aggregate),
+            one_hot(QueryKind::Complex),
+            ((ctx.features.members as f64) + 1.0).ln() / 5.0,
+            ctx.health.loss_ewma,
+            ctx.health.miss_ewma,
+            ctx.health.overload_level,
+            ((ctx.health.queue_depth as f64) + 1.0).ln() / 5.0,
+        ]
+    }
+}
+
+impl Learner for LinUcbLearner {
+    fn select(&mut self, ctx: &LearnContext, arms: &[CandidateArm]) -> Option<usize> {
+        // The discount (`A ← γA + xxᵀ`) regrows uncertainty in *every*
+        // direction each update, so a fixed alpha keeps re-exploring arms
+        // whose ruin is already established in rarely-seen directions.
+        // Decay the optimism with evidence instead: mid-run flips are
+        // driven by the pulled arm's reward collapsing (fresh bad rewards
+        // tank its discounted estimate), not by optimism, so a shrinking
+        // alpha still tracks nonstationarity while letting windowed regret
+        // actually converge.
+        let alpha = decayed_alpha(self.cfg.alpha, self.observations);
+        let mut best: Option<(usize, f64)> = None;
+        for (i, arm) in arms.iter().enumerate() {
+            let x = Self::context_vector(ctx, arm, self.cfg.reward.cost_scale);
+            let p = match self.arms.get(&arm.key) {
+                Some(state) => state.ucb(&x, alpha),
+                // Unseen arm: θ = 0, A = I.
+                None => {
+                    let norm2: f64 = x.iter().map(|v| v * v).sum();
+                    alpha * norm2.sqrt()
+                }
+            };
+            if best.is_none_or(|(_, bp)| p > bp) {
+                best = Some((i, p));
+            }
+        }
+        best.map(|(i, _)| i)
+    }
+
+    fn observe(&mut self, ctx: &LearnContext, arm: &CandidateArm, reward: &Reward) {
+        let x = Self::context_vector(ctx, arm, self.cfg.reward.cost_scale);
+        let scalar = self.weights.scalar(&reward.cost);
+        let r = self.cfg.reward.composite(scalar, reward);
+        self.arms
+            .entry(arm.key)
+            .or_insert_with(LinArm::new)
+            .update(&x, r, self.cfg.gamma);
+        self.observations += 1;
+    }
+
+    fn observations(&self) -> usize {
+        self.observations
+    }
+}
+
+/// The bandit policy's extended arm space: the five standard candidates
+/// plus two knob variants — a region-reducing grid offload (the paper's
+/// accuracy/data trade-off) and a denser cluster split — so the bandit
+/// selects jointly over placement *and* its scheduling-relevant knobs.
+pub fn bandit_candidates(members: usize) -> Vec<SolutionModel> {
+    let mut v = SolutionModel::candidates(members);
+    v.push(SolutionModel::GridOffload {
+        reduction_cell_m: 4.0,
+    });
+    let heads = pg_sensornet::cluster::default_head_count(members);
+    v.push(SolutionModel::InNetworkCluster {
+        heads: (heads * 2).max(2),
+    });
+    v
+}
+
+/// Context dimensionality of the tree-mode bandit.
+const TREE_DIM: usize = 4;
+
+/// The [`TreeMaintenance`] modes the tree bandit arbitrates between.
+pub const TREE_MODES: [TreeMaintenance; 4] = [
+    TreeMaintenance::Free,
+    TreeMaintenance::PerEpoch,
+    TreeMaintenance::Persistent,
+    TreeMaintenance::Incremental,
+];
+
+/// The joint half of the adaptive loop: a small LinUCB bandit over
+/// [`TreeMaintenance`] modes for shared-collection chunks, conditioned on
+/// chunk size and live health. Placement is selected per query by
+/// [`LinUcbLearner`]; the chunk's tree-lifetime mode is selected here, so
+/// `Policy::Bandit` decides *jointly* over placement and tree maintenance.
+#[derive(Debug)]
+pub struct TreeModeBandit {
+    alpha: f64,
+    gamma: f64,
+    arms: [LinArm<TREE_DIM>; 4],
+    seen: [bool; 4],
+    /// Chunks observed so far.
+    pub observations: usize,
+}
+
+impl TreeModeBandit {
+    /// A fresh tree-mode bandit sharing the placement bandit's optimism
+    /// and discount parameters.
+    pub fn new(cfg: &BanditConfig) -> Self {
+        TreeModeBandit {
+            alpha: cfg.alpha,
+            gamma: cfg.gamma,
+            arms: [LinArm::new(), LinArm::new(), LinArm::new(), LinArm::new()],
+            seen: [false; 4],
+            observations: 0,
+        }
+    }
+
+    fn context(group: usize, health: &NetHealth) -> [f64; TREE_DIM] {
+        [
+            1.0,
+            ((group as f64) + 1.0).ln() / 4.0,
+            health.loss_ewma,
+            health.overload_level,
+        ]
+    }
+
+    /// Pick the maintenance mode for a chunk of `group` queries.
+    pub fn select(&mut self, group: usize, health: &NetHealth) -> TreeMaintenance {
+        let alpha = decayed_alpha(self.alpha, self.observations);
+        let x = Self::context(group, health);
+        let mut best = 0usize;
+        let mut best_p = f64::NEG_INFINITY;
+        for (i, arm) in self.arms.iter().enumerate() {
+            let p = if self.seen[i] {
+                arm.ucb(&x, alpha)
+            } else {
+                let norm2: f64 = x.iter().map(|v| v * v).sum();
+                alpha * norm2.sqrt()
+            };
+            if p > best_p {
+                best_p = p;
+                best = i;
+            }
+        }
+        TREE_MODES[best]
+    }
+
+    /// Feed back a chunk's per-query attributed scalar cost (data +
+    /// control share) for the mode that ran it.
+    pub fn observe(
+        &mut self,
+        mode: TreeMaintenance,
+        group: usize,
+        health: &NetHealth,
+        per_query_scalar_cost: f64,
+    ) {
+        let idx = TREE_MODES
+            .iter()
+            .position(|m| *m == mode)
+            .unwrap_or_default();
+        let x = Self::context(group, health);
+        let s = per_query_scalar_cost.max(0.0);
+        let r = -(s / (s + 1.0));
+        self.arms[idx].update(&x, r, self.gamma);
+        self.seen[idx] = true;
+        self.observations += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feats(members: usize, kind: QueryKind) -> QueryFeatures {
+        QueryFeatures {
+            kind,
+            continuous: false,
+            members,
+            mean_hops: 2.0,
+            network_size: 100,
+            epoch_s: 0.0,
+        }
+    }
+
+    fn ctx(members: usize) -> LearnContext {
+        LearnContext {
+            features: feats(members, QueryKind::Aggregate),
+            health: NetHealth::default(),
+            energy_bound: None,
+            time_bound: None,
+        }
+    }
+
+    fn arm(key: usize, scalar: f64) -> CandidateArm {
+        let c = CostVector {
+            energy_j: scalar * 0.1,
+            time_s: 0.0,
+            bytes: 0.0,
+            ops: 0.0,
+        };
+        CandidateArm {
+            key,
+            model: SolutionModel::candidates(20)[key % 5],
+            analytic: c,
+            predicted: c,
+            score: scalar,
+        }
+    }
+
+    #[test]
+    fn composite_reward_is_bounded_and_monotone() {
+        let w = RewardWeights::default();
+        let cheap = Reward::from_cost(CostVector {
+            energy_j: 0.01,
+            ..Default::default()
+        });
+        let dear = Reward::from_cost(CostVector {
+            energy_j: 100.0,
+            ..Default::default()
+        });
+        let r_cheap = w.composite(0.1, &cheap);
+        let r_dear = w.composite(1000.0, &dear);
+        assert!(r_cheap > r_dear, "{r_cheap} vs {r_dear}");
+        assert!(r_dear >= -(w.cost + w.loss + w.deadline + w.dead_letter));
+        let missed = Reward {
+            deadline_missed: true,
+            ..cheap
+        };
+        assert!(w.composite(0.1, &missed) < r_cheap);
+    }
+
+    #[test]
+    fn unseen_arms_are_each_tried_once() {
+        let mut bandit = LinUcbLearner::new(BanditConfig::default(), CostWeights::default(), 0);
+        let arms: Vec<CandidateArm> = (0..5).map(|k| arm(k, 1.0 + k as f64)).collect();
+        let c = ctx(20);
+        let mut seen = Vec::new();
+        for _ in 0..5 {
+            let i = bandit.select(&c, &arms).unwrap();
+            seen.push(arms[i].key);
+            bandit.observe(&c, &arms[i], &Reward::from_cost(arms[i].analytic));
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, vec![0, 1, 2, 3, 4], "every arm explored once");
+    }
+
+    #[test]
+    fn bandit_converges_to_the_cheap_arm_under_stationary_rewards() {
+        let mut bandit = LinUcbLearner::new(
+            BanditConfig {
+                alpha: 0.0,
+                gamma: 1.0,
+                ..BanditConfig::default()
+            },
+            CostWeights::default(),
+            0,
+        );
+        let arms: Vec<CandidateArm> = vec![arm(0, 8.0), arm(1, 0.5), arm(2, 8.0)];
+        let c = ctx(20);
+        for _ in 0..40 {
+            let i = bandit.select(&c, &arms).unwrap();
+            bandit.observe(&c, &arms[i], &Reward::from_cost(arms[i].analytic));
+        }
+        for _ in 0..10 {
+            let i = bandit.select(&c, &arms).unwrap();
+            assert_eq!(arms[i].key, 1, "exploitation must lock onto the cheap arm");
+            bandit.observe(&c, &arms[i], &Reward::from_cost(arms[i].analytic));
+        }
+    }
+
+    #[test]
+    fn discounted_bandit_tracks_a_reward_flip() {
+        // Arm 0 is cheap for 60 rounds, then becomes terrible; arm 1 is
+        // steady. The discounted bandit must switch to arm 1.
+        let mut bandit = LinUcbLearner::new(
+            BanditConfig {
+                alpha: 0.4,
+                gamma: 0.9,
+                ..BanditConfig::default()
+            },
+            CostWeights::default(),
+            0,
+        );
+        let arms: Vec<CandidateArm> = vec![arm(0, 0.5), arm(1, 2.0)];
+        let c = ctx(20);
+        let cost_of = |k: usize, t: usize| -> CostVector {
+            let scalar = match (k, t < 60) {
+                (0, true) => 0.5,
+                (0, false) => 50.0,
+                _ => 2.0,
+            };
+            CostVector {
+                energy_j: scalar * 0.1,
+                ..Default::default()
+            }
+        };
+        let mut late_picks = [0u32; 2];
+        for t in 0..160 {
+            let i = bandit.select(&c, &arms).unwrap();
+            if t >= 120 {
+                late_picks[arms[i].key] += 1;
+            }
+            bandit.observe(&c, &arms[i], &Reward::from_cost(cost_of(arms[i].key, t)));
+        }
+        assert!(
+            late_picks[1] > late_picks[0],
+            "bandit must follow the flip: {late_picks:?}"
+        );
+    }
+
+    #[test]
+    fn bandit_selection_is_deterministic() {
+        let run = || {
+            let mut bandit = LinUcbLearner::new(BanditConfig::default(), CostWeights::default(), 7);
+            let arms: Vec<CandidateArm> = (0..7).map(|k| arm(k, 1.0 + (k % 3) as f64)).collect();
+            let c = ctx(20);
+            (0..50)
+                .map(|_| {
+                    let i = bandit.select(&c, &arms).unwrap();
+                    bandit.observe(&c, &arms[i], &Reward::from_cost(arms[i].analytic));
+                    i
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn health_ewma_decays_toward_observations() {
+        let mut h = NetHealth::default();
+        let degraded = Reward {
+            cost: CostVector::default(),
+            loss_frac: 1.0,
+            deadline_missed: true,
+            retries: 5,
+            dead_letters: 1,
+        };
+        for _ in 0..30 {
+            h.absorb(&degraded);
+        }
+        assert!(h.loss_ewma > 0.95);
+        assert!(h.miss_ewma > 0.95);
+        assert!(h.retry_ewma > 4.5);
+        let clean = Reward::from_cost(CostVector::default());
+        for _ in 0..30 {
+            h.absorb(&clean);
+        }
+        assert!(h.loss_ewma < 0.05, "EWMA must forget: {}", h.loss_ewma);
+    }
+
+    #[test]
+    fn extended_candidates_add_knob_arms() {
+        let v = bandit_candidates(40);
+        assert_eq!(v.len(), 7);
+        assert!(matches!(
+            v[5],
+            SolutionModel::GridOffload {
+                reduction_cell_m
+            } if reduction_cell_m > 0.0
+        ));
+        assert!(matches!(v[6], SolutionModel::InNetworkCluster { .. }));
+    }
+
+    #[test]
+    fn tree_mode_bandit_prefers_the_cheap_mode() {
+        let mut tb = TreeModeBandit::new(&BanditConfig {
+            alpha: 0.0,
+            gamma: 1.0,
+            ..BanditConfig::default()
+        });
+        let h = NetHealth::default();
+        // Persistent is cheap, everything else dear.
+        let cost_of = |m: TreeMaintenance| {
+            if m == TreeMaintenance::Persistent {
+                0.2
+            } else {
+                4.0
+            }
+        };
+        for _ in 0..40 {
+            let m = tb.select(8, &h);
+            tb.observe(m, 8, &h, cost_of(m));
+        }
+        assert_eq!(tb.select(8, &h), TreeMaintenance::Persistent);
+        assert_eq!(tb.observations, 40);
+    }
+}

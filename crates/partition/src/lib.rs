@@ -30,9 +30,14 @@ pub mod estimate;
 pub mod exec;
 pub mod features;
 pub mod knn;
+pub mod learn;
 pub mod model;
 
-pub use decide::{DecisionMaker, Policy};
+pub use decide::{DecisionConfig, DecisionConfigBuilder, DecisionMaker, Policy};
 pub use exec::{execute_once, ExecContext, ExecError, Outcome};
 pub use features::QueryFeatures;
+pub use learn::{
+    bandit_candidates, BanditConfig, CandidateArm, KnnLearner, LearnContext, Learner,
+    LinUcbLearner, NetHealth, Reward, RewardWeights, TreeModeBandit,
+};
 pub use model::{CostVector, CostWeights, SolutionModel};

@@ -73,6 +73,12 @@ pub trait QueryEngine {
     /// at execution instead of being rejected at the door).
     fn estimate_energy_j(&mut self, text: &str) -> Option<f64>;
 
+    /// Scheduler pressure notification: waiting-queue depth and overload
+    /// level (0 normal, 0.5 brownout, 1 shed), published once per service
+    /// round. Engines with an adaptive decision maker feed this into its
+    /// selection context; the default is a no-op.
+    fn note_pressure(&mut self, _queue_depth: usize, _overload_level: f64) {}
+
     /// Execute one epoch's batch, in the given (policy) order, returning
     /// one outcome per entry *in the same order*. Engines are free to run
     /// overlapping queries through a shared collection pass as long as the
@@ -100,6 +106,9 @@ impl<E: QueryEngine + ?Sized> QueryEngine for &mut E {
     }
     fn estimate_energy_j(&mut self, text: &str) -> Option<f64> {
         (**self).estimate_energy_j(text)
+    }
+    fn note_pressure(&mut self, queue_depth: usize, overload_level: f64) {
+        (**self).note_pressure(queue_depth, overload_level);
     }
     fn execute_batch(
         &mut self,

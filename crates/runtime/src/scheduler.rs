@@ -1069,6 +1069,12 @@ impl<E: QueryEngine> MultiQueryRuntime<E> {
     fn service_round(&mut self) -> usize {
         let policy = self.cfg.policy;
         let epoch_start = self.engine.now();
+        let level = match self.overload_state {
+            OverloadState::Normal => 0.0,
+            OverloadState::Brownout => 0.5,
+            OverloadState::Shed => 1.0,
+        };
+        self.engine.note_pressure(self.waiting.len(), level);
         if self.cfg.overload.policy != OverloadPolicy::None
             && self.overload_state == OverloadState::Shed
         {

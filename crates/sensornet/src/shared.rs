@@ -458,6 +458,16 @@ impl SharedTreeSession {
         self.maintenance
     }
 
+    /// Switch the maintenance mode mid-session (the adaptive learner tunes
+    /// it per chunk). Any cached tree is dropped so the next collection
+    /// rebuilds under the new mode's lifetime rules.
+    pub fn set_maintenance(&mut self, mode: TreeMaintenance) {
+        if self.maintenance != mode {
+            self.maintenance = mode;
+            self.tree = None;
+        }
+    }
+
     /// Build the spanning tree and charge every operational sensor one
     /// construction beacon (full-range broadcast; the mains-powered base
     /// is exempt). Returns the tree plus `(bytes, joules)` charged.

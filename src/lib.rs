@@ -45,6 +45,12 @@
 // downstream code can drive open-loop workloads without digging through
 // the crate tree.
 pub use pg_core::{SharedTreeSession, TreeMaintenance};
+// The adaptive-learning surface (§4's closed loop): the policy selector,
+// its builder-style configuration, and the learner abstraction behind it.
+pub use pg_partition::{
+    BanditConfig, DecisionConfig, DecisionConfigBuilder, DecisionMaker, Learner, NetHealth, Policy,
+    Reward, RewardWeights,
+};
 pub use pg_runtime::{
     Arrival, ArrivalProcess, PoissonArrivals, QueryHandle, QueryStatus, TraceArrivals,
 };

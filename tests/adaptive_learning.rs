@@ -101,6 +101,6 @@ fn learner_history_grows_with_answered_queries_only() {
     pg.submit("SELECT AVG(temp) FROM sensors").unwrap();
     let _ = pg.submit("SELECT banana FROM"); // parse error
     let _ = pg.submit("SELECT AVG(temp) FROM sensors COST energy 0.000000001"); // rejected
-    assert_eq!(pg.decision.knn.len(), 1);
+    assert_eq!(pg.decision.history_len(), 1);
     assert_eq!(pg.log.len(), 3);
 }
